@@ -1,0 +1,51 @@
+// Ablation: does the X-SBT component of the encoder input (inherited from
+// SPT-Code) help on this task? Trains two small models -- code+X-SBT vs
+// code-only -- on the same dataset and compares Table II style scores.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/evaluate.hpp"
+
+int main() {
+  using namespace mpirical;
+  bench::print_header("Ablation -- encoder input: code + X-SBT vs code only");
+
+  corpus::DatasetConfig dcfg;
+  dcfg.corpus_size = bench::env_size("MPIRICAL_ABLATION_CORPUS", 900);
+  dcfg.seed = 911;
+  dcfg.max_tokens = 200;  // small, fast configuration for the ablation
+  const corpus::Dataset dataset = corpus::build_dataset(dcfg);
+  std::printf("[setup] ablation dataset: %zu train / %zu test examples\n",
+              dataset.train.size(), dataset.test.size());
+
+  for (const bool use_xsbt : {true, false}) {
+    core::ModelConfig mcfg;
+    mcfg.use_xsbt = use_xsbt;
+    mcfg.max_src_tokens = use_xsbt ? 288 : 208;
+    mcfg.max_tgt_tokens = 216;
+    mcfg.epochs = static_cast<int>(
+        bench::env_size("MPIRICAL_ABLATION_EPOCHS", 4));
+    mcfg.seed = 4242;
+
+    core::MpiRical model = core::MpiRical::create(dataset, mcfg);
+    std::printf("\n[variant %s] training (%d epochs)...\n",
+                use_xsbt ? "code+X-SBT" : "code-only", mcfg.epochs);
+    model.train(dataset, [](const core::EpochLog& log) {
+      std::printf("[train] epoch %d train %.4f val %.4f acc %.4f (%.1fs)\n",
+                  log.epoch, log.train_loss, log.val_loss,
+                  log.val_token_accuracy, log.seconds);
+      std::fflush(stdout);
+    });
+
+    std::vector<corpus::Example> test = dataset.test;
+    if (test.size() > 80) test.resize(80);
+    const core::EvalSummary s = core::evaluate_model(model, test);
+    std::printf(
+        "[variant %s] M-F1 %.3f  M-P %.3f  M-R %.3f  BLEU %.3f  ROUGE-L "
+        "%.3f  ACC %.3f\n",
+        use_xsbt ? "code+X-SBT" : "code-only", s.m_counts.f1(),
+        s.m_counts.precision(), s.m_counts.recall(), s.bleu, s.rouge_l,
+        s.acc);
+  }
+  return 0;
+}

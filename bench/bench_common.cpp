@@ -1,0 +1,151 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+
+namespace mpirical::bench {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    const long long parsed = std::atoll(value);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+std::string artifacts_dir() {
+  std::string dir = "mpirical_artifacts";
+  if (const char* value = std::getenv("MPIRICAL_ARTIFACTS")) dir = value;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+corpus::DatasetConfig default_dataset_config() {
+  corpus::DatasetConfig config;
+  config.corpus_size = env_size("MPIRICAL_BENCH_CORPUS", 2600);
+  config.seed = env_size("MPIRICAL_BENCH_SEED", 42);
+  config.max_tokens = 320;  // the paper's exclusion criterion
+  return config;
+}
+
+core::ModelConfig default_model_config() {
+  core::ModelConfig config;
+  config.epochs = static_cast<int>(env_size("MPIRICAL_BENCH_EPOCHS", 5));
+  config.seed = env_size("MPIRICAL_BENCH_SEED", 42) * 7919 + 1;
+  config.max_src_tokens = 384;  // code + [SEP] + truncated X-SBT
+  config.max_tgt_tokens = 336;  // label code (<= 320 tokens) + [EOS]
+  return config;
+}
+
+namespace {
+
+std::string checkpoint_path() {
+  return artifacts_dir() + "/mpirical_model.bin";
+}
+std::string log_path() { return artifacts_dir() + "/training_log.tsv"; }
+
+bool retrain_forced() {
+  const char* value = std::getenv("MPIRICAL_BENCH_RETRAIN");
+  return value != nullptr && std::string(value) == "1";
+}
+
+}  // namespace
+
+std::vector<core::EpochLog> load_training_log() {
+  std::vector<core::EpochLog> logs;
+  if (!std::filesystem::exists(log_path())) return logs;
+  const std::string data = core::read_file(log_path());
+  for (const auto& line : split_lines(data)) {
+    std::istringstream is(line);
+    core::EpochLog log;
+    if (is >> log.epoch >> log.train_loss >> log.val_loss >>
+        log.val_token_accuracy >> log.seconds) {
+      logs.push_back(log);
+    }
+  }
+  return logs;
+}
+
+TrainedSetup ensure_trained_model() {
+  TrainedSetup setup;
+  const corpus::DatasetConfig dcfg = default_dataset_config();
+  std::printf("[setup] building corpus (%zu programs, seed %llu)...\n",
+              dcfg.corpus_size,
+              static_cast<unsigned long long>(dcfg.seed));
+  Timer timer;
+  setup.dataset = corpus::build_dataset(dcfg);
+  std::printf(
+      "[setup] dataset: %zu examples (train %zu / val %zu / test %zu), "
+      "%zu excluded by the %zu-token criterion, %.1fs\n",
+      setup.dataset.example_count(), setup.dataset.train.size(),
+      setup.dataset.val.size(), setup.dataset.test.size(),
+      setup.dataset.excluded_too_long, dcfg.max_tokens, timer.seconds());
+
+  if (!retrain_forced() && std::filesystem::exists(checkpoint_path())) {
+    std::printf("[setup] loading cached model from %s\n",
+                checkpoint_path().c_str());
+    setup.model = core::MpiRical::load(checkpoint_path());
+    setup.epoch_logs = load_training_log();
+    return setup;
+  }
+
+  const core::ModelConfig mcfg = default_model_config();
+  setup.model = core::MpiRical::create(setup.dataset, mcfg);
+  std::printf(
+      "[setup] training MPI-RICAL: vocab %zu, %zu parameters, %d epochs\n",
+      setup.model.vocab().size(), setup.model.transformer().parameter_count(),
+      mcfg.epochs);
+  setup.epoch_logs = setup.model.train(
+      setup.dataset, [](const core::EpochLog& log) {
+        std::printf(
+            "[train] epoch %d  train_loss %.4f  val_loss %.4f  val_acc "
+            "%.4f  (%.1fs)\n",
+            log.epoch, log.train_loss, log.val_loss, log.val_token_accuracy,
+            log.seconds);
+        std::fflush(stdout);
+      });
+
+  setup.model.save(checkpoint_path());
+  std::string log_data;
+  for (const auto& log : setup.epoch_logs) {
+    log_data += std::to_string(log.epoch) + "\t" +
+                std::to_string(log.train_loss) + "\t" +
+                std::to_string(log.val_loss) + "\t" +
+                std::to_string(log.val_token_accuracy) + "\t" +
+                std::to_string(log.seconds) + "\n";
+  }
+  core::write_file(log_path(), log_data);
+  std::printf("[setup] checkpoint saved to %s\n", checkpoint_path().c_str());
+  return setup;
+}
+
+core::Tagger train_tagger(const corpus::Dataset& dataset) {
+  core::TaggerConfig tcfg;
+  tcfg.epochs = static_cast<int>(env_size("MPIRICAL_BENCH_TAGGER_EPOCHS", 6));
+  tcfg.max_src_tokens = 420;  // code tokens + [NL] markers of a 320-token file
+  tcfg.lr = 2e-3f;
+  tcfg.warmup_steps = 40;
+  core::Tagger tagger = core::Tagger::create(dataset, tcfg);
+  std::printf("[setup] training classification engine (%zu labels, %d "
+              "epochs)...\n",
+              tagger.label_count(), tcfg.epochs);
+  tagger.train(dataset, [](const core::TaggerEpochLog& log) {
+    std::printf("[tagger] epoch %d train %.4f val %.4f slot_acc %.4f (%.1fs)\n",
+                log.epoch, log.train_loss, log.val_loss,
+                log.val_slot_accuracy, log.seconds);
+    std::fflush(stdout);
+  });
+  return tagger;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace mpirical::bench

@@ -1,0 +1,54 @@
+// Shared setup for the experiment benches: environment-tunable dataset /
+// model configuration, a cached trained model (trained once per artifacts
+// directory, reused by every model-dependent bench), and table printing
+// helpers.
+//
+// Environment knobs:
+//   MPIRICAL_BENCH_CORPUS      corpus size for the training dataset (default 2600)
+//   MPIRICAL_BENCH_STATS_CORPUS corpus size for the statistics benches (default 20000)
+//   MPIRICAL_BENCH_EPOCHS      training epochs (default 5, the paper's setting)
+//   MPIRICAL_BENCH_SEED        dataset/model seed (default 42)
+//   MPIRICAL_ARTIFACTS         artifact directory (default ./mpirical_artifacts)
+//   MPIRICAL_BENCH_RETRAIN     set to 1 to ignore a cached checkpoint
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/tagger.hpp"
+#include "corpus/dataset.hpp"
+
+namespace mpirical::bench {
+
+std::size_t env_size(const char* name, std::size_t fallback);
+std::string artifacts_dir();
+
+corpus::DatasetConfig default_dataset_config();
+core::ModelConfig default_model_config();
+
+struct TrainedSetup {
+  corpus::Dataset dataset;
+  core::MpiRical model;
+  std::vector<core::EpochLog> epoch_logs;  // empty when loaded from cache
+};
+
+/// Loads the cached model if present (and retraining not forced), otherwise
+/// builds the dataset, trains (echoing per-epoch logs), and caches both the
+/// checkpoint and the training log under artifacts_dir().
+TrainedSetup ensure_trained_model();
+
+/// Reads the persisted training log (epoch, train_loss, val_loss, val_acc,
+/// seconds per line). Returns empty if missing.
+std::vector<core::EpochLog> load_training_log();
+
+/// Trains the classification-framing engine (encoder-only tagger) on the
+/// dataset. Fast (encoder only); not cached. Epochs via
+/// MPIRICAL_BENCH_TAGGER_EPOCHS (default 4).
+core::Tagger train_tagger(const corpus::Dataset& dataset);
+
+/// Prints a horizontal rule and a centered bench title.
+void print_header(const std::string& title);
+
+}  // namespace mpirical::bench

@@ -1,0 +1,44 @@
+// Reproduces Fig. 3: histogram of the ratio between the Init..Finalize span
+// and the whole program length. Paper: most files have ratio > 0.5.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "corpus/stats.hpp"
+
+int main() {
+  using namespace mpirical;
+  bench::print_header(
+      "Fig. 3 -- Init-Finalize span to program length ratio histogram");
+
+  const std::size_t n = bench::env_size("MPIRICAL_BENCH_STATS_CORPUS", 20000);
+  const auto corpus = corpus::build_corpus(
+      {n, bench::env_size("MPIRICAL_BENCH_SEED", 42)});
+  const auto stats = corpus::compute_stats(corpus);
+
+  std::size_t max_bin = 1;
+  for (std::size_t count : stats.ratio_histogram) {
+    if (count > max_bin) max_bin = count;
+  }
+  const int width = 50;
+  std::size_t above_half = 0;
+  for (std::size_t bin = 0; bin < corpus::CorpusStats::kRatioBins; ++bin) {
+    const double lo =
+        static_cast<double>(bin) / corpus::CorpusStats::kRatioBins;
+    const double hi =
+        static_cast<double>(bin + 1) / corpus::CorpusStats::kRatioBins;
+    const std::size_t count = stats.ratio_histogram[bin];
+    if (lo >= 0.5) above_half += count;
+    const int bar = static_cast<int>(static_cast<double>(count) * width /
+                                     static_cast<double>(max_bin));
+    std::printf("[%.2f,%.2f) %7zu |", lo, hi, count);
+    for (int i = 0; i < bar; ++i) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf(
+      "\nFiles with both Init and Finalize: %zu of %zu; mass at ratio >= "
+      "0.5: %.1f%% (paper: clearly above half)\n",
+      stats.files_with_init_and_finalize, corpus.size(),
+      100.0 * static_cast<double>(above_half) /
+          static_cast<double>(stats.files_with_init_and_finalize));
+  return 0;
+}

@@ -1,0 +1,189 @@
+// google-benchmark microbenchmarks for the substrates: lexing, parsing,
+// standardization, X-SBT, removal, tokenization, tensor matmul/attention,
+// incremental decode steps, and simulated MPI collectives.
+#include <benchmark/benchmark.h>
+
+#include "cast/printer.hpp"
+#include "clex/lexer.hpp"
+#include "corpus/generator.hpp"
+#include "corpus/removal.hpp"
+#include "cparse/parser.hpp"
+#include "mpisim/runner.hpp"
+#include "nn/infer.hpp"
+#include "nn/transformer.hpp"
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "toklib/vocab.hpp"
+#include "xsbt/xsbt.hpp"
+
+namespace {
+
+using namespace mpirical;
+
+const std::string& sample_program() {
+  static const std::string source = [] {
+    Rng rng(7);
+    return corpus::generate_program(corpus::Family::kHalo1D, rng);
+  }();
+  return source;
+}
+
+void BM_Lexer(benchmark::State& state) {
+  const std::string& src = sample_program();
+  std::size_t tokens = 0;
+  for (auto _ : state) {
+    auto toks = lex::tokenize(src);
+    tokens += toks.size();
+    benchmark::DoNotOptimize(toks);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Lexer);
+
+void BM_Parser(benchmark::State& state) {
+  const std::string& src = sample_program();
+  for (auto _ : state) {
+    auto tree = parse::parse_translation_unit(src);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Parser);
+
+void BM_Standardize(benchmark::State& state) {
+  const auto tree = parse::parse_translation_unit(sample_program());
+  for (auto _ : state) {
+    auto code = ast::print_code(*tree);
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_Standardize);
+
+void BM_Xsbt(benchmark::State& state) {
+  const auto tree = parse::parse_translation_unit(sample_program());
+  for (auto _ : state) {
+    auto xs = xsbt::xsbt_string(*tree);
+    benchmark::DoNotOptimize(xs);
+  }
+}
+BENCHMARK(BM_Xsbt);
+
+void BM_MpiRemoval(benchmark::State& state) {
+  const auto tree = parse::parse_translation_unit(sample_program());
+  for (auto _ : state) {
+    auto result = corpus::remove_mpi_calls(*tree);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MpiRemoval);
+
+void BM_Tokenize(benchmark::State& state) {
+  const auto tree = parse::parse_translation_unit(sample_program());
+  const std::string code = ast::print_code(*tree);
+  for (auto _ : state) {
+    auto toks = tok::code_to_tokens(code);
+    benchmark::DoNotOptimize(toks);
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ProgramGeneration(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    auto prog = corpus::generate_random_program(rng);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_ProgramGeneration);
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  tensor::Tensor a = tensor::Tensor::randn({n, n}, rng, 1.0f);
+  tensor::Tensor b = tensor::Tensor::randn({n, n}, rng, 1.0f);
+  for (auto _ : state) {
+    auto c = tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Attention(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const int d = 96;
+  Rng rng(17);
+  tensor::Tensor q = tensor::Tensor::randn({t, d}, rng, 1.0f);
+  tensor::Tensor k = tensor::Tensor::randn({t, d}, rng, 1.0f);
+  tensor::Tensor v = tensor::Tensor::randn({t, d}, rng, 1.0f);
+  for (auto _ : state) {
+    auto o = tensor::multi_head_attention(q, k, v, 1, 4, true);
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_Attention)->Arg(64)->Arg(160)->Arg(320);
+
+void BM_DecodeStep(benchmark::State& state) {
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 800;
+  cfg.d_model = 96;
+  cfg.heads = 4;
+  cfg.ffn_dim = 192;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 2;
+  cfg.max_len = 512;
+  Rng rng(19);
+  nn::Transformer model(cfg, rng);
+  std::vector<int> src(128);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<int>(i % 700) + 6;
+  }
+  nn::IncrementalDecoder decoder(model, src);
+  int token = 1;
+  for (auto _ : state) {
+    if (decoder.position() + 1 >= cfg.max_len) {
+      state.PauseTiming();
+      decoder = nn::IncrementalDecoder(model, src);
+      state.ResumeTiming();
+    }
+    const auto& logits = decoder.step(token);
+    benchmark::DoNotOptimize(logits);
+  }
+}
+BENCHMARK(BM_DecodeStep);
+
+void BM_MpiSimAllreduce(benchmark::State& state) {
+  const std::string program = R"(#include <stdio.h>
+#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    double mine = (double)rank;
+    double total = 0.0;
+    for (i = 0; i < 50; i++) {
+        MPI_Allreduce(&mine, &total, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)";
+  mpisim::RunOptions opts;
+  opts.num_ranks = 4;
+  for (auto _ : state) {
+    auto result = mpisim::run_mpi_source(program, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 50);
+}
+BENCHMARK(BM_MpiSimAllreduce);
+
+}  // namespace
+
+BENCHMARK_MAIN();

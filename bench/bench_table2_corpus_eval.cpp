@@ -1,0 +1,81 @@
+// Reproduces Table II: MPI-RICAL quality on the MPICodeCorpus test split --
+// M-F1/Precision/Recall over all MPI functions, MCC-* over the Common Core,
+// and the sequence metrics BLEU / METEOR / ROUGE-L / exact-match ACC.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/evaluate.hpp"
+#include "core/tagger.hpp"
+#include "metrics/metrics.hpp"
+#include "mpidb/catalog.hpp"
+
+int main() {
+  using namespace mpirical;
+  bench::print_header("Table II -- performance on the MPICodeCorpus test set");
+
+  auto setup = bench::ensure_trained_model();
+  const std::size_t limit =
+      bench::env_size("MPIRICAL_BENCH_EVAL_LIMIT", 160);
+  std::vector<corpus::Example> test = setup.dataset.test;
+  if (test.size() > limit) test.resize(limit);
+
+  std::printf("[eval] greedy-decoding %zu test examples...\n", test.size());
+  const core::EvalSummary s = core::evaluate_model(setup.model, test);
+
+  struct Row {
+    const char* name;
+    double measured;
+    double paper;
+  };
+  const Row rows[] = {
+      {"M-F1", s.m_counts.f1(), 0.87},
+      {"M-Precision", s.m_counts.precision(), 0.85},
+      {"M-Recall", s.m_counts.recall(), 0.89},
+      {"MCC-F1", s.mcc_counts.f1(), 0.89},
+      {"MCC-Precision", s.mcc_counts.precision(), 0.91},
+      {"MCC-Recall", s.mcc_counts.recall(), 0.87},
+      {"BLEU", s.bleu, 0.93},
+      {"Meteor", s.meteor, 0.62},
+      {"Rouge-l", s.rouge_l, 0.95},
+      {"ACC", s.acc, 0.57},
+  };
+
+  std::printf("\n-- translation engine (the paper's seq2seq formulation) --\n");
+  std::printf("%-16s %12s %12s\n", "Quality Measure", "Measured", "Paper");
+  for (const auto& row : rows) {
+    std::printf("%-16s %12.2f %12.2f\n", row.name, row.measured, row.paper);
+  }
+  std::printf(
+      "(TP %zu / FP %zu / FN %zu over all functions; one-line location "
+      "tolerance, as in the paper.)\n",
+      s.m_counts.tp, s.m_counts.fp, s.m_counts.fn);
+
+  // The paper *evaluates* as classification; this engine implements that
+  // framing directly (see DESIGN.md). Trained from scratch it is the one
+  // that reaches the paper's quality band without pretraining.
+  core::Tagger tagger = bench::train_tagger(setup.dataset);
+  metrics::PrfCounts m_counts;
+  metrics::PrfCounts mcc_counts;
+  for (const auto& ex : test) {
+    const auto predicted = tagger.predict(ex.input_code);
+    m_counts += metrics::match_call_sites(predicted, ex.ground_truth, 1);
+    mcc_counts += metrics::match_call_sites_filtered(
+        predicted, ex.ground_truth, 1,
+        [](const std::string& f) { return mpidb::is_common_core(f); });
+  }
+  std::printf("\n-- classification engine (the paper's measurement framing) --\n");
+  std::printf("%-16s %12s %12s\n", "Quality Measure", "Measured", "Paper");
+  std::printf("%-16s %12.2f %12.2f\n", "M-F1", m_counts.f1(), 0.87);
+  std::printf("%-16s %12.2f %12.2f\n", "M-Precision", m_counts.precision(),
+              0.85);
+  std::printf("%-16s %12.2f %12.2f\n", "M-Recall", m_counts.recall(), 0.89);
+  std::printf("%-16s %12.2f %12.2f\n", "MCC-F1", mcc_counts.f1(), 0.89);
+  std::printf("%-16s %12.2f %12.2f\n", "MCC-Precision",
+              mcc_counts.precision(), 0.91);
+  std::printf("%-16s %12.2f %12.2f\n", "MCC-Recall", mcc_counts.recall(),
+              0.87);
+  std::printf(
+      "(TP %zu / FP %zu / FN %zu over all functions.)\n",
+      m_counts.tp, m_counts.fp, m_counts.fn);
+  return 0;
+}

@@ -1,0 +1,466 @@
+#include "benchsuite/benchsuite.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace mpirical::benchsuite {
+
+namespace {
+
+std::vector<BenchmarkProgram> build_programs() {
+  std::vector<BenchmarkProgram> out;
+
+  out.push_back({"Array Average", R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    int n = 64;
+    double data[64];
+    double part[64];
+    double local_sum = 0.0;
+    double total = 0.0;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    int chunk = n / size;
+    if (rank == 0) {
+        for (i = 0; i < n; i++) {
+            data[i] = (double)(i % 17) + 1.0;
+        }
+    }
+    MPI_Scatter(data, chunk, MPI_DOUBLE, part, chunk, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+    for (i = 0; i < chunk; i++) {
+        local_sum += part[i];
+    }
+    MPI_Reduce(&local_sum, &total, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        double average = total / (double)n;
+        printf("average = %.6f\n", average);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "average =", 8.59375, 1e-4, true});
+
+  out.push_back({"Vector Dot Product", R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    int n = 64;
+    double a[64];
+    double b[64];
+    double local_dot = 0.0;
+    double dot = 0.0;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    for (i = 0; i < n; i++) {
+        a[i] = (double)i * 0.5;
+        b[i] = (double)(n - i);
+    }
+    int chunk = n / size;
+    int start = rank * chunk;
+    int stop = start + chunk;
+    for (i = start; i < stop; i++) {
+        local_dot += a[i] * b[i];
+    }
+    MPI_Reduce(&local_dot, &dot, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("dot product = %.4f\n", dot);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "dot product =", 21840.0, 1e-3, true});
+
+  out.push_back({"Min-Max", R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    int n = 64;
+    double data[64];
+    double local_min = 1000000.0;
+    double local_max = -1000000.0;
+    double global_min;
+    double global_max;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    for (i = 0; i < n; i++) {
+        data[i] = (double)((i * 37) % 101);
+    }
+    int chunk = n / size;
+    int begin = rank * chunk;
+    int end = begin + chunk;
+    for (i = begin; i < end; i++) {
+        if (data[i] < local_min) {
+            local_min = data[i];
+        }
+        if (data[i] > local_max) {
+            local_max = data[i];
+        }
+    }
+    MPI_Reduce(&local_min, &global_min, 1, MPI_DOUBLE, MPI_MIN, 0, MPI_COMM_WORLD);
+    MPI_Reduce(&local_max, &global_max, 1, MPI_DOUBLE, MPI_MAX, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("min = %.2f max = %.2f\n", global_min, global_max);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "min = 0.00 max = 100.00", 0.0, 0.0, false});
+
+  out.push_back({"Matrix-Vector Multiplication", R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    int col;
+    int n = 8;
+    double mat[64];
+    double x[8];
+    double y[8];
+    double y_local[8];
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    if (rank == 0) {
+        for (i = 0; i < n * n; i++) {
+            mat[i] = (double)(i % 7) + 1.0;
+        }
+        for (i = 0; i < n; i++) {
+            x[i] = (double)(i + 1);
+        }
+    }
+    MPI_Bcast(mat, n * n, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+    MPI_Bcast(x, n, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+    int rows = n / size;
+    for (i = 0; i < rows; i++) {
+        double acc = 0.0;
+        for (col = 0; col < n; col++) {
+            acc += mat[(rank * rows + i) * n + col] * x[col];
+        }
+        y_local[i] = acc;
+    }
+    MPI_Gather(y_local, rows, MPI_DOUBLE, y, rows, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        double checksum = 0.0;
+        for (i = 0; i < n; i++) {
+            checksum += y[i];
+        }
+        printf("matvec checksum = %.4f\n", checksum);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "matvec checksum =", 1156.0, 1e-3, true});
+
+  out.push_back({"Sum (Reduce & Gather)", R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    int n = 100;
+    double local_sum = 0.0;
+    double total = 0.0;
+    double parts[64];
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    for (i = rank; i < n; i += size) {
+        local_sum += (double)i;
+    }
+    MPI_Reduce(&local_sum, &total, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    MPI_Gather(&local_sum, 1, MPI_DOUBLE, parts, 1, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("total = %.1f\n", total);
+        for (i = 0; i < size; i++) {
+            printf("part %d = %.1f\n", i, parts[i]);
+        }
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "total =", 4950.0, 1e-6, true});
+
+  out.push_back({"Merge Sort", R"(#include <stdio.h>
+#include <mpi.h>
+
+void local_sort(int *vals, int count) {
+    int i;
+    int j;
+    for (i = 1; i < count; i++) {
+        int key = vals[i];
+        j = i - 1;
+        while (j >= 0 && vals[j] > key) {
+            vals[j + 1] = vals[j];
+            j = j - 1;
+        }
+        vals[j + 1] = key;
+    }
+}
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    int mine[4];
+    int all[16];
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    for (i = 0; i < 4; i++) {
+        mine[i] = ((rank * 4 + i) * 73 + 19) % 997;
+    }
+    local_sort(mine, 4);
+    MPI_Gather(mine, 4, MPI_INT, all, 4, MPI_INT, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        local_sort(all, 16);
+        printf("sorted first %d last %d\n", all[0], all[15]);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "sorted first 19 last 968", 0.0, 0.0, false});
+
+  out.push_back({"Pi Monte-Carlo", R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    int n = 20000;
+    long hits = 0;
+    long total_hits = 0;
+    long seed = 12345;
+    double x;
+    double y;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    seed = seed + 777 * rank;
+    for (i = 0; i < n; i++) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        x = (double)(seed % 100000) / 100000.0;
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        y = (double)(seed % 100000) / 100000.0;
+        if (x * x + y * y <= 1.0) {
+            hits++;
+        }
+    }
+    MPI_Reduce(&hits, &total_hits, 1, MPI_LONG, MPI_SUM, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        double pi = 4.0 * (double)total_hits / ((double)n * (double)size);
+        printf("pi estimate: %.8f\n", pi);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "pi estimate:", 3.14159265, 0.1, true});
+
+  out.push_back({"Pi Riemann Sum", R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    int n = 100000;
+    double h;
+    double local_sum = 0.0;
+    double pi = 0.0;
+    double x;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    h = 1.0 / (double)n;
+    for (i = rank; i < n; i += size) {
+        x = h * ((double)i + 0.5);
+        local_sum += 4.0 / (1.0 + x * x);
+    }
+    local_sum = local_sum * h;
+    MPI_Reduce(&local_sum, &pi, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("pi is approximately %.12f\n", pi);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "pi is approximately", 3.14159265358979, 1e-6, true});
+
+  out.push_back({"Factorial", R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    int n = 12;
+    double local_prod = 1.0;
+    double result = 1.0;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    for (i = rank + 1; i <= n; i += size) {
+        local_prod = local_prod * (double)i;
+    }
+    MPI_Reduce(&local_prod, &result, 1, MPI_DOUBLE, MPI_PROD, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("%d factorial is %.0f\n", n, result);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "12 factorial is", 479001600.0, 0.5, true});
+
+  out.push_back({"Fibonacci", R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    long fib_a = 0;
+    long fib_b = 1;
+    long fib_tmp;
+    long results[64];
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    int target = 10 + rank;
+    for (i = 0; i < target; i++) {
+        fib_tmp = fib_a + fib_b;
+        fib_a = fib_b;
+        fib_b = fib_tmp;
+    }
+    MPI_Gather(&fib_a, 1, MPI_LONG, results, 1, MPI_LONG, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        for (i = 0; i < size; i++) {
+            printf("fib(%d) = %ld\n", 10 + i, results[i]);
+        }
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "fib(12) = 144", 0.0, 0.0, false});
+
+  out.push_back({"Trapezoidal Rule (Integration)", R"(#include <stdio.h>
+#include <mpi.h>
+
+double f(double x) {
+    return x * x + 1.0;
+}
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int i;
+    int n = 256;
+    double a = 0.0;
+    double b = 4.0;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    double h = (b - a) / (double)n;
+    int local_n = n / size;
+    double local_a = a + (double)(rank * local_n) * h;
+    double local_b = local_a + (double)local_n * h;
+    double integral;
+    double x;
+    integral = (f(local_a) + f(local_b)) / 2.0;
+    for (i = 1; i < local_n; i++) {
+        x = local_a + (double)i * h;
+        integral += f(x);
+    }
+    integral = integral * h;
+    if (rank != 0) {
+        MPI_Send(&integral, 1, MPI_DOUBLE, 0, 0, MPI_COMM_WORLD);
+    } else {
+        double total = integral;
+        double piece;
+        MPI_Status status;
+        int src;
+        for (src = 1; src < size; src++) {
+            MPI_Recv(&piece, 1, MPI_DOUBLE, src, 0, MPI_COMM_WORLD, &status);
+            total += piece;
+        }
+        printf("integral from %.1f to %.1f = %.8f\n", a, b, total);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)", 4, "integral from 0.0 to 4.0 =", 25.33333333, 0.01, true});
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkProgram>& programs() {
+  static const std::vector<BenchmarkProgram> progs = build_programs();
+  return progs;
+}
+
+const BenchmarkProgram& program_by_name(const std::string& name) {
+  for (const auto& p : programs()) {
+    if (p.name == name) return p;
+  }
+  MR_CHECK(false, "unknown benchmark program: " + name);
+}
+
+ValidationResult validate(const BenchmarkProgram& program,
+                          const std::string& source) {
+  ValidationResult result;
+  mpisim::RunOptions opts;
+  opts.num_ranks = program.ranks;
+  const mpisim::RunResult run = mpisim::run_mpi_source(source, opts);
+  if (!run.ok) {
+    result.detail = run.error;
+    return result;
+  }
+  result.ran = true;
+
+  const std::string output = run.merged_output();
+  const std::size_t pos = output.find(program.expect_key);
+  if (pos == std::string::npos) {
+    result.detail = "expected output key not found: " + program.expect_key;
+    return result;
+  }
+  if (!program.numeric_check) {
+    result.valid = true;
+    return result;
+  }
+  const char* tail = output.c_str() + pos + program.expect_key.size();
+  char* end = nullptr;
+  const double value = std::strtod(tail, &end);
+  if (end == tail) {
+    result.detail = "no numeric value after key";
+    return result;
+  }
+  if (std::fabs(value - program.expect_value) <= program.tolerance) {
+    result.valid = true;
+  } else {
+    result.detail = "value " + std::to_string(value) + " differs from " +
+                    std::to_string(program.expect_value);
+  }
+  return result;
+}
+
+}  // namespace mpirical::benchsuite

@@ -1,0 +1,41 @@
+// The paper's numerical-computation benchmark (Table III): 11 hand-written,
+// fully-runnable MPI C programs with domain decomposition. Each carries a
+// validation oracle (expected output key + numeric value) so the suite can be
+// executed under mpisim and checked end-to-end -- the paper's "compiled and
+// ran the generated programs" evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpisim/runner.hpp"
+
+namespace mpirical::benchsuite {
+
+struct BenchmarkProgram {
+  std::string name;       // Table III row name
+  std::string source;     // complete MPI C program
+  int ranks = 4;
+  std::string expect_key;  // substring preceding the value in the output
+  double expect_value = 0.0;
+  double tolerance = 0.0;
+  bool numeric_check = true;  // false: expect_key substring match only
+};
+
+/// All 11 programs, in Table III order.
+const std::vector<BenchmarkProgram>& programs();
+
+/// Finds a program by Table III name.
+const BenchmarkProgram& program_by_name(const std::string& name);
+
+/// Runs a program's source (or any candidate source claiming to implement
+/// it) under the simulated MPI runtime and applies the validation oracle.
+struct ValidationResult {
+  bool ran = false;        // executed without runtime errors
+  bool valid = false;      // oracle satisfied
+  std::string detail;      // error or mismatch description
+};
+ValidationResult validate(const BenchmarkProgram& program,
+                          const std::string& source);
+
+}  // namespace mpirical::benchsuite

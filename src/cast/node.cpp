@@ -1,0 +1,158 @@
+#include "cast/node.hpp"
+
+#include <functional>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace mpirical::ast {
+
+const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kTranslationUnit: return "translation_unit";
+    case NodeKind::kPreprocDirective: return "preproc_directive";
+    case NodeKind::kFunctionDefinition: return "function_definition";
+    case NodeKind::kParameterList: return "parameter_list";
+    case NodeKind::kParameterDeclaration: return "parameter_declaration";
+    case NodeKind::kTypeSpec: return "type_spec";
+    case NodeKind::kDeclarator: return "declarator";
+    case NodeKind::kDeclaration: return "declaration";
+    case NodeKind::kInitDeclarator: return "init_declarator";
+    case NodeKind::kCompoundStatement: return "compound_statement";
+    case NodeKind::kExpressionStatement: return "expression_statement";
+    case NodeKind::kIfStatement: return "if_statement";
+    case NodeKind::kWhileStatement: return "while_statement";
+    case NodeKind::kDoStatement: return "do_statement";
+    case NodeKind::kForStatement: return "for_statement";
+    case NodeKind::kReturnStatement: return "return_statement";
+    case NodeKind::kBreakStatement: return "break_statement";
+    case NodeKind::kContinueStatement: return "continue_statement";
+    case NodeKind::kSwitchStatement: return "switch_statement";
+    case NodeKind::kCaseStatement: return "case_statement";
+    case NodeKind::kIdentifier: return "identifier";
+    case NodeKind::kNumberLiteral: return "number_literal";
+    case NodeKind::kStringLiteral: return "string_literal";
+    case NodeKind::kCharLiteral: return "char_literal";
+    case NodeKind::kCallExpression: return "call_expression";
+    case NodeKind::kBinaryExpression: return "binary_expression";
+    case NodeKind::kUnaryExpression: return "unary_expression";
+    case NodeKind::kPointerExpression: return "pointer_expression";
+    case NodeKind::kUpdateExpression: return "update_expression";
+    case NodeKind::kAssignmentExpression: return "assignment_expression";
+    case NodeKind::kConditionalExpression: return "conditional_expression";
+    case NodeKind::kCastExpression: return "cast_expression";
+    case NodeKind::kParenthesizedExpression: return "parenthesized_expression";
+    case NodeKind::kSubscriptExpression: return "subscript_expression";
+    case NodeKind::kFieldExpression: return "field_expression";
+    case NodeKind::kSizeofExpression: return "sizeof_expression";
+    case NodeKind::kInitList: return "init_list";
+    case NodeKind::kCommaExpression: return "comma_expression";
+    case NodeKind::kEmptyExpr: return "empty_expr";
+  }
+  return "unknown";
+}
+
+NodePtr make_node(NodeKind kind, std::string text, int line) {
+  return std::make_unique<Node>(kind, std::move(text), line);
+}
+
+NodePtr clone(const Node& node) {
+  auto copy = std::make_unique<Node>();
+  copy->kind = node.kind;
+  copy->line = node.line;
+  copy->text = node.text;
+  copy->aux = node.aux;
+  copy->children.reserve(node.children.size());
+  for (const auto& c : node.children) {
+    MR_ASSERT(c != nullptr);
+    copy->children.push_back(clone(*c));
+  }
+  return copy;
+}
+
+bool structurally_equal(const Node& a, const Node& b) {
+  if (a.kind != b.kind || a.text != b.text || a.aux != b.aux) return false;
+  if (a.children.size() != b.children.size()) return false;
+  for (std::size_t i = 0; i < a.children.size(); ++i) {
+    if (!structurally_equal(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+bool is_statement(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kCompoundStatement:
+    case NodeKind::kExpressionStatement:
+    case NodeKind::kIfStatement:
+    case NodeKind::kWhileStatement:
+    case NodeKind::kDoStatement:
+    case NodeKind::kForStatement:
+    case NodeKind::kReturnStatement:
+    case NodeKind::kBreakStatement:
+    case NodeKind::kContinueStatement:
+    case NodeKind::kSwitchStatement:
+    case NodeKind::kCaseStatement:
+    case NodeKind::kDeclaration:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_expression(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kIdentifier:
+    case NodeKind::kNumberLiteral:
+    case NodeKind::kStringLiteral:
+    case NodeKind::kCharLiteral:
+    case NodeKind::kCallExpression:
+    case NodeKind::kBinaryExpression:
+    case NodeKind::kUnaryExpression:
+    case NodeKind::kPointerExpression:
+    case NodeKind::kUpdateExpression:
+    case NodeKind::kAssignmentExpression:
+    case NodeKind::kConditionalExpression:
+    case NodeKind::kCastExpression:
+    case NodeKind::kParenthesizedExpression:
+    case NodeKind::kSubscriptExpression:
+    case NodeKind::kFieldExpression:
+    case NodeKind::kSizeofExpression:
+    case NodeKind::kInitList:
+    case NodeKind::kCommaExpression:
+    case NodeKind::kEmptyExpr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void visit(const Node& node, const std::function<void(const Node&)>& fn) {
+  fn(node);
+  for (const auto& c : node.children) visit(*c, fn);
+}
+
+std::vector<CallSite> collect_calls(const Node& root) {
+  std::vector<CallSite> out;
+  visit(root, [&](const Node& n) {
+    if (n.kind == NodeKind::kCallExpression) {
+      out.push_back(CallSite{n.text, n.line});
+    }
+  });
+  return out;
+}
+
+std::vector<CallSite> collect_mpi_calls(const Node& root) {
+  std::vector<CallSite> out;
+  for (CallSite& site : collect_calls(root)) {
+    if (starts_with(site.callee, "MPI_")) out.push_back(std::move(site));
+  }
+  return out;
+}
+
+std::size_t node_count(const Node& root) {
+  std::size_t n = 0;
+  visit(root, [&](const Node&) { ++n; });
+  return n;
+}
+
+}  // namespace mpirical::ast

@@ -1,0 +1,162 @@
+// AST node model for the C subset handled by the library.
+//
+// Nodes use a compact generic representation: a kind tag (named after the
+// tree-sitter C grammar, which is what the paper's X-SBT is built from), the
+// source line, a text payload whose meaning depends on the kind (identifier
+// name, literal spelling, operator, type text, ...), a small integer `aux`
+// (pointer depth, prefix/postfix flag, ...), and an ordered child list.
+//
+// Child conventions per kind (documented here, enforced by the parser and
+// relied upon by the printer, X-SBT linearizer and interpreter):
+//
+//   translation_unit        children: top-level items
+//   preproc_directive       text: the whole line ("#include <mpi.h>")
+//   function_definition     children: [type_spec, declarator, parameter_list,
+//                                      compound_statement]
+//   parameter_list          children: parameter_declaration*
+//   parameter_declaration   children: [type_spec, declarator]
+//   type_spec               text: "unsigned long", "MPI_Status", ...
+//   declarator              text: name; aux: pointer depth;
+//                           children: array dimension exprs (empty_expr for [])
+//   declaration             children: [type_spec, init_declarator+]
+//   init_declarator         children: [declarator, initializer?]
+//   compound_statement      children: statements
+//   expression_statement    children: [expr?]
+//   if_statement            children: [cond, then, else?]
+//   while_statement         children: [cond, body]
+//   do_statement            children: [body, cond]
+//   for_statement           children: [init, cond, update, body]
+//                           (init: declaration | expression_statement |
+//                            empty_expr; cond/update: expr | empty_expr)
+//   return_statement        children: [expr?]
+//   break_statement / continue_statement
+//   switch_statement        children: [cond, compound_statement(case*)]
+//   case_statement          text: "case" | "default";
+//                           children: [value?] then body statements
+//   identifier              text: name
+//   number_literal          text: spelling (int or float)
+//   string_literal          text: spelling including quotes
+//   char_literal            text: spelling including quotes
+//   call_expression         text: callee name; children: arguments
+//   binary_expression       text: operator; children: [lhs, rhs]
+//   unary_expression        text: "!" | "-" | "+" | "~"; children: [operand]
+//   pointer_expression      text: "*" | "&"; children: [operand]
+//   update_expression       text: "++" | "--"; aux: 0 prefix / 1 postfix;
+//                           children: [operand]
+//   assignment_expression   text: "=", "+=", ...; children: [lhs, rhs]
+//   conditional_expression  children: [cond, then, else]
+//   cast_expression         text: target type; aux: pointer depth;
+//                           children: [operand]
+//   parenthesized_expression children: [expr]
+//   subscript_expression    children: [base, index]
+//   field_expression        text: field; aux: 0 '.' / 1 '->'; children: [base]
+//   sizeof_expression       text: type (if aux==0) else children: [expr]
+//   init_list               children: initializer exprs
+//   comma_expression        children: [lhs, rhs]
+//   empty_expr              placeholder for omitted for-clauses / dimensions
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mpirical::ast {
+
+enum class NodeKind {
+  kTranslationUnit,
+  kPreprocDirective,
+  kFunctionDefinition,
+  kParameterList,
+  kParameterDeclaration,
+  kTypeSpec,
+  kDeclarator,
+  kDeclaration,
+  kInitDeclarator,
+  kCompoundStatement,
+  kExpressionStatement,
+  kIfStatement,
+  kWhileStatement,
+  kDoStatement,
+  kForStatement,
+  kReturnStatement,
+  kBreakStatement,
+  kContinueStatement,
+  kSwitchStatement,
+  kCaseStatement,
+  kIdentifier,
+  kNumberLiteral,
+  kStringLiteral,
+  kCharLiteral,
+  kCallExpression,
+  kBinaryExpression,
+  kUnaryExpression,
+  kPointerExpression,
+  kUpdateExpression,
+  kAssignmentExpression,
+  kConditionalExpression,
+  kCastExpression,
+  kParenthesizedExpression,
+  kSubscriptExpression,
+  kFieldExpression,
+  kSizeofExpression,
+  kInitList,
+  kCommaExpression,
+  kEmptyExpr,
+};
+
+/// Tree-sitter style grammar name, e.g. "compound_statement". Used by X-SBT.
+const char* node_kind_name(NodeKind kind);
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  NodeKind kind = NodeKind::kEmptyExpr;
+  int line = 0;  // 1-based source line of the node's first token
+  std::string text;
+  int aux = 0;
+  std::vector<NodePtr> children;
+
+  Node() = default;
+  Node(NodeKind k, std::string t = {}, int ln = 0)
+      : kind(k), line(ln), text(std::move(t)) {}
+
+  Node* child(std::size_t i) const { return children[i].get(); }
+  std::size_t child_count() const { return children.size(); }
+  void add(NodePtr c) { children.push_back(std::move(c)); }
+};
+
+NodePtr make_node(NodeKind kind, std::string text = {}, int line = 0);
+
+/// Deep copy.
+NodePtr clone(const Node& node);
+
+/// Structural equality: kind, text, aux, children -- source lines ignored.
+bool structurally_equal(const Node& a, const Node& b);
+
+/// True for statement-level kinds (used by X-SBT and the printer).
+bool is_statement(NodeKind kind);
+
+/// True for expression-level kinds.
+bool is_expression(NodeKind kind);
+
+/// Depth-first pre-order visit; `fn` may not mutate structure.
+void visit(const Node& node, const std::function<void(const Node&)>& fn);
+
+/// A function call site discovered in a tree.
+struct CallSite {
+  std::string callee;
+  int line = 0;  // line of the call expression
+};
+
+/// Collects all call_expression sites in pre-order.
+std::vector<CallSite> collect_calls(const Node& root);
+
+/// Collects call sites whose callee starts with "MPI_".
+std::vector<CallSite> collect_mpi_calls(const Node& root);
+
+/// Number of AST nodes (for stats / sanity checks).
+std::size_t node_count(const Node& root);
+
+}  // namespace mpirical::ast

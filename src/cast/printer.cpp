@@ -1,0 +1,328 @@
+#include "cast/printer.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace mpirical::ast {
+
+namespace {
+
+class Printer {
+ public:
+  std::string render(const Node& root) {
+    out_.str("");
+    if (root.kind == NodeKind::kTranslationUnit) {
+      for (const auto& item : root.children) emit_top_level(*item);
+    } else if (is_statement(root.kind)) {
+      emit_statement(root);
+    } else {
+      out_ << expr(root) << '\n';
+    }
+    return out_.str();
+  }
+
+  std::string expr(const Node& e) {
+    switch (e.kind) {
+      case NodeKind::kIdentifier:
+      case NodeKind::kNumberLiteral:
+      case NodeKind::kStringLiteral:
+      case NodeKind::kCharLiteral:
+        return e.text;
+      case NodeKind::kEmptyExpr:
+        return "";
+      case NodeKind::kCallExpression: {
+        std::string s = e.text + "(";
+        for (std::size_t i = 0; i < e.children.size(); ++i) {
+          if (i > 0) s += ", ";
+          s += expr(*e.children[i]);
+        }
+        return s + ")";
+      }
+      case NodeKind::kBinaryExpression:
+        return expr(*e.child(0)) + " " + e.text + " " + expr(*e.child(1));
+      case NodeKind::kUnaryExpression:
+        return e.text + expr(*e.child(0));
+      case NodeKind::kPointerExpression:
+        return e.text + expr(*e.child(0));
+      case NodeKind::kUpdateExpression:
+        return e.aux == 0 ? e.text + expr(*e.child(0))
+                          : expr(*e.child(0)) + e.text;
+      case NodeKind::kAssignmentExpression:
+        return expr(*e.child(0)) + " " + e.text + " " + expr(*e.child(1));
+      case NodeKind::kConditionalExpression:
+        return expr(*e.child(0)) + " ? " + expr(*e.child(1)) + " : " +
+               expr(*e.child(2));
+      case NodeKind::kCastExpression: {
+        std::string s = "(" + e.text;
+        for (int i = 0; i < e.aux; ++i) s += " *";
+        return s + ")" + expr(*e.child(0));
+      }
+      case NodeKind::kParenthesizedExpression:
+        return "(" + expr(*e.child(0)) + ")";
+      case NodeKind::kSubscriptExpression:
+        return expr(*e.child(0)) + "[" + expr(*e.child(1)) + "]";
+      case NodeKind::kFieldExpression:
+        return expr(*e.child(0)) + (e.aux == 1 ? "->" : ".") + e.text;
+      case NodeKind::kSizeofExpression:
+        if (e.children.empty()) return "sizeof(" + e.text + ")";
+        return "sizeof(" + expr(*e.child(0)) + ")";
+      case NodeKind::kInitList: {
+        std::string s = "{";
+        for (std::size_t i = 0; i < e.children.size(); ++i) {
+          if (i > 0) s += ", ";
+          s += expr(*e.children[i]);
+        }
+        return s + "}";
+      }
+      case NodeKind::kCommaExpression:
+        return expr(*e.child(0)) + ", " + expr(*e.child(1));
+      default:
+        MR_CHECK(false, std::string("not an expression node: ") +
+                            node_kind_name(e.kind));
+    }
+  }
+
+ private:
+  void indent() {
+    for (int i = 0; i < depth_; ++i) out_ << "    ";
+  }
+
+  std::string declarator_text(const Node& d) {
+    MR_ASSERT(d.kind == NodeKind::kDeclarator);
+    std::string s;
+    for (int i = 0; i < d.aux; ++i) s += "*";
+    s += d.text;
+    for (const auto& dim : d.children) {
+      s += "[";
+      s += expr(*dim);
+      s += "]";
+    }
+    return s;
+  }
+
+  std::string declaration_text(const Node& decl) {
+    MR_ASSERT(decl.kind == NodeKind::kDeclaration);
+    std::string s = decl.child(0)->text;  // type_spec
+    s += " ";
+    for (std::size_t i = 1; i < decl.children.size(); ++i) {
+      if (i > 1) s += ", ";
+      const Node& init_decl = *decl.children[i];
+      MR_ASSERT(init_decl.kind == NodeKind::kInitDeclarator);
+      s += declarator_text(*init_decl.child(0));
+      if (init_decl.child_count() == 2) {
+        s += " = ";
+        s += expr(*init_decl.child(1));
+      }
+    }
+    return s + ";";
+  }
+
+  void emit_top_level(const Node& item) {
+    switch (item.kind) {
+      case NodeKind::kPreprocDirective:
+        out_ << item.text << '\n';
+        break;
+      case NodeKind::kFunctionDefinition:
+        emit_function(item);
+        break;
+      case NodeKind::kDeclaration:
+        indent();
+        out_ << declaration_text(item) << '\n';
+        break;
+      default:
+        MR_CHECK(false, std::string("unexpected top-level node: ") +
+                            node_kind_name(item.kind));
+    }
+  }
+
+  void emit_function(const Node& fn) {
+    const Node& type = *fn.child(0);
+    const Node& decl = *fn.child(1);
+    const Node& params = *fn.child(2);
+    const Node& body = *fn.child(3);
+    out_ << type.text << " ";
+    for (int i = 0; i < decl.aux; ++i) out_ << "*";
+    out_ << decl.text << "(";
+    if (params.children.empty()) {
+      out_ << "";
+    }
+    for (std::size_t i = 0; i < params.children.size(); ++i) {
+      if (i > 0) out_ << ", ";
+      const Node& p = *params.children[i];
+      MR_ASSERT(p.kind == NodeKind::kParameterDeclaration);
+      out_ << p.child(0)->text;
+      const Node& pd = *p.child(1);
+      if (!pd.text.empty() || pd.aux > 0 || !pd.children.empty()) {
+        out_ << " " << declarator_text(pd);
+      }
+    }
+    out_ << ") {\n";
+    ++depth_;
+    for (const auto& stmt : body.children) emit_statement(*stmt);
+    --depth_;
+    indent();
+    out_ << "}\n";
+  }
+
+  void emit_block(const Node& stmt) {
+    // Renders `stmt` as a brace-enclosed block body (opening brace already
+    // emitted by the caller on its own header line).
+    if (stmt.kind == NodeKind::kCompoundStatement) {
+      ++depth_;
+      for (const auto& s : stmt.children) emit_statement(*s);
+      --depth_;
+    } else {
+      ++depth_;
+      emit_statement(stmt);
+      --depth_;
+    }
+  }
+
+  void emit_statement(const Node& s) {
+    switch (s.kind) {
+      case NodeKind::kCompoundStatement:
+        indent();
+        out_ << "{\n";
+        ++depth_;
+        for (const auto& c : s.children) emit_statement(*c);
+        --depth_;
+        indent();
+        out_ << "}\n";
+        break;
+      case NodeKind::kDeclaration:
+        indent();
+        out_ << declaration_text(s) << '\n';
+        break;
+      case NodeKind::kExpressionStatement:
+        indent();
+        if (!s.children.empty() &&
+            s.child(0)->kind != NodeKind::kEmptyExpr) {
+          out_ << expr(*s.child(0));
+        }
+        out_ << ";\n";
+        break;
+      case NodeKind::kIfStatement: {
+        indent();
+        out_ << "if (" << expr(*s.child(0)) << ") {\n";
+        emit_block(*s.child(1));
+        if (s.child_count() == 3) {
+          indent();
+          out_ << "} else {\n";
+          emit_block(*s.child(2));
+        }
+        indent();
+        out_ << "}\n";
+        break;
+      }
+      case NodeKind::kWhileStatement:
+        indent();
+        out_ << "while (" << expr(*s.child(0)) << ") {\n";
+        emit_block(*s.child(1));
+        indent();
+        out_ << "}\n";
+        break;
+      case NodeKind::kDoStatement:
+        indent();
+        out_ << "do {\n";
+        emit_block(*s.child(0));
+        indent();
+        out_ << "} while (" << expr(*s.child(1)) << ");\n";
+        break;
+      case NodeKind::kForStatement: {
+        indent();
+        out_ << "for (";
+        const Node& init = *s.child(0);
+        if (init.kind == NodeKind::kDeclaration) {
+          out_ << declaration_text(init);
+        } else if (init.kind == NodeKind::kExpressionStatement) {
+          if (!init.children.empty() &&
+              init.child(0)->kind != NodeKind::kEmptyExpr) {
+            out_ << expr(*init.child(0));
+          }
+          out_ << ";";
+        } else {
+          out_ << ";";
+        }
+        out_ << " ";
+        if (s.child(1)->kind != NodeKind::kEmptyExpr) {
+          out_ << expr(*s.child(1));
+        }
+        out_ << "; ";
+        if (s.child(2)->kind != NodeKind::kEmptyExpr) {
+          out_ << expr(*s.child(2));
+        }
+        out_ << ") {\n";
+        emit_block(*s.child(3));
+        indent();
+        out_ << "}\n";
+        break;
+      }
+      case NodeKind::kReturnStatement:
+        indent();
+        out_ << "return";
+        if (!s.children.empty() &&
+            s.child(0)->kind != NodeKind::kEmptyExpr) {
+          out_ << " " << expr(*s.child(0));
+        }
+        out_ << ";\n";
+        break;
+      case NodeKind::kBreakStatement:
+        indent();
+        out_ << "break;\n";
+        break;
+      case NodeKind::kContinueStatement:
+        indent();
+        out_ << "continue;\n";
+        break;
+      case NodeKind::kSwitchStatement:
+        indent();
+        out_ << "switch (" << expr(*s.child(0)) << ") {\n";
+        ++depth_;
+        for (const auto& c : s.child(1)->children) emit_statement(*c);
+        --depth_;
+        indent();
+        out_ << "}\n";
+        break;
+      case NodeKind::kCaseStatement: {
+        indent();
+        std::size_t body_start = 0;
+        if (s.text == "case") {
+          out_ << "case " << expr(*s.child(0)) << ":\n";
+          body_start = 1;
+        } else {
+          out_ << "default:\n";
+        }
+        ++depth_;
+        for (std::size_t i = body_start; i < s.children.size(); ++i) {
+          emit_statement(*s.children[i]);
+        }
+        --depth_;
+        break;
+      }
+      case NodeKind::kPreprocDirective:
+        out_ << s.text << '\n';
+        break;
+      default:
+        MR_CHECK(false, std::string("unexpected statement node: ") +
+                            node_kind_name(s.kind));
+    }
+  }
+
+  std::ostringstream out_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string print_code(const Node& root) {
+  Printer printer;
+  return printer.render(root);
+}
+
+std::string print_expression(const Node& e) {
+  Printer printer;
+  return printer.expr(e);
+}
+
+}  // namespace mpirical::ast

@@ -1,0 +1,28 @@
+// Standardizing pretty-printer: regenerates C source from an AST.
+//
+// This is the paper's "code standardization" step (Section V-A3): every
+// program is regenerated from its AST with canonical indentation, one
+// statement per line, and no stray blank lines, so that token positions and
+// line numbers are comparable across the corpus and model outputs.
+//
+// Formatting contract (tests rely on it):
+//   * 4-space indentation, braces K&R style ("if (x) {" ... "}")
+//   * exactly one statement per line
+//   * a single space around binary/assignment operators, after commas and
+//     statement keywords; no space between a callee and '('
+//   * compound statements always use braces, even for single statements
+#pragma once
+
+#include <string>
+
+#include "cast/node.hpp"
+
+namespace mpirical::ast {
+
+/// Renders a full translation unit (or any statement subtree).
+std::string print_code(const Node& root);
+
+/// Renders a single expression subtree on one line.
+std::string print_expression(const Node& expr);
+
+}  // namespace mpirical::ast

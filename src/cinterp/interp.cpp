@@ -1,0 +1,814 @@
+#include "cinterp/interp.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace mpirical::interp {
+
+using ast::Node;
+using ast::NodeKind;
+
+Box make_box(std::size_t cells, ValueKind kind) {
+  auto box = std::make_shared<std::vector<Value>>(cells);
+  if (kind == ValueKind::kDouble) {
+    for (auto& v : *box) v = Value::make_double(0.0);
+  }
+  return box;
+}
+
+namespace {
+
+ValueKind kind_of_type(const std::string& type_text) {
+  if (contains(type_text, "double") || contains(type_text, "float")) {
+    return ValueKind::kDouble;
+  }
+  return ValueKind::kInt;
+}
+
+bool is_status_type(const std::string& type_text) {
+  return contains(type_text, "MPI_Status");
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const Node& tu, MpiApi* mpi,
+                         InterpreterOptions options)
+    : tu_(tu), mpi_(mpi), options_(options) {
+  MR_CHECK(tu.kind == NodeKind::kTranslationUnit,
+           "interpreter expects a translation unit");
+  for (const auto& item : tu.children) {
+    if (item->kind == NodeKind::kFunctionDefinition) {
+      functions_[item->text] = item.get();
+    }
+  }
+  constants_ = {
+      {"MPI_COMM_WORLD", Value::make_int(kMpiCommWorld)},
+      {"MPI_INT", Value::make_int(kMpiInt)},
+      {"MPI_LONG", Value::make_int(kMpiLong)},
+      {"MPI_FLOAT", Value::make_int(kMpiFloat)},
+      {"MPI_DOUBLE", Value::make_int(kMpiDouble)},
+      {"MPI_CHAR", Value::make_int(kMpiChar)},
+      {"MPI_SUM", Value::make_int(kMpiSum)},
+      {"MPI_PROD", Value::make_int(kMpiProd)},
+      {"MPI_MIN", Value::make_int(kMpiMin)},
+      {"MPI_MAX", Value::make_int(kMpiMax)},
+      {"MPI_ANY_SOURCE", Value::make_int(kMpiAnySource)},
+      {"MPI_ANY_TAG", Value::make_int(kMpiAnyTag)},
+      {"MPI_SUCCESS", Value::make_int(kMpiSuccess)},
+      {"MPI_STATUS_IGNORE", Value::make_pointer(nullptr, 0)},
+      {"NULL", Value::make_pointer(nullptr, 0)},
+      {"RAND_MAX", Value::make_int(2147483647)},
+  };
+}
+
+void Interpreter::bump_steps() {
+  if (++steps_ > options_.max_steps) {
+    throw Error("interpreter step budget exceeded (possible infinite loop)");
+  }
+}
+
+Cell& Interpreter::define(const std::string& name, Cell cell) {
+  MR_CHECK(!scopes_.empty(), "no active scope");
+  auto& vars = scopes_.back().vars;
+  vars[name] = std::move(cell);
+  return vars[name];
+}
+
+Cell* Interpreter::lookup(const std::string& name) {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->vars.find(name);
+    if (found != it->vars.end()) return &found->second;
+  }
+  return nullptr;
+}
+
+long long Interpreter::run_main() {
+  auto it = functions_.find("main");
+  MR_CHECK(it != functions_.end(), "program has no main function");
+  const Value result = call_function("main", {});
+  return result.as_int();
+}
+
+Value Interpreter::call_function(const std::string& name,
+                                 std::vector<Value> args) {
+  auto it = functions_.find(name);
+  MR_CHECK(it != functions_.end(), "call to undefined function: " + name);
+  const Node& fn = *it->second;
+  MR_CHECK(++depth_ <= options_.max_call_depth, "call depth exceeded");
+
+  scopes_.emplace_back();
+  const Node& params = *fn.child(2);
+  if (name == "main") {
+    // Synthesize argc/argv if declared.
+    if (params.child_count() >= 1) {
+      const Node& p0 = *params.child(0);
+      Box argc_box = make_box(1, ValueKind::kInt);
+      (*argc_box)[0] = Value::make_int(options_.argc);
+      define(p0.child(1)->text, Cell{argc_box, 0});
+    }
+    if (params.child_count() >= 2) {
+      const Node& p1 = *params.child(1);
+      Box argv_box = make_box(1, ValueKind::kInt);
+      (*argv_box)[0] = Value::make_pointer(nullptr, 0);
+      define(p1.child(1)->text, Cell{argv_box, 0});
+    }
+  } else {
+    MR_CHECK(params.child_count() == args.size(),
+             "argument count mismatch calling " + name);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const Node& param = *params.child(i);
+      const Node& decl = *param.child(1);
+      Box box = make_box(1, args[i].kind);
+      (*box)[0] = args[i];
+      define(decl.text, Cell{box, 0});
+    }
+  }
+
+  Value return_value = Value::make_int(0);
+  exec_block(*fn.child(3), &return_value);
+  scopes_.pop_back();
+  --depth_;
+  return return_value;
+}
+
+// ---- builtins ----------------------------------------------------------------
+
+Value Interpreter::call_builtin(const std::string& name,
+                                std::vector<Value>& args, bool* handled) {
+  *handled = true;
+  auto need = [&](std::size_t n) {
+    MR_CHECK(args.size() == n, name + ": wrong argument count");
+  };
+  if (name == "printf") {
+    MR_CHECK(!args.empty(), "printf needs a format string");
+    // The format string value is a pointer whose box holds char codes; we
+    // stored literals as interned strings -- see kStringLiteral eval.
+    MR_CHECK(args[0].kind == ValueKind::kPointer && args[0].box,
+             "printf format must be a string");
+    std::string fmt;
+    for (std::size_t i = static_cast<std::size_t>(args[0].offset);
+         i < args[0].box->size(); ++i) {
+      const long long c = (*args[0].box)[i].i;
+      if (c == 0) break;
+      fmt += static_cast<char>(c);
+    }
+    output_ += format_printf(fmt,
+                             std::vector<Value>(args.begin() + 1, args.end()));
+    return Value::make_int(static_cast<long long>(fmt.size()));
+  }
+  if (name == "sqrt") { need(1); return Value::make_double(std::sqrt(args[0].as_double())); }
+  if (name == "fabs") { need(1); return Value::make_double(std::fabs(args[0].as_double())); }
+  if (name == "abs") { need(1); return Value::make_int(std::llabs(args[0].as_int())); }
+  if (name == "pow") { need(2); return Value::make_double(std::pow(args[0].as_double(), args[1].as_double())); }
+  if (name == "sin") { need(1); return Value::make_double(std::sin(args[0].as_double())); }
+  if (name == "cos") { need(1); return Value::make_double(std::cos(args[0].as_double())); }
+  if (name == "tan") { need(1); return Value::make_double(std::tan(args[0].as_double())); }
+  if (name == "exp") { need(1); return Value::make_double(std::exp(args[0].as_double())); }
+  if (name == "log") { need(1); return Value::make_double(std::log(args[0].as_double())); }
+  if (name == "floor") { need(1); return Value::make_double(std::floor(args[0].as_double())); }
+  if (name == "ceil") { need(1); return Value::make_double(std::ceil(args[0].as_double())); }
+  if (name == "malloc") {
+    need(1);
+    const long long cells = args[0].as_int();
+    MR_CHECK(cells >= 0 && cells < 100'000'000, "malloc size out of range");
+    return Value::make_pointer(
+        make_box(static_cast<std::size_t>(cells), ValueKind::kInt), 0);
+  }
+  if (name == "calloc") {
+    need(2);
+    const long long cells = args[0].as_int() * args[1].as_int();
+    MR_CHECK(cells >= 0 && cells < 100'000'000, "calloc size out of range");
+    return Value::make_pointer(
+        make_box(static_cast<std::size_t>(cells), ValueKind::kInt), 0);
+  }
+  if (name == "free") {
+    need(1);
+    return Value::make_int(0);  // boxes are reference counted
+  }
+  if (name == "exit") {
+    need(1);
+    throw Error("exit(" + std::to_string(args[0].as_int()) + ") called");
+  }
+  if (name == "srand") {
+    need(1);
+    rand_state_ =
+        static_cast<unsigned long long>(args[0].as_int()) * 2 + 1;
+    return Value::make_int(0);
+  }
+  if (name == "rand") {
+    need(0);
+    // Deterministic LCG (same across platforms).
+    rand_state_ = rand_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Value::make_int(
+        static_cast<long long>((rand_state_ >> 33) & 0x7FFFFFFF));
+  }
+  if (starts_with(name, "MPI_")) {
+    MR_CHECK(mpi_ != nullptr,
+             "MPI call '" + name + "' outside an MPI runtime");
+    return mpi_->call(*this, name, args);
+  }
+  *handled = false;
+  return Value::make_int(0);
+}
+
+std::string Interpreter::format_printf(const std::string& format,
+                                       const std::vector<Value>& args) const {
+  std::string out;
+  std::size_t arg_index = 0;
+  for (std::size_t i = 0; i < format.size(); ++i) {
+    const char c = format[i];
+    if (c != '%') {
+      out += c;
+      continue;
+    }
+    if (i + 1 < format.size() && format[i + 1] == '%') {
+      out += '%';
+      ++i;
+      continue;
+    }
+    // Collect the conversion spec.
+    std::string spec = "%";
+    ++i;
+    while (i < format.size() &&
+           (std::isdigit(static_cast<unsigned char>(format[i])) ||
+            format[i] == '.' || format[i] == '-' || format[i] == '+' ||
+            format[i] == 'l')) {
+      spec += format[i];
+      ++i;
+    }
+    MR_CHECK(i < format.size(), "dangling % in printf format");
+    const char conv = format[i];
+    spec += conv;
+    MR_CHECK(arg_index < args.size(), "printf: missing argument");
+    const Value& arg = args[arg_index++];
+    char buf[128];
+    switch (conv) {
+      case 'd':
+      case 'i':
+      case 'u': {
+        // Normalize any length modifier to long long.
+        std::string s2 = spec.substr(0, spec.size() - 1);
+        s2.erase(std::remove(s2.begin(), s2.end(), 'l'), s2.end());
+        s2 += "lld";
+        std::snprintf(buf, sizeof(buf), s2.c_str(), arg.as_int());
+        out += buf;
+        break;
+      }
+      case 'f':
+      case 'e':
+      case 'g': {
+        std::string s2 = spec;
+        s2.erase(std::remove(s2.begin(), s2.end(), 'l'), s2.end());
+        std::snprintf(buf, sizeof(buf), s2.c_str(), arg.as_double());
+        out += buf;
+        break;
+      }
+      case 'c':
+        out += static_cast<char>(arg.as_int());
+        break;
+      case 's': {
+        MR_CHECK(arg.kind == ValueKind::kPointer && arg.box,
+                 "printf %s requires a string");
+        for (std::size_t j = static_cast<std::size_t>(arg.offset);
+             j < arg.box->size(); ++j) {
+          const long long ch = (*arg.box)[j].i;
+          if (ch == 0) break;
+          out += static_cast<char>(ch);
+        }
+        break;
+      }
+      default:
+        MR_CHECK(false, std::string("unsupported printf conversion %") + conv);
+    }
+  }
+  return out;
+}
+
+// ---- expressions ----------------------------------------------------------------
+
+Value Interpreter::eval(const Node& e) {
+  bump_steps();
+  switch (e.kind) {
+    case NodeKind::kNumberLiteral: {
+      const std::string& t = e.text;
+      if (contains(t, ".") || contains(t, "e") || contains(t, "E")) {
+        if (!starts_with(t, "0x") && !starts_with(t, "0X")) {
+          return Value::make_double(std::stod(t));
+        }
+      }
+      // Strip integer suffixes.
+      std::string digits = t;
+      while (!digits.empty() &&
+             (digits.back() == 'l' || digits.back() == 'L' ||
+              digits.back() == 'u' || digits.back() == 'U')) {
+        digits.pop_back();
+      }
+      return Value::make_int(std::stoll(digits, nullptr, 0));
+    }
+    case NodeKind::kStringLiteral: {
+      // Decode escapes into a char box with a trailing NUL.
+      const std::string& t = e.text;
+      auto box = make_box(0, ValueKind::kInt);
+      box->reserve(t.size());
+      for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+        char c = t[i];
+        if (c == '\\' && i + 2 < t.size()) {
+          ++i;
+          switch (t[i]) {
+            case 'n': c = '\n'; break;
+            case 't': c = '\t'; break;
+            case 'r': c = '\r'; break;
+            case '0': c = '\0'; break;
+            case '\\': c = '\\'; break;
+            case '"': c = '"'; break;
+            case '\'': c = '\''; break;
+            default: c = t[i]; break;
+          }
+        }
+        box->push_back(Value::make_int(c));
+      }
+      box->push_back(Value::make_int(0));
+      return Value::make_pointer(box, 0);
+    }
+    case NodeKind::kCharLiteral: {
+      const std::string& t = e.text;
+      MR_CHECK(t.size() >= 3, "bad char literal");
+      char c = t[1];
+      if (c == '\\' && t.size() >= 4) {
+        switch (t[2]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '\'': c = '\''; break;
+          default: c = t[2]; break;
+        }
+      }
+      return Value::make_int(c);
+    }
+    case NodeKind::kIdentifier: {
+      // Array variables store their decayed pointer in the variable cell, so
+      // plain value lookup covers scalars, pointers and arrays alike.
+      if (Cell* cell = lookup(e.text)) return cell->deref();
+      auto it = constants_.find(e.text);
+      if (it != constants_.end()) return it->second;
+      // Array variables are stored as pointer values in their cell, so a
+      // miss here is a genuine unknown identifier.
+      throw Error("undefined identifier: " + e.text);
+    }
+    case NodeKind::kParenthesizedExpression:
+      return eval(*e.child(0));
+    case NodeKind::kCallExpression: {
+      std::vector<Value> args;
+      args.reserve(e.child_count());
+      for (const auto& a : e.children) args.push_back(eval(*a));
+      bool handled = false;
+      Value result = call_builtin(e.text, args, &handled);
+      if (handled) return result;
+      return call_function(e.text, std::move(args));
+    }
+    case NodeKind::kBinaryExpression: {
+      const std::string& op = e.text;
+      if (op == "&&") {
+        if (!eval(*e.child(0)).truthy()) return Value::make_int(0);
+        return Value::make_int(eval(*e.child(1)).truthy() ? 1 : 0);
+      }
+      if (op == "||") {
+        if (eval(*e.child(0)).truthy()) return Value::make_int(1);
+        return Value::make_int(eval(*e.child(1)).truthy() ? 1 : 0);
+      }
+      Value lhs = eval(*e.child(0));
+      Value rhs = eval(*e.child(1));
+      // Pointer arithmetic.
+      if (lhs.kind == ValueKind::kPointer && (op == "+" || op == "-")) {
+        if (rhs.kind == ValueKind::kPointer && op == "-") {
+          return Value::make_int(lhs.offset - rhs.offset);
+        }
+        const long long delta = rhs.as_int();
+        return Value::make_pointer(lhs.box,
+                                   op == "+" ? lhs.offset + delta
+                                             : lhs.offset - delta);
+      }
+      const bool dbl = lhs.kind == ValueKind::kDouble ||
+                       rhs.kind == ValueKind::kDouble;
+      if (op == "+") {
+        return dbl ? Value::make_double(lhs.as_double() + rhs.as_double())
+                   : Value::make_int(lhs.as_int() + rhs.as_int());
+      }
+      if (op == "-") {
+        return dbl ? Value::make_double(lhs.as_double() - rhs.as_double())
+                   : Value::make_int(lhs.as_int() - rhs.as_int());
+      }
+      if (op == "*") {
+        return dbl ? Value::make_double(lhs.as_double() * rhs.as_double())
+                   : Value::make_int(lhs.as_int() * rhs.as_int());
+      }
+      if (op == "/") {
+        if (dbl) {
+          return Value::make_double(lhs.as_double() / rhs.as_double());
+        }
+        MR_CHECK(rhs.as_int() != 0, "integer division by zero");
+        return Value::make_int(lhs.as_int() / rhs.as_int());
+      }
+      if (op == "%") {
+        MR_CHECK(rhs.as_int() != 0, "modulo by zero");
+        return Value::make_int(lhs.as_int() % rhs.as_int());
+      }
+      if (op == "<<") return Value::make_int(lhs.as_int() << rhs.as_int());
+      if (op == ">>") return Value::make_int(lhs.as_int() >> rhs.as_int());
+      if (op == "&") return Value::make_int(lhs.as_int() & rhs.as_int());
+      if (op == "|") return Value::make_int(lhs.as_int() | rhs.as_int());
+      if (op == "^") return Value::make_int(lhs.as_int() ^ rhs.as_int());
+      auto cmp = [&](auto pred) {
+        if (dbl) return Value::make_int(pred(lhs.as_double(), rhs.as_double()) ? 1 : 0);
+        return Value::make_int(pred(lhs.as_int(), rhs.as_int()) ? 1 : 0);
+      };
+      if (op == "<") return cmp([](auto a, auto b) { return a < b; });
+      if (op == ">") return cmp([](auto a, auto b) { return a > b; });
+      if (op == "<=") return cmp([](auto a, auto b) { return a <= b; });
+      if (op == ">=") return cmp([](auto a, auto b) { return a >= b; });
+      if (op == "==") return cmp([](auto a, auto b) { return a == b; });
+      if (op == "!=") return cmp([](auto a, auto b) { return a != b; });
+      throw Error("unsupported binary operator: " + op);
+    }
+    case NodeKind::kUnaryExpression: {
+      Value v = eval(*e.child(0));
+      if (e.text == "-") {
+        return v.kind == ValueKind::kDouble ? Value::make_double(-v.d)
+                                            : Value::make_int(-v.as_int());
+      }
+      if (e.text == "+") return v;
+      if (e.text == "!") return Value::make_int(v.truthy() ? 0 : 1);
+      if (e.text == "~") return Value::make_int(~v.as_int());
+      throw Error("unsupported unary operator: " + e.text);
+    }
+    case NodeKind::kPointerExpression: {
+      if (e.text == "&") {
+        Cell cell = eval_lvalue(*e.child(0));
+        return Value::make_pointer(cell.box, cell.offset);
+      }
+      // Dereference.
+      Value p = eval(*e.child(0));
+      MR_CHECK(p.kind == ValueKind::kPointer, "dereference of non-pointer");
+      return Cell{p.box, p.offset}.deref();
+    }
+    case NodeKind::kUpdateExpression: {
+      Cell cell = eval_lvalue(*e.child(0));
+      Value old = cell.deref();
+      const long long delta = e.text == "++" ? 1 : -1;
+      Value updated =
+          old.kind == ValueKind::kDouble
+              ? Value::make_double(old.d + static_cast<double>(delta))
+              : (old.kind == ValueKind::kPointer
+                     ? Value::make_pointer(old.box, old.offset + delta)
+                     : Value::make_int(old.i + delta));
+      cell.deref() = updated;
+      return e.aux == 1 ? old : updated;  // postfix returns the old value
+    }
+    case NodeKind::kAssignmentExpression: {
+      Cell cell = eval_lvalue(*e.child(0));
+      Value rhs = eval(*e.child(1));
+      const std::string& op = e.text;
+      if (op != "=") {
+        // Compound: rewrite as lhs = lhs <op> rhs.
+        Value lhs = cell.deref();
+        const std::string base = op.substr(0, op.size() - 1);
+        const bool dbl = lhs.kind == ValueKind::kDouble ||
+                         rhs.kind == ValueKind::kDouble;
+        if (base == "+") {
+          rhs = dbl ? Value::make_double(lhs.as_double() + rhs.as_double())
+                    : Value::make_int(lhs.as_int() + rhs.as_int());
+        } else if (base == "-") {
+          rhs = dbl ? Value::make_double(lhs.as_double() - rhs.as_double())
+                    : Value::make_int(lhs.as_int() - rhs.as_int());
+        } else if (base == "*") {
+          rhs = dbl ? Value::make_double(lhs.as_double() * rhs.as_double())
+                    : Value::make_int(lhs.as_int() * rhs.as_int());
+        } else if (base == "/") {
+          if (dbl) {
+            rhs = Value::make_double(lhs.as_double() / rhs.as_double());
+          } else {
+            MR_CHECK(rhs.as_int() != 0, "integer division by zero");
+            rhs = Value::make_int(lhs.as_int() / rhs.as_int());
+          }
+        } else if (base == "%") {
+          MR_CHECK(rhs.as_int() != 0, "modulo by zero");
+          rhs = Value::make_int(lhs.as_int() % rhs.as_int());
+        } else if (base == "&") {
+          rhs = Value::make_int(lhs.as_int() & rhs.as_int());
+        } else if (base == "|") {
+          rhs = Value::make_int(lhs.as_int() | rhs.as_int());
+        } else if (base == "^") {
+          rhs = Value::make_int(lhs.as_int() ^ rhs.as_int());
+        } else if (base == "<<") {
+          rhs = Value::make_int(lhs.as_int() << rhs.as_int());
+        } else if (base == ">>") {
+          rhs = Value::make_int(lhs.as_int() >> rhs.as_int());
+        } else {
+          MR_CHECK(false, "unsupported compound assignment: " + op);
+        }
+        // Preserve the declared kind of the target where sensible.
+        if (lhs.kind == ValueKind::kDouble && rhs.kind == ValueKind::kInt) {
+          rhs = Value::make_double(static_cast<double>(rhs.i));
+        }
+      } else {
+        // Plain assignment coerces into the target's current kind.
+        const Value& current = cell.deref();
+        if (current.kind == ValueKind::kDouble &&
+            rhs.kind == ValueKind::kInt) {
+          rhs = Value::make_double(static_cast<double>(rhs.i));
+        } else if (current.kind == ValueKind::kInt &&
+                   rhs.kind == ValueKind::kDouble) {
+          rhs = Value::make_int(static_cast<long long>(rhs.d));
+        }
+      }
+      cell.deref() = rhs;
+      return rhs;
+    }
+    case NodeKind::kConditionalExpression:
+      return eval(*e.child(0)).truthy() ? eval(*e.child(1))
+                                        : eval(*e.child(2));
+    case NodeKind::kCastExpression: {
+      Value v = eval(*e.child(0));
+      if (e.aux > 0) {
+        // Pointer casts are identity on the address, but `(double *)` over a
+        // fresh (all-zero int) allocation retypes its cells -- this is how
+        // `(double *)malloc(...)` gets double elements in the cell-addressed
+        // model.
+        if (v.kind == ValueKind::kPointer && v.box &&
+            kind_of_type(e.text) == ValueKind::kDouble) {
+          for (auto& cell : *v.box) {
+            if (cell.kind == ValueKind::kInt && cell.i == 0) {
+              cell = Value::make_double(0.0);
+            }
+          }
+        }
+        return v;
+      }
+      const ValueKind target = kind_of_type(e.text);
+      if (contains(e.text, "void")) return v;
+      if (target == ValueKind::kDouble) {
+        return Value::make_double(v.as_double());
+      }
+      return Value::make_int(v.as_int());
+    }
+    case NodeKind::kSubscriptExpression: {
+      Cell cell = eval_lvalue(e);
+      return cell.deref();
+    }
+    case NodeKind::kFieldExpression: {
+      Cell cell = eval_lvalue(e);
+      return cell.deref();
+    }
+    case NodeKind::kSizeofExpression:
+      return Value::make_int(1);  // cell-addressed memory (see value.hpp)
+    case NodeKind::kCommaExpression: {
+      eval(*e.child(0));
+      return eval(*e.child(1));
+    }
+    case NodeKind::kEmptyExpr:
+      return Value::make_int(1);
+    default:
+      MR_CHECK(false, std::string("cannot evaluate node: ") +
+                          ast::node_kind_name(e.kind));
+  }
+}
+
+Cell Interpreter::eval_lvalue(const Node& e) {
+  bump_steps();
+  switch (e.kind) {
+    case NodeKind::kIdentifier: {
+      Cell* cell = lookup(e.text);
+      MR_CHECK(cell != nullptr, "undefined identifier: " + e.text);
+      return *cell;
+    }
+    case NodeKind::kParenthesizedExpression:
+      return eval_lvalue(*e.child(0));
+    case NodeKind::kSubscriptExpression: {
+      Value base = eval(*e.child(0));
+      MR_CHECK(base.kind == ValueKind::kPointer,
+               "subscript of non-pointer value");
+      const long long idx = eval(*e.child(1)).as_int();
+      return Cell{base.box, base.offset + idx};
+    }
+    case NodeKind::kPointerExpression: {
+      MR_CHECK(e.text == "*", "cannot take lvalue of address-of");
+      Value p = eval(*e.child(0));
+      MR_CHECK(p.kind == ValueKind::kPointer, "dereference of non-pointer");
+      return Cell{p.box, p.offset};
+    }
+    case NodeKind::kFieldExpression: {
+      // MPI_Status fields: MPI_SOURCE at cell 0, MPI_TAG at cell 1.
+      Cell base = e.aux == 1
+                      ? [&] {
+                          Value p = eval(*e.child(0));
+                          MR_CHECK(p.kind == ValueKind::kPointer,
+                                   "-> on non-pointer");
+                          return Cell{p.box, p.offset};
+                        }()
+                      : eval_lvalue(*e.child(0));
+      long long field_offset = 0;
+      if (e.text == "MPI_SOURCE") {
+        field_offset = 0;
+      } else if (e.text == "MPI_TAG") {
+        field_offset = 1;
+      } else if (e.text == "MPI_ERROR") {
+        field_offset = 2;
+      } else {
+        MR_CHECK(false, "unsupported struct field: " + e.text);
+      }
+      return Cell{base.box, base.offset + field_offset};
+    }
+    default:
+      MR_CHECK(false, std::string("not an lvalue: ") +
+                          ast::node_kind_name(e.kind));
+  }
+}
+
+// ---- statements -----------------------------------------------------------------
+
+void Interpreter::exec_declaration(const Node& decl) {
+  const Node& type = *decl.child(0);
+  for (std::size_t i = 1; i < decl.children.size(); ++i) {
+    const Node& init_decl = *decl.children[i];
+    const Node& declarator = *init_decl.child(0);
+    const bool is_status = is_status_type(type.text);
+    const ValueKind kind = kind_of_type(type.text);
+
+    if (!declarator.children.empty()) {
+      // Array: evaluate dimensions (multi-dim arrays flatten).
+      long long cells = 1;
+      for (const auto& dim : declarator.children) {
+        MR_CHECK(dim->kind != NodeKind::kEmptyExpr,
+                 "array dimension required: " + declarator.text);
+        cells *= eval(*dim).as_int();
+      }
+      MR_CHECK(cells > 0 && cells < 100'000'000, "array size out of range");
+      Box box = make_box(static_cast<std::size_t>(cells), kind);
+      // The variable's own cell holds the decayed pointer.
+      Box holder = make_box(1, ValueKind::kInt);
+      (*holder)[0] = Value::make_pointer(box, 0);
+      define(declarator.text, Cell{holder, 0});
+      if (init_decl.child_count() == 2 &&
+          init_decl.child(1)->kind == NodeKind::kInitList) {
+        const Node& list = *init_decl.child(1);
+        for (std::size_t j = 0;
+             j < list.children.size() &&
+             j < static_cast<std::size_t>(cells);
+             ++j) {
+          Value v = eval(*list.children[j]);
+          (*box)[j] = kind == ValueKind::kDouble
+                          ? Value::make_double(v.as_double())
+                          : v;
+        }
+      }
+      continue;
+    }
+
+    if (is_status && declarator.aux == 0) {
+      // A status struct is a 3-cell box (SOURCE, TAG, ERROR); the variable's
+      // cell refers to its first field, so &status addresses the box and
+      // status.MPI_TAG offsets within it.
+      Box box = make_box(3, ValueKind::kInt);
+      define(declarator.text, Cell{box, 0});
+      continue;
+    }
+
+    Box box = make_box(1, declarator.aux > 0 ? ValueKind::kInt : kind);
+    if (declarator.aux > 0) (*box)[0] = Value::make_pointer(nullptr, 0);
+    if (init_decl.child_count() == 2) {
+      Value v = eval(*init_decl.child(1));
+      if (declarator.aux == 0) {
+        if (kind == ValueKind::kDouble && v.kind != ValueKind::kDouble) {
+          v = Value::make_double(v.as_double());
+        } else if (kind == ValueKind::kInt &&
+                   v.kind == ValueKind::kDouble) {
+          v = Value::make_int(v.as_int());
+        }
+      }
+      (*box)[0] = v;
+    }
+    define(declarator.text, Cell{box, 0});
+  }
+}
+
+Interpreter::Flow Interpreter::exec_block(const Node& block,
+                                          Value* return_value) {
+  scopes_.emplace_back();
+  Flow flow = Flow::kNormal;
+  for (const auto& stmt : block.children) {
+    flow = exec(*stmt, return_value);
+    if (flow != Flow::kNormal) break;
+  }
+  scopes_.pop_back();
+  return flow;
+}
+
+Interpreter::Flow Interpreter::exec(const Node& s, Value* return_value) {
+  bump_steps();
+  switch (s.kind) {
+    case NodeKind::kCompoundStatement:
+      return exec_block(s, return_value);
+    case NodeKind::kDeclaration:
+      exec_declaration(s);
+      return Flow::kNormal;
+    case NodeKind::kExpressionStatement:
+      if (!s.children.empty()) eval(*s.child(0));
+      return Flow::kNormal;
+    case NodeKind::kIfStatement: {
+      if (eval(*s.child(0)).truthy()) {
+        return exec(*s.child(1), return_value);
+      }
+      if (s.child_count() == 3) return exec(*s.child(2), return_value);
+      return Flow::kNormal;
+    }
+    case NodeKind::kWhileStatement: {
+      while (eval(*s.child(0)).truthy()) {
+        const Flow flow = exec(*s.child(1), return_value);
+        if (flow == Flow::kBreak) break;
+        if (flow == Flow::kReturn) return flow;
+      }
+      return Flow::kNormal;
+    }
+    case NodeKind::kDoStatement: {
+      do {
+        const Flow flow = exec(*s.child(0), return_value);
+        if (flow == Flow::kBreak) break;
+        if (flow == Flow::kReturn) return flow;
+      } while (eval(*s.child(1)).truthy());
+      return Flow::kNormal;
+    }
+    case NodeKind::kForStatement: {
+      scopes_.emplace_back();
+      const Node& init = *s.child(0);
+      if (init.kind == NodeKind::kDeclaration) {
+        exec_declaration(init);
+      } else if (init.kind == NodeKind::kExpressionStatement &&
+                 !init.children.empty()) {
+        eval(*init.child(0));
+      }
+      Flow result = Flow::kNormal;
+      for (;;) {
+        if (s.child(1)->kind != NodeKind::kEmptyExpr &&
+            !eval(*s.child(1)).truthy()) {
+          break;
+        }
+        const Flow flow = exec(*s.child(3), return_value);
+        if (flow == Flow::kBreak) break;
+        if (flow == Flow::kReturn) {
+          result = flow;
+          break;
+        }
+        if (s.child(2)->kind != NodeKind::kEmptyExpr) eval(*s.child(2));
+      }
+      scopes_.pop_back();
+      return result;
+    }
+    case NodeKind::kReturnStatement: {
+      if (!s.children.empty()) {
+        *return_value = eval(*s.child(0));
+      } else {
+        *return_value = Value::make_int(0);
+      }
+      return Flow::kReturn;
+    }
+    case NodeKind::kBreakStatement:
+      return Flow::kBreak;
+    case NodeKind::kContinueStatement:
+      return Flow::kContinue;
+    case NodeKind::kSwitchStatement: {
+      const long long v = eval(*s.child(0)).as_int();
+      const Node& body = *s.child(1);
+      bool matched = false;
+      for (const auto& case_stmt : body.children) {
+        if (!matched) {
+          if (case_stmt->text == "default") {
+            matched = true;
+          } else if (eval(*case_stmt->child(0)).as_int() == v) {
+            matched = true;
+          }
+        }
+        if (matched) {
+          const std::size_t begin = case_stmt->text == "case" ? 1 : 0;
+          for (std::size_t i = begin; i < case_stmt->children.size(); ++i) {
+            const Flow flow = exec(*case_stmt->children[i], return_value);
+            if (flow == Flow::kBreak) return Flow::kNormal;
+            if (flow == Flow::kReturn) return flow;
+          }
+        }
+      }
+      return Flow::kNormal;
+    }
+    case NodeKind::kPreprocDirective:
+      return Flow::kNormal;
+    default:
+      MR_CHECK(false, std::string("cannot execute node: ") +
+                          ast::node_kind_name(s.kind));
+  }
+}
+
+}  // namespace mpirical::interp

@@ -1,0 +1,106 @@
+// Tree-walking interpreter for the C subset produced by the corpus generator
+// and the numerical benchmark suite.
+//
+// Supports: int/long/char and float/double scalars, fixed arrays, malloc/free
+// (cell-addressed; see value.hpp), pointers, all the statement forms the
+// parser accepts, printf (captured into a per-instance buffer), the libm
+// functions numerical codes use, and rand/srand as a deterministic LCG.
+//
+// MPI calls are delegated to an MpiApi implementation (mpisim provides the
+// multi-rank one); with a null MpiApi, any MPI call raises an error -- which
+// is itself useful, as it makes "this program still needs its MPI calls"
+// observable to tests.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cast/node.hpp"
+#include "cinterp/value.hpp"
+
+namespace mpirical::interp {
+
+class Interpreter;
+
+/// Interface the MPI runtime implements; receives evaluated arguments.
+class MpiApi {
+ public:
+  virtual ~MpiApi() = default;
+  virtual Value call(Interpreter& interp, const std::string& name,
+                     std::vector<Value>& args) = 0;
+};
+
+struct InterpreterOptions {
+  long long max_steps = 200'000'000;  // statement/expression budget
+  int max_call_depth = 200;
+  int argc = 1;
+};
+
+class Interpreter {
+ public:
+  /// `tu` must outlive the interpreter. `mpi` may be null (serial programs).
+  Interpreter(const ast::Node& tu, MpiApi* mpi,
+              InterpreterOptions options = {});
+
+  /// Runs main(); returns its exit code.
+  long long run_main();
+
+  /// Everything printf produced.
+  const std::string& output() const { return output_; }
+
+  /// Appends to the captured output (used by MPI builtins like Abort).
+  void append_output(const std::string& text) { output_ += text; }
+
+ private:
+  struct Scope {
+    std::unordered_map<std::string, Cell> vars;
+  };
+
+  enum class Flow { kNormal, kBreak, kContinue, kReturn };
+
+  void bump_steps();
+  Cell& define(const std::string& name, Cell cell);
+  Cell* lookup(const std::string& name);
+
+  Value call_function(const std::string& name, std::vector<Value> args);
+  Value call_builtin(const std::string& name, std::vector<Value>& args,
+                     bool* handled);
+
+  Value eval(const ast::Node& e);
+  Cell eval_lvalue(const ast::Node& e);
+  Flow exec(const ast::Node& s, Value* return_value);
+  Flow exec_block(const ast::Node& block, Value* return_value);
+  void exec_declaration(const ast::Node& decl);
+
+  std::string format_printf(const std::string& format,
+                            const std::vector<Value>& args) const;
+
+  const ast::Node& tu_;
+  MpiApi* mpi_;
+  InterpreterOptions options_;
+  std::unordered_map<std::string, const ast::Node*> functions_;
+  std::vector<Scope> scopes_;
+  std::unordered_map<std::string, Value> constants_;
+  std::string output_;
+  long long steps_ = 0;
+  int depth_ = 0;
+  unsigned long long rand_state_ = 1;
+};
+
+// MPI constant tags shared between the interpreter and the runtime.
+inline constexpr long long kMpiCommWorld = 91;
+inline constexpr long long kMpiInt = 1;
+inline constexpr long long kMpiLong = 2;
+inline constexpr long long kMpiFloat = 3;
+inline constexpr long long kMpiDouble = 4;
+inline constexpr long long kMpiChar = 5;
+inline constexpr long long kMpiSum = 11;
+inline constexpr long long kMpiProd = 12;
+inline constexpr long long kMpiMin = 13;
+inline constexpr long long kMpiMax = 14;
+inline constexpr long long kMpiAnySource = -1;
+inline constexpr long long kMpiAnyTag = -1;
+inline constexpr long long kMpiSuccess = 0;
+
+}  // namespace mpirical::interp

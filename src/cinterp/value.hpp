@@ -1,0 +1,100 @@
+// Runtime value model for the C interpreter.
+//
+// Every variable lives in a heap "box" (a shared vector of cells): scalars
+// are 1-cell boxes, arrays are N-cell boxes, and MPI_Status is a 2-cell box
+// (MPI_SOURCE, MPI_TAG). A pointer is a (box, offset) pair, which makes
+// address-of, array decay, pointer arithmetic and malloc uniform.
+//
+// sizeof(...) evaluates to 1: the interpreter is cell-addressed, not
+// byte-addressed, so `malloc(n * sizeof(double))` allocates n cells. This is
+// the only deliberate divergence from C semantics and is what all corpus and
+// benchmark programs rely on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace mpirical::interp {
+
+struct Value;
+using Box = std::shared_ptr<std::vector<Value>>;
+
+enum class ValueKind { kInt, kDouble, kPointer };
+
+struct Value {
+  ValueKind kind = ValueKind::kInt;
+  long long i = 0;
+  double d = 0.0;
+  Box box;          // pointer target (null for null pointers)
+  long long offset = 0;
+
+  static Value make_int(long long v) {
+    Value out;
+    out.kind = ValueKind::kInt;
+    out.i = v;
+    return out;
+  }
+  static Value make_double(double v) {
+    Value out;
+    out.kind = ValueKind::kDouble;
+    out.d = v;
+    return out;
+  }
+  static Value make_pointer(Box box, long long offset) {
+    Value out;
+    out.kind = ValueKind::kPointer;
+    out.box = std::move(box);
+    out.offset = offset;
+    return out;
+  }
+
+  bool is_null_pointer() const {
+    return kind == ValueKind::kPointer && box == nullptr;
+  }
+
+  double as_double() const {
+    switch (kind) {
+      case ValueKind::kInt: return static_cast<double>(i);
+      case ValueKind::kDouble: return d;
+      case ValueKind::kPointer: MR_CHECK(false, "pointer used as number");
+    }
+    return 0.0;
+  }
+  long long as_int() const {
+    switch (kind) {
+      case ValueKind::kInt: return i;
+      case ValueKind::kDouble: return static_cast<long long>(d);
+      case ValueKind::kPointer: MR_CHECK(false, "pointer used as integer");
+    }
+    return 0;
+  }
+  bool truthy() const {
+    switch (kind) {
+      case ValueKind::kInt: return i != 0;
+      case ValueKind::kDouble: return d != 0.0;
+      case ValueKind::kPointer: return box != nullptr;
+    }
+    return false;
+  }
+};
+
+/// An lvalue: a cell inside a box.
+struct Cell {
+  Box box;
+  long long offset = 0;
+
+  Value& deref() const {
+    MR_CHECK(box != nullptr, "null pointer dereference");
+    MR_CHECK(offset >= 0 &&
+                 offset < static_cast<long long>(box->size()),
+             "out-of-bounds access at offset " + std::to_string(offset));
+    return (*box)[static_cast<std::size_t>(offset)];
+  }
+};
+
+Box make_box(std::size_t cells, ValueKind kind);
+
+}  // namespace mpirical::interp

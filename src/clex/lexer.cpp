@@ -1,0 +1,323 @@
+#include "clex/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace mpirical::lex {
+
+namespace {
+
+const std::unordered_set<std::string>& keyword_set() {
+  static const std::unordered_set<std::string> kw = {
+      "auto",     "break",    "case",     "char",   "const",    "continue",
+      "default",  "do",       "double",   "else",   "enum",     "extern",
+      "float",    "for",      "goto",     "if",     "inline",   "int",
+      "long",     "register", "restrict", "return", "short",    "signed",
+      "sizeof",   "static",   "struct",   "switch", "typedef",  "union",
+      "unsigned", "void",     "volatile", "while",
+  };
+  return kw;
+}
+
+// Multi-character punctuators, longest first so maximal munch works.
+constexpr std::array<const char*, 19> kPunct3Plus = {
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=",
+};
+constexpr std::array<const char*, 6> kPunct2Extra = {"&=", "|=", "^=",
+                                                     "##", "::", "//"};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool match(std::string_view s) {
+    if (src_.substr(pos_, s.size()) != s) return false;
+    for (std::size_t i = 0; i < s.size(); ++i) advance();
+    return true;
+  }
+
+  int line() const { return line_; }
+  int column() const { return col_; }
+  std::size_t pos() const { return pos_; }
+  std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "lex error at line " << line_ << ", column " << col_ << ": " << msg;
+    throw Error(os.str());
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+void skip_line_comment(Cursor& cur) {
+  while (!cur.done() && cur.peek() != '\n') cur.advance();
+}
+
+void skip_block_comment(Cursor& cur) {
+  // Caller consumed "/*".
+  while (!cur.done()) {
+    if (cur.peek() == '*' && cur.peek(1) == '/') {
+      cur.advance();
+      cur.advance();
+      return;
+    }
+    cur.advance();
+  }
+  cur.fail("unterminated block comment");
+}
+
+Token lex_directive(Cursor& cur) {
+  Token tok;
+  tok.kind = TokenKind::kDirective;
+  tok.line = cur.line();
+  tok.column = cur.column();
+  const std::size_t start = cur.pos();
+  // A directive runs to end of line; backslash-newline continues it.
+  while (!cur.done()) {
+    if (cur.peek() == '\\' && cur.peek(1) == '\n') {
+      cur.advance();
+      cur.advance();
+      continue;
+    }
+    if (cur.peek() == '\n') break;
+    cur.advance();
+  }
+  tok.text = std::string(cur.slice(start));
+  // Trim trailing carriage return if present.
+  while (!tok.text.empty() &&
+         (tok.text.back() == '\r' || tok.text.back() == ' ')) {
+    tok.text.pop_back();
+  }
+  return tok;
+}
+
+Token lex_number(Cursor& cur) {
+  Token tok;
+  tok.line = cur.line();
+  tok.column = cur.column();
+  const std::size_t start = cur.pos();
+  bool is_float = false;
+
+  if (cur.peek() == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+    cur.advance();
+    cur.advance();
+    while (std::isxdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
+    if (cur.peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(cur.peek(1)))) {
+      is_float = true;
+      cur.advance();
+      while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+        cur.advance();
+      }
+    } else if (cur.peek() == '.' &&
+               !std::isalpha(static_cast<unsigned char>(cur.peek(1)))) {
+      is_float = true;
+      cur.advance();
+    }
+    if (cur.peek() == 'e' || cur.peek() == 'E') {
+      const char sign = cur.peek(1);
+      const char digit = (sign == '+' || sign == '-') ? cur.peek(2) : sign;
+      if (std::isdigit(static_cast<unsigned char>(digit))) {
+        is_float = true;
+        cur.advance();  // e
+        if (sign == '+' || sign == '-') cur.advance();
+        while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+          cur.advance();
+        }
+      }
+    }
+  }
+  // Suffixes: integer (u/l combos) or float (f/l).
+  while (std::isalpha(static_cast<unsigned char>(cur.peek()))) {
+    const char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(cur.peek())));
+    if (c == 'u' || c == 'l') {
+      cur.advance();
+    } else if (c == 'f' && is_float) {
+      cur.advance();
+    } else if (c == 'f' && !is_float) {
+      // "0f" style is not valid C; stop and let the parser complain if needed.
+      break;
+    } else {
+      break;
+    }
+  }
+  tok.text = std::string(cur.slice(start));
+  tok.kind = is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral;
+  return tok;
+}
+
+Token lex_quoted(Cursor& cur, char quote) {
+  Token tok;
+  tok.kind = quote == '"' ? TokenKind::kStringLiteral : TokenKind::kCharLiteral;
+  tok.line = cur.line();
+  tok.column = cur.column();
+  const std::size_t start = cur.pos();
+  cur.advance();  // opening quote
+  while (!cur.done()) {
+    const char c = cur.peek();
+    if (c == '\n') cur.fail("unterminated literal");
+    if (c == '\\') {
+      cur.advance();
+      if (cur.done()) cur.fail("unterminated escape");
+      cur.advance();
+      continue;
+    }
+    cur.advance();
+    if (c == quote) {
+      tok.text = std::string(cur.slice(start));
+      return tok;
+    }
+  }
+  cur.fail("unterminated literal");
+}
+
+Token lex_word(Cursor& cur) {
+  Token tok;
+  tok.line = cur.line();
+  tok.column = cur.column();
+  const std::size_t start = cur.pos();
+  while (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+         cur.peek() == '_') {
+    cur.advance();
+  }
+  tok.text = std::string(cur.slice(start));
+  tok.kind = is_c_keyword(tok.text) ? TokenKind::kKeyword
+                                    : TokenKind::kIdentifier;
+  return tok;
+}
+
+Token lex_punct(Cursor& cur) {
+  Token tok;
+  tok.kind = TokenKind::kPunct;
+  tok.line = cur.line();
+  tok.column = cur.column();
+  for (const char* p : kPunct3Plus) {
+    if (cur.match(p)) {
+      tok.text = p;
+      return tok;
+    }
+  }
+  for (const char* p : kPunct2Extra) {
+    if (cur.match(p)) {
+      tok.text = p;
+      return tok;
+    }
+  }
+  const char c = cur.peek();
+  static const std::string kSingles = "+-*/%=<>!&|^~?:;,.()[]{}";
+  if (kSingles.find(c) != std::string::npos) {
+    cur.advance();
+    tok.text = std::string(1, c);
+    return tok;
+  }
+  cur.fail(std::string("unexpected character '") + c + "'");
+}
+
+}  // namespace
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kIntLiteral: return "int_literal";
+    case TokenKind::kFloatLiteral: return "float_literal";
+    case TokenKind::kStringLiteral: return "string_literal";
+    case TokenKind::kCharLiteral: return "char_literal";
+    case TokenKind::kPunct: return "punct";
+    case TokenKind::kDirective: return "directive";
+    case TokenKind::kEndOfFile: return "eof";
+  }
+  return "unknown";
+}
+
+bool is_c_keyword(const std::string& word) {
+  return keyword_set().count(word) > 0;
+}
+
+std::vector<Token> tokenize(std::string_view source) {
+  Cursor cur(source);
+  std::vector<Token> out;
+  bool at_line_start = true;
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      if (c == '\n') at_line_start = true;
+      cur.advance();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '/') {
+      skip_line_comment(cur);
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.advance();
+      cur.advance();
+      skip_block_comment(cur);
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      out.push_back(lex_directive(cur));
+      continue;
+    }
+    at_line_start = false;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+      out.push_back(lex_number(cur));
+    } else if (c == '"' || c == '\'') {
+      out.push_back(lex_quoted(cur, c));
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(lex_word(cur));
+    } else {
+      out.push_back(lex_punct(cur));
+    }
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEndOfFile;
+  eof.line = cur.line();
+  eof.column = cur.column();
+  out.push_back(eof);
+  return out;
+}
+
+std::size_t code_token_count(const std::vector<Token>& tokens) {
+  std::size_t n = 0;
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kDirective && t.kind != TokenKind::kEndOfFile) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace mpirical::lex

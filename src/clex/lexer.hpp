@@ -1,0 +1,25 @@
+// C lexer.
+//
+// Produces a flat token stream with 1-based source locations. Preprocessor
+// lines are captured as single kDirective tokens (the parser passes them
+// through verbatim, matching how the paper's pipeline treats headers).
+// Comments are skipped. Malformed input (unterminated string/comment, stray
+// byte) raises mpirical::Error with the offending location.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clex/token.hpp"
+
+namespace mpirical::lex {
+
+/// Lexes a full C translation unit into tokens (terminated by kEndOfFile).
+std::vector<Token> tokenize(std::string_view source);
+
+/// Number of tokens excluding directives and the EOF marker. This is the
+/// "token count" used by the paper's 320-token exclusion criterion.
+std::size_t code_token_count(const std::vector<Token>& tokens);
+
+}  // namespace mpirical::lex

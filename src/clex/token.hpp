@@ -1,0 +1,41 @@
+// Token model for the C lexer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpirical::lex {
+
+enum class TokenKind {
+  kIdentifier,    // foo, MPI_Init, my_var
+  kKeyword,       // if, while, int, return, ...
+  kIntLiteral,    // 42, 0x1F, 100000L
+  kFloatLiteral,  // 3.14, 1e-6, .5f
+  kStringLiteral, // "hello\n" (text keeps the quotes)
+  kCharLiteral,   // 'a' (text keeps the quotes)
+  kPunct,         // operators and punctuation: + - -> ( ) { } ; ...
+  kDirective,     // whole preprocessor line: #include <mpi.h>
+  kEndOfFile,
+};
+
+const char* token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;  // exact source spelling
+  int line = 0;      // 1-based
+  int column = 0;    // 1-based
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool is_punct(const char* s) const {
+    return kind == TokenKind::kPunct && text == s;
+  }
+  bool is_keyword(const char* s) const {
+    return kind == TokenKind::kKeyword && text == s;
+  }
+};
+
+/// The C keywords recognized by the lexer (C99 subset used by MPI codes).
+bool is_c_keyword(const std::string& word);
+
+}  // namespace mpirical::lex

@@ -1,0 +1,100 @@
+#include "core/align.hpp"
+
+#include "support/check.hpp"
+#include "toklib/vocab.hpp"
+
+namespace mpirical::core {
+
+namespace {
+
+/// LCS match flags for `label` against `input`: out[j] = true when label
+/// token j is matched to an input token (in an LCS of the two streams).
+std::vector<bool> lcs_match_flags(const std::vector<std::string>& input,
+                                  const std::vector<std::string>& label) {
+  const std::size_t n = input.size();
+  const std::size_t m = label.size();
+  // DP table; sizes here are a few hundred tokens, so O(n*m) is fine.
+  std::vector<std::vector<int>> dp(n + 1, std::vector<int>(m + 1, 0));
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (input[i - 1] == label[j - 1]) {
+        dp[i][j] = dp[i - 1][j - 1] + 1;
+      } else {
+        dp[i][j] = std::max(dp[i - 1][j], dp[i][j - 1]);
+      }
+    }
+  }
+  std::vector<bool> matched(m, false);
+  std::size_t i = n;
+  std::size_t j = m;
+  while (i > 0 && j > 0) {
+    if (input[i - 1] == label[j - 1] &&
+        dp[i][j] == dp[i - 1][j - 1] + 1) {
+      matched[j - 1] = true;
+      --i;
+      --j;
+    } else if (dp[i - 1][j] >= dp[i][j - 1]) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  return matched;
+}
+
+}  // namespace
+
+SlotLabels compute_insertion_slots(const corpus::Example& example) {
+  const auto input_tokens = tok::code_to_tokens(example.input_code);
+  const auto label_tokens = tok::code_to_tokens(example.label_code);
+  const auto matched = lcs_match_flags(input_tokens, label_tokens);
+
+  SlotLabels out;
+  for (const auto& t : input_tokens) {
+    if (t == "[NL]") ++out.num_input_lines;
+  }
+  // The token stream has no trailing [NL] for the final line.
+  ++out.num_input_lines;
+
+  // For each label line, the slot where it begins = number of *matched*
+  // input [NL] tokens seen before that line's first token.
+  std::vector<int> slot_of_label_line;  // 1-based label line -> slot
+  slot_of_label_line.push_back(0);      // line 0 unused
+  int matched_nl = 0;
+  int label_line = 1;
+  slot_of_label_line.push_back(matched_nl);  // line 1 starts at slot 0
+  for (std::size_t j = 0; j < label_tokens.size(); ++j) {
+    if (label_tokens[j] == "[NL]") {
+      if (matched[j]) ++matched_nl;
+      ++label_line;
+      slot_of_label_line.push_back(matched_nl);
+    }
+  }
+  (void)label_line;
+
+  for (const auto& call : example.ground_truth) {
+    const std::size_t line = static_cast<std::size_t>(call.line);
+    MR_CHECK(line >= 1 && line < slot_of_label_line.size(),
+             "ground-truth call line out of range");
+    out.inserts[slot_of_label_line[line]].push_back(call.callee);
+  }
+  return out;
+}
+
+std::vector<ast::CallSite> slots_to_call_sites(
+    const std::map<int, std::vector<std::string>>& inserts) {
+  std::vector<ast::CallSite> out;
+  int shift = 0;
+  for (const auto& [slot, functions] : inserts) {
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+      ast::CallSite site;
+      site.callee = functions[i];
+      site.line = slot + shift + static_cast<int>(i) + 1;
+      out.push_back(site);
+    }
+    shift += static_cast<int>(functions.size());
+  }
+  return out;
+}
+
+}  // namespace mpirical::core

@@ -1,0 +1,40 @@
+// Token alignment between an input (MPI-free) program and its label (full
+// MPI) program.
+//
+// Because removal only deletes whole statements/initializers, the input token
+// stream is a subsequence of the label token stream. An LCS alignment
+// recovers where the removed chunks sit relative to the surviving code; this
+// gives each removed MPI call an "insertion slot": the input line after which
+// it belongs. The slot view is the paper's classification framing of the
+// task (RQ2: given a location, does an MPI call go here, and which one --
+// RQ1), and is what the Tagger baseline trains on.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cast/node.hpp"
+#include "corpus/dataset.hpp"
+
+namespace mpirical::core {
+
+struct SlotLabels {
+  int num_input_lines = 0;
+  // slot k (0-based line count; k = after input line k, 0 = before line 1)
+  // -> ordered list of MPI functions inserted there.
+  std::map<int, std::vector<std::string>> inserts;
+};
+
+/// Derives insertion slots for an example by LCS-aligning input and label
+/// token streams and dropping each ground-truth call into the slot where its
+/// label line begins.
+SlotLabels compute_insertion_slots(const corpus::Example& example);
+
+/// Reconstructs label-coordinate call sites from slot predictions by
+/// replaying the insertions: a call inserted after input line k lands at
+/// label line k + (lines inserted so far) + 1.
+std::vector<ast::CallSite> slots_to_call_sites(
+    const std::map<int, std::vector<std::string>>& inserts);
+
+}  // namespace mpirical::core

@@ -1,0 +1,84 @@
+#include "core/evaluate.hpp"
+
+#include <mutex>
+
+#include "cparse/parser.hpp"
+#include "mpidb/catalog.hpp"
+#include "support/thread_pool.hpp"
+#include "toklib/vocab.hpp"
+
+namespace mpirical::core {
+
+EvalSummary evaluate_one(const MpiRical& model, const corpus::Example& ex,
+                         int beam_width, int line_tolerance,
+                         ExamplePrediction* prediction) {
+  EvalSummary summary;
+  summary.examples = 1;
+
+  const std::string predicted =
+      model.translate(ex.input_code, ex.input_xsbt, beam_width);
+
+  ExamplePrediction pred;
+  pred.predicted_code = predicted;
+  try {
+    const auto tree = parse::parse_translation_unit(predicted);
+    pred.predicted_calls = ast::collect_mpi_calls(*tree);
+    pred.parsed = true;
+  } catch (const Error&) {
+    pred.parsed = false;  // unparseable prediction scores zero matches
+  }
+
+  summary.m_counts = metrics::match_call_sites(pred.predicted_calls,
+                                               ex.ground_truth,
+                                               line_tolerance);
+  summary.mcc_counts = metrics::match_call_sites_filtered(
+      pred.predicted_calls, ex.ground_truth, line_tolerance,
+      [](const std::string& f) { return mpidb::is_common_core(f); });
+
+  const auto cand = tok::code_to_tokens(predicted);
+  const auto ref = tok::code_to_tokens(ex.label_code);
+  summary.bleu = metrics::bleu(cand, ref);
+  summary.meteor = metrics::meteor(cand, ref);
+  summary.rouge_l = metrics::rouge_l(cand, ref);
+  summary.acc = metrics::exact_match(cand, ref) ? 1.0 : 0.0;
+
+  if (prediction) *prediction = std::move(pred);
+  return summary;
+}
+
+EvalSummary evaluate_model(const MpiRical& model,
+                           const std::vector<corpus::Example>& split,
+                           int beam_width, int line_tolerance,
+                           std::vector<ExamplePrediction>* predictions) {
+  EvalSummary total;
+  if (predictions) predictions->assign(split.size(), {});
+  std::mutex mu;
+  parallel_for(
+      0, split.size(),
+      [&](std::size_t i) {
+        ExamplePrediction pred;
+        const EvalSummary one =
+            evaluate_one(model, split[i], beam_width, line_tolerance, &pred);
+        std::lock_guard<std::mutex> lock(mu);
+        total.m_counts += one.m_counts;
+        total.mcc_counts += one.mcc_counts;
+        total.bleu += one.bleu;
+        total.meteor += one.meteor;
+        total.rouge_l += one.rouge_l;
+        total.acc += one.acc;
+        ++total.examples;
+        if (predictions) (*predictions)[i] = std::move(pred);
+      },
+      /*grain=*/1);
+
+  if (total.examples > 0) {
+    const double n = static_cast<double>(total.examples);
+    total.bleu /= n;
+    total.meteor /= n;
+    total.rouge_l /= n;
+    total.acc /= n;
+  }
+  return total;
+}
+
+}  // namespace mpirical::core

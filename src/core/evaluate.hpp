@@ -1,0 +1,45 @@
+// End-to-end evaluation of MPI-RICAL on a dataset split -- produces every
+// number Table II reports (M-*/MCC-* classification scores with one-line
+// tolerance, BLEU, METEOR, ROUGE-L, exact-match ACC) plus per-example
+// predictions for inspection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "corpus/dataset.hpp"
+#include "metrics/metrics.hpp"
+
+namespace mpirical::core {
+
+struct EvalSummary {
+  metrics::PrfCounts m_counts;    // all MPI functions (M-*)
+  metrics::PrfCounts mcc_counts;  // Common Core only (MCC-*)
+  double bleu = 0.0;
+  double meteor = 0.0;
+  double rouge_l = 0.0;
+  double acc = 0.0;  // whole-sequence exact match rate
+  std::size_t examples = 0;
+};
+
+struct ExamplePrediction {
+  std::string predicted_code;
+  std::vector<ast::CallSite> predicted_calls;
+  bool parsed = false;
+};
+
+/// Translates every example in `split` (greedy when beam_width <= 1) and
+/// aggregates the Table II metrics. Parallelizes across examples.
+EvalSummary evaluate_model(const MpiRical& model,
+                           const std::vector<corpus::Example>& split,
+                           int beam_width = 1, int line_tolerance = 1,
+                           std::vector<ExamplePrediction>* predictions =
+                               nullptr);
+
+/// Single-example scoring, exposed for tests and the Table III bench.
+EvalSummary evaluate_one(const MpiRical& model, const corpus::Example& ex,
+                         int beam_width = 1, int line_tolerance = 1,
+                         ExamplePrediction* prediction = nullptr);
+
+}  // namespace mpirical::core

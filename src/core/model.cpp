@@ -1,0 +1,340 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "cast/printer.hpp"
+#include "cparse/parser.hpp"
+#include "mpidb/catalog.hpp"
+#include "nn/adam.hpp"
+#include "nn/infer.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+#include "tensor/tensor.hpp"
+#include "xsbt/xsbt.hpp"
+
+namespace mpirical::core {
+
+using tensor::Tensor;
+
+namespace {
+
+/// Splits an X-SBT string into its tag tokens.
+std::vector<std::string> xsbt_tokens_of(const std::string& xsbt) {
+  std::vector<std::string> out;
+  std::istringstream is(xsbt);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+MpiRical MpiRical::create(const corpus::Dataset& dataset,
+                          const ModelConfig& config) {
+  MpiRical m;
+  m.config_ = config;
+
+  // Vocabulary: training-split code tokens (inputs and labels), X-SBT tags,
+  // and every catalogued MPI routine name.
+  for (const auto& ex : dataset.train) {
+    for (const auto& t : tok::code_to_tokens(ex.input_code)) m.vocab_.add(t);
+    for (const auto& t : tok::code_to_tokens(ex.label_code)) m.vocab_.add(t);
+    for (const auto& t : xsbt_tokens_of(ex.input_xsbt)) m.vocab_.add(t);
+  }
+  for (const auto& routine : mpidb::all_routines()) m.vocab_.add(routine.name);
+
+  nn::TransformerConfig tcfg;
+  tcfg.vocab_size = static_cast<int>(m.vocab_.size());
+  tcfg.d_model = config.d_model;
+  tcfg.heads = config.heads;
+  tcfg.ffn_dim = config.ffn_dim;
+  tcfg.encoder_layers = config.encoder_layers;
+  tcfg.decoder_layers = config.decoder_layers;
+  tcfg.max_len = std::max(config.max_src_tokens, config.max_tgt_tokens) + 8;
+  tcfg.dropout = config.dropout;
+
+  Rng rng(config.seed);
+  m.model_ = nn::Transformer(tcfg, rng);
+  return m;
+}
+
+std::vector<tok::TokenId> MpiRical::encode_source(
+    const std::string& input_code, const std::string& input_xsbt) const {
+  std::vector<tok::TokenId> src =
+      tok::encode(vocab_, tok::code_to_tokens(input_code));
+  if (config_.use_xsbt) {
+    src.push_back(tok::kSep);
+    for (const auto& t : xsbt_tokens_of(input_xsbt)) {
+      src.push_back(vocab_.id_of(t));
+    }
+  }
+  if (static_cast<int>(src.size()) > config_.max_src_tokens) {
+    src.resize(static_cast<std::size_t>(config_.max_src_tokens));
+  }
+  return src;
+}
+
+bool MpiRical::encode_example(const corpus::Example& ex, Encoded& out) const {
+  out.src = encode_source(ex.input_code, ex.input_xsbt);
+  out.tgt = tok::encode(vocab_, tok::code_to_tokens(ex.label_code));
+  // +1 accounts for the [EOS] appended to the target.
+  if (static_cast<int>(out.tgt.size()) + 1 > config_.max_tgt_tokens) {
+    return false;
+  }
+  return !out.src.empty() && !out.tgt.empty();
+}
+
+namespace {
+
+struct Batch {
+  std::vector<int> src_ids;   // [B * src_len]
+  std::vector<int> src_lens;  // valid lengths per element
+  int src_len = 0;
+  std::vector<int> tgt_in;    // [B * tgt_len] ([SOS] + tokens)
+  std::vector<int> tgt_out;   // [B * tgt_len] (tokens + [EOS]), PAD elsewhere
+  std::vector<int> tgt_lens;
+  int tgt_len = 0;
+  int batch = 0;
+};
+
+template <typename EncodedT>
+Batch pack_batch(const std::vector<EncodedT>& examples,
+                 const std::vector<std::size_t>& indices) {
+  Batch b;
+  b.batch = static_cast<int>(indices.size());
+  for (std::size_t idx : indices) {
+    b.src_len = std::max(b.src_len,
+                         static_cast<int>(examples[idx].src.size()));
+    b.tgt_len = std::max(b.tgt_len,
+                         static_cast<int>(examples[idx].tgt.size()) + 1);
+  }
+  b.src_ids.assign(static_cast<std::size_t>(b.batch) * b.src_len, tok::kPad);
+  b.tgt_in.assign(static_cast<std::size_t>(b.batch) * b.tgt_len, tok::kPad);
+  b.tgt_out.assign(static_cast<std::size_t>(b.batch) * b.tgt_len, tok::kPad);
+  for (std::size_t bi = 0; bi < indices.size(); ++bi) {
+    const auto& ex = examples[indices[bi]];
+    b.src_lens.push_back(static_cast<int>(ex.src.size()));
+    b.tgt_lens.push_back(static_cast<int>(ex.tgt.size()) + 1);
+    for (std::size_t i = 0; i < ex.src.size(); ++i) {
+      b.src_ids[bi * b.src_len + i] = ex.src[i];
+    }
+    b.tgt_in[bi * b.tgt_len] = tok::kSos;
+    for (std::size_t i = 0; i < ex.tgt.size(); ++i) {
+      b.tgt_in[bi * b.tgt_len + i + 1] = ex.tgt[i];
+      b.tgt_out[bi * b.tgt_len + i] = ex.tgt[i];
+    }
+    b.tgt_out[bi * b.tgt_len + ex.tgt.size()] = tok::kEos;
+  }
+  return b;
+}
+
+}  // namespace
+
+double MpiRical::run_epoch(std::vector<Encoded>& encoded, nn::Adam& opt,
+                           Rng& rng) {
+  std::vector<std::size_t> order(encoded.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  const std::size_t bs = static_cast<std::size_t>(config_.batch_size);
+  for (std::size_t begin = 0; begin < order.size(); begin += bs) {
+    const std::size_t end = std::min(order.size(), begin + bs);
+    std::vector<std::size_t> indices(order.begin() + begin,
+                                     order.begin() + end);
+    Batch batch = pack_batch(encoded, indices);
+
+    Tensor enc = model_.encode(batch.src_ids, batch.batch, batch.src_len,
+                               batch.src_lens, /*training=*/true, rng);
+    Tensor logits = model_.decode(enc, batch.tgt_in, batch.batch,
+                                  batch.tgt_len, batch.tgt_lens, batch.src_len,
+                                  batch.src_lens, /*training=*/true, rng);
+    Tensor loss = tensor::cross_entropy(logits, batch.tgt_out, tok::kPad);
+    loss.backward();
+    opt.step();
+
+    loss_sum += loss.item();
+    ++batches;
+  }
+  return batches == 0 ? 0.0 : loss_sum / static_cast<double>(batches);
+}
+
+std::pair<double, double> MpiRical::evaluate_split(
+    const std::vector<corpus::Example>& split) const {
+  std::vector<Encoded> encoded;
+  for (const auto& ex : split) {
+    Encoded e;
+    if (encode_example(ex, e)) encoded.push_back(std::move(e));
+  }
+  if (encoded.empty()) return {0.0, 0.0};
+
+  Rng rng(0);
+  double loss_sum = 0.0;
+  double acc_sum = 0.0;
+  std::size_t batches = 0;
+  const std::size_t bs = static_cast<std::size_t>(config_.batch_size);
+  for (std::size_t begin = 0; begin < encoded.size(); begin += bs) {
+    const std::size_t end = std::min(encoded.size(), begin + bs);
+    std::vector<std::size_t> indices;
+    for (std::size_t i = begin; i < end; ++i) indices.push_back(i);
+    Batch batch = pack_batch(encoded, indices);
+    Tensor enc = model_.encode(batch.src_ids, batch.batch, batch.src_len,
+                               batch.src_lens, /*training=*/false, rng);
+    Tensor logits = model_.decode(enc, batch.tgt_in, batch.batch,
+                                  batch.tgt_len, batch.tgt_lens, batch.src_len,
+                                  batch.src_lens, /*training=*/false, rng);
+    Tensor loss = tensor::cross_entropy(logits, batch.tgt_out, tok::kPad);
+    loss_sum += loss.item();
+    acc_sum += tensor::accuracy(logits, batch.tgt_out, tok::kPad);
+    ++batches;
+  }
+  const double denom = static_cast<double>(std::max<std::size_t>(batches, 1));
+  return {loss_sum / denom, acc_sum / denom};
+}
+
+std::vector<EpochLog> MpiRical::train(
+    const corpus::Dataset& dataset,
+    const std::function<void(const EpochLog&)>& on_epoch) {
+  std::vector<Encoded> encoded;
+  encoded.reserve(dataset.train.size());
+  for (const auto& ex : dataset.train) {
+    Encoded e;
+    if (encode_example(ex, e)) encoded.push_back(std::move(e));
+  }
+  MR_CHECK(!encoded.empty(), "no trainable examples after encoding");
+
+  nn::AdamConfig acfg;
+  acfg.lr = config_.lr;
+  acfg.warmup_steps = config_.warmup_steps;
+  nn::Adam opt(model_.parameters(), acfg);
+  Rng rng(config_.seed ^ 0xABCDEF1234567890ULL);
+
+  std::vector<EpochLog> logs;
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    Timer timer;
+    EpochLog log;
+    log.epoch = epoch;
+    log.train_loss = run_epoch(encoded, opt, rng);
+    const auto [val_loss, val_acc] = evaluate_split(dataset.val);
+    log.val_loss = val_loss;
+    log.val_token_accuracy = val_acc;
+    log.seconds = timer.seconds();
+    logs.push_back(log);
+    if (on_epoch) on_epoch(log);
+  }
+  return logs;
+}
+
+std::string MpiRical::translate(const std::string& input_code,
+                                const std::string& input_xsbt,
+                                int beam_width) const {
+  const std::vector<tok::TokenId> src = encode_source(input_code, input_xsbt);
+  MR_CHECK(!src.empty(), "empty source after encoding");
+  std::vector<int> ids;
+  if (beam_width <= 1) {
+    ids = nn::greedy_decode(model_, src, tok::kSos, tok::kEos,
+                            config_.max_tgt_tokens);
+  } else {
+    ids = nn::beam_decode(model_, src, tok::kSos, tok::kEos,
+                          config_.max_tgt_tokens, beam_width);
+  }
+  return tok::tokens_to_code(tok::decode(vocab_, ids));
+}
+
+std::vector<Suggestion> MpiRical::suggest(const std::string& serial_code,
+                                          std::string* predicted_code,
+                                          int beam_width) const {
+  // Standardize the user's code and derive its X-SBT, as the training
+  // pipeline does.
+  ast::NodePtr tree = parse::parse_translation_unit(serial_code);
+  const std::string standardized = ast::print_code(*tree);
+  ast::NodePtr reparsed = parse::parse_translation_unit(standardized);
+  const std::string xsbt = xsbt::xsbt_string(*reparsed);
+
+  const std::string predicted = translate(standardized, xsbt, beam_width);
+  if (predicted_code) *predicted_code = predicted;
+
+  // Parse the prediction to extract MPI call sites. A malformed prediction
+  // yields no suggestions rather than an error.
+  try {
+    ast::NodePtr pred_tree = parse::parse_translation_unit(predicted);
+    return ast::collect_mpi_calls(*pred_tree);
+  } catch (const Error&) {
+    return {};
+  }
+}
+
+// ---- persistence -------------------------------------------------------------
+
+namespace {
+void put_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint64_t get_u64(const std::string& in, std::size_t& pos) {
+  MR_CHECK(pos + sizeof(std::uint64_t) <= in.size(), "checkpoint truncated");
+  std::uint64_t v;
+  std::memcpy(&v, in.data() + pos, sizeof(v));
+  pos += sizeof(v);
+  return v;
+}
+}  // namespace
+
+std::string MpiRical::serialize() const {
+  std::string out;
+  // Config (plain struct copy of POD fields).
+  out.append(reinterpret_cast<const char*>(&config_), sizeof(config_));
+  const std::string vocab_data = vocab_.serialize();
+  put_u64(out, vocab_data.size());
+  out += vocab_data;
+  const std::string model_data = model_.serialize();
+  put_u64(out, model_data.size());
+  out += model_data;
+  return out;
+}
+
+MpiRical MpiRical::deserialize(const std::string& data) {
+  MpiRical m;
+  std::size_t pos = 0;
+  MR_CHECK(data.size() >= sizeof(ModelConfig), "checkpoint too small");
+  std::memcpy(&m.config_, data.data(), sizeof(ModelConfig));
+  pos += sizeof(ModelConfig);
+  const std::uint64_t vocab_size = get_u64(data, pos);
+  MR_CHECK(pos + vocab_size <= data.size(), "checkpoint truncated (vocab)");
+  m.vocab_ = tok::Vocab::deserialize(data.substr(pos, vocab_size));
+  pos += vocab_size;
+  const std::uint64_t model_size = get_u64(data, pos);
+  MR_CHECK(pos + model_size <= data.size(), "checkpoint truncated (model)");
+  m.model_ = nn::Transformer::deserialize(data.substr(pos, model_size));
+  pos += model_size;
+  MR_CHECK(pos == data.size(), "trailing bytes in model checkpoint");
+  return m;
+}
+
+void MpiRical::save(const std::string& path) const {
+  write_file(path, serialize());
+}
+
+MpiRical MpiRical::load(const std::string& path) {
+  return deserialize(read_file(path));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MR_CHECK(in.good(), "cannot open file for reading: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  MR_CHECK(out.good(), "cannot open file for writing: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  MR_CHECK(out.good(), "failed writing file: " + path);
+}
+
+}  // namespace mpirical::core

@@ -1,0 +1,119 @@
+// MPI-RICAL: the paper's primary contribution.
+//
+// A sequence-to-sequence "translation" model: the encoder reads the MPI-free
+// program followed by [SEP] and its X-SBT linearization; the decoder emits
+// the full MPI program (same code with MPI calls inserted at the right
+// lines). Suggestions -- (function, line) pairs -- are extracted from the
+// decoded program by parsing it and collecting MPI call sites.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cast/node.hpp"
+#include "corpus/dataset.hpp"
+#include "nn/adam.hpp"
+#include "nn/transformer.hpp"
+#include "toklib/vocab.hpp"
+
+namespace mpirical::core {
+
+struct ModelConfig {
+  int d_model = 96;
+  int heads = 4;
+  int ffn_dim = 192;
+  int encoder_layers = 2;
+  int decoder_layers = 2;
+  float dropout = 0.05f;
+
+  int max_src_tokens = 288;  // code [SEP] X-SBT (X-SBT truncated to fit)
+  int max_tgt_tokens = 256;
+  bool use_xsbt = true;      // ablation switch (bench_ablation_xsbt)
+
+  int batch_size = 16;
+  int epochs = 5;
+  float lr = 1e-3f;
+  int warmup_steps = 60;
+  std::uint64_t seed = 1234;
+};
+
+/// One (function, line) recommendation in label-code coordinates.
+using Suggestion = ast::CallSite;
+
+struct EpochLog {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_loss = 0.0;
+  double val_token_accuracy = 0.0;
+  double seconds = 0.0;
+};
+
+class MpiRical {
+ public:
+  MpiRical() = default;
+
+  /// Builds the vocabulary over the training split (plus the MPI catalog so
+  /// every routine name is representable) and initializes the transformer.
+  static MpiRical create(const corpus::Dataset& dataset,
+                         const ModelConfig& config);
+
+  /// Trains on dataset.train, evaluating dataset.val each epoch.
+  /// `on_epoch` (optional) observes progress.
+  std::vector<EpochLog> train(
+      const corpus::Dataset& dataset,
+      const std::function<void(const EpochLog&)>& on_epoch = nullptr);
+
+  /// Translates an MPI-free program into a predicted MPI program.
+  /// `beam_width` 1 = greedy.
+  std::string translate(const std::string& input_code,
+                        const std::string& input_xsbt,
+                        int beam_width = 1) const;
+
+  /// End-to-end assistance: standardizes `serial_code`, derives its X-SBT,
+  /// translates, and extracts MPI call suggestions. Also returns the
+  /// predicted program via `predicted_code` when non-null.
+  std::vector<Suggestion> suggest(const std::string& serial_code,
+                                  std::string* predicted_code = nullptr,
+                                  int beam_width = 1) const;
+
+  /// Teacher-forced validation loss/accuracy on a split (no dropout).
+  std::pair<double, double> evaluate_split(
+      const std::vector<corpus::Example>& split) const;
+
+  const tok::Vocab& vocab() const { return vocab_; }
+  const nn::Transformer& transformer() const { return model_; }
+  const ModelConfig& config() const { return config_; }
+
+  /// Checkpoint I/O (config + vocab + weights).
+  std::string serialize() const;
+  static MpiRical deserialize(const std::string& data);
+  void save(const std::string& path) const;
+  static MpiRical load(const std::string& path);
+
+  /// Builds the encoder token-id sequence for an example (exposed for the
+  /// tagger and tests): code tokens, [SEP], X-SBT tokens, truncated to
+  /// max_src_tokens.
+  std::vector<tok::TokenId> encode_source(const std::string& input_code,
+                                          const std::string& input_xsbt) const;
+
+ private:
+  struct Encoded {
+    std::vector<tok::TokenId> src;
+    std::vector<tok::TokenId> tgt;  // label tokens, no [SOS]/[EOS]
+  };
+
+  bool encode_example(const corpus::Example& ex, Encoded& out) const;
+  double run_epoch(std::vector<Encoded>& encoded, nn::Adam& opt, Rng& rng);
+
+  ModelConfig config_;
+  tok::Vocab vocab_;
+  nn::Transformer model_;
+};
+
+/// Reads/writes a file as a string (shared by checkpoint callers).
+std::string read_file(const std::string& path);
+void write_file(const std::string& path, const std::string& data);
+
+}  // namespace mpirical::core

@@ -1,0 +1,244 @@
+#include "core/tagger.hpp"
+
+#include <algorithm>
+
+#include "core/align.hpp"
+#include "nn/adam.hpp"
+#include "support/check.hpp"
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mpirical::core {
+
+using tensor::Tensor;
+
+namespace {
+constexpr int kNoneLabel = 0;
+}
+
+Tagger Tagger::create(const corpus::Dataset& dataset,
+                      const TaggerConfig& config) {
+  Tagger t;
+  t.config_ = config;
+
+  // Token vocabulary over training inputs.
+  for (const auto& ex : dataset.train) {
+    for (const auto& tk : tok::code_to_tokens(ex.input_code)) t.vocab_.add(tk);
+  }
+
+  // Label vocabulary: compound insertion strings seen in training.
+  t.labels_.push_back("none");
+  t.label_ids_.emplace("none", kNoneLabel);
+  for (const auto& ex : dataset.train) {
+    const SlotLabels slots = compute_insertion_slots(ex);
+    for (const auto& [slot, functions] : slots.inserts) {
+      (void)slot;
+      const std::string compound = join(functions, "+");
+      if (!t.label_ids_.count(compound)) {
+        t.label_ids_.emplace(compound, static_cast<int>(t.labels_.size()));
+        t.labels_.push_back(compound);
+      }
+    }
+  }
+
+  nn::TransformerConfig tcfg;
+  tcfg.vocab_size = static_cast<int>(t.vocab_.size());
+  tcfg.d_model = config.d_model;
+  tcfg.heads = config.heads;
+  tcfg.ffn_dim = config.ffn_dim;
+  tcfg.encoder_layers = config.encoder_layers;
+  tcfg.decoder_layers = 0;
+  tcfg.max_len = config.max_src_tokens + 8;
+  tcfg.dropout = config.dropout;
+
+  Rng rng(config.seed);
+  t.encoder_ = nn::Transformer(tcfg, rng);
+  t.head_ = nn::Linear(config.d_model, static_cast<int>(t.labels_.size()),
+                       rng);
+  return t;
+}
+
+int Tagger::label_id(const std::string& compound) const {
+  auto it = label_ids_.find(compound);
+  return it == label_ids_.end() ? kNoneLabel : it->second;
+}
+
+bool Tagger::encode_example(const corpus::Example& ex, Encoded& out,
+                            bool with_labels) const {
+  const auto tokens = tok::code_to_tokens(ex.input_code);
+  out.src = tok::encode(vocab_, tokens);
+  if (static_cast<int>(out.src.size()) > config_.max_src_tokens) return false;
+
+  out.slot_positions.clear();
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] == "[NL]") {
+      out.slot_positions.push_back(static_cast<int>(i));
+    }
+  }
+  if (out.slot_positions.empty()) return false;
+
+  if (with_labels) {
+    const SlotLabels slots = compute_insertion_slots(ex);
+    out.slot_labels.assign(out.slot_positions.size(), kNoneLabel);
+    for (const auto& [slot, functions] : slots.inserts) {
+      // Slot k = after line k = the k-th [NL] (1-based); slot 0 (before the
+      // first line) cannot be represented and does not occur in the corpus.
+      if (slot >= 1 && slot <= static_cast<int>(out.slot_positions.size())) {
+        out.slot_labels[static_cast<std::size_t>(slot - 1)] =
+            label_id(join(functions, "+"));
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<TaggerEpochLog> Tagger::train(
+    const corpus::Dataset& dataset,
+    const std::function<void(const TaggerEpochLog&)>& on_epoch) {
+  std::vector<Encoded> train_set;
+  for (const auto& ex : dataset.train) {
+    Encoded e;
+    if (encode_example(ex, e, /*with_labels=*/true)) {
+      train_set.push_back(std::move(e));
+    }
+  }
+  std::vector<Encoded> val_set;
+  for (const auto& ex : dataset.val) {
+    Encoded e;
+    if (encode_example(ex, e, /*with_labels=*/true)) {
+      val_set.push_back(std::move(e));
+    }
+  }
+  MR_CHECK(!train_set.empty(), "no trainable tagger examples");
+
+  std::vector<Tensor> params = encoder_.parameters();
+  params.push_back(head_.w);
+  params.push_back(head_.b);
+  nn::AdamConfig acfg;
+  acfg.lr = config_.lr;
+  acfg.warmup_steps = config_.warmup_steps;
+  nn::Adam opt(params, acfg);
+  Rng rng(config_.seed ^ 0x1234567890ABCDEFULL);
+
+  auto run_batch = [&](const std::vector<Encoded>& set,
+                       const std::vector<std::size_t>& indices, bool training,
+                       double* acc_out) {
+    int src_len = 0;
+    for (std::size_t idx : indices) {
+      src_len = std::max(src_len, static_cast<int>(set[idx].src.size()));
+    }
+    const int batch = static_cast<int>(indices.size());
+    std::vector<int> src_ids(static_cast<std::size_t>(batch) * src_len,
+                             tok::kPad);
+    std::vector<int> src_lens;
+    std::vector<int> gather;  // global row indices of slots
+    std::vector<int> targets;
+    for (std::size_t bi = 0; bi < indices.size(); ++bi) {
+      const auto& ex = set[indices[bi]];
+      src_lens.push_back(static_cast<int>(ex.src.size()));
+      for (std::size_t i = 0; i < ex.src.size(); ++i) {
+        src_ids[bi * src_len + i] = ex.src[i];
+      }
+      for (std::size_t s = 0; s < ex.slot_positions.size(); ++s) {
+        gather.push_back(static_cast<int>(bi) * src_len +
+                         ex.slot_positions[s]);
+        targets.push_back(ex.slot_labels[s]);
+      }
+    }
+    Tensor enc = encoder_.encode(src_ids, batch, src_len, src_lens, training,
+                                 rng);
+    Tensor rows = tensor::embedding(gather, enc);
+    Tensor logits = head_.forward(rows);
+    Tensor loss = tensor::cross_entropy(logits, targets, /*ignore=*/-1);
+    if (acc_out) *acc_out = tensor::accuracy(logits, targets, -1);
+    return loss;
+  };
+
+  std::vector<TaggerEpochLog> logs;
+  const std::size_t bs = static_cast<std::size_t>(config_.batch_size);
+  for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
+    Timer timer;
+    std::vector<std::size_t> order(train_set.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < order.size(); begin += bs) {
+      const std::size_t end = std::min(order.size(), begin + bs);
+      std::vector<std::size_t> indices(order.begin() + begin,
+                                       order.begin() + end);
+      Tensor loss = run_batch(train_set, indices, /*training=*/true, nullptr);
+      loss.backward();
+      opt.step();
+      loss_sum += loss.item();
+      ++batches;
+    }
+
+    TaggerEpochLog log;
+    log.epoch = epoch;
+    log.train_loss =
+        batches == 0 ? 0.0 : loss_sum / static_cast<double>(batches);
+    // Validation.
+    double val_loss = 0.0;
+    double val_acc = 0.0;
+    std::size_t val_batches = 0;
+    for (std::size_t begin = 0; begin < val_set.size(); begin += bs) {
+      const std::size_t end = std::min(val_set.size(), begin + bs);
+      std::vector<std::size_t> indices;
+      for (std::size_t i = begin; i < end; ++i) indices.push_back(i);
+      double acc = 0.0;
+      Tensor loss = run_batch(val_set, indices, /*training=*/false, &acc);
+      val_loss += loss.item();
+      val_acc += acc;
+      ++val_batches;
+    }
+    if (val_batches > 0) {
+      log.val_loss = val_loss / static_cast<double>(val_batches);
+      log.val_slot_accuracy = val_acc / static_cast<double>(val_batches);
+    }
+    log.seconds = timer.seconds();
+    logs.push_back(log);
+    if (on_epoch) on_epoch(log);
+  }
+  return logs;
+}
+
+std::vector<ast::CallSite> Tagger::predict(
+    const std::string& input_code) const {
+  const auto tokens = tok::code_to_tokens(input_code);
+  std::vector<tok::TokenId> src = tok::encode(vocab_, tokens);
+  if (static_cast<int>(src.size()) > config_.max_src_tokens) {
+    src.resize(static_cast<std::size_t>(config_.max_src_tokens));
+  }
+  std::vector<int> slot_positions;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (tokens[i] == "[NL]") slot_positions.push_back(static_cast<int>(i));
+  }
+  if (slot_positions.empty()) return {};
+
+  Rng rng(0);
+  const std::vector<int> lens = {static_cast<int>(src.size())};
+  std::vector<int> ids(src.begin(), src.end());
+  Tensor enc = encoder_.encode(ids, 1, static_cast<int>(src.size()), lens,
+                               /*training=*/false, rng);
+  Tensor rows = tensor::embedding(slot_positions, enc);
+  Tensor logits = head_.forward(rows);
+
+  std::map<int, std::vector<std::string>> inserts;
+  const int v = logits.dim(1);
+  for (std::size_t s = 0; s < slot_positions.size(); ++s) {
+    const float* row = logits.value().data() + s * static_cast<std::size_t>(v);
+    int best = 0;
+    for (int j = 1; j < v; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == kNoneLabel) continue;
+    inserts[static_cast<int>(s) + 1] =
+        split(labels_[static_cast<std::size_t>(best)], '+');
+  }
+  return slots_to_call_sites(inserts);
+}
+
+}  // namespace mpirical::core

@@ -1,0 +1,86 @@
+// Encoder-only tagger baseline: the paper's *classification* framing made
+// literal.
+//
+// The paper trains MPI-RICAL as translation but evaluates it as two
+// classification problems (RQ1: which MPI function; RQ2: does one go at this
+// location). The Tagger implements that framing directly: a transformer
+// encoder reads the MPI-free program, and a linear head over each line
+// boundary ([NL] token) predicts which (possibly compound) run of MPI calls
+// is inserted after that line -- or none. bench_ablation_framing compares
+// the two engines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cast/node.hpp"
+#include "corpus/dataset.hpp"
+#include "nn/linear.hpp"
+#include "nn/transformer.hpp"
+#include "toklib/vocab.hpp"
+
+namespace mpirical::core {
+
+struct TaggerConfig {
+  int d_model = 96;
+  int heads = 4;
+  int ffn_dim = 192;
+  int encoder_layers = 2;
+  float dropout = 0.05f;
+  int max_src_tokens = 288;
+  bool use_xsbt = false;  // code-only by default; slots index code lines
+  int batch_size = 16;
+  int epochs = 5;
+  float lr = 2e-3f;
+  int warmup_steps = 30;
+  std::uint64_t seed = 4321;
+};
+
+struct TaggerEpochLog {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_loss = 0.0;
+  double val_slot_accuracy = 0.0;
+  double seconds = 0.0;
+};
+
+class Tagger {
+ public:
+  Tagger() = default;
+
+  static Tagger create(const corpus::Dataset& dataset,
+                       const TaggerConfig& config);
+
+  std::vector<TaggerEpochLog> train(
+      const corpus::Dataset& dataset,
+      const std::function<void(const TaggerEpochLog&)>& on_epoch = nullptr);
+
+  /// Predicts call sites (label-code coordinates) for an MPI-free program.
+  std::vector<ast::CallSite> predict(const std::string& input_code) const;
+
+  std::size_t label_count() const { return labels_.size(); }
+  const TaggerConfig& config() const { return config_; }
+
+ private:
+  struct Encoded {
+    std::vector<tok::TokenId> src;
+    std::vector<int> slot_positions;  // token index of each [NL]
+    std::vector<int> slot_labels;     // label id per slot
+  };
+
+  bool encode_example(const corpus::Example& ex, Encoded& out,
+                      bool with_labels) const;
+  int label_id(const std::string& compound) const;
+
+  TaggerConfig config_;
+  tok::Vocab vocab_;
+  std::vector<std::string> labels_;  // id -> "none" or "MPI_A+MPI_B"
+  std::unordered_map<std::string, int> label_ids_;
+  nn::Transformer encoder_;  // decoder_layers == 0
+  nn::Linear head_;
+};
+
+}  // namespace mpirical::core

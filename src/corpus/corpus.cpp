@@ -1,0 +1,24 @@
+#include "corpus/corpus.hpp"
+
+#include "support/thread_pool.hpp"
+
+namespace mpirical::corpus {
+
+std::vector<ProgramRecord> build_corpus(const CorpusConfig& config) {
+  std::vector<ProgramRecord> out(config.num_programs);
+  parallel_for(
+      0, config.num_programs,
+      [&](std::size_t i) {
+        // Per-program stream: mix the index into the seed so parallel
+        // generation is order-independent.
+        Rng rng(config.seed * 0x9E3779B97F4A7C15ULL + i * 0xBF58476D1CE4E5B9ULL +
+                1);
+        GeneratedProgram prog = generate_random_program(rng);
+        out[i] = ProgramRecord{static_cast<int>(i), prog.family,
+                               std::move(prog.source)};
+      },
+      /*grain=*/64);
+  return out;
+}
+
+}  // namespace mpirical::corpus

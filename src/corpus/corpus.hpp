@@ -1,0 +1,27 @@
+// Corpus construction: the synthetic analogue of mining GitHub.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.hpp"
+
+namespace mpirical::corpus {
+
+struct ProgramRecord {
+  int id = 0;
+  Family family = Family::kPiRiemann;
+  std::string source;  // raw generated C source (pre-standardization)
+};
+
+struct CorpusConfig {
+  std::size_t num_programs = 1000;
+  std::uint64_t seed = 42;
+};
+
+/// Builds `num_programs` programs in parallel. Deterministic: program i is
+/// generated from Rng(seed, i) regardless of thread count.
+std::vector<ProgramRecord> build_corpus(const CorpusConfig& config);
+
+}  // namespace mpirical::corpus

@@ -1,0 +1,109 @@
+#include "corpus/dataset.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "cast/printer.hpp"
+#include "clex/lexer.hpp"
+#include "corpus/removal.hpp"
+#include "cparse/parser.hpp"
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+#include "xsbt/xsbt.hpp"
+
+namespace mpirical::corpus {
+
+bool make_example(const std::string& source, std::size_t max_tokens,
+                  Example& out) {
+  ast::NodePtr raw;
+  try {
+    raw = parse::parse_translation_unit(source);
+  } catch (const Error&) {
+    return false;  // parse gate (paper: pycparser failure -> exclude)
+  }
+
+  // Standardize, then reparse so AST line numbers match the standardized
+  // text (the coordinate system every downstream metric uses).
+  const std::string label_code = ast::print_code(*raw);
+  ast::NodePtr label = parse::parse_translation_unit(label_code);
+
+  const auto tokens = lex::tokenize(label_code);
+  const std::size_t token_count = lex::code_token_count(tokens);
+  if (token_count > max_tokens) return false;  // exclusion criterion
+
+  RemovalResult removal = remove_mpi_calls(*label);
+  out.label_code = label_code;
+  out.input_code = ast::print_code(*removal.stripped);
+  out.input_xsbt = xsbt::xsbt_string(*removal.stripped);
+  out.ground_truth = std::move(removal.removed);
+  out.label_token_count = token_count;
+  return true;
+}
+
+Dataset build_dataset(const DatasetConfig& config) {
+  MR_CHECK(config.train_fraction > 0.0 && config.val_fraction >= 0.0 &&
+               config.train_fraction + config.val_fraction < 1.0,
+           "invalid dataset split fractions");
+
+  const auto corpus =
+      build_corpus(CorpusConfig{config.corpus_size, config.seed});
+
+  std::vector<Example> examples(corpus.size());
+  std::vector<char> ok(corpus.size(), 0);
+  std::atomic<std::size_t> parse_failures{0};
+  std::atomic<std::size_t> too_long{0};
+
+  parallel_for(
+      0, corpus.size(),
+      [&](std::size_t i) {
+        Example ex;
+        ex.id = corpus[i].id;
+        ex.family = corpus[i].family;
+        // Distinguish parse failures from length exclusions for accounting.
+        try {
+          (void)parse::parse_translation_unit(corpus[i].source);
+        } catch (const Error&) {
+          parse_failures.fetch_add(1);
+          return;
+        }
+        if (!make_example(corpus[i].source, config.max_tokens, ex)) {
+          too_long.fetch_add(1);
+          return;
+        }
+        examples[i] = std::move(ex);
+        ok[i] = 1;
+      },
+      /*grain=*/32);
+
+  std::vector<Example> kept;
+  kept.reserve(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (ok[i]) kept.push_back(std::move(examples[i]));
+  }
+
+  // Seeded shuffle, then 80:10:10 split.
+  Rng rng(config.seed ^ 0xD1B54A32D192ED03ULL);
+  rng.shuffle(kept);
+
+  Dataset ds;
+  ds.total_programs = corpus.size();
+  ds.parse_failures = parse_failures.load();
+  ds.excluded_too_long = too_long.load();
+  const std::size_t n = kept.size();
+  const std::size_t n_train =
+      static_cast<std::size_t>(static_cast<double>(n) * config.train_fraction);
+  const std::size_t n_val =
+      static_cast<std::size_t>(static_cast<double>(n) * config.val_fraction);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < n_train) {
+      ds.train.push_back(std::move(kept[i]));
+    } else if (i < n_train + n_val) {
+      ds.val.push_back(std::move(kept[i]));
+    } else {
+      ds.test.push_back(std::move(kept[i]));
+    }
+  }
+  return ds;
+}
+
+}  // namespace mpirical::corpus

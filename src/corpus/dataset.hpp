@@ -1,0 +1,61 @@
+// Dataset creation pipeline (paper Fig. 4):
+//
+//   corpus program --> parse gate --> standardize --> token-count exclusion
+//     --> MPI-call removal --> (input code, input X-SBT, label code,
+//                               ground-truth call sites)
+//
+// Programs that fail to parse or exceed the token limit are excluded, exactly
+// like the paper's pycparser + 320-token criteria. The resulting examples are
+// split train/validation/test 80:10:10 with a seeded shuffle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cast/node.hpp"
+#include "corpus/corpus.hpp"
+
+namespace mpirical::corpus {
+
+struct Example {
+  int id = 0;
+  Family family = Family::kPiRiemann;
+  std::string label_code;   // standardized MPI program (the label)
+  std::string input_code;   // standardized program with MPI calls removed
+  std::string input_xsbt;   // X-SBT linearization of the stripped AST
+  std::vector<ast::CallSite> ground_truth;  // removed calls, label-code lines
+  std::size_t label_token_count = 0;
+};
+
+struct DatasetConfig {
+  std::size_t corpus_size = 2000;
+  std::uint64_t seed = 42;
+  std::size_t max_tokens = 320;  // paper's hardware-motivated exclusion
+  double train_fraction = 0.8;
+  double val_fraction = 0.1;     // remainder goes to test
+};
+
+struct Dataset {
+  std::vector<Example> train;
+  std::vector<Example> val;
+  std::vector<Example> test;
+  // Pipeline accounting (reported by the corpus benches).
+  std::size_t total_programs = 0;
+  std::size_t parse_failures = 0;
+  std::size_t excluded_too_long = 0;
+
+  std::size_t example_count() const {
+    return train.size() + val.size() + test.size();
+  }
+};
+
+/// Runs the full pipeline over a fresh corpus built from `config`.
+Dataset build_dataset(const DatasetConfig& config);
+
+/// Processes one source program; returns false if it fails the parse gate or
+/// the token-count exclusion. On success fills `out` (id/family left as-is).
+bool make_example(const std::string& source, std::size_t max_tokens,
+                  Example& out);
+
+}  // namespace mpirical::corpus

@@ -1,0 +1,1209 @@
+#include "corpus/generator.hpp"
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace mpirical::corpus {
+
+namespace {
+
+std::string pick(Rng& rng, std::initializer_list<const char*> options) {
+  std::vector<std::string> v(options.begin(), options.end());
+  return rng.pick(v);
+}
+
+std::string itos(long v) { return std::to_string(v); }
+
+/// Shared per-program randomized context: names and optional features.
+struct Ctx {
+  explicit Ctx(Rng& r) : rng(r) {
+    rank = pick(rng, {"rank", "my_rank", "myid", "me", "world_rank", "pid"});
+    size = pick(rng, {"size", "nprocs", "numprocs", "world_size", "npes"});
+    i = pick(rng, {"i", "j", "k", "idx"});
+    n = pick(rng, {"n", "num_elements", "count", "total_n", "num_steps", "len"});
+    timing = rng.next_bool(0.15);
+    debug = rng.next_bool(0.12);
+    end_barrier = rng.next_bool(0.08);
+    hello = rng.next_bool(0.10);
+  }
+
+  Rng& rng;
+  std::string rank;
+  std::string size;
+  std::string i;
+  std::string n;
+  bool timing;
+  bool debug;
+  bool end_barrier;
+  bool hello;
+};
+
+using Lines = std::vector<std::string>;
+
+void headers(Lines& out, bool stdlib = false, bool math = false,
+             bool mpi = true) {
+  out.push_back("#include <stdio.h>");
+  if (stdlib) out.push_back("#include <stdlib.h>");
+  if (math) out.push_back("#include <math.h>");
+  if (mpi) out.push_back("#include <mpi.h>");
+}
+
+void main_open(Lines& out) {
+  out.push_back("int main(int argc, char **argv) {");
+}
+
+/// Declares rank/size and emits Init + Comm_rank + Comm_size (the invariant
+/// opening of nearly every real MPI program).
+void mpi_prologue(Ctx& c, Lines& out) {
+  out.push_back("    int " + c.rank + ";");
+  out.push_back("    int " + c.size + ";");
+  out.push_back("    MPI_Init(&argc, &argv);");
+  if (c.rng.next_bool()) {
+    out.push_back("    MPI_Comm_rank(MPI_COMM_WORLD, &" + c.rank + ");");
+    out.push_back("    MPI_Comm_size(MPI_COMM_WORLD, &" + c.size + ");");
+  } else {
+    out.push_back("    MPI_Comm_size(MPI_COMM_WORLD, &" + c.size + ");");
+    out.push_back("    MPI_Comm_rank(MPI_COMM_WORLD, &" + c.rank + ");");
+  }
+  if (c.hello) {
+    out.push_back("    printf(\"process %d of %d\\n\", " + c.rank + ", " +
+                  c.size + ");");
+  }
+  if (c.rng.next_bool(0.06)) {
+    out.push_back("    char node_name[128];");
+    out.push_back("    int name_len;");
+    out.push_back("    MPI_Get_processor_name(node_name, &name_len);");
+  }
+}
+
+void timing_start(Ctx& c, Lines& out) {
+  if (!c.timing) return;
+  out.push_back("    double t_start;");
+  out.push_back("    double t_end;");
+  if (c.rng.next_bool(0.5)) out.push_back("    MPI_Barrier(MPI_COMM_WORLD);");
+  out.push_back("    t_start = MPI_Wtime();");
+}
+
+void timing_end(Ctx& c, Lines& out) {
+  if (!c.timing) return;
+  out.push_back("    t_end = MPI_Wtime();");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        printf(\"elapsed: %f seconds\\n\", t_end - t_start);");
+  out.push_back("    }");
+}
+
+void mpi_epilogue(Ctx& c, Lines& out) {
+  if (c.end_barrier) out.push_back("    MPI_Barrier(MPI_COMM_WORLD);");
+  out.push_back("    MPI_Finalize();");
+  out.push_back("    return 0;");
+  out.push_back("}");
+}
+
+std::string assemble(const Lines& out) { return join(out, "\n") + "\n"; }
+
+// ---------------------------------------------------------------------------
+// Families
+// ---------------------------------------------------------------------------
+
+std::string gen_pi_riemann(Rng& rng) {
+  Ctx c(rng);
+  const std::string local = pick(rng, {"local_sum", "my_sum", "partial", "lsum"});
+  const std::string pi = pick(rng, {"pi", "pi_approx", "total", "pi_estimate"});
+  const std::string x = pick(rng, {"x", "mid", "xi"});
+  const std::string h = pick(rng, {"h", "step", "width", "dx"});
+  const long steps = rng.pick(std::vector<long>{1000, 10000, 100000, 500000});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(steps) + ";");
+  out.push_back("    double " + h + ";");
+  out.push_back("    double " + local + " = 0.0;");
+  out.push_back("    double " + pi + " = 0.0;");
+  out.push_back("    double " + x + ";");
+  timing_start(c, out);
+  out.push_back("    " + h + " = 1.0 / (double)" + c.n + ";");
+  out.push_back("    for (" + c.i + " = " + c.rank + "; " + c.i + " < " +
+                c.n + "; " + c.i + " += " + c.size + ") {");
+  out.push_back("        " + x + " = " + h + " * ((double)" + c.i +
+                " + 0.5);");
+  out.push_back("        " + local + " += 4.0 / (1.0 + " + x + " * " + x +
+                ");");
+  out.push_back("    }");
+  out.push_back("    " + local + " = " + local + " * " + h + ";");
+  if (rng.next_bool(0.75)) {
+    out.push_back("    MPI_Reduce(&" + local + ", &" + pi +
+                  ", 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);");
+    timing_end(c, out);
+    out.push_back("    if (" + c.rank + " == 0) {");
+    out.push_back("        printf(\"pi is approximately %.12f\\n\", " + pi +
+                  ");");
+    out.push_back("    }");
+  } else {
+    out.push_back("    MPI_Allreduce(&" + local + ", &" + pi +
+                  ", 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);");
+    timing_end(c, out);
+    out.push_back("    if (" + c.rank + " == 0) {");
+    out.push_back("        printf(\"pi = %.12f\\n\", " + pi + ");");
+    out.push_back("    }");
+  }
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_pi_montecarlo(Rng& rng) {
+  Ctx c(rng);
+  const std::string hits = pick(rng, {"hits", "count_in", "inside", "local_hits"});
+  const std::string total = pick(rng, {"total_hits", "global_hits", "all_hits"});
+  const std::string seed = pick(rng, {"seed", "state", "lcg_state"});
+  const long trials = rng.pick(std::vector<long>{1000, 5000, 20000, 100000});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(trials) + ";");
+  out.push_back("    long " + hits + " = 0;");
+  out.push_back("    long " + total + " = 0;");
+  out.push_back("    long " + seed + " = 12345 + 777 * " + c.rank + ";");
+  out.push_back("    double x;");
+  out.push_back("    double y;");
+  timing_start(c, out);
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < " + c.n + "; " +
+                c.i + "++) {");
+  out.push_back("        " + seed + " = (" + seed +
+                " * 1103515245 + 12345) % 2147483648;");
+  out.push_back("        x = (double)(" + seed +
+                " % 100000) / 100000.0;");
+  out.push_back("        " + seed + " = (" + seed +
+                " * 1103515245 + 12345) % 2147483648;");
+  out.push_back("        y = (double)(" + seed +
+                " % 100000) / 100000.0;");
+  out.push_back("        if (x * x + y * y <= 1.0) {");
+  out.push_back("            " + hits + "++;");
+  out.push_back("        }");
+  out.push_back("    }");
+  out.push_back("    MPI_Reduce(&" + hits + ", &" + total +
+                ", 1, MPI_LONG, MPI_SUM, 0, MPI_COMM_WORLD);");
+  timing_end(c, out);
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        double pi = 4.0 * (double)" + total + " / ((double)" +
+                c.n + " * (double)" + c.size + ");");
+  out.push_back("        printf(\"pi estimate: %.8f\\n\", pi);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_vector_dot(Rng& rng) {
+  Ctx c(rng);
+  const std::string a = pick(rng, {"a", "vec_a", "u", "first"});
+  const std::string b = pick(rng, {"b", "vec_b", "v", "second"});
+  const std::string local = pick(rng, {"local_dot", "my_dot", "partial_dot"});
+  const std::string dot = pick(rng, {"dot", "global_dot", "result"});
+  const long n = rng.pick(std::vector<long>{64, 128, 256, 512});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    double " + a + "[" + itos(n) + "];");
+  out.push_back("    double " + b + "[" + itos(n) + "];");
+  out.push_back("    double " + local + " = 0.0;");
+  out.push_back("    double " + dot + " = 0.0;");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < " + c.n + "; " +
+                c.i + "++) {");
+  out.push_back("        " + a + "[" + c.i + "] = (double)" + c.i +
+                " * 0.5;");
+  out.push_back("        " + b + "[" + c.i + "] = (double)(" + c.n +
+                " - " + c.i + ");");
+  out.push_back("    }");
+  out.push_back("    int chunk = " + c.n + " / " + c.size + ";");
+  out.push_back("    int start = " + c.rank + " * chunk;");
+  out.push_back("    int stop = start + chunk;");
+  out.push_back("    if (" + c.rank + " == " + c.size + " - 1) {");
+  out.push_back("        stop = " + c.n + ";");
+  out.push_back("    }");
+  out.push_back("    for (" + c.i + " = start; " + c.i + " < stop; " + c.i +
+                "++) {");
+  out.push_back("        " + local + " += " + a + "[" + c.i + "] * " + b +
+                "[" + c.i + "];");
+  out.push_back("    }");
+  if (rng.next_bool(0.7)) {
+    out.push_back("    MPI_Reduce(&" + local + ", &" + dot +
+                  ", 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);");
+  } else {
+    out.push_back("    MPI_Allreduce(&" + local + ", &" + dot +
+                  ", 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);");
+  }
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        printf(\"dot product = %.4f\\n\", " + dot + ");");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_array_average(Rng& rng) {
+  Ctx c(rng);
+  const std::string data = pick(rng, {"data", "values", "array", "samples"});
+  const std::string local = pick(rng, {"local_sum", "my_sum", "part_sum"});
+  const std::string total = pick(rng, {"total", "global_sum", "sum_all"});
+  const long n = rng.pick(std::vector<long>{64, 128, 256, 400});
+  Lines out;
+  headers(out, /*stdlib=*/true);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    int chunk = " + c.n + " / " + c.size + ";");
+  out.push_back("    double " + data + "[" + itos(n) + "];");
+  out.push_back("    double part[" + itos(n) + "];");
+  out.push_back("    double " + local + " = 0.0;");
+  out.push_back("    double " + total + " = 0.0;");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        for (" + c.i + " = 0; " + c.i + " < " + c.n + "; " +
+                c.i + "++) {");
+  out.push_back("            " + data + "[" + c.i + "] = (double)(" + c.i +
+                " % 17) + 1.0;");
+  out.push_back("        }");
+  out.push_back("    }");
+  out.push_back("    MPI_Scatter(" + data + ", chunk, MPI_DOUBLE, part, "
+                "chunk, MPI_DOUBLE, 0, MPI_COMM_WORLD);");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < chunk; " + c.i +
+                "++) {");
+  out.push_back("        " + local + " += part[" + c.i + "];");
+  out.push_back("    }");
+  out.push_back("    MPI_Reduce(&" + local + ", &" + total +
+                ", 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        double average = " + total + " / (double)(chunk * " +
+                c.size + ");");
+  out.push_back("        printf(\"average = %.6f\\n\", average);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_min_max(Rng& rng) {
+  Ctx c(rng);
+  const std::string data = pick(rng, {"data", "values", "arr"});
+  const long n = rng.pick(std::vector<long>{96, 128, 240, 320});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    double " + data + "[" + itos(n) + "];");
+  out.push_back("    double local_min = 1000000.0;");
+  out.push_back("    double local_max = -1000000.0;");
+  out.push_back("    double global_min;");
+  out.push_back("    double global_max;");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < " + c.n + "; " +
+                c.i + "++) {");
+  out.push_back("        " + data + "[" + c.i + "] = (double)((" + c.i +
+                " * 37 + 11 * " + c.rank + ") % 101);");
+  out.push_back("    }");
+  out.push_back("    int chunk = " + c.n + " / " + c.size + ";");
+  out.push_back("    int begin = " + c.rank + " * chunk;");
+  out.push_back("    int end = begin + chunk;");
+  out.push_back("    for (" + c.i + " = begin; " + c.i + " < end; " + c.i +
+                "++) {");
+  out.push_back("        if (" + data + "[" + c.i + "] < local_min) {");
+  out.push_back("            local_min = " + data + "[" + c.i + "];");
+  out.push_back("        }");
+  out.push_back("        if (" + data + "[" + c.i + "] > local_max) {");
+  out.push_back("            local_max = " + data + "[" + c.i + "];");
+  out.push_back("        }");
+  out.push_back("    }");
+  out.push_back("    MPI_Reduce(&local_min, &global_min, 1, MPI_DOUBLE, "
+                "MPI_MIN, 0, MPI_COMM_WORLD);");
+  out.push_back("    MPI_Reduce(&local_max, &global_max, 1, MPI_DOUBLE, "
+                "MPI_MAX, 0, MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        printf(\"min = %.2f max = %.2f\\n\", global_min, "
+                "global_max);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_matvec(Rng& rng) {
+  Ctx c(rng);
+  const long n = rng.pick(std::vector<long>{8, 12, 16, 24});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int col;");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    double mat[" + itos(n * n) + "];");
+  out.push_back("    double x[" + itos(n) + "];");
+  out.push_back("    double y[" + itos(n) + "];");
+  out.push_back("    double y_local[" + itos(n) + "];");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        for (" + c.i + " = 0; " + c.i + " < " + c.n +
+                " * " + c.n + "; " + c.i + "++) {");
+  out.push_back("            mat[" + c.i + "] = (double)(" + c.i +
+                " % 7) + 1.0;");
+  out.push_back("        }");
+  out.push_back("        for (" + c.i + " = 0; " + c.i + " < " + c.n + "; " +
+                c.i + "++) {");
+  out.push_back("            x[" + c.i + "] = (double)(" + c.i + " + 1);");
+  out.push_back("        }");
+  out.push_back("    }");
+  out.push_back("    MPI_Bcast(mat, " + c.n + " * " + c.n +
+                ", MPI_DOUBLE, 0, MPI_COMM_WORLD);");
+  out.push_back("    MPI_Bcast(x, " + c.n + ", MPI_DOUBLE, 0, "
+                "MPI_COMM_WORLD);");
+  out.push_back("    int rows = " + c.n + " / " + c.size + ";");
+  out.push_back("    int first = " + c.rank + " * rows;");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < rows; " + c.i +
+                "++) {");
+  out.push_back("        double acc = 0.0;");
+  out.push_back("        for (col = 0; col < " + c.n + "; col++) {");
+  out.push_back("            acc += mat[(first + " + c.i + ") * " + c.n +
+                " + col] * x[col];");
+  out.push_back("        }");
+  out.push_back("        y_local[" + c.i + "] = acc;");
+  out.push_back("    }");
+  out.push_back("    MPI_Gather(y_local, rows, MPI_DOUBLE, y, rows, "
+                "MPI_DOUBLE, 0, MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        double checksum = 0.0;");
+  out.push_back("        for (" + c.i + " = 0; " + c.i + " < rows * " +
+                c.size + "; " + c.i + "++) {");
+  out.push_back("            checksum += y[" + c.i + "];");
+  out.push_back("        }");
+  out.push_back("        printf(\"matvec checksum = %.4f\\n\", checksum);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_sum_reduce_gather(Rng& rng) {
+  Ctx c(rng);
+  const std::string local = pick(rng, {"local_sum", "partial", "my_part"});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " +
+                itos(rng.pick(std::vector<long>{100, 400, 1000})) + ";");
+  out.push_back("    double " + local + " = 0.0;");
+  out.push_back("    double total = 0.0;");
+  out.push_back("    double parts[64];");
+  out.push_back("    for (" + c.i + " = " + c.rank + "; " + c.i + " < " +
+                c.n + "; " + c.i + " += " + c.size + ") {");
+  out.push_back("        " + local + " += (double)" + c.i + ";");
+  out.push_back("    }");
+  out.push_back("    MPI_Reduce(&" + local + ", &total, 1, MPI_DOUBLE, "
+                "MPI_SUM, 0, MPI_COMM_WORLD);");
+  out.push_back("    MPI_Gather(&" + local + ", 1, MPI_DOUBLE, parts, 1, "
+                "MPI_DOUBLE, 0, MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        printf(\"total = %.1f\\n\", total);");
+  out.push_back("        for (" + c.i + " = 0; " + c.i + " < " + c.size +
+                "; " + c.i + "++) {");
+  out.push_back("            printf(\"part %d = %.1f\\n\", " + c.i +
+                ", parts[" + c.i + "]);");
+  out.push_back("        }");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_merge_sort_pair(Rng& rng) {
+  Ctx c(rng);
+  const long n = rng.pick(std::vector<long>{32, 64, 128});
+  Lines out;
+  headers(out);
+  out.push_back("void local_sort(int *vals, int count) {");
+  out.push_back("    int i;");
+  out.push_back("    int j;");
+  out.push_back("    for (i = 1; i < count; i++) {");
+  out.push_back("        int key = vals[i];");
+  out.push_back("        j = i - 1;");
+  out.push_back("        while (j >= 0 && vals[j] > key) {");
+  out.push_back("            vals[j + 1] = vals[j];");
+  out.push_back("            j = j - 1;");
+  out.push_back("        }");
+  out.push_back("        vals[j + 1] = key;");
+  out.push_back("    }");
+  out.push_back("}");
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    int half = " + c.n + " / 2;");
+  out.push_back("    int data[" + itos(n) + "];");
+  out.push_back("    int other[" + itos(n) + "];");
+  out.push_back("    int merged[" + itos(n) + "];");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < " + c.n + "; " +
+                c.i + "++) {");
+  out.push_back("        data[" + c.i + "] = (" + c.i +
+                " * 73 + 19) % 997;");
+  out.push_back("    }");
+  out.push_back("    MPI_Status status;");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        MPI_Send(&data[half], half, MPI_INT, 1, 0, "
+                "MPI_COMM_WORLD);");
+  out.push_back("        local_sort(data, half);");
+  out.push_back("        MPI_Recv(other, half, MPI_INT, 1, 1, "
+                "MPI_COMM_WORLD, &status);");
+  out.push_back("        int a = 0;");
+  out.push_back("        int b = 0;");
+  out.push_back("        for (" + c.i + " = 0; " + c.i + " < " + c.n + "; " +
+                c.i + "++) {");
+  out.push_back("            if (a < half && (b >= half || data[a] <= "
+                "other[b])) {");
+  out.push_back("                merged[" + c.i + "] = data[a];");
+  out.push_back("                a++;");
+  out.push_back("            } else {");
+  out.push_back("                merged[" + c.i + "] = other[b];");
+  out.push_back("                b++;");
+  out.push_back("            }");
+  out.push_back("        }");
+  out.push_back("        printf(\"sorted first %d last %d\\n\", merged[0], "
+                "merged[" + c.n + " - 1]);");
+  out.push_back("    } else if (" + c.rank + " == 1) {");
+  out.push_back("        MPI_Recv(other, half, MPI_INT, 0, 0, "
+                "MPI_COMM_WORLD, &status);");
+  out.push_back("        local_sort(other, half);");
+  out.push_back("        MPI_Send(other, half, MPI_INT, 0, 1, "
+                "MPI_COMM_WORLD);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_factorial(Rng& rng) {
+  Ctx c(rng);
+  const long n = rng.pick(std::vector<long>{12, 16, 20});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    double local_prod = 1.0;");
+  out.push_back("    double result = 1.0;");
+  out.push_back("    for (" + c.i + " = " + c.rank + " + 1; " + c.i +
+                " <= " + c.n + "; " + c.i + " += " + c.size + ") {");
+  out.push_back("        local_prod = local_prod * (double)" + c.i + ";");
+  out.push_back("    }");
+  out.push_back("    MPI_Reduce(&local_prod, &result, 1, MPI_DOUBLE, "
+                "MPI_PROD, 0, MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        printf(\"%d factorial is %.0f\\n\", " + c.n +
+                ", result);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_fibonacci(Rng& rng) {
+  Ctx c(rng);
+  const long base = rng.pick(std::vector<long>{10, 16, 20});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    long fib_a = 0;");
+  out.push_back("    long fib_b = 1;");
+  out.push_back("    long fib_tmp;");
+  out.push_back("    long results[64];");
+  out.push_back("    int target = " + itos(base) + " + " + c.rank + ";");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < target; " + c.i +
+                "++) {");
+  out.push_back("        fib_tmp = fib_a + fib_b;");
+  out.push_back("        fib_a = fib_b;");
+  out.push_back("        fib_b = fib_tmp;");
+  out.push_back("    }");
+  out.push_back("    MPI_Gather(&fib_a, 1, MPI_LONG, results, 1, MPI_LONG, "
+                "0, MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        for (" + c.i + " = 0; " + c.i + " < " + c.size +
+                "; " + c.i + "++) {");
+  out.push_back("            printf(\"fib(%d) = %ld\\n\", " + itos(base) +
+                " + " + c.i + ", results[" + c.i + "]);");
+  out.push_back("        }");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_trapezoid(Rng& rng) {
+  Ctx c(rng);
+  const std::string integral = pick(rng, {"integral", "local_area", "area"});
+  const long n = rng.pick(std::vector<long>{256, 1024, 4096});
+  Lines out;
+  headers(out, false, true);
+  out.push_back("double f(double x) {");
+  out.push_back("    return x * x + 1.0;");
+  out.push_back("}");
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    double a = 0.0;");
+  out.push_back("    double b = 4.0;");
+  out.push_back("    double h = (b - a) / (double)" + c.n + ";");
+  out.push_back("    int local_n = " + c.n + " / " + c.size + ";");
+  out.push_back("    double local_a = a + (double)(" + c.rank +
+                " * local_n) * h;");
+  out.push_back("    double local_b = local_a + (double)local_n * h;");
+  out.push_back("    double " + integral + ";");
+  out.push_back("    double x;");
+  out.push_back("    " + integral + " = (f(local_a) + f(local_b)) / 2.0;");
+  out.push_back("    for (" + c.i + " = 1; " + c.i + " < local_n; " + c.i +
+                "++) {");
+  out.push_back("        x = local_a + (double)" + c.i + " * h;");
+  out.push_back("        " + integral + " += f(x);");
+  out.push_back("    }");
+  out.push_back("    " + integral + " = " + integral + " * h;");
+  if (rng.next_bool(0.6)) {
+    // Pacheco-style send/recv aggregation at the root.
+    out.push_back("    if (" + c.rank + " != 0) {");
+    out.push_back("        MPI_Send(&" + integral +
+                  ", 1, MPI_DOUBLE, 0, 0, MPI_COMM_WORLD);");
+    out.push_back("    } else {");
+    out.push_back("        double total = " + integral + ";");
+    out.push_back("        double piece;");
+    out.push_back("        MPI_Status status;");
+    out.push_back("        int src;");
+    out.push_back("        for (src = 1; src < " + c.size + "; src++) {");
+    out.push_back("            MPI_Recv(&piece, 1, MPI_DOUBLE, src, 0, "
+                  "MPI_COMM_WORLD, &status);");
+    out.push_back("            total += piece;");
+    out.push_back("        }");
+    out.push_back("        printf(\"integral from %.1f to %.1f = %.8f\\n\", "
+                  "a, b, total);");
+    out.push_back("    }");
+  } else {
+    out.push_back("    double total = 0.0;");
+    out.push_back("    MPI_Reduce(&" + integral +
+                  ", &total, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);");
+    out.push_back("    if (" + c.rank + " == 0) {");
+    out.push_back("        printf(\"integral = %.8f\\n\", total);");
+    out.push_back("    }");
+  }
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_ring_token(Rng& rng) {
+  Ctx c(rng);
+  const std::string token = pick(rng, {"token", "value", "message", "tok"});
+  const long tag = rng.pick(std::vector<long>{0, 1, 7, 42, 99});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + token + ";");
+  out.push_back("    int next = (" + c.rank + " + 1) % " + c.size + ";");
+  out.push_back("    int prev = (" + c.rank + " + " + c.size + " - 1) % " +
+                c.size + ";");
+  out.push_back("    MPI_Status status;");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        " + token + " = 100;");
+  out.push_back("        MPI_Send(&" + token + ", 1, MPI_INT, next, " +
+                itos(tag) + ", MPI_COMM_WORLD);");
+  out.push_back("        MPI_Recv(&" + token + ", 1, MPI_INT, prev, " +
+                itos(tag) + ", MPI_COMM_WORLD, &status);");
+  out.push_back("        printf(\"token back at root: %d\\n\", " + token +
+                ");");
+  out.push_back("    } else {");
+  out.push_back("        MPI_Recv(&" + token + ", 1, MPI_INT, prev, " +
+                itos(tag) + ", MPI_COMM_WORLD, &status);");
+  out.push_back("        " + token + " += " + c.rank + ";");
+  out.push_back("        MPI_Send(&" + token + ", 1, MPI_INT, next, " +
+                itos(tag) + ", MPI_COMM_WORLD);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_ping_pong(Rng& rng) {
+  Ctx c(rng);
+  const long iters = rng.pick(std::vector<long>{4, 8, 10, 16});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int counter = 0;");
+  out.push_back("    int round;");
+  out.push_back("    MPI_Status status;");
+  out.push_back("    for (round = 0; round < " + itos(iters) +
+                "; round++) {");
+  out.push_back("        if (" + c.rank + " == 0) {");
+  out.push_back("            counter++;");
+  out.push_back("            MPI_Send(&counter, 1, MPI_INT, 1, 0, "
+                "MPI_COMM_WORLD);");
+  out.push_back("            MPI_Recv(&counter, 1, MPI_INT, 1, 0, "
+                "MPI_COMM_WORLD, &status);");
+  out.push_back("        } else if (" + c.rank + " == 1) {");
+  out.push_back("            MPI_Recv(&counter, 1, MPI_INT, 0, 0, "
+                "MPI_COMM_WORLD, &status);");
+  out.push_back("            counter++;");
+  out.push_back("            MPI_Send(&counter, 1, MPI_INT, 0, 0, "
+                "MPI_COMM_WORLD);");
+  out.push_back("        }");
+  out.push_back("    }");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        printf(\"final counter: %d\\n\", counter);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_halo_1d(Rng& rng) {
+  Ctx c(rng);
+  const std::string u = pick(rng, {"u", "grid", "field", "cells"});
+  const long local_n = rng.pick(std::vector<long>{16, 32, 64});
+  const long steps = rng.pick(std::vector<long>{2, 4, 8});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int step;");
+  out.push_back("    int local_n = " + itos(local_n) + ";");
+  out.push_back("    double " + u + "[" + itos(local_n + 2) + "];");
+  out.push_back("    double " + u + "_new[" + itos(local_n + 2) + "];");
+  out.push_back("    int left = " + c.rank + " - 1;");
+  out.push_back("    int right = " + c.rank + " + 1;");
+  out.push_back("    MPI_Status status;");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < local_n + 2; " +
+                c.i + "++) {");
+  out.push_back("        " + u + "[" + c.i + "] = (double)(" + c.rank +
+                " * local_n + " + c.i + ");");
+  out.push_back("    }");
+  out.push_back("    for (step = 0; step < " + itos(steps) + "; step++) {");
+  if (rng.next_bool(0.5)) {
+    out.push_back("        if (left >= 0) {");
+    out.push_back("            MPI_Sendrecv(&" + u + "[1], 1, MPI_DOUBLE, "
+                  "left, 0, &" + u + "[0], 1, MPI_DOUBLE, left, 0, "
+                  "MPI_COMM_WORLD, &status);");
+    out.push_back("        }");
+    out.push_back("        if (right < " + c.size + ") {");
+    out.push_back("            MPI_Sendrecv(&" + u + "[local_n], 1, "
+                  "MPI_DOUBLE, right, 0, &" + u + "[local_n + 1], 1, "
+                  "MPI_DOUBLE, right, 0, MPI_COMM_WORLD, &status);");
+    out.push_back("        }");
+  } else {
+    out.push_back("        if (left >= 0) {");
+    out.push_back("            MPI_Send(&" + u + "[1], 1, MPI_DOUBLE, left, "
+                  "1, MPI_COMM_WORLD);");
+    out.push_back("        }");
+    out.push_back("        if (right < " + c.size + ") {");
+    out.push_back("            MPI_Recv(&" + u + "[local_n + 1], 1, "
+                  "MPI_DOUBLE, right, 1, MPI_COMM_WORLD, &status);");
+    out.push_back("            MPI_Send(&" + u + "[local_n], 1, MPI_DOUBLE, "
+                  "right, 2, MPI_COMM_WORLD);");
+    out.push_back("        }");
+    out.push_back("        if (left >= 0) {");
+    out.push_back("            MPI_Recv(&" + u + "[0], 1, MPI_DOUBLE, left, "
+                  "2, MPI_COMM_WORLD, &status);");
+    out.push_back("        }");
+  }
+  out.push_back("        for (" + c.i + " = 1; " + c.i + " <= local_n; " +
+                c.i + "++) {");
+  out.push_back("            " + u + "_new[" + c.i + "] = 0.5 * (" + u +
+                "[" + c.i + " - 1] + " + u + "[" + c.i + " + 1]);");
+  out.push_back("        }");
+  out.push_back("        for (" + c.i + " = 1; " + c.i + " <= local_n; " +
+                c.i + "++) {");
+  out.push_back("            " + u + "[" + c.i + "] = " + u + "_new[" + c.i +
+                "];");
+  out.push_back("        }");
+  out.push_back("    }");
+  out.push_back("    double local_sum = 0.0;");
+  out.push_back("    double total = 0.0;");
+  out.push_back("    for (" + c.i + " = 1; " + c.i + " <= local_n; " + c.i +
+                "++) {");
+  out.push_back("        local_sum += " + u + "[" + c.i + "];");
+  out.push_back("    }");
+  out.push_back("    MPI_Reduce(&local_sum, &total, 1, MPI_DOUBLE, MPI_SUM, "
+                "0, MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        printf(\"field sum = %.4f\\n\", total);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_master_worker(Rng& rng) {
+  Ctx c(rng);
+  const long scale = rng.pick(std::vector<long>{3, 5, 10});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    MPI_Status status;");
+  out.push_back("    int task;");
+  out.push_back("    int answer;");
+  out.push_back("    int worker;");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        int grand_total = 0;");
+  out.push_back("        for (worker = 1; worker < " + c.size +
+                "; worker++) {");
+  out.push_back("            task = worker * " + itos(scale) + ";");
+  out.push_back("            MPI_Send(&task, 1, MPI_INT, worker, 10, "
+                "MPI_COMM_WORLD);");
+  out.push_back("        }");
+  out.push_back("        for (worker = 1; worker < " + c.size +
+                "; worker++) {");
+  out.push_back("            MPI_Recv(&answer, 1, MPI_INT, MPI_ANY_SOURCE, "
+                "20, MPI_COMM_WORLD, &status);");
+  out.push_back("            grand_total += answer;");
+  out.push_back("        }");
+  out.push_back("        printf(\"grand total = %d\\n\", grand_total);");
+  out.push_back("    } else {");
+  out.push_back("        MPI_Recv(&task, 1, MPI_INT, 0, 10, MPI_COMM_WORLD, "
+                "&status);");
+  out.push_back("        answer = task * task;");
+  out.push_back("        MPI_Send(&answer, 1, MPI_INT, 0, 20, "
+                "MPI_COMM_WORLD);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_bcast_scatter_gather(Rng& rng) {
+  Ctx c(rng);
+  const long n = rng.pick(std::vector<long>{64, 128, 256});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    double scale = 0.0;");
+  out.push_back("    double full[" + itos(n) + "];");
+  out.push_back("    double mine[" + itos(n) + "];");
+  out.push_back("    double out[" + itos(n) + "];");
+  out.push_back("    int chunk = " + c.n + " / " + c.size + ";");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        scale = 2.5;");
+  out.push_back("        for (" + c.i + " = 0; " + c.i + " < " + c.n + "; " +
+                c.i + "++) {");
+  out.push_back("            full[" + c.i + "] = (double)" + c.i + ";");
+  out.push_back("        }");
+  out.push_back("    }");
+  out.push_back("    MPI_Bcast(&scale, 1, MPI_DOUBLE, 0, MPI_COMM_WORLD);");
+  out.push_back("    MPI_Scatter(full, chunk, MPI_DOUBLE, mine, chunk, "
+                "MPI_DOUBLE, 0, MPI_COMM_WORLD);");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < chunk; " + c.i +
+                "++) {");
+  out.push_back("        mine[" + c.i + "] = mine[" + c.i + "] * scale;");
+  out.push_back("    }");
+  out.push_back("    MPI_Gather(mine, chunk, MPI_DOUBLE, out, chunk, "
+                "MPI_DOUBLE, 0, MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        double checksum = 0.0;");
+  out.push_back("        for (" + c.i + " = 0; " + c.i + " < chunk * " +
+                c.size + "; " + c.i + "++) {");
+  out.push_back("            checksum += out[" + c.i + "];");
+  out.push_back("        }");
+  out.push_back("        printf(\"scaled checksum = %.2f\\n\", checksum);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_allreduce_norm(Rng& rng) {
+  Ctx c(rng);
+  const long n = rng.pick(std::vector<long>{48, 96, 192});
+  Lines out;
+  headers(out, false, true);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int local_n = " + itos(n) + ";");
+  out.push_back("    double v[" + itos(n) + "];");
+  out.push_back("    double local_sq = 0.0;");
+  out.push_back("    double global_sq = 0.0;");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < local_n; " + c.i +
+                "++) {");
+  out.push_back("        v[" + c.i + "] = (double)(" + c.rank + " + 1) * "
+                "0.25 + (double)" + c.i + " * 0.01;");
+  out.push_back("    }");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < local_n; " + c.i +
+                "++) {");
+  out.push_back("        local_sq += v[" + c.i + "] * v[" + c.i + "];");
+  out.push_back("    }");
+  out.push_back("    MPI_Allreduce(&local_sq, &global_sq, 1, MPI_DOUBLE, "
+                "MPI_SUM, MPI_COMM_WORLD);");
+  out.push_back("    double norm = sqrt(global_sq);");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < local_n; " + c.i +
+                "++) {");
+  out.push_back("        v[" + c.i + "] = v[" + c.i + "] / norm;");
+  out.push_back("    }");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        printf(\"norm = %.6f\\n\", norm);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_prefix_scan(Rng& rng) {
+  Ctx c(rng);
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int mine = " + c.rank + " + 1;");
+  out.push_back("    int prefix = 0;");
+  if (rng.next_bool(0.75)) {
+    out.push_back("    MPI_Scan(&mine, &prefix, 1, MPI_INT, MPI_SUM, "
+                  "MPI_COMM_WORLD);");
+  } else {
+    out.push_back("    MPI_Exscan(&mine, &prefix, 1, MPI_INT, MPI_SUM, "
+                  "MPI_COMM_WORLD);");
+  }
+  out.push_back("    printf(\"rank %d prefix %d\\n\", " + c.rank +
+                ", prefix);");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_histogram(Rng& rng) {
+  Ctx c(rng);
+  const long n = rng.pick(std::vector<long>{128, 256, 512});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    int bins[10];");
+  out.push_back("    int global_bins[10];");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < 10; " + c.i +
+                "++) {");
+  out.push_back("        bins[" + c.i + "] = 0;");
+  out.push_back("    }");
+  out.push_back("    for (" + c.i + " = " + c.rank + "; " + c.i + " < " +
+                c.n + "; " + c.i + " += " + c.size + ") {");
+  out.push_back("        int value = (" + c.i + " * 31 + 7) % 100;");
+  out.push_back("        bins[value / 10] = bins[value / 10] + 1;");
+  out.push_back("    }");
+  out.push_back("    MPI_Reduce(bins, global_bins, 10, MPI_INT, MPI_SUM, 0, "
+                "MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        for (" + c.i + " = 0; " + c.i + " < 10; " + c.i +
+                "++) {");
+  out.push_back("            printf(\"bin %d: %d\\n\", " + c.i +
+                ", global_bins[" + c.i + "]);");
+  out.push_back("        }");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_heat_residual(Rng& rng) {
+  Ctx c(rng);
+  const long local_n = rng.pick(std::vector<long>{24, 48, 96});
+  const long max_steps = rng.pick(std::vector<long>{5, 10, 20});
+  Lines out;
+  headers(out, false, true);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int step;");
+  out.push_back("    int local_n = " + itos(local_n) + ";");
+  out.push_back("    double t[" + itos(local_n) + "];");
+  out.push_back("    double t_next[" + itos(local_n) + "];");
+  out.push_back("    double local_res;");
+  out.push_back("    double global_res;");
+  out.push_back("    for (" + c.i + " = 0; " + c.i + " < local_n; " + c.i +
+                "++) {");
+  out.push_back("        t[" + c.i + "] = (double)((" + c.i + " + " + c.rank +
+                ") % 13);");
+  out.push_back("    }");
+  out.push_back("    for (step = 0; step < " + itos(max_steps) +
+                "; step++) {");
+  out.push_back("        local_res = 0.0;");
+  out.push_back("        for (" + c.i + " = 1; " + c.i + " < local_n - 1; " +
+                c.i + "++) {");
+  out.push_back("            t_next[" + c.i + "] = 0.25 * t[" + c.i +
+                " - 1] + 0.5 * t[" + c.i + "] + 0.25 * t[" + c.i + " + 1];");
+  out.push_back("            local_res += fabs(t_next[" + c.i + "] - t[" +
+                c.i + "]);");
+  out.push_back("        }");
+  out.push_back("        for (" + c.i + " = 1; " + c.i + " < local_n - 1; " +
+                c.i + "++) {");
+  out.push_back("            t[" + c.i + "] = t_next[" + c.i + "];");
+  out.push_back("        }");
+  out.push_back("        MPI_Allreduce(&local_res, &global_res, 1, "
+                "MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);");
+  out.push_back("        if (global_res < 0.0001) {");
+  out.push_back("            break;");
+  out.push_back("        }");
+  out.push_back("    }");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        printf(\"final residual %.6f\\n\", global_res);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_stats_mean_var(Rng& rng) {
+  Ctx c(rng);
+  const long n = rng.pick(std::vector<long>{100, 250, 1000});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    double local_stats[2];");
+  out.push_back("    double global_stats[2];");
+  out.push_back("    local_stats[0] = 0.0;");
+  out.push_back("    local_stats[1] = 0.0;");
+  out.push_back("    for (" + c.i + " = " + c.rank + "; " + c.i + " < " +
+                c.n + "; " + c.i + " += " + c.size + ") {");
+  out.push_back("        double sample = (double)((" + c.i +
+                " * 13 + 5) % 50);");
+  out.push_back("        local_stats[0] += sample;");
+  out.push_back("        local_stats[1] += sample * sample;");
+  out.push_back("    }");
+  out.push_back("    MPI_Reduce(local_stats, global_stats, 2, MPI_DOUBLE, "
+                "MPI_SUM, 0, MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        double mean = global_stats[0] / (double)" + c.n +
+                ";");
+  out.push_back("        double variance = global_stats[1] / (double)" +
+                c.n + " - mean * mean;");
+  out.push_back("        printf(\"mean %.4f variance %.4f\\n\", mean, "
+                "variance);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_search_count(Rng& rng) {
+  Ctx c(rng);
+  const long n = rng.pick(std::vector<long>{200, 500, 2000});
+  Lines out;
+  headers(out);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  out.push_back("    int " + c.n + " = " + itos(n) + ";");
+  out.push_back("    int target = 0;");
+  out.push_back("    int local_count = 0;");
+  out.push_back("    int total_count = 0;");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        target = " + itos(rng.next_int(1, 9)) + ";");
+  out.push_back("    }");
+  out.push_back("    MPI_Bcast(&target, 1, MPI_INT, 0, MPI_COMM_WORLD);");
+  out.push_back("    for (" + c.i + " = " + c.rank + "; " + c.i + " < " +
+                c.n + "; " + c.i + " += " + c.size + ") {");
+  out.push_back("        int value = (" + c.i + " * 7 + 3) % 10;");
+  out.push_back("        if (value == target) {");
+  out.push_back("            local_count++;");
+  out.push_back("        }");
+  out.push_back("    }");
+  out.push_back("    MPI_Reduce(&local_count, &total_count, 1, MPI_INT, "
+                "MPI_SUM, 0, MPI_COMM_WORLD);");
+  out.push_back("    if (" + c.rank + " == 0) {");
+  out.push_back("        printf(\"found %d occurrences of %d\\n\", "
+                "total_count, target);");
+  out.push_back("    }");
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+std::string gen_serial_utility(Rng& rng) {
+  // A minority of files in a mined MPI corpus contain no MPI at all
+  // (helpers, generators, postprocessing). Short serial programs.
+  const int which = static_cast<int>(rng.next_below(3));
+  Lines out;
+  headers(out, false, false, /*mpi=*/false);
+  main_open(out);
+  if (which == 0) {
+    const long n = rng.pick(std::vector<long>{10, 50, 100});
+    out.push_back("    int i;");
+    out.push_back("    long total = 0;");
+    out.push_back("    for (i = 1; i <= " + itos(n) + "; i++) {");
+    out.push_back("        total += i * i;");
+    out.push_back("    }");
+    out.push_back("    printf(\"sum of squares: %ld\\n\", total);");
+  } else if (which == 1) {
+    out.push_back("    int a = " + itos(rng.next_int(20, 400)) + ";");
+    out.push_back("    int b = " + itos(rng.next_int(4, 60)) + ";");
+    out.push_back("    while (b != 0) {");
+    out.push_back("        int r = a % b;");
+    out.push_back("        a = b;");
+    out.push_back("        b = r;");
+    out.push_back("    }");
+    out.push_back("    printf(\"gcd: %d\\n\", a);");
+  } else {
+    const long n = rng.pick(std::vector<long>{5, 9, 12});
+    out.push_back("    int i;");
+    out.push_back("    for (i = 1; i <= " + itos(n) + "; i++) {");
+    out.push_back("        printf(\"%d squared is %d\\n\", i, i * i);");
+    out.push_back("    }");
+  }
+  out.push_back("    return 0;");
+  out.push_back("}");
+  return assemble(out);
+}
+
+std::string gen_composite(Rng& rng);  // defined after the table below
+
+using GenFn = std::string (*)(Rng&);
+
+struct FamilyEntry {
+  Family family;
+  const char* name;
+  GenFn fn;
+  double weight;  // corpus sampling weight
+};
+
+const std::vector<FamilyEntry>& family_table() {
+  static const std::vector<FamilyEntry> table = {
+      {Family::kPiRiemann, "pi_riemann", gen_pi_riemann, 8.0},
+      {Family::kPiMonteCarlo, "pi_montecarlo", gen_pi_montecarlo, 6.0},
+      {Family::kVectorDot, "vector_dot", gen_vector_dot, 7.0},
+      {Family::kArrayAverage, "array_average", gen_array_average, 6.0},
+      {Family::kMinMax, "min_max", gen_min_max, 5.0},
+      {Family::kMatVec, "matvec", gen_matvec, 5.0},
+      {Family::kSumReduceGather, "sum_reduce_gather", gen_sum_reduce_gather,
+       5.0},
+      {Family::kMergeSortPair, "merge_sort_pair", gen_merge_sort_pair, 4.0},
+      {Family::kFactorial, "factorial", gen_factorial, 4.0},
+      {Family::kFibonacci, "fibonacci", gen_fibonacci, 4.0},
+      {Family::kTrapezoid, "trapezoid", gen_trapezoid, 6.0},
+      {Family::kRingToken, "ring_token", gen_ring_token, 5.0},
+      {Family::kPingPong, "ping_pong", gen_ping_pong, 4.0},
+      {Family::kHalo1D, "halo_1d", gen_halo_1d, 5.0},
+      {Family::kMasterWorker, "master_worker", gen_master_worker, 5.0},
+      {Family::kBcastScatterGather, "bcast_scatter_gather",
+       gen_bcast_scatter_gather, 4.0},
+      {Family::kAllreduceNorm, "allreduce_norm", gen_allreduce_norm, 4.0},
+      {Family::kPrefixScan, "prefix_scan", gen_prefix_scan, 2.0},
+      {Family::kHistogram, "histogram", gen_histogram, 4.0},
+      {Family::kHeatResidual, "heat_residual", gen_heat_residual, 4.0},
+      {Family::kStatsMeanVar, "stats_mean_var", gen_stats_mean_var, 4.0},
+      {Family::kSearchCount, "search_count", gen_search_count, 4.0},
+      {Family::kCompositePipeline, "composite_pipeline", gen_composite, 62.0},
+      {Family::kSerialUtility, "serial_utility", gen_serial_utility, 6.0},
+  };
+  return table;
+}
+
+std::string gen_composite(Rng& rng) {
+  // Long programs: an MPI prologue followed by 3-12 independent kernels
+  // whose bodies are inlined one after another. Reproduces the >=51-line
+  // and >=100-line mass of Table Ia.
+  Ctx c(rng);
+  const int phases = static_cast<int>(rng.next_int(3, 12));
+  Lines out;
+  headers(out, false, true);
+  main_open(out);
+  mpi_prologue(c, out);
+  out.push_back("    int " + c.i + ";");
+  timing_start(c, out);
+  for (int phase = 0; phase < phases; ++phase) {
+    const std::string p = "p" + std::to_string(phase);
+    const int kind = static_cast<int>(rng.next_below(4));
+    out.push_back("    double " + p + "_local = 0.0;");
+    out.push_back("    double " + p + "_global = 0.0;");
+    if (kind == 0) {
+      const long n = rng.pick(std::vector<long>{1000, 5000, 20000});
+      out.push_back("    for (" + c.i + " = " + c.rank + "; " + c.i + " < " +
+                    itos(n) + "; " + c.i + " += " + c.size + ") {");
+      out.push_back("        " + p + "_local += (double)" + c.i + " * 0.5;");
+      out.push_back("    }");
+      out.push_back("    MPI_Reduce(&" + p + "_local, &" + p +
+                    "_global, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);");
+    } else if (kind == 1) {
+      const long n = rng.pick(std::vector<long>{500, 2000});
+      out.push_back("    for (" + c.i + " = " + c.rank + "; " + c.i + " < " +
+                    itos(n) + "; " + c.i + " += " + c.size + ") {");
+      out.push_back("        double term = 1.0 / ((double)" + c.i +
+                    " + 1.0);");
+      out.push_back("        " + p + "_local += term;");
+      out.push_back("    }");
+      out.push_back("    MPI_Allreduce(&" + p + "_local, &" + p +
+                    "_global, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);");
+    } else if (kind == 2) {
+      out.push_back("    " + p + "_local = (double)(" + c.rank +
+                    " + 1) * 3.0;");
+      out.push_back("    MPI_Reduce(&" + p + "_local, &" + p +
+                    "_global, 1, MPI_DOUBLE, MPI_MAX, 0, MPI_COMM_WORLD);");
+    } else {
+      out.push_back("    " + p + "_local = (double)(" + c.rank + " * 2 + 1);");
+      out.push_back("    MPI_Scan(&" + p + "_local, &" + p +
+                    "_global, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);");
+    }
+    out.push_back("    if (" + c.rank + " == 0) {");
+    out.push_back("        printf(\"phase %d result %.4f\\n\", " +
+                  std::to_string(phase) + ", " + p + "_global);");
+    out.push_back("    }");
+    if (rng.next_bool(0.4)) {
+      out.push_back("    if (" + p + "_global < 0.0) {");
+      out.push_back("        printf(\"phase %d underflow\\n\", " +
+                    std::to_string(phase) + ");");
+      out.push_back("    }");
+    }
+    if (rng.next_bool(0.3)) {
+      out.push_back("    MPI_Barrier(MPI_COMM_WORLD);");
+    }
+  }
+  timing_end(c, out);
+  mpi_epilogue(c, out);
+  return assemble(out);
+}
+
+}  // namespace
+
+const char* family_name(Family family) {
+  for (const auto& e : family_table()) {
+    if (e.family == family) return e.name;
+  }
+  return "unknown";
+}
+
+const std::vector<Family>& all_families() {
+  static const std::vector<Family> families = [] {
+    std::vector<Family> v;
+    for (const auto& e : family_table()) v.push_back(e.family);
+    return v;
+  }();
+  return families;
+}
+
+std::string generate_program(Family family, Rng& rng) {
+  for (const auto& e : family_table()) {
+    if (e.family == family) return e.fn(rng);
+  }
+  MR_CHECK(false, "unknown program family");
+}
+
+Family sample_family(Rng& rng) {
+  static const std::vector<double> weights = [] {
+    std::vector<double> w;
+    for (const auto& e : family_table()) w.push_back(e.weight);
+    return w;
+  }();
+  return family_table()[rng.pick_weighted(weights)].family;
+}
+
+GeneratedProgram generate_random_program(Rng& rng) {
+  const Family family = sample_family(rng);
+  return GeneratedProgram{family, generate_program(family, rng)};
+}
+
+}  // namespace mpirical::corpus

@@ -1,0 +1,72 @@
+// Synthetic MPICodeCorpus program generator.
+//
+// The paper's corpus was mined from ~16,500 GitHub repositories; offline we
+// synthesize it instead (see DESIGN.md, substitution table). Programs are
+// drawn from ~20 parameterized families of domain-decomposition MPI codes --
+// the same kinds of numerical kernels the paper's intro and benchmark use
+// (pi, dot products, matrix-vector, reductions, halo exchanges, master/worker
+// patterns, ...). Every family randomizes identifiers, constants, loop
+// shapes and optional statements (timing, debug prints, barriers) so no two
+// programs are textually identical, while remaining:
+//   * parseable by cparse (the corpus inclusion criterion),
+//   * strippable by corpus::remove_mpi_calls (dataset construction),
+//   * runnable under cinterp + mpisim (validity oracle).
+//
+// Family weights are tuned so corpus statistics reproduce the paper's
+// Table Ia (length mix), Table Ib (exponentially decaying function counts,
+// Common Core at the head) and Fig. 3 (Init..Finalize span ratio).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace mpirical::corpus {
+
+enum class Family {
+  kPiRiemann,
+  kPiMonteCarlo,
+  kVectorDot,
+  kArrayAverage,
+  kMinMax,
+  kMatVec,
+  kSumReduceGather,
+  kMergeSortPair,
+  kFactorial,
+  kFibonacci,
+  kTrapezoid,
+  kRingToken,
+  kPingPong,
+  kHalo1D,
+  kMasterWorker,
+  kBcastScatterGather,
+  kAllreduceNorm,
+  kPrefixScan,
+  kHistogram,
+  kHeatResidual,
+  kStatsMeanVar,
+  kSearchCount,
+  kCompositePipeline,  // several kernels chained; produces long programs
+  kSerialUtility,      // no MPI at all (a minority of mined files have none)
+};
+
+inline constexpr int kFamilyCount = 24;
+
+const char* family_name(Family family);
+const std::vector<Family>& all_families();
+
+/// Generates one program of the given family. Deterministic given rng state.
+std::string generate_program(Family family, Rng& rng);
+
+/// Samples a family with corpus-realistic weights.
+Family sample_family(Rng& rng);
+
+/// Convenience: sample_family + generate_program.
+struct GeneratedProgram {
+  Family family;
+  std::string source;
+};
+GeneratedProgram generate_random_program(Rng& rng);
+
+}  // namespace mpirical::corpus

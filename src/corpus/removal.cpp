@@ -1,0 +1,164 @@
+#include "corpus/removal.hpp"
+
+#include "mpidb/catalog.hpp"
+#include "support/check.hpp"
+
+namespace mpirical::corpus {
+
+using ast::Node;
+using ast::NodeKind;
+using ast::NodePtr;
+
+namespace {
+
+void record_calls(const Node& subtree, std::vector<ast::CallSite>& removed) {
+  for (auto& site : ast::collect_mpi_calls(subtree)) {
+    removed.push_back(site);
+  }
+}
+
+/// Statement-level rewrite. Returns nullptr when the statement is dropped.
+NodePtr rewrite_statement(const Node& stmt, std::vector<ast::CallSite>& removed);
+
+NodePtr rewrite_block(const Node& block,
+                      std::vector<ast::CallSite>& removed) {
+  auto out = ast::make_node(block.kind, block.text, block.line);
+  out->aux = block.aux;
+  for (const auto& child : block.children) {
+    NodePtr replacement = rewrite_statement(*child, removed);
+    if (replacement) out->add(std::move(replacement));
+  }
+  return out;
+}
+
+NodePtr rewrite_statement(const Node& stmt,
+                          std::vector<ast::CallSite>& removed) {
+  switch (stmt.kind) {
+    case NodeKind::kExpressionStatement: {
+      if (!stmt.children.empty() && contains_mpi_call(*stmt.child(0))) {
+        record_calls(*stmt.child(0), removed);
+        return nullptr;  // drop the whole statement
+      }
+      return ast::clone(stmt);
+    }
+    case NodeKind::kDeclaration: {
+      // Keep declarations; drop initializers that invoke MPI.
+      auto out = ast::make_node(stmt.kind, stmt.text, stmt.line);
+      out->add(ast::clone(*stmt.child(0)));
+      for (std::size_t i = 1; i < stmt.children.size(); ++i) {
+        const Node& init_decl = *stmt.children[i];
+        auto copy = ast::make_node(init_decl.kind, init_decl.text,
+                                   init_decl.line);
+        copy->add(ast::clone(*init_decl.child(0)));
+        if (init_decl.child_count() == 2) {
+          if (contains_mpi_call(*init_decl.child(1))) {
+            record_calls(*init_decl.child(1), removed);
+          } else {
+            copy->add(ast::clone(*init_decl.child(1)));
+          }
+        }
+        out->add(std::move(copy));
+      }
+      return out;
+    }
+    case NodeKind::kCompoundStatement:
+      return rewrite_block(stmt, removed);
+    case NodeKind::kIfStatement:
+    case NodeKind::kWhileStatement:
+    case NodeKind::kDoStatement:
+    case NodeKind::kForStatement:
+    case NodeKind::kSwitchStatement: {
+      // A control-flow condition/clause touching MPI drops the whole
+      // statement; otherwise rewrite the bodies recursively.
+      const std::size_t body_begin =
+          stmt.kind == NodeKind::kDoStatement ? 0 : 0;
+      (void)body_begin;
+      bool header_has_mpi = false;
+      for (const auto& child : stmt.children) {
+        if (!ast::is_statement(child->kind) && contains_mpi_call(*child)) {
+          header_has_mpi = true;
+        }
+      }
+      if (header_has_mpi) {
+        record_calls(stmt, removed);
+        return nullptr;
+      }
+      auto out = ast::make_node(stmt.kind, stmt.text, stmt.line);
+      out->aux = stmt.aux;
+      for (const auto& child : stmt.children) {
+        if (ast::is_statement(child->kind)) {
+          NodePtr replacement = rewrite_statement(*child, removed);
+          if (replacement) {
+            out->add(std::move(replacement));
+          } else {
+            // A dropped loop/if body becomes an empty block to stay valid.
+            out->add(ast::make_node(NodeKind::kCompoundStatement, {},
+                                    child->line));
+          }
+        } else {
+          out->add(ast::clone(*child));
+        }
+      }
+      return out;
+    }
+    case NodeKind::kCaseStatement: {
+      auto out = ast::make_node(stmt.kind, stmt.text, stmt.line);
+      std::size_t i = 0;
+      if (stmt.text == "case") {
+        out->add(ast::clone(*stmt.child(0)));
+        i = 1;
+      }
+      for (; i < stmt.children.size(); ++i) {
+        NodePtr replacement = rewrite_statement(*stmt.children[i], removed);
+        if (replacement) out->add(std::move(replacement));
+      }
+      return out;
+    }
+    case NodeKind::kReturnStatement: {
+      if (!stmt.children.empty() && contains_mpi_call(*stmt.child(0))) {
+        // `return MPI_...(...)` -> bare return (location signal removed).
+        record_calls(*stmt.child(0), removed);
+        return ast::make_node(NodeKind::kReturnStatement, {}, stmt.line);
+      }
+      return ast::clone(stmt);
+    }
+    default:
+      return ast::clone(stmt);
+  }
+}
+
+}  // namespace
+
+bool contains_mpi_call(const Node& node) {
+  if (node.kind == NodeKind::kCallExpression &&
+      mpidb::has_mpi_prefix(node.text)) {
+    return true;
+  }
+  for (const auto& c : node.children) {
+    if (contains_mpi_call(*c)) return true;
+  }
+  return false;
+}
+
+RemovalResult remove_mpi_calls(const Node& label_root) {
+  MR_CHECK(label_root.kind == NodeKind::kTranslationUnit,
+           "remove_mpi_calls expects a translation unit");
+  RemovalResult result;
+  auto out = ast::make_node(NodeKind::kTranslationUnit, {}, label_root.line);
+  for (const auto& item : label_root.children) {
+    if (item->kind == NodeKind::kFunctionDefinition) {
+      auto fn = ast::make_node(item->kind, item->text, item->line);
+      fn->add(ast::clone(*item->child(0)));
+      fn->add(ast::clone(*item->child(1)));
+      fn->add(ast::clone(*item->child(2)));
+      fn->add(rewrite_block(*item->child(3), result.removed));
+      out->add(std::move(fn));
+    } else {
+      out->add(ast::clone(*item));
+    }
+  }
+  result.stripped = std::move(out);
+  return result;
+}
+
+}  // namespace mpirical::corpus

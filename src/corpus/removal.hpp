@@ -1,0 +1,38 @@
+// MPI function removal -- the dataset-construction step of the paper (Fig. 4).
+//
+// Given a parsed MPI program, produces the "Removed-Locations" variant: every
+// MPI function call is deleted so that both the function identity and its
+// location are lost. The removed calls (with their line numbers in the
+// *standardized label code*) become the supervision signal.
+//
+// Removal rules (applied to statements, preserving parseability):
+//   * an expression statement whose expression is an MPI call (possibly
+//     wrapped in assignments/casts, e.g. `rc = MPI_Send(...);`) is dropped;
+//   * a declaration whose initializer is an MPI call (e.g.
+//     `double t0 = MPI_Wtime();`) keeps the declaration, drops the init;
+//   * MPI calls in other positions (conditions, arguments) have the entire
+//     innermost enclosing statement dropped -- this matches the paper's
+//     "replaced with an empty string" semantics while keeping valid C.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cast/node.hpp"
+
+namespace mpirical::corpus {
+
+struct RemovalResult {
+  ast::NodePtr stripped;                 // AST with MPI calls removed
+  std::vector<ast::CallSite> removed;    // calls removed, label-code lines
+};
+
+/// Strips MPI calls from `label_root`. Line numbers in `removed` refer to the
+/// standardized printing of `label_root` (callers should pass an AST that was
+/// produced by parsing standardized code so lines already agree).
+RemovalResult remove_mpi_calls(const ast::Node& label_root);
+
+/// True if the subtree contains any MPI call.
+bool contains_mpi_call(const ast::Node& node);
+
+}  // namespace mpirical::corpus

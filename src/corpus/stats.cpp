@@ -1,0 +1,92 @@
+#include "corpus/stats.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+
+#include "clex/lexer.hpp"
+#include "cparse/parser.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mpirical::corpus {
+
+CorpusStats compute_stats(const std::vector<ProgramRecord>& corpus,
+                          std::size_t max_tokens) {
+  CorpusStats stats;
+  stats.n_files = corpus.size();
+  std::mutex mu;
+
+  parallel_for(
+      0, corpus.size(),
+      [&](std::size_t idx) {
+        const std::string& src = corpus[idx].source;
+        const int lines = count_lines(src);
+
+        ast::NodePtr tree;
+        try {
+          tree = parse::parse_translation_unit(src);
+        } catch (const Error&) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++stats.parse_failures;
+          return;
+        }
+
+        const auto calls = ast::collect_mpi_calls(*tree);
+        std::set<std::string> distinct;
+        int init_line = -1;
+        int finalize_line = -1;
+        for (const auto& call : calls) {
+          distinct.insert(call.callee);
+          if (call.callee == "MPI_Init" && init_line < 0) {
+            init_line = call.line;
+          }
+          if (call.callee == "MPI_Finalize") finalize_line = call.line;
+        }
+
+        const std::size_t tokens =
+            lex::code_token_count(lex::tokenize(src));
+
+        std::lock_guard<std::mutex> lock(mu);
+        if (lines <= 10) {
+          ++stats.len_le_10;
+        } else if (lines <= 50) {
+          ++stats.len_11_50;
+        } else if (lines <= 99) {
+          ++stats.len_51_99;
+        } else {
+          ++stats.len_ge_100;
+        }
+        for (const auto& name : distinct) {
+          ++stats.function_file_counts[name];
+        }
+        if (init_line >= 0 && finalize_line >= 0 && lines > 0) {
+          double ratio = static_cast<double>(finalize_line - init_line + 1) /
+                         static_cast<double>(lines);
+          if (ratio < 0.0) ratio = 0.0;
+          if (ratio > 1.0) ratio = 1.0;
+          std::size_t bin = static_cast<std::size_t>(
+              ratio * static_cast<double>(CorpusStats::kRatioBins));
+          if (bin >= CorpusStats::kRatioBins) bin = CorpusStats::kRatioBins - 1;
+          ++stats.ratio_histogram[bin];
+          ++stats.files_with_init_and_finalize;
+        }
+        if (tokens <= max_tokens) ++stats.within_token_limit;
+      },
+      /*grain=*/32);
+
+  return stats;
+}
+
+std::vector<std::pair<std::string, std::size_t>> sorted_function_counts(
+    const CorpusStats& stats) {
+  std::vector<std::pair<std::string, std::size_t>> out(
+      stats.function_file_counts.begin(), stats.function_file_counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace mpirical::corpus

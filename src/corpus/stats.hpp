@@ -1,0 +1,47 @@
+// Corpus statistics: everything Table Ia, Table Ib and Fig. 3 report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace mpirical::corpus {
+
+struct CorpusStats {
+  std::size_t n_files = 0;
+  std::size_t parse_failures = 0;
+
+  // Table Ia: code length histogram (raw source lines).
+  std::size_t len_le_10 = 0;
+  std::size_t len_11_50 = 0;
+  std::size_t len_51_99 = 0;
+  std::size_t len_ge_100 = 0;
+
+  // Table Ib: per-file function occurrence counts (multiple calls of the
+  // same function in one file count once).
+  std::map<std::string, std::size_t> function_file_counts;
+
+  // Fig. 3: histogram (kRatioBins bins over [0,1]) of the ratio between the
+  // Init..Finalize span and the whole program length.
+  static constexpr std::size_t kRatioBins = 20;
+  std::vector<std::size_t> ratio_histogram =
+      std::vector<std::size_t>(kRatioBins, 0);
+  std::size_t files_with_init_and_finalize = 0;
+
+  // Exclusion accounting (paper: ~50% dropped by the 320-token limit).
+  std::size_t within_token_limit = 0;
+};
+
+/// Computes statistics over a corpus. `max_tokens` is used only for the
+/// within_token_limit accounting.
+CorpusStats compute_stats(const std::vector<ProgramRecord>& corpus,
+                          std::size_t max_tokens = 320);
+
+/// Table Ib helper: function counts sorted by count, descending.
+std::vector<std::pair<std::string, std::size_t>> sorted_function_counts(
+    const CorpusStats& stats);
+
+}  // namespace mpirical::corpus

@@ -1,0 +1,705 @@
+#include "cparse/parser.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "clex/lexer.hpp"
+#include "support/check.hpp"
+
+namespace mpirical::parse {
+
+using ast::Node;
+using ast::NodeKind;
+using ast::NodePtr;
+using ast::make_node;
+using lex::Token;
+using lex::TokenKind;
+
+namespace {
+
+const std::unordered_set<std::string>& typedef_names() {
+  static const std::unordered_set<std::string> names = {
+      "size_t",       "ssize_t",     "ptrdiff_t", "FILE",        "time_t",
+      "int8_t",       "int16_t",     "int32_t",   "int64_t",     "uint8_t",
+      "uint16_t",     "uint32_t",    "uint64_t",  "MPI_Status",  "MPI_Comm",
+      "MPI_Datatype", "MPI_Op",      "MPI_Request", "MPI_Group", "MPI_File",
+      "MPI_Win",      "MPI_Aint",    "MPI_Offset", "MPI_Info",   "MPI_Errhandler",
+  };
+  return names;
+}
+
+const std::unordered_set<std::string>& type_keywords() {
+  static const std::unordered_set<std::string> kws = {
+      "void",   "char",     "short",  "int",    "long",     "float",
+      "double", "signed",   "unsigned", "const", "static",  "struct",
+      "extern", "register", "volatile", "inline",
+  };
+  return kws;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex::tokenize(source)) {}
+
+  NodePtr translation_unit() {
+    auto tu = make_node(NodeKind::kTranslationUnit, {}, 1);
+    while (!peek().is(TokenKind::kEndOfFile)) {
+      if (peek().is(TokenKind::kDirective)) {
+        auto d = make_node(NodeKind::kPreprocDirective, peek().text,
+                           peek().line);
+        advance();
+        tu->add(std::move(d));
+        continue;
+      }
+      tu->add(external_declaration());
+    }
+    return tu;
+  }
+
+  NodePtr expression_only() {
+    auto e = expression();
+    expect_kind(TokenKind::kEndOfFile, "trailing tokens after expression");
+    return e;
+  }
+
+ private:
+  // ---- token plumbing -----------------------------------------------------
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  const Token& advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+
+  bool accept_punct(const char* s) {
+    if (peek().is_punct(s)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_punct(const char* s) {
+    if (!accept_punct(s)) {
+      fail(std::string("expected '") + s + "', found '" + peek().text + "'");
+    }
+  }
+
+  bool accept_keyword(const char* s) {
+    if (peek().is_keyword(s)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_kind(TokenKind k, const char* msg) {
+    if (!peek().is(k)) fail(msg);
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "parse error at line " << peek().line << ", column "
+       << peek().column << ": " << msg;
+    throw Error(os.str());
+  }
+
+  // ---- types --------------------------------------------------------------
+
+  bool at_type_start(std::size_t ahead = 0) const {
+    const Token& t = peek(ahead);
+    if (t.kind == TokenKind::kKeyword) return type_keywords().count(t.text) > 0;
+    if (t.kind == TokenKind::kIdentifier) {
+      return typedef_names().count(t.text) > 0;
+    }
+    return false;
+  }
+
+  /// Consumes a type specifier (qualifiers + base type words) into its
+  /// canonical single-space-joined spelling.
+  NodePtr type_spec() {
+    const int line = peek().line;
+    std::string text;
+    bool saw_base = false;
+    for (;;) {
+      const Token& t = peek();
+      if (t.kind == TokenKind::kKeyword && type_keywords().count(t.text)) {
+        if (t.text == "struct") {
+          advance();
+          expect_kind(TokenKind::kIdentifier, "expected struct tag");
+          if (!text.empty()) text += ' ';
+          text += "struct " + advance().text;
+          saw_base = true;
+          continue;
+        }
+        if (!text.empty()) text += ' ';
+        text += t.text;
+        if (t.text != "const" && t.text != "static" && t.text != "extern" &&
+            t.text != "register" && t.text != "volatile" &&
+            t.text != "inline") {
+          saw_base = true;
+        }
+        advance();
+        continue;
+      }
+      if (!saw_base && t.kind == TokenKind::kIdentifier &&
+          typedef_names().count(t.text)) {
+        if (!text.empty()) text += ' ';
+        text += t.text;
+        saw_base = true;
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (text.empty()) fail("expected type specifier");
+    // "unsigned"/"signed"/"long"/"short" alone imply int; keep spelling as-is.
+    return make_node(NodeKind::kTypeSpec, text, line);
+  }
+
+  /// declarator := '*'* name ('[' expr? ']')*
+  NodePtr declarator(bool name_required = true) {
+    const int line = peek().line;
+    int pointer_depth = 0;
+    while (accept_punct("*")) ++pointer_depth;
+    auto d = make_node(NodeKind::kDeclarator, {}, line);
+    d->aux = pointer_depth;
+    if (peek().is(TokenKind::kIdentifier)) {
+      d->text = advance().text;
+    } else if (name_required) {
+      fail("expected declarator name");
+    }
+    while (accept_punct("[")) {
+      if (peek().is_punct("]")) {
+        d->add(make_node(NodeKind::kEmptyExpr, {}, peek().line));
+      } else {
+        d->add(expression());
+      }
+      expect_punct("]");
+    }
+    return d;
+  }
+
+  // ---- external declarations ----------------------------------------------
+
+  NodePtr external_declaration() {
+    if (!at_type_start()) {
+      fail("expected declaration or function definition");
+    }
+    const int line = peek().line;
+    auto type = type_spec();
+    auto decl = declarator();
+    if (peek().is_punct("(")) {
+      return function_rest(std::move(type), std::move(decl), line);
+    }
+    return declaration_rest(std::move(type), std::move(decl), line);
+  }
+
+  NodePtr function_rest(NodePtr type, NodePtr decl, int line) {
+    auto fn = make_node(NodeKind::kFunctionDefinition, decl->text, line);
+    expect_punct("(");
+    auto params = make_node(NodeKind::kParameterList, {}, line);
+    if (!peek().is_punct(")")) {
+      if (peek().is_keyword("void") && peek(1).is_punct(")")) {
+        advance();  // bare "void" parameter list
+      } else {
+        for (;;) {
+          params->add(parameter_declaration());
+          if (!accept_punct(",")) break;
+        }
+      }
+    }
+    expect_punct(")");
+    fn->add(std::move(type));
+    fn->add(std::move(decl));
+    fn->add(std::move(params));
+    if (!peek().is_punct("{")) {
+      fail("expected function body ('{'); prototypes are not supported");
+    }
+    fn->add(compound_statement());
+    return fn;
+  }
+
+  NodePtr parameter_declaration() {
+    const int line = peek().line;
+    if (!at_type_start()) fail("expected parameter type");
+    auto p = make_node(NodeKind::kParameterDeclaration, {}, line);
+    p->add(type_spec());
+    p->add(declarator(/*name_required=*/false));
+    return p;
+  }
+
+  NodePtr declaration_rest(NodePtr type, NodePtr first_decl, int line) {
+    auto decl = make_node(NodeKind::kDeclaration, {}, line);
+    decl->add(std::move(type));
+    decl->add(init_declarator_rest(std::move(first_decl)));
+    while (accept_punct(",")) {
+      decl->add(init_declarator_rest(declarator()));
+    }
+    expect_punct(";");
+    return decl;
+  }
+
+  NodePtr init_declarator_rest(NodePtr d) {
+    auto init = make_node(NodeKind::kInitDeclarator, {}, d->line);
+    init->add(std::move(d));
+    if (accept_punct("=")) {
+      if (peek().is_punct("{")) {
+        init->add(init_list());
+      } else {
+        init->add(assignment_expression());
+      }
+    }
+    return init;
+  }
+
+  NodePtr init_list() {
+    const int line = peek().line;
+    expect_punct("{");
+    auto list = make_node(NodeKind::kInitList, {}, line);
+    if (!peek().is_punct("}")) {
+      for (;;) {
+        if (peek().is_punct("{")) {
+          list->add(init_list());
+        } else {
+          list->add(assignment_expression());
+        }
+        if (!accept_punct(",")) break;
+      }
+    }
+    expect_punct("}");
+    return list;
+  }
+
+  // ---- statements -----------------------------------------------------------
+
+  NodePtr compound_statement() {
+    const int line = peek().line;
+    expect_punct("{");
+    auto block = make_node(NodeKind::kCompoundStatement, {}, line);
+    while (!peek().is_punct("}")) {
+      if (peek().is(TokenKind::kEndOfFile)) fail("unterminated block");
+      block->add(statement());
+    }
+    expect_punct("}");
+    return block;
+  }
+
+  NodePtr statement() {
+    const Token& t = peek();
+    if (t.is(TokenKind::kDirective)) {
+      auto d = make_node(NodeKind::kPreprocDirective, t.text, t.line);
+      advance();
+      return d;
+    }
+    if (t.is_punct("{")) return compound_statement();
+    if (t.is_keyword("if")) return if_statement();
+    if (t.is_keyword("while")) return while_statement();
+    if (t.is_keyword("do")) return do_statement();
+    if (t.is_keyword("for")) return for_statement();
+    if (t.is_keyword("switch")) return switch_statement();
+    if (t.is_keyword("return")) {
+      const int line = t.line;
+      advance();
+      auto ret = make_node(NodeKind::kReturnStatement, {}, line);
+      if (!peek().is_punct(";")) ret->add(expression());
+      expect_punct(";");
+      return ret;
+    }
+    if (t.is_keyword("break")) {
+      const int line = t.line;
+      advance();
+      expect_punct(";");
+      return make_node(NodeKind::kBreakStatement, {}, line);
+    }
+    if (t.is_keyword("continue")) {
+      const int line = t.line;
+      advance();
+      expect_punct(";");
+      return make_node(NodeKind::kContinueStatement, {}, line);
+    }
+    if (at_type_start()) {
+      const int line = t.line;
+      auto type = type_spec();
+      auto decl = declarator();
+      return declaration_rest(std::move(type), std::move(decl), line);
+    }
+    // Expression statement (possibly empty).
+    const int line = t.line;
+    auto stmt = make_node(NodeKind::kExpressionStatement, {}, line);
+    if (!peek().is_punct(";")) stmt->add(comma_expression());
+    expect_punct(";");
+    return stmt;
+  }
+
+  /// Wraps a statement in a compound statement unless it already is one.
+  /// This normalizes unbraced bodies (including `else if` chains) so that
+  /// parse -> print -> parse is a fixed point (the printer always braces).
+  NodePtr as_block(NodePtr stmt) {
+    if (stmt->kind == NodeKind::kCompoundStatement) return stmt;
+    auto block = make_node(NodeKind::kCompoundStatement, {}, stmt->line);
+    block->add(std::move(stmt));
+    return block;
+  }
+
+  NodePtr if_statement() {
+    const int line = peek().line;
+    advance();  // if
+    expect_punct("(");
+    auto node = make_node(NodeKind::kIfStatement, {}, line);
+    node->add(comma_expression());
+    expect_punct(")");
+    node->add(as_block(statement()));
+    if (accept_keyword("else")) node->add(as_block(statement()));
+    return node;
+  }
+
+  NodePtr while_statement() {
+    const int line = peek().line;
+    advance();  // while
+    expect_punct("(");
+    auto node = make_node(NodeKind::kWhileStatement, {}, line);
+    node->add(comma_expression());
+    expect_punct(")");
+    node->add(as_block(statement()));
+    return node;
+  }
+
+  NodePtr do_statement() {
+    const int line = peek().line;
+    advance();  // do
+    auto node = make_node(NodeKind::kDoStatement, {}, line);
+    node->add(as_block(statement()));
+    if (!accept_keyword("while")) fail("expected 'while' after do-body");
+    expect_punct("(");
+    node->add(comma_expression());
+    expect_punct(")");
+    expect_punct(";");
+    return node;
+  }
+
+  NodePtr for_statement() {
+    const int line = peek().line;
+    advance();  // for
+    expect_punct("(");
+    auto node = make_node(NodeKind::kForStatement, {}, line);
+    // init clause
+    if (peek().is_punct(";")) {
+      advance();
+      node->add(make_node(NodeKind::kEmptyExpr, {}, line));
+    } else if (at_type_start()) {
+      auto type = type_spec();
+      auto decl = declarator();
+      node->add(declaration_rest(std::move(type), std::move(decl), line));
+    } else {
+      auto stmt = make_node(NodeKind::kExpressionStatement, {}, peek().line);
+      stmt->add(comma_expression());
+      expect_punct(";");
+      node->add(std::move(stmt));
+    }
+    // condition
+    if (peek().is_punct(";")) {
+      node->add(make_node(NodeKind::kEmptyExpr, {}, peek().line));
+    } else {
+      node->add(comma_expression());
+    }
+    expect_punct(";");
+    // update
+    if (peek().is_punct(")")) {
+      node->add(make_node(NodeKind::kEmptyExpr, {}, peek().line));
+    } else {
+      node->add(comma_expression());
+    }
+    expect_punct(")");
+    node->add(as_block(statement()));
+    return node;
+  }
+
+  NodePtr switch_statement() {
+    const int line = peek().line;
+    advance();  // switch
+    expect_punct("(");
+    auto node = make_node(NodeKind::kSwitchStatement, {}, line);
+    node->add(comma_expression());
+    expect_punct(")");
+    expect_punct("{");
+    auto body = make_node(NodeKind::kCompoundStatement, {}, peek().line);
+    while (!peek().is_punct("}")) {
+      body->add(case_statement());
+    }
+    expect_punct("}");
+    node->add(std::move(body));
+    return node;
+  }
+
+  NodePtr case_statement() {
+    const int line = peek().line;
+    NodePtr node;
+    if (accept_keyword("case")) {
+      node = make_node(NodeKind::kCaseStatement, "case", line);
+      node->add(conditional_expression());
+    } else if (accept_keyword("default")) {
+      node = make_node(NodeKind::kCaseStatement, "default", line);
+    } else {
+      fail("expected 'case' or 'default' in switch body");
+    }
+    expect_punct(":");
+    while (!peek().is_punct("}") && !peek().is_keyword("case") &&
+           !peek().is_keyword("default")) {
+      node->add(statement());
+    }
+    return node;
+  }
+
+  // ---- expressions ----------------------------------------------------------
+
+  NodePtr comma_expression() {
+    auto lhs = expression();
+    while (peek().is_punct(",")) {
+      const int line = peek().line;
+      advance();
+      auto node = make_node(NodeKind::kCommaExpression, {}, line);
+      node->add(std::move(lhs));
+      node->add(expression());
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  NodePtr expression() { return assignment_expression(); }
+
+  bool at_assignment_op() const {
+    if (!peek().is(TokenKind::kPunct)) return false;
+    const std::string& s = peek().text;
+    return s == "=" || s == "+=" || s == "-=" || s == "*=" || s == "/=" ||
+           s == "%=" || s == "&=" || s == "|=" || s == "^=" || s == "<<=" ||
+           s == ">>=";
+  }
+
+  NodePtr assignment_expression() {
+    auto lhs = conditional_expression();
+    if (at_assignment_op()) {
+      const Token& op = peek();
+      auto node =
+          make_node(NodeKind::kAssignmentExpression, op.text, op.line);
+      advance();
+      node->add(std::move(lhs));
+      node->add(assignment_expression());  // right-associative
+      return node;
+    }
+    return lhs;
+  }
+
+  NodePtr conditional_expression() {
+    auto cond = binary_expression(0);
+    if (peek().is_punct("?")) {
+      const int line = peek().line;
+      advance();
+      auto node = make_node(NodeKind::kConditionalExpression, {}, line);
+      node->add(std::move(cond));
+      node->add(comma_expression());
+      expect_punct(":");
+      node->add(conditional_expression());
+      return node;
+    }
+    return cond;
+  }
+
+  /// Precedence-climbing over binary operators. Level 0 is lowest (||).
+  int binary_precedence(const std::string& op) const {
+    if (op == "||") return 1;
+    if (op == "&&") return 2;
+    if (op == "|") return 3;
+    if (op == "^") return 4;
+    if (op == "&") return 5;
+    if (op == "==" || op == "!=") return 6;
+    if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
+    if (op == "<<" || op == ">>") return 8;
+    if (op == "+" || op == "-") return 9;
+    if (op == "*" || op == "/" || op == "%") return 10;
+    return -1;
+  }
+
+  NodePtr binary_expression(int min_prec) {
+    auto lhs = unary_expression();
+    for (;;) {
+      if (!peek().is(TokenKind::kPunct)) return lhs;
+      const int prec = binary_precedence(peek().text);
+      if (prec < 0 || prec < min_prec) return lhs;
+      const Token& op = peek();
+      auto node = make_node(NodeKind::kBinaryExpression, op.text, op.line);
+      advance();
+      node->add(std::move(lhs));
+      node->add(binary_expression(prec + 1));  // left-associative
+      lhs = std::move(node);
+    }
+  }
+
+  NodePtr unary_expression() {
+    const Token& t = peek();
+    if (t.is_punct("++") || t.is_punct("--")) {
+      auto node = make_node(NodeKind::kUpdateExpression, t.text, t.line);
+      node->aux = 0;  // prefix
+      advance();
+      node->add(unary_expression());
+      return node;
+    }
+    if (t.is_punct("!") || t.is_punct("~") || t.is_punct("-") ||
+        t.is_punct("+")) {
+      auto node = make_node(NodeKind::kUnaryExpression, t.text, t.line);
+      advance();
+      node->add(unary_expression());
+      return node;
+    }
+    if (t.is_punct("*") || t.is_punct("&")) {
+      auto node = make_node(NodeKind::kPointerExpression, t.text, t.line);
+      advance();
+      node->add(unary_expression());
+      return node;
+    }
+    if (t.is_keyword("sizeof")) {
+      const int line = t.line;
+      advance();
+      auto node = make_node(NodeKind::kSizeofExpression, {}, line);
+      if (peek().is_punct("(") && at_type_start(1)) {
+        advance();  // (
+        auto type = type_spec();
+        std::string text = type->text;
+        while (accept_punct("*")) text += " *";
+        node->text = text;
+        expect_punct(")");
+      } else if (accept_punct("(")) {
+        node->aux = 1;
+        node->add(comma_expression());
+        expect_punct(")");
+      } else {
+        node->aux = 1;
+        node->add(unary_expression());
+      }
+      return node;
+    }
+    // Cast: '(' type ')' unary
+    if (t.is_punct("(") && at_type_start(1)) {
+      const int line = t.line;
+      advance();  // (
+      auto type = type_spec();
+      int pointer_depth = 0;
+      while (accept_punct("*")) ++pointer_depth;
+      expect_punct(")");
+      auto node = make_node(NodeKind::kCastExpression, type->text, line);
+      node->aux = pointer_depth;
+      node->add(unary_expression());
+      return node;
+    }
+    return postfix_expression();
+  }
+
+  NodePtr postfix_expression() {
+    auto e = primary_expression();
+    for (;;) {
+      const Token& t = peek();
+      if (t.is_punct("[")) {
+        auto node = make_node(NodeKind::kSubscriptExpression, {}, t.line);
+        advance();
+        node->add(std::move(e));
+        node->add(comma_expression());
+        expect_punct("]");
+        e = std::move(node);
+      } else if (t.is_punct(".") || t.is_punct("->")) {
+        auto node = make_node(NodeKind::kFieldExpression, {}, t.line);
+        node->aux = t.text == "->" ? 1 : 0;
+        advance();
+        expect_kind(TokenKind::kIdentifier, "expected field name");
+        node->text = advance().text;
+        node->children.insert(node->children.begin(), std::move(e));
+        e = std::move(node);
+      } else if (t.is_punct("++") || t.is_punct("--")) {
+        auto node = make_node(NodeKind::kUpdateExpression, t.text, t.line);
+        node->aux = 1;  // postfix
+        advance();
+        node->add(std::move(e));
+        e = std::move(node);
+      } else if (t.is_punct("(")) {
+        if (e->kind != NodeKind::kIdentifier) {
+          fail("only direct calls of named functions are supported");
+        }
+        auto node = make_node(NodeKind::kCallExpression, e->text, e->line);
+        advance();
+        if (!peek().is_punct(")")) {
+          for (;;) {
+            node->add(assignment_expression());
+            if (!accept_punct(",")) break;
+          }
+        }
+        expect_punct(")");
+        e = std::move(node);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  NodePtr primary_expression() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kIdentifier: {
+        auto node = make_node(NodeKind::kIdentifier, t.text, t.line);
+        advance();
+        return node;
+      }
+      case TokenKind::kIntLiteral:
+      case TokenKind::kFloatLiteral: {
+        auto node = make_node(NodeKind::kNumberLiteral, t.text, t.line);
+        advance();
+        return node;
+      }
+      case TokenKind::kStringLiteral: {
+        auto node = make_node(NodeKind::kStringLiteral, t.text, t.line);
+        advance();
+        return node;
+      }
+      case TokenKind::kCharLiteral: {
+        auto node = make_node(NodeKind::kCharLiteral, t.text, t.line);
+        advance();
+        return node;
+      }
+      default:
+        break;
+    }
+    if (t.is_punct("(")) {
+      const int line = t.line;
+      advance();
+      auto node = make_node(NodeKind::kParenthesizedExpression, {}, line);
+      node->add(comma_expression());
+      expect_punct(")");
+      return node;
+    }
+    fail(std::string("unexpected token '") + t.text + "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ast::NodePtr parse_translation_unit(std::string_view source) {
+  Parser parser(source);
+  return parser.translation_unit();
+}
+
+ast::NodePtr parse_expression_string(std::string_view source) {
+  Parser parser(source);
+  return parser.expression_only();
+}
+
+bool is_typedef_name(const std::string& name) {
+  return typedef_names().count(name) > 0;
+}
+
+}  // namespace mpirical::parse

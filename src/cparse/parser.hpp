@@ -1,0 +1,33 @@
+// Recursive-descent parser for the C subset used by MPI numerical codes.
+//
+// This plays the role pycparser plays in the paper's pipeline (dataset
+// inclusion gate + AST source) and TreeSitter plays for X-SBT. The grammar
+// covers: preprocessor passthrough, function definitions, declarations with
+// initializers and arrays, the full statement set (if/else, while, do, for,
+// switch/case, return, break, continue, compound), and C expressions with
+// standard precedence (assignment, conditional, logical, bitwise, equality,
+// relational, shift, additive, multiplicative, casts, unary, postfix).
+//
+// Typedef-style type names (MPI_Status, size_t, ...) are recognized from a
+// built-in table; programs must not reuse them as variable names.
+// Parse failures raise mpirical::Error with line/column -- callers that use
+// parsing as a dataset filter catch the error (see corpus::try_parse).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "cast/node.hpp"
+
+namespace mpirical::parse {
+
+/// Parses a full translation unit. Throws mpirical::Error on malformed input.
+ast::NodePtr parse_translation_unit(std::string_view source);
+
+/// Parses a single expression (convenience for tests and tools).
+ast::NodePtr parse_expression_string(std::string_view source);
+
+/// True if `name` is one of the built-in typedef-style type names.
+bool is_typedef_name(const std::string& name);
+
+}  // namespace mpirical::parse

@@ -1,0 +1,218 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace mpirical::metrics {
+
+PrfCounts match_call_sites(const std::vector<ast::CallSite>& predicted,
+                           const std::vector<ast::CallSite>& truth,
+                           int line_tolerance) {
+  return match_call_sites_filtered(predicted, truth, line_tolerance,
+                                   [](const std::string&) { return true; });
+}
+
+PrfCounts match_call_sites_filtered(
+    const std::vector<ast::CallSite>& predicted,
+    const std::vector<ast::CallSite>& truth, int line_tolerance,
+    const std::function<bool(const std::string&)>& keep) {
+  std::vector<const ast::CallSite*> pred;
+  std::vector<const ast::CallSite*> gt;
+  for (const auto& p : predicted) {
+    if (keep(p.callee)) pred.push_back(&p);
+  }
+  for (const auto& t : truth) {
+    if (keep(t.callee)) gt.push_back(&t);
+  }
+
+  std::vector<bool> used(gt.size(), false);
+  PrfCounts counts;
+  for (const auto* p : pred) {
+    int best = -1;
+    int best_delta = line_tolerance + 1;
+    for (std::size_t i = 0; i < gt.size(); ++i) {
+      if (used[i] || gt[i]->callee != p->callee) continue;
+      const int delta = std::abs(gt[i]->line - p->line);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0 && best_delta <= line_tolerance) {
+      used[static_cast<std::size_t>(best)] = true;
+      ++counts.tp;
+    } else {
+      ++counts.fp;
+    }
+  }
+  for (std::size_t i = 0; i < gt.size(); ++i) {
+    if (!used[i]) ++counts.fn;
+  }
+  return counts;
+}
+
+double bleu(const std::vector<std::string>& candidate,
+            const std::vector<std::string>& reference, int max_n) {
+  MR_CHECK(max_n >= 1, "bleu requires max_n >= 1");
+  if (candidate.empty() || reference.empty()) return 0.0;
+
+  double log_sum = 0.0;
+  for (int n = 1; n <= max_n; ++n) {
+    const std::size_t un = static_cast<std::size_t>(n);
+    if (candidate.size() < un) {
+      // No n-grams of this order; use the epsilon-smoothed value.
+      log_sum += std::log(1e-9) / max_n;
+      continue;
+    }
+    std::map<std::vector<std::string>, std::size_t> ref_counts;
+    if (reference.size() >= un) {
+      for (std::size_t i = 0; i + un <= reference.size(); ++i) {
+        std::vector<std::string> gram(reference.begin() + i,
+                                      reference.begin() + i + un);
+        ++ref_counts[gram];
+      }
+    }
+    std::size_t matched = 0;
+    const std::size_t total = candidate.size() - un + 1;
+    std::map<std::vector<std::string>, std::size_t> used;
+    for (std::size_t i = 0; i + un <= candidate.size(); ++i) {
+      std::vector<std::string> gram(candidate.begin() + i,
+                                    candidate.begin() + i + un);
+      auto it = ref_counts.find(gram);
+      if (it != ref_counts.end() && used[gram] < it->second) {
+        ++used[gram];
+        ++matched;
+      }
+    }
+    // Lin-Och style +1 smoothing for n >= 2.
+    double p;
+    if (n == 1) {
+      p = total == 0 ? 0.0
+                     : static_cast<double>(matched) /
+                           static_cast<double>(total);
+    } else {
+      p = (static_cast<double>(matched) + 1.0) /
+          (static_cast<double>(total) + 1.0);
+    }
+    if (p <= 0.0) p = 1e-9;
+    log_sum += std::log(p) / max_n;
+  }
+
+  // Brevity penalty.
+  const double c = static_cast<double>(candidate.size());
+  const double r = static_cast<double>(reference.size());
+  const double bp = c >= r ? 1.0 : std::exp(1.0 - r / c);
+  return bp * std::exp(log_sum);
+}
+
+namespace {
+
+/// Greedy in-order unigram alignment: candidate position -> reference
+/// position (or -1).
+std::vector<int> align_unigrams(const std::vector<std::string>& candidate,
+                                const std::vector<std::string>& reference) {
+  std::vector<bool> ref_used(reference.size(), false);
+  std::vector<int> align(candidate.size(), -1);
+  std::size_t search_from = 0;
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    // Prefer the first unmatched occurrence at or after the previous match
+    // (keeps alignments monotone where possible), else any unmatched one.
+    int found = -1;
+    for (std::size_t j = search_from; j < reference.size(); ++j) {
+      if (!ref_used[j] && reference[j] == candidate[i]) {
+        found = static_cast<int>(j);
+        break;
+      }
+    }
+    if (found < 0) {
+      for (std::size_t j = 0; j < search_from && j < reference.size(); ++j) {
+        if (!ref_used[j] && reference[j] == candidate[i]) {
+          found = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+    if (found >= 0) {
+      ref_used[static_cast<std::size_t>(found)] = true;
+      align[i] = found;
+      search_from = static_cast<std::size_t>(found) + 1;
+    }
+  }
+  return align;
+}
+
+}  // namespace
+
+double meteor(const std::vector<std::string>& candidate,
+              const std::vector<std::string>& reference) {
+  if (candidate.empty() || reference.empty()) return 0.0;
+  const auto align = align_unigrams(candidate, reference);
+  std::size_t matches = 0;
+  for (int a : align) {
+    if (a >= 0) ++matches;
+  }
+  if (matches == 0) return 0.0;
+
+  const double m = static_cast<double>(matches);
+  const double p = m / static_cast<double>(candidate.size());
+  const double r = m / static_cast<double>(reference.size());
+  const double fmean = 10.0 * p * r / (r + 9.0 * p);
+
+  // Chunks: maximal runs of adjacent candidate matches mapping to adjacent
+  // reference positions.
+  std::size_t chunks = 0;
+  int prev_ref = -2;
+  bool in_chunk = false;
+  for (std::size_t i = 0; i < align.size(); ++i) {
+    if (align[i] < 0) {
+      in_chunk = false;
+      prev_ref = -2;
+      continue;
+    }
+    if (!in_chunk || align[i] != prev_ref + 1) ++chunks;
+    in_chunk = true;
+    prev_ref = align[i];
+  }
+  const double frag = static_cast<double>(chunks) / m;
+  const double penalty = 0.5 * frag * frag * frag;
+  return fmean * (1.0 - penalty);
+}
+
+std::size_t lcs_length(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0;
+  // Rolling one-row DP.
+  std::vector<std::size_t> prev(b.size() + 1, 0);
+  std::vector<std::size_t> curr(b.size() + 1, 0);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+double rouge_l(const std::vector<std::string>& candidate,
+               const std::vector<std::string>& reference) {
+  if (candidate.empty() || reference.empty()) return 0.0;
+  const double lcs = static_cast<double>(lcs_length(candidate, reference));
+  if (lcs == 0.0) return 0.0;
+  const double p = lcs / static_cast<double>(candidate.size());
+  const double r = lcs / static_cast<double>(reference.size());
+  return 2.0 * p * r / (p + r);
+}
+
+bool exact_match(const std::vector<std::string>& candidate,
+                 const std::vector<std::string>& reference) {
+  return candidate == reference;
+}
+
+}  // namespace mpirical::metrics

@@ -1,0 +1,86 @@
+// Evaluation metrics, matching the paper's Section VI.
+//
+// Classification view (RQ1 + RQ2): a predicted MPI call counts as a true
+// positive when an unmatched ground-truth call has the same function name and
+// a location within the line tolerance (the paper uses one line). Remaining
+// predictions are false positives; remaining ground-truth calls are false
+// negatives. True negatives are out of scope (as in the paper).
+//
+// Sequence view: BLEU-4 (smoothed, with brevity penalty), METEOR (unigram
+// F-mean with fragmentation penalty), ROUGE-L (LCS F-measure) and exact-match
+// accuracy over whole token sequences.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cast/node.hpp"
+
+namespace mpirical::metrics {
+
+struct PrfCounts {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+
+  PrfCounts& operator+=(const PrfCounts& other) {
+    tp += other.tp;
+    fp += other.fp;
+    fn += other.fn;
+    return *this;
+  }
+
+  double precision() const {
+    return tp + fp == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fp);
+  }
+  double recall() const {
+    return tp + fn == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fn);
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Greedy one-to-one matching of predicted vs. ground-truth call sites with
+/// the given line tolerance. Predictions are matched in order to the nearest
+/// (by |line delta|) unmatched ground-truth site with the same callee.
+PrfCounts match_call_sites(const std::vector<ast::CallSite>& predicted,
+                           const std::vector<ast::CallSite>& truth,
+                           int line_tolerance = 1);
+
+/// Same, but restricted to calls satisfying `keep` (e.g. Common Core only).
+PrfCounts match_call_sites_filtered(
+    const std::vector<ast::CallSite>& predicted,
+    const std::vector<ast::CallSite>& truth, int line_tolerance,
+    const std::function<bool(const std::string&)>& keep);
+
+/// Smoothed corpus BLEU-N over one candidate/reference pair.
+double bleu(const std::vector<std::string>& candidate,
+            const std::vector<std::string>& reference, int max_n = 4);
+
+/// METEOR (exact unigram matching, F-mean alpha = 0.9, fragmentation
+/// penalty 0.5 * (chunks / matches)^3).
+double meteor(const std::vector<std::string>& candidate,
+              const std::vector<std::string>& reference);
+
+/// ROUGE-L F1 (LCS-based).
+double rouge_l(const std::vector<std::string>& candidate,
+               const std::vector<std::string>& reference);
+
+/// Longest common subsequence length (exposed for tests).
+std::size_t lcs_length(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b);
+
+/// Whole-sequence exact match.
+bool exact_match(const std::vector<std::string>& candidate,
+                 const std::vector<std::string>& reference);
+
+}  // namespace mpirical::metrics

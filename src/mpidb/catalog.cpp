@@ -1,0 +1,361 @@
+#include "mpidb/catalog.hpp"
+
+#include <unordered_map>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace mpirical::mpidb {
+
+namespace {
+
+std::vector<Routine> build_catalog() {
+  using C = Category;
+  // Arities follow the MPI-3.1 C bindings.
+  return {
+      // Environment management.
+      {"MPI_Init", C::kEnvironment, 2},
+      {"MPI_Init_thread", C::kEnvironment, 4},
+      {"MPI_Finalize", C::kEnvironment, 0},
+      {"MPI_Initialized", C::kEnvironment, 1},
+      {"MPI_Finalized", C::kEnvironment, 1},
+      {"MPI_Abort", C::kEnvironment, 2},
+      {"MPI_Wtime", C::kEnvironment, 0},
+      {"MPI_Wtick", C::kEnvironment, 0},
+      {"MPI_Get_processor_name", C::kEnvironment, 2},
+      {"MPI_Get_version", C::kEnvironment, 2},
+      {"MPI_Get_library_version", C::kEnvironment, 2},
+      {"MPI_Query_thread", C::kEnvironment, 1},
+      {"MPI_Is_thread_main", C::kEnvironment, 1},
+      {"MPI_Pcontrol", C::kEnvironment, 1},
+      {"MPI_Buffer_attach", C::kEnvironment, 2},
+      {"MPI_Buffer_detach", C::kEnvironment, 2},
+      {"MPI_Alloc_mem", C::kEnvironment, 3},
+      {"MPI_Free_mem", C::kEnvironment, 1},
+      // Point-to-point.
+      {"MPI_Send", C::kPointToPoint, 6},
+      {"MPI_Recv", C::kPointToPoint, 7},
+      {"MPI_Ssend", C::kPointToPoint, 6},
+      {"MPI_Bsend", C::kPointToPoint, 6},
+      {"MPI_Rsend", C::kPointToPoint, 6},
+      {"MPI_Isend", C::kPointToPoint, 7},
+      {"MPI_Irecv", C::kPointToPoint, 7},
+      {"MPI_Issend", C::kPointToPoint, 7},
+      {"MPI_Ibsend", C::kPointToPoint, 7},
+      {"MPI_Irsend", C::kPointToPoint, 7},
+      {"MPI_Sendrecv", C::kPointToPoint, 12},
+      {"MPI_Sendrecv_replace", C::kPointToPoint, 9},
+      {"MPI_Probe", C::kPointToPoint, 4},
+      {"MPI_Iprobe", C::kPointToPoint, 5},
+      {"MPI_Mprobe", C::kPointToPoint, 5},
+      {"MPI_Improbe", C::kPointToPoint, 6},
+      {"MPI_Mrecv", C::kPointToPoint, 5},
+      {"MPI_Imrecv", C::kPointToPoint, 5},
+      {"MPI_Get_count", C::kPointToPoint, 3},
+      {"MPI_Get_elements", C::kPointToPoint, 3},
+      {"MPI_Send_init", C::kPointToPoint, 7},
+      {"MPI_Recv_init", C::kPointToPoint, 7},
+      {"MPI_Ssend_init", C::kPointToPoint, 7},
+      {"MPI_Bsend_init", C::kPointToPoint, 7},
+      {"MPI_Rsend_init", C::kPointToPoint, 7},
+      // Collectives.
+      {"MPI_Barrier", C::kCollective, 1},
+      {"MPI_Ibarrier", C::kCollective, 2},
+      {"MPI_Bcast", C::kCollective, 5},
+      {"MPI_Ibcast", C::kCollective, 6},
+      {"MPI_Reduce", C::kCollective, 7},
+      {"MPI_Ireduce", C::kCollective, 8},
+      {"MPI_Allreduce", C::kCollective, 6},
+      {"MPI_Iallreduce", C::kCollective, 7},
+      {"MPI_Gather", C::kCollective, 8},
+      {"MPI_Igather", C::kCollective, 9},
+      {"MPI_Gatherv", C::kCollective, 9},
+      {"MPI_Igatherv", C::kCollective, 10},
+      {"MPI_Scatter", C::kCollective, 8},
+      {"MPI_Iscatter", C::kCollective, 9},
+      {"MPI_Scatterv", C::kCollective, 9},
+      {"MPI_Iscatterv", C::kCollective, 10},
+      {"MPI_Allgather", C::kCollective, 7},
+      {"MPI_Iallgather", C::kCollective, 8},
+      {"MPI_Allgatherv", C::kCollective, 8},
+      {"MPI_Iallgatherv", C::kCollective, 9},
+      {"MPI_Alltoall", C::kCollective, 7},
+      {"MPI_Ialltoall", C::kCollective, 8},
+      {"MPI_Alltoallv", C::kCollective, 9},
+      {"MPI_Ialltoallv", C::kCollective, 10},
+      {"MPI_Alltoallw", C::kCollective, 9},
+      {"MPI_Reduce_scatter", C::kCollective, 6},
+      {"MPI_Reduce_scatter_block", C::kCollective, 6},
+      {"MPI_Reduce_local", C::kCollective, 5},
+      {"MPI_Scan", C::kCollective, 6},
+      {"MPI_Iscan", C::kCollective, 7},
+      {"MPI_Exscan", C::kCollective, 6},
+      {"MPI_Iexscan", C::kCollective, 7},
+      {"MPI_Op_create", C::kCollective, 3},
+      {"MPI_Op_free", C::kCollective, 1},
+      // Communicators.
+      {"MPI_Comm_rank", C::kCommunicator, 2},
+      {"MPI_Comm_size", C::kCommunicator, 2},
+      {"MPI_Comm_dup", C::kCommunicator, 2},
+      {"MPI_Comm_idup", C::kCommunicator, 3},
+      {"MPI_Comm_create", C::kCommunicator, 3},
+      {"MPI_Comm_create_group", C::kCommunicator, 4},
+      {"MPI_Comm_split", C::kCommunicator, 4},
+      {"MPI_Comm_split_type", C::kCommunicator, 5},
+      {"MPI_Comm_free", C::kCommunicator, 1},
+      {"MPI_Comm_compare", C::kCommunicator, 3},
+      {"MPI_Comm_group", C::kCommunicator, 2},
+      {"MPI_Comm_test_inter", C::kCommunicator, 2},
+      {"MPI_Comm_remote_size", C::kCommunicator, 2},
+      {"MPI_Comm_remote_group", C::kCommunicator, 2},
+      {"MPI_Intercomm_create", C::kCommunicator, 6},
+      {"MPI_Intercomm_merge", C::kCommunicator, 3},
+      {"MPI_Comm_set_name", C::kCommunicator, 2},
+      {"MPI_Comm_get_name", C::kCommunicator, 3},
+      {"MPI_Comm_set_attr", C::kCommunicator, 3},
+      {"MPI_Comm_get_attr", C::kCommunicator, 4},
+      {"MPI_Comm_delete_attr", C::kCommunicator, 2},
+      {"MPI_Comm_create_keyval", C::kCommunicator, 4},
+      {"MPI_Comm_free_keyval", C::kCommunicator, 1},
+      {"MPI_Comm_get_parent", C::kCommunicator, 1},
+      {"MPI_Comm_spawn", C::kCommunicator, 8},
+      {"MPI_Comm_spawn_multiple", C::kCommunicator, 9},
+      {"MPI_Comm_connect", C::kCommunicator, 5},
+      {"MPI_Comm_accept", C::kCommunicator, 5},
+      {"MPI_Comm_disconnect", C::kCommunicator, 1},
+      // Groups.
+      {"MPI_Group_size", C::kGroup, 2},
+      {"MPI_Group_rank", C::kGroup, 2},
+      {"MPI_Group_translate_ranks", C::kGroup, 5},
+      {"MPI_Group_compare", C::kGroup, 3},
+      {"MPI_Group_union", C::kGroup, 3},
+      {"MPI_Group_intersection", C::kGroup, 3},
+      {"MPI_Group_difference", C::kGroup, 3},
+      {"MPI_Group_incl", C::kGroup, 4},
+      {"MPI_Group_excl", C::kGroup, 4},
+      {"MPI_Group_range_incl", C::kGroup, 4},
+      {"MPI_Group_range_excl", C::kGroup, 4},
+      {"MPI_Group_free", C::kGroup, 1},
+      // Datatypes.
+      {"MPI_Type_size", C::kDatatype, 2},
+      {"MPI_Type_commit", C::kDatatype, 1},
+      {"MPI_Type_free", C::kDatatype, 1},
+      {"MPI_Type_contiguous", C::kDatatype, 3},
+      {"MPI_Type_vector", C::kDatatype, 5},
+      {"MPI_Type_hvector", C::kDatatype, 5},
+      {"MPI_Type_create_hvector", C::kDatatype, 5},
+      {"MPI_Type_indexed", C::kDatatype, 5},
+      {"MPI_Type_hindexed", C::kDatatype, 5},
+      {"MPI_Type_create_indexed_block", C::kDatatype, 5},
+      {"MPI_Type_create_hindexed", C::kDatatype, 5},
+      {"MPI_Type_create_struct", C::kDatatype, 5},
+      {"MPI_Type_create_subarray", C::kDatatype, 7},
+      {"MPI_Type_create_darray", C::kDatatype, 10},
+      {"MPI_Type_create_resized", C::kDatatype, 4},
+      {"MPI_Type_dup", C::kDatatype, 2},
+      {"MPI_Type_get_extent", C::kDatatype, 3},
+      {"MPI_Type_get_true_extent", C::kDatatype, 3},
+      {"MPI_Type_lb", C::kDatatype, 2},
+      {"MPI_Type_ub", C::kDatatype, 2},
+      {"MPI_Type_extent", C::kDatatype, 2},
+      {"MPI_Type_struct", C::kDatatype, 5},
+      {"MPI_Pack", C::kDatatype, 7},
+      {"MPI_Unpack", C::kDatatype, 7},
+      {"MPI_Pack_size", C::kDatatype, 4},
+      {"MPI_Address", C::kDatatype, 2},
+      {"MPI_Get_address", C::kDatatype, 2},
+      // Topologies.
+      {"MPI_Cart_create", C::kTopology, 6},
+      {"MPI_Dims_create", C::kTopology, 3},
+      {"MPI_Cart_rank", C::kTopology, 3},
+      {"MPI_Cart_coords", C::kTopology, 4},
+      {"MPI_Cart_shift", C::kTopology, 5},
+      {"MPI_Cart_sub", C::kTopology, 3},
+      {"MPI_Cart_get", C::kTopology, 5},
+      {"MPI_Cartdim_get", C::kTopology, 2},
+      {"MPI_Graph_create", C::kTopology, 6},
+      {"MPI_Graph_neighbors", C::kTopology, 4},
+      {"MPI_Graph_neighbors_count", C::kTopology, 3},
+      {"MPI_Topo_test", C::kTopology, 2},
+      {"MPI_Dist_graph_create", C::kTopology, 9},
+      {"MPI_Dist_graph_create_adjacent", C::kTopology, 10},
+      {"MPI_Dist_graph_neighbors", C::kTopology, 7},
+      {"MPI_Dist_graph_neighbors_count", C::kTopology, 4},
+      {"MPI_Neighbor_allgather", C::kTopology, 7},
+      {"MPI_Neighbor_allgatherv", C::kTopology, 8},
+      {"MPI_Neighbor_alltoall", C::kTopology, 7},
+      {"MPI_Neighbor_alltoallv", C::kTopology, 9},
+      // One-sided (RMA).
+      {"MPI_Win_create", C::kRma, 6},
+      {"MPI_Win_allocate", C::kRma, 6},
+      {"MPI_Win_allocate_shared", C::kRma, 6},
+      {"MPI_Win_create_dynamic", C::kRma, 3},
+      {"MPI_Win_free", C::kRma, 1},
+      {"MPI_Win_fence", C::kRma, 2},
+      {"MPI_Win_start", C::kRma, 3},
+      {"MPI_Win_complete", C::kRma, 1},
+      {"MPI_Win_post", C::kRma, 3},
+      {"MPI_Win_wait", C::kRma, 1},
+      {"MPI_Win_lock", C::kRma, 4},
+      {"MPI_Win_lock_all", C::kRma, 2},
+      {"MPI_Win_unlock", C::kRma, 2},
+      {"MPI_Win_unlock_all", C::kRma, 1},
+      {"MPI_Win_flush", C::kRma, 2},
+      {"MPI_Win_flush_all", C::kRma, 1},
+      {"MPI_Win_sync", C::kRma, 1},
+      {"MPI_Put", C::kRma, 8},
+      {"MPI_Get", C::kRma, 8},
+      {"MPI_Accumulate", C::kRma, 9},
+      {"MPI_Get_accumulate", C::kRma, 12},
+      {"MPI_Fetch_and_op", C::kRma, 6},
+      {"MPI_Compare_and_swap", C::kRma, 7},
+      {"MPI_Rput", C::kRma, 9},
+      {"MPI_Rget", C::kRma, 9},
+      {"MPI_Raccumulate", C::kRma, 10},
+      // IO.
+      {"MPI_File_open", C::kIo, 5},
+      {"MPI_File_close", C::kIo, 1},
+      {"MPI_File_delete", C::kIo, 2},
+      {"MPI_File_set_size", C::kIo, 2},
+      {"MPI_File_get_size", C::kIo, 2},
+      {"MPI_File_set_view", C::kIo, 6},
+      {"MPI_File_get_view", C::kIo, 5},
+      {"MPI_File_read", C::kIo, 5},
+      {"MPI_File_read_all", C::kIo, 5},
+      {"MPI_File_read_at", C::kIo, 6},
+      {"MPI_File_read_at_all", C::kIo, 6},
+      {"MPI_File_write", C::kIo, 5},
+      {"MPI_File_write_all", C::kIo, 5},
+      {"MPI_File_write_at", C::kIo, 6},
+      {"MPI_File_write_at_all", C::kIo, 6},
+      {"MPI_File_seek", C::kIo, 3},
+      {"MPI_File_get_position", C::kIo, 2},
+      {"MPI_File_sync", C::kIo, 1},
+      {"MPI_File_set_atomicity", C::kIo, 2},
+      {"MPI_File_preallocate", C::kIo, 2},
+      // Request completion.
+      {"MPI_Wait", C::kRequest, 2},
+      {"MPI_Waitall", C::kRequest, 3},
+      {"MPI_Waitany", C::kRequest, 4},
+      {"MPI_Waitsome", C::kRequest, 5},
+      {"MPI_Test", C::kRequest, 3},
+      {"MPI_Testall", C::kRequest, 4},
+      {"MPI_Testany", C::kRequest, 5},
+      {"MPI_Testsome", C::kRequest, 5},
+      {"MPI_Request_free", C::kRequest, 1},
+      {"MPI_Request_get_status", C::kRequest, 3},
+      {"MPI_Cancel", C::kRequest, 1},
+      {"MPI_Test_cancelled", C::kRequest, 2},
+      {"MPI_Start", C::kRequest, 1},
+      {"MPI_Startall", C::kRequest, 2},
+      // Info objects.
+      {"MPI_Info_create", C::kInfo, 1},
+      {"MPI_Info_free", C::kInfo, 1},
+      {"MPI_Info_set", C::kInfo, 3},
+      {"MPI_Info_get", C::kInfo, 5},
+      {"MPI_Info_delete", C::kInfo, 2},
+      {"MPI_Info_dup", C::kInfo, 2},
+      {"MPI_Info_get_nkeys", C::kInfo, 2},
+      {"MPI_Info_get_nthkey", C::kInfo, 3},
+      {"MPI_Info_get_valuelen", C::kInfo, 4},
+      // Error handling.
+      {"MPI_Errhandler_create", C::kOther, 2},
+      {"MPI_Errhandler_set", C::kOther, 2},
+      {"MPI_Errhandler_get", C::kOther, 2},
+      {"MPI_Errhandler_free", C::kOther, 1},
+      {"MPI_Error_string", C::kOther, 3},
+      {"MPI_Error_class", C::kOther, 2},
+      {"MPI_Comm_set_errhandler", C::kOther, 2},
+      {"MPI_Comm_get_errhandler", C::kOther, 2},
+      {"MPI_Comm_create_errhandler", C::kOther, 2},
+      {"MPI_Add_error_class", C::kOther, 1},
+      {"MPI_Add_error_code", C::kOther, 2},
+      {"MPI_Add_error_string", C::kOther, 2},
+      {"MPI_Status_set_elements", C::kOther, 3},
+      {"MPI_Status_set_cancelled", C::kOther, 2},
+      {"MPI_Attr_get", C::kOther, 4},
+      {"MPI_Attr_put", C::kOther, 3},
+      {"MPI_Attr_delete", C::kOther, 2},
+      {"MPI_Keyval_create", C::kOther, 4},
+      {"MPI_Keyval_free", C::kOther, 1},
+      {"MPI_Open_port", C::kOther, 2},
+      {"MPI_Close_port", C::kOther, 1},
+      {"MPI_Publish_name", C::kOther, 3},
+      {"MPI_Unpublish_name", C::kOther, 3},
+      {"MPI_Lookup_name", C::kOther, 3},
+  };
+}
+
+struct CatalogIndex {
+  std::vector<Routine> routines;
+  std::unordered_map<std::string, std::size_t> by_name;
+
+  CatalogIndex() : routines(build_catalog()) {
+    for (std::size_t i = 0; i < routines.size(); ++i) {
+      by_name.emplace(routines[i].name, i);
+    }
+    MR_CHECK(by_name.size() == routines.size(),
+             "duplicate routine name in MPI catalog");
+  }
+};
+
+const CatalogIndex& index() {
+  static const CatalogIndex idx;
+  return idx;
+}
+
+}  // namespace
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kEnvironment: return "environment";
+    case Category::kPointToPoint: return "point_to_point";
+    case Category::kCollective: return "collective";
+    case Category::kCommunicator: return "communicator";
+    case Category::kDatatype: return "datatype";
+    case Category::kGroup: return "group";
+    case Category::kTopology: return "topology";
+    case Category::kRma: return "rma";
+    case Category::kIo: return "io";
+    case Category::kRequest: return "request";
+    case Category::kInfo: return "info";
+    case Category::kOther: return "other";
+  }
+  return "unknown";
+}
+
+const std::vector<Routine>& all_routines() { return index().routines; }
+
+std::optional<Routine> find_routine(const std::string& name) {
+  const auto& idx = index();
+  auto it = idx.by_name.find(name);
+  if (it == idx.by_name.end()) return std::nullopt;
+  return idx.routines[it->second];
+}
+
+bool is_known_routine(const std::string& name) {
+  return index().by_name.count(name) > 0;
+}
+
+bool has_mpi_prefix(const std::string& name) {
+  return starts_with(name, "MPI_");
+}
+
+const std::vector<std::string>& common_core() {
+  static const std::vector<std::string> core = {
+      "MPI_Finalize",  "MPI_Comm_rank", "MPI_Comm_size", "MPI_Init",
+      "MPI_Recv",      "MPI_Send",      "MPI_Reduce",    "MPI_Bcast",
+  };
+  return core;
+}
+
+bool is_common_core(const std::string& name) {
+  for (const auto& n : common_core()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::size_t catalog_size() { return all_routines().size(); }
+
+}  // namespace mpirical::mpidb

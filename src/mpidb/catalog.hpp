@@ -1,0 +1,61 @@
+// Catalog of MPI routines.
+//
+// This is the label space of the classification view of MPI-RICAL: the paper
+// reports 456 distinct MPI functions across MPICodeCorpus (the MPI-4 standard
+// defines 430+). The catalog records every routine name the library knows,
+// its category, and its argument count, and identifies the "MPI Common Core"
+// -- the eight routines the paper singles out in Table Ib whose frequencies
+// dominate the corpus.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mpirical::mpidb {
+
+enum class Category {
+  kEnvironment,   // Init, Finalize, Abort, Wtime, ...
+  kPointToPoint,  // Send, Recv, Isend, Probe, ...
+  kCollective,    // Bcast, Reduce, Gather, Barrier, ...
+  kCommunicator,  // Comm_rank, Comm_size, Comm_split, ...
+  kDatatype,      // Type_commit, Type_vector, ...
+  kGroup,         // Group_incl, Group_union, ...
+  kTopology,      // Cart_create, Dims_create, ...
+  kRma,           // Win_create, Put, Get, ...
+  kIo,            // File_open, File_read, ...
+  kRequest,       // Wait, Test, Waitall, ...
+  kInfo,          // Info_create, ...
+  kOther,
+};
+
+const char* category_name(Category c);
+
+struct Routine {
+  std::string name;   // e.g. "MPI_Send"
+  Category category = Category::kOther;
+  int arity = 0;      // number of arguments in the C binding
+};
+
+/// All routines known to the catalog, in a stable order.
+const std::vector<Routine>& all_routines();
+
+/// Looks up a routine by exact name.
+std::optional<Routine> find_routine(const std::string& name);
+
+/// True if `name` is a known MPI routine ("MPI_" prefix and in the catalog).
+bool is_known_routine(const std::string& name);
+
+/// True for any identifier with the "MPI_" call prefix (catalogued or not).
+bool has_mpi_prefix(const std::string& name);
+
+/// The MPI Common Core (Table Ib): Init, Finalize, Comm_rank, Comm_size,
+/// Send, Recv, Reduce, Bcast.
+const std::vector<std::string>& common_core();
+bool is_common_core(const std::string& name);
+
+/// Number of routines in the catalog (the classification label count).
+std::size_t catalog_size();
+
+}  // namespace mpirical::mpidb

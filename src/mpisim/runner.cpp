@@ -1,0 +1,72 @@
+#include "mpisim/runner.hpp"
+
+#include <mutex>
+#include <thread>
+
+#include "cinterp/interp.hpp"
+#include "cparse/parser.hpp"
+#include "mpisim/world.hpp"
+#include "support/check.hpp"
+
+namespace mpirical::mpisim {
+
+std::string RunResult::merged_output() const {
+  std::string out;
+  for (const auto& o : rank_output) out += o;
+  return out;
+}
+
+RunResult run_mpi_program(const ast::Node& tu, const RunOptions& options) {
+  RunResult result;
+  result.rank_output.resize(static_cast<std::size_t>(options.num_ranks));
+  result.exit_codes.assign(static_cast<std::size_t>(options.num_ranks), 0);
+
+  MpiWorld world(options.num_ranks);
+  std::mutex error_mu;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options.num_ranks));
+
+  for (int r = 0; r < options.num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      RankApi api(&world, r);
+      interp::InterpreterOptions iopts;
+      iopts.max_steps = options.max_steps_per_rank;
+      interp::Interpreter interp(tu, &api, iopts);
+      try {
+        result.exit_codes[static_cast<std::size_t>(r)] = interp.run_main();
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (result.error.empty()) {
+          result.error =
+              "rank " + std::to_string(r) + ": " + e.what();
+        }
+        // Unblock peers that might be waiting on this rank.
+        try {
+          world.abort(r, -1);
+        } catch (...) {
+          // abort() throws by design; the failure is already recorded.
+        }
+      }
+      result.rank_output[static_cast<std::size_t>(r)] = interp.output();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  result.ok = result.error.empty();
+  return result;
+}
+
+RunResult run_mpi_source(const std::string& source,
+                         const RunOptions& options) {
+  ast::NodePtr tu;
+  try {
+    tu = parse::parse_translation_unit(source);
+  } catch (const Error& e) {
+    RunResult result;
+    result.error = std::string("parse error: ") + e.what();
+    return result;
+  }
+  return run_mpi_program(*tu, options);
+}
+
+}  // namespace mpirical::mpisim

@@ -1,0 +1,35 @@
+// Executes an MPI C program under the simulated runtime: one interpreter per
+// rank, one thread per rank, shared MpiWorld. This is the library's
+// "compile and run" oracle (paper Section VI-C validates generated programs
+// by compiling and executing them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cast/node.hpp"
+
+namespace mpirical::mpisim {
+
+struct RunResult {
+  bool ok = false;
+  std::string error;                     // first failure, if any
+  std::vector<std::string> rank_output;  // captured stdout per rank
+  std::vector<long long> exit_codes;
+
+  /// All rank outputs concatenated in rank order.
+  std::string merged_output() const;
+};
+
+struct RunOptions {
+  int num_ranks = 4;
+  long long max_steps_per_rank = 200'000'000;
+};
+
+/// Parses and runs `source`. Parse errors are reported via RunResult::error.
+RunResult run_mpi_source(const std::string& source, const RunOptions& options);
+
+/// Runs an already-parsed translation unit.
+RunResult run_mpi_program(const ast::Node& tu, const RunOptions& options);
+
+}  // namespace mpirical::mpisim

@@ -1,0 +1,480 @@
+#include "mpisim/world.hpp"
+
+#include <chrono>
+
+#include "support/check.hpp"
+
+namespace mpirical::mpisim {
+
+using interp::Value;
+using interp::ValueKind;
+
+MpiWorld::MpiWorld(int size) : size_(size), mailboxes_(size) {
+  MR_CHECK(size >= 1, "MPI world needs at least one rank");
+  rendezvous_.contributions.resize(static_cast<std::size_t>(size));
+}
+
+void MpiWorld::check_abort() const {
+  if (aborted_) {
+    throw Error("MPI_Abort called with code " + std::to_string(abort_code_));
+  }
+}
+
+bool MpiWorld::matches(const Message& m, int src, int tag) const {
+  if (src != interp::kMpiAnySource && m.src != src) return false;
+  if (tag != interp::kMpiAnyTag && m.tag != tag) return false;
+  return true;
+}
+
+void MpiWorld::send(int src, int dst, int tag, std::vector<Value> data) {
+  MR_CHECK(dst >= 0 && dst < size_, "send to invalid rank");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    check_abort();
+    mailboxes_[static_cast<std::size_t>(dst)].messages.push_back(
+        Message{src, tag, std::move(data)});
+  }
+  cv_.notify_all();
+}
+
+Message MpiWorld::recv(int dst, int src, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto& box = mailboxes_[static_cast<std::size_t>(dst)].messages;
+  for (;;) {
+    check_abort();
+    for (auto it = box.begin(); it != box.end(); ++it) {
+      if (matches(*it, src, tag)) {
+        Message m = std::move(*it);
+        box.erase(it);
+        return m;
+      }
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+Message MpiWorld::probe(int dst, int src, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto& box = mailboxes_[static_cast<std::size_t>(dst)].messages;
+  for (;;) {
+    check_abort();
+    for (const auto& m : box) {
+      if (matches(m, src, tag)) return m;
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+bool MpiWorld::iprobe(int dst, int src, int tag, Message* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  check_abort();
+  for (const auto& m : mailboxes_[static_cast<std::size_t>(dst)].messages) {
+    if (matches(m, src, tag)) {
+      if (out) *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Value> MpiWorld::rendezvous(
+    int rank, std::vector<Value> data,
+    const std::function<std::vector<Value>(
+        std::vector<std::vector<Value>>&)>& combine) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait for the previous round to fully drain before starting a new one.
+  const long long my_generation = rendezvous_.generation;
+  while (rendezvous_.departed > 0 &&
+         rendezvous_.generation == my_generation) {
+    check_abort();
+    cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+
+  const long long gen = rendezvous_.generation;
+  rendezvous_.contributions[static_cast<std::size_t>(rank)] = std::move(data);
+  ++rendezvous_.arrived;
+  if (rendezvous_.arrived == size_) {
+    rendezvous_.result = combine(rendezvous_.contributions);
+    rendezvous_.arrived = 0;
+    rendezvous_.departed = size_;
+    ++rendezvous_.generation;
+    cv_.notify_all();
+  } else {
+    while (rendezvous_.generation == gen) {
+      check_abort();
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+  std::vector<Value> result = rendezvous_.result;
+  --rendezvous_.departed;
+  if (rendezvous_.departed == 0) {
+    for (auto& c : rendezvous_.contributions) c.clear();
+    cv_.notify_all();
+  }
+  return result;
+}
+
+namespace {
+
+Value combine_pair(const Value& a, const Value& b, long long op) {
+  const bool dbl =
+      a.kind == ValueKind::kDouble || b.kind == ValueKind::kDouble;
+  switch (op) {
+    case interp::kMpiSum:
+      return dbl ? Value::make_double(a.as_double() + b.as_double())
+                 : Value::make_int(a.as_int() + b.as_int());
+    case interp::kMpiProd:
+      return dbl ? Value::make_double(a.as_double() * b.as_double())
+                 : Value::make_int(a.as_int() * b.as_int());
+    case interp::kMpiMin:
+      if (dbl) {
+        return Value::make_double(std::min(a.as_double(), b.as_double()));
+      }
+      return Value::make_int(std::min(a.as_int(), b.as_int()));
+    case interp::kMpiMax:
+      if (dbl) {
+        return Value::make_double(std::max(a.as_double(), b.as_double()));
+      }
+      return Value::make_int(std::max(a.as_int(), b.as_int()));
+    default:
+      MR_CHECK(false, "unsupported MPI reduction op tag " +
+                          std::to_string(op));
+  }
+}
+
+std::vector<Value> combine_elementwise(
+    std::vector<std::vector<Value>>& contributions, long long op) {
+  std::vector<Value> acc = contributions[0];
+  for (std::size_t r = 1; r < contributions.size(); ++r) {
+    MR_CHECK(contributions[r].size() == acc.size(),
+             "mismatched reduce contribution sizes");
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc[i] = combine_pair(acc[i], contributions[r][i], op);
+    }
+  }
+  return acc;
+}
+
+std::vector<Value> concatenate(
+    std::vector<std::vector<Value>>& contributions) {
+  std::vector<Value> out;
+  for (const auto& c : contributions) {
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Value> MpiWorld::reduce(int rank, int root, long long op,
+                                    std::vector<Value> data) {
+  (void)root;  // every rank receives the result; non-roots discard it
+  return rendezvous(rank, std::move(data), [op](auto& contributions) {
+    return combine_elementwise(contributions, op);
+  });
+}
+
+std::vector<Value> MpiWorld::allreduce(int rank, long long op,
+                                       std::vector<Value> data) {
+  return reduce(rank, /*root=*/0, op, std::move(data));
+}
+
+std::vector<Value> MpiWorld::bcast(int rank, int root,
+                                   std::vector<Value> data) {
+  if (rank != root) data.clear();
+  return rendezvous(rank, std::move(data), [root](auto& contributions) {
+    return contributions[static_cast<std::size_t>(root)];
+  });
+}
+
+std::vector<Value> MpiWorld::gather(int rank, int root,
+                                    std::vector<Value> data) {
+  (void)root;
+  return rendezvous(rank, std::move(data), [](auto& contributions) {
+    return concatenate(contributions);
+  });
+}
+
+std::vector<Value> MpiWorld::allgather(int rank, std::vector<Value> data) {
+  return gather(rank, 0, std::move(data));
+}
+
+std::vector<Value> MpiWorld::scatter(int rank, int root,
+                                     std::vector<Value> data,
+                                     std::size_t chunk) {
+  if (rank != root) data.clear();
+  std::vector<Value> all =
+      rendezvous(rank, std::move(data), [root](auto& contributions) {
+        return contributions[static_cast<std::size_t>(root)];
+      });
+  std::vector<Value> mine;
+  const std::size_t begin = static_cast<std::size_t>(rank) * chunk;
+  for (std::size_t i = 0; i < chunk && begin + i < all.size(); ++i) {
+    mine.push_back(all[begin + i]);
+  }
+  MR_CHECK(mine.size() == chunk, "scatter: root buffer too small");
+  return mine;
+}
+
+std::vector<Value> MpiWorld::scan(int rank, long long op, bool exclusive,
+                                  std::vector<Value> data) {
+  const std::size_t width = data.size();
+  std::vector<Value> all =
+      rendezvous(rank, std::move(data), [](auto& contributions) {
+        return concatenate(contributions);
+      });
+  // Prefix-combine contributions 0..rank (exclusive: 0..rank-1).
+  const int upto = exclusive ? rank - 1 : rank;
+  std::vector<Value> acc;
+  for (int r = 0; r <= upto; ++r) {
+    const std::size_t base = static_cast<std::size_t>(r) * width;
+    if (acc.empty()) {
+      acc.assign(all.begin() + static_cast<std::ptrdiff_t>(base),
+                 all.begin() + static_cast<std::ptrdiff_t>(base + width));
+    } else {
+      for (std::size_t i = 0; i < width; ++i) {
+        acc[i] = combine_pair(acc[i], all[base + i], op);
+      }
+    }
+  }
+  if (acc.empty()) acc.assign(width, Value::make_int(0));
+  return acc;
+}
+
+void MpiWorld::barrier(int rank) {
+  rendezvous(rank, {}, [](auto&) { return std::vector<Value>(); });
+}
+
+void MpiWorld::abort(int rank, long long code) {
+  (void)rank;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+    abort_code_ = code;
+  }
+  cv_.notify_all();
+  throw Error("MPI_Abort called with code " + std::to_string(code));
+}
+
+// ---- RankApi -----------------------------------------------------------------
+
+namespace {
+
+/// Reads `count` cells starting at a pointer value.
+std::vector<Value> read_buffer(const Value& ptr, long long count) {
+  MR_CHECK(ptr.kind == ValueKind::kPointer && ptr.box,
+           "MPI buffer argument must be a pointer");
+  std::vector<Value> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    out.push_back(interp::Cell{ptr.box, ptr.offset + i}.deref());
+  }
+  return out;
+}
+
+/// Writes values through a pointer.
+void write_buffer(const Value& ptr, const std::vector<Value>& values) {
+  MR_CHECK(ptr.kind == ValueKind::kPointer && ptr.box,
+           "MPI output argument must be a pointer");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    interp::Cell{ptr.box, ptr.offset + static_cast<long long>(i)}.deref() =
+        values[i];
+  }
+}
+
+void write_status(const Value& status_ptr, int src, int tag) {
+  if (status_ptr.is_null_pointer()) return;  // MPI_STATUS_IGNORE
+  write_buffer(status_ptr,
+               {Value::make_int(src), Value::make_int(tag)});
+}
+
+Value ok() { return Value::make_int(interp::kMpiSuccess); }
+
+}  // namespace
+
+Value RankApi::call(interp::Interpreter& interp, const std::string& name,
+                    std::vector<Value>& args) {
+  (void)interp;
+  auto need = [&](std::size_t n) {
+    MR_CHECK(args.size() == n, name + ": wrong argument count");
+  };
+
+  if (name == "MPI_Init") return ok();
+  if (name == "MPI_Init_thread") return ok();
+  if (name == "MPI_Finalize") { need(0); return ok(); }
+  if (name == "MPI_Initialized" || name == "MPI_Finalized") {
+    need(1);
+    write_buffer(args[0], {Value::make_int(1)});
+    return ok();
+  }
+  if (name == "MPI_Comm_rank") {
+    need(2);
+    write_buffer(args[1], {Value::make_int(rank_)});
+    return ok();
+  }
+  if (name == "MPI_Comm_size") {
+    need(2);
+    write_buffer(args[1], {Value::make_int(world_->size())});
+    return ok();
+  }
+  if (name == "MPI_Comm_dup") {
+    need(2);
+    write_buffer(args[1], {Value::make_int(interp::kMpiCommWorld)});
+    return ok();
+  }
+  if (name == "MPI_Comm_free") { need(1); return ok(); }
+  if (name == "MPI_Get_processor_name") {
+    need(2);
+    const std::string node = "simnode" + std::to_string(rank_);
+    std::vector<Value> chars;
+    for (char c : node) chars.push_back(Value::make_int(c));
+    chars.push_back(Value::make_int(0));
+    write_buffer(args[0], chars);
+    write_buffer(args[1], {Value::make_int(static_cast<long long>(
+                      node.size()))});
+    return ok();
+  }
+  if (name == "MPI_Wtime") {
+    need(0);
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return Value::make_double(
+        std::chrono::duration<double>(now).count());
+  }
+  if (name == "MPI_Wtick") { need(0); return Value::make_double(1e-9); }
+  if (name == "MPI_Abort") {
+    need(2);
+    world_->abort(rank_, args[1].as_int());
+    return ok();
+  }
+  if (name == "MPI_Barrier") {
+    need(1);
+    world_->barrier(rank_);
+    return ok();
+  }
+  if (name == "MPI_Type_size") {
+    need(2);
+    write_buffer(args[1], {Value::make_int(1)});  // cell-addressed
+    return ok();
+  }
+  if (name == "MPI_Send" || name == "MPI_Ssend" || name == "MPI_Bsend" ||
+      name == "MPI_Rsend") {
+    need(6);
+    world_->send(rank_, static_cast<int>(args[3].as_int()),
+                 static_cast<int>(args[4].as_int()),
+                 read_buffer(args[0], args[1].as_int()));
+    return ok();
+  }
+  if (name == "MPI_Recv") {
+    need(7);
+    Message m = world_->recv(rank_, static_cast<int>(args[3].as_int()),
+                             static_cast<int>(args[4].as_int()));
+    MR_CHECK(static_cast<long long>(m.data.size()) <= args[1].as_int(),
+             "MPI_Recv: message longer than receive buffer");
+    write_buffer(args[0], m.data);
+    write_status(args[6], m.src, m.tag);
+    return ok();
+  }
+  if (name == "MPI_Sendrecv") {
+    need(12);
+    world_->send(rank_, static_cast<int>(args[3].as_int()),
+                 static_cast<int>(args[4].as_int()),
+                 read_buffer(args[0], args[1].as_int()));
+    Message m = world_->recv(rank_, static_cast<int>(args[8].as_int()),
+                             static_cast<int>(args[9].as_int()));
+    MR_CHECK(static_cast<long long>(m.data.size()) <= args[6].as_int(),
+             "MPI_Sendrecv: message longer than receive buffer");
+    write_buffer(args[5], m.data);
+    write_status(args[11], m.src, m.tag);
+    return ok();
+  }
+  if (name == "MPI_Probe") {
+    need(4);
+    Message m = world_->probe(rank_, static_cast<int>(args[0].as_int()),
+                              static_cast<int>(args[1].as_int()));
+    write_status(args[3], m.src, m.tag);
+    return ok();
+  }
+  if (name == "MPI_Iprobe") {
+    need(5);
+    Message m;
+    const bool found =
+        world_->iprobe(rank_, static_cast<int>(args[0].as_int()),
+                       static_cast<int>(args[1].as_int()), &m);
+    write_buffer(args[3], {Value::make_int(found ? 1 : 0)});
+    if (found) write_status(args[4], m.src, m.tag);
+    return ok();
+  }
+  if (name == "MPI_Get_count") {
+    // Status box does not record length; corpus programs only use
+    // fixed-size protocols, so report 1.
+    need(3);
+    write_buffer(args[2], {Value::make_int(1)});
+    return ok();
+  }
+  if (name == "MPI_Bcast") {
+    need(5);
+    const int root = static_cast<int>(args[3].as_int());
+    const long long count = args[1].as_int();
+    std::vector<Value> data;
+    if (rank_ == root) data = read_buffer(args[0], count);
+    const auto result = world_->bcast(rank_, root, std::move(data));
+    write_buffer(args[0], result);
+    return ok();
+  }
+  if (name == "MPI_Reduce") {
+    need(7);
+    const int root = static_cast<int>(args[5].as_int());
+    const auto result =
+        world_->reduce(rank_, root, args[4].as_int(),
+                       read_buffer(args[0], args[2].as_int()));
+    if (rank_ == root) write_buffer(args[1], result);
+    return ok();
+  }
+  if (name == "MPI_Allreduce") {
+    need(6);
+    const auto result = world_->allreduce(
+        rank_, args[4].as_int(), read_buffer(args[0], args[2].as_int()));
+    write_buffer(args[1], result);
+    return ok();
+  }
+  if (name == "MPI_Gather") {
+    need(8);
+    const int root = static_cast<int>(args[6].as_int());
+    const auto result =
+        world_->gather(rank_, root, read_buffer(args[0], args[1].as_int()));
+    if (rank_ == root) write_buffer(args[3], result);
+    return ok();
+  }
+  if (name == "MPI_Allgather") {
+    need(7);
+    const auto result =
+        world_->allgather(rank_, read_buffer(args[0], args[1].as_int()));
+    write_buffer(args[3], result);
+    return ok();
+  }
+  if (name == "MPI_Scatter") {
+    need(8);
+    const int root = static_cast<int>(args[6].as_int());
+    const long long chunk = args[1].as_int();
+    std::vector<Value> data;
+    if (rank_ == root) {
+      data = read_buffer(args[0],
+                         chunk * static_cast<long long>(world_->size()));
+    }
+    const auto mine = world_->scatter(rank_, root, std::move(data),
+                                      static_cast<std::size_t>(chunk));
+    write_buffer(args[3], mine);
+    return ok();
+  }
+  if (name == "MPI_Scan" || name == "MPI_Exscan") {
+    need(6);
+    const auto result =
+        world_->scan(rank_, args[4].as_int(), name == "MPI_Exscan",
+                     read_buffer(args[0], args[2].as_int()));
+    write_buffer(args[1], result);
+    return ok();
+  }
+  MR_CHECK(false, "simulated MPI runtime does not implement " + name);
+}
+
+}  // namespace mpirical::mpisim

@@ -1,0 +1,115 @@
+// Simulated MPI runtime.
+//
+// MpiWorld hosts R ranks inside one process: point-to-point messages travel
+// through per-destination mailboxes (buffered sends, blocking receives with
+// MPI_ANY_SOURCE / MPI_ANY_TAG matching), and collectives synchronize through
+// a generation-counted rendezvous that mirrors how an SPMD program calls them
+// in lockstep. RankApi adapts one rank's view onto the interpreter's MpiApi
+// interface.
+//
+// Supported routines: Init, Finalize, Initialized, Finalized, Abort,
+// Comm_rank, Comm_size, Comm_dup, Comm_free, Get_processor_name, Wtime,
+// Wtick, Barrier, Send, Ssend, Recv, Sendrecv, Probe, Iprobe, Get_count,
+// Bcast, Reduce, Allreduce, Gather, Allgather, Scatter, Scan, Exscan,
+// Type_size. Anything else raises an error naming the routine.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cinterp/interp.hpp"
+
+namespace mpirical::mpisim {
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<interp::Value> data;
+};
+
+class MpiWorld {
+ public:
+  explicit MpiWorld(int size);
+
+  int size() const { return size_; }
+
+  // Point-to-point.
+  void send(int src, int dst, int tag, std::vector<interp::Value> data);
+  Message recv(int dst, int src /*or any*/, int tag /*or any*/);
+  Message probe(int dst, int src, int tag);  // blocks; does not consume
+  bool iprobe(int dst, int src, int tag, Message* out);
+
+  // Collectives. Every rank contributes `data`; the result each rank should
+  // observe is returned. `op` uses the kMpi* op tags (ignored for
+  // gather/bcast-style primitives).
+  std::vector<interp::Value> reduce(int rank, int root, long long op,
+                                    std::vector<interp::Value> data);
+  std::vector<interp::Value> allreduce(int rank, long long op,
+                                       std::vector<interp::Value> data);
+  std::vector<interp::Value> bcast(int rank, int root,
+                                   std::vector<interp::Value> data);
+  std::vector<interp::Value> gather(int rank, int root,
+                                    std::vector<interp::Value> data);
+  std::vector<interp::Value> allgather(int rank,
+                                       std::vector<interp::Value> data);
+  std::vector<interp::Value> scatter(int rank, int root,
+                                     std::vector<interp::Value> data,
+                                     std::size_t chunk);
+  std::vector<interp::Value> scan(int rank, long long op, bool exclusive,
+                                  std::vector<interp::Value> data);
+  void barrier(int rank);
+
+  /// Abort: wakes every blocked rank with an error.
+  void abort(int rank, long long code);
+
+ private:
+  struct Mailbox {
+    std::deque<Message> messages;
+  };
+
+  struct Rendezvous {
+    std::vector<std::vector<interp::Value>> contributions;
+    std::vector<interp::Value> result;  // combined/concatenated payload
+    int arrived = 0;
+    int departed = 0;
+    long long generation = 0;
+  };
+
+  bool matches(const Message& m, int src, int tag) const;
+  void check_abort() const;
+
+  /// Runs one rendezvous round: deposit, wait for all, combine once, leave.
+  /// `combine` runs on the last-arriving rank over all contributions.
+  std::vector<interp::Value> rendezvous(
+      int rank, std::vector<interp::Value> data,
+      const std::function<std::vector<interp::Value>(
+          std::vector<std::vector<interp::Value>>&)>& combine);
+
+  const int size_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Mailbox> mailboxes_;  // indexed by destination rank
+  Rendezvous rendezvous_;
+  bool aborted_ = false;
+  long long abort_code_ = 0;
+};
+
+/// Per-rank adapter implementing the interpreter's MpiApi.
+class RankApi : public interp::MpiApi {
+ public:
+  RankApi(MpiWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  interp::Value call(interp::Interpreter& interp, const std::string& name,
+                     std::vector<interp::Value>& args) override;
+
+  int rank() const { return rank_; }
+
+ private:
+  MpiWorld* world_;
+  int rank_;
+};
+
+}  // namespace mpirical::mpisim

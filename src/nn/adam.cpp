@@ -1,0 +1,71 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mpirical::nn {
+
+Adam::Adam(std::vector<tensor::Tensor> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    MR_CHECK(p.requires_grad(), "Adam parameter does not require grad");
+    m_.emplace_back(p.numel(), 0.0f);
+    v_.emplace_back(p.numel(), 0.0f);
+  }
+}
+
+float Adam::current_lr() const {
+  if (config_.warmup_steps <= 0) return config_.lr;
+  const float step = static_cast<float>(std::max(t_, 1));
+  const float warmup = static_cast<float>(config_.warmup_steps);
+  if (step < warmup) return config_.lr * step / warmup;
+  return config_.lr * std::sqrt(warmup / step);
+}
+
+void Adam::step() {
+  ++t_;
+  const float lr = current_lr();
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+
+  // Global-norm gradient clipping.
+  float clip_scale = 1.0f;
+  if (config_.grad_clip > 0.0f) {
+    double norm_sq = 0.0;
+    for (auto& p : params_) {
+      for (float g : p.grad()) norm_sq += static_cast<double>(g) * g;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.grad_clip) {
+      clip_scale = static_cast<float>(config_.grad_clip / norm);
+    }
+  }
+
+  parallel_for(0, params_.size(), [&](std::size_t i) {
+    auto& p = params_[i];
+    auto& value = p.value();
+    auto& grad = p.grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      float g = grad[j] * clip_scale;
+      if (config_.weight_decay > 0.0f) g += config_.weight_decay * value[j];
+      m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * g;
+      v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      value[j] -= lr * mhat / (std::sqrt(vhat) + config_.eps);
+      grad[j] = 0.0f;
+    }
+  });
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+}  // namespace mpirical::nn

@@ -1,0 +1,43 @@
+// Adam optimizer with linear warmup + inverse-sqrt decay (the standard
+// transformer schedule, as used for SPT-Code fine-tuning).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mpirical::nn {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.98f;
+  float eps = 1e-9f;
+  float weight_decay = 0.0f;
+  int warmup_steps = 200;  // 0 disables the schedule (constant lr)
+  float grad_clip = 1.0f;  // global-norm clip; <= 0 disables
+};
+
+class Adam {
+ public:
+  Adam(std::vector<tensor::Tensor> params, AdamConfig config);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+
+  /// Zeroes gradients without stepping.
+  void zero_grad();
+
+  int steps_taken() const { return t_; }
+  /// Effective learning rate at the current step (after warmup schedule).
+  float current_lr() const;
+
+ private:
+  std::vector<tensor::Tensor> params_;
+  AdamConfig config_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int t_ = 0;
+};
+
+}  // namespace mpirical::nn

@@ -1,0 +1,299 @@
+#include "nn/infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mpirical::nn {
+
+namespace {
+
+void layer_norm_raw(const float* x, const LayerNormParams& ln, int d,
+                    float* out) {
+  float mean = 0.0f;
+  for (int i = 0; i < d; ++i) mean += x[i];
+  mean /= static_cast<float>(d);
+  float var = 0.0f;
+  for (int i = 0; i < d; ++i) {
+    const float diff = x[i] - mean;
+    var += diff * diff;
+  }
+  var /= static_cast<float>(d);
+  const float inv_std = 1.0f / std::sqrt(var + 1e-5f);
+  const auto& gamma = ln.gamma.value();
+  const auto& beta = ln.beta.value();
+  for (int i = 0; i < d; ++i) {
+    out[i] = (x[i] - mean) * inv_std * gamma[i] + beta[i];
+  }
+}
+
+void linear_raw(const float* x, const Linear& lin, float* out) {
+  const int in = lin.w.dim(0);
+  const int n = lin.w.dim(1);
+  tensor::gemv_row(x, lin.w.value().data(), lin.b.value().data(), out, in, n);
+}
+
+float gelu_raw(float v) {
+  constexpr float kC = 0.7978845608028654f;
+  constexpr float kA = 0.044715f;
+  return 0.5f * v * (1.0f + std::tanh(kC * (v + kA * v * v * v)));
+}
+
+}  // namespace
+
+IncrementalDecoder::IncrementalDecoder(const Transformer& model,
+                                       const std::vector<int>& src_ids)
+    : model_(&model),
+      d_(model.config().d_model),
+      heads_(model.config().heads),
+      src_len_(static_cast<int>(src_ids.size())) {
+  MR_CHECK(src_len_ > 0, "empty source sequence");
+  MR_CHECK(src_len_ <= model.config().max_len, "source exceeds max_len");
+
+  // Encode once using the batched path (batch of one, no dropout).
+  Rng rng(0);
+  const std::vector<int> lens = {src_len_};
+  tensor::Tensor enc = model.encode(src_ids, /*batch=*/1, src_len_, lens,
+                                    /*training=*/false, rng);
+  enc_out_ = enc.value();
+
+  // Precompute cross-attention K/V per decoder layer.
+  layers_.resize(model.decoder_layers().size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const auto& layer = model.decoder_layers()[li];
+    auto& state = layers_[li];
+    state.cross_k.resize(static_cast<std::size_t>(src_len_) * d_);
+    state.cross_v.resize(static_cast<std::size_t>(src_len_) * d_);
+    for (int s = 0; s < src_len_; ++s) {
+      const float* row = enc_out_.data() + static_cast<std::size_t>(s) * d_;
+      linear_raw(row, layer.cross_attn.wk,
+                 state.cross_k.data() + static_cast<std::size_t>(s) * d_);
+      linear_raw(row, layer.cross_attn.wv,
+                 state.cross_v.data() + static_cast<std::size_t>(s) * d_);
+    }
+  }
+  logits_.resize(static_cast<std::size_t>(model.config().vocab_size));
+}
+
+void IncrementalDecoder::attend(const float* q,
+                                const std::vector<float>& kcache,
+                                const std::vector<float>& vcache, int kv_len,
+                                float* out) const {
+  const int hd = d_ / heads_;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+  std::vector<float> scores(static_cast<std::size_t>(kv_len));
+  for (int h = 0; h < heads_; ++h) {
+    const int off = h * hd;
+    float mx = -1e30f;
+    for (int j = 0; j < kv_len; ++j) {
+      const float* krow = kcache.data() + static_cast<std::size_t>(j) * d_ + off;
+      float s = 0.0f;
+      for (int c = 0; c < hd; ++c) s += q[off + c] * krow[c];
+      s *= inv_sqrt;
+      scores[static_cast<std::size_t>(j)] = s;
+      mx = std::max(mx, s);
+    }
+    float sum = 0.0f;
+    for (int j = 0; j < kv_len; ++j) {
+      scores[static_cast<std::size_t>(j)] =
+          std::exp(scores[static_cast<std::size_t>(j)] - mx);
+      sum += scores[static_cast<std::size_t>(j)];
+    }
+    const float inv = 1.0f / sum;
+    for (int c = 0; c < hd; ++c) out[off + c] = 0.0f;
+    for (int j = 0; j < kv_len; ++j) {
+      const float p = scores[static_cast<std::size_t>(j)] * inv;
+      const float* vrow = vcache.data() + static_cast<std::size_t>(j) * d_ + off;
+      for (int c = 0; c < hd; ++c) out[off + c] += p * vrow[c];
+    }
+  }
+}
+
+const std::vector<float>& IncrementalDecoder::step(int token) {
+  const auto& cfg = model_->config();
+  MR_CHECK(t_ < cfg.max_len, "decode length exceeds max_len");
+  MR_CHECK(token >= 0 && token < cfg.vocab_size, "token id out of range");
+
+  // Embedding + positional encoding.
+  std::vector<float> x(static_cast<std::size_t>(d_));
+  const float* erow = model_->token_embedding().value().data() +
+                      static_cast<std::size_t>(token) * d_;
+  const float scale = std::sqrt(static_cast<float>(d_));
+  const auto& pos = model_->positional_row(t_);
+  for (int i = 0; i < d_; ++i) x[static_cast<std::size_t>(i)] =
+      erow[i] * scale + pos[static_cast<std::size_t>(i)];
+
+  std::vector<float> normed(static_cast<std::size_t>(d_));
+  std::vector<float> q(static_cast<std::size_t>(d_));
+  std::vector<float> attn(static_cast<std::size_t>(d_));
+  std::vector<float> proj(static_cast<std::size_t>(d_));
+  std::vector<float> hidden;
+
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const auto& layer = model_->decoder_layers()[li];
+    auto& state = layers_[li];
+
+    // Causal self-attention over the cache (which includes this step).
+    layer_norm_raw(x.data(), layer.ln1, d_, normed.data());
+    linear_raw(normed.data(), layer.self_attn.wq, q.data());
+    const std::size_t cache_off = static_cast<std::size_t>(t_) * d_;
+    state.self_k.resize(cache_off + static_cast<std::size_t>(d_));
+    state.self_v.resize(cache_off + static_cast<std::size_t>(d_));
+    linear_raw(normed.data(), layer.self_attn.wk,
+               state.self_k.data() + cache_off);
+    linear_raw(normed.data(), layer.self_attn.wv,
+               state.self_v.data() + cache_off);
+    attend(q.data(), state.self_k, state.self_v, t_ + 1, attn.data());
+    linear_raw(attn.data(), layer.self_attn.wo, proj.data());
+    for (int i = 0; i < d_; ++i) x[static_cast<std::size_t>(i)] += proj[
+        static_cast<std::size_t>(i)];
+
+    // Cross attention over the precomputed encoder K/V.
+    layer_norm_raw(x.data(), layer.ln2, d_, normed.data());
+    linear_raw(normed.data(), layer.cross_attn.wq, q.data());
+    attend(q.data(), state.cross_k, state.cross_v, src_len_, attn.data());
+    linear_raw(attn.data(), layer.cross_attn.wo, proj.data());
+    for (int i = 0; i < d_; ++i) x[static_cast<std::size_t>(i)] += proj[
+        static_cast<std::size_t>(i)];
+
+    // Feed-forward.
+    layer_norm_raw(x.data(), layer.ln3, d_, normed.data());
+    hidden.resize(static_cast<std::size_t>(layer.ffn.up.w.dim(1)));
+    linear_raw(normed.data(), layer.ffn.up, hidden.data());
+    for (auto& h : hidden) h = gelu_raw(h);
+    linear_raw(hidden.data(), layer.ffn.down, proj.data());
+    for (int i = 0; i < d_; ++i) x[static_cast<std::size_t>(i)] += proj[
+        static_cast<std::size_t>(i)];
+  }
+
+  layer_norm_raw(x.data(), model_->decoder_final_ln(), d_, normed.data());
+  linear_raw(normed.data(), model_->output_projection(), logits_.data());
+  ++t_;
+  return logits_;
+}
+
+std::vector<int> greedy_decode(const Transformer& model,
+                               const std::vector<int>& src_ids, int sos,
+                               int eos, int max_len) {
+  IncrementalDecoder dec(model, src_ids);
+  std::vector<int> out;
+  int token = sos;
+  for (int i = 0; i < max_len; ++i) {
+    const auto& logits = dec.step(token);
+    int best = 0;
+    for (int j = 1; j < static_cast<int>(logits.size()); ++j) {
+      if (logits[static_cast<std::size_t>(j)] >
+          logits[static_cast<std::size_t>(best)]) {
+        best = j;
+      }
+    }
+    if (best == eos) break;
+    out.push_back(best);
+    token = best;
+  }
+  return out;
+}
+
+namespace {
+
+struct Hypothesis {
+  std::shared_ptr<IncrementalDecoder> decoder;
+  std::vector<int> tokens;
+  double log_prob = 0.0;
+  bool finished = false;
+  int next_input = -1;
+
+  double score() const {
+    const double len = static_cast<double>(tokens.size()) + 1.0;
+    return log_prob / len;  // length-normalized
+  }
+};
+
+void log_softmax_inplace(std::vector<float>& v) {
+  float mx = v[0];
+  for (float x : v) mx = std::max(mx, x);
+  double sum = 0.0;
+  for (float x : v) sum += std::exp(static_cast<double>(x) - mx);
+  const float lse = mx + static_cast<float>(std::log(sum));
+  for (auto& x : v) x -= lse;
+}
+
+}  // namespace
+
+std::vector<int> beam_decode(const Transformer& model,
+                             const std::vector<int>& src_ids, int sos, int eos,
+                             int max_len, int beam_width) {
+  MR_CHECK(beam_width >= 1, "beam width must be >= 1");
+  if (beam_width == 1) return greedy_decode(model, src_ids, sos, eos, max_len);
+
+  std::vector<Hypothesis> beam;
+  Hypothesis root;
+  root.decoder = std::make_shared<IncrementalDecoder>(model, src_ids);
+  root.next_input = sos;
+  beam.push_back(std::move(root));
+
+  for (int step = 0; step < max_len; ++step) {
+    std::vector<Hypothesis> candidates;
+    bool all_finished = true;
+    for (auto& hyp : beam) {
+      if (hyp.finished) {
+        candidates.push_back(hyp);
+        continue;
+      }
+      all_finished = false;
+      auto logits = hyp.decoder->step(hyp.next_input);
+      log_softmax_inplace(logits);
+      // Top beam_width continuations of this hypothesis.
+      std::vector<int> order(logits.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] =
+          static_cast<int>(i);
+      std::partial_sort(order.begin(),
+                        order.begin() + std::min<std::size_t>(
+                                            order.size(),
+                                            static_cast<std::size_t>(
+                                                beam_width)),
+                        order.end(), [&](int a, int b) {
+                          return logits[static_cast<std::size_t>(a)] >
+                                 logits[static_cast<std::size_t>(b)];
+                        });
+      for (int k = 0; k < beam_width &&
+                      k < static_cast<int>(order.size());
+           ++k) {
+        const int tok = order[static_cast<std::size_t>(k)];
+        Hypothesis next;
+        next.tokens = hyp.tokens;
+        next.log_prob =
+            hyp.log_prob +
+            static_cast<double>(logits[static_cast<std::size_t>(tok)]);
+        if (tok == eos) {
+          next.decoder = hyp.decoder;  // no further steps; safe to share
+          next.finished = true;
+        } else {
+          // Fork the decoder state (copy caches).
+          next.decoder = std::make_shared<IncrementalDecoder>(*hyp.decoder);
+          next.tokens.push_back(tok);
+          next.next_input = tok;
+        }
+        candidates.push_back(std::move(next));
+      }
+    }
+    if (all_finished) break;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Hypothesis& a, const Hypothesis& b) {
+                return a.score() > b.score();
+              });
+    if (candidates.size() > static_cast<std::size_t>(beam_width)) {
+      candidates.resize(static_cast<std::size_t>(beam_width));
+    }
+    beam = std::move(candidates);
+  }
+
+  const Hypothesis* best = &beam.front();
+  for (const auto& hyp : beam) {
+    if (hyp.score() > best->score()) best = &hyp;
+  }
+  return best->tokens;
+}
+
+}  // namespace mpirical::nn

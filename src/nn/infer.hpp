@@ -1,0 +1,62 @@
+// Forward-only incremental decoding with per-layer KV caches.
+//
+// Training uses the autograd path; generation would be quadratic-in-length if
+// it re-ran the full decoder per emitted token. IncrementalDecoder encodes
+// the source once, precomputes each decoder layer's cross-attention K/V, and
+// then advances one token at a time in O(t * d) per step. The object is
+// copyable, which is what beam search uses to fork hypotheses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/transformer.hpp"
+
+namespace mpirical::nn {
+
+class IncrementalDecoder {
+ public:
+  /// Encodes `src_ids` (no padding; batch of one) and prepares caches.
+  IncrementalDecoder(const Transformer& model, const std::vector<int>& src_ids);
+
+  /// Feeds the next input token (the first call passes [SOS]) and returns
+  /// logits over the vocabulary for the following position.
+  const std::vector<float>& step(int token);
+
+  /// Number of tokens consumed so far.
+  int position() const { return t_; }
+
+  const Transformer& model() const { return *model_; }
+
+ private:
+  struct LayerState {
+    std::vector<float> self_k;  // [t, d] grows per step
+    std::vector<float> self_v;
+    std::vector<float> cross_k;  // [src_len, d] fixed
+    std::vector<float> cross_v;
+  };
+
+  void attend(const float* q, const std::vector<float>& kcache,
+              const std::vector<float>& vcache, int kv_len, float* out) const;
+
+  const Transformer* model_ = nullptr;
+  int d_ = 0;
+  int heads_ = 0;
+  int src_len_ = 0;
+  int t_ = 0;
+  std::vector<float> enc_out_;  // [src_len, d]
+  std::vector<LayerState> layers_;
+  std::vector<float> logits_;
+};
+
+/// Greedy decoding: emits up to `max_len` tokens, stopping at `eos`.
+std::vector<int> greedy_decode(const Transformer& model,
+                               const std::vector<int>& src_ids, int sos,
+                               int eos, int max_len);
+
+/// Beam-search decoding with length-normalized log-prob scoring.
+std::vector<int> beam_decode(const Transformer& model,
+                             const std::vector<int>& src_ids, int sos, int eos,
+                             int max_len, int beam_width);
+
+}  // namespace mpirical::nn

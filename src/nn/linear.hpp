@@ -1,0 +1,26 @@
+// Linear layer: y = x @ W + b with W stored [in, out] (row-major), so the
+// same buffer serves both the batched training matmul and the forward-only
+// GEMV used by incremental decoding.
+#pragma once
+
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mpirical::nn {
+
+struct Linear {
+  Linear() = default;
+  Linear(int in, int out, Rng& rng, float init_std = 0.02f)
+      : w(tensor::Tensor::randn({in, out}, rng, init_std,
+                                /*requires_grad=*/true)),
+        b(tensor::Tensor::zeros({out}, /*requires_grad=*/true)) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x) const {
+    return tensor::add_bias(tensor::matmul(x, w), b);
+  }
+
+  tensor::Tensor w;
+  tensor::Tensor b;
+};
+
+}  // namespace mpirical::nn

@@ -1,0 +1,245 @@
+#include "nn/transformer.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace mpirical::nn {
+
+using tensor::Tensor;
+
+Transformer::Transformer(const TransformerConfig& config, Rng& rng)
+    : config_(config),
+      tok_embed_(Tensor::randn({config.vocab_size, config.d_model}, rng, 0.02f,
+                               /*requires_grad=*/true)),
+      enc_ln_(config.d_model),
+      dec_ln_(config.d_model),
+      out_proj_(config.d_model, config.vocab_size, rng) {
+  MR_CHECK(config.d_model % config.heads == 0,
+           "d_model must be divisible by heads");
+  pos_.resize(static_cast<std::size_t>(config.max_len));
+  for (int p = 0; p < config.max_len; ++p) {
+    auto& row = pos_[static_cast<std::size_t>(p)];
+    row.resize(static_cast<std::size_t>(config.d_model));
+    for (int i = 0; i < config.d_model; ++i) {
+      const double angle =
+          p / std::pow(10000.0, 2.0 * (i / 2) / config.d_model);
+      row[static_cast<std::size_t>(i)] = static_cast<float>(
+          i % 2 == 0 ? std::sin(angle) : std::cos(angle));
+    }
+  }
+  enc_.reserve(static_cast<std::size_t>(config.encoder_layers));
+  for (int i = 0; i < config.encoder_layers; ++i) enc_.emplace_back(config, rng);
+  dec_.reserve(static_cast<std::size_t>(config.decoder_layers));
+  for (int i = 0; i < config.decoder_layers; ++i) dec_.emplace_back(config, rng);
+}
+
+const std::vector<float>& Transformer::positional_row(int pos) const {
+  MR_CHECK(pos >= 0 && pos < config_.max_len, "position beyond max_len");
+  return pos_[static_cast<std::size_t>(pos)];
+}
+
+Tensor Transformer::embed(const std::vector<int>& ids, int batch, int len,
+                          bool training, Rng& rng) const {
+  MR_CHECK(static_cast<int>(ids.size()) == batch * len,
+           "embed: id count mismatch");
+  Tensor x = tensor::embedding(ids, tok_embed_);
+  x = tensor::scale(x, std::sqrt(static_cast<float>(config_.d_model)));
+  // Positional encodings tiled over the batch (constant, no grad).
+  std::vector<float> pos_data(static_cast<std::size_t>(batch) * len *
+                              config_.d_model);
+  for (int b = 0; b < batch; ++b) {
+    for (int t = 0; t < len; ++t) {
+      const auto& row = positional_row(t);
+      std::memcpy(pos_data.data() +
+                      (static_cast<std::size_t>(b) * len + t) * config_.d_model,
+                  row.data(), sizeof(float) * row.size());
+    }
+  }
+  Tensor pos = Tensor::from_data({batch * len, config_.d_model},
+                                 std::move(pos_data));
+  x = tensor::add(x, pos);
+  return tensor::dropout(x, config_.dropout, rng, training);
+}
+
+namespace {
+
+Tensor attention_sublayer(const AttentionBlock& blk, const Tensor& x_q,
+                          const Tensor& x_kv, int batch, int heads,
+                          bool causal, const std::vector<int>* q_lens,
+                          const std::vector<int>* kv_lens) {
+  const Tensor q = blk.wq.forward(x_q);
+  const Tensor k = blk.wk.forward(x_kv);
+  const Tensor v = blk.wv.forward(x_kv);
+  const Tensor attn =
+      tensor::multi_head_attention(q, k, v, batch, heads, causal, q_lens,
+                                   kv_lens);
+  return blk.wo.forward(attn);
+}
+
+Tensor ffn_sublayer(const FfnBlock& blk, const Tensor& x) {
+  return blk.down.forward(tensor::gelu(blk.up.forward(x)));
+}
+
+}  // namespace
+
+Tensor Transformer::encode(const std::vector<int>& src_ids, int batch,
+                           int src_len, const std::vector<int>& src_lens,
+                           bool training, Rng& rng) const {
+  MR_CHECK(static_cast<int>(src_lens.size()) == batch,
+           "encode: src_lens size mismatch");
+  Tensor x = embed(src_ids, batch, src_len, training, rng);
+  for (const auto& layer : enc_) {
+    const Tensor normed = layer.ln1.apply(x);
+    Tensor h = attention_sublayer(layer.attn, normed, normed, batch,
+                                  config_.heads,
+                                  /*causal=*/false, &src_lens, &src_lens);
+    x = tensor::add(x, tensor::dropout(h, config_.dropout, rng, training));
+    Tensor f = ffn_sublayer(layer.ffn, layer.ln2.apply(x));
+    x = tensor::add(x, tensor::dropout(f, config_.dropout, rng, training));
+  }
+  return enc_ln_.apply(x);
+}
+
+Tensor Transformer::decode(const Tensor& enc_out,
+                           const std::vector<int>& tgt_ids, int batch,
+                           int tgt_len, const std::vector<int>& tgt_lens,
+                           int src_len, const std::vector<int>& src_lens,
+                           bool training, Rng& rng) const {
+  MR_CHECK(static_cast<int>(tgt_lens.size()) == batch,
+           "decode: tgt_lens size mismatch");
+  Tensor x = embed(tgt_ids, batch, tgt_len, training, rng);
+  (void)src_len;
+  for (const auto& layer : dec_) {
+    const Tensor normed = layer.ln1.apply(x);
+    Tensor h = attention_sublayer(layer.self_attn, normed, normed, batch,
+                                  config_.heads,
+                                  /*causal=*/true, &tgt_lens, &tgt_lens);
+    x = tensor::add(x, tensor::dropout(h, config_.dropout, rng, training));
+    Tensor c = attention_sublayer(layer.cross_attn, layer.ln2.apply(x),
+                                  enc_out, batch, config_.heads,
+                                  /*causal=*/false, &tgt_lens, &src_lens);
+    x = tensor::add(x, tensor::dropout(c, config_.dropout, rng, training));
+    Tensor f = ffn_sublayer(layer.ffn, layer.ln3.apply(x));
+    x = tensor::add(x, tensor::dropout(f, config_.dropout, rng, training));
+  }
+  x = dec_ln_.apply(x);
+  return out_proj_.forward(x);
+}
+
+std::vector<Tensor> Transformer::parameters() const {
+  std::vector<Tensor> params;
+  params.push_back(tok_embed_);
+  auto add_linear = [&](const Linear& l) {
+    params.push_back(l.w);
+    params.push_back(l.b);
+  };
+  auto add_ln = [&](const LayerNormParams& ln) {
+    params.push_back(ln.gamma);
+    params.push_back(ln.beta);
+  };
+  auto add_attn = [&](const AttentionBlock& a) {
+    add_linear(a.wq);
+    add_linear(a.wk);
+    add_linear(a.wv);
+    add_linear(a.wo);
+  };
+  for (const auto& layer : enc_) {
+    add_ln(layer.ln1);
+    add_ln(layer.ln2);
+    add_attn(layer.attn);
+    add_linear(layer.ffn.up);
+    add_linear(layer.ffn.down);
+  }
+  for (const auto& layer : dec_) {
+    add_ln(layer.ln1);
+    add_ln(layer.ln2);
+    add_ln(layer.ln3);
+    add_attn(layer.self_attn);
+    add_attn(layer.cross_attn);
+    add_linear(layer.ffn.up);
+    add_linear(layer.ffn.down);
+  }
+  add_ln(enc_ln_);
+  add_ln(dec_ln_);
+  add_linear(out_proj_);
+  return params;
+}
+
+std::size_t Transformer::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p.numel();
+  return n;
+}
+
+namespace {
+
+void put_i32(std::string& out, std::int32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void put_f32(std::string& out, float v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::int32_t get_i32(const std::string& in, std::size_t& pos) {
+  MR_CHECK(pos + sizeof(std::int32_t) <= in.size(), "checkpoint truncated");
+  std::int32_t v;
+  std::memcpy(&v, in.data() + pos, sizeof(v));
+  pos += sizeof(v);
+  return v;
+}
+float get_f32(const std::string& in, std::size_t& pos) {
+  MR_CHECK(pos + sizeof(float) <= in.size(), "checkpoint truncated");
+  float v;
+  std::memcpy(&v, in.data() + pos, sizeof(v));
+  pos += sizeof(v);
+  return v;
+}
+
+constexpr std::int32_t kMagic = 0x4D504952;  // "MPIR"
+
+}  // namespace
+
+std::string Transformer::serialize() const {
+  std::string out;
+  put_i32(out, kMagic);
+  put_i32(out, config_.vocab_size);
+  put_i32(out, config_.d_model);
+  put_i32(out, config_.heads);
+  put_i32(out, config_.ffn_dim);
+  put_i32(out, config_.encoder_layers);
+  put_i32(out, config_.decoder_layers);
+  put_i32(out, config_.max_len);
+  put_f32(out, config_.dropout);
+  for (const auto& p : parameters()) {
+    put_i32(out, static_cast<std::int32_t>(p.numel()));
+    for (float v : p.value()) put_f32(out, v);
+  }
+  return out;
+}
+
+Transformer Transformer::deserialize(const std::string& data) {
+  std::size_t pos = 0;
+  MR_CHECK(get_i32(data, pos) == kMagic, "bad checkpoint magic");
+  TransformerConfig cfg;
+  cfg.vocab_size = get_i32(data, pos);
+  cfg.d_model = get_i32(data, pos);
+  cfg.heads = get_i32(data, pos);
+  cfg.ffn_dim = get_i32(data, pos);
+  cfg.encoder_layers = get_i32(data, pos);
+  cfg.decoder_layers = get_i32(data, pos);
+  cfg.max_len = get_i32(data, pos);
+  cfg.dropout = get_f32(data, pos);
+  Rng rng(0);  // weights are overwritten below
+  Transformer model(cfg, rng);
+  for (auto& p : model.parameters()) {
+    const std::int32_t n = get_i32(data, pos);
+    MR_CHECK(static_cast<std::size_t>(n) == p.numel(),
+             "checkpoint parameter size mismatch");
+    for (auto& x : p.value()) x = get_f32(data, pos);
+  }
+  MR_CHECK(pos == data.size(), "trailing bytes in checkpoint");
+  return model;
+}
+
+}  // namespace mpirical::nn

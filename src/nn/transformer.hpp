@@ -1,0 +1,136 @@
+// Transformer encoder-decoder (the SPT-Code architecture, scaled to the
+// synthetic task and CPU training).
+//
+// Pre-LN residual blocks (stable without long warmup), sinusoidal positional
+// encodings, fused multi-head attention, GELU feed-forward. The training
+// forward pass is batched: token ids are padded to a common length per batch
+// and sequence lengths carry the padding masks into attention.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/linear.hpp"
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mpirical::nn {
+
+struct TransformerConfig {
+  int vocab_size = 512;
+  int d_model = 96;
+  int heads = 4;
+  int ffn_dim = 192;
+  int encoder_layers = 2;
+  int decoder_layers = 2;
+  int max_len = 384;       // positional table size
+  float dropout = 0.1f;
+};
+
+struct LayerNormParams {
+  LayerNormParams() = default;
+  explicit LayerNormParams(int d)
+      : gamma(tensor::Tensor::full({d}, 1.0f, true)),
+        beta(tensor::Tensor::zeros({d}, true)) {}
+  tensor::Tensor apply(const tensor::Tensor& x) const {
+    return tensor::layer_norm(x, gamma, beta);
+  }
+  tensor::Tensor gamma;
+  tensor::Tensor beta;
+};
+
+struct AttentionBlock {
+  AttentionBlock() = default;
+  AttentionBlock(int d, Rng& rng)
+      : wq(d, d, rng), wk(d, d, rng), wv(d, d, rng), wo(d, d, rng) {}
+  Linear wq, wk, wv, wo;
+};
+
+struct FfnBlock {
+  FfnBlock() = default;
+  FfnBlock(int d, int hidden, Rng& rng)
+      : up(d, hidden, rng), down(hidden, d, rng) {}
+  Linear up, down;
+};
+
+struct EncoderLayer {
+  EncoderLayer() = default;
+  EncoderLayer(const TransformerConfig& cfg, Rng& rng)
+      : ln1(cfg.d_model),
+        ln2(cfg.d_model),
+        attn(cfg.d_model, rng),
+        ffn(cfg.d_model, cfg.ffn_dim, rng) {}
+  LayerNormParams ln1, ln2;
+  AttentionBlock attn;
+  FfnBlock ffn;
+};
+
+struct DecoderLayer {
+  DecoderLayer() = default;
+  DecoderLayer(const TransformerConfig& cfg, Rng& rng)
+      : ln1(cfg.d_model),
+        ln2(cfg.d_model),
+        ln3(cfg.d_model),
+        self_attn(cfg.d_model, rng),
+        cross_attn(cfg.d_model, rng),
+        ffn(cfg.d_model, cfg.ffn_dim, rng) {}
+  LayerNormParams ln1, ln2, ln3;
+  AttentionBlock self_attn;
+  AttentionBlock cross_attn;
+  FfnBlock ffn;
+};
+
+class Transformer {
+ public:
+  Transformer() = default;
+  Transformer(const TransformerConfig& config, Rng& rng);
+
+  const TransformerConfig& config() const { return config_; }
+
+  /// Encoder over a padded batch. `src_ids` has batch*src_len entries.
+  /// Returns [batch*src_len, d_model].
+  tensor::Tensor encode(const std::vector<int>& src_ids, int batch,
+                        int src_len, const std::vector<int>& src_lens,
+                        bool training, Rng& rng) const;
+
+  /// Decoder + output projection. `tgt_ids` is the shifted-right target
+  /// ([SOS] prepended), batch*tgt_len entries. Returns logits
+  /// [batch*tgt_len, vocab].
+  tensor::Tensor decode(const tensor::Tensor& enc_out,
+                        const std::vector<int>& tgt_ids, int batch,
+                        int tgt_len, const std::vector<int>& tgt_lens,
+                        int src_len, const std::vector<int>& src_lens,
+                        bool training, Rng& rng) const;
+
+  /// All trainable parameters (stable order; used by Adam and serialization).
+  std::vector<tensor::Tensor> parameters() const;
+  std::size_t parameter_count() const;
+
+  /// Binary checkpoint I/O (config + all parameter values).
+  std::string serialize() const;
+  static Transformer deserialize(const std::string& data);
+
+  // Internals exposed for the incremental decoder (read-only use).
+  const tensor::Tensor& token_embedding() const { return tok_embed_; }
+  const std::vector<float>& positional_row(int pos) const;
+  const std::vector<EncoderLayer>& encoder_layers() const { return enc_; }
+  const std::vector<DecoderLayer>& decoder_layers() const { return dec_; }
+  const LayerNormParams& encoder_final_ln() const { return enc_ln_; }
+  const LayerNormParams& decoder_final_ln() const { return dec_ln_; }
+  const Linear& output_projection() const { return out_proj_; }
+
+ private:
+  tensor::Tensor embed(const std::vector<int>& ids, int batch, int len,
+                       bool training, Rng& rng) const;
+
+  TransformerConfig config_;
+  tensor::Tensor tok_embed_;             // [vocab, d]
+  std::vector<std::vector<float>> pos_;  // sinusoidal rows [max_len][d]
+  std::vector<EncoderLayer> enc_;
+  std::vector<DecoderLayer> dec_;
+  LayerNormParams enc_ln_;
+  LayerNormParams dec_ln_;
+  Linear out_proj_;  // [d, vocab]
+};
+
+}  // namespace mpirical::nn

@@ -1,0 +1,40 @@
+// Diagnostics: precondition checks and error reporting used across the library.
+//
+// MR_CHECK(cond, msg)   -- throws mpirical::Error when `cond` is false. Used for
+//                          conditions that depend on inputs (always on).
+// MR_ASSERT(cond)       -- internal invariant; also always on (cheap checks only).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mpirical {
+
+/// Exception type thrown by all library-level failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mpirical
+
+#define MR_CHECK(cond, msg)                                                \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::mpirical::detail::raise_check_failure(#cond, __FILE__, __LINE__,   \
+                                              (msg));                      \
+    }                                                                      \
+  } while (false)
+
+#define MR_ASSERT(cond) MR_CHECK((cond), "internal invariant violated")

@@ -1,0 +1,32 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace mpirical {
+
+double Rng::next_gaussian() {
+  // Box-Muller; avoid log(0) by nudging u1 away from zero.
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  const double two_pi = 6.283185307179586;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+std::size_t Rng::pick_weighted(const std::vector<double>& weights) {
+  MR_CHECK(!weights.empty(), "pick_weighted from empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    MR_CHECK(w >= 0.0, "pick_weighted requires non-negative weights");
+    total += w;
+  }
+  MR_CHECK(total > 0.0, "pick_weighted requires positive total weight");
+  double r = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace mpirical

@@ -1,0 +1,36 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpirical {
+
+/// Splits `s` on `sep` (single character). Keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits `s` into lines (LF separated; a trailing newline does not produce a
+/// final empty line).
+std::vector<std::string> split_lines(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string strip(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// True if `s` contains `needle`.
+bool contains(std::string_view s, std::string_view needle);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+/// Counts lines in `s` (number of LF + 1 for a non-empty tail; empty -> 0).
+int count_lines(std::string_view s);
+
+}  // namespace mpirical

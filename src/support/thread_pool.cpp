@@ -1,0 +1,142 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace mpirical {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Task{std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  const std::size_t max_chunks = workers_.size() * 4;
+  std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks > max_chunks) chunks = max_chunks;
+  if (chunks <= 1 || workers_.empty()) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  // Completion state is shared (not stack-owned): workers may still touch
+  // the mutex/cv after the waiter observes remaining == 0 and returns, so
+  // the last shared_ptr holder -- possibly a worker -- destroys it.
+  struct SharedState {
+    std::atomic<std::size_t> remaining;
+    std::exception_ptr first_error;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->remaining.store(chunks);
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    submit([state, &body, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->first_error) {
+          state->first_error = std::current_exception();
+        }
+      }
+      if (state->remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    });
+  }
+
+  // Help drain the queue while waiting so nested parallel_for cannot deadlock.
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.back());
+        queue_.pop_back();
+      }
+    }
+    if (task.fn) {
+      task.fn();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state->mu);
+    if (state->remaining.load() == 0) break;
+    state->cv.wait_for(lock, std::chrono::milliseconds(1));
+    if (state->remaining.load() == 0) break;
+  }
+
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("MPIRICAL_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return static_cast<std::size_t>(0);
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  ThreadPool::global().parallel_for(begin, end, body, grain);
+}
+
+}  // namespace mpirical

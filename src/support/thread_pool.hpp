@@ -1,0 +1,59 @@
+// Work-sharing thread pool with a blocking parallel_for.
+//
+// The pool is the single parallelism primitive in the library: tensor matmuls,
+// attention, corpus generation sweeps and the simulated MPI runtime's
+// collectives all decompose into parallel_for over index ranges.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpirical {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [begin, end), splitting the range into contiguous
+  /// chunks across the pool. Blocks until all iterations complete. `grain`
+  /// is the minimum chunk size; small ranges run inline on the caller.
+  /// Exceptions from `body` are rethrown on the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Process-wide pool, sized from MPIRICAL_THREADS or hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void submit(std::function<void()> fn);
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace mpirical

@@ -1,0 +1,1021 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mpirical::tensor {
+
+namespace detail {
+
+struct Node {
+  std::vector<int> shape;
+  std::vector<float> value;
+  std::vector<float> grad;  // allocated lazily when requires_grad
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Reads this->grad and accumulates into parents' grads.
+  std::function<void(Node&)> backward_fn;
+
+  std::size_t numel() const { return value.size(); }
+
+  void ensure_grad() {
+    if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+  }
+};
+
+}  // namespace detail
+
+using detail::Node;
+
+namespace {
+
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    MR_CHECK(d >= 0, "negative dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+std::shared_ptr<Node> new_node(std::vector<int> shape, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value.assign(shape_numel(shape), 0.0f);
+  node->shape = std::move(shape);
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->ensure_grad();
+  return node;
+}
+
+/// Creates the result node for an op over parents; wires requires_grad.
+std::shared_ptr<Node> op_node(std::vector<int> shape,
+                              std::initializer_list<Tensor> parents) {
+  bool needs_grad = false;
+  for (const Tensor& p : parents) {
+    if (p.node()->requires_grad) needs_grad = true;
+  }
+  auto node = new_node(std::move(shape), needs_grad);
+  if (needs_grad) {
+    for (const Tensor& p : parents) node->parents.push_back(p.node());
+  }
+  return node;
+}
+
+constexpr std::size_t kParallelGrain = 8;
+
+}  // namespace
+
+// ---- Tensor basics ---------------------------------------------------------
+
+Tensor Tensor::zeros(std::vector<int> shape, bool requires_grad) {
+  return Tensor(new_node(std::move(shape), requires_grad));
+}
+
+Tensor Tensor::full(std::vector<int> shape, float fill, bool requires_grad) {
+  auto node = new_node(std::move(shape), requires_grad);
+  std::fill(node->value.begin(), node->value.end(), fill);
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::from_data(std::vector<int> shape, std::vector<float> data,
+                         bool requires_grad) {
+  MR_CHECK(shape_numel(shape) == data.size(),
+           "from_data: shape does not match data size");
+  auto node = std::make_shared<Node>();
+  node->shape = std::move(shape);
+  node->value = std::move(data);
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->ensure_grad();
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float stddev,
+                     bool requires_grad) {
+  auto node = new_node(std::move(shape), requires_grad);
+  for (auto& v : node->value) {
+    v = static_cast<float>(rng.next_gaussian()) * stddev;
+  }
+  return Tensor(std::move(node));
+}
+
+const std::vector<int>& Tensor::shape() const {
+  MR_CHECK(node_, "undefined tensor");
+  return node_->shape;
+}
+
+int Tensor::dim(int i) const {
+  const auto& s = shape();
+  MR_CHECK(i >= 0 && static_cast<std::size_t>(i) < s.size(),
+           "dim index out of range");
+  return s[static_cast<std::size_t>(i)];
+}
+
+int Tensor::rank() const { return static_cast<int>(shape().size()); }
+
+std::size_t Tensor::numel() const {
+  MR_CHECK(node_, "undefined tensor");
+  return node_->numel();
+}
+
+std::vector<float>& Tensor::value() {
+  MR_CHECK(node_, "undefined tensor");
+  return node_->value;
+}
+const std::vector<float>& Tensor::value() const {
+  MR_CHECK(node_, "undefined tensor");
+  return node_->value;
+}
+
+std::vector<float>& Tensor::grad() {
+  MR_CHECK(node_ && node_->requires_grad, "tensor has no grad");
+  node_->ensure_grad();
+  return node_->grad;
+}
+const std::vector<float>& Tensor::grad() const {
+  MR_CHECK(node_ && node_->requires_grad, "tensor has no grad");
+  return node_->grad;
+}
+
+bool Tensor::requires_grad() const {
+  return node_ != nullptr && node_->requires_grad;
+}
+
+void Tensor::zero_grad() {
+  if (node_ && node_->requires_grad) {
+    node_->ensure_grad();
+    std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+  }
+}
+
+float Tensor::item() const {
+  MR_CHECK(numel() == 1, "item() requires a scalar tensor");
+  return value()[0];
+}
+
+void Tensor::backward() {
+  MR_CHECK(node_, "undefined tensor");
+  MR_CHECK(node_->numel() == 1, "backward() requires a scalar root");
+  MR_CHECK(node_->requires_grad, "root does not require grad");
+
+  // Iterative topological sort (post-order DFS).
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* parent = node->parents[next_child].get();
+      ++next_child;
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  node_->ensure_grad();
+  node_->grad[0] = 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn) node->backward_fn(*node);
+  }
+}
+
+// ---- matmul ----------------------------------------------------------------
+
+namespace {
+
+/// C[m,n] += A[m,k] @ B[k,n]; parallel over rows of C.
+void matmul_acc(const float* a, const float* b, float* c, int m, int k, int n) {
+  parallel_for(
+      0, static_cast<std::size_t>(m),
+      [&](std::size_t i) {
+        const float* arow = a + i * static_cast<std::size_t>(k);
+        float* crow = c + i * static_cast<std::size_t>(n);
+        for (int p = 0; p < k; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<std::size_t>(p) * n;
+          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      },
+      kParallelGrain);
+}
+
+/// C[m,n] += A[k,m]^T @ B[k,n]; parallel over rows of C.
+void matmul_at_b_acc(const float* a, const float* b, float* c, int k, int m,
+                     int n) {
+  parallel_for(
+      0, static_cast<std::size_t>(m),
+      [&](std::size_t i) {
+        float* crow = c + i * static_cast<std::size_t>(n);
+        for (int p = 0; p < k; ++p) {
+          const float av = a[static_cast<std::size_t>(p) * m + i];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<std::size_t>(p) * n;
+          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      },
+      kParallelGrain);
+}
+
+/// C[m,n] += A[m,k] @ B[n,k]^T; parallel over rows of C.
+void matmul_a_bt_acc(const float* a, const float* b, float* c, int m, int k,
+                     int n) {
+  parallel_for(
+      0, static_cast<std::size_t>(m),
+      [&](std::size_t i) {
+        const float* arow = a + i * static_cast<std::size_t>(k);
+        float* crow = c + i * static_cast<std::size_t>(n);
+        for (int j = 0; j < n; ++j) {
+          const float* brow = b + static_cast<std::size_t>(j) * k;
+          float acc = 0.0f;
+          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          crow[j] += acc;
+        }
+      },
+      kParallelGrain);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  MR_CHECK(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 tensors");
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = b.dim(1);
+  MR_CHECK(b.dim(0) == k, "matmul inner dimension mismatch");
+
+  auto out = op_node({m, n}, {a, b});
+  matmul_acc(a.value().data(), b.value().data(), out->value.data(), m, k, n);
+
+  if (out->requires_grad) {
+    auto anode = a.node();
+    auto bnode = b.node();
+    out->backward_fn = [anode, bnode, m, k, n](Node& self) {
+      if (anode->requires_grad) {
+        anode->ensure_grad();
+        // dA = dC @ B^T
+        matmul_a_bt_acc(self.grad.data(), bnode->value.data(),
+                        anode->grad.data(), m, n, k);
+      }
+      if (bnode->requires_grad) {
+        bnode->ensure_grad();
+        // dB = A^T @ dC
+        matmul_at_b_acc(anode->value.data(), self.grad.data(),
+                        bnode->grad.data(), m, k, n);
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+// ---- elementwise -----------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kElementGrain = 16384;
+
+Tensor elementwise_binary(const Tensor& a, const Tensor& b,
+                          const std::function<float(float, float)>& fwd,
+                          const std::function<void(Node&, Node&, Node&)>& bwd) {
+  MR_CHECK(a.shape() == b.shape(), "elementwise op requires matching shapes");
+  auto out = op_node(a.shape(), {a, b});
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  parallel_for(
+      0, av.size(),
+      [&](std::size_t i) { out->value[i] = fwd(av[i], bv[i]); },
+      kElementGrain);
+  if (out->requires_grad) {
+    auto anode = a.node();
+    auto bnode = b.node();
+    out->backward_fn = [anode, bnode, bwd](Node& self) {
+      bwd(self, *anode, *bnode);
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      a, b, [](float x, float y) { return x + y; },
+      [](Node& self, Node& an, Node& bn) {
+        if (an.requires_grad) {
+          an.ensure_grad();
+          for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            an.grad[i] += self.grad[i];
+          }
+        }
+        if (bn.requires_grad) {
+          bn.ensure_grad();
+          for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            bn.grad[i] += self.grad[i];
+          }
+        }
+      });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      a, b, [](float x, float y) { return x - y; },
+      [](Node& self, Node& an, Node& bn) {
+        if (an.requires_grad) {
+          an.ensure_grad();
+          for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            an.grad[i] += self.grad[i];
+          }
+        }
+        if (bn.requires_grad) {
+          bn.ensure_grad();
+          for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            bn.grad[i] -= self.grad[i];
+          }
+        }
+      });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      a, b, [](float x, float y) { return x * y; },
+      [](Node& self, Node& an, Node& bn) {
+        if (an.requires_grad) {
+          an.ensure_grad();
+          for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            an.grad[i] += self.grad[i] * bn.value[i];
+          }
+        }
+        if (bn.requires_grad) {
+          bn.ensure_grad();
+          for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            bn.grad[i] += self.grad[i] * an.value[i];
+          }
+        }
+      });
+}
+
+Tensor add_bias(const Tensor& x, const Tensor& bias) {
+  MR_CHECK(x.rank() == 2 && bias.rank() == 1, "add_bias expects [m,n] + [n]");
+  const int m = x.dim(0);
+  const int n = x.dim(1);
+  MR_CHECK(bias.dim(0) == n, "add_bias width mismatch");
+  auto out = op_node({m, n}, {x, bias});
+  const auto& xv = x.value();
+  const auto& bv = bias.value();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out->value[static_cast<std::size_t>(i) * n + j] =
+          xv[static_cast<std::size_t>(i) * n + j] + bv[j];
+    }
+  }
+  if (out->requires_grad) {
+    auto xnode = x.node();
+    auto bnode = bias.node();
+    out->backward_fn = [xnode, bnode, m, n](Node& self) {
+      if (xnode->requires_grad) {
+        xnode->ensure_grad();
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+          xnode->grad[i] += self.grad[i];
+        }
+      }
+      if (bnode->requires_grad) {
+        bnode->ensure_grad();
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < n; ++j) {
+            bnode->grad[j] += self.grad[static_cast<std::size_t>(i) * n + j];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor scale(const Tensor& x, float s) {
+  auto out = op_node(x.shape(), {x});
+  const auto& xv = x.value();
+  for (std::size_t i = 0; i < xv.size(); ++i) out->value[i] = xv[i] * s;
+  if (out->requires_grad) {
+    auto xnode = x.node();
+    out->backward_fn = [xnode, s](Node& self) {
+      xnode->ensure_grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        xnode->grad[i] += self.grad[i] * s;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor relu(const Tensor& x) {
+  auto out = op_node(x.shape(), {x});
+  const auto& xv = x.value();
+  for (std::size_t i = 0; i < xv.size(); ++i) {
+    out->value[i] = xv[i] > 0.0f ? xv[i] : 0.0f;
+  }
+  if (out->requires_grad) {
+    auto xnode = x.node();
+    out->backward_fn = [xnode](Node& self) {
+      xnode->ensure_grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        if (xnode->value[i] > 0.0f) xnode->grad[i] += self.grad[i];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor gelu(const Tensor& x) {
+  // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  auto out = op_node(x.shape(), {x});
+  const auto& xv = x.value();
+  parallel_for(
+      0, xv.size(),
+      [&](std::size_t i) {
+        const float v = xv[i];
+        const float t = std::tanh(kC * (v + kA * v * v * v));
+        out->value[i] = 0.5f * v * (1.0f + t);
+      },
+      kElementGrain / 4);
+  if (out->requires_grad) {
+    auto xnode = x.node();
+    out->backward_fn = [xnode](Node& self) {
+      xnode->ensure_grad();
+      parallel_for(
+          0, self.grad.size(),
+          [&](std::size_t i) {
+            const float v = xnode->value[i];
+            const float u = kC * (v + kA * v * v * v);
+            const float t = std::tanh(u);
+            const float du = kC * (1.0f + 3.0f * kA * v * v);
+            const float dgelu =
+                0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+            xnode->grad[i] += self.grad[i] * dgelu;
+          },
+          kElementGrain / 4);
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+// ---- softmax / layer norm ---------------------------------------------------
+
+Tensor softmax_rows(const Tensor& x) {
+  MR_CHECK(x.rank() == 2, "softmax_rows requires rank 2");
+  const int m = x.dim(0);
+  const int n = x.dim(1);
+  auto out = op_node({m, n}, {x});
+  const auto& xv = x.value();
+  parallel_for(
+      0, static_cast<std::size_t>(m),
+      [&](std::size_t i) {
+        const float* row = xv.data() + i * n;
+        float* orow = out->value.data() + i * n;
+        float mx = row[0];
+        for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+        float sum = 0.0f;
+        for (int j = 0; j < n; ++j) {
+          orow[j] = std::exp(row[j] - mx);
+          sum += orow[j];
+        }
+        const float inv = 1.0f / sum;
+        for (int j = 0; j < n; ++j) orow[j] *= inv;
+      },
+      /*grain=*/32);
+  if (out->requires_grad) {
+    auto xnode = x.node();
+    out->backward_fn = [xnode, m, n](Node& self) {
+      xnode->ensure_grad();
+      parallel_for(
+          0, static_cast<std::size_t>(m),
+          [&](std::size_t i) {
+            const float* p = self.value.data() + i * n;
+            const float* g = self.grad.data() + i * n;
+            float* xg = xnode->grad.data() + i * n;
+            float dot = 0.0f;
+            for (int j = 0; j < n; ++j) dot += p[j] * g[j];
+            for (int j = 0; j < n; ++j) xg[j] += p[j] * (g[j] - dot);
+          },
+          /*grain=*/32);
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps) {
+  MR_CHECK(x.rank() == 2, "layer_norm requires rank 2");
+  const int m = x.dim(0);
+  const int n = x.dim(1);
+  MR_CHECK(gamma.rank() == 1 && gamma.dim(0) == n, "layer_norm gamma shape");
+  MR_CHECK(beta.rank() == 1 && beta.dim(0) == n, "layer_norm beta shape");
+
+  auto out = op_node({m, n}, {x, gamma, beta});
+  // Cache per-row mean and inverse stddev for the backward pass.
+  auto stats = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(m) * 2);
+  const auto& xv = x.value();
+  const auto& gv = gamma.value();
+  const auto& bv = beta.value();
+  parallel_for(
+      0, static_cast<std::size_t>(m),
+      [&](std::size_t i) {
+        const float* row = xv.data() + i * n;
+        float* orow = out->value.data() + i * n;
+        float mean = 0.0f;
+        for (int j = 0; j < n; ++j) mean += row[j];
+        mean /= static_cast<float>(n);
+        float var = 0.0f;
+        for (int j = 0; j < n; ++j) {
+          const float d = row[j] - mean;
+          var += d * d;
+        }
+        var /= static_cast<float>(n);
+        const float inv_std = 1.0f / std::sqrt(var + eps);
+        (*stats)[i * 2] = mean;
+        (*stats)[i * 2 + 1] = inv_std;
+        for (int j = 0; j < n; ++j) {
+          orow[j] = (row[j] - mean) * inv_std * gv[j] + bv[j];
+        }
+      },
+      /*grain=*/32);
+  if (out->requires_grad) {
+    auto xnode = x.node();
+    auto gnode = gamma.node();
+    auto bnode = beta.node();
+    out->backward_fn = [xnode, gnode, bnode, stats, m, n](Node& self) {
+      for (int i = 0; i < m; ++i) {
+        const float mean = (*stats)[static_cast<std::size_t>(i) * 2];
+        const float inv_std = (*stats)[static_cast<std::size_t>(i) * 2 + 1];
+        const float* xrow =
+            xnode->value.data() + static_cast<std::size_t>(i) * n;
+        const float* grow = self.grad.data() + static_cast<std::size_t>(i) * n;
+        if (gnode->requires_grad || bnode->requires_grad) {
+          gnode->ensure_grad();
+          bnode->ensure_grad();
+          for (int j = 0; j < n; ++j) {
+            const float xhat = (xrow[j] - mean) * inv_std;
+            gnode->grad[j] += grow[j] * xhat;
+            bnode->grad[j] += grow[j];
+          }
+        }
+        if (xnode->requires_grad) {
+          xnode->ensure_grad();
+          float* xg = xnode->grad.data() + static_cast<std::size_t>(i) * n;
+          // dL/dx = inv_std * (dy*g - mean(dy*g) - xhat * mean(dy*g*xhat))
+          float mean_dyg = 0.0f;
+          float mean_dyg_xhat = 0.0f;
+          for (int j = 0; j < n; ++j) {
+            const float dyg = grow[j] * gnode->value[j];
+            const float xhat = (xrow[j] - mean) * inv_std;
+            mean_dyg += dyg;
+            mean_dyg_xhat += dyg * xhat;
+          }
+          mean_dyg /= static_cast<float>(n);
+          mean_dyg_xhat /= static_cast<float>(n);
+          for (int j = 0; j < n; ++j) {
+            const float dyg = grow[j] * gnode->value[j];
+            const float xhat = (xrow[j] - mean) * inv_std;
+            xg[j] += inv_std * (dyg - mean_dyg - xhat * mean_dyg_xhat);
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+// ---- embedding / shape ops ---------------------------------------------------
+
+Tensor embedding(const std::vector<int>& ids, const Tensor& table) {
+  MR_CHECK(table.rank() == 2, "embedding table must be rank 2");
+  const int v = table.dim(0);
+  const int d = table.dim(1);
+  const int t = static_cast<int>(ids.size());
+  auto out = op_node({t, d}, {table});
+  const auto& tv = table.value();
+  for (int i = 0; i < t; ++i) {
+    MR_CHECK(ids[static_cast<std::size_t>(i)] >= 0 &&
+                 ids[static_cast<std::size_t>(i)] < v,
+             "embedding id out of range");
+    const float* src =
+        tv.data() +
+        static_cast<std::size_t>(ids[static_cast<std::size_t>(i)]) * d;
+    std::copy(src, src + d,
+              out->value.data() + static_cast<std::size_t>(i) * d);
+  }
+  if (out->requires_grad) {
+    auto tnode = table.node();
+    auto ids_copy = ids;
+    out->backward_fn = [tnode, ids_copy, d](Node& self) {
+      tnode->ensure_grad();
+      for (std::size_t i = 0; i < ids_copy.size(); ++i) {
+        float* dst =
+            tnode->grad.data() + static_cast<std::size_t>(ids_copy[i]) * d;
+        const float* src = self.grad.data() + i * d;
+        for (int j = 0; j < d; ++j) dst[j] += src[j];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor transpose(const Tensor& x) {
+  MR_CHECK(x.rank() == 2, "transpose requires rank 2");
+  const int m = x.dim(0);
+  const int n = x.dim(1);
+  auto out = op_node({n, m}, {x});
+  const auto& xv = x.value();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out->value[static_cast<std::size_t>(j) * m + i] =
+          xv[static_cast<std::size_t>(i) * n + j];
+    }
+  }
+  if (out->requires_grad) {
+    auto xnode = x.node();
+    out->backward_fn = [xnode, m, n](Node& self) {
+      xnode->ensure_grad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          xnode->grad[static_cast<std::size_t>(i) * n + j] +=
+              self.grad[static_cast<std::size_t>(j) * m + i];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor slice_rows(const Tensor& x, int begin, int end) {
+  MR_CHECK(x.rank() == 2, "slice_rows requires rank 2");
+  const int m = x.dim(0);
+  const int n = x.dim(1);
+  MR_CHECK(0 <= begin && begin <= end && end <= m, "slice_rows bounds");
+  const int rows = end - begin;
+  auto out = op_node({rows, n}, {x});
+  const auto& xv = x.value();
+  std::copy(xv.begin() + static_cast<std::ptrdiff_t>(begin) * n,
+            xv.begin() + static_cast<std::ptrdiff_t>(end) * n,
+            out->value.begin());
+  if (out->requires_grad) {
+    auto xnode = x.node();
+    out->backward_fn = [xnode, begin, n](Node& self) {
+      xnode->ensure_grad();
+      const std::size_t offset = static_cast<std::size_t>(begin) * n;
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        xnode->grad[offset + i] += self.grad[i];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor concat_rows(const std::vector<Tensor>& xs) {
+  MR_CHECK(!xs.empty(), "concat_rows of nothing");
+  const int n = xs.front().dim(1);
+  int total_rows = 0;
+  bool needs_grad = false;
+  for (const auto& x : xs) {
+    MR_CHECK(x.rank() == 2 && x.dim(1) == n, "concat_rows width mismatch");
+    total_rows += x.dim(0);
+    if (x.requires_grad()) needs_grad = true;
+  }
+  auto out = new_node({total_rows, n}, needs_grad);
+  std::size_t offset = 0;
+  for (const auto& x : xs) {
+    const auto& xv = x.value();
+    std::copy(xv.begin(), xv.end(), out->value.begin() + offset);
+    offset += xv.size();
+    if (needs_grad) out->parents.push_back(x.node());
+  }
+  if (needs_grad) {
+    std::vector<std::shared_ptr<Node>> parents = out->parents;
+    out->backward_fn = [parents](Node& self) {
+      std::size_t off = 0;
+      for (const auto& p : parents) {
+        const std::size_t len = p->numel();
+        if (p->requires_grad) {
+          p->ensure_grad();
+          for (std::size_t i = 0; i < len; ++i) {
+            p->grad[i] += self.grad[off + i];
+          }
+        }
+        off += len;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  MR_CHECK(p < 1.0f, "dropout probability must be < 1");
+  auto out = op_node(x.shape(), {x});
+  auto mask = std::make_shared<std::vector<float>>(x.numel());
+  const float keep = 1.0f - p;
+  const float inv_keep = 1.0f / keep;
+  const auto& xv = x.value();
+  for (std::size_t i = 0; i < xv.size(); ++i) {
+    const float m = rng.next_double() < p ? 0.0f : inv_keep;
+    (*mask)[i] = m;
+    out->value[i] = xv[i] * m;
+  }
+  if (out->requires_grad) {
+    auto xnode = x.node();
+    out->backward_fn = [xnode, mask](Node& self) {
+      xnode->ensure_grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        xnode->grad[i] += self.grad[i] * (*mask)[i];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+// ---- fused multi-head attention ---------------------------------------------
+
+Tensor multi_head_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                            int batch, int heads, bool causal,
+                            const std::vector<int>* q_lens,
+                            const std::vector<int>* kv_lens) {
+  MR_CHECK(q.rank() == 2 && k.rank() == 2 && v.rank() == 2,
+           "attention inputs must be rank 2");
+  const int d = q.dim(1);
+  MR_CHECK(k.dim(1) == d && v.dim(1) == d, "attention width mismatch");
+  MR_CHECK(d % heads == 0, "d_model must be divisible by heads");
+  MR_CHECK(batch > 0 && q.dim(0) % batch == 0 && k.dim(0) % batch == 0,
+           "rows must be divisible by batch");
+  const int tq = q.dim(0) / batch;
+  const int tk = k.dim(0) / batch;
+  MR_CHECK(v.dim(0) == k.dim(0), "k/v row mismatch");
+  if (causal) MR_CHECK(tq == tk, "causal attention requires Tq == Tk");
+  const int hd = d / heads;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  auto out = op_node({batch * tq, d}, {q, k, v});
+  // Attention probabilities are cached for the backward pass:
+  // probs[((b*H + h)*Tq + i)*Tk + j].
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(batch) * heads * tq * tk);
+
+  const float* qv = q.value().data();
+  const float* kv = k.value().data();
+  const float* vv = v.value().data();
+  float* ov = out->value.data();
+
+  auto q_len_of = [&](int b) { return q_lens ? (*q_lens)[b] : tq; };
+  auto kv_len_of = [&](int b) { return kv_lens ? (*kv_lens)[b] : tk; };
+
+  parallel_for(
+      0, static_cast<std::size_t>(batch) * heads,
+      [&](std::size_t bh) {
+        const int b = static_cast<int>(bh) / heads;
+        const int h = static_cast<int>(bh) % heads;
+        const int qlen = q_len_of(b);
+        const int klen = kv_len_of(b);
+        float* pbase = probs->data() + bh * tq * tk;
+        for (int i = 0; i < tq; ++i) {
+          float* prow = pbase + static_cast<std::size_t>(i) * tk;
+          float* orow =
+              ov + (static_cast<std::size_t>(b) * tq + i) * d + h * hd;
+          if (i >= qlen) {
+            std::fill(prow, prow + tk, 0.0f);
+            std::fill(orow, orow + hd, 0.0f);
+            continue;
+          }
+          const float* qrow =
+              qv + (static_cast<std::size_t>(b) * tq + i) * d + h * hd;
+          const int limit = causal ? std::min(klen, i + 1) : klen;
+          // scores
+          float mx = -1e30f;
+          for (int j = 0; j < limit; ++j) {
+            const float* krow =
+                kv + (static_cast<std::size_t>(b) * tk + j) * d + h * hd;
+            float s = 0.0f;
+            for (int c = 0; c < hd; ++c) s += qrow[c] * krow[c];
+            s *= inv_sqrt;
+            prow[j] = s;
+            mx = std::max(mx, s);
+          }
+          float sum = 0.0f;
+          for (int j = 0; j < limit; ++j) {
+            prow[j] = std::exp(prow[j] - mx);
+            sum += prow[j];
+          }
+          const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
+          for (int j = 0; j < limit; ++j) prow[j] *= inv;
+          for (int j = limit; j < tk; ++j) prow[j] = 0.0f;
+          // output = P @ V
+          for (int c = 0; c < hd; ++c) orow[c] = 0.0f;
+          for (int j = 0; j < limit; ++j) {
+            const float pj = prow[j];
+            if (pj == 0.0f) continue;
+            const float* vrow =
+                vv + (static_cast<std::size_t>(b) * tk + j) * d + h * hd;
+            for (int c = 0; c < hd; ++c) orow[c] += pj * vrow[c];
+          }
+        }
+      },
+      /*grain=*/1);
+
+  if (out->requires_grad) {
+    auto qn = q.node();
+    auto kn = k.node();
+    auto vn = v.node();
+    std::vector<int> qls = q_lens ? *q_lens : std::vector<int>();
+    std::vector<int> kls = kv_lens ? *kv_lens : std::vector<int>();
+    out->backward_fn = [qn, kn, vn, probs, batch, heads, tq, tk, hd, d,
+                        causal, inv_sqrt, qls, kls](Node& self) {
+      qn->ensure_grad();
+      kn->ensure_grad();
+      vn->ensure_grad();
+      const float* go = self.grad.data();
+      // Parallel over batch only: different heads of the same batch element
+      // write disjoint columns, but different (b,h) pairs touch different
+      // rows of dK/dV only when b differs. Parallelize over b.
+      parallel_for(
+          0, static_cast<std::size_t>(batch),
+          [&](std::size_t bi) {
+            const int b = static_cast<int>(bi);
+            const int qlen = qls.empty() ? tq : qls[b];
+            const int klen = kls.empty() ? tk : kls[b];
+            for (int h = 0; h < heads; ++h) {
+              const float* pbase =
+                  probs->data() +
+                  (static_cast<std::size_t>(b) * heads + h) * tq * tk;
+              for (int i = 0; i < std::min(qlen, tq); ++i) {
+                const float* prow = pbase + static_cast<std::size_t>(i) * tk;
+                const float* grow =
+                    go + (static_cast<std::size_t>(b) * tq + i) * d + h * hd;
+                const float* qrow = qn->value.data() +
+                                    (static_cast<std::size_t>(b) * tq + i) * d +
+                                    h * hd;
+                float* dqrow = qn->grad.data() +
+                               (static_cast<std::size_t>(b) * tq + i) * d +
+                               h * hd;
+                const int limit = causal ? std::min(klen, i + 1) : klen;
+                // dV[j] += P[i,j] * dO[i];  dP[i,j] = dO[i] . V[j]
+                // dS = P * (dP - sum_j P dP);  dQ += dS K;  dK += dS Q.
+                float dot = 0.0f;
+                std::vector<float> dp(static_cast<std::size_t>(limit));
+                for (int j = 0; j < limit; ++j) {
+                  const float* vrow =
+                      vn->value.data() +
+                      (static_cast<std::size_t>(b) * tk + j) * d + h * hd;
+                  float* dvrow = vn->grad.data() +
+                                 (static_cast<std::size_t>(b) * tk + j) * d +
+                                 h * hd;
+                  const float pj = prow[j];
+                  float dpj = 0.0f;
+                  for (int c = 0; c < hd; ++c) {
+                    dvrow[c] += pj * grow[c];
+                    dpj += grow[c] * vrow[c];
+                  }
+                  dp[static_cast<std::size_t>(j)] = dpj;
+                  dot += pj * dpj;
+                }
+                for (int j = 0; j < limit; ++j) {
+                  const float ds =
+                      prow[j] * (dp[static_cast<std::size_t>(j)] - dot) *
+                      inv_sqrt;
+                  if (ds == 0.0f) continue;
+                  const float* krow =
+                      kn->value.data() +
+                      (static_cast<std::size_t>(b) * tk + j) * d + h * hd;
+                  float* dkrow = kn->grad.data() +
+                                 (static_cast<std::size_t>(b) * tk + j) * d +
+                                 h * hd;
+                  for (int c = 0; c < hd; ++c) {
+                    dqrow[c] += ds * krow[c];
+                    dkrow[c] += ds * qrow[c];
+                  }
+                }
+              }
+            }
+          },
+          /*grain=*/1);
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+// ---- losses ------------------------------------------------------------------
+
+Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets,
+                     int ignore_index) {
+  MR_CHECK(logits.rank() == 2, "cross_entropy requires rank-2 logits");
+  const int n = logits.dim(0);
+  const int v = logits.dim(1);
+  MR_CHECK(static_cast<int>(targets.size()) == n,
+           "cross_entropy target count mismatch");
+
+  auto out = op_node({1}, {logits});
+  // Cache softmax probabilities for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(logits.numel());
+  const auto& lv = logits.value();
+  std::vector<double> row_loss(static_cast<std::size_t>(n), 0.0);
+  parallel_for(
+      0, static_cast<std::size_t>(n),
+      [&](std::size_t i) {
+        const int t = targets[i];
+        const float* row = lv.data() + i * v;
+        float* prow = probs->data() + i * v;
+        float mx = row[0];
+        for (int j = 1; j < v; ++j) mx = std::max(mx, row[j]);
+        float sum = 0.0f;
+        for (int j = 0; j < v; ++j) {
+          prow[j] = std::exp(row[j] - mx);
+          sum += prow[j];
+        }
+        const float inv = 1.0f / sum;
+        for (int j = 0; j < v; ++j) prow[j] *= inv;
+        if (t == ignore_index) return;
+        MR_CHECK(t >= 0 && t < v, "cross_entropy target out of range");
+        row_loss[i] = -std::log(std::max(prow[t], 1e-12f));
+      },
+      /*grain=*/16);
+  double total = 0.0;
+  int counted = 0;
+  for (int i = 0; i < n; ++i) {
+    if (targets[static_cast<std::size_t>(i)] == ignore_index) continue;
+    total += row_loss[static_cast<std::size_t>(i)];
+    ++counted;
+  }
+  const float denom = counted > 0 ? static_cast<float>(counted) : 1.0f;
+  out->value[0] = static_cast<float>(total) / denom;
+
+  if (out->requires_grad) {
+    auto lnode = logits.node();
+    auto tcopy = targets;
+    out->backward_fn = [lnode, tcopy, probs, n, v, ignore_index,
+                        denom](Node& self) {
+      lnode->ensure_grad();
+      const float g = self.grad[0] / denom;
+      parallel_for(
+          0, static_cast<std::size_t>(n),
+          [&](std::size_t i) {
+            const int t = tcopy[i];
+            if (t == ignore_index) return;
+            const float* prow = probs->data() + i * v;
+            float* grow = lnode->grad.data() + i * v;
+            for (int j = 0; j < v; ++j) grow[j] += g * prow[j];
+            grow[t] -= g;
+          },
+          /*grain=*/16);
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& targets,
+                int ignore_index) {
+  MR_CHECK(logits.rank() == 2, "accuracy requires rank-2 logits");
+  const int n = logits.dim(0);
+  const int v = logits.dim(1);
+  MR_CHECK(static_cast<int>(targets.size()) == n,
+           "accuracy target count mismatch");
+  const auto& lv = logits.value();
+  std::size_t correct = 0;
+  std::size_t counted = 0;
+  for (int i = 0; i < n; ++i) {
+    const int t = targets[static_cast<std::size_t>(i)];
+    if (t == ignore_index) continue;
+    const float* row = lv.data() + static_cast<std::size_t>(i) * v;
+    int best = 0;
+    for (int j = 1; j < v; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == t) ++correct;
+    ++counted;
+  }
+  return counted == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(counted);
+}
+
+void gemv_row(const float* x, const float* w, const float* b, float* y, int m,
+              int n) {
+  for (int j = 0; j < n; ++j) y[j] = b ? b[j] : 0.0f;
+  for (int i = 0; i < m; ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    const float* wrow = w + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) y[j] += xi * wrow[j];
+  }
+}
+
+}  // namespace mpirical::tensor

@@ -1,0 +1,140 @@
+// CPU tensor with tape-based (define-by-run) reverse-mode autograd.
+//
+// This is the numerical substrate under the transformer: the paper fine-tunes
+// SPT-Code with PyTorch on a V100; offline we implement the needed subset --
+// dense float32 tensors, a handful of fused ops, and reverse-mode autodiff --
+// from scratch, parallelized over the host cores via support::ThreadPool.
+//
+// Semantics:
+//   * A Tensor is a shared handle to a node holding value, optional grad,
+//     parents, and a backward function. Ops run eagerly (forward on call)
+//     and record the tape when any input requires grad.
+//   * backward() topologically sorts the reachable tape and accumulates
+//     gradients; it may be called on scalars (loss) only.
+//   * Shapes are row-major, rank 1 or 2. Batch and time dimensions are
+//     folded into rows ([B*T, d]); the fused attention op is told B/H/T.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace mpirical::tensor {
+
+namespace detail {
+struct Node;
+}
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Constructors.
+  static Tensor zeros(std::vector<int> shape, bool requires_grad = false);
+  static Tensor full(std::vector<int> shape, float fill,
+                     bool requires_grad = false);
+  static Tensor from_data(std::vector<int> shape, std::vector<float> data,
+                          bool requires_grad = false);
+  /// Gaussian init with the given stddev (transformer weight init).
+  static Tensor randn(std::vector<int> shape, Rng& rng, float stddev,
+                      bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const std::vector<int>& shape() const;
+  int dim(int i) const;
+  int rank() const;
+  std::size_t numel() const;
+
+  std::vector<float>& value();
+  const std::vector<float>& value() const;
+  std::vector<float>& grad();
+  const std::vector<float>& grad() const;
+  bool requires_grad() const;
+  void zero_grad();
+
+  float item() const;  // requires numel()==1
+
+  /// Runs reverse-mode autodiff from this scalar.
+  void backward();
+
+  /// Internal handle (used by ops).
+  const std::shared_ptr<detail::Node>& node() const { return node_; }
+  explicit Tensor(std::shared_ptr<detail::Node> node)
+      : node_(std::move(node)) {}
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+// ---- ops -------------------------------------------------------------------
+
+/// [m,k] x [k,n] -> [m,n]; parallel over rows.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Elementwise (same shape).
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// [m,n] + [n] broadcast over rows.
+Tensor add_bias(const Tensor& x, const Tensor& bias);
+
+Tensor scale(const Tensor& x, float s);
+Tensor relu(const Tensor& x);
+Tensor gelu(const Tensor& x);  // tanh approximation
+
+/// Row-wise softmax over the last dimension.
+Tensor softmax_rows(const Tensor& x);
+
+/// Row-wise layer normalization with learned gamma/beta ([n]).
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps = 1e-5f);
+
+/// Gathers rows of `table` ([V,d]) by ids -> [len(ids), d].
+Tensor embedding(const std::vector<int>& ids, const Tensor& table);
+
+/// [m,n] -> [n,m].
+Tensor transpose(const Tensor& x);
+
+/// Row slice [begin,end) as a copy (grads flow back into the slice).
+Tensor slice_rows(const Tensor& x, int begin, int end);
+
+/// Vertical concatenation of same-width matrices.
+Tensor concat_rows(const std::vector<Tensor>& xs);
+
+/// Inverted dropout; identity when !training or p == 0.
+Tensor dropout(const Tensor& x, float p, Rng& rng, bool training);
+
+/// Fused multi-head scaled-dot-product attention.
+/// q: [B*Tq, d], k/v: [B*Tk, d], d = heads * head_dim.
+/// `q_lens`/`kv_lens` give valid lengths per batch element (padding mask);
+/// pass nullptr for fully valid. `causal` restricts to kv_pos <= q_pos
+/// (Tq must equal Tk for causal use).
+Tensor multi_head_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                            int batch, int heads, bool causal,
+                            const std::vector<int>* q_lens = nullptr,
+                            const std::vector<int>* kv_lens = nullptr);
+
+/// Mean cross-entropy over rows of `logits` ([N,V]) against `targets` ([N]),
+/// skipping rows whose target equals `ignore_index`. Numerically stable
+/// (fused log-softmax). Returns a scalar.
+Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets,
+                     int ignore_index = -1);
+
+/// Token-level argmax accuracy against targets, skipping ignore_index rows.
+/// (Not differentiable; monitoring only.)
+double accuracy(const Tensor& logits, const std::vector<int>& targets,
+                int ignore_index = -1);
+
+// ---- raw helpers (no autograd; used by the inference path) -----------------
+
+/// y[n] = x[m] @ W[m,n] (+ b[n] when b != nullptr). Forward-only GEMV used by
+/// the incremental decoder.
+void gemv_row(const float* x, const float* w, const float* b, float* y, int m,
+              int n);
+
+}  // namespace mpirical::tensor

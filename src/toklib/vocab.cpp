@@ -1,0 +1,145 @@
+#include "toklib/vocab.hpp"
+
+#include "clex/lexer.hpp"
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace mpirical::tok {
+
+namespace {
+const std::vector<std::string>& special_texts() {
+  static const std::vector<std::string> specials = {
+      "[PAD]", "[SOS]", "[EOS]", "[SEP]", "[UNK]", "[NL]"};
+  return specials;
+}
+}  // namespace
+
+Vocab::Vocab() {
+  for (const auto& s : special_texts()) {
+    text_to_id_.emplace(s, static_cast<TokenId>(id_to_text_.size()));
+    id_to_text_.push_back(s);
+  }
+}
+
+TokenId Vocab::add(const std::string& token) {
+  auto it = text_to_id_.find(token);
+  if (it != text_to_id_.end()) return it->second;
+  const TokenId id = static_cast<TokenId>(id_to_text_.size());
+  text_to_id_.emplace(token, id);
+  id_to_text_.push_back(token);
+  return id;
+}
+
+TokenId Vocab::id_of(const std::string& token) const {
+  auto it = text_to_id_.find(token);
+  return it == text_to_id_.end() ? kUnk : it->second;
+}
+
+const std::string& Vocab::text_of(TokenId id) const {
+  MR_CHECK(id >= 0 && static_cast<std::size_t>(id) < id_to_text_.size(),
+           "token id out of range");
+  return id_to_text_[static_cast<std::size_t>(id)];
+}
+
+bool Vocab::contains(const std::string& token) const {
+  return text_to_id_.count(token) > 0;
+}
+
+std::string Vocab::serialize() const {
+  std::string out;
+  for (const auto& t : id_to_text_) {
+    out += t;
+    out += '\n';
+  }
+  return out;
+}
+
+Vocab Vocab::deserialize(const std::string& data) {
+  Vocab vocab;
+  const auto lines = split_lines(data);
+  MR_CHECK(lines.size() >= special_texts().size(),
+           "vocab data missing special tokens");
+  for (std::size_t i = 0; i < special_texts().size(); ++i) {
+    MR_CHECK(lines[i] == special_texts()[i],
+             "vocab data has unexpected special token order");
+  }
+  for (std::size_t i = special_texts().size(); i < lines.size(); ++i) {
+    vocab.add(lines[i]);
+  }
+  return vocab;
+}
+
+std::vector<std::string> code_to_tokens(const std::string& code) {
+  std::vector<std::string> out;
+  int last_line = 1;
+  for (const auto& tok : lex::tokenize(code)) {
+    if (tok.kind == lex::TokenKind::kEndOfFile) break;
+    while (tok.line > last_line) {
+      out.push_back("[NL]");
+      ++last_line;
+    }
+    out.push_back(tok.text);
+  }
+  return out;
+}
+
+std::string tokens_to_code(const std::vector<std::string>& tokens) {
+  std::string out;
+  bool line_start = true;
+  bool after_directive = false;  // next token must open a fresh line
+  for (const auto& t : tokens) {
+    if (t == "[NL]") {
+      out += '\n';
+      line_start = true;
+      after_directive = false;
+      continue;
+    }
+    // Directives are only lexable at line starts; model output can place
+    // them anywhere, so force line boundaries around them without doubling
+    // the newline a well-formed stream already carries.
+    if (after_directive) {
+      out += '\n';
+      line_start = true;
+      after_directive = false;
+    }
+    if (!t.empty() && t[0] == '#' && !line_start) {
+      out += '\n';
+      line_start = true;
+    }
+    if (!line_start) out += ' ';
+    out += t;
+    line_start = false;
+    if (!t.empty() && t[0] == '#') after_directive = true;
+  }
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  return out;
+}
+
+Vocab build_vocab(const std::vector<std::vector<std::string>>& sequences) {
+  Vocab vocab;
+  for (const auto& seq : sequences) {
+    for (const auto& t : seq) vocab.add(t);
+  }
+  return vocab;
+}
+
+std::vector<TokenId> encode(const Vocab& vocab,
+                            const std::vector<std::string>& tokens) {
+  std::vector<TokenId> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(vocab.id_of(t));
+  return out;
+}
+
+std::vector<std::string> decode(const Vocab& vocab,
+                                const std::vector<TokenId>& ids) {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (TokenId id : ids) {
+    if (id == kPad || id == kSos || id == kEos) continue;
+    out.push_back(vocab.text_of(id));
+  }
+  return out;
+}
+
+}  // namespace mpirical::tok

@@ -1,0 +1,74 @@
+// Token vocabulary for the sequence models.
+//
+// The model consumes lexer-level code tokens (plus X-SBT tags) rather than
+// BPE subwords: the corpus identifier/literal pools are finite, so word-level
+// tokenization keeps the vocabulary compact, exactly decodable, and cheap --
+// the property SPT-Code gets from its code-aware tokenizer.
+//
+// Special tokens occupy the first ids: [PAD]=0, [SOS]=1, [EOS]=2, [SEP]=3,
+// [UNK]=4, [NL]=5. Newlines are encoded explicitly ([NL]) so that decoded
+// sequences reconstruct line structure -- the location signal the task is
+// about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mpirical::tok {
+
+using TokenId = std::int32_t;
+
+inline constexpr TokenId kPad = 0;
+inline constexpr TokenId kSos = 1;
+inline constexpr TokenId kEos = 2;
+inline constexpr TokenId kSep = 3;
+inline constexpr TokenId kUnk = 4;
+inline constexpr TokenId kNewline = 5;
+inline constexpr TokenId kFirstRegularId = 6;
+
+class Vocab {
+ public:
+  Vocab();
+
+  /// Adds a token (no-op if present); returns its id.
+  TokenId add(const std::string& token);
+
+  /// Returns the id for `token`, or kUnk if unknown.
+  TokenId id_of(const std::string& token) const;
+
+  /// Returns the text for `id`. Special ids render as "[PAD]" etc.
+  const std::string& text_of(TokenId id) const;
+
+  bool contains(const std::string& token) const;
+  std::size_t size() const { return id_to_text_.size(); }
+
+  /// Serialization (one token per line, in id order, specials included).
+  std::string serialize() const;
+  static Vocab deserialize(const std::string& data);
+
+ private:
+  std::unordered_map<std::string, TokenId> text_to_id_;
+  std::vector<std::string> id_to_text_;
+};
+
+/// Splits a standardized code string into model tokens: lexer tokens plus
+/// [NL] markers at line boundaries. Directives count as single tokens.
+std::vector<std::string> code_to_tokens(const std::string& code);
+
+/// Inverse of code_to_tokens: joins tokens with spaces, honoring [NL].
+std::string tokens_to_code(const std::vector<std::string>& tokens);
+
+/// Builds a vocabulary over a token stream corpus.
+Vocab build_vocab(const std::vector<std::vector<std::string>>& sequences);
+
+/// Encodes tokens to ids (unknown -> [UNK]).
+std::vector<TokenId> encode(const Vocab& vocab,
+                            const std::vector<std::string>& tokens);
+
+/// Decodes ids to tokens, dropping [PAD]/[SOS]/[EOS].
+std::vector<std::string> decode(const Vocab& vocab,
+                                const std::vector<TokenId>& ids);
+
+}  // namespace mpirical::tok

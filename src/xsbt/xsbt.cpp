@@ -1,0 +1,85 @@
+#include "xsbt/xsbt.hpp"
+
+#include "support/strings.hpp"
+
+namespace mpirical::xsbt {
+
+using ast::Node;
+using ast::NodeKind;
+
+namespace {
+
+void sbt_walk(const Node& n, std::vector<std::string>& out) {
+  out.push_back("(");
+  out.push_back(ast::node_kind_name(n.kind));
+  if (!n.text.empty()) out.push_back(n.text);
+  for (const auto& c : n.children) sbt_walk(*c, out);
+  out.push_back(")");
+}
+
+bool xsbt_has_kept_descendant(const Node& n) {
+  for (const auto& c : n.children) {
+    if (xsbt_keeps(c->kind) || xsbt_has_kept_descendant(*c)) return true;
+  }
+  return false;
+}
+
+void xsbt_walk(const Node& n, std::vector<std::string>& out) {
+  if (!xsbt_keeps(n.kind)) {
+    // Skip the node but keep looking for kept descendants (e.g. the
+    // initializer expression inside an init_declarator).
+    for (const auto& c : n.children) xsbt_walk(*c, out);
+    return;
+  }
+  const std::string name = ast::node_kind_name(n.kind);
+  if (xsbt_has_kept_descendant(n)) {
+    out.push_back("<" + name + ">");
+    for (const auto& c : n.children) xsbt_walk(*c, out);
+    out.push_back("</" + name + ">");
+  } else {
+    out.push_back("<" + name + "/>");
+  }
+}
+
+}  // namespace
+
+bool xsbt_keeps(ast::NodeKind kind) {
+  switch (kind) {
+    // Terminals and purely lexical nodes are dropped.
+    case NodeKind::kIdentifier:
+    case NodeKind::kNumberLiteral:
+    case NodeKind::kStringLiteral:
+    case NodeKind::kCharLiteral:
+    case NodeKind::kEmptyExpr:
+    case NodeKind::kTypeSpec:
+    case NodeKind::kDeclarator:
+    case NodeKind::kInitDeclarator:
+    case NodeKind::kTranslationUnit:
+    case NodeKind::kPreprocDirective:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::vector<std::string> sbt_tokens(const Node& root) {
+  std::vector<std::string> out;
+  sbt_walk(root, out);
+  return out;
+}
+
+std::vector<std::string> xsbt_tokens(const Node& root) {
+  std::vector<std::string> out;
+  xsbt_walk(root, out);
+  return out;
+}
+
+std::string sbt_string(const Node& root) {
+  return join(sbt_tokens(root), " ");
+}
+
+std::string xsbt_string(const Node& root) {
+  return join(xsbt_tokens(root), " ");
+}
+
+}  // namespace mpirical::xsbt

@@ -1,0 +1,38 @@
+// AST linearization: SBT and X-SBT.
+//
+// SPT-Code feeds the encoder "code [SEP] linearized-AST". Classic SBT
+// (structure-based traversal, Hu et al. 2018) emits every node including
+// terminals and their values, which makes sequences 3x+ longer than the code.
+// X-SBT (SPT-Code's contribution) keeps only syntactic structure -- statement
+// and composite-expression nodes -- in an XML-like form, cutting the length by
+// more than half while remaining unambiguous.
+//
+// Token shapes (one logical token per entry, space-joined in the string form):
+//   SBT:    "( name value )" per node (value omitted when empty)
+//   X-SBT:  "<name>" children "</name>" for interior nodes, "<name/>" leaves
+//
+// Terminal kinds (identifier, literals, empty_expr) and purely lexical kinds
+// (type_spec, declarator) are excluded from X-SBT.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cast/node.hpp"
+
+namespace mpirical::xsbt {
+
+/// Classic SBT over the full tree, including terminal values.
+std::vector<std::string> sbt_tokens(const ast::Node& root);
+
+/// X-SBT: structural nodes only, XML-like tags.
+std::vector<std::string> xsbt_tokens(const ast::Node& root);
+
+/// Space-joined convenience forms.
+std::string sbt_string(const ast::Node& root);
+std::string xsbt_string(const ast::Node& root);
+
+/// True if `kind` appears in X-SBT output.
+bool xsbt_keeps(ast::NodeKind kind);
+
+}  // namespace mpirical::xsbt

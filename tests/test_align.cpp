@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/align.hpp"
+#include "corpus/dataset.hpp"
+#include "corpus/generator.hpp"
+#include "metrics/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace mpirical::core {
+namespace {
+
+TEST(Align, SlotsToCallSitesReplaysInsertions) {
+  std::map<int, std::vector<std::string>> inserts;
+  inserts[2] = {"MPI_Init"};
+  inserts[5] = {"MPI_Send", "MPI_Recv"};
+  const auto sites = slots_to_call_sites(inserts);
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0].callee, "MPI_Init");
+  EXPECT_EQ(sites[0].line, 3);  // after input line 2
+  EXPECT_EQ(sites[1].line, 7);  // after line 5, shifted by 1 earlier insert
+  EXPECT_EQ(sites[2].line, 8);
+}
+
+TEST(Align, EmptySlotsYieldNothing) {
+  EXPECT_TRUE(slots_to_call_sites({}).empty());
+}
+
+// Core property: ground truth -> slots -> call sites must reconstruct the
+// ground truth (same functions, lines within the paper's one-line tolerance).
+TEST(Align, RoundTripReconstructsGroundTruth) {
+  Rng rng(2718);
+  int checked = 0;
+  for (int i = 0; i < 60 && checked < 25; ++i) {
+    const auto prog = corpus::generate_random_program(rng);
+    corpus::Example ex;
+    if (!corpus::make_example(prog.source, 320, ex)) continue;
+    if (ex.ground_truth.empty()) continue;
+    ++checked;
+
+    const SlotLabels slots = compute_insertion_slots(ex);
+    const auto reconstructed = slots_to_call_sites(slots.inserts);
+    const auto counts =
+        metrics::match_call_sites(reconstructed, ex.ground_truth, 1);
+    EXPECT_EQ(counts.fn, 0u) << corpus::family_name(prog.family);
+    EXPECT_EQ(counts.fp, 0u) << corpus::family_name(prog.family);
+  }
+  EXPECT_GE(checked, 20);
+}
+
+TEST(Align, SlotCountMatchesInputLines) {
+  Rng rng(31);
+  corpus::Example ex;
+  bool found = false;
+  for (int i = 0; i < 20 && !found; ++i) {
+    const auto prog = corpus::generate_random_program(rng);
+    found = corpus::make_example(prog.source, 320, ex);
+  }
+  ASSERT_TRUE(found);
+  const SlotLabels slots = compute_insertion_slots(ex);
+  int lines = 1;
+  for (char c : ex.input_code) {
+    if (c == '\n') ++lines;
+  }
+  // input_code ends with a newline; the final empty segment is not a line.
+  EXPECT_EQ(slots.num_input_lines, lines - 1);
+}
+
+}  // namespace
+}  // namespace mpirical::core

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "benchsuite/benchsuite.hpp"
+#include "cast/printer.hpp"
+#include "corpus/dataset.hpp"
+#include "corpus/removal.hpp"
+#include "cparse/parser.hpp"
+#include "support/strings.hpp"
+
+namespace mpirical::benchsuite {
+namespace {
+
+TEST(BenchSuite, HasElevenPrograms) {
+  EXPECT_EQ(programs().size(), 11u);
+}
+
+TEST(BenchSuite, TableIIINamesPresent) {
+  for (const char* name :
+       {"Array Average", "Vector Dot Product", "Min-Max",
+        "Matrix-Vector Multiplication", "Sum (Reduce & Gather)", "Merge Sort",
+        "Pi Monte-Carlo", "Pi Riemann Sum", "Factorial", "Fibonacci",
+        "Trapezoidal Rule (Integration)"}) {
+    EXPECT_NO_THROW(program_by_name(name)) << name;
+  }
+  EXPECT_THROW(program_by_name("Quicksort"), Error);
+}
+
+class EachProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(EachProgram, ParsesAndPassesInclusionCriteria) {
+  const auto& prog = programs()[static_cast<std::size_t>(GetParam())];
+  corpus::Example ex;
+  EXPECT_TRUE(corpus::make_example(prog.source, 320, ex)) << prog.name;
+  EXPECT_FALSE(ex.ground_truth.empty()) << prog.name;
+}
+
+TEST_P(EachProgram, RunsAndValidates) {
+  const auto& prog = programs()[static_cast<std::size_t>(GetParam())];
+  const auto result = validate(prog, prog.source);
+  EXPECT_TRUE(result.ran) << prog.name << ": " << result.detail;
+  EXPECT_TRUE(result.valid) << prog.name << ": " << result.detail;
+}
+
+TEST_P(EachProgram, StrippedVersionStillParsesButFailsOracle) {
+  const auto& prog = programs()[static_cast<std::size_t>(GetParam())];
+  const auto tree = parse::parse_translation_unit(prog.source);
+  const auto removal = corpus::remove_mpi_calls(*tree);
+  const std::string stripped = ast::print_code(*removal.stripped);
+  EXPECT_NO_THROW(parse::parse_translation_unit(stripped)) << prog.name;
+  // Without its MPI calls the program cannot produce the validated answer:
+  // it either fails to run meaningfully or misses the oracle.
+  const auto result = validate(prog, stripped);
+  EXPECT_FALSE(result.valid) << prog.name;
+}
+
+TEST_P(EachProgram, GroundTruthContainsInitAndFinalize) {
+  const auto& prog = programs()[static_cast<std::size_t>(GetParam())];
+  corpus::Example ex;
+  ASSERT_TRUE(corpus::make_example(prog.source, 320, ex));
+  bool has_init = false;
+  bool has_finalize = false;
+  for (const auto& call : ex.ground_truth) {
+    if (call.callee == "MPI_Init") has_init = true;
+    if (call.callee == "MPI_Finalize") has_finalize = true;
+  }
+  EXPECT_TRUE(has_init) << prog.name;
+  EXPECT_TRUE(has_finalize) << prog.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEleven, EachProgram, ::testing::Range(0, 11), [](const auto& info) {
+      std::string name = programs()[static_cast<std::size_t>(info.param)].name;
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      }
+      return out;
+    });
+
+TEST(BenchSuite, ValidateReportsRuntimeFailure) {
+  const auto& prog = programs()[0];
+  const auto result = validate(prog, "int main() { return 1 / 0; }");
+  EXPECT_FALSE(result.ran);
+  EXPECT_FALSE(result.valid);
+  EXPECT_FALSE(result.detail.empty());
+}
+
+TEST(BenchSuite, ValidateRejectsWrongAnswer) {
+  // A program that runs fine but prints the wrong value.
+  const auto& prog = program_by_name("Vector Dot Product");
+  const std::string wrong = R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+        printf("dot product = 1.0\n");
+    }
+    MPI_Finalize();
+    return 0;
+}
+)";
+  const auto result = validate(prog, wrong);
+  EXPECT_TRUE(result.ran);
+  EXPECT_FALSE(result.valid);
+}
+
+}  // namespace
+}  // namespace mpirical::benchsuite

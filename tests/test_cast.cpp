@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "cast/node.hpp"
+#include "cast/printer.hpp"
+#include "corpus/generator.hpp"
+#include "cparse/parser.hpp"
+#include "support/rng.hpp"
+#include "xsbt/xsbt.hpp"
+
+namespace mpirical {
+namespace {
+
+using ast::Node;
+using ast::NodeKind;
+
+TEST(Node, KindNamesMatchTreeSitterStyle) {
+  EXPECT_STREQ(ast::node_kind_name(NodeKind::kCompoundStatement),
+               "compound_statement");
+  EXPECT_STREQ(ast::node_kind_name(NodeKind::kCallExpression),
+               "call_expression");
+  EXPECT_STREQ(ast::node_kind_name(NodeKind::kParameterDeclaration),
+               "parameter_declaration");
+}
+
+TEST(Node, CloneIsDeepAndEqual) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { int x = 1 + 2; return x; }");
+  const auto copy = ast::clone(*tree);
+  EXPECT_TRUE(ast::structurally_equal(*tree, *copy));
+  // Mutating the copy does not affect the original.
+  copy->child(0)->text = "renamed";
+  EXPECT_FALSE(ast::structurally_equal(*tree, *copy));
+}
+
+TEST(Node, StructuralEqualityIgnoresLines) {
+  const auto a = parse::parse_translation_unit("int main() { return 0; }");
+  const auto b =
+      parse::parse_translation_unit("int main()\n{\n return 0;\n }");
+  EXPECT_TRUE(ast::structurally_equal(*a, *b));
+}
+
+TEST(Node, CollectCallsFindsAllInOrder) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { f(); g(h()); return 0; }");
+  const auto calls = ast::collect_calls(*tree);
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[0].callee, "f");
+  EXPECT_EQ(calls[1].callee, "g");
+  EXPECT_EQ(calls[2].callee, "h");
+}
+
+TEST(Node, CollectMpiCallsFiltersPrefix) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { printf(\"x\"); MPI_Init(&argc, &argv); MPI_Finalize(); "
+      "return 0; }");
+  const auto calls = ast::collect_mpi_calls(*tree);
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].callee, "MPI_Init");
+  EXPECT_EQ(calls[1].callee, "MPI_Finalize");
+}
+
+TEST(Node, NodeCountPositive) {
+  const auto tree = parse::parse_translation_unit("int main() { return 0; }");
+  EXPECT_GT(ast::node_count(*tree), 5u);
+}
+
+TEST(Printer, CanonicalFormatting) {
+  const auto tree = parse::parse_translation_unit(
+      "int main(){int x=1;if(x){x=x+1;}return x;}");
+  const std::string code = ast::print_code(*tree);
+  EXPECT_EQ(code,
+            "int main() {\n"
+            "    int x = 1;\n"
+            "    if (x) {\n"
+            "        x = x + 1;\n"
+            "    }\n"
+            "    return x;\n"
+            "}\n");
+}
+
+TEST(Printer, BracesAddedToUnbracedBodies) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { if (x) y = 1; else y = 2; return y; }");
+  const std::string code = ast::print_code(*tree);
+  EXPECT_NE(code.find("if (x) {"), std::string::npos);
+  EXPECT_NE(code.find("} else {"), std::string::npos);
+}
+
+TEST(Printer, ForHeaderSpacing) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { for (i = 0; i < n; i++) { } return 0; }");
+  EXPECT_NE(ast::print_code(*tree).find("for (i = 0; i < n; i++) {"),
+            std::string::npos);
+}
+
+TEST(Printer, EmptyForClauses) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { for (;;) { break; } return 0; }");
+  EXPECT_NE(ast::print_code(*tree).find("for (; ; ) {"), std::string::npos);
+}
+
+TEST(Printer, ExpressionRendering) {
+  EXPECT_EQ(ast::print_expression(*parse::parse_expression_string(
+                "a+b*c")),
+            "a + b * c");
+  EXPECT_EQ(ast::print_expression(*parse::parse_expression_string(
+                "(a+b)*c")),
+            "(a + b) * c");
+  EXPECT_EQ(ast::print_expression(*parse::parse_expression_string(
+                "f(x,y)[3]->tag")),
+            "f(x, y)[3]->tag");
+  EXPECT_EQ(ast::print_expression(*parse::parse_expression_string(
+                "(double)(n%10)/10.0")),
+            "(double)(n % 10) / 10.0");
+  EXPECT_EQ(ast::print_expression(*parse::parse_expression_string(
+                "a ? b : c")),
+            "a ? b : c");
+  EXPECT_EQ(ast::print_expression(*parse::parse_expression_string(
+                "-x++")),
+            "-x++");
+}
+
+TEST(Printer, StandardizationKillsBlankLinesAndIndentNoise) {
+  const std::string messy =
+      "#include <stdio.h>\n\n\nint main() {\n\n      int   x=3;\n\n   "
+      "return x;\n}\n";
+  const auto tree = parse::parse_translation_unit(messy);
+  const std::string code = ast::print_code(*tree);
+  EXPECT_EQ(code,
+            "#include <stdio.h>\n"
+            "int main() {\n"
+            "    int x = 3;\n"
+            "    return x;\n"
+            "}\n");
+}
+
+TEST(Printer, DirectivesInsideFunctionsPreserved) {
+  const auto tree = parse::parse_translation_unit("int main() { return 0; }");
+  // Statement-level directives round-trip through print.
+  (void)tree;
+  const auto tree2 = parse::parse_translation_unit(
+      "int main() {\n#define X 1\n    return 0;\n}\n");
+  EXPECT_NE(ast::print_code(*tree2).find("#define X 1"), std::string::npos);
+}
+
+TEST(Xsbt, TagsBalance) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { while (x) { f(x); } return 0; }");
+  const auto tokens = xsbt::xsbt_tokens(*tree);
+  int depth = 0;
+  for (const auto& t : tokens) {
+    if (t.size() > 2 && t[1] == '/') {
+      --depth;
+    } else if (t.back() == '>' && t[t.size() - 2] != '/') {
+      ++depth;
+    }
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Xsbt, DropsTerminalsKeepsStructure) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { x = y + 1; return x; }");
+  const std::string s = xsbt::xsbt_string(*tree);
+  EXPECT_NE(s.find("assignment_expression"), std::string::npos);
+  EXPECT_NE(s.find("binary_expression"), std::string::npos);
+  EXPECT_EQ(s.find("identifier"), std::string::npos);
+  EXPECT_EQ(s.find("number_literal"), std::string::npos);
+}
+
+TEST(Xsbt, MatchesPaperExampleShape) {
+  // Fig. 2: a while with a call inside produces nested statement tags.
+  const auto tree = parse::parse_translation_unit(
+      "int main() { while (!done) { MPI_Comm_rank(MPI_COMM_WORLD, &rank); } "
+      "return 0; }");
+  const std::string s = xsbt::xsbt_string(*tree);
+  EXPECT_NE(s.find("<while_statement>"), std::string::npos);
+  EXPECT_NE(s.find("<call_expression>"), std::string::npos);
+  EXPECT_NE(s.find("</while_statement>"), std::string::npos);
+}
+
+TEST(Xsbt, ShorterThanSbt) {
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    const auto prog = corpus::generate_random_program(rng);
+    const auto tree = parse::parse_translation_unit(prog.source);
+    const auto sbt = xsbt::sbt_tokens(*tree);
+    const auto xs = xsbt::xsbt_tokens(*tree);
+    EXPECT_LT(xs.size(), sbt.size() / 2)
+        << "X-SBT should cut SBT length by more than half";
+  }
+}
+
+TEST(Xsbt, Deterministic) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { for (i = 0; i < 3; i++) { f(i); } return 0; }");
+  EXPECT_EQ(xsbt::xsbt_string(*tree), xsbt::xsbt_string(*tree));
+}
+
+TEST(Xsbt, LeafStatementsSelfClose) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { break; }");
+  // break has no kept descendants -> self-closing tag.
+  EXPECT_NE(xsbt::xsbt_string(*tree).find("<break_statement/>"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpirical

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "cinterp/interp.hpp"
+#include "cparse/parser.hpp"
+#include "support/check.hpp"
+
+namespace mpirical::interp {
+namespace {
+
+std::string run(const std::string& src, long long* exit_code = nullptr) {
+  const auto tu = parse::parse_translation_unit(src);
+  Interpreter interp(*tu, nullptr);
+  const long long code = interp.run_main();
+  if (exit_code) *exit_code = code;
+  return interp.output();
+}
+
+TEST(Interp, ReturnCode) {
+  long long code = -1;
+  run("int main() { return 42; }", &code);
+  EXPECT_EQ(code, 42);
+}
+
+TEST(Interp, ArithmeticAndPrecedence) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { printf(\"%d\", 2 + 3 * 4); return 0; }"),
+            "14");
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { printf(\"%d\", (2 + 3) * 4); return 0; }"),
+            "20");
+}
+
+TEST(Interp, IntegerDivisionAndModulo) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { printf(\"%d %d\", 7 / 2, 7 % 3); return 0; }"),
+            "3 1");
+}
+
+TEST(Interp, DoubleArithmeticPromotion) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { printf(\"%.2f\", 7 / 2.0); return 0; }"),
+            "3.50");
+}
+
+TEST(Interp, DivisionByZeroThrows) {
+  EXPECT_THROW(run("int main() { int x = 1 / 0; return x; }"), Error);
+}
+
+TEST(Interp, CastTruncates) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { printf(\"%d\", (int)3.9); return 0; }"),
+            "3");
+}
+
+TEST(Interp, ComparisonAndLogical) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { printf(\"%d%d%d\", 1 < 2, 2 <= 1, 1 && 0 || 1); return 0; }"),
+            "101");
+}
+
+TEST(Interp, ShortCircuitSkipsSideEffects) {
+  EXPECT_EQ(run("#include <stdio.h>\nint side(void) { printf(\"x\"); return 1; }\n"
+                "int main() { int a = 0 && side(); int b = 1 || side(); "
+                "printf(\"%d%d\", a, b); return 0; }"),
+            "01");
+}
+
+TEST(Interp, WhileAndFor) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int s = 0; int i; "
+                "for (i = 1; i <= 4; i++) { s += i; } "
+                "while (s > 8) { s--; } printf(\"%d\", s); return 0; }"),
+            "8");
+}
+
+TEST(Interp, DoWhileRunsOnce) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int n = 0; do { n++; } while (0); "
+                "printf(\"%d\", n); return 0; }"),
+            "1");
+}
+
+TEST(Interp, BreakAndContinue) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int i; int s = 0; "
+                "for (i = 0; i < 10; i++) { if (i == 3) { continue; } "
+                "if (i == 6) { break; } s += i; } printf(\"%d\", s); return 0; }"),
+            "12");  // 0+1+2+4+5
+}
+
+TEST(Interp, SwitchFallThroughAndDefault) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int x = 2; switch (x) { "
+                "case 1: printf(\"one\"); break; "
+                "case 2: printf(\"two\"); "
+                "case 3: printf(\"three\"); break; "
+                "default: printf(\"other\"); } return 0; }"),
+            "twothree");
+}
+
+TEST(Interp, ArraysAndSubscripts) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int a[5]; int i; "
+                "for (i = 0; i < 5; i++) { a[i] = i * i; } "
+                "printf(\"%d %d\", a[2], a[4]); return 0; }"),
+            "4 16");
+}
+
+TEST(Interp, ArrayInitList) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int a[3] = {7, 8, 9}; "
+                "printf(\"%d\", a[0] + a[2]); return 0; }"),
+            "16");
+}
+
+TEST(Interp, OutOfBoundsThrows) {
+  EXPECT_THROW(run("int main() { int a[3]; a[5] = 1; return 0; }"), Error);
+}
+
+TEST(Interp, PointersAndAddressOf) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int x = 3; int *p = &x; *p = 9; "
+                "printf(\"%d\", x); return 0; }"),
+            "9");
+}
+
+TEST(Interp, PointerArithmetic) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int a[4] = {1, 2, 3, 4}; int *p = a; "
+                "p = p + 2; printf(\"%d %d\", *p, *(a + 1)); return 0; }"),
+            "3 2");
+}
+
+TEST(Interp, MallocFreeRoundTrip) {
+  EXPECT_EQ(run("#include <stdio.h>\n#include <stdlib.h>\n"
+                "int main() { int n = 6; double *buf = (double *)malloc(n * sizeof(double)); "
+                "int i; for (i = 0; i < n; i++) { buf[i] = (double)i * 1.5; } "
+                "printf(\"%.1f\", buf[5]); free(buf); return 0; }"),
+            "7.5");
+}
+
+TEST(Interp, FunctionsAndRecursion) {
+  EXPECT_EQ(run("#include <stdio.h>\n"
+                "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }\n"
+                "int main() { printf(\"%d\", fact(6)); return 0; }"),
+            "720");
+}
+
+TEST(Interp, FunctionsWithArrayArguments) {
+  EXPECT_EQ(run("#include <stdio.h>\n"
+                "void fill(int *dst, int count) { int i; for (i = 0; i < count; i++) { dst[i] = i + 10; } }\n"
+                "int main() { int a[4]; fill(a, 4); printf(\"%d\", a[3]); return 0; }"),
+            "13");
+}
+
+TEST(Interp, CallDepthLimited) {
+  EXPECT_THROW(
+      run("int loop(int n) { return loop(n + 1); }\nint main() { return loop(0); }"),
+      Error);
+}
+
+TEST(Interp, StepBudgetStopsInfiniteLoop) {
+  const auto tu = parse::parse_translation_unit(
+      "int main() { while (1) { } return 0; }");
+  InterpreterOptions opts;
+  opts.max_steps = 10000;
+  Interpreter interp(*tu, nullptr, opts);
+  EXPECT_THROW(interp.run_main(), Error);
+}
+
+TEST(Interp, PrintfFormats) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { printf(\"%d|%.3f|%e|%c|%%|%ld\", "
+                "42, 3.14159, 1000.0, 65, 7); return 0; }"),
+            "42|3.142|1.000000e+03|A|%|7");
+}
+
+TEST(Interp, PrintfStringArgument) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { printf(\"%s!\", \"hi\"); return 0; }"),
+            "hi!");
+}
+
+TEST(Interp, UpdateExpressions) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int i = 5; printf(\"%d\", i++); "
+                "printf(\"%d\", i); printf(\"%d\", ++i); return 0; }"),
+            "567");
+}
+
+TEST(Interp, CompoundAssignments) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int x = 10; x += 5; x -= 3; x *= 2; "
+                "x /= 4; x %= 4; printf(\"%d\", x); return 0; }"),
+            "2");
+}
+
+TEST(Interp, TernaryOperator) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int x = 7; "
+                "printf(\"%d\", x > 5 ? 1 : 0); return 0; }"),
+            "1");
+}
+
+TEST(Interp, MathBuiltins) {
+  EXPECT_EQ(run("#include <stdio.h>\n#include <math.h>\nint main() { "
+                "printf(\"%.1f %.1f %.1f\", sqrt(16.0), fabs(-2.5), pow(2.0, 3.0)); "
+                "return 0; }"),
+            "4.0 2.5 8.0");
+}
+
+TEST(Interp, RandIsDeterministic) {
+  const std::string prog =
+      "#include <stdio.h>\n#include <stdlib.h>\nint main() { srand(7); "
+      "printf(\"%d %d\", rand() % 100, rand() % 100); return 0; }";
+  EXPECT_EQ(run(prog), run(prog));
+}
+
+TEST(Interp, SizeofIsCellAddressed) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { printf(\"%d\", (int)sizeof(double)); return 0; }"),
+            "1");
+}
+
+TEST(Interp, LongArithmetic) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { long big = 2147483648; big = big * 2; "
+                "printf(\"%ld\", big); return 0; }"),
+            "4294967296");
+}
+
+TEST(Interp, GlobalFunctionOrderIndependent) {
+  // Functions may be defined after their callers (two-pass registration).
+  EXPECT_EQ(run("#include <stdio.h>\n"
+                "int main() { printf(\"%d\", helper()); return 0; }\n"
+                "int helper(void) { return 5; }"),
+            "5");
+}
+
+TEST(Interp, MpiCallWithoutRuntimeThrows) {
+  EXPECT_THROW(run("int main() { MPI_Finalize(); return 0; }"), Error);
+}
+
+TEST(Interp, UndefinedIdentifierThrows) {
+  EXPECT_THROW(run("int main() { return nope; }"), Error);
+}
+
+TEST(Interp, UndefinedFunctionThrows) {
+  EXPECT_THROW(run("int main() { return mystery(1); }"), Error);
+}
+
+TEST(Interp, ScopesShadowAndExpire) {
+  EXPECT_EQ(run("#include <stdio.h>\nint main() { int x = 1; "
+                "{ int x = 2; printf(\"%d\", x); } printf(\"%d\", x); return 0; }"),
+            "21");
+}
+
+}  // namespace
+}  // namespace mpirical::interp

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "clex/lexer.hpp"
+#include "support/check.hpp"
+
+namespace mpirical::lex {
+namespace {
+
+std::vector<Token> lex(const std::string& src) { return tokenize(src); }
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEndOfFile);
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  const auto toks = lex("int foo while bar_2 _x");
+  EXPECT_EQ(toks[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[2].kind, TokenKind::kKeyword);
+  EXPECT_EQ(toks[3].text, "bar_2");
+  EXPECT_EQ(toks[4].text, "_x");
+}
+
+TEST(Lexer, IntLiterals) {
+  const auto toks = lex("0 42 100000L 0x1F 7u");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(toks[i].kind, TokenKind::kIntLiteral) << i;
+  }
+  EXPECT_EQ(toks[3].text, "0x1F");
+  EXPECT_EQ(toks[4].text, "7u");
+}
+
+TEST(Lexer, FloatLiterals) {
+  const auto toks = lex("3.14 1e-6 2.5f 1.0E+3 7.");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(toks[i].kind, TokenKind::kFloatLiteral) << toks[i].text;
+  }
+}
+
+TEST(Lexer, IntFollowedByMemberIsNotFloat) {
+  // "1..5" style does not appear in C, but "x.y" after a number must not
+  // glue: "f(1)."
+  const auto toks = lex("1 . x");
+  EXPECT_EQ(toks[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(toks[1].kind, TokenKind::kPunct);
+}
+
+TEST(Lexer, StringLiteralKeepsQuotesAndEscapes) {
+  const auto toks = lex("\"hello %d\\n\"");
+  ASSERT_EQ(toks[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(toks[0].text, "\"hello %d\\n\"");
+}
+
+TEST(Lexer, StringWithEscapedQuote) {
+  const auto toks = lex(R"("a\"b")");
+  EXPECT_EQ(toks[0].text, R"("a\"b")");
+}
+
+TEST(Lexer, CharLiteral) {
+  const auto toks = lex("'a' '\\n'");
+  EXPECT_EQ(toks[0].kind, TokenKind::kCharLiteral);
+  EXPECT_EQ(toks[1].text, "'\\n'");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("\"oops"), Error);
+  EXPECT_THROW(lex("\"oops\n\""), Error);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(lex("/* never ends"), Error);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto toks = lex("a // line comment\nb /* block */ c");
+  ASSERT_EQ(toks.size(), 4u);  // a b c EOF
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, BlockCommentSpanningLinesUpdatesLineNumbers) {
+  const auto toks = lex("/* one\ntwo\nthree */ x");
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[0].line, 3);
+}
+
+TEST(Lexer, DirectiveCapturedWhole) {
+  const auto toks = lex("#include <mpi.h>\nint x;");
+  ASSERT_EQ(toks[0].kind, TokenKind::kDirective);
+  EXPECT_EQ(toks[0].text, "#include <mpi.h>");
+  EXPECT_EQ(toks[1].text, "int");
+}
+
+TEST(Lexer, DirectiveOnlyAtLineStart) {
+  // '#' mid-line is an error (not a directive) -- it is not a C token.
+  EXPECT_THROW(lex("int x; #define Y 1"), Error);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, CodeTokenCountExcludesDirectivesAndEof) {
+  const auto toks = lex("#include <stdio.h>\nint main;");
+  EXPECT_EQ(code_token_count(toks), 3u);  // int main ;
+}
+
+struct OperatorCase {
+  const char* source;
+  std::vector<std::string> expected;
+};
+
+class OperatorLexing : public ::testing::TestWithParam<OperatorCase> {};
+
+TEST_P(OperatorLexing, MaximalMunch) {
+  const auto& param = GetParam();
+  const auto toks = lex(param.source);
+  ASSERT_EQ(toks.size(), param.expected.size() + 1) << param.source;
+  for (std::size_t i = 0; i < param.expected.size(); ++i) {
+    EXPECT_EQ(toks[i].text, param.expected[i]) << param.source;
+    EXPECT_EQ(toks[i].kind, TokenKind::kPunct);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operators, OperatorLexing,
+    ::testing::Values(
+        OperatorCase{"++", {"++"}}, OperatorCase{"--", {"--"}},
+        OperatorCase{"->", {"->"}}, OperatorCase{"<<=", {"<<="}},
+        OperatorCase{">>=", {">>="}}, OperatorCase{"<=", {"<="}},
+        OperatorCase{">=", {">="}}, OperatorCase{"==", {"=="}},
+        OperatorCase{"!=", {"!="}}, OperatorCase{"&&", {"&&"}},
+        OperatorCase{"||", {"||"}}, OperatorCase{"+=", {"+="}},
+        OperatorCase{"-=", {"-="}}, OperatorCase{"*=", {"*="}},
+        OperatorCase{"/=", {"/="}}, OperatorCase{"%=", {"%="}},
+        OperatorCase{"&=", {"&="}}, OperatorCase{"|=", {"|="}},
+        OperatorCase{"^=", {"^="}},
+        OperatorCase{"+++", {"++", "+"}},
+        OperatorCase{"<<<", {"<<", "<"}}));
+
+TEST(Lexer, PlusPlusPlusB) {
+  const auto toks = lex("a+++b");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[1].text, "++");
+  EXPECT_EQ(toks[2].text, "+");
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  EXPECT_THROW(lex("int $x;"), Error);
+  EXPECT_THROW(lex("x @ y"), Error);
+}
+
+TEST(Lexer, AllSinglePunct) {
+  const std::string punct = "+ - * / % = < > ! & | ^ ~ ? : ; , . ( ) [ ] { }";
+  const auto toks = lex(punct);
+  EXPECT_EQ(toks.size(), 25u);  // 24 + EOF
+}
+
+}  // namespace
+}  // namespace mpirical::lex

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cast/printer.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/dataset.hpp"
+#include "corpus/generator.hpp"
+#include "corpus/removal.hpp"
+#include "corpus/stats.hpp"
+#include "cparse/parser.hpp"
+#include "mpidb/catalog.hpp"
+#include "support/strings.hpp"
+
+namespace mpirical::corpus {
+namespace {
+
+// Every family must generate parseable programs across many seeds -- this is
+// the corpus inclusion criterion holding by construction.
+class FamilyGeneration : public ::testing::TestWithParam<Family> {};
+
+TEST_P(FamilyGeneration, GeneratesParseableDistinctPrograms) {
+  const Family family = GetParam();
+  std::set<std::string> sources;
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 1237 + 5);
+    const std::string src = generate_program(family, rng);
+    EXPECT_NO_THROW(parse::parse_translation_unit(src))
+        << family_name(family) << " seed " << seed << "\n"
+        << src;
+    sources.insert(src);
+  }
+  // Randomization should produce at least a few distinct programs.
+  EXPECT_GE(sources.size(), 3u) << family_name(family);
+}
+
+TEST_P(FamilyGeneration, MpiFamiliesContainCommonPrologue) {
+  const Family family = GetParam();
+  if (family == Family::kSerialUtility) return;
+  Rng rng(2024);
+  const std::string src = generate_program(family, rng);
+  EXPECT_TRUE(contains(src, "MPI_Init")) << family_name(family);
+  EXPECT_TRUE(contains(src, "MPI_Finalize")) << family_name(family);
+  EXPECT_TRUE(contains(src, "MPI_Comm_rank")) << family_name(family);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyGeneration,
+                         ::testing::ValuesIn(all_families()),
+                         [](const auto& info) {
+                           return std::string(family_name(info.param));
+                         });
+
+TEST(Generator, SerialUtilityHasNoMpi) {
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    EXPECT_FALSE(
+        contains(generate_program(Family::kSerialUtility, rng), "MPI_"));
+  }
+}
+
+TEST(Generator, SampleFamilyCoversMostFamilies) {
+  Rng rng(77);
+  std::set<Family> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(sample_family(rng));
+  EXPECT_GE(seen.size(), all_families().size() - 2);
+}
+
+TEST(Generator, CatalogKnowsEveryGeneratedRoutine) {
+  Rng rng(31337);
+  for (int i = 0; i < 200; ++i) {
+    const auto prog = generate_random_program(rng);
+    const auto tree = parse::parse_translation_unit(prog.source);
+    for (const auto& call : ast::collect_mpi_calls(*tree)) {
+      EXPECT_TRUE(mpidb::is_known_routine(call.callee)) << call.callee;
+    }
+  }
+}
+
+TEST(Corpus, BuildIsDeterministicGivenSeed) {
+  const CorpusConfig config{50, 123};
+  const auto a = build_corpus(config);
+  const auto b = build_corpus(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].family, b[i].family);
+  }
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  const auto a = build_corpus(CorpusConfig{20, 1});
+  const auto b = build_corpus(CorpusConfig{20, 2});
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].source == b[i].source) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Removal, StripsEveryMpiCall) {
+  Rng rng(4242);
+  for (int i = 0; i < 50; ++i) {
+    const auto prog = generate_random_program(rng);
+    const auto tree = parse::parse_translation_unit(prog.source);
+    const auto result = remove_mpi_calls(*tree);
+    EXPECT_FALSE(contains_mpi_call(*result.stripped))
+        << family_name(prog.family);
+    // Every call in the original is recorded as removed.
+    EXPECT_EQ(result.removed.size(),
+              ast::collect_mpi_calls(*tree).size())
+        << family_name(prog.family);
+  }
+}
+
+TEST(Removal, StrippedProgramStillParses) {
+  Rng rng(555);
+  for (int i = 0; i < 50; ++i) {
+    const auto prog = generate_random_program(rng);
+    const auto tree = parse::parse_translation_unit(prog.source);
+    const auto result = remove_mpi_calls(*tree);
+    const std::string stripped_code = ast::print_code(*result.stripped);
+    EXPECT_NO_THROW(parse::parse_translation_unit(stripped_code))
+        << stripped_code;
+  }
+}
+
+TEST(Removal, NonMpiCodeUntouched) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { int x = f(1); printf(\"%d\", x); return 0; }");
+  const auto result = remove_mpi_calls(*tree);
+  EXPECT_TRUE(ast::structurally_equal(*tree, *result.stripped));
+  EXPECT_TRUE(result.removed.empty());
+}
+
+TEST(Removal, AssignmentFromMpiCallDropped) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { int rc; rc = MPI_Init(&argc, &argv); return rc; }");
+  const auto result = remove_mpi_calls(*tree);
+  ASSERT_EQ(result.removed.size(), 1u);
+  EXPECT_EQ(result.removed[0].callee, "MPI_Init");
+  EXPECT_FALSE(contains(ast::print_code(*result.stripped), "MPI_Init"));
+  // The declaration of rc survives.
+  EXPECT_TRUE(contains(ast::print_code(*result.stripped), "int rc;"));
+}
+
+TEST(Removal, DeclarationInitializerDropped) {
+  const auto tree = parse::parse_translation_unit(
+      "int main() { double t0 = MPI_Wtime(); return 0; }");
+  const auto result = remove_mpi_calls(*tree);
+  ASSERT_EQ(result.removed.size(), 1u);
+  const std::string code = ast::print_code(*result.stripped);
+  EXPECT_TRUE(contains(code, "double t0;"));
+  EXPECT_FALSE(contains(code, "MPI_Wtime"));
+}
+
+TEST(Removal, GroundTruthLinesMatchLabelCode) {
+  Rng rng(808);
+  for (int i = 0; i < 30; ++i) {
+    const auto prog = generate_random_program(rng);
+    Example ex;
+    if (!make_example(prog.source, 320, ex)) continue;
+    // Re-derive calls from the label code; removed call lines must agree.
+    const auto label_tree = parse::parse_translation_unit(ex.label_code);
+    const auto label_calls = ast::collect_mpi_calls(*label_tree);
+    ASSERT_EQ(label_calls.size(), ex.ground_truth.size());
+    for (std::size_t c = 0; c < label_calls.size(); ++c) {
+      EXPECT_EQ(label_calls[c].callee, ex.ground_truth[c].callee);
+      EXPECT_EQ(label_calls[c].line, ex.ground_truth[c].line);
+    }
+  }
+}
+
+TEST(Dataset, MakeExampleRejectsUnparseable) {
+  Example ex;
+  EXPECT_FALSE(make_example("int main( {", 320, ex));
+}
+
+TEST(Dataset, MakeExampleRejectsTooLong) {
+  Rng rng(9);
+  const std::string src = generate_program(Family::kCompositePipeline, rng);
+  Example ex;
+  EXPECT_FALSE(make_example(src, 10, ex));
+}
+
+TEST(Dataset, SplitRatios) {
+  DatasetConfig config;
+  config.corpus_size = 300;
+  config.seed = 7;
+  const Dataset ds = build_dataset(config);
+  const std::size_t n = ds.example_count();
+  EXPECT_GT(n, 100u);
+  EXPECT_NEAR(static_cast<double>(ds.train.size()) / n, 0.8, 0.02);
+  EXPECT_NEAR(static_cast<double>(ds.val.size()) / n, 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(ds.test.size()) / n, 0.1, 0.02);
+}
+
+TEST(Dataset, InputsHaveNoMpiButLabelsDo) {
+  DatasetConfig config;
+  config.corpus_size = 60;
+  const Dataset ds = build_dataset(config);
+  int labels_with_mpi = 0;
+  for (const auto& ex : ds.train) {
+    EXPECT_FALSE(contains(ex.input_code, "MPI_Init"));
+    if (contains(ex.label_code, "MPI_")) ++labels_with_mpi;
+  }
+  EXPECT_GT(labels_with_mpi, static_cast<int>(ds.train.size()) / 2);
+}
+
+TEST(Dataset, XsbtNonEmptyAndStructural) {
+  DatasetConfig config;
+  config.corpus_size = 30;
+  const Dataset ds = build_dataset(config);
+  ASSERT_FALSE(ds.train.empty());
+  for (const auto& ex : ds.train) {
+    EXPECT_FALSE(ex.input_xsbt.empty());
+    EXPECT_TRUE(contains(ex.input_xsbt, "compound_statement"));
+  }
+}
+
+TEST(Stats, BucketsSumToParsedFiles) {
+  const auto corpus = build_corpus(CorpusConfig{400, 21});
+  const auto stats = compute_stats(corpus);
+  EXPECT_EQ(stats.len_le_10 + stats.len_11_50 + stats.len_51_99 +
+                stats.len_ge_100 + stats.parse_failures,
+            corpus.size());
+  EXPECT_EQ(stats.parse_failures, 0u);
+}
+
+TEST(Stats, LengthDistributionShapeMatchesTableIa) {
+  // Paper Table Ia: the 11-50 bucket dominates; >=100 is a meaningful tail.
+  const auto corpus = build_corpus(CorpusConfig{2000, 3});
+  const auto stats = compute_stats(corpus);
+  EXPECT_GT(stats.len_11_50, stats.len_le_10);
+  EXPECT_GT(stats.len_11_50, stats.len_51_99);
+  EXPECT_GT(stats.len_51_99, 0u);
+  EXPECT_GT(stats.len_ge_100, 0u);
+}
+
+TEST(Stats, CommonCoreDominatesFunctionCounts) {
+  const auto corpus = build_corpus(CorpusConfig{1500, 11});
+  const auto stats = compute_stats(corpus);
+  const auto sorted = sorted_function_counts(stats);
+  ASSERT_GE(sorted.size(), 10u);
+  // The top entries should be dominated by the MPI Common Core (Table Ib).
+  int core_in_top6 = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (mpidb::is_common_core(sorted[static_cast<std::size_t>(i)].first)) {
+      ++core_in_top6;
+    }
+  }
+  EXPECT_GE(core_in_top6, 4);
+  // Init / Finalize / Comm_rank / Comm_size appear in nearly every MPI file.
+  EXPECT_GT(stats.function_file_counts.at("MPI_Init"),
+            corpus.size() * 8 / 10);
+}
+
+TEST(Stats, RatioHistogramMassAboveHalf) {
+  // Fig. 3: most programs spend more than half their lines inside the
+  // Init..Finalize span.
+  const auto corpus = build_corpus(CorpusConfig{1000, 13});
+  const auto stats = compute_stats(corpus);
+  std::size_t below = 0;
+  std::size_t above = 0;
+  for (std::size_t bin = 0; bin < CorpusStats::kRatioBins; ++bin) {
+    if (bin < CorpusStats::kRatioBins / 2) {
+      below += stats.ratio_histogram[bin];
+    } else {
+      above += stats.ratio_histogram[bin];
+    }
+  }
+  EXPECT_GT(above, below * 3);
+  EXPECT_GT(stats.files_with_init_and_finalize, corpus.size() * 7 / 10);
+}
+
+}  // namespace
+}  // namespace mpirical::corpus

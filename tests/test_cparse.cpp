@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "cast/node.hpp"
+#include "cast/printer.hpp"
+#include "corpus/generator.hpp"
+#include "cparse/parser.hpp"
+#include "support/check.hpp"
+
+namespace mpirical {
+namespace {
+
+using ast::Node;
+using ast::NodeKind;
+using ast::NodePtr;
+
+NodePtr parse(const std::string& src) {
+  return parse::parse_translation_unit(src);
+}
+NodePtr parse_expr(const std::string& src) {
+  return parse::parse_expression_string(src);
+}
+
+TEST(Parser, EmptyTranslationUnit) {
+  const auto tu = parse("");
+  EXPECT_EQ(tu->kind, NodeKind::kTranslationUnit);
+  EXPECT_EQ(tu->child_count(), 0u);
+}
+
+TEST(Parser, DirectivePassthrough) {
+  const auto tu = parse("#include <mpi.h>\n#define N 100\n");
+  ASSERT_EQ(tu->child_count(), 2u);
+  EXPECT_EQ(tu->child(0)->kind, NodeKind::kPreprocDirective);
+  EXPECT_EQ(tu->child(1)->text, "#define N 100");
+}
+
+TEST(Parser, SimpleFunction) {
+  const auto tu = parse("int main(void) { return 0; }");
+  ASSERT_EQ(tu->child_count(), 1u);
+  const Node& fn = *tu->child(0);
+  EXPECT_EQ(fn.kind, NodeKind::kFunctionDefinition);
+  EXPECT_EQ(fn.text, "main");
+  EXPECT_EQ(fn.child(2)->child_count(), 0u);  // (void) params
+}
+
+TEST(Parser, FunctionParams) {
+  const auto tu = parse("double f(double x, int *p, char **argv) { return x; }");
+  const Node& params = *tu->child(0)->child(2);
+  ASSERT_EQ(params.child_count(), 3u);
+  EXPECT_EQ(params.child(0)->child(0)->text, "double");
+  EXPECT_EQ(params.child(1)->child(1)->aux, 1);  // int *p
+  EXPECT_EQ(params.child(2)->child(1)->aux, 2);  // char **argv
+}
+
+TEST(Parser, DeclarationWithInitializers) {
+  const auto tu = parse("int main() { int a = 1, b, c = 2 + 3; return a; }");
+  const Node& body = *tu->child(0)->child(3);
+  const Node& decl = *body.child(0);
+  EXPECT_EQ(decl.kind, NodeKind::kDeclaration);
+  EXPECT_EQ(decl.child_count(), 4u);  // type + 3 declarators
+  EXPECT_EQ(decl.child(1)->child_count(), 2u);  // a = 1
+  EXPECT_EQ(decl.child(2)->child_count(), 1u);  // b
+}
+
+TEST(Parser, ArrayDeclaration) {
+  const auto tu = parse("int main() { double arr[100]; int m[4][5]; return 0; }");
+  const Node& body = *tu->child(0)->child(3);
+  const Node& d1 = *body.child(0)->child(1)->child(0);
+  ASSERT_EQ(d1.child_count(), 1u);
+  EXPECT_EQ(d1.child(0)->text, "100");
+  const Node& d2 = *body.child(1)->child(1)->child(0);
+  EXPECT_EQ(d2.child_count(), 2u);
+}
+
+TEST(Parser, TypedefNamesAsTypes) {
+  const auto tu = parse("int main() { MPI_Status status; size_t n = 3; return 0; }");
+  const Node& body = *tu->child(0)->child(3);
+  EXPECT_EQ(body.child(0)->child(0)->text, "MPI_Status");
+  EXPECT_EQ(body.child(1)->child(0)->text, "size_t");
+  EXPECT_TRUE(parse::is_typedef_name("MPI_Comm"));
+  EXPECT_FALSE(parse::is_typedef_name("MPI_Send"));
+}
+
+TEST(Parser, QualifiedTypes) {
+  const auto tu = parse("int main() { unsigned long long x = 1; const double y = 2.0; return 0; }");
+  const Node& body = *tu->child(0)->child(3);
+  EXPECT_EQ(body.child(0)->child(0)->text, "unsigned long long");
+  EXPECT_EQ(body.child(1)->child(0)->text, "const double");
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  const auto e = parse_expr("1 + 2 * 3");
+  EXPECT_EQ(e->kind, NodeKind::kBinaryExpression);
+  EXPECT_EQ(e->text, "+");
+  EXPECT_EQ(e->child(1)->text, "*");
+}
+
+TEST(Parser, LeftAssociativity) {
+  const auto e = parse_expr("10 - 4 - 3");
+  EXPECT_EQ(e->text, "-");
+  EXPECT_EQ(e->child(0)->text, "-");  // (10-4)-3
+  EXPECT_EQ(e->child(1)->text, "3");
+}
+
+TEST(Parser, AssignmentRightAssociative) {
+  const auto e = parse_expr("a = b = 3");
+  EXPECT_EQ(e->kind, NodeKind::kAssignmentExpression);
+  EXPECT_EQ(e->child(1)->kind, NodeKind::kAssignmentExpression);
+}
+
+TEST(Parser, ComparisonChainsWithLogical) {
+  const auto e = parse_expr("a < b && c >= d || !e");
+  EXPECT_EQ(e->text, "||");
+  EXPECT_EQ(e->child(0)->text, "&&");
+  EXPECT_EQ(e->child(1)->kind, NodeKind::kUnaryExpression);
+}
+
+TEST(Parser, TernaryExpression) {
+  const auto e = parse_expr("a ? b : c ? d : e");
+  EXPECT_EQ(e->kind, NodeKind::kConditionalExpression);
+  EXPECT_EQ(e->child(2)->kind, NodeKind::kConditionalExpression);
+}
+
+TEST(Parser, CastVsParenthesized) {
+  const auto cast = parse_expr("(double)n");
+  EXPECT_EQ(cast->kind, NodeKind::kCastExpression);
+  EXPECT_EQ(cast->text, "double");
+  const auto paren = parse_expr("(n)");
+  EXPECT_EQ(paren->kind, NodeKind::kParenthesizedExpression);
+}
+
+TEST(Parser, PointerCast) {
+  const auto e = parse_expr("(double *)malloc(n * sizeof(double))");
+  EXPECT_EQ(e->kind, NodeKind::kCastExpression);
+  EXPECT_EQ(e->aux, 1);
+  EXPECT_EQ(e->child(0)->kind, NodeKind::kCallExpression);
+}
+
+TEST(Parser, SizeofTypeAndExpr) {
+  const auto t = parse_expr("sizeof(double)");
+  EXPECT_EQ(t->kind, NodeKind::kSizeofExpression);
+  EXPECT_EQ(t->text, "double");
+  EXPECT_EQ(t->child_count(), 0u);
+  const auto x = parse_expr("sizeof(x)");
+  EXPECT_EQ(x->child_count(), 1u);
+}
+
+TEST(Parser, CallWithArguments) {
+  const auto e = parse_expr("MPI_Send(&buf, 1, MPI_INT, 1, 0, MPI_COMM_WORLD)");
+  EXPECT_EQ(e->kind, NodeKind::kCallExpression);
+  EXPECT_EQ(e->text, "MPI_Send");
+  EXPECT_EQ(e->child_count(), 6u);
+  EXPECT_EQ(e->child(0)->kind, NodeKind::kPointerExpression);
+}
+
+TEST(Parser, PostfixChain) {
+  const auto e = parse_expr("a[1][2]");
+  EXPECT_EQ(e->kind, NodeKind::kSubscriptExpression);
+  EXPECT_EQ(e->child(0)->kind, NodeKind::kSubscriptExpression);
+}
+
+TEST(Parser, FieldAccess) {
+  const auto dot = parse_expr("status.MPI_SOURCE");
+  EXPECT_EQ(dot->kind, NodeKind::kFieldExpression);
+  EXPECT_EQ(dot->aux, 0);
+  EXPECT_EQ(dot->text, "MPI_SOURCE");
+  const auto arrow = parse_expr("p->MPI_TAG");
+  EXPECT_EQ(arrow->aux, 1);
+}
+
+TEST(Parser, UpdateExpressions) {
+  const auto pre = parse_expr("++x");
+  EXPECT_EQ(pre->aux, 0);
+  const auto post = parse_expr("x++");
+  EXPECT_EQ(post->aux, 1);
+}
+
+TEST(Parser, IfElseChain) {
+  const auto tu = parse(
+      "int main() { if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; } "
+      "return x; }");
+  const Node& if_stmt = *tu->child(0)->child(3)->child(0);
+  EXPECT_EQ(if_stmt.kind, NodeKind::kIfStatement);
+  ASSERT_EQ(if_stmt.child_count(), 3u);
+  // Unbraced `else if` is normalized into a braced block holding the if.
+  ASSERT_EQ(if_stmt.child(2)->kind, NodeKind::kCompoundStatement);
+  EXPECT_EQ(if_stmt.child(2)->child(0)->kind, NodeKind::kIfStatement);
+}
+
+TEST(Parser, ForVariants) {
+  const auto tu = parse(
+      "int main() { for (int i = 0; i < 10; i++) { } for (;;) { break; } "
+      "for (i = 0, j = 1; i < j; i++, j--) { } return 0; }");
+  const Node& body = *tu->child(0)->child(3);
+  EXPECT_EQ(body.child(0)->child(0)->kind, NodeKind::kDeclaration);
+  EXPECT_EQ(body.child(1)->child(0)->kind, NodeKind::kEmptyExpr);
+  EXPECT_EQ(body.child(2)->child(2)->kind, NodeKind::kCommaExpression);
+}
+
+TEST(Parser, WhileAndDoWhile) {
+  const auto tu = parse(
+      "int main() { while (x > 0) { x--; } do { x++; } while (x < 5); "
+      "return 0; }");
+  const Node& body = *tu->child(0)->child(3);
+  EXPECT_EQ(body.child(0)->kind, NodeKind::kWhileStatement);
+  EXPECT_EQ(body.child(1)->kind, NodeKind::kDoStatement);
+}
+
+TEST(Parser, SwitchCaseDefault) {
+  const auto tu = parse(
+      "int main() { switch (x) { case 1: y = 1; break; case 2: y = 2; break; "
+      "default: y = 0; } return y; }");
+  const Node& sw = *tu->child(0)->child(3)->child(0);
+  EXPECT_EQ(sw.kind, NodeKind::kSwitchStatement);
+  EXPECT_EQ(sw.child(1)->child_count(), 3u);
+  EXPECT_EQ(sw.child(1)->child(2)->text, "default");
+}
+
+TEST(Parser, UnbracedBodiesParse) {
+  const auto tu = parse("int main() { if (x) y = 1; else y = 2; while (a) b++; return 0; }");
+  EXPECT_EQ(tu->child(0)->child(3)->child_count(), 3u);
+}
+
+TEST(Parser, ErrorOnMissingSemicolon) {
+  EXPECT_THROW(parse("int main() { int x = 1 return x; }"), Error);
+}
+
+TEST(Parser, ErrorOnUnbalancedBraces) {
+  EXPECT_THROW(parse("int main() { return 0;"), Error);
+}
+
+TEST(Parser, ErrorOnPrototype) {
+  EXPECT_THROW(parse("int f(int x);"), Error);
+}
+
+TEST(Parser, ErrorMentionsLine) {
+  try {
+    parse("int main() {\n  int x = ;\n}");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, LineNumbersRecorded) {
+  const auto tu = parse("#include <mpi.h>\nint main() {\n    int x = 1;\n    return x;\n}\n");
+  const Node& fn = *tu->child(1);
+  EXPECT_EQ(fn.line, 2);
+  EXPECT_EQ(fn.child(3)->child(0)->line, 3);
+  EXPECT_EQ(fn.child(3)->child(1)->line, 4);
+}
+
+// Round-trip property: print(parse(x)) is a fixed point over the whole
+// generator corpus.
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsFixedPoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int i = 0; i < 12; ++i) {
+    const auto prog = corpus::generate_random_program(rng);
+    const auto tree = parse(prog.source);
+    const std::string once = ast::print_code(*tree);
+    const auto tree2 = parse(once);
+    EXPECT_TRUE(ast::structurally_equal(*tree, *tree2))
+        << corpus::family_name(prog.family);
+    const std::string twice = ast::print_code(*tree2);
+    EXPECT_EQ(once, twice) << corpus::family_name(prog.family);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mpirical

@@ -1,0 +1,160 @@
+// Failure-injection tests: corrupted checkpoints, malformed predictions,
+// hostile inputs, and resource-limit behaviour. The library must fail loudly
+// and precisely, never crash or silently mis-score.
+#include <gtest/gtest.h>
+
+#include "cinterp/interp.hpp"
+#include "clex/lexer.hpp"
+#include "core/model.hpp"
+#include "cparse/parser.hpp"
+#include "metrics/metrics.hpp"
+#include "mpisim/runner.hpp"
+#include "nn/transformer.hpp"
+#include "support/check.hpp"
+#include "toklib/vocab.hpp"
+
+namespace mpirical {
+namespace {
+
+TEST(FailureInjection, TruncatedTransformerCheckpoint) {
+  Rng rng(1);
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 16;
+  cfg.d_model = 8;
+  cfg.heads = 2;
+  cfg.ffn_dim = 16;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 16;
+  nn::Transformer model(cfg, rng);
+  std::string blob = model.serialize();
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(nn::Transformer::deserialize(blob), Error);
+}
+
+TEST(FailureInjection, TrailingGarbageInCheckpoint) {
+  Rng rng(2);
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 16;
+  cfg.d_model = 8;
+  cfg.heads = 2;
+  cfg.ffn_dim = 16;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 16;
+  nn::Transformer model(cfg, rng);
+  std::string blob = model.serialize() + "junk";
+  EXPECT_THROW(nn::Transformer::deserialize(blob), Error);
+}
+
+TEST(FailureInjection, MissingModelFile) {
+  EXPECT_THROW(core::MpiRical::load("/nonexistent/path/model.bin"), Error);
+}
+
+TEST(FailureInjection, VocabWithWrongSpecialOrderRejected) {
+  EXPECT_THROW(tok::Vocab::deserialize("[SOS]\n[PAD]\n"), Error);
+  EXPECT_THROW(tok::Vocab::deserialize(""), Error);
+}
+
+TEST(FailureInjection, DeeplyNestedExpressionParses) {
+  std::string expr = "x";
+  for (int i = 0; i < 80; ++i) expr = "(" + expr + " + 1)";
+  EXPECT_NO_THROW(parse::parse_expression_string(expr));
+}
+
+TEST(FailureInjection, HugeArrayDeclarationRejectedByInterpreter) {
+  const auto tu = parse::parse_translation_unit(
+      "int main() { double a[200000000]; return 0; }");
+  interp::Interpreter interp(*tu, nullptr);
+  EXPECT_THROW(interp.run_main(), Error);
+}
+
+TEST(FailureInjection, NegativeArraySizeRejected) {
+  const auto tu = parse::parse_translation_unit(
+      "int main() { int n = 0 - 4; double a[n]; return 0; }");
+  interp::Interpreter interp(*tu, nullptr);
+  EXPECT_THROW(interp.run_main(), Error);
+}
+
+TEST(FailureInjection, NullPointerDereference) {
+  const auto tu = parse::parse_translation_unit(
+      "int main() { int *p = NULL; return *p; }");
+  interp::Interpreter interp(*tu, nullptr);
+  EXPECT_THROW(interp.run_main(), Error);
+}
+
+TEST(FailureInjection, RecvBufferTooSmallReported) {
+  const std::string src = R"(#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    int big[4];
+    int small[2];
+    MPI_Status status;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    if (rank == 0) {
+        MPI_Send(big, 4, MPI_INT, 1, 0, MPI_COMM_WORLD);
+    } else if (rank == 1) {
+        MPI_Recv(small, 2, MPI_INT, 0, 0, MPI_COMM_WORLD, &status);
+    }
+    MPI_Finalize();
+    return 0;
+}
+)";
+  mpisim::RunOptions opts;
+  opts.num_ranks = 2;
+  const auto result = mpisim::run_mpi_source(src, opts);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("longer than receive buffer"),
+            std::string::npos);
+}
+
+TEST(FailureInjection, RankFailureUnblocksCollectivePeers) {
+  // Rank 1 divides by zero before the collective; everyone else is inside
+  // MPI_Barrier and must be released with an error, not hang.
+  const std::string src = R"(#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    if (rank == 1) {
+        int x = 1 / (rank - rank);
+        size = x;
+    }
+    MPI_Barrier(MPI_COMM_WORLD);
+    MPI_Finalize();
+    return 0;
+}
+)";
+  mpisim::RunOptions opts;
+  opts.num_ranks = 3;
+  const auto result = mpisim::run_mpi_source(src, opts);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("rank 1"), std::string::npos);
+}
+
+TEST(FailureInjection, TokensToCodeHandlesPathologicalStreams) {
+  // Directive jammed mid-line, double newlines, stray [SEP]-like text --
+  // the rebuild must stay lexable.
+  const std::vector<std::string> tokens = {
+      "int", "x", ";", "#include <mpi.h>", "int", "y", ";",
+      "[NL]", "[NL]", "z", "=", "1", ";"};
+  const std::string code = tok::tokens_to_code(tokens);
+  EXPECT_NO_THROW(lex::tokenize(code));
+}
+
+TEST(FailureInjection, MatchingToleratesAbsurdLines) {
+  const std::vector<ast::CallSite> pred = {{"MPI_Send", 1000000}};
+  const std::vector<ast::CallSite> truth = {{"MPI_Send", 1}};
+  const auto counts = metrics::match_call_sites(pred, truth, 1);
+  EXPECT_EQ(counts.tp, 0u);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.fn, 1u);
+}
+
+}  // namespace
+}  // namespace mpirical

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+#include "mpidb/catalog.hpp"
+
+namespace mpirical::metrics {
+namespace {
+
+using ast::CallSite;
+
+std::vector<CallSite> sites(
+    std::initializer_list<std::pair<const char*, int>> list) {
+  std::vector<CallSite> out;
+  for (const auto& [name, line] : list) out.push_back(CallSite{name, line});
+  return out;
+}
+
+TEST(Match, PerfectPrediction) {
+  const auto truth = sites({{"MPI_Init", 5}, {"MPI_Finalize", 20}});
+  const auto counts = match_call_sites(truth, truth, 1);
+  EXPECT_EQ(counts.tp, 2u);
+  EXPECT_EQ(counts.fp, 0u);
+  EXPECT_EQ(counts.fn, 0u);
+  EXPECT_EQ(counts.f1(), 1.0);
+}
+
+TEST(Match, OneLineToleranceAccepts) {
+  const auto pred = sites({{"MPI_Send", 10}});
+  const auto truth = sites({{"MPI_Send", 11}});
+  EXPECT_EQ(match_call_sites(pred, truth, 1).tp, 1u);
+  EXPECT_EQ(match_call_sites(pred, truth, 0).tp, 0u);
+}
+
+TEST(Match, TwoLinesAwayRejectedAtToleranceOne) {
+  const auto pred = sites({{"MPI_Send", 10}});
+  const auto truth = sites({{"MPI_Send", 12}});
+  const auto counts = match_call_sites(pred, truth, 1);
+  EXPECT_EQ(counts.tp, 0u);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.fn, 1u);
+  EXPECT_EQ(match_call_sites(pred, truth, 2).tp, 1u);
+}
+
+TEST(Match, WrongFunctionIsFalsePositive) {
+  const auto pred = sites({{"MPI_Ssend", 10}});
+  const auto truth = sites({{"MPI_Send", 10}});
+  const auto counts = match_call_sites(pred, truth, 1);
+  EXPECT_EQ(counts.tp, 0u);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.fn, 1u);
+}
+
+TEST(Match, DuplicateFunctionsMatchOneToOne) {
+  const auto pred = sites({{"MPI_Send", 10}, {"MPI_Send", 10}});
+  const auto truth = sites({{"MPI_Send", 10}});
+  const auto counts = match_call_sites(pred, truth, 1);
+  EXPECT_EQ(counts.tp, 1u);
+  EXPECT_EQ(counts.fp, 1u);
+}
+
+TEST(Match, PrefersNearestCandidate) {
+  const auto pred = sites({{"MPI_Recv", 10}});
+  const auto truth = sites({{"MPI_Recv", 11}, {"MPI_Recv", 10}});
+  const auto counts = match_call_sites(pred, truth, 1);
+  EXPECT_EQ(counts.tp, 1u);
+  EXPECT_EQ(counts.fn, 1u);
+}
+
+TEST(Match, EmptyPredictionsAllFalseNegatives) {
+  const auto truth = sites({{"MPI_Init", 1}, {"MPI_Finalize", 9}});
+  const auto counts = match_call_sites({}, truth, 1);
+  EXPECT_EQ(counts.fn, 2u);
+  EXPECT_EQ(counts.precision(), 0.0);
+  EXPECT_EQ(counts.recall(), 0.0);
+  EXPECT_EQ(counts.f1(), 0.0);
+}
+
+TEST(Match, FilteredToCommonCore) {
+  const auto pred = sites({{"MPI_Init", 3}, {"MPI_Barrier", 7}});
+  const auto truth = sites({{"MPI_Init", 3}, {"MPI_Barrier", 9}});
+  const auto all = match_call_sites(pred, truth, 1);
+  EXPECT_EQ(all.tp, 1u);
+  EXPECT_EQ(all.fp, 1u);
+  const auto core = match_call_sites_filtered(
+      pred, truth, 1, [](const std::string& f) {
+        return mpidb::is_common_core(f);
+      });
+  EXPECT_EQ(core.tp, 1u);
+  EXPECT_EQ(core.fp, 0u);
+  EXPECT_EQ(core.fn, 0u);
+}
+
+TEST(Match, CountsAggregate) {
+  PrfCounts a{8, 2, 1};
+  PrfCounts b{2, 0, 3};
+  a += b;
+  EXPECT_EQ(a.tp, 10u);
+  EXPECT_NEAR(a.precision(), 10.0 / 12.0, 1e-12);
+  EXPECT_NEAR(a.recall(), 10.0 / 14.0, 1e-12);
+}
+
+std::vector<std::string> words(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ' ') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+TEST(Bleu, IdenticalIsOne) {
+  const auto ref = words("int main ( ) { return 0 ; }");
+  EXPECT_NEAR(bleu(ref, ref), 1.0, 1e-9);
+}
+
+TEST(Bleu, DisjointNearZero) {
+  EXPECT_LT(bleu(words("a b c d e"), words("v w x y z")), 0.01);
+}
+
+TEST(Bleu, BrevityPenaltyApplies) {
+  const auto ref = words("a b c d e f g h");
+  const auto short_cand = words("a b c d");
+  const auto full_cand = ref;
+  EXPECT_LT(bleu(short_cand, ref), bleu(full_cand, ref));
+}
+
+TEST(Bleu, OrderSensitivity) {
+  const auto ref = words("a b c d e f");
+  const auto shuffled = words("f e d c b a");
+  EXPECT_GT(bleu(ref, ref), bleu(shuffled, ref));
+}
+
+TEST(Bleu, EmptyInputsScoreZero) {
+  EXPECT_EQ(bleu({}, words("a")), 0.0);
+  EXPECT_EQ(bleu(words("a"), {}), 0.0);
+}
+
+TEST(Meteor, IdenticalNearOne) {
+  const auto ref = words("the quick brown fox jumps");
+  EXPECT_GT(meteor(ref, ref), 0.98);
+}
+
+TEST(Meteor, NoMatchesIsZero) {
+  EXPECT_EQ(meteor(words("a b"), words("c d")), 0.0);
+}
+
+TEST(Meteor, FragmentationPenalized) {
+  const auto ref = words("a b c d e f");
+  // Same unigrams, scrambled order -> more chunks -> lower score.
+  const auto scrambled = words("b a d c f e");
+  EXPECT_GT(meteor(ref, ref), meteor(scrambled, ref));
+}
+
+TEST(RougeL, IdenticalIsOne) {
+  const auto ref = words("x y z w");
+  EXPECT_NEAR(rouge_l(ref, ref), 1.0, 1e-9);
+}
+
+TEST(RougeL, SubsequenceScoring) {
+  const auto ref = words("a b c d");
+  const auto cand = words("a c d");
+  // LCS = 3; P = 1, R = 3/4 -> F1 = 6/7.
+  EXPECT_NEAR(rouge_l(cand, ref), 6.0 / 7.0, 1e-9);
+}
+
+TEST(RougeL, LcsLength) {
+  EXPECT_EQ(lcs_length(words("a b c d e"), words("b d e")), 3u);
+  EXPECT_EQ(lcs_length(words("a"), words("b")), 0u);
+  EXPECT_EQ(lcs_length({}, words("a")), 0u);
+}
+
+TEST(ExactMatch, Strict) {
+  EXPECT_TRUE(exact_match(words("a b"), words("a b")));
+  EXPECT_FALSE(exact_match(words("a b"), words("a b c")));
+}
+
+}  // namespace
+}  // namespace mpirical::metrics

@@ -1,0 +1,174 @@
+// Integration tests for the MPI-RICAL core: these train tiny models, so they
+// are the slowest tests in the suite (seconds, not minutes).
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+#include "core/model.hpp"
+#include "core/tagger.hpp"
+#include "corpus/dataset.hpp"
+#include "support/strings.hpp"
+
+namespace mpirical::core {
+namespace {
+
+ModelConfig tiny_model_config() {
+  ModelConfig cfg;
+  cfg.d_model = 32;
+  cfg.heads = 2;
+  cfg.ffn_dim = 64;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  cfg.dropout = 0.0f;
+  cfg.max_src_tokens = 256;
+  cfg.max_tgt_tokens = 200;
+  cfg.batch_size = 8;
+  cfg.epochs = 2;
+  cfg.lr = 1e-3f;
+  cfg.warmup_steps = 20;
+  return cfg;
+}
+
+corpus::Dataset tiny_dataset() {
+  // The corpus is composite-heavy (long programs), so a 180-token filter
+  // keeps roughly a quarter of it; 500 programs yield ~120 fast examples.
+  corpus::DatasetConfig dcfg;
+  dcfg.corpus_size = 500;
+  dcfg.seed = 77;
+  dcfg.max_tokens = 180;
+  return corpus::build_dataset(dcfg);
+}
+
+TEST(MpiRical, CreateBuildsVocabCoveringCatalog) {
+  const auto dataset = tiny_dataset();
+  const MpiRical model = MpiRical::create(dataset, tiny_model_config());
+  EXPECT_TRUE(model.vocab().contains("MPI_Init"));
+  EXPECT_TRUE(model.vocab().contains("MPI_Allreduce"));
+  EXPECT_TRUE(model.vocab().contains("MPI_Cart_create"));  // from catalog
+  EXPECT_GT(model.vocab().size(), 100u);
+}
+
+TEST(MpiRical, EncodeSourceAppendsXsbtAfterSep) {
+  const auto dataset = tiny_dataset();
+  ModelConfig cfg = tiny_model_config();
+  const MpiRical model = MpiRical::create(dataset, cfg);
+  ASSERT_FALSE(dataset.train.empty());
+  const auto& ex = dataset.train.front();
+  const auto src = model.encode_source(ex.input_code, ex.input_xsbt);
+  EXPECT_LE(src.size(), static_cast<std::size_t>(cfg.max_src_tokens));
+  bool has_sep = false;
+  for (const auto id : src) {
+    if (id == tok::kSep) has_sep = true;
+  }
+  EXPECT_TRUE(has_sep);
+}
+
+TEST(MpiRical, TrainingReducesLoss) {
+  const auto dataset = tiny_dataset();
+  MpiRical model = MpiRical::create(dataset, tiny_model_config());
+  const auto logs = model.train(dataset);
+  ASSERT_EQ(logs.size(), 2u);
+  EXPECT_LT(logs.back().train_loss, logs.front().train_loss);
+  EXPECT_GT(logs.front().train_loss, 0.0);
+}
+
+TEST(MpiRical, TranslateProducesTokens) {
+  const auto dataset = tiny_dataset();
+  MpiRical model = MpiRical::create(dataset, tiny_model_config());
+  model.train(dataset);
+  const auto& ex = dataset.test.empty() ? dataset.train.front()
+                                        : dataset.test.front();
+  const std::string predicted = model.translate(ex.input_code, ex.input_xsbt);
+  EXPECT_FALSE(predicted.empty());
+}
+
+TEST(MpiRical, SerializeRoundTripPreservesPredictions) {
+  const auto dataset = tiny_dataset();
+  MpiRical model = MpiRical::create(dataset, tiny_model_config());
+  model.train(dataset);
+  const std::string blob = model.serialize();
+  const MpiRical loaded = MpiRical::deserialize(blob);
+  const auto& ex = dataset.train.front();
+  EXPECT_EQ(model.translate(ex.input_code, ex.input_xsbt),
+            loaded.translate(ex.input_code, ex.input_xsbt));
+  EXPECT_EQ(loaded.vocab().size(), model.vocab().size());
+}
+
+TEST(MpiRical, SuggestRejectsUnparseableInput) {
+  const auto dataset = tiny_dataset();
+  const MpiRical model = MpiRical::create(dataset, tiny_model_config());
+  EXPECT_THROW(model.suggest("int main( {"), Error);
+}
+
+TEST(MpiRical, EvaluateSummaryAggregates) {
+  const auto dataset = tiny_dataset();
+  MpiRical model = MpiRical::create(dataset, tiny_model_config());
+  model.train(dataset);
+  std::vector<corpus::Example> subset(
+      dataset.test.begin(),
+      dataset.test.begin() +
+          static_cast<std::ptrdiff_t>(std::min<std::size_t>(
+              4, dataset.test.size())));
+  ASSERT_FALSE(subset.empty());
+  std::vector<ExamplePrediction> predictions;
+  const EvalSummary s = evaluate_model(model, subset, 1, 1, &predictions);
+  EXPECT_EQ(s.examples, subset.size());
+  EXPECT_EQ(predictions.size(), subset.size());
+  EXPECT_GE(s.bleu, 0.0);
+  EXPECT_LE(s.bleu, 1.0);
+  EXPECT_GE(s.rouge_l, 0.0);
+  EXPECT_LE(s.rouge_l, 1.0);
+}
+
+TEST(Tagger, LabelSpaceBuiltFromTraining) {
+  const auto dataset = tiny_dataset();
+  TaggerConfig cfg;
+  cfg.epochs = 1;
+  cfg.d_model = 32;
+  cfg.heads = 2;
+  cfg.ffn_dim = 64;
+  cfg.encoder_layers = 1;
+  cfg.max_src_tokens = 208;
+  const Tagger tagger = Tagger::create(dataset, cfg);
+  EXPECT_GT(tagger.label_count(), 2u);  // none + several compounds
+}
+
+TEST(Tagger, TrainingImprovesSlotAccuracy) {
+  const auto dataset = tiny_dataset();
+  TaggerConfig cfg;
+  cfg.epochs = 6;
+  cfg.d_model = 32;
+  cfg.heads = 2;
+  cfg.ffn_dim = 64;
+  cfg.encoder_layers = 1;
+  cfg.max_src_tokens = 208;
+  cfg.warmup_steps = 20;  // the tiny dataset only has a few steps per epoch
+  cfg.lr = 2e-3f;
+  Tagger tagger = Tagger::create(dataset, cfg);
+  const auto logs = tagger.train(dataset);
+  ASSERT_EQ(logs.size(), 6u);
+  EXPECT_LT(logs.back().train_loss, logs.front().train_loss);
+  // Most slots are "none", so a trained tagger must beat the degenerate
+  // all-wrong regime by a wide margin.
+  EXPECT_GT(logs.back().val_slot_accuracy, 0.5);
+}
+
+TEST(Tagger, PredictReturnsOrderedCallSites) {
+  const auto dataset = tiny_dataset();
+  TaggerConfig cfg;
+  cfg.epochs = 2;
+  cfg.d_model = 32;
+  cfg.heads = 2;
+  cfg.ffn_dim = 64;
+  cfg.encoder_layers = 1;
+  cfg.max_src_tokens = 208;
+  Tagger tagger = Tagger::create(dataset, cfg);
+  tagger.train(dataset);
+  const auto& ex = dataset.train.front();
+  const auto calls = tagger.predict(ex.input_code);
+  for (std::size_t i = 1; i < calls.size(); ++i) {
+    EXPECT_LE(calls[i - 1].line, calls[i].line);
+  }
+}
+
+}  // namespace
+}  // namespace mpirical::core

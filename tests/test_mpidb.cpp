@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mpidb/catalog.hpp"
+
+namespace mpirical::mpidb {
+namespace {
+
+TEST(Catalog, SizeIsSubstantial) {
+  // The MPI standard defines 430+ routines; the catalog covers the broad
+  // families (the classification label space of the paper).
+  EXPECT_GE(catalog_size(), 200u);
+}
+
+TEST(Catalog, NoDuplicateNames) {
+  std::set<std::string> names;
+  for (const auto& r : all_routines()) {
+    EXPECT_TRUE(names.insert(r.name).second) << r.name;
+  }
+}
+
+TEST(Catalog, AllNamesHaveMpiPrefix) {
+  for (const auto& r : all_routines()) {
+    EXPECT_TRUE(has_mpi_prefix(r.name)) << r.name;
+  }
+}
+
+TEST(Catalog, FindRoutineKnown) {
+  const auto send = find_routine("MPI_Send");
+  ASSERT_TRUE(send.has_value());
+  EXPECT_EQ(send->arity, 6);
+  EXPECT_EQ(send->category, Category::kPointToPoint);
+}
+
+TEST(Catalog, FindRoutineUnknown) {
+  EXPECT_FALSE(find_routine("MPI_Frobnicate").has_value());
+  EXPECT_FALSE(is_known_routine("printf"));
+}
+
+TEST(Catalog, AritiesOfCoreRoutines) {
+  EXPECT_EQ(find_routine("MPI_Init")->arity, 2);
+  EXPECT_EQ(find_routine("MPI_Finalize")->arity, 0);
+  EXPECT_EQ(find_routine("MPI_Comm_rank")->arity, 2);
+  EXPECT_EQ(find_routine("MPI_Recv")->arity, 7);
+  EXPECT_EQ(find_routine("MPI_Reduce")->arity, 7);
+  EXPECT_EQ(find_routine("MPI_Bcast")->arity, 5);
+  EXPECT_EQ(find_routine("MPI_Sendrecv")->arity, 12);
+  EXPECT_EQ(find_routine("MPI_Allreduce")->arity, 6);
+}
+
+TEST(Catalog, CommonCoreIsTableIb) {
+  const auto& core = common_core();
+  ASSERT_EQ(core.size(), 8u);
+  for (const char* name :
+       {"MPI_Init", "MPI_Finalize", "MPI_Comm_rank", "MPI_Comm_size",
+        "MPI_Send", "MPI_Recv", "MPI_Reduce", "MPI_Bcast"}) {
+    EXPECT_TRUE(is_common_core(name)) << name;
+  }
+  EXPECT_FALSE(is_common_core("MPI_Barrier"));
+  EXPECT_FALSE(is_common_core("MPI_Allreduce"));
+}
+
+TEST(Catalog, CommonCoreRoutinesAreCatalogued) {
+  for (const auto& name : common_core()) {
+    EXPECT_TRUE(is_known_routine(name)) << name;
+  }
+}
+
+TEST(Catalog, CategoryNames) {
+  EXPECT_STREQ(category_name(Category::kCollective), "collective");
+  EXPECT_STREQ(category_name(Category::kPointToPoint), "point_to_point");
+}
+
+TEST(Catalog, HasBroadCategoryCoverage) {
+  std::set<Category> seen;
+  for (const auto& r : all_routines()) seen.insert(r.category);
+  EXPECT_GE(seen.size(), 10u);
+}
+
+}  // namespace
+}  // namespace mpirical::mpidb

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "mpisim/runner.hpp"
+#include "support/strings.hpp"
+
+namespace mpirical::mpisim {
+namespace {
+
+RunResult run(const std::string& src, int ranks = 4) {
+  RunOptions opts;
+  opts.num_ranks = ranks;
+  return run_mpi_source(src, opts);
+}
+
+const char* kPrologue = R"(#include <stdio.h>
+#include <mpi.h>
+
+int main(int argc, char **argv) {
+    int rank;
+    int size;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+)";
+
+std::string wrap(const std::string& body) {
+  return std::string(kPrologue) + body +
+         "    MPI_Finalize();\n    return 0;\n}\n";
+}
+
+TEST(MpiSim, RankAndSize) {
+  const auto result = run(wrap("    printf(\"r%d/%d\\n\", rank, size);\n"), 3);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[0], "r0/3\n");
+  EXPECT_EQ(result.rank_output[2], "r2/3\n");
+}
+
+TEST(MpiSim, SendRecvPair) {
+  const auto result = run(wrap(R"(    int value = 0;
+    MPI_Status status;
+    if (rank == 0) {
+        value = 99;
+        MPI_Send(&value, 1, MPI_INT, 1, 5, MPI_COMM_WORLD);
+    } else if (rank == 1) {
+        MPI_Recv(&value, 1, MPI_INT, 0, 5, MPI_COMM_WORLD, &status);
+        printf("got %d from %d tag %d\n", value, status.MPI_SOURCE, status.MPI_TAG);
+    }
+)"), 2);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[1], "got 99 from 0 tag 5\n");
+}
+
+TEST(MpiSim, AnySourceRecv) {
+  const auto result = run(wrap(R"(    int value = rank * 10;
+    MPI_Status status;
+    if (rank != 0) {
+        MPI_Send(&value, 1, MPI_INT, 0, 1, MPI_COMM_WORLD);
+    } else {
+        int total = 0;
+        int i;
+        for (i = 1; i < size; i++) {
+            MPI_Recv(&value, 1, MPI_INT, MPI_ANY_SOURCE, 1, MPI_COMM_WORLD, &status);
+            total += value;
+        }
+        printf("total %d\n", total);
+    }
+)"), 4);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[0], "total 60\n");
+}
+
+TEST(MpiSim, TagMatchingHoldsBackWrongTag) {
+  const auto result = run(wrap(R"(    int a = 1;
+    int b = 2;
+    MPI_Status status;
+    if (rank == 0) {
+        MPI_Send(&a, 1, MPI_INT, 1, 10, MPI_COMM_WORLD);
+        MPI_Send(&b, 1, MPI_INT, 1, 20, MPI_COMM_WORLD);
+    } else if (rank == 1) {
+        int x;
+        MPI_Recv(&x, 1, MPI_INT, 0, 20, MPI_COMM_WORLD, &status);
+        printf("first %d\n", x);
+        MPI_Recv(&x, 1, MPI_INT, 0, 10, MPI_COMM_WORLD, &status);
+        printf("second %d\n", x);
+    }
+)"), 2);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[1], "first 2\nsecond 1\n");
+}
+
+TEST(MpiSim, StatusIgnoreAccepted) {
+  const auto result = run(wrap(R"(    int v = rank;
+    if (rank == 0) {
+        MPI_Send(&v, 1, MPI_INT, 1, 0, MPI_COMM_WORLD);
+    } else if (rank == 1) {
+        MPI_Recv(&v, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        printf("%d\n", v);
+    }
+)"), 2);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[1], "0\n");
+}
+
+TEST(MpiSim, BcastFromRoot) {
+  const auto result = run(wrap(R"(    double data[4];
+    int i;
+    if (rank == 0) {
+        for (i = 0; i < 4; i++) {
+            data[i] = (double)(i + 1);
+        }
+    }
+    MPI_Bcast(data, 4, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+    printf("rank %d sum %.0f\n", rank, data[0] + data[1] + data[2] + data[3]);
+)"), 3);
+  ASSERT_TRUE(result.ok) << result.error;
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(contains(result.rank_output[static_cast<std::size_t>(r)],
+                         "sum 10"));
+  }
+}
+
+TEST(MpiSim, ReduceOps) {
+  const auto result = run(wrap(R"(    double mine = (double)(rank + 1);
+    double s;
+    double p;
+    double mn;
+    double mx;
+    MPI_Reduce(&mine, &s, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    MPI_Reduce(&mine, &p, 1, MPI_DOUBLE, MPI_PROD, 0, MPI_COMM_WORLD);
+    MPI_Reduce(&mine, &mn, 1, MPI_DOUBLE, MPI_MIN, 0, MPI_COMM_WORLD);
+    MPI_Reduce(&mine, &mx, 1, MPI_DOUBLE, MPI_MAX, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("%.0f %.0f %.0f %.0f\n", s, p, mn, mx);
+    }
+)"), 4);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[0], "10 24 1 4\n");
+}
+
+TEST(MpiSim, ReduceVectorElementwise) {
+  const auto result = run(wrap(R"(    int mine[3];
+    int out[3];
+    int i;
+    for (i = 0; i < 3; i++) {
+        mine[i] = rank + i;
+    }
+    MPI_Reduce(mine, out, 3, MPI_INT, MPI_SUM, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("%d %d %d\n", out[0], out[1], out[2]);
+    }
+)"), 4);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[0], "6 10 14\n");  // sum(rank)+4*i
+}
+
+TEST(MpiSim, AllreduceVisibleEverywhere) {
+  const auto result = run(wrap(R"(    int one = 1;
+    int total;
+    MPI_Allreduce(&one, &total, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+    printf("%d\n", total);
+)"), 5);
+  ASSERT_TRUE(result.ok) << result.error;
+  for (const auto& out : result.rank_output) EXPECT_EQ(out, "5\n");
+}
+
+TEST(MpiSim, GatherConcatenatesByRank) {
+  const auto result = run(wrap(R"(    int mine = rank * rank;
+    int all[8];
+    MPI_Gather(&mine, 1, MPI_INT, all, 1, MPI_INT, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("%d %d %d %d\n", all[0], all[1], all[2], all[3]);
+    }
+)"), 4);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[0], "0 1 4 9\n");
+}
+
+TEST(MpiSim, ScatterDistributesChunks) {
+  const auto result = run(wrap(R"(    int full[8];
+    int mine[2];
+    int i;
+    if (rank == 0) {
+        for (i = 0; i < 8; i++) {
+            full[i] = i * 3;
+        }
+    }
+    MPI_Scatter(full, 2, MPI_INT, mine, 2, MPI_INT, 0, MPI_COMM_WORLD);
+    printf("rank %d got %d %d\n", rank, mine[0], mine[1]);
+)"), 4);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[2], "rank 2 got 12 15\n");
+}
+
+TEST(MpiSim, AllgatherEverywhere) {
+  const auto result = run(wrap(R"(    int mine = rank + 1;
+    int all[4];
+    MPI_Allgather(&mine, 1, MPI_INT, all, 1, MPI_INT, MPI_COMM_WORLD);
+    printf("%d%d%d%d\n", all[0], all[1], all[2], all[3]);
+)"), 4);
+  ASSERT_TRUE(result.ok) << result.error;
+  for (const auto& out : result.rank_output) EXPECT_EQ(out, "1234\n");
+}
+
+TEST(MpiSim, ScanAndExscan) {
+  const auto result = run(wrap(R"(    int mine = rank + 1;
+    int inc;
+    int exc = 0;
+    MPI_Scan(&mine, &inc, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+    MPI_Exscan(&mine, &exc, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+    printf("rank %d inc %d exc %d\n", rank, inc, exc);
+)"), 4);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[3], "rank 3 inc 10 exc 6\n");
+  EXPECT_EQ(result.rank_output[0], "rank 0 inc 1 exc 0\n");
+}
+
+TEST(MpiSim, SendrecvExchanges) {
+  const auto result = run(wrap(R"(    int mine = rank;
+    int theirs = -1;
+    int partner = rank == 0 ? 1 : 0;
+    MPI_Status status;
+    MPI_Sendrecv(&mine, 1, MPI_INT, partner, 0, &theirs, 1, MPI_INT, partner, 0, MPI_COMM_WORLD, &status);
+    printf("rank %d theirs %d\n", rank, theirs);
+)"), 2);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[0], "rank 0 theirs 1\n");
+  EXPECT_EQ(result.rank_output[1], "rank 1 theirs 0\n");
+}
+
+TEST(MpiSim, BarrierOrdersPhases) {
+  // Without the barrier, "late" could print before rank 0's send completes;
+  // the barrier at least must not deadlock and all ranks proceed past it.
+  const auto result = run(wrap(R"(    MPI_Barrier(MPI_COMM_WORLD);
+    printf("past %d\n", rank);
+)"), 6);
+  ASSERT_TRUE(result.ok) << result.error;
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_TRUE(contains(result.rank_output[static_cast<std::size_t>(r)],
+                         "past"));
+  }
+}
+
+TEST(MpiSim, ConsecutiveCollectivesKeepGenerations) {
+  const auto result = run(wrap(R"(    int i;
+    int total;
+    int mine = 1;
+    int grand = 0;
+    for (i = 0; i < 20; i++) {
+        MPI_Allreduce(&mine, &total, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+        grand += total;
+    }
+    if (rank == 0) {
+        printf("%d\n", grand);
+    }
+)"), 4);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[0], "80\n");
+}
+
+TEST(MpiSim, WtimeMonotonic) {
+  const auto result = run(wrap(R"(    double t0 = MPI_Wtime();
+    double t1 = MPI_Wtime();
+    if (t1 >= t0) {
+        printf("ok\n");
+    }
+)"), 2);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[0], "ok\n");
+}
+
+TEST(MpiSim, GetProcessorName) {
+  const auto result = run(wrap(R"(    char node_name[64];
+    int name_len;
+    MPI_Get_processor_name(node_name, &name_len);
+    printf("%s %d\n", node_name, name_len);
+)"), 2);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[1], "simnode1 8\n");
+}
+
+TEST(MpiSim, AbortUnblocksPeers) {
+  const auto result = run(wrap(R"(    int v;
+    MPI_Status status;
+    if (rank == 0) {
+        MPI_Abort(MPI_COMM_WORLD, 3);
+    } else {
+        MPI_Recv(&v, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, &status);
+    }
+)"), 3);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(contains(result.error, "Abort") ||
+              contains(result.error, "abort"));
+}
+
+TEST(MpiSim, UnimplementedRoutineReportsName) {
+  const auto result = run(wrap("    MPI_Alltoallw(0, 0, 0, 0, 0, 0, 0, 0, 0);\n"), 2);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(contains(result.error, "MPI_Alltoallw"));
+}
+
+TEST(MpiSim, ParseErrorSurfaces) {
+  const auto result = run("int main( {", 2);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(contains(result.error, "parse error"));
+}
+
+TEST(MpiSim, RingProgramCompletes) {
+  const auto result = run(wrap(R"(    int token;
+    int next = (rank + 1) % size;
+    int prev = (rank + size - 1) % size;
+    MPI_Status status;
+    if (rank == 0) {
+        token = 100;
+        MPI_Send(&token, 1, MPI_INT, next, 0, MPI_COMM_WORLD);
+        MPI_Recv(&token, 1, MPI_INT, prev, 0, MPI_COMM_WORLD, &status);
+        printf("token %d\n", token);
+    } else {
+        MPI_Recv(&token, 1, MPI_INT, prev, 0, MPI_COMM_WORLD, &status);
+        token += rank;
+        MPI_Send(&token, 1, MPI_INT, next, 0, MPI_COMM_WORLD);
+    }
+)"), 5);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[0], "token 110\n");  // 100 + 1+2+3+4
+}
+
+TEST(MpiSim, SingleRankWorldDegenerates) {
+  const auto result = run(wrap(R"(    int one = 1;
+    int total;
+    MPI_Allreduce(&one, &total, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+    printf("%d\n", total);
+)"), 1);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.rank_output[0], "1\n");
+}
+
+}  // namespace
+}  // namespace mpirical::mpisim

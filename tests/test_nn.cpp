@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.hpp"
+#include "nn/infer.hpp"
+#include "nn/transformer.hpp"
+#include "support/rng.hpp"
+#include "toklib/vocab.hpp"
+
+namespace mpirical::nn {
+namespace {
+
+TransformerConfig tiny_config() {
+  TransformerConfig cfg;
+  cfg.vocab_size = 23;
+  cfg.d_model = 16;
+  cfg.heads = 2;
+  cfg.ffn_dim = 32;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 2;
+  cfg.max_len = 32;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+TEST(Transformer, EncodeShape) {
+  Rng rng(1);
+  Transformer model(tiny_config(), rng);
+  const std::vector<int> src = {4, 5, 6, 0, 7, 8, 9, 10};  // batch 2, len 4
+  const std::vector<int> lens = {3, 4};
+  Rng drop(0);
+  auto enc = model.encode(src, 2, 4, lens, false, drop);
+  EXPECT_EQ(enc.shape(), (std::vector<int>{8, 16}));
+}
+
+TEST(Transformer, DecodeShapeIsVocabLogits) {
+  Rng rng(2);
+  Transformer model(tiny_config(), rng);
+  const std::vector<int> src = {4, 5, 6, 7};
+  const std::vector<int> src_lens = {4};
+  Rng drop(0);
+  auto enc = model.encode(src, 1, 4, src_lens, false, drop);
+  const std::vector<int> tgt = {1, 4, 5};
+  const std::vector<int> tgt_lens = {3};
+  auto logits = model.decode(enc, tgt, 1, 3, tgt_lens, 4, src_lens, false,
+                             drop);
+  EXPECT_EQ(logits.shape(), (std::vector<int>{3, 23}));
+}
+
+TEST(Transformer, ParameterCountMatchesArchitecture) {
+  Rng rng(3);
+  TransformerConfig cfg = tiny_config();
+  Transformer model(cfg, rng);
+  // embed V*d + per enc layer (2 LN + 4 linear d*d+d + 2 ffn) + dec layers
+  // + 2 final LN + out proj.
+  const std::size_t d = 16, v = 23, f = 32;
+  const std::size_t lin = d * d + d;
+  const std::size_t ffn = d * f + f + f * d + d;
+  const std::size_t ln = 2 * d;
+  const std::size_t enc_layer = 2 * ln + 4 * lin + ffn;
+  const std::size_t dec_layer = 3 * ln + 8 * lin + ffn;
+  const std::size_t expected = v * d + 2 * enc_layer + 2 * dec_layer +
+                               2 * ln + (d * v + v);
+  EXPECT_EQ(model.parameter_count(), expected);
+}
+
+TEST(Transformer, DeterministicForward) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  Transformer a(tiny_config(), rng_a);
+  Transformer b(tiny_config(), rng_b);
+  const std::vector<int> src = {4, 9, 2, 1};
+  const std::vector<int> lens = {4};
+  Rng d1(0), d2(0);
+  auto ea = a.encode(src, 1, 4, lens, false, d1);
+  auto eb = b.encode(src, 1, 4, lens, false, d2);
+  EXPECT_EQ(ea.value(), eb.value());
+}
+
+TEST(Transformer, PaddingInvariance) {
+  // Extra PAD columns beyond src_lens must not change valid positions'
+  // encoder output.
+  Rng rng(11);
+  Transformer model(tiny_config(), rng);
+  Rng drop(0);
+  const std::vector<int> lens = {3};
+  auto enc_short = model.encode({4, 5, 6}, 1, 3, lens, false, drop);
+  auto enc_padded = model.encode({4, 5, 6, 0, 0}, 1, 5, lens, false, drop);
+  for (int i = 0; i < 3 * 16; ++i) {
+    EXPECT_NEAR(enc_short.value()[i], enc_padded.value()[i], 1e-5);
+  }
+}
+
+TEST(Transformer, SerializeRoundTripPreservesForward) {
+  Rng rng(5);
+  Transformer model(tiny_config(), rng);
+  const std::string blob = model.serialize();
+  Transformer loaded = Transformer::deserialize(blob);
+  const std::vector<int> src = {4, 17, 3, 9};
+  const std::vector<int> lens = {4};
+  Rng d1(0), d2(0);
+  auto a = model.encode(src, 1, 4, lens, false, d1);
+  auto b = loaded.encode(src, 1, 4, lens, false, d2);
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(loaded.config().d_model, 16);
+}
+
+TEST(Transformer, DeserializeRejectsGarbage) {
+  EXPECT_THROW(Transformer::deserialize("not a checkpoint"), Error);
+}
+
+TEST(Adam, ConvergesOnLinearRegression) {
+  // Fit y = x @ w_true with a single linear layer.
+  Rng rng(6);
+  tensor::Tensor w = tensor::Tensor::randn({4, 1}, rng, 0.1f, true);
+  tensor::Tensor x = tensor::Tensor::randn({16, 4}, rng, 1.0f);
+  tensor::Tensor w_true = tensor::Tensor::from_data({4, 1}, {1, -2, 3, 0.5});
+  tensor::Tensor y = tensor::matmul(x, w_true);
+
+  AdamConfig cfg;
+  cfg.lr = 0.05f;
+  cfg.warmup_steps = 0;
+  Adam opt({w}, cfg);
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    tensor::Tensor diff = tensor::sub(tensor::matmul(x, w), y);
+    tensor::Tensor sq = tensor::mul(diff, diff);
+    tensor::Tensor ones = tensor::Tensor::full({1, 16}, 1.0f / 16.0f);
+    tensor::Tensor loss = tensor::matmul(ones, sq);
+    if (step == 0) first_loss = loss.item();
+    last_loss = loss.item();
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01);
+  EXPECT_NEAR(w.value()[0], 1.0f, 0.1f);
+  EXPECT_NEAR(w.value()[1], -2.0f, 0.1f);
+}
+
+TEST(Adam, WarmupScheduleShape) {
+  Rng rng(7);
+  tensor::Tensor w = tensor::Tensor::randn({2, 2}, rng, 0.1f, true);
+  AdamConfig cfg;
+  cfg.lr = 1.0f;
+  cfg.warmup_steps = 10;
+  Adam opt({w}, cfg);
+  EXPECT_LT(opt.current_lr(), 0.2f);  // early: ramping up
+  for (int i = 0; i < 10; ++i) {
+    w.grad()[0] = 1.0f;
+    opt.step();
+  }
+  EXPECT_NEAR(opt.current_lr(), 1.0f, 0.05f);  // peak at warmup end
+  for (int i = 0; i < 30; ++i) {
+    w.grad()[0] = 1.0f;
+    opt.step();
+  }
+  EXPECT_LT(opt.current_lr(), 0.6f);  // decaying afterwards
+}
+
+TEST(Adam, GradClippingBoundsUpdate) {
+  tensor::Tensor w = tensor::Tensor::zeros({1, 1}, true);
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.warmup_steps = 0;
+  cfg.grad_clip = 1.0f;
+  Adam opt({w}, cfg);
+  w.grad()[0] = 1e6f;  // exploding gradient
+  opt.step();
+  EXPECT_LT(std::fabs(w.value()[0]), 0.2f);
+}
+
+TEST(Adam, RequiresGradParams) {
+  tensor::Tensor w = tensor::Tensor::zeros({1, 1}, false);
+  EXPECT_THROW(Adam({w}, AdamConfig{}), Error);
+}
+
+// The decisive KV-cache test: incremental decoding must reproduce the
+// batched decoder's teacher-forced logits step by step.
+TEST(IncrementalDecoder, MatchesBatchedDecoder) {
+  Rng rng(8);
+  Transformer model(tiny_config(), rng);
+  const std::vector<int> src = {4, 9, 13, 2, 6};
+  const std::vector<int> src_lens = {5};
+  const std::vector<int> tgt_in = {tok::kSos, 7, 11, 3, 15};
+  const std::vector<int> tgt_lens = {5};
+
+  Rng drop(0);
+  auto enc = model.encode(src, 1, 5, src_lens, false, drop);
+  auto logits = model.decode(enc, tgt_in, 1, 5, tgt_lens, 5, src_lens, false,
+                             drop);
+
+  IncrementalDecoder dec(model, src);
+  for (int t = 0; t < 5; ++t) {
+    const auto& step_logits = dec.step(tgt_in[static_cast<std::size_t>(t)]);
+    for (int v = 0; v < 23; ++v) {
+      EXPECT_NEAR(step_logits[static_cast<std::size_t>(v)],
+                  logits.value()[static_cast<std::size_t>(t) * 23 + v], 1e-3)
+          << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(IncrementalDecoder, PositionAdvances) {
+  Rng rng(9);
+  Transformer model(tiny_config(), rng);
+  IncrementalDecoder dec(model, {4, 5});
+  EXPECT_EQ(dec.position(), 0);
+  dec.step(1);
+  dec.step(2);
+  EXPECT_EQ(dec.position(), 2);
+}
+
+TEST(GreedyDecode, StopsAtMaxLen) {
+  Rng rng(10);
+  Transformer model(tiny_config(), rng);
+  const auto out = greedy_decode(model, {4, 5, 6}, tok::kSos, tok::kEos, 7);
+  EXPECT_LE(out.size(), 7u);
+}
+
+TEST(BeamDecode, WidthOneEqualsGreedy) {
+  Rng rng(11);
+  Transformer model(tiny_config(), rng);
+  const auto greedy = greedy_decode(model, {4, 5, 6}, tok::kSos, tok::kEos, 9);
+  const auto beam = beam_decode(model, {4, 5, 6}, tok::kSos, tok::kEos, 9, 1);
+  EXPECT_EQ(greedy, beam);
+}
+
+TEST(BeamDecode, RunsWithWiderBeam) {
+  Rng rng(12);
+  Transformer model(tiny_config(), rng);
+  const auto beam = beam_decode(model, {4, 5, 6}, tok::kSos, tok::kEos, 6, 3);
+  EXPECT_LE(beam.size(), 6u);
+}
+
+TEST(Transformer, PositionalRowsDiffer) {
+  Rng rng(13);
+  Transformer model(tiny_config(), rng);
+  const auto& p0 = model.positional_row(0);
+  const auto& p5 = model.positional_row(5);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    diff += std::fabs(p0[i] - p5[i]);
+  }
+  EXPECT_GT(diff, 0.5);
+  EXPECT_THROW(model.positional_row(10000), Error);
+}
+
+}  // namespace
+}  // namespace mpirical::nn

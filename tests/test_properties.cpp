@@ -1,0 +1,254 @@
+// Cross-module property suites: invariants that must hold over the whole
+// generator distribution, not just hand-picked cases. These tie together
+// corpus generation, parsing, standardization, removal, alignment, the
+// interpreter and the simulated MPI runtime.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchsuite/benchsuite.hpp"
+#include "cast/printer.hpp"
+#include "cinterp/interp.hpp"
+#include "corpus/dataset.hpp"
+#include "corpus/generator.hpp"
+#include "corpus/removal.hpp"
+#include "cparse/parser.hpp"
+#include "metrics/metrics.hpp"
+#include "mpisim/runner.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "toklib/vocab.hpp"
+#include "xsbt/xsbt.hpp"
+
+namespace mpirical {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pipeline invariants over random programs.
+// ---------------------------------------------------------------------------
+
+class PipelineProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam()) * 104729 + 3};
+};
+
+TEST_P(PipelineProperty, InputTokensAreSubsequenceOfLabelTokens) {
+  // Removal only deletes; therefore the stripped token stream must embed
+  // into the label token stream in order. This is the property the tagger's
+  // LCS alignment relies on.
+  for (int i = 0; i < 8; ++i) {
+    corpus::Example ex;
+    const auto prog = corpus::generate_random_program(rng_);
+    if (!corpus::make_example(prog.source, 320, ex)) continue;
+    const auto input = tok::code_to_tokens(ex.input_code);
+    const auto label = tok::code_to_tokens(ex.label_code);
+    std::size_t j = 0;
+    for (const auto& t : input) {
+      while (j < label.size() && label[j] != t) ++j;
+      ASSERT_LT(j, label.size())
+          << "input token '" << t << "' not embeddable ("
+          << corpus::family_name(prog.family) << ")";
+      ++j;
+    }
+  }
+}
+
+TEST_P(PipelineProperty, RemovedCallCountMatchesTokenDelta) {
+  // Every removed call removes at least its name token; the label stream is
+  // strictly longer whenever ground truth is non-empty.
+  for (int i = 0; i < 8; ++i) {
+    corpus::Example ex;
+    const auto prog = corpus::generate_random_program(rng_);
+    if (!corpus::make_example(prog.source, 320, ex)) continue;
+    const auto input = tok::code_to_tokens(ex.input_code);
+    const auto label = tok::code_to_tokens(ex.label_code);
+    if (ex.ground_truth.empty()) {
+      EXPECT_EQ(input.size(), label.size());
+    } else {
+      EXPECT_GT(label.size(), input.size());
+      // Each call contributes name + parens at minimum.
+      EXPECT_GE(label.size() - input.size(), ex.ground_truth.size() * 3);
+    }
+  }
+}
+
+TEST_P(PipelineProperty, GroundTruthSortedByLine) {
+  for (int i = 0; i < 8; ++i) {
+    corpus::Example ex;
+    const auto prog = corpus::generate_random_program(rng_);
+    if (!corpus::make_example(prog.source, 320, ex)) continue;
+    for (std::size_t c = 1; c < ex.ground_truth.size(); ++c) {
+      EXPECT_LE(ex.ground_truth[c - 1].line, ex.ground_truth[c].line);
+    }
+  }
+}
+
+TEST_P(PipelineProperty, XsbtStableUnderReparse) {
+  for (int i = 0; i < 6; ++i) {
+    const auto prog = corpus::generate_random_program(rng_);
+    const auto tree = parse::parse_translation_unit(prog.source);
+    const std::string code = ast::print_code(*tree);
+    const auto reparsed = parse::parse_translation_unit(code);
+    EXPECT_EQ(xsbt::xsbt_string(*tree), xsbt::xsbt_string(*reparsed));
+  }
+}
+
+TEST_P(PipelineProperty, PerfectPredictionScoresPerfectly) {
+  // Feeding the label itself through call extraction + matching must yield
+  // F1 = 1 -- the oracle of the whole metric pipeline.
+  for (int i = 0; i < 6; ++i) {
+    corpus::Example ex;
+    const auto prog = corpus::generate_random_program(rng_);
+    if (!corpus::make_example(prog.source, 320, ex)) continue;
+    if (ex.ground_truth.empty()) continue;
+    const auto tree = parse::parse_translation_unit(ex.label_code);
+    const auto calls = ast::collect_mpi_calls(*tree);
+    const auto counts = metrics::match_call_sites(calls, ex.ground_truth, 0);
+    EXPECT_EQ(counts.f1(), 1.0) << corpus::family_name(prog.family);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Execution invariants: generated programs actually run and compute the
+// mathematics they claim, at several world sizes.
+// ---------------------------------------------------------------------------
+
+class ExecutionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutionProperty, PiRiemannProgramsComputePi) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  const std::string src =
+      corpus::generate_program(corpus::Family::kPiRiemann, rng);
+  mpisim::RunOptions opts;
+  opts.num_ranks = 2 + GetParam() % 3;  // 2..4 ranks
+  const auto result = mpisim::run_mpi_source(src, opts);
+  ASSERT_TRUE(result.ok) << result.error << "\n" << src;
+  EXPECT_TRUE(contains(result.rank_output[0], "3.14")) << src;
+}
+
+TEST_P(ExecutionProperty, TrapezoidProgramsComputeIntegral) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+  const std::string src =
+      corpus::generate_program(corpus::Family::kTrapezoid, rng);
+  mpisim::RunOptions opts;
+  opts.num_ranks = 4;
+  const auto result = mpisim::run_mpi_source(src, opts);
+  ASSERT_TRUE(result.ok) << result.error << "\n" << src;
+  // integral of x^2 + 1 over [0,4] = 25.333...
+  EXPECT_TRUE(contains(result.merged_output(), "25.33")) << src;
+}
+
+TEST_P(ExecutionProperty, SerialUtilityDeterministic) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 2);
+  const std::string src =
+      corpus::generate_program(corpus::Family::kSerialUtility, rng);
+  const auto tree = parse::parse_translation_unit(src);
+  interp::Interpreter a(*tree, nullptr);
+  interp::Interpreter b(*tree, nullptr);
+  a.run_main();
+  b.run_main();
+  EXPECT_EQ(a.output(), b.output());
+  EXPECT_FALSE(a.output().empty());
+}
+
+TEST_P(ExecutionProperty, GeneratedMpiFamiliesRunCleanly) {
+  // Communication-pattern families must neither deadlock nor fault across
+  // random variants and world sizes.
+  const corpus::Family families[] = {
+      corpus::Family::kRingToken,     corpus::Family::kPingPong,
+      corpus::Family::kMasterWorker,  corpus::Family::kPrefixScan,
+      corpus::Family::kAllreduceNorm, corpus::Family::kHistogram,
+  };
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 23 + 11);
+  for (const auto family : families) {
+    const std::string src = corpus::generate_program(family, rng);
+    mpisim::RunOptions opts;
+    opts.num_ranks = 2 + GetParam() % 4;  // 2..5 ranks
+    const auto result = mpisim::run_mpi_source(src, opts);
+    EXPECT_TRUE(result.ok)
+        << corpus::family_name(family) << ": " << result.error << "\n"
+        << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutionProperty, ::testing::Range(0, 5));
+
+// ---------------------------------------------------------------------------
+// Benchmark suite at different world sizes.
+// ---------------------------------------------------------------------------
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, RankCountInvariantProgramsStillValidate) {
+  const int ranks = GetParam();
+  for (const char* name :
+       {"Array Average", "Vector Dot Product", "Min-Max",
+        "Matrix-Vector Multiplication", "Sum (Reduce & Gather)",
+        "Pi Riemann Sum", "Pi Monte-Carlo", "Factorial",
+        "Trapezoidal Rule (Integration)"}) {
+    benchsuite::BenchmarkProgram prog = benchsuite::program_by_name(name);
+    prog.ranks = ranks;
+    const auto result = benchsuite::validate(prog, prog.source);
+    EXPECT_TRUE(result.valid) << name << " at " << ranks << " ranks: "
+                              << result.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep, ::testing::Values(2, 4, 8));
+
+// ---------------------------------------------------------------------------
+// Metric bounds over random inputs.
+// ---------------------------------------------------------------------------
+
+class MetricBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricBounds, AllSequenceMetricsStayInUnitInterval) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const std::vector<std::string> alphabet = {"a", "b", "c", "(", ")", ";"};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::string> cand;
+    std::vector<std::string> ref;
+    const int cl = static_cast<int>(rng.next_int(1, 12));
+    const int rl = static_cast<int>(rng.next_int(1, 12));
+    for (int i = 0; i < cl; ++i) cand.push_back(rng.pick(alphabet));
+    for (int i = 0; i < rl; ++i) ref.push_back(rng.pick(alphabet));
+    for (const double score :
+         {metrics::bleu(cand, ref), metrics::meteor(cand, ref),
+          metrics::rouge_l(cand, ref)}) {
+      EXPECT_GE(score, 0.0);
+      EXPECT_LE(score, 1.0 + 1e-9);
+    }
+    // Identity dominates any other candidate of the same length.
+    EXPECT_GE(metrics::rouge_l(ref, ref), metrics::rouge_l(cand, ref));
+  }
+}
+
+TEST_P(MetricBounds, MatchingIsSymmetricInCounts) {
+  // Swapping prediction and truth swaps FP and FN but preserves TP.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 1);
+  const std::vector<std::string> functions = {"MPI_Send", "MPI_Recv",
+                                              "MPI_Bcast"};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ast::CallSite> a;
+    std::vector<ast::CallSite> b;
+    for (int i = 0; i < 5; ++i) {
+      a.push_back({rng.pick(functions),
+                   static_cast<int>(rng.next_int(1, 10))});
+      b.push_back({rng.pick(functions),
+                   static_cast<int>(rng.next_int(1, 10))});
+    }
+    const auto ab = metrics::match_call_sites(a, b, 1);
+    const auto ba = metrics::match_call_sites(b, a, 1);
+    EXPECT_EQ(ab.tp + ab.fp, a.size());
+    EXPECT_EQ(ab.tp + ab.fn, b.size());
+    EXPECT_EQ(ba.tp + ba.fp, b.size());
+    EXPECT_EQ(ba.tp + ba.fn, a.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricBounds, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace mpirical

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace mpirical {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    MR_CHECK(false, "context message");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { MR_CHECK(1 + 1 == 2, "never shown"); }
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, PickWeightedRespectsZeroWeight) {
+  Rng rng(9);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.pick_weighted(weights), 1u);
+  }
+}
+
+TEST(Rng, PickWeightedCoversSupport) {
+  Rng rng(17);
+  const std::vector<double> weights = {1.0, 2.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 6000; ++i) {
+    ++counts[rng.pick_weighted(weights)];
+  }
+  EXPECT_GT(counts[0], 500);
+  EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 57) throw Error("boom");
+                   }),
+      Error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  std::atomic<int> total{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    parallel_for(0, 8, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, SmallRangeRunsInline) {
+  std::atomic<int> total{0};
+  ThreadPool pool(2);
+  pool.parallel_for(0, 3, [&](std::size_t) { total++; }, /*grain=*/100);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitLines) {
+  const auto lines = split_lines("one\ntwo\nthree\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "three");
+  EXPECT_EQ(split_lines("no newline").size(), 1u);
+  EXPECT_TRUE(split_lines("").empty());
+}
+
+TEST(Strings, JoinInverseOfSplit) {
+  EXPECT_EQ(join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Strings, Strip) {
+  EXPECT_EQ(strip("  hello \t\n"), "hello");
+  EXPECT_EQ(strip(""), "");
+  EXPECT_EQ(strip("   "), "");
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("MPI_Send", "MPI_"));
+  EXPECT_FALSE(starts_with("MP", "MPI_"));
+  EXPECT_TRUE(ends_with("file.c", ".c"));
+  EXPECT_TRUE(contains("hello world", "lo wo"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("xyz", "q", "r"), "xyz");
+}
+
+TEST(Strings, CountLines) {
+  EXPECT_EQ(count_lines(""), 0);
+  EXPECT_EQ(count_lines("one"), 1);
+  EXPECT_EQ(count_lines("one\n"), 1);
+  EXPECT_EQ(count_lines("one\ntwo"), 2);
+}
+
+TEST(Timer, Monotonic) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace mpirical

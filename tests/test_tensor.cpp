@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mpirical::tensor {
+namespace {
+
+// Numeric gradient check: perturb each input element, compare the finite
+// difference of a scalar loss against the autograd gradient.
+void check_gradients(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+                     std::vector<Tensor> inputs, float eps = 1e-2f,
+                     float tol = 2e-2f) {
+  Tensor loss = fn(inputs);
+  loss.backward();
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    auto& input = inputs[t];
+    const auto analytic = input.grad();
+    for (std::size_t i = 0; i < input.numel(); ++i) {
+      const float original = input.value()[i];
+      input.value()[i] = original + eps;
+      const float up = fn(inputs).item();
+      input.value()[i] = original - eps;
+      const float down = fn(inputs).item();
+      input.value()[i] = original;
+      const float numeric = (up - down) / (2.0f * eps);
+      EXPECT_NEAR(analytic[i], numeric,
+                  tol * std::max(1.0f, std::fabs(numeric)))
+          << "input " << t << " element " << i;
+    }
+  }
+}
+
+Tensor sum_all(const Tensor& x) {
+  // Reduce to scalar via matmul with a ones vector twice.
+  const int m = x.dim(0);
+  const int n = x.dim(1);
+  Tensor ones_right = Tensor::full({n, 1}, 1.0f);
+  Tensor col = matmul(x, ones_right);          // [m,1]
+  Tensor ones_left = Tensor::full({1, m}, 1.0f);
+  return matmul(ones_left, col);               // [1,1]
+}
+
+TEST(Tensor, ZerosAndShape) {
+  Tensor t = Tensor::zeros({3, 4});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.numel(), 12u);
+  for (float v : t.value()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1.0f, 2.0f, 3.0f}), Error);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  EXPECT_THROW(Tensor::zeros({2}).item(), Error);
+  EXPECT_EQ(Tensor::full({1}, 5.0f).item(), 5.0f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({100, 100}, rng, 0.5f);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (float v : t.value()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / t.numel(), 0.0, 0.02);
+  EXPECT_NEAR(sq / t.numel(), 0.25, 0.02);
+}
+
+TEST(Matmul, KnownProduct) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_data({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  const std::vector<float> expected = {58, 64, 139, 154};
+  EXPECT_EQ(c.value(), expected);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor::zeros({2, 3}), Tensor::zeros({2, 3})), Error);
+}
+
+TEST(Matmul, GradientCheck) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({3, 4}, rng, 1.0f, true);
+  Tensor b = Tensor::randn({4, 2}, rng, 1.0f, true);
+  check_gradients(
+      [](const std::vector<Tensor>& in) {
+        return sum_all(matmul(in[0], in[1]));
+      },
+      {a, b});
+}
+
+TEST(Elementwise, AddSubMulValues) {
+  Tensor a = Tensor::from_data({1, 3}, {1, 2, 3});
+  Tensor b = Tensor::from_data({1, 3}, {10, 20, 30});
+  EXPECT_EQ(add(a, b).value(), (std::vector<float>{11, 22, 33}));
+  EXPECT_EQ(sub(b, a).value(), (std::vector<float>{9, 18, 27}));
+  EXPECT_EQ(mul(a, b).value(), (std::vector<float>{10, 40, 90}));
+}
+
+TEST(Elementwise, GradientChecks) {
+  Rng rng(3);
+  for (int which = 0; which < 3; ++which) {
+    Tensor a = Tensor::randn({2, 3}, rng, 1.0f, true);
+    Tensor b = Tensor::randn({2, 3}, rng, 1.0f, true);
+    check_gradients(
+        [which](const std::vector<Tensor>& in) {
+          Tensor r = which == 0   ? add(in[0], in[1])
+                     : which == 1 ? sub(in[0], in[1])
+                                  : mul(in[0], in[1]);
+          return sum_all(r);
+        },
+        {a, b});
+  }
+}
+
+TEST(AddBias, BroadcastAndGradient) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({3, 4}, rng, 1.0f, true);
+  Tensor b = Tensor::randn({4}, rng, 1.0f, true);
+  Tensor y = add_bias(x, b);
+  EXPECT_NEAR(y.value()[5], x.value()[5] + b.value()[1], 1e-6);
+  check_gradients(
+      [](const std::vector<Tensor>& in) {
+        return sum_all(add_bias(in[0], in[1]));
+      },
+      {x, b});
+}
+
+TEST(Scale, ValuesAndGradient) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({2, 2}, rng, 1.0f, true);
+  EXPECT_NEAR(scale(x, 2.5f).value()[3], x.value()[3] * 2.5f, 1e-6);
+  check_gradients(
+      [](const std::vector<Tensor>& in) {
+        return sum_all(scale(in[0], -1.7f));
+      },
+      {x});
+}
+
+TEST(Activations, ReluForwardBackward) {
+  Tensor x = Tensor::from_data({1, 4}, {-2, -0.5, 0.5, 2}, true);
+  Tensor y = relu(x);
+  EXPECT_EQ(y.value(), (std::vector<float>{0, 0, 0.5, 2}));
+  check_gradients(
+      [](const std::vector<Tensor>& in) { return sum_all(relu(in[0])); },
+      {x});
+}
+
+TEST(Activations, GeluShapeAndGradient) {
+  Rng rng(6);
+  Tensor x = Tensor::randn({2, 5}, rng, 1.0f, true);
+  Tensor y = gelu(x);
+  // GELU(0) == 0, GELU(large) ~ identity.
+  Tensor z = gelu(Tensor::from_data({1, 2}, {0.0f, 10.0f}));
+  EXPECT_NEAR(z.value()[0], 0.0f, 1e-6);
+  EXPECT_NEAR(z.value()[1], 10.0f, 1e-3);
+  check_gradients(
+      [](const std::vector<Tensor>& in) { return sum_all(gelu(in[0])); },
+      {x});
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({4, 6}, rng, 2.0f);
+  Tensor p = softmax_rows(x);
+  for (int i = 0; i < 4; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < 6; ++j) sum += p.value()[i * 6 + j];
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(Softmax, StableWithLargeInputs) {
+  Tensor x = Tensor::from_data({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor p = softmax_rows(x);
+  for (float v : p.value()) EXPECT_NEAR(v, 1.0f / 3.0f, 1e-5);
+}
+
+TEST(Softmax, GradientCheck) {
+  Rng rng(8);
+  Tensor x = Tensor::randn({3, 4}, rng, 1.0f, true);
+  Tensor w = Tensor::randn({3, 4}, rng, 1.0f, false);
+  check_gradients(
+      [w](const std::vector<Tensor>& in) {
+        return sum_all(mul(softmax_rows(in[0]), w));
+      },
+      {x});
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(9);
+  Tensor x = Tensor::randn({3, 8}, rng, 3.0f);
+  Tensor gamma = Tensor::full({8}, 1.0f);
+  Tensor beta = Tensor::zeros({8});
+  Tensor y = layer_norm(x, gamma, beta);
+  for (int i = 0; i < 3; ++i) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    for (int j = 0; j < 8; ++j) mean += y.value()[i * 8 + j];
+    mean /= 8.0f;
+    for (int j = 0; j < 8; ++j) {
+      const float d = y.value()[i * 8 + j] - mean;
+      var += d * d;
+    }
+    var /= 8.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(LayerNorm, GradientCheck) {
+  Rng rng(10);
+  Tensor x = Tensor::randn({2, 6}, rng, 1.0f, true);
+  Tensor gamma = Tensor::randn({6}, rng, 0.3f, true);
+  Tensor beta = Tensor::randn({6}, rng, 0.3f, true);
+  Tensor w = Tensor::randn({2, 6}, rng, 1.0f, false);
+  check_gradients(
+      [w](const std::vector<Tensor>& in) {
+        return sum_all(mul(layer_norm(in[0], in[1], in[2]), w));
+      },
+      {x, gamma, beta}, 1e-2f, 5e-2f);
+}
+
+TEST(Embedding, GatherAndScatterGrad) {
+  Tensor table = Tensor::from_data({3, 2}, {1, 2, 3, 4, 5, 6}, true);
+  Tensor rows = embedding({2, 0, 2}, table);
+  EXPECT_EQ(rows.value(), (std::vector<float>{5, 6, 1, 2, 5, 6}));
+  Tensor loss = sum_all(rows);
+  loss.backward();
+  // Row 2 gathered twice -> grad 2; row 0 once; row 1 never.
+  EXPECT_EQ(table.grad(), (std::vector<float>{1, 1, 0, 0, 2, 2}));
+}
+
+TEST(Embedding, OutOfRangeThrows) {
+  Tensor table = Tensor::zeros({3, 2});
+  EXPECT_THROW(embedding({3}, table), Error);
+}
+
+TEST(Transpose, ValuesAndGradient) {
+  Tensor x = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6}, true);
+  Tensor y = transpose(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{3, 2}));
+  EXPECT_EQ(y.value(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+  check_gradients(
+      [](const std::vector<Tensor>& in) {
+        return sum_all(transpose(in[0]));
+      },
+      {x});
+}
+
+TEST(SliceConcat, RoundTrip) {
+  Tensor x = Tensor::from_data({4, 2}, {1, 2, 3, 4, 5, 6, 7, 8}, true);
+  Tensor top = slice_rows(x, 0, 2);
+  Tensor bottom = slice_rows(x, 2, 4);
+  Tensor back = concat_rows({top, bottom});
+  EXPECT_EQ(back.value(), x.value());
+  Tensor loss = sum_all(back);
+  loss.backward();
+  for (float g : x.grad()) EXPECT_EQ(g, 1.0f);
+}
+
+TEST(Dropout, IdentityWhenNotTraining) {
+  Rng rng(11);
+  Tensor x = Tensor::full({2, 2}, 3.0f);
+  Tensor y = dropout(x, 0.5f, rng, /*training=*/false);
+  EXPECT_EQ(y.value(), x.value());
+}
+
+TEST(Dropout, PreservesExpectation) {
+  Rng rng(12);
+  Tensor x = Tensor::full({100, 100}, 1.0f);
+  Tensor y = dropout(x, 0.3f, rng, /*training=*/true);
+  double sum = 0.0;
+  for (float v : y.value()) sum += v;
+  EXPECT_NEAR(sum / y.numel(), 1.0, 0.05);
+}
+
+TEST(CrossEntropy, KnownValue) {
+  // Uniform logits over 4 classes -> loss = log(4).
+  Tensor logits = Tensor::zeros({2, 4}, true);
+  Tensor loss = cross_entropy(logits, {1, 3});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5);
+}
+
+TEST(CrossEntropy, IgnoreIndexSkipsRows) {
+  Tensor logits = Tensor::from_data({2, 2}, {100.0f, 0.0f, 0.0f, 100.0f},
+                                    true);
+  // Second row ignored; first row is perfectly predicted.
+  Tensor loss = cross_entropy(logits, {0, -1}, -1);
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-4);
+}
+
+TEST(CrossEntropy, GradientCheck) {
+  Rng rng(13);
+  Tensor logits = Tensor::randn({3, 5}, rng, 1.0f, true);
+  check_gradients(
+      [](const std::vector<Tensor>& in) {
+        return cross_entropy(in[0], {1, 4, 0});
+      },
+      {logits});
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits =
+      Tensor::from_data({3, 2}, {1.0f, 0.0f, 0.0f, 1.0f, 1.0f, 0.0f});
+  EXPECT_NEAR(accuracy(logits, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(accuracy(logits, {0, 1, -1}, -1), 1.0, 1e-9);
+}
+
+TEST(Attention, OutputShape) {
+  Rng rng(14);
+  const int b = 2, t = 3, d = 8;
+  Tensor q = Tensor::randn({b * t, d}, rng, 1.0f);
+  Tensor k = Tensor::randn({b * t, d}, rng, 1.0f);
+  Tensor v = Tensor::randn({b * t, d}, rng, 1.0f);
+  Tensor o = multi_head_attention(q, k, v, b, 2, false);
+  EXPECT_EQ(o.shape(), (std::vector<int>{b * t, d}));
+}
+
+TEST(Attention, CausalMaskBlocksFuture) {
+  Rng rng(15);
+  const int t = 4, d = 8;
+  Tensor q = Tensor::randn({t, d}, rng, 1.0f);
+  Tensor k = Tensor::randn({t, d}, rng, 1.0f);
+  Tensor v = Tensor::randn({t, d}, rng, 1.0f);
+  Tensor o1 = multi_head_attention(q, k, v, 1, 2, /*causal=*/true);
+  // Perturb the last key/value row; earlier outputs must not change.
+  Tensor k2 = Tensor::from_data({t, d}, k.value());
+  Tensor v2 = Tensor::from_data({t, d}, v.value());
+  for (int j = 0; j < d; ++j) {
+    k2.value()[(t - 1) * d + j] += 5.0f;
+    v2.value()[(t - 1) * d + j] -= 3.0f;
+  }
+  Tensor o2 = multi_head_attention(q, k2, v2, 1, 2, /*causal=*/true);
+  for (int i = 0; i < (t - 1) * d; ++i) {
+    EXPECT_NEAR(o1.value()[i], o2.value()[i], 1e-6) << i;
+  }
+  // The last position must change (sanity that the perturbation matters).
+  bool changed = false;
+  for (int j = 0; j < d; ++j) {
+    if (std::fabs(o1.value()[(t - 1) * d + j] -
+                  o2.value()[(t - 1) * d + j]) > 1e-4) {
+      changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Attention, PaddingMaskBlocksInvalidKeys) {
+  Rng rng(16);
+  const int t = 4, d = 4;
+  Tensor q = Tensor::randn({t, d}, rng, 1.0f);
+  Tensor k = Tensor::randn({t, d}, rng, 1.0f);
+  Tensor v = Tensor::randn({t, d}, rng, 1.0f);
+  const std::vector<int> kv_lens = {2};  // only first two keys valid
+  Tensor o1 = multi_head_attention(q, k, v, 1, 1, false, nullptr, &kv_lens);
+  // Changing keys beyond the valid length must not affect the output.
+  Tensor k2 = Tensor::from_data({t, d}, k.value());
+  for (int j = 0; j < d; ++j) k2.value()[3 * d + j] = 99.0f;
+  Tensor o2 = multi_head_attention(q, k2, v, 1, 1, false, nullptr, &kv_lens);
+  for (std::size_t i = 0; i < o1.numel(); ++i) {
+    EXPECT_NEAR(o1.value()[i], o2.value()[i], 1e-6);
+  }
+}
+
+TEST(Attention, SingleKeyReturnsItsValue) {
+  // With one key, softmax weight is 1 and output equals V regardless of Q.
+  Tensor q = Tensor::from_data({1, 4}, {9, 9, 9, 9});
+  Tensor k = Tensor::from_data({1, 4}, {1, 2, 3, 4});
+  Tensor v = Tensor::from_data({1, 4}, {5, 6, 7, 8});
+  Tensor o = multi_head_attention(q, k, v, 1, 2, false);
+  EXPECT_EQ(o.value(), v.value());
+}
+
+TEST(Attention, GradientCheck) {
+  Rng rng(17);
+  const int t = 3, d = 4;
+  Tensor q = Tensor::randn({t, d}, rng, 0.7f, true);
+  Tensor k = Tensor::randn({t, d}, rng, 0.7f, true);
+  Tensor v = Tensor::randn({t, d}, rng, 0.7f, true);
+  Tensor w = Tensor::randn({t, d}, rng, 1.0f, false);
+  check_gradients(
+      [w](const std::vector<Tensor>& in) {
+        return sum_all(mul(
+            multi_head_attention(in[0], in[1], in[2], 1, 2, true), w));
+      },
+      {q, k, v}, 1e-2f, 5e-2f);
+}
+
+TEST(Backward, AccumulatesAcrossUses) {
+  Tensor x = Tensor::full({1, 2}, 2.0f, true);
+  Tensor y = add(x, x);  // dy/dx = 2
+  Tensor loss = sum_all(y);
+  loss.backward();
+  EXPECT_EQ(x.grad(), (std::vector<float>{2.0f, 2.0f}));
+}
+
+TEST(Backward, RequiresScalarRoot) {
+  Tensor x = Tensor::zeros({2, 2}, true);
+  EXPECT_THROW(add(x, x).backward(), Error);
+}
+
+TEST(Backward, NoGradInputsProduceNoTape) {
+  Tensor a = Tensor::full({1, 2}, 1.0f);
+  Tensor b = Tensor::full({1, 2}, 2.0f);
+  Tensor c = add(a, b);
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(GemvRow, MatchesMatmul) {
+  Rng rng(18);
+  Tensor x = Tensor::randn({1, 5}, rng, 1.0f);
+  Tensor w = Tensor::randn({5, 3}, rng, 1.0f);
+  Tensor b = Tensor::randn({3}, rng, 1.0f);
+  std::vector<float> y(3);
+  gemv_row(x.value().data(), w.value().data(), b.value().data(), y.data(), 5,
+           3);
+  Tensor expected = add_bias(matmul(x, w), b);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(j)], expected.value()[j], 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace mpirical::tensor

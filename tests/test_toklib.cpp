@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "cast/node.hpp"
+#include "cast/printer.hpp"
+#include "corpus/generator.hpp"
+#include "cparse/parser.hpp"
+#include "support/rng.hpp"
+#include "toklib/vocab.hpp"
+
+namespace mpirical::tok {
+namespace {
+
+TEST(Vocab, SpecialsOccupyFixedIds) {
+  Vocab v;
+  EXPECT_EQ(v.text_of(kPad), "[PAD]");
+  EXPECT_EQ(v.text_of(kSos), "[SOS]");
+  EXPECT_EQ(v.text_of(kEos), "[EOS]");
+  EXPECT_EQ(v.text_of(kSep), "[SEP]");
+  EXPECT_EQ(v.text_of(kUnk), "[UNK]");
+  EXPECT_EQ(v.text_of(kNewline), "[NL]");
+  EXPECT_EQ(v.size(), static_cast<std::size_t>(kFirstRegularId));
+}
+
+TEST(Vocab, AddIsIdempotent) {
+  Vocab v;
+  const TokenId a = v.add("foo");
+  const TokenId b = v.add("foo");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), static_cast<std::size_t>(kFirstRegularId) + 1);
+}
+
+TEST(Vocab, UnknownMapsToUnk) {
+  Vocab v;
+  EXPECT_EQ(v.id_of("never_added"), kUnk);
+  EXPECT_FALSE(v.contains("never_added"));
+}
+
+TEST(Vocab, SerializeRoundTrip) {
+  Vocab v;
+  v.add("int");
+  v.add("MPI_Send");
+  v.add("\"a string\"");
+  const Vocab w = Vocab::deserialize(v.serialize());
+  EXPECT_EQ(w.size(), v.size());
+  EXPECT_EQ(w.id_of("MPI_Send"), v.id_of("MPI_Send"));
+  EXPECT_EQ(w.text_of(v.id_of("int")), "int");
+}
+
+TEST(Tokens, CodeToTokensInsertsNewlines) {
+  const auto toks = code_to_tokens("int x;\nint y;\n");
+  const std::vector<std::string> expected = {"int", "x", ";", "[NL]",
+                                             "int", "y", ";"};
+  EXPECT_EQ(toks, expected);
+}
+
+TEST(Tokens, BlankLinesProduceMultipleNewlineTokens) {
+  const auto toks = code_to_tokens("a;\n\nb;");
+  int nl = 0;
+  for (const auto& t : toks) {
+    if (t == "[NL]") ++nl;
+  }
+  EXPECT_EQ(nl, 2);
+}
+
+TEST(Tokens, RoundTripPreservesAstAndLines) {
+  Rng rng(1312);
+  for (int i = 0; i < 20; ++i) {
+    const auto prog = corpus::generate_random_program(rng);
+    const auto tree = parse::parse_translation_unit(prog.source);
+    const std::string standardized = ast::print_code(*tree);
+
+    const auto tokens = code_to_tokens(standardized);
+    const std::string rebuilt = tokens_to_code(tokens);
+
+    const auto a = parse::parse_translation_unit(standardized);
+    const auto b = parse::parse_translation_unit(rebuilt);
+    ASSERT_TRUE(ast::structurally_equal(*a, *b));
+
+    // Line numbers of calls must survive the token round trip -- that is
+    // the location signal the model learns.
+    const auto calls_a = ast::collect_mpi_calls(*a);
+    const auto calls_b = ast::collect_mpi_calls(*b);
+    ASSERT_EQ(calls_a.size(), calls_b.size());
+    for (std::size_t c = 0; c < calls_a.size(); ++c) {
+      EXPECT_EQ(calls_a[c].line, calls_b[c].line);
+    }
+  }
+}
+
+TEST(Tokens, EncodeDecodeRoundTrip) {
+  Vocab v;
+  const std::vector<std::string> tokens = {"int", "x", "=", "1", ";"};
+  for (const auto& t : tokens) v.add(t);
+  const auto ids = encode(v, tokens);
+  const auto back = decode(v, ids);
+  EXPECT_EQ(back, tokens);
+}
+
+TEST(Tokens, DecodeDropsControlTokens) {
+  Vocab v;
+  v.add("x");
+  const std::vector<TokenId> ids = {kSos, v.id_of("x"), kPad, kEos};
+  const auto back = decode(v, ids);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], "x");
+}
+
+TEST(Tokens, BuildVocabCoversAllSequences) {
+  const std::vector<std::vector<std::string>> seqs = {{"a", "b"},
+                                                      {"b", "c", "d"}};
+  const Vocab v = build_vocab(seqs);
+  for (const char* t : {"a", "b", "c", "d"}) {
+    EXPECT_TRUE(v.contains(t)) << t;
+  }
+}
+
+TEST(Tokens, StringLiteralsSurviveRoundTrip) {
+  const std::string code = "int main() {\n    printf(\"x = %d\\n\", x);\n}\n";
+  const auto toks = code_to_tokens(code);
+  const std::string rebuilt = tokens_to_code(toks);
+  EXPECT_NE(rebuilt.find("\"x = %d\\n\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpirical::tok
