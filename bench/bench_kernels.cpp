@@ -1,0 +1,166 @@
+// Kernel-layer microbench: blocked vs naive GEMM/GEMV plus the fused
+// attention op, reporting GFLOP/s. Emits one machine-readable JSON line per
+// case on stdout (human-readable table on stderr), so perf trajectories can
+// be recorded as BENCH_kernels.json across PRs:
+//
+//   ./bench_kernels > BENCH_kernels.json
+//
+// Repetitions are time-targeted: each case runs for at least ~0.3 s and the
+// best (lowest-noise) repetition is reported.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace mpirical;
+using tensor::kernels::Trans;
+
+/// Runs `body` repeatedly for >= 0.3 s (at least 3 reps) and returns the best
+/// seconds-per-call.
+template <typename Body>
+double best_seconds(Body&& body) {
+  double best = 1e30;
+  double total = 0.0;
+  int reps = 0;
+  while (total < 0.3 || reps < 3) {
+    Timer timer;
+    body();
+    const double s = timer.seconds();
+    best = std::min(best, s);
+    total += s;
+    ++reps;
+    if (reps > 10000) break;
+  }
+  return best;
+}
+
+double max_abs_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  double mx = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, static_cast<double>(std::fabs(a[i] - b[i])));
+  }
+  return mx;
+}
+
+void report(const std::string& name, int m, int n, int k, double blocked_s,
+            double naive_s, double diff) {
+  const double flops = 2.0 * m * n * k;
+  const double gf_blocked = flops / blocked_s * 1e-9;
+  const double gf_naive = naive_s > 0.0 ? flops / naive_s * 1e-9 : 0.0;
+  std::printf(
+      "{\"bench\":\"%s\",\"m\":%d,\"n\":%d,\"k\":%d,"
+      "\"gflops_blocked\":%.3f,\"gflops_naive\":%.3f,\"speedup\":%.3f,"
+      "\"max_abs_diff\":%.3g}\n",
+      name.c_str(), m, n, k, gf_blocked, gf_naive,
+      naive_s > 0.0 ? naive_s / blocked_s : 0.0, diff);
+  std::fflush(stdout);
+  std::fprintf(stderr, "%-14s m=%-5d n=%-5d k=%-5d %8.2f GF/s (naive %6.2f, %5.2fx)\n",
+               name.c_str(), m, n, k, gf_blocked, gf_naive,
+               naive_s > 0.0 ? naive_s / blocked_s : 0.0);
+}
+
+void bench_gemm(Trans ta, Trans tb, const char* name, int m, int n, int k,
+                Rng& rng) {
+  const int lda = ta == Trans::N ? k : m;
+  const int ldb = tb == Trans::N ? n : k;
+  const auto a = rng.gaussian_vec(static_cast<std::size_t>(m) * k);
+  const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+  std::vector<float> c_blocked(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> c_naive(static_cast<std::size_t>(m) * n, 0.0f);
+
+  tensor::kernels::gemm_acc(ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                            c_blocked.data(), n);
+  tensor::kernels::naive::gemm_acc(ta, tb, m, n, k, a.data(), lda, b.data(),
+                                   ldb, c_naive.data(), n);
+  const double diff = max_abs_diff(c_blocked, c_naive);
+
+  const double blocked_s = best_seconds([&] {
+    tensor::kernels::gemm_acc(ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                              c_blocked.data(), n);
+  });
+  const double naive_s = best_seconds([&] {
+    tensor::kernels::naive::gemm_acc(ta, tb, m, n, k, a.data(), lda, b.data(),
+                                     ldb, c_naive.data(), n);
+  });
+  report(name, m, n, k, blocked_s, naive_s, diff);
+}
+
+void bench_gemv(int m, int n, Rng& rng) {
+  const auto x = rng.gaussian_vec(static_cast<std::size_t>(m));
+  const auto w = rng.gaussian_vec(static_cast<std::size_t>(m) * n);
+  const auto bias = rng.gaussian_vec(static_cast<std::size_t>(n));
+  std::vector<float> y_blocked(static_cast<std::size_t>(n));
+  std::vector<float> y_naive(static_cast<std::size_t>(n));
+
+  tensor::kernels::gemv(m, n, x.data(), w.data(), n, bias.data(),
+                        y_blocked.data());
+  tensor::kernels::naive::gemv(m, n, x.data(), w.data(), n, bias.data(),
+                               y_naive.data());
+  const double diff = max_abs_diff(y_blocked, y_naive);
+
+  const double blocked_s = best_seconds([&] {
+    for (int r = 0; r < 64; ++r) {
+      tensor::kernels::gemv(m, n, x.data(), w.data(), n, bias.data(),
+                            y_blocked.data());
+    }
+  });
+  const double naive_s = best_seconds([&] {
+    for (int r = 0; r < 64; ++r) {
+      tensor::kernels::naive::gemv(m, n, x.data(), w.data(), n, bias.data(),
+                                   y_naive.data());
+    }
+  });
+  report("gemv", 1, n, m, blocked_s / 64.0, naive_s / 64.0, diff);
+}
+
+void bench_attention(int t, int d, int heads, bool causal, Rng& rng) {
+  tensor::Tensor q = tensor::Tensor::randn({t, d}, rng, 1.0f);
+  tensor::Tensor k = tensor::Tensor::randn({t, d}, rng, 1.0f);
+  tensor::Tensor v = tensor::Tensor::randn({t, d}, rng, 1.0f);
+  const double seconds = best_seconds([&] {
+    auto o = tensor::multi_head_attention(q, k, v, 1, heads, causal);
+    (void)o;
+  });
+  // Score GEMM + PV GEMM, halved under the causal mask.
+  double flops = 4.0 * t * t * d;
+  if (causal) flops *= 0.5;
+  std::printf(
+      "{\"bench\":\"attention\",\"t\":%d,\"d\":%d,\"heads\":%d,"
+      "\"causal\":%s,\"gflops\":%.3f,\"seconds\":%.6f}\n",
+      t, d, heads, causal ? "true" : "false", flops / seconds * 1e-9, seconds);
+  std::fflush(stdout);
+  std::fprintf(stderr, "attention      t=%-5d d=%-5d h=%d causal=%d %8.2f GF/s\n",
+               t, d, heads, causal ? 1 : 0, flops / seconds * 1e-9);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(12345);
+
+  // d_model-scale square shapes named in the acceptance criteria, plus the
+  // transformer's actual hot shapes (batched linear layers, vocab projection).
+  for (int s : {128, 256, 512}) {
+    bench_gemm(Trans::N, Trans::N, "gemm_nn", s, s, s, rng);
+  }
+  bench_gemm(Trans::T, Trans::N, "gemm_tn", 256, 256, 256, rng);
+  bench_gemm(Trans::N, Trans::T, "gemm_nt", 256, 256, 256, rng);
+  bench_gemm(Trans::N, Trans::N, "gemm_linear", 2048, 96, 96, rng);
+  bench_gemm(Trans::N, Trans::N, "gemm_vocab", 512, 800, 96, rng);
+
+  bench_gemv(96, 96, rng);
+  bench_gemv(96, 800, rng);
+  bench_gemv(192, 96, rng);
+
+  bench_attention(160, 96, 4, /*causal=*/false, rng);
+  bench_attention(160, 96, 4, /*causal=*/true, rng);
+  bench_attention(320, 96, 4, /*causal=*/false, rng);
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "nn/infer.hpp"
 #include "nn/transformer.hpp"
 #include "support/rng.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
 #include "toklib/vocab.hpp"
 #include "xsbt/xsbt.hpp"
@@ -109,8 +110,78 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
                           n * n * n);
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n * 1e-9,
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+// Raw kernel-layer GEMM: blocked vs the retained naive reference, all three
+// hot orientations. `GFLOPS` counters make the blocked/naive ratio (the
+// kernel-layer speedup) directly readable from the report.
+template <tensor::kernels::Trans kTa, tensor::kernels::Trans kTb, bool kNaive>
+void BM_GemmKernel(benchmark::State& state) {
+  using tensor::kernels::Trans;
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  const auto a = rng.gaussian_vec(static_cast<std::size_t>(n) * n);
+  const auto b = rng.gaussian_vec(static_cast<std::size_t>(n) * n);
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    if (kNaive) {
+      tensor::kernels::naive::gemm_acc(kTa, kTb, n, n, n, a.data(), n,
+                                       b.data(), n, c.data(), n);
+    } else {
+      tensor::kernels::gemm_acc(kTa, kTb, n, n, n, a.data(), n, b.data(), n,
+                                c.data(), n);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+using tensor::kernels::Trans;
+BENCHMARK_TEMPLATE(BM_GemmKernel, Trans::N, Trans::N, false)
+    ->Name("BM_GemmBlockedNN")->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK_TEMPLATE(BM_GemmKernel, Trans::N, Trans::N, true)
+    ->Name("BM_GemmNaiveNN")->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK_TEMPLATE(BM_GemmKernel, Trans::T, Trans::N, false)
+    ->Name("BM_GemmBlockedTN")->Arg(256);
+BENCHMARK_TEMPLATE(BM_GemmKernel, Trans::T, Trans::N, true)
+    ->Name("BM_GemmNaiveTN")->Arg(256);
+BENCHMARK_TEMPLATE(BM_GemmKernel, Trans::N, Trans::T, false)
+    ->Name("BM_GemmBlockedNT")->Arg(256);
+BENCHMARK_TEMPLATE(BM_GemmKernel, Trans::N, Trans::T, true)
+    ->Name("BM_GemmNaiveNT")->Arg(256);
+
+template <bool kNaive>
+void BM_GemvKernel(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(29);
+  const auto x = rng.gaussian_vec(static_cast<std::size_t>(m));
+  const auto w = rng.gaussian_vec(static_cast<std::size_t>(m) * n);
+  const auto bias = rng.gaussian_vec(static_cast<std::size_t>(n));
+  std::vector<float> y(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    if (kNaive) {
+      tensor::kernels::naive::gemv(m, n, x.data(), w.data(), n, bias.data(),
+                                   y.data());
+    } else {
+      tensor::kernels::gemv(m, n, x.data(), w.data(), n, bias.data(),
+                            y.data());
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * m * n * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK_TEMPLATE(BM_GemvKernel, false)
+    ->Name("BM_GemvBlocked")->Args({96, 96})->Args({96, 800})->Args({192, 192});
+BENCHMARK_TEMPLATE(BM_GemvKernel, true)
+    ->Name("BM_GemvNaive")->Args({96, 96})->Args({96, 800})->Args({192, 192});
 
 void BM_Attention(benchmark::State& state) {
   const int t = static_cast<int>(state.range(0));
@@ -123,6 +194,10 @@ void BM_Attention(benchmark::State& state) {
     auto o = tensor::multi_head_attention(q, k, v, 1, 4, true);
     benchmark::DoNotOptimize(o);
   }
+  // Score + PV GEMMs, halved under the causal mask.
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * t * t * d * 1e-9,
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Attention)->Arg(64)->Arg(160)->Arg(320);
 

@@ -8,6 +8,7 @@
 #include "core/tagger.hpp"
 #include "metrics/metrics.hpp"
 #include "mpidb/catalog.hpp"
+#include "support/timer.hpp"
 
 int main() {
   using namespace mpirical;
@@ -20,7 +21,11 @@ int main() {
   if (test.size() > limit) test.resize(limit);
 
   std::printf("[eval] greedy-decoding %zu test examples...\n", test.size());
+  Timer decode_timer;
   const core::EvalSummary s = core::evaluate_model(setup.model, test);
+  const double decode_s = decode_timer.seconds();
+  std::printf("[eval] decoded in %.2f s (%.2f examples/s)\n", decode_s,
+              test.empty() ? 0.0 : static_cast<double>(test.size()) / decode_s);
 
   struct Row {
     const char* name;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "tensor/kernels.hpp"
 
 namespace mpirical::nn {
 
@@ -56,29 +57,37 @@ IncrementalDecoder::IncrementalDecoder(const Transformer& model,
   const std::vector<int> lens = {src_len_};
   tensor::Tensor enc = model.encode(src_ids, /*batch=*/1, src_len_, lens,
                                     /*training=*/false, rng);
-  enc_out_ = enc.value();
 
-  // Precompute cross-attention K/V per decoder layer.
-  layers_.resize(model.decoder_layers().size());
-  for (std::size_t li = 0; li < layers_.size(); ++li) {
-    const auto& layer = model.decoder_layers()[li];
-    auto& state = layers_[li];
-    state.cross_k.resize(static_cast<std::size_t>(src_len_) * d_);
-    state.cross_v.resize(static_cast<std::size_t>(src_len_) * d_);
+  // Precompute cross-attention K/V per decoder layer: one [src_len, d] x
+  // [d, d] GEMM per projection instead of src_len GEMVs. The encoder output
+  // is only needed here, so it is not retained in the shared state.
+  const std::vector<float>& enc_out = enc.value();
+  auto source = std::make_shared<SourceState>();
+  source->layers.resize(model.decoder_layers().size());
+  using tensor::kernels::Trans;
+  auto project = [&](const Linear& lin, std::vector<float>& dst) {
+    dst.resize(static_cast<std::size_t>(src_len_) * d_);
+    const auto& bias = lin.b.value();
     for (int s = 0; s < src_len_; ++s) {
-      const float* row = enc_out_.data() + static_cast<std::size_t>(s) * d_;
-      linear_raw(row, layer.cross_attn.wk,
-                 state.cross_k.data() + static_cast<std::size_t>(s) * d_);
-      linear_raw(row, layer.cross_attn.wv,
-                 state.cross_v.data() + static_cast<std::size_t>(s) * d_);
+      std::copy(bias.begin(), bias.end(),
+                dst.begin() + static_cast<std::size_t>(s) * d_);
     }
+    tensor::kernels::gemm_acc(Trans::N, Trans::N, src_len_, d_, d_,
+                              enc_out.data(), d_, lin.w.value().data(), d_,
+                              dst.data(), d_);
+  };
+  for (std::size_t li = 0; li < source->layers.size(); ++li) {
+    const auto& layer = model.decoder_layers()[li];
+    project(layer.cross_attn.wk, source->layers[li].cross_k);
+    project(layer.cross_attn.wv, source->layers[li].cross_v);
   }
+  source_ = std::move(source);
+  layers_.resize(model.decoder_layers().size());
   logits_.resize(static_cast<std::size_t>(model.config().vocab_size));
 }
 
-void IncrementalDecoder::attend(const float* q,
-                                const std::vector<float>& kcache,
-                                const std::vector<float>& vcache, int kv_len,
+void IncrementalDecoder::attend(const float* q, const float* kcache,
+                                const float* vcache, int kv_len,
                                 float* out) const {
   const int hd = d_ / heads_;
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
@@ -87,7 +96,7 @@ void IncrementalDecoder::attend(const float* q,
     const int off = h * hd;
     float mx = -1e30f;
     for (int j = 0; j < kv_len; ++j) {
-      const float* krow = kcache.data() + static_cast<std::size_t>(j) * d_ + off;
+      const float* krow = kcache + static_cast<std::size_t>(j) * d_ + off;
       float s = 0.0f;
       for (int c = 0; c < hd; ++c) s += q[off + c] * krow[c];
       s *= inv_sqrt;
@@ -104,7 +113,7 @@ void IncrementalDecoder::attend(const float* q,
     for (int c = 0; c < hd; ++c) out[off + c] = 0.0f;
     for (int j = 0; j < kv_len; ++j) {
       const float p = scores[static_cast<std::size_t>(j)] * inv;
-      const float* vrow = vcache.data() + static_cast<std::size_t>(j) * d_ + off;
+      const float* vrow = vcache + static_cast<std::size_t>(j) * d_ + off;
       for (int c = 0; c < hd; ++c) out[off + c] += p * vrow[c];
     }
   }
@@ -144,15 +153,18 @@ const std::vector<float>& IncrementalDecoder::step(int token) {
                state.self_k.data() + cache_off);
     linear_raw(normed.data(), layer.self_attn.wv,
                state.self_v.data() + cache_off);
-    attend(q.data(), state.self_k, state.self_v, t_ + 1, attn.data());
+    attend(q.data(), state.self_k.data(), state.self_v.data(), t_ + 1,
+           attn.data());
     linear_raw(attn.data(), layer.self_attn.wo, proj.data());
     for (int i = 0; i < d_; ++i) x[static_cast<std::size_t>(i)] += proj[
         static_cast<std::size_t>(i)];
 
-    // Cross attention over the precomputed encoder K/V.
+    // Cross attention over the shared precomputed encoder K/V.
+    const auto& cross = source_->layers[li];
     layer_norm_raw(x.data(), layer.ln2, d_, normed.data());
     linear_raw(normed.data(), layer.cross_attn.wq, q.data());
-    attend(q.data(), state.cross_k, state.cross_v, src_len_, attn.data());
+    attend(q.data(), cross.cross_k.data(), cross.cross_v.data(), src_len_,
+           attn.data());
     linear_raw(attn.data(), layer.cross_attn.wo, proj.data());
     for (int i = 0; i < d_; ++i) x[static_cast<std::size_t>(i)] += proj[
         static_cast<std::size_t>(i)];
@@ -257,6 +269,13 @@ std::vector<int> beam_decode(const Transformer& model,
                           return logits[static_cast<std::size_t>(a)] >
                                  logits[static_cast<std::size_t>(b)];
                         });
+      // The stepped decoder state is identical for every continuation (they
+      // diverge only on the next input token), so the first live fork takes
+      // the parent's decoder and only the remaining forks copy it. A copy is
+      // cheap anyway: the per-source state is shared, so a fork duplicates
+      // only the growing self-attention cache.
+      std::shared_ptr<IncrementalDecoder> parent = std::move(hyp.decoder);
+      bool parent_taken = false;
       for (int k = 0; k < beam_width &&
                       k < static_cast<int>(order.size());
            ++k) {
@@ -267,11 +286,16 @@ std::vector<int> beam_decode(const Transformer& model,
             hyp.log_prob +
             static_cast<double>(logits[static_cast<std::size_t>(tok)]);
         if (tok == eos) {
-          next.decoder = hyp.decoder;  // no further steps; safe to share
+          // Finished hypotheses never step again; holding no decoder keeps
+          // wide beams from pinning dead KV caches in memory.
           next.finished = true;
         } else {
-          // Fork the decoder state (copy caches).
-          next.decoder = std::make_shared<IncrementalDecoder>(*hyp.decoder);
+          if (parent_taken) {
+            next.decoder = std::make_shared<IncrementalDecoder>(*parent);
+          } else {
+            next.decoder = parent;
+            parent_taken = true;
+          }
           next.tokens.push_back(tok);
           next.next_input = tok;
         }

@@ -2,9 +2,12 @@
 //
 // Training uses the autograd path; generation would be quadratic-in-length if
 // it re-ran the full decoder per emitted token. IncrementalDecoder encodes
-// the source once, precomputes each decoder layer's cross-attention K/V, and
-// then advances one token at a time in O(t * d) per step. The object is
-// copyable, which is what beam search uses to fork hypotheses.
+// the source once, precomputes each decoder layer's cross-attention K/V (one
+// GEMM per projection over the whole source), and then advances one token at
+// a time in O(t * d) per step. The object is copyable, which is what beam
+// search uses to fork hypotheses: the immutable per-source cross K/V lives
+// behind a shared_ptr, so a fork copies only the growing self-attention
+// cache.
 #pragma once
 
 #include <memory>
@@ -32,19 +35,28 @@ class IncrementalDecoder {
   struct LayerState {
     std::vector<float> self_k;  // [t, d] grows per step
     std::vector<float> self_v;
-    std::vector<float> cross_k;  // [src_len, d] fixed
-    std::vector<float> cross_v;
   };
 
-  void attend(const float* q, const std::vector<float>& kcache,
-              const std::vector<float>& vcache, int kv_len, float* out) const;
+  // Immutable once constructed; shared across all forks of a hypothesis so
+  // beam search never deep-copies the cross K/V. (The encoder output itself
+  // is consumed by the constructor's projections and not retained.)
+  struct SourceState {
+    struct LayerKV {
+      std::vector<float> cross_k;  // [src_len, d]
+      std::vector<float> cross_v;
+    };
+    std::vector<LayerKV> layers;
+  };
+
+  void attend(const float* q, const float* kcache, const float* vcache,
+              int kv_len, float* out) const;
 
   const Transformer* model_ = nullptr;
   int d_ = 0;
   int heads_ = 0;
   int src_len_ = 0;
   int t_ = 0;
-  std::vector<float> enc_out_;  // [src_len, d]
+  std::shared_ptr<const SourceState> source_;
   std::vector<LayerState> layers_;
   std::vector<float> logits_;
 };

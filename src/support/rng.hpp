@@ -96,6 +96,13 @@ class Rng {
   /// Sample an index from unnormalized non-negative weights.
   std::size_t pick_weighted(const std::vector<double>& weights);
 
+  /// `n` standard-normal floats (raw kernel inputs in tests and benches).
+  std::vector<float> gaussian_vec(std::size_t n) {
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(next_gaussian());
+    return v;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

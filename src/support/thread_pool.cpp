@@ -1,14 +1,30 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <cstdlib>
 #include <exception>
-#include <string>
-
-#include "support/check.hpp"
 
 namespace mpirical {
+
+// A parallel_for invocation, stack-owned by the calling thread. Workers claim
+// [cursor, cursor+chunk) slices via fetch_add until the cursor passes `end`.
+// The owner participates too, so the job completes even with zero workers.
+//
+// Lifetime: the job is only reachable through the pool's intrusive list.
+// Workers join (active++) while holding the pool mutex, touch the job only
+// between join and leave, and leave (active--) while holding the mutex again.
+// The owner unlinks the job and then waits under the same mutex for
+// active == 0, so no worker can hold a dangling pointer.
+struct ThreadPool::Job {
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> cursor{0};
+  RangeFn fn = nullptr;
+  void* ctx = nullptr;
+  int active = 0;  // workers currently inside work_on(); guarded by pool mu_
+  std::exception_ptr error;  // first failure; guarded by pool mu_
+  Job* next = nullptr;
+};
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -26,100 +42,101 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::chunk_size(std::size_t n, std::size_t grain) const {
+  if (workers_.empty()) return n;  // no pool: always inline
+  // ~4 claimable chunks per participant balances dynamic load against cursor
+  // traffic; `grain` puts a floor under the chunk so tiny bodies stay cheap.
+  const std::size_t participants = workers_.size() + 1;
+  const std::size_t auto_chunk = (n + participants * 4 - 1) / (participants * 4);
+  return std::max(grain, std::max<std::size_t>(1, auto_chunk));
+}
+
+ThreadPool::Job* ThreadPool::ready_job_locked() const {
+  for (Job* j = jobs_; j != nullptr; j = j->next) {
+    if (j->cursor.load(std::memory_order_relaxed) < j->end) return j;
+  }
+  return nullptr;
+}
+
+void ThreadPool::work_on(Job& job) {
+  for (;;) {
+    const std::size_t lo =
+        job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (lo >= job.end) break;
+    const std::size_t hi = std::min(job.end, lo + job.chunk);
+    try {
+      job.fn(job.ctx, lo, hi);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!job.error) job.error = std::current_exception();
+      }
+      // Abandon unclaimed chunks; in-flight ones finish on their own.
+      job.cursor.store(job.end, std::memory_order_relaxed);
+    }
+  }
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    Task task;
+    Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.back());
-      queue_.pop_back();
+      work_cv_.wait(lock,
+                    [this] { return stopping_ || ready_job_locked() != nullptr; });
+      if (stopping_) return;
+      job = ready_job_locked();
+      if (!job) continue;
+      ++job->active;
     }
-    task.fn();
+    work_on(*job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--job->active == 0) done_cv_.notify_all();
+    }
   }
 }
 
-void ThreadPool::submit(std::function<void()> fn) {
+void ThreadPool::run_job(std::size_t begin, std::size_t end, std::size_t chunk,
+                         RangeFn fn, void* ctx) {
+  Job job;
+  job.end = end;
+  job.chunk = chunk;
+  job.cursor.store(begin, std::memory_order_relaxed);
+  job.fn = fn;
+  job.ctx = ctx;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(Task{std::move(fn)});
+    job.next = jobs_;
+    jobs_ = &job;
   }
-  cv_.notify_one();
+  work_cv_.notify_all();
+
+  work_on(job);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Job** link = &jobs_;
+    while (*link != &job) link = &(*link)->next;
+    *link = job.next;
+    done_cv_.wait(lock, [&job] { return job.active == 0; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body,
                               std::size_t grain) {
-  if (begin >= end) return;
-  const std::size_t n = end - begin;
-  if (grain == 0) grain = 1;
-  const std::size_t max_chunks = workers_.size() * 4;
-  std::size_t chunks = (n + grain - 1) / grain;
-  if (chunks > max_chunks) chunks = max_chunks;
-  if (chunks <= 1 || workers_.empty()) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
-
-  // Completion state is shared (not stack-owned): workers may still touch
-  // the mutex/cv after the waiter observes remaining == 0 and returns, so
-  // the last shared_ptr holder -- possibly a worker -- destroys it.
-  struct SharedState {
-    std::atomic<std::size_t> remaining;
-    std::exception_ptr first_error;
-    std::mutex mu;
-    std::condition_variable cv;
-  };
-  auto state = std::make_shared<SharedState>();
-  state->remaining.store(chunks);
-
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    submit([state, &body, lo, hi] {
-      try {
+  for_range(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        if (!state->first_error) {
-          state->first_error = std::current_exception();
-        }
-      }
-      if (state->remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->cv.notify_all();
-      }
-    });
-  }
-
-  // Help drain the queue while waiting so nested parallel_for cannot deadlock.
-  for (;;) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!queue_.empty()) {
-        task = std::move(queue_.back());
-        queue_.pop_back();
-      }
-    }
-    if (task.fn) {
-      task.fn();
-      continue;
-    }
-    std::unique_lock<std::mutex> lock(state->mu);
-    if (state->remaining.load() == 0) break;
-    state->cv.wait_for(lock, std::chrono::milliseconds(1));
-    if (state->remaining.load() == 0) break;
-  }
-
-  if (state->first_error) std::rethrow_exception(state->first_error);
+      },
+      grain);
 }
 
 ThreadPool& ThreadPool::global() {

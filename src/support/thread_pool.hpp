@@ -1,15 +1,26 @@
 // Work-sharing thread pool with a blocking parallel_for.
 //
-// The pool is the single parallelism primitive in the library: tensor matmuls,
+// The pool is the single parallelism primitive in the library: tensor GEMMs,
 // attention, corpus generation sweeps and the simulated MPI runtime's
 // collectives all decompose into parallel_for over index ranges.
+//
+// Dispatch model: each parallel_for publishes ONE stack-allocated job whose
+// remaining work is a single atomic cursor. Persistent workers (and the
+// calling thread) claim contiguous chunks by fetch_add on the cursor -- no
+// per-chunk heap allocation, no per-chunk mutex, and exactly two pool-mutex
+// acquisitions per participating thread per job (join and leave). Tiny
+// ranges never touch the pool: when one chunk covers the range the body runs
+// inline on the caller. Nested parallel_for is safe because an owner always
+// drains its own cursor, so completion never depends on a worker being free.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace mpirical {
@@ -25,6 +36,28 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Runs body(lo, hi) over disjoint chunks covering [begin, end). Blocks
+  /// until all chunks complete; exceptions from `body` are rethrown on the
+  /// caller (first one wins). `grain` is the minimum chunk size; 0 picks an
+  /// automatic grain (~4 chunks per participant). Ranges that fit in one
+  /// chunk run inline on the caller without touching the pool.
+  template <typename Body>
+  void for_range(std::size_t begin, std::size_t end, Body&& body,
+                 std::size_t grain = 0) {
+    if (begin >= end) return;
+    const std::size_t chunk = chunk_size(end - begin, grain);
+    if (chunk >= end - begin) {
+      body(begin, end);
+      return;
+    }
+    using Fn = std::remove_reference_t<Body>;
+    run_job(begin, end, chunk,
+            [](void* ctx, std::size_t lo, std::size_t hi) {
+              (*static_cast<Fn*>(ctx))(lo, hi);
+            },
+            const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+  }
+
   /// Runs body(i) for i in [begin, end), splitting the range into contiguous
   /// chunks across the pool. Blocks until all iterations complete. `grain`
   /// is the minimum chunk size; small ranges run inline on the caller.
@@ -37,23 +70,33 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  struct Task {
-    std::function<void()> fn;
-  };
+  struct Job;
+  using RangeFn = void (*)(void* ctx, std::size_t lo, std::size_t hi);
 
+  std::size_t chunk_size(std::size_t n, std::size_t grain) const;
+  void run_job(std::size_t begin, std::size_t end, std::size_t chunk,
+               RangeFn fn, void* ctx);
+  void work_on(Job& job);
+  Job* ready_job_locked() const;
   void worker_loop();
-  void submit(std::function<void()> fn);
 
   std::vector<std::thread> workers_;
-  std::vector<Task> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a job has claimable chunks
+  std::condition_variable done_cv_;  // owners: a job lost its last worker
+  Job* jobs_ = nullptr;              // intrusive list of live jobs
   bool stopping_ = false;
 };
 
-/// Convenience wrapper over the global pool.
+/// Convenience wrappers over the global pool.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);
+
+template <typename Body>
+void parallel_for_range(std::size_t begin, std::size_t end, Body&& body,
+                        std::size_t grain = 0) {
+  ThreadPool::global().for_range(begin, end, std::forward<Body>(body), grain);
+}
 
 }  // namespace mpirical

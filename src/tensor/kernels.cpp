@@ -1,0 +1,295 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace mpirical::tensor::kernels {
+
+namespace {
+
+// Register micro-tile: MR rows of C by NR columns. 6x16 keeps the accumulator
+// tile in vector registers on AVX2 (12 ymm) and AVX-512 (6 zmm) while the
+// inner loop streams one packed B row and MR broadcast scalars per k step.
+constexpr int kMr = 6;
+constexpr int kNr = 16;
+
+// Cache blocking: the packed B panel (kKc x kNc floats = 128 KiB) targets L2,
+// the packed A block (kMc x kKc = 72 KiB) streams from L2 while its active
+// sliver stays in L1.
+constexpr int kKc = 256;
+constexpr int kMc = 72;
+constexpr int kNc = 128;
+
+// Below this many flops the packing setup dominates; run the naive loops.
+constexpr double kSmallProblemFlops = 32768.0;
+// Below this many flops a single task computes the whole product.
+constexpr double kParallelFlops = 4.0 * 1024 * 1024;
+
+std::size_t round_up(std::size_t v, std::size_t to) {
+  return (v + to - 1) / to * to;
+}
+
+// Packs A[i0:i0+mc, p0:p0+pc] (logical, after transposition) into MR-row
+// slivers: dst[s * pc * kMr + p * kMr + r] = A(i0 + s*kMr + r, p0 + p),
+// zero-padding the last sliver so the micro-kernel never reads garbage.
+void pack_a(Trans ta, const float* a, int lda, int i0, int mc, int p0, int pc,
+            float* dst) {
+  for (int s = 0; s < mc; s += kMr) {
+    const int mr = std::min(kMr, mc - s);
+    for (int p = 0; p < pc; ++p) {
+      float* out = dst + p * kMr;
+      if (ta == Trans::N) {
+        const float* src =
+            a + static_cast<std::size_t>(i0 + s) * lda + (p0 + p);
+        for (int r = 0; r < mr; ++r) out[r] = src[static_cast<std::size_t>(r) * lda];
+      } else {
+        // A stored [k, m]: logical A(i, p) = a[p * lda + i]; rows contiguous.
+        const float* src =
+            a + static_cast<std::size_t>(p0 + p) * lda + (i0 + s);
+        for (int r = 0; r < mr; ++r) out[r] = src[r];
+      }
+      for (int r = mr; r < kMr; ++r) out[r] = 0.0f;
+    }
+    dst += static_cast<std::size_t>(pc) * kMr;
+  }
+}
+
+// Packs B[p0:p0+pc, j0:j0+nc] (logical) into NR-column slivers:
+// dst[s * pc * kNr + p * kNr + c] = B(p0 + p, j0 + s*kNr + c), zero-padded.
+void pack_b(Trans tb, const float* b, int ldb, int p0, int pc, int j0, int nc,
+            float* dst) {
+  for (int s = 0; s < nc; s += kNr) {
+    const int nr = std::min(kNr, nc - s);
+    for (int p = 0; p < pc; ++p) {
+      float* out = dst + p * kNr;
+      if (tb == Trans::N) {
+        const float* src =
+            b + static_cast<std::size_t>(p0 + p) * ldb + (j0 + s);
+        for (int c = 0; c < nr; ++c) out[c] = src[c];
+      } else {
+        // B stored [n, k]: logical B(p, j) = b[j * ldb + p]; columns strided.
+        const float* src =
+            b + static_cast<std::size_t>(j0 + s) * ldb + (p0 + p);
+        for (int c = 0; c < nr; ++c) out[c] = src[static_cast<std::size_t>(c) * ldb];
+      }
+      for (int c = nr; c < kNr; ++c) out[c] = 0.0f;
+    }
+    dst += static_cast<std::size_t>(pc) * kNr;
+  }
+}
+
+// Computes a full MR x NR accumulator tile over pc packed k-steps and adds
+// the live mr x nr corner into C. The two inner loops have compile-time trip
+// counts and unit stride, so the compiler unrolls them completely and keeps
+// `acc` in vector registers.
+void micro_kernel(int pc, const float* __restrict ap, const float* __restrict bp,
+                  int mr, int nr, float* __restrict c, int ldc) {
+  float acc[kMr][kNr];
+  for (int r = 0; r < kMr; ++r) {
+    for (int j = 0; j < kNr; ++j) acc[r][j] = 0.0f;
+  }
+  for (int p = 0; p < pc; ++p) {
+    const float* brow = bp + static_cast<std::size_t>(p) * kNr;
+    const float* arow = ap + static_cast<std::size_t>(p) * kMr;
+    for (int r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      for (int j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  if (mr == kMr && nr == kNr) {
+    for (int r = 0; r < kMr; ++r) {
+      float* crow = c + static_cast<std::size_t>(r) * ldc;
+      for (int j = 0; j < kNr; ++j) crow[j] += acc[r][j];
+    }
+  } else {
+    for (int r = 0; r < mr; ++r) {
+      float* crow = c + static_cast<std::size_t>(r) * ldc;
+      for (int j = 0; j < nr; ++j) crow[j] += acc[r][j];
+    }
+  }
+}
+
+thread_local std::vector<float> t_a_pack;
+thread_local std::vector<float> t_b_pack;
+
+// Serial blocked GEMM over the C sub-range [i0,i1) x [j0,j1). Each C element
+// accumulates k-steps in ascending order, so results are identical no matter
+// how the range is tiled across tasks.
+void gemm_blocked_range(Trans ta, Trans tb, int i0, int i1, int j0, int j1,
+                        int k, const float* a, int lda, const float* b,
+                        int ldb, float* c, int ldc) {
+  auto& a_pack = t_a_pack;
+  auto& b_pack = t_b_pack;
+  a_pack.resize(round_up(std::min(kMc, i1 - i0), kMr) * static_cast<std::size_t>(kKc));
+  b_pack.resize(round_up(std::min(kNc, j1 - j0), kNr) * static_cast<std::size_t>(kKc));
+
+  for (int jc = j0; jc < j1; jc += kNc) {
+    const int nc = std::min(kNc, j1 - jc);
+    for (int pc = 0; pc < k; pc += kKc) {
+      const int kc = std::min(kKc, k - pc);
+      pack_b(tb, b, ldb, pc, kc, jc, nc, b_pack.data());
+      for (int ic = i0; ic < i1; ic += kMc) {
+        const int mc = std::min(kMc, i1 - ic);
+        pack_a(ta, a, lda, ic, mc, pc, kc, a_pack.data());
+        for (int js = 0; js < nc; js += kNr) {
+          const float* bp =
+              b_pack.data() + static_cast<std::size_t>(js / kNr) * kc * kNr;
+          const int nr = std::min(kNr, nc - js);
+          for (int is = 0; is < mc; is += kMr) {
+            const float* ap =
+                a_pack.data() + static_cast<std::size_t>(is / kMr) * kc * kMr;
+            const int mr = std::min(kMr, mc - is);
+            micro_kernel(kc, ap, bp,  mr, nr,
+                         c + static_cast<std::size_t>(ic + is) * ldc + jc + js,
+                         ldc);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
+              const float* b, int ldb, float* c, int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  const double flops = 2.0 * m * n * k;
+  if (flops < kSmallProblemFlops) {
+    naive::gemm_acc(ta, tb, m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  const std::size_t pool = ThreadPool::global().size();
+  if (pool <= 1 || flops < kParallelFlops) {
+    gemm_blocked_range(ta, tb, 0, m, 0, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  // 2D decomposition: row blocks x column panels, each task owning a
+  // disjoint C tile (deterministic regardless of scheduling).
+  struct Tile {
+    int i0, i1, j0, j1;
+  };
+  std::vector<Tile> tiles;
+  for (int j0 = 0; j0 < n; j0 += kNc) {
+    const int j1 = std::min(n, j0 + kNc);
+    for (int i0 = 0; i0 < m; i0 += kMc) {
+      tiles.push_back(Tile{i0, std::min(m, i0 + kMc), j0, j1});
+    }
+  }
+  parallel_for_range(
+      0, tiles.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t t = lo; t < hi; ++t) {
+          const Tile& tile = tiles[t];
+          gemm_blocked_range(ta, tb, tile.i0, tile.i1, tile.j0, tile.j1, k, a,
+                             lda, b, ldb, c, ldc);
+        }
+      },
+      /*grain=*/1);
+}
+
+void gemv(int m, int n, const float* x, const float* w, int ldw,
+          const float* bias, float* y) {
+  if (bias) {
+    std::memcpy(y, bias, sizeof(float) * static_cast<std::size_t>(n));
+  } else {
+    std::memset(y, 0, sizeof(float) * static_cast<std::size_t>(n));
+  }
+  int i = 0;
+  // Eight W rows per pass: one load+store of y amortizes eight axpys.
+  for (; i + 8 <= m; i += 8) {
+    const float* w0 = w + static_cast<std::size_t>(i) * ldw;
+    const float* w1 = w0 + ldw;
+    const float* w2 = w1 + ldw;
+    const float* w3 = w2 + ldw;
+    const float* w4 = w3 + ldw;
+    const float* w5 = w4 + ldw;
+    const float* w6 = w5 + ldw;
+    const float* w7 = w6 + ldw;
+    const float x0 = x[i], x1 = x[i + 1], x2 = x[i + 2], x3 = x[i + 3];
+    const float x4 = x[i + 4], x5 = x[i + 5], x6 = x[i + 6], x7 = x[i + 7];
+    for (int j = 0; j < n; ++j) {
+      float acc = y[j];
+      acc += x0 * w0[j] + x1 * w1[j] + x2 * w2[j] + x3 * w3[j];
+      acc += x4 * w4[j] + x5 * w5[j] + x6 * w6[j] + x7 * w7[j];
+      y[j] = acc;
+    }
+  }
+  for (; i < m; ++i) {
+    const float xi = x[i];
+    const float* wrow = w + static_cast<std::size_t>(i) * ldw;
+    for (int j = 0; j < n; ++j) y[j] += xi * wrow[j];
+  }
+}
+
+// ---- naive reference path ---------------------------------------------------
+
+namespace naive {
+
+void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
+              const float* b, int ldb, float* c, int ldc) {
+  if (ta == Trans::N && tb == Trans::N) {
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (ta == Trans::T && tb == Trans::N) {
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int p = 0; p < k; ++p) {
+        const float av = a[static_cast<std::size_t>(p) * lda + i];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<std::size_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (ta == Trans::N && tb == Trans::T) {
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<std::size_t>(j) * ldb;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
+    }
+  } else {  // T, T
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int p = 0; p < k; ++p) {
+        const float av = a[static_cast<std::size_t>(p) * lda + i];
+        if (av == 0.0f) continue;
+        for (int j = 0; j < n; ++j) {
+          crow[j] += av * b[static_cast<std::size_t>(j) * ldb + p];
+        }
+      }
+    }
+  }
+}
+
+void gemv(int m, int n, const float* x, const float* w, int ldw,
+          const float* bias, float* y) {
+  for (int j = 0; j < n; ++j) y[j] = bias ? bias[j] : 0.0f;
+  for (int i = 0; i < m; ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    const float* wrow = w + static_cast<std::size_t>(i) * ldw;
+    for (int j = 0; j < n; ++j) y[j] += xi * wrow[j];
+  }
+}
+
+}  // namespace naive
+
+}  // namespace mpirical::tensor::kernels

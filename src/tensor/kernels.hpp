@@ -1,0 +1,60 @@
+// High-performance float32 kernel layer under the tensor ops.
+//
+// The hot path of training and decoding is three GEMM orientations plus a
+// GEMV; everything else is cheap by comparison. This layer provides
+// register-blocked, cache-tiled implementations with packed B panels and
+// unit-stride inner loops the compiler auto-vectorizes, a 2D
+// (row-blocks x column-panels) parallel decomposition for large shapes, and
+// a retained naive reference path used for validation and as the baseline in
+// the kernel microbenches.
+//
+// Conventions:
+//   * All matrices are row-major with an explicit leading dimension (the
+//     stride between logical rows), so sub-matrices -- e.g. one attention
+//     head's [T, head_dim] slice of a [T, d_model] buffer -- can be addressed
+//     without copying.
+//   * All GEMM entry points ACCUMULATE into C (C += op(A) . op(B)); callers
+//     that want assignment zero C first. This matches both the forward pass
+//     (outputs are zero-initialized) and the backward pass (gradients
+//     accumulate).
+//   * Orientation names follow BLAS: NN is A[m,k].B[k,n], TN is
+//     A[k,m]^T.B[k,n], NT is A[m,k].B[n,k]^T. Dimensions m/n/k always refer
+//     to the logical product C[m,n] = sum over k.
+#pragma once
+
+#include <cstddef>
+
+namespace mpirical::tensor::kernels {
+
+enum class Trans { N, T };
+
+/// C[m,n] (ldc) += op(A) . op(B). `ta == Trans::T` means A is stored [k,m]
+/// (lda >= m); `tb == Trans::T` means B is stored [n,k] (ldb >= k). Large
+/// products are decomposed over the global thread pool; results do not
+/// depend on the pool size.
+void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
+              const float* b, int ldb, float* c, int ldc);
+
+/// y[n] = x[m] . W[m,n] (+ bias[n] when bias != nullptr; zero otherwise).
+/// W has leading dimension ldw. Blocked over multiple rows of W per pass so
+/// y is loaded/stored once per row block instead of once per row.
+void gemv(int m, int n, const float* x, const float* w, int ldw,
+          const float* bias, float* y);
+
+// ---- naive reference path ---------------------------------------------------
+//
+// The seed's unblocked loops, kept verbatim (plus leading-dimension support)
+// as the ground truth: tests sweep randomized shapes comparing blocked vs
+// naive, and the microbenches report blocked-over-naive throughput ratios.
+
+namespace naive {
+
+void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
+              const float* b, int ldb, float* c, int ldc);
+
+void gemv(int m, int n, const float* x, const float* w, int ldw,
+          const float* bias, float* y);
+
+}  // namespace naive
+
+}  // namespace mpirical::tensor::kernels

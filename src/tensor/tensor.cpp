@@ -6,6 +6,7 @@
 
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
+#include "tensor/kernels.hpp"
 
 namespace mpirical::tensor {
 
@@ -64,8 +65,6 @@ std::shared_ptr<Node> op_node(std::vector<int> shape,
   }
   return node;
 }
-
-constexpr std::size_t kParallelGrain = 8;
 
 }  // namespace
 
@@ -192,62 +191,6 @@ void Tensor::backward() {
 
 // ---- matmul ----------------------------------------------------------------
 
-namespace {
-
-/// C[m,n] += A[m,k] @ B[k,n]; parallel over rows of C.
-void matmul_acc(const float* a, const float* b, float* c, int m, int k, int n) {
-  parallel_for(
-      0, static_cast<std::size_t>(m),
-      [&](std::size_t i) {
-        const float* arow = a + i * static_cast<std::size_t>(k);
-        float* crow = c + i * static_cast<std::size_t>(n);
-        for (int p = 0; p < k; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          const float* brow = b + static_cast<std::size_t>(p) * n;
-          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      },
-      kParallelGrain);
-}
-
-/// C[m,n] += A[k,m]^T @ B[k,n]; parallel over rows of C.
-void matmul_at_b_acc(const float* a, const float* b, float* c, int k, int m,
-                     int n) {
-  parallel_for(
-      0, static_cast<std::size_t>(m),
-      [&](std::size_t i) {
-        float* crow = c + i * static_cast<std::size_t>(n);
-        for (int p = 0; p < k; ++p) {
-          const float av = a[static_cast<std::size_t>(p) * m + i];
-          if (av == 0.0f) continue;
-          const float* brow = b + static_cast<std::size_t>(p) * n;
-          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      },
-      kParallelGrain);
-}
-
-/// C[m,n] += A[m,k] @ B[n,k]^T; parallel over rows of C.
-void matmul_a_bt_acc(const float* a, const float* b, float* c, int m, int k,
-                     int n) {
-  parallel_for(
-      0, static_cast<std::size_t>(m),
-      [&](std::size_t i) {
-        const float* arow = a + i * static_cast<std::size_t>(k);
-        float* crow = c + i * static_cast<std::size_t>(n);
-        for (int j = 0; j < n; ++j) {
-          const float* brow = b + static_cast<std::size_t>(j) * k;
-          float acc = 0.0f;
-          for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-          crow[j] += acc;
-        }
-      },
-      kParallelGrain);
-}
-
-}  // namespace
-
 Tensor matmul(const Tensor& a, const Tensor& b) {
   MR_CHECK(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 tensors");
   const int m = a.dim(0);
@@ -255,8 +198,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const int n = b.dim(1);
   MR_CHECK(b.dim(0) == k, "matmul inner dimension mismatch");
 
+  using kernels::Trans;
   auto out = op_node({m, n}, {a, b});
-  matmul_acc(a.value().data(), b.value().data(), out->value.data(), m, k, n);
+  kernels::gemm_acc(Trans::N, Trans::N, m, n, k, a.value().data(), k,
+                    b.value().data(), n, out->value.data(), n);
 
   if (out->requires_grad) {
     auto anode = a.node();
@@ -264,15 +209,15 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     out->backward_fn = [anode, bnode, m, k, n](Node& self) {
       if (anode->requires_grad) {
         anode->ensure_grad();
-        // dA = dC @ B^T
-        matmul_a_bt_acc(self.grad.data(), bnode->value.data(),
-                        anode->grad.data(), m, n, k);
+        // dA[m,k] = dC[m,n] @ B[k,n]^T
+        kernels::gemm_acc(Trans::N, Trans::T, m, k, n, self.grad.data(), n,
+                          bnode->value.data(), n, anode->grad.data(), k);
       }
       if (bnode->requires_grad) {
         bnode->ensure_grad();
-        // dB = A^T @ dC
-        matmul_at_b_acc(anode->value.data(), self.grad.data(),
-                        bnode->grad.data(), m, k, n);
+        // dB[k,n] = A[m,k]^T @ dC[m,n]
+        kernels::gemm_acc(Trans::T, Trans::N, k, n, m, anode->value.data(), k,
+                          self.grad.data(), n, bnode->grad.data(), n);
       }
     };
   }
@@ -780,6 +725,13 @@ Tensor multi_head_attention(const Tensor& q, const Tensor& k, const Tensor& v,
   auto q_len_of = [&](int b) { return q_lens ? (*q_lens)[b] : tq; };
   auto kv_len_of = [&](int b) { return kv_lens ? (*kv_lens)[b] : tk; };
 
+  // Per (batch, head): blocked score GEMM (Q.K^T), row softmax with masking,
+  // then a probs.V GEMM. Row blocks bound the wasted upper-triangle compute
+  // under the causal mask while keeping the kernels on dense panels; masked
+  // probability entries are zeroed so the P.V product ignores them. The probs
+  // and output buffers are freshly zero-initialized, so accumulate == assign.
+  using kernels::Trans;
+  constexpr int kRowBlock = 32;
   parallel_for(
       0, static_cast<std::size_t>(batch) * heads,
       [&](std::size_t bh) {
@@ -788,46 +740,38 @@ Tensor multi_head_attention(const Tensor& q, const Tensor& k, const Tensor& v,
         const int qlen = q_len_of(b);
         const int klen = kv_len_of(b);
         float* pbase = probs->data() + bh * tq * tk;
-        for (int i = 0; i < tq; ++i) {
-          float* prow = pbase + static_cast<std::size_t>(i) * tk;
-          float* orow =
-              ov + (static_cast<std::size_t>(b) * tq + i) * d + h * hd;
-          if (i >= qlen) {
-            std::fill(prow, prow + tk, 0.0f);
-            std::fill(orow, orow + hd, 0.0f);
-            continue;
+        const float* qbase = qv + static_cast<std::size_t>(b) * tq * d + h * hd;
+        const float* kbase = kv + static_cast<std::size_t>(b) * tk * d + h * hd;
+        const float* vbase = vv + static_cast<std::size_t>(b) * tk * d + h * hd;
+        float* obase = ov + static_cast<std::size_t>(b) * tq * d + h * hd;
+        // Rows >= qlen keep their zero-initialized probs and output.
+        for (int ib = 0; ib < qlen; ib += kRowBlock) {
+          const int ie = std::min(qlen, ib + kRowBlock);
+          const int jmax = causal ? std::min(klen, ie) : klen;
+          kernels::gemm_acc(Trans::N, Trans::T, ie - ib, jmax, hd,
+                            qbase + static_cast<std::size_t>(ib) * d, d, kbase,
+                            d, pbase + static_cast<std::size_t>(ib) * tk, tk);
+          for (int i = ib; i < ie; ++i) {
+            float* prow = pbase + static_cast<std::size_t>(i) * tk;
+            const int limit = causal ? std::min(klen, i + 1) : klen;
+            float mx = -1e30f;
+            for (int j = 0; j < limit; ++j) {
+              prow[j] *= inv_sqrt;
+              mx = std::max(mx, prow[j]);
+            }
+            float sum = 0.0f;
+            for (int j = 0; j < limit; ++j) {
+              prow[j] = std::exp(prow[j] - mx);
+              sum += prow[j];
+            }
+            const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
+            for (int j = 0; j < limit; ++j) prow[j] *= inv;
+            for (int j = limit; j < tk; ++j) prow[j] = 0.0f;
           }
-          const float* qrow =
-              qv + (static_cast<std::size_t>(b) * tq + i) * d + h * hd;
-          const int limit = causal ? std::min(klen, i + 1) : klen;
-          // scores
-          float mx = -1e30f;
-          for (int j = 0; j < limit; ++j) {
-            const float* krow =
-                kv + (static_cast<std::size_t>(b) * tk + j) * d + h * hd;
-            float s = 0.0f;
-            for (int c = 0; c < hd; ++c) s += qrow[c] * krow[c];
-            s *= inv_sqrt;
-            prow[j] = s;
-            mx = std::max(mx, s);
-          }
-          float sum = 0.0f;
-          for (int j = 0; j < limit; ++j) {
-            prow[j] = std::exp(prow[j] - mx);
-            sum += prow[j];
-          }
-          const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
-          for (int j = 0; j < limit; ++j) prow[j] *= inv;
-          for (int j = limit; j < tk; ++j) prow[j] = 0.0f;
-          // output = P @ V
-          for (int c = 0; c < hd; ++c) orow[c] = 0.0f;
-          for (int j = 0; j < limit; ++j) {
-            const float pj = prow[j];
-            if (pj == 0.0f) continue;
-            const float* vrow =
-                vv + (static_cast<std::size_t>(b) * tk + j) * d + h * hd;
-            for (int c = 0; c < hd; ++c) orow[c] += pj * vrow[c];
-          }
+          kernels::gemm_acc(Trans::N, Trans::N, ie - ib, hd, jmax,
+                            pbase + static_cast<std::size_t>(ib) * tk, tk,
+                            vbase, d,
+                            obase + static_cast<std::size_t>(ib) * d, d);
         }
       },
       /*grain=*/1);
@@ -1009,13 +953,7 @@ double accuracy(const Tensor& logits, const std::vector<int>& targets,
 
 void gemv_row(const float* x, const float* w, const float* b, float* y, int m,
               int n) {
-  for (int j = 0; j < n; ++j) y[j] = b ? b[j] : 0.0f;
-  for (int i = 0; i < m; ++i) {
-    const float xi = x[i];
-    if (xi == 0.0f) continue;
-    const float* wrow = w + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) y[j] += xi * wrow[j];
-  }
+  kernels::gemv(m, n, x, w, n, b, y);
 }
 
 }  // namespace mpirical::tensor

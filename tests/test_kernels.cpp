@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "tensor/kernels.hpp"
+
+namespace mpirical::tensor::kernels {
+namespace {
+
+void expect_close(const std::vector<float>& got, const std::vector<float>& want,
+                  float tol = 1e-4f) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol * std::max(1.0f, std::fabs(want[i])))
+        << "element " << i;
+  }
+}
+
+void check_gemm(Trans ta, Trans tb, int m, int n, int k, Rng& rng) {
+  const int lda = ta == Trans::N ? k : m;
+  const int ldb = tb == Trans::N ? n : k;
+  const auto a = rng.gaussian_vec(static_cast<std::size_t>(m) * k);
+  const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+  // Non-zero initial C exercises the accumulate contract.
+  auto c_blocked = rng.gaussian_vec(static_cast<std::size_t>(m) * n);
+  auto c_naive = c_blocked;
+  gemm_acc(ta, tb, m, n, k, a.data(), lda, b.data(), ldb, c_blocked.data(), n);
+  naive::gemm_acc(ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                  c_naive.data(), n);
+  expect_close(c_blocked, c_naive);
+}
+
+TEST(Kernels, GemmRandomShapeSweep) {
+  Rng rng(1234);
+  Rng shapes(99);
+  // Randomized sweep hitting sizes around and across the 6x16 micro-tile and
+  // the cache-block boundaries, in all three hot orientations.
+  for (int trial = 0; trial < 60; ++trial) {
+    const int m = 1 + static_cast<int>(shapes.next_u64() % 40);
+    const int n = 1 + static_cast<int>(shapes.next_u64() % 40);
+    const int k = 1 + static_cast<int>(shapes.next_u64() % 40);
+    check_gemm(Trans::N, Trans::N, m, n, k, rng);
+    check_gemm(Trans::T, Trans::N, m, n, k, rng);
+    check_gemm(Trans::N, Trans::T, m, n, k, rng);
+    check_gemm(Trans::T, Trans::T, m, n, k, rng);
+  }
+}
+
+TEST(Kernels, GemmTileEdgeShapes) {
+  Rng rng(77);
+  // m/n/k deliberately not divisible by the register tile (6x16) or cache
+  // blocks (72/128/256), plus degenerate m=1 / n=1 / k=1.
+  const int shapes[][3] = {{1, 1, 1},    {1, 16, 96},  {6, 16, 256},
+                           {7, 17, 129}, {73, 129, 257}, {96, 1, 96},
+                           {1, 800, 96}, {130, 96, 1},  {65, 33, 300},
+                           {144, 128, 96}};
+  for (const auto& s : shapes) {
+    check_gemm(Trans::N, Trans::N, s[0], s[1], s[2], rng);
+    check_gemm(Trans::T, Trans::N, s[0], s[1], s[2], rng);
+    check_gemm(Trans::N, Trans::T, s[0], s[1], s[2], rng);
+    check_gemm(Trans::T, Trans::T, s[0], s[1], s[2], rng);
+  }
+}
+
+TEST(Kernels, GemmLargeMatchesNaive) {
+  Rng rng(5);
+  check_gemm(Trans::N, Trans::N, 256, 256, 256, rng);
+  check_gemm(Trans::T, Trans::N, 200, 150, 300, rng);
+  check_gemm(Trans::N, Trans::T, 150, 300, 200, rng);
+  check_gemm(Trans::T, Trans::T, 150, 200, 170, rng);
+}
+
+TEST(Kernels, GemmSubMatrixLeadingDimensions) {
+  // A 3x4 times 4x2 product embedded in larger row-major buffers.
+  Rng rng(11);
+  const int lda = 9, ldb = 7, ldc = 5;
+  const auto a = rng.gaussian_vec(3 * lda);
+  const auto b = rng.gaussian_vec(4 * ldb);
+  auto c_blocked = rng.gaussian_vec(3 * ldc);
+  auto c_naive = c_blocked;
+  gemm_acc(Trans::N, Trans::N, 3, 2, 4, a.data(), lda, b.data(), ldb,
+           c_blocked.data(), ldc);
+  naive::gemm_acc(Trans::N, Trans::N, 3, 2, 4, a.data(), lda, b.data(), ldb,
+                  c_naive.data(), ldc);
+  expect_close(c_blocked, c_naive);
+}
+
+TEST(Kernels, GemmZeroDimensionIsNoop) {
+  std::vector<float> c(4, 1.5f);
+  gemm_acc(Trans::N, Trans::N, 0, 2, 2, nullptr, 1, nullptr, 2, c.data(), 2);
+  gemm_acc(Trans::N, Trans::N, 2, 2, 0, nullptr, 1, nullptr, 2, c.data(), 2);
+  for (float v : c) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(Kernels, GemvMatchesNaive) {
+  Rng rng(42);
+  for (const auto m : {1, 7, 8, 9, 95, 96, 192, 257}) {
+    for (const auto n : {1, 17, 96, 800}) {
+      const auto x = rng.gaussian_vec(static_cast<std::size_t>(m));
+      const auto w = rng.gaussian_vec(static_cast<std::size_t>(m) * n);
+      const auto bias = rng.gaussian_vec(static_cast<std::size_t>(n));
+      std::vector<float> y_blocked(static_cast<std::size_t>(n));
+      std::vector<float> y_naive(static_cast<std::size_t>(n));
+      gemv(m, n, x.data(), w.data(), n, bias.data(), y_blocked.data());
+      naive::gemv(m, n, x.data(), w.data(), n, bias.data(), y_naive.data());
+      expect_close(y_blocked, y_naive);
+      // Null bias means zero-initialized output.
+      gemv(m, n, x.data(), w.data(), n, nullptr, y_blocked.data());
+      naive::gemv(m, n, x.data(), w.data(), n, nullptr, y_naive.data());
+      expect_close(y_blocked, y_naive);
+    }
+  }
+}
+
+TEST(Kernels, GemvStridedW) {
+  Rng rng(13);
+  const int m = 10, n = 6, ldw = 11;
+  const auto x = rng.gaussian_vec(m);
+  const auto w = rng.gaussian_vec(static_cast<std::size_t>(m) * ldw);
+  std::vector<float> y_blocked(n), y_naive(n);
+  gemv(m, n, x.data(), w.data(), ldw, nullptr, y_blocked.data());
+  naive::gemv(m, n, x.data(), w.data(), ldw, nullptr, y_naive.data());
+  expect_close(y_blocked, y_naive);
+}
+
+}  // namespace
+}  // namespace mpirical::tensor::kernels

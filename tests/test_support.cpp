@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -150,6 +154,118 @@ TEST(ThreadPool, SmallRangeRunsInline) {
   ThreadPool pool(2);
   pool.parallel_for(0, 3, [&](std::size_t) { total++; }, /*grain=*/100);
   EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ForRangeCoversRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.for_range(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ForRangeChunksRespectGrain) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.for_range(
+      3, 103,
+      [&](std::size_t lo, std::size_t hi) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(lo, hi);
+      },
+      /*grain=*/7);
+  std::size_t covered = 0;
+  std::size_t below_grain = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_LT(lo, hi);
+    if (hi - lo < 7) ++below_grain;
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 100u);
+  // Only the tail chunk may be smaller than the requested grain.
+  EXPECT_LE(below_grain, 1u);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsFromManyThreads) {
+  // Several external threads issuing parallel_for against the same pool must
+  // each see their own range covered exactly once.
+  ThreadPool pool(3);
+  constexpr int kCallers = 6;
+  constexpr std::size_t kRange = 5000;
+  std::vector<std::atomic<std::size_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      for (int round = 0; round < 5; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallel_for(0, kRange, [&](std::size_t i) {
+          sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        sums[c].store(sum.load());
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  const std::size_t want = kRange * (kRange - 1) / 2;
+  for (const auto& s : sums) EXPECT_EQ(s.load(), want);
+}
+
+TEST(ThreadPool, ExceptionLeavesPoolUsable) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(0, 1000,
+                          [](std::size_t i) {
+                            if (i == 321) throw Error("boom");
+                          }),
+        Error);
+    std::atomic<int> total{0};
+    pool.parallel_for(0, 100, [&](std::size_t) { total++; });
+    EXPECT_EQ(total.load(), 100);
+  }
+}
+
+TEST(ThreadPool, ExceptionInsideChunkedBody) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.for_range(0, 64,
+                              [](std::size_t lo, std::size_t) {
+                                if (lo >= 32) throw Error("chunk boom");
+                              },
+                              /*grain=*/4),
+               Error);
+}
+
+TEST(ThreadPool, GrainEdgeCases) {
+  ThreadPool pool(2);
+  // grain of zero selects the automatic chunk size.
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { total++; }, /*grain=*/0);
+  EXPECT_EQ(total.load(), 100);
+  // grain larger than the range runs inline.
+  total = 0;
+  pool.for_range(0, 5, [&](std::size_t lo, std::size_t hi) {
+    total += static_cast<int>(hi - lo);
+  }, /*grain=*/1000000);
+  EXPECT_EQ(total.load(), 5);
+  // single-element range.
+  total = 0;
+  pool.parallel_for(41, 42, [&](std::size_t i) {
+    total += static_cast<int>(i);
+  });
+  EXPECT_EQ(total.load(), 41);
+}
+
+TEST(ThreadPool, DeepNestingStress) {
+  std::atomic<int> total{0};
+  parallel_for(0, 4, [&](std::size_t) {
+    parallel_for(0, 4, [&](std::size_t) {
+      parallel_for(0, 4, [&](std::size_t) { total++; });
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
 }
 
 TEST(Strings, Split) {
