@@ -1,0 +1,129 @@
+// Decode-engine bench: batched beam-step engine (decode_batch) vs the PR 1
+// per-hypothesis reference path, greedy and beam-4, over a corpus-shaped set
+// of requests. Emits one machine-readable JSON line per case on stdout
+// (human-readable table on stderr) so decode perf trajectories can be
+// recorded as BENCH_decode.json across PRs:
+//
+//   ./bench_decode > BENCH_decode.json
+//
+// MPIRICAL_BENCH_SMOKE=1 shrinks the workload to a few seconds for CI;
+// MPIRICAL_BENCH_DECODE_EXAMPLES / _SRC_LEN / _MAX_LEN override the shape.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "nn/infer.hpp"
+#include "nn/transformer.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace mpirical;
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+bool smoke_mode() {
+  const char* e = std::getenv("MPIRICAL_BENCH_SMOKE");
+  return e != nullptr && e[0] != '\0' && e[0] != '0';
+}
+
+struct Case {
+  const char* mode;
+  int beam_width;
+};
+
+}  // namespace
+
+int main() {
+  const bool smoke = smoke_mode();
+  const std::size_t examples =
+      env_or("MPIRICAL_BENCH_DECODE_EXAMPLES", smoke ? 8 : 48);
+  const int src_len =
+      static_cast<int>(env_or("MPIRICAL_BENCH_DECODE_SRC_LEN", smoke ? 48 : 160));
+  const int max_len =
+      static_cast<int>(env_or("MPIRICAL_BENCH_DECODE_MAX_LEN", smoke ? 24 : 64));
+
+  // The production model shape (core::ModelConfig defaults) with a
+  // vocab-sized output projection; weights are random -- decode cost does
+  // not depend on what the tokens say, and random models rarely emit EOS,
+  // which keeps every request decoding to max_len for stable timing.
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 800;
+  cfg.d_model = 96;
+  cfg.heads = 4;
+  cfg.ffn_dim = 192;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 2;
+  cfg.max_len = src_len + max_len + 8;
+  cfg.dropout = 0.0f;
+  Rng rng(4242);
+  nn::Transformer model(cfg, rng);
+
+  constexpr int kSos = 1;
+  constexpr int kEos = 2;
+  std::vector<std::vector<int>> sources(examples);
+  for (auto& src : sources) {
+    src.resize(static_cast<std::size_t>(src_len));
+    for (auto& id : src) {
+      id = 3 + static_cast<int>(rng.next_below(
+                   static_cast<std::uint64_t>(cfg.vocab_size) - 3));
+    }
+  }
+
+  std::fprintf(stderr,
+               "decode bench: %zu examples, src_len=%d, max_len=%d%s\n",
+               examples, src_len, max_len, smoke ? " (smoke)" : "");
+
+  for (const Case c : {Case{"greedy", 1}, Case{"beam4", 4}}) {
+    std::vector<nn::DecodeRequest> reqs(examples);
+    for (std::size_t i = 0; i < examples; ++i) {
+      reqs[i] = {sources[i], kSos, kEos, max_len, c.beam_width};
+    }
+
+    Timer ref_timer;
+    std::vector<nn::DecodeResult> ref(examples);
+    for (std::size_t i = 0; i < examples; ++i) {
+      ref[i] = nn::decode_reference(model, sources[i], kSos, kEos, max_len,
+                                    c.beam_width);
+    }
+    const double ref_s = ref_timer.seconds();
+
+    Timer batched_timer;
+    const auto batched = nn::decode_batch(model, reqs);
+    const double batched_s = batched_timer.seconds();
+
+    std::size_t mismatches = 0;
+    std::size_t tokens = 0;
+    for (std::size_t i = 0; i < examples; ++i) {
+      if (batched[i].tokens != ref[i].tokens) ++mismatches;
+      tokens += batched[i].tokens.size();
+    }
+
+    const double speedup = batched_s > 0.0 ? ref_s / batched_s : 0.0;
+    std::printf(
+        "{\"bench\":\"decode\",\"mode\":\"%s\",\"beam_width\":%d,"
+        "\"examples\":%zu,\"src_len\":%d,\"max_len\":%d,"
+        "\"seconds_reference\":%.3f,\"seconds_batched\":%.3f,"
+        "\"speedup\":%.3f,\"tokens_per_s_batched\":%.1f,"
+        "\"token_mismatches\":%zu,\"smoke\":%s}\n",
+        c.mode, c.beam_width, examples, src_len, max_len, ref_s, batched_s,
+        speedup, batched_s > 0.0 ? static_cast<double>(tokens) / batched_s
+                                 : 0.0,
+        mismatches, smoke ? "true" : "false");
+    std::fflush(stdout);
+    std::fprintf(stderr,
+                 "%-8s reference %6.2f s  batched %6.2f s  %5.2fx  "
+                 "(%zu/%zu token-identical)\n",
+                 c.mode, ref_s, batched_s, speedup, examples - mismatches,
+                 examples);
+  }
+  return 0;
+}

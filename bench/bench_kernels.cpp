@@ -9,6 +9,7 @@
 // best (lowest-noise) repetition is reported.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -22,14 +23,25 @@ namespace {
 using namespace mpirical;
 using tensor::kernels::Trans;
 
-/// Runs `body` repeatedly for >= 0.3 s (at least 3 reps) and returns the best
-/// seconds-per-call.
+/// True when MPIRICAL_BENCH_SMOKE=1: shorter timing windows and the largest
+/// shape skipped, so CI can record trend lines in a few seconds.
+bool smoke_mode() {
+  static const bool v = [] {
+    const char* e = std::getenv("MPIRICAL_BENCH_SMOKE");
+    return e != nullptr && e[0] != '\0' && e[0] != '0';
+  }();
+  return v;
+}
+
+/// Runs `body` repeatedly for >= 0.3 s (0.05 s in smoke mode; at least 3
+/// reps) and returns the best seconds-per-call.
 template <typename Body>
 double best_seconds(Body&& body) {
+  const double budget = smoke_mode() ? 0.05 : 0.3;
   double best = 1e30;
   double total = 0.0;
   int reps = 0;
-  while (total < 0.3 || reps < 3) {
+  while (total < budget || reps < 3) {
     Timer timer;
     body();
     const double s = timer.seconds();
@@ -54,12 +66,15 @@ void report(const std::string& name, int m, int n, int k, double blocked_s,
   const double flops = 2.0 * m * n * k;
   const double gf_blocked = flops / blocked_s * 1e-9;
   const double gf_naive = naive_s > 0.0 ? flops / naive_s * 1e-9 : 0.0;
+  // "smoke" marks lines timed with the shortened window so trajectory
+  // tooling never compares them against full-protocol measurements.
   std::printf(
       "{\"bench\":\"%s\",\"m\":%d,\"n\":%d,\"k\":%d,"
       "\"gflops_blocked\":%.3f,\"gflops_naive\":%.3f,\"speedup\":%.3f,"
-      "\"max_abs_diff\":%.3g}\n",
+      "\"max_abs_diff\":%.3g,\"smoke\":%s}\n",
       name.c_str(), m, n, k, gf_blocked, gf_naive,
-      naive_s > 0.0 ? naive_s / blocked_s : 0.0, diff);
+      naive_s > 0.0 ? naive_s / blocked_s : 0.0, diff,
+      smoke_mode() ? "true" : "false");
   std::fflush(stdout);
   std::fprintf(stderr, "%-14s m=%-5d n=%-5d k=%-5d %8.2f GF/s (naive %6.2f, %5.2fx)\n",
                name.c_str(), m, n, k, gf_blocked, gf_naive,
@@ -133,8 +148,9 @@ void bench_attention(int t, int d, int heads, bool causal, Rng& rng) {
   if (causal) flops *= 0.5;
   std::printf(
       "{\"bench\":\"attention\",\"t\":%d,\"d\":%d,\"heads\":%d,"
-      "\"causal\":%s,\"gflops\":%.3f,\"seconds\":%.6f}\n",
-      t, d, heads, causal ? "true" : "false", flops / seconds * 1e-9, seconds);
+      "\"causal\":%s,\"gflops\":%.3f,\"seconds\":%.6f,\"smoke\":%s}\n",
+      t, d, heads, causal ? "true" : "false", flops / seconds * 1e-9, seconds,
+      smoke_mode() ? "true" : "false");
   std::fflush(stdout);
   std::fprintf(stderr, "attention      t=%-5d d=%-5d h=%d causal=%d %8.2f GF/s\n",
                t, d, heads, causal ? 1 : 0, flops / seconds * 1e-9);
@@ -148,6 +164,7 @@ int main() {
   // d_model-scale square shapes named in the acceptance criteria, plus the
   // transformer's actual hot shapes (batched linear layers, vocab projection).
   for (int s : {128, 256, 512}) {
+    if (s == 512 && smoke_mode()) continue;
     bench_gemm(Trans::N, Trans::N, "gemm_nn", s, s, s, rng);
   }
   bench_gemm(Trans::T, Trans::N, "gemm_tn", 256, 256, 256, rng);

@@ -9,14 +9,15 @@
 
 namespace mpirical::core {
 
-EvalSummary evaluate_one(const MpiRical& model, const corpus::Example& ex,
-                         int beam_width, int line_tolerance,
-                         ExamplePrediction* prediction) {
+namespace {
+
+/// Scores one already-decoded prediction against its example (everything in
+/// evaluate_one except the translation itself).
+EvalSummary score_prediction(const corpus::Example& ex,
+                             const std::string& predicted, int line_tolerance,
+                             ExamplePrediction* prediction) {
   EvalSummary summary;
   summary.examples = 1;
-
-  const std::string predicted =
-      model.translate(ex.input_code, ex.input_xsbt, beam_width);
 
   ExamplePrediction pred;
   pred.predicted_code = predicted;
@@ -46,19 +47,40 @@ EvalSummary evaluate_one(const MpiRical& model, const corpus::Example& ex,
   return summary;
 }
 
+}  // namespace
+
+EvalSummary evaluate_one(const MpiRical& model, const corpus::Example& ex,
+                         int beam_width, int line_tolerance,
+                         ExamplePrediction* prediction) {
+  const std::string predicted =
+      model.translate(ex.input_code, ex.input_xsbt, beam_width);
+  return score_prediction(ex, predicted, line_tolerance, prediction);
+}
+
 EvalSummary evaluate_model(const MpiRical& model,
                            const std::vector<corpus::Example>& split,
                            int beam_width, int line_tolerance,
                            std::vector<ExamplePrediction>* predictions) {
   EvalSummary total;
   if (predictions) predictions->assign(split.size(), {});
+
+  // Decode every example through the batched engine first (all live
+  // hypotheses share GEMM waves; the GEMMs themselves parallelize over the
+  // pool), then score the decoded programs in parallel.
+  std::vector<MpiRical::TranslateRequest> inputs(split.size());
+  for (std::size_t i = 0; i < split.size(); ++i) {
+    inputs[i] = {split[i].input_code, split[i].input_xsbt};
+  }
+  const std::vector<std::string> decoded =
+      model.translate_batch(inputs, beam_width);
+
   std::mutex mu;
   parallel_for(
       0, split.size(),
       [&](std::size_t i) {
         ExamplePrediction pred;
         const EvalSummary one =
-            evaluate_one(model, split[i], beam_width, line_tolerance, &pred);
+            score_prediction(split[i], decoded[i], line_tolerance, &pred);
         std::lock_guard<std::mutex> lock(mu);
         total.m_counts += one.m_counts;
         total.mcc_counts += one.mcc_counts;

@@ -1,6 +1,7 @@
 #include "core/model.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "nn/adam.hpp"
 #include "nn/infer.hpp"
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "tensor/tensor.hpp"
 #include "xsbt/xsbt.hpp"
@@ -243,6 +245,53 @@ std::string MpiRical::translate(const std::string& input_code,
                           config_.max_tgt_tokens, beam_width);
   }
   return tok::tokens_to_code(tok::decode(vocab_, ids));
+}
+
+std::vector<std::string> MpiRical::translate_batch(
+    const std::vector<TranslateRequest>& inputs, int beam_width) const {
+  // Wave size: 32 bounds KV-cache memory while giving the engine wide GEMM
+  // rows. Deliberately NOT derived from the pool size: the grouping decides
+  // how many rows each GEMM sees, which selects kernel paths and therefore
+  // last-ULP rounding -- a fixed wave keeps decoded tokens identical across
+  // machines. Tune per run with MPIRICAL_DECODE_WAVE (smaller waves = more
+  // chunks for the parallel_for below on many-core boxes, at ULP risk only
+  // for that run).
+  std::size_t wave = 32;
+  if (const char* env = std::getenv("MPIRICAL_DECODE_WAVE")) {
+    const long v = std::atol(env);
+    if (v > 0) wave = static_cast<std::size_t>(v);
+  }
+
+  std::vector<std::string> out(inputs.size());
+  // Waves are independent, so they decode concurrently across the pool
+  // (each wave writes a disjoint slice of `out`); within a wave the batched
+  // engine shares GEMMs across every live hypothesis. With the wave size
+  // fixed above, results do not depend on the pool size.
+  const std::size_t chunks = (inputs.size() + wave - 1) / wave;
+  parallel_for(
+      0, chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * wave;
+        const std::size_t hi = std::min(inputs.size(), lo + wave);
+        std::vector<nn::DecodeRequest> reqs(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          auto& req = reqs[i - lo];
+          req.src_ids =
+              encode_source(inputs[i].input_code, inputs[i].input_xsbt);
+          MR_CHECK(!req.src_ids.empty(), "empty source after encoding");
+          req.sos = tok::kSos;
+          req.eos = tok::kEos;
+          req.max_len = config_.max_tgt_tokens;
+          req.beam_width = beam_width < 1 ? 1 : beam_width;
+        }
+        const auto decoded = nn::decode_batch(model_, reqs);
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] =
+              tok::tokens_to_code(tok::decode(vocab_, decoded[i - lo].tokens));
+        }
+      },
+      /*grain=*/1);
+  return out;
 }
 
 std::vector<Suggestion> MpiRical::suggest(const std::string& serial_code,

@@ -71,6 +71,19 @@ class MpiRical {
                         const std::string& input_xsbt,
                         int beam_width = 1) const;
 
+  /// One source program for translate_batch.
+  struct TranslateRequest {
+    std::string input_code;
+    std::string input_xsbt;
+  };
+
+  /// Translates many programs at once through the batched decode engine:
+  /// every live hypothesis of every request advances through shared GEMM
+  /// waves (nn::decode_batch), in chunks of MPIRICAL_DECODE_WAVE requests
+  /// (default 32) to bound KV-cache memory. Output order matches input.
+  std::vector<std::string> translate_batch(
+      const std::vector<TranslateRequest>& inputs, int beam_width = 1) const;
+
   /// End-to-end assistance: standardizes `serial_code`, derives its X-SBT,
   /// translates, and extracts MPI call suggestions. Also returns the
   /// predicted program via `predicted_code` when non-null.

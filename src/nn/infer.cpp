@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "support/check.hpp"
 #include "tensor/kernels.hpp"
@@ -185,28 +187,6 @@ const std::vector<float>& IncrementalDecoder::step(int token) {
   return logits_;
 }
 
-std::vector<int> greedy_decode(const Transformer& model,
-                               const std::vector<int>& src_ids, int sos,
-                               int eos, int max_len) {
-  IncrementalDecoder dec(model, src_ids);
-  std::vector<int> out;
-  int token = sos;
-  for (int i = 0; i < max_len; ++i) {
-    const auto& logits = dec.step(token);
-    int best = 0;
-    for (int j = 1; j < static_cast<int>(logits.size()); ++j) {
-      if (logits[static_cast<std::size_t>(j)] >
-          logits[static_cast<std::size_t>(best)]) {
-        best = j;
-      }
-    }
-    if (best == eos) break;
-    out.push_back(best);
-    token = best;
-  }
-  return out;
-}
-
 namespace {
 
 struct Hypothesis {
@@ -222,22 +202,59 @@ struct Hypothesis {
   }
 };
 
-void log_softmax_inplace(std::vector<float>& v) {
+// Token-identity between the reference and batched paths depends on both
+// normalizing logits with this exact arithmetic (float max, double exp-sum,
+// float subtraction), so it is defined once and shared.
+void log_softmax_row(float* v, int n) {
   float mx = v[0];
-  for (float x : v) mx = std::max(mx, x);
+  for (int i = 0; i < n; ++i) mx = std::max(mx, v[i]);
   double sum = 0.0;
-  for (float x : v) sum += std::exp(static_cast<double>(x) - mx);
+  for (int i = 0; i < n; ++i) {
+    sum += std::exp(static_cast<double>(v[i]) - mx);
+  }
   const float lse = mx + static_cast<float>(std::log(sum));
-  for (auto& x : v) x -= lse;
+  for (int i = 0; i < n; ++i) v[i] -= lse;
+}
+
+void log_softmax_inplace(std::vector<float>& v) {
+  log_softmax_row(v.data(), static_cast<int>(v.size()));
+}
+
+// Reference greedy: per-hypothesis GEMV path, tracking the log-prob sum of
+// the emitted tokens (the terminating eos is not emitted and not scored).
+DecodeResult greedy_reference(const Transformer& model,
+                              const std::vector<int>& src_ids, int sos,
+                              int eos, int max_len) {
+  IncrementalDecoder dec(model, src_ids);
+  DecodeResult res;
+  int token = sos;
+  for (int i = 0; i < max_len; ++i) {
+    auto logits = dec.step(token);
+    int best = 0;
+    for (int j = 1; j < static_cast<int>(logits.size()); ++j) {
+      if (logits[static_cast<std::size_t>(j)] >
+          logits[static_cast<std::size_t>(best)]) {
+        best = j;
+      }
+    }
+    if (best == eos) break;
+    log_softmax_inplace(logits);
+    res.log_prob += static_cast<double>(logits[static_cast<std::size_t>(best)]);
+    res.tokens.push_back(best);
+    token = best;
+  }
+  return res;
 }
 
 }  // namespace
 
-std::vector<int> beam_decode(const Transformer& model,
-                             const std::vector<int>& src_ids, int sos, int eos,
-                             int max_len, int beam_width) {
+DecodeResult decode_reference(const Transformer& model,
+                              const std::vector<int>& src_ids, int sos,
+                              int eos, int max_len, int beam_width) {
   MR_CHECK(beam_width >= 1, "beam width must be >= 1");
-  if (beam_width == 1) return greedy_decode(model, src_ids, sos, eos, max_len);
+  if (beam_width == 1) {
+    return greedy_reference(model, src_ids, sos, eos, max_len);
+  }
 
   std::vector<Hypothesis> beam;
   Hypothesis root;
@@ -317,7 +334,410 @@ std::vector<int> beam_decode(const Transformer& model,
   for (const auto& hyp : beam) {
     if (hyp.score() > best->score()) best = &hyp;
   }
-  return best->tokens;
+  DecodeResult res;
+  res.tokens = best->tokens;
+  res.log_prob = best->log_prob;
+  return res;
+}
+
+// ---- batched beam-step decode engine ----------------------------------------
+
+namespace {
+
+bool use_reference_decode() {
+  static const bool v = [] {
+    const char* e = std::getenv("MPIRICAL_DECODE_REFERENCE");
+    return e != nullptr && e[0] != '\0' && e[0] != '0';
+  }();
+  return v;
+}
+
+// Growing per-hypothesis self-attention K/V, all decoder layers in one
+// allocation unit so a copy-on-write clone is a single object copy.
+struct LaneCache {
+  std::vector<std::vector<float>> k;  // [layer][t * d]
+  std::vector<std::vector<float>> v;
+};
+
+// Per-request immutable cross-attention K/V (the batched engine's analogue
+// of IncrementalDecoder::SourceState; computed independently so the two
+// paths stay separate implementations). K is stored transposed, the layout
+// decode_step::attention_shared streams with unit stride.
+struct CrossKV {
+  struct Layer {
+    std::vector<float> kt;  // [d, src_len] -- K transposed
+    std::vector<float> v;   // [src_len, d]
+  };
+  std::vector<Layer> layers;
+};
+
+// One live or finished hypothesis of a request's beam. `cache` is shared
+// between forks of one parent until the next wave's append clones it
+// (copy-on-write); finished hypotheses drop theirs.
+struct BatchHyp {
+  std::shared_ptr<LaneCache> cache;
+  std::vector<int> tokens;
+  double log_prob = 0.0;
+  bool finished = false;
+  int next_input = -1;
+
+  double score() const {
+    const double len = static_cast<double>(tokens.size()) + 1.0;
+    return log_prob / len;  // length-normalized, as the reference scores
+  }
+};
+
+struct RequestState {
+  int src_len = 0;
+  std::shared_ptr<const CrossKV> cross;
+  std::vector<BatchHyp> beam;
+  bool done = false;
+};
+
+// Resize that keeps vector growth amortized: plain resize(n) reallocates to
+// exactly n, which would re-copy the whole cache every wave.
+void grow(std::vector<float>& v, std::size_t n) {
+  if (v.capacity() < n) v.reserve(std::max(n, v.capacity() * 2));
+  v.resize(n);
+}
+
+std::shared_ptr<const CrossKV> precompute_cross_kv(
+    const Transformer& model, const std::vector<int>& src_ids) {
+  const auto& cfg = model.config();
+  const int d = cfg.d_model;
+  const int src_len = static_cast<int>(src_ids.size());
+  MR_CHECK(src_len > 0, "empty source sequence");
+  MR_CHECK(src_len <= cfg.max_len, "source exceeds max_len");
+
+  Rng rng(0);
+  const std::vector<int> lens = {src_len};
+  tensor::Tensor enc = model.encode(src_ids, /*batch=*/1, src_len, lens,
+                                    /*training=*/false, rng);
+  const std::vector<float>& enc_out = enc.value();
+
+  auto cross = std::make_shared<CrossKV>();
+  cross->layers.resize(model.decoder_layers().size());
+  using tensor::kernels::Trans;
+  auto project = [&](const Linear& lin, std::vector<float>& dst) {
+    dst.resize(static_cast<std::size_t>(src_len) * d);
+    const auto& bias = lin.b.value();
+    for (int s = 0; s < src_len; ++s) {
+      std::copy(bias.begin(), bias.end(),
+                dst.begin() + static_cast<std::size_t>(s) * d);
+    }
+    tensor::kernels::gemm_acc(Trans::N, Trans::N, src_len, d, d,
+                              enc_out.data(), d, lin.w.value().data(), d,
+                              dst.data(), d);
+  };
+  std::vector<float> k_rows;
+  for (std::size_t li = 0; li < cross->layers.size(); ++li) {
+    const auto& layer = model.decoder_layers()[li];
+    project(layer.cross_attn.wk, k_rows);
+    auto& kt = cross->layers[li].kt;
+    kt.resize(static_cast<std::size_t>(d) * src_len);
+    for (int s = 0; s < src_len; ++s) {
+      for (int i = 0; i < d; ++i) {
+        kt[static_cast<std::size_t>(i) * src_len + s] =
+            k_rows[static_cast<std::size_t>(s) * d + i];
+      }
+    }
+    project(layer.cross_attn.wv, cross->layers[li].v);
+  }
+  return cross;
+}
+
+}  // namespace
+
+std::vector<DecodeResult> decode_batch(
+    const Transformer& model, const std::vector<DecodeRequest>& requests) {
+  std::vector<DecodeResult> results(requests.size());
+  if (requests.empty()) return results;
+  if (use_reference_decode()) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const DecodeRequest& r = requests[i];
+      results[i] = decode_reference(model, r.src_ids, r.sos, r.eos, r.max_len,
+                                    r.beam_width);
+    }
+    return results;
+  }
+
+  const auto& cfg = model.config();
+  const int d = cfg.d_model;
+  const int heads = cfg.heads;
+  const int vocab = cfg.vocab_size;
+  const std::size_t layers = model.decoder_layers().size();
+  const int ffn_dim = layers == 0
+                          ? 0
+                          : model.decoder_layers()[0].ffn.up.w.dim(1);
+  const float embed_scale = std::sqrt(static_cast<float>(d));
+
+  std::vector<RequestState> states(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const DecodeRequest& req = requests[i];
+    MR_CHECK(req.beam_width >= 1, "beam width must be >= 1");
+    auto& st = states[i];
+    st.src_len = static_cast<int>(req.src_ids.size());
+    st.cross = precompute_cross_kv(model, req.src_ids);
+    BatchHyp root;
+    root.cache = std::make_shared<LaneCache>();
+    root.cache->k.resize(layers);
+    root.cache->v.resize(layers);
+    root.next_input = req.sos;
+    st.beam.push_back(std::move(root));
+  }
+
+  // Wave scratch: one row per live hypothesis across all requests.
+  std::vector<float> x, normed, q, attn, proj, krows, vrows, hidden, logits;
+  struct RowSpan {
+    std::size_t req;  // request index
+    int m0, m1;       // contiguous row range of its live hypotheses
+  };
+  std::vector<RowSpan> spans;
+  std::vector<BatchHyp*> row_hyp;           // row -> stepping hypothesis
+  std::vector<const float*> ks, vs;         // row -> self K/V cache base
+  std::vector<int> kv_lens;
+
+  for (int t = 0;; ++t) {
+    // Gather this wave's rows, request-major, beam order within a request.
+    spans.clear();
+    row_hyp.clear();
+    for (std::size_t ri = 0; ri < requests.size(); ++ri) {
+      auto& st = states[ri];
+      if (st.done) continue;
+      if (t >= requests[ri].max_len) {
+        st.done = true;
+        continue;
+      }
+      const int m0 = static_cast<int>(row_hyp.size());
+      for (auto& hyp : st.beam) {
+        if (!hyp.finished) row_hyp.push_back(&hyp);
+      }
+      const int m1 = static_cast<int>(row_hyp.size());
+      if (m0 == m1) {
+        st.done = true;  // every hypothesis finished
+        continue;
+      }
+      spans.push_back(RowSpan{ri, m0, m1});
+    }
+    const int rows = static_cast<int>(row_hyp.size());
+    if (rows == 0) break;
+    MR_CHECK(t < cfg.max_len, "decode length exceeds max_len");
+
+    const std::size_t rd = static_cast<std::size_t>(rows) * d;
+    x.resize(rd);
+    normed.resize(rd);
+    q.resize(rd);
+    attn.resize(rd);
+    proj.resize(rd);
+    krows.resize(rd);
+    vrows.resize(rd);
+    hidden.resize(static_cast<std::size_t>(rows) * ffn_dim);
+    logits.resize(static_cast<std::size_t>(rows) * vocab);
+    ks.resize(static_cast<std::size_t>(rows));
+    vs.resize(static_cast<std::size_t>(rows));
+    kv_lens.assign(static_cast<std::size_t>(rows), t + 1);
+
+    // Embedding + positional encoding, and copy-on-write unsharing: a cache
+    // still shared with a sibling fork is cloned before this wave appends.
+    const auto& pos = model.positional_row(t);
+    for (int m = 0; m < rows; ++m) {
+      BatchHyp& hyp = *row_hyp[static_cast<std::size_t>(m)];
+      const int token = hyp.next_input;
+      MR_CHECK(token >= 0 && token < vocab, "token id out of range");
+      const float* erow = model.token_embedding().value().data() +
+                          static_cast<std::size_t>(token) * d;
+      float* xrow = x.data() + static_cast<std::size_t>(m) * d;
+      for (int i = 0; i < d; ++i) {
+        xrow[i] = erow[i] * embed_scale + pos[static_cast<std::size_t>(i)];
+      }
+      if (hyp.cache.use_count() > 1) {
+        hyp.cache = std::make_shared<LaneCache>(*hyp.cache);
+      }
+    }
+
+    for (std::size_t li = 0; li < layers; ++li) {
+      const auto& layer = model.decoder_layers()[li];
+
+      // Causal self-attention: one GEMM per projection over all rows, then
+      // per-row ragged attention over each hypothesis's own cache.
+      decode_step::layer_norm_rows(x.data(), layer.ln1, rows, d, normed.data());
+      decode_step::linear_rows(normed.data(), layer.self_attn.wq, rows,
+                               q.data());
+      decode_step::linear_rows(normed.data(), layer.self_attn.wk, rows,
+                               krows.data());
+      decode_step::linear_rows(normed.data(), layer.self_attn.wv, rows,
+                               vrows.data());
+      const std::size_t cache_off = static_cast<std::size_t>(t) * d;
+      for (int m = 0; m < rows; ++m) {
+        LaneCache& cache = *row_hyp[static_cast<std::size_t>(m)]->cache;
+        grow(cache.k[li], cache_off + static_cast<std::size_t>(d));
+        grow(cache.v[li], cache_off + static_cast<std::size_t>(d));
+        std::memcpy(cache.k[li].data() + cache_off,
+                    krows.data() + static_cast<std::size_t>(m) * d,
+                    sizeof(float) * static_cast<std::size_t>(d));
+        std::memcpy(cache.v[li].data() + cache_off,
+                    vrows.data() + static_cast<std::size_t>(m) * d,
+                    sizeof(float) * static_cast<std::size_t>(d));
+        ks[static_cast<std::size_t>(m)] = cache.k[li].data();
+        vs[static_cast<std::size_t>(m)] = cache.v[li].data();
+      }
+      decode_step::attention_ragged(q.data(), rows, d, heads, ks.data(),
+                                    vs.data(), kv_lens.data(), attn.data());
+      decode_step::linear_rows(attn.data(), layer.self_attn.wo, rows,
+                               proj.data());
+      for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
+
+      // Cross attention: each request's contiguous row block attends over
+      // its shared encoder K/V panel via per-head GEMMs.
+      decode_step::layer_norm_rows(x.data(), layer.ln2, rows, d, normed.data());
+      decode_step::linear_rows(normed.data(), layer.cross_attn.wq, rows,
+                               q.data());
+      for (const RowSpan& span : spans) {
+        const auto& cross = states[span.req].cross->layers[li];
+        decode_step::attention_shared(
+            q.data() + static_cast<std::size_t>(span.m0) * d, span.m1 - span.m0,
+            d, heads, cross.kt.data(), cross.v.data(), states[span.req].src_len,
+            attn.data() + static_cast<std::size_t>(span.m0) * d);
+      }
+      decode_step::linear_rows(attn.data(), layer.cross_attn.wo, rows,
+                               proj.data());
+      for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
+
+      // Feed-forward.
+      decode_step::layer_norm_rows(x.data(), layer.ln3, rows, d, normed.data());
+      decode_step::linear_rows(normed.data(), layer.ffn.up, rows,
+                               hidden.data());
+      decode_step::gelu_rows(hidden.data(),
+                             static_cast<std::size_t>(rows) * ffn_dim);
+      decode_step::linear_rows(hidden.data(), layer.ffn.down, rows,
+                               proj.data());
+      for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
+    }
+
+    decode_step::layer_norm_rows(x.data(), model.decoder_final_ln(), rows, d,
+                                 normed.data());
+    decode_step::linear_rows(normed.data(), model.output_projection(), rows,
+                             logits.data());
+
+    // Per-request beam bookkeeping, mirroring the reference path's candidate
+    // order, scoring, and tie-breaking exactly.
+    for (const RowSpan& span : spans) {
+      auto& st = states[span.req];
+      const DecodeRequest& req = requests[span.req];
+      if (req.beam_width == 1) {
+        BatchHyp& hyp = st.beam.front();
+        float* row = logits.data() + static_cast<std::size_t>(span.m0) * vocab;
+        int best = 0;
+        for (int j = 1; j < vocab; ++j) {
+          if (row[j] > row[best]) best = j;
+        }
+        if (best == req.eos) {
+          hyp.finished = true;
+          hyp.cache.reset();
+          st.done = true;
+          continue;
+        }
+        log_softmax_row(row, vocab);  // row is wave scratch, safe to clobber
+        hyp.log_prob += static_cast<double>(row[best]);
+        hyp.tokens.push_back(best);
+        hyp.next_input = best;
+        continue;
+      }
+
+      std::vector<BatchHyp> candidates;
+      int row_cursor = span.m0;
+      for (auto& hyp : st.beam) {
+        if (hyp.finished) {
+          candidates.push_back(hyp);
+          continue;
+        }
+        float* row = logits.data() +
+                     static_cast<std::size_t>(row_cursor++) * vocab;
+        log_softmax_row(row, vocab);
+
+        std::vector<int> order(static_cast<std::size_t>(vocab));
+        for (std::size_t j = 0; j < order.size(); ++j) {
+          order[j] = static_cast<int>(j);
+        }
+        std::partial_sort(order.begin(),
+                          order.begin() +
+                              std::min<std::size_t>(
+                                  order.size(),
+                                  static_cast<std::size_t>(req.beam_width)),
+                          order.end(), [&](int a, int b) {
+                            return row[static_cast<std::size_t>(a)] >
+                                   row[static_cast<std::size_t>(b)];
+                          });
+        for (int c = 0; c < req.beam_width && c < vocab; ++c) {
+          const int tok = order[static_cast<std::size_t>(c)];
+          BatchHyp next;
+          next.tokens = hyp.tokens;
+          next.log_prob =
+              hyp.log_prob +
+              static_cast<double>(row[static_cast<std::size_t>(tok)]);
+          if (tok == req.eos) {
+            next.finished = true;  // drops the cache reference
+          } else {
+            next.cache = hyp.cache;  // shared; next wave's append unshares
+            next.tokens.push_back(tok);
+            next.next_input = tok;
+          }
+          candidates.push_back(std::move(next));
+        }
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const BatchHyp& a, const BatchHyp& b) {
+                  return a.score() > b.score();
+                });
+      if (candidates.size() > static_cast<std::size_t>(req.beam_width)) {
+        candidates.resize(static_cast<std::size_t>(req.beam_width));
+      }
+      st.beam = std::move(candidates);
+    }
+  }
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& beam = states[i].beam;
+    const BatchHyp* best = &beam.front();
+    for (const auto& hyp : beam) {
+      if (hyp.score() > best->score()) best = &hyp;
+    }
+    results[i].tokens = best->tokens;
+    results[i].log_prob = best->log_prob;
+  }
+  return results;
+}
+
+std::vector<int> greedy_decode(const Transformer& model,
+                               const std::vector<int>& src_ids, int sos,
+                               int eos, int max_len) {
+  if (use_reference_decode()) {
+    return decode_reference(model, src_ids, sos, eos, max_len, 1).tokens;
+  }
+  DecodeRequest req;
+  req.src_ids = src_ids;
+  req.sos = sos;
+  req.eos = eos;
+  req.max_len = max_len;
+  req.beam_width = 1;
+  return decode_batch(model, {req})[0].tokens;
+}
+
+std::vector<int> beam_decode(const Transformer& model,
+                             const std::vector<int>& src_ids, int sos, int eos,
+                             int max_len, int beam_width) {
+  MR_CHECK(beam_width >= 1, "beam width must be >= 1");
+  if (use_reference_decode()) {
+    return decode_reference(model, src_ids, sos, eos, max_len, beam_width)
+        .tokens;
+  }
+  DecodeRequest req;
+  req.src_ids = src_ids;
+  req.sos = sos;
+  req.eos = eos;
+  req.max_len = max_len;
+  req.beam_width = beam_width;
+  return decode_batch(model, {req})[0].tokens;
 }
 
 }  // namespace mpirical::nn

@@ -1,5 +1,12 @@
 // Forward-only incremental decoding with per-layer KV caches.
 //
+// Two decode paths live here. The batched engine (decode_batch) advances all
+// live hypotheses of all concurrent requests through one [rows, d] GEMM per
+// projection per layer and is what greedy_decode / beam_decode route
+// through. The per-hypothesis reference path (IncrementalDecoder +
+// decode_reference) is the PR 1 implementation, kept as the oracle for the
+// differential equivalence suite and the fallback for odd shapes.
+//
 // Training uses the autograd path; generation would be quadratic-in-length if
 // it re-ran the full decoder per emitted token. IncrementalDecoder encodes
 // the source once, precomputes each decoder layer's cross-attention K/V (one
@@ -61,12 +68,60 @@ class IncrementalDecoder {
   std::vector<float> logits_;
 };
 
+// ---- batched beam-step decode engine ----------------------------------------
+//
+// The fast decode path. Instead of advancing each hypothesis through
+// per-hypothesis GEMVs (one weight-matrix pass per live beam entry, as the
+// reference path below does), decode_batch gathers every live hypothesis of
+// every concurrent request into one [rows, d] panel per wave and advances
+// them all through a single GEMM per projection per layer
+// (nn::decode_step::*). Self-attention K/V caches are per-hypothesis ragged
+// buffers behind shared_ptrs: a beam fork copies only the pointer, and the
+// next wave's append clones lazily (fork-by-index copy-on-write), so
+// surviving forks of one parent share history until they diverge.
+
+/// One decode request: a source sequence plus its decoding parameters.
+/// `beam_width == 1` is greedy (argmax, stop at `eos`); wider beams use
+/// length-normalized log-prob scoring, identical to the reference path.
+struct DecodeRequest {
+  std::vector<int> src_ids;
+  int sos = 0;
+  int eos = 0;
+  int max_len = 0;
+  int beam_width = 1;
+};
+
+/// Decoded tokens (never containing `eos`) and the unnormalized sum of
+/// per-token log-probs of the winning hypothesis (for beams this includes
+/// the terminating `eos`, matching the reference scoring).
+struct DecodeResult {
+  std::vector<int> tokens;
+  double log_prob = 0.0;
+};
+
+/// Decodes all requests in lockstep GEMM waves. Token-for-token equivalent
+/// to running decode_reference per request (tests/test_decode_equivalence.cpp
+/// is the differential harness). Setting MPIRICAL_DECODE_REFERENCE=1 in the
+/// environment routes every request through the reference path instead.
+std::vector<DecodeResult> decode_batch(const Transformer& model,
+                                       const std::vector<DecodeRequest>& requests);
+
+/// The PR 1 per-hypothesis decode path (IncrementalDecoder + one GEMV per
+/// projection per hypothesis), kept as the oracle for the differential
+/// equivalence suite and as the fallback for odd shapes. `beam_width == 1`
+/// is greedy.
+DecodeResult decode_reference(const Transformer& model,
+                              const std::vector<int>& src_ids, int sos,
+                              int eos, int max_len, int beam_width);
+
 /// Greedy decoding: emits up to `max_len` tokens, stopping at `eos`.
+/// Routed through the batched engine.
 std::vector<int> greedy_decode(const Transformer& model,
                                const std::vector<int>& src_ids, int sos,
                                int eos, int max_len);
 
 /// Beam-search decoding with length-normalized log-prob scoring.
+/// Routed through the batched engine.
 std::vector<int> beam_decode(const Transformer& model,
                              const std::vector<int>& src_ids, int sos, int eos,
                              int max_len, int beam_width);

@@ -1,9 +1,11 @@
 #include "nn/transformer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
 #include "support/check.hpp"
+#include "tensor/kernels.hpp"
 
 namespace mpirical::nn {
 
@@ -241,5 +243,193 @@ Transformer Transformer::deserialize(const std::string& data) {
   MR_CHECK(pos == data.size(), "trailing bytes in checkpoint");
   return model;
 }
+
+// ---- batched decode-step primitives -----------------------------------------
+
+namespace decode_step {
+
+void layer_norm_rows(const float* x, const LayerNormParams& ln, int rows,
+                     int d, float* out) {
+  const auto& gamma = ln.gamma.value();
+  const auto& beta = ln.beta.value();
+  for (int r = 0; r < rows; ++r) {
+    const float* row = x + static_cast<std::size_t>(r) * d;
+    float* dst = out + static_cast<std::size_t>(r) * d;
+    float mean = 0.0f;
+    for (int i = 0; i < d; ++i) mean += row[i];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int i = 0; i < d; ++i) {
+      const float diff = row[i] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<float>(d);
+    const float inv_std = 1.0f / std::sqrt(var + 1e-5f);
+    for (int i = 0; i < d; ++i) {
+      dst[i] = (row[i] - mean) * inv_std * gamma[static_cast<std::size_t>(i)] +
+               beta[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void linear_rows(const float* x, const Linear& lin, int rows, float* out) {
+  const int in = lin.w.dim(0);
+  const int n = lin.w.dim(1);
+  const auto& bias = lin.b.value();
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(out + static_cast<std::size_t>(r) * n, bias.data(),
+                sizeof(float) * static_cast<std::size_t>(n));
+  }
+  tensor::kernels::gemm_acc(tensor::kernels::Trans::N,
+                            tensor::kernels::Trans::N, rows, n, in, x, in,
+                            lin.w.value().data(), n, out, n);
+}
+
+void gelu_rows(float* x, std::size_t n) {
+  constexpr float kC = 0.7978845608028654f;
+  constexpr float kA = 0.044715f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    x[i] = 0.5f * v * (1.0f + std::tanh(kC * (v + kA * v * v * v)));
+  }
+}
+
+namespace {
+
+// Shared in-place softmax over contiguous score rows of length `len`
+// (per-head rows in the fused paths, per-query rows in the GEMM path):
+// scale, subtract the row max, exponentiate, normalize.
+void softmax_scaled_rows(float* scores, int nrows, int len, float inv_sqrt) {
+  for (int r = 0; r < nrows; ++r) {
+    float* srow = scores + static_cast<std::size_t>(r) * len;
+    float mx = -1e30f;
+    for (int j = 0; j < len; ++j) {
+      srow[j] *= inv_sqrt;
+      mx = std::max(mx, srow[j]);
+    }
+    float sum = 0.0f;
+    for (int j = 0; j < len; ++j) {
+      srow[j] = std::exp(srow[j] - mx);
+      sum += srow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < len; ++j) srow[j] *= inv;
+  }
+}
+
+// All-head scores for one query row in a single pass over a row-major
+// [kv_len, d] K buffer (each K row read once serves every head). Used for
+// the ragged self-attention caches, which grow row-wise per step. scores
+// layout: [heads, kv_len].
+void scores_one_pass_rowmajor(const float* qrow, const float* k, int kv_len,
+                              int d, int heads, float* scores) {
+  const int hd = d / heads;
+  for (int j = 0; j < kv_len; ++j) {
+    const float* krow = k + static_cast<std::size_t>(j) * d;
+    for (int h = 0; h < heads; ++h) {
+      const int off = h * hd;
+      float s = 0.0f;
+      for (int c = 0; c < hd; ++c) s += qrow[off + c] * krow[off + c];
+      scores[static_cast<std::size_t>(h) * kv_len + j] = s;
+    }
+  }
+}
+
+// All-head scores for one query row over a TRANSPOSED K panel kt[d, kv_len]:
+// each kt row contributes a unit-stride axpy into its head's score row, so
+// the inner loop autovectorizes (no dot-product reduction). Per score
+// element the k-terms still accumulate in ascending c order. scores layout:
+// [heads, kv_len], zeroed here.
+void scores_one_pass(const float* qrow, const float* kt, int kv_len, int d,
+                     int heads, float* scores) {
+  const int hd = d / heads;
+  std::memset(scores, 0,
+              sizeof(float) * static_cast<std::size_t>(heads) * kv_len);
+  for (int h = 0; h < heads; ++h) {
+    float* srow = scores + static_cast<std::size_t>(h) * kv_len;
+    for (int c = 0; c < hd; ++c) {
+      const float qc = qrow[h * hd + c];
+      const float* krow =
+          kt + static_cast<std::size_t>(h * hd + c) * kv_len;
+      for (int j = 0; j < kv_len; ++j) srow[j] += qc * krow[j];
+    }
+  }
+}
+
+// All-head probability-weighted V sum for one query row, again one pass
+// over the V panel. `orow` must be zeroed by the caller.
+void pv_one_pass(const float* scores, const float* v, int kv_len, int d,
+                 int heads, float* orow) {
+  const int hd = d / heads;
+  for (int j = 0; j < kv_len; ++j) {
+    const float* vrow = v + static_cast<std::size_t>(j) * d;
+    for (int h = 0; h < heads; ++h) {
+      const float p = scores[static_cast<std::size_t>(h) * kv_len + j];
+      const int off = h * hd;
+      for (int c = 0; c < hd; ++c) orow[off + c] += p * vrow[off + c];
+    }
+  }
+}
+
+}  // namespace
+
+void attention_ragged(const float* q, int rows, int d, int heads,
+                      const float* const* ks, const float* const* vs,
+                      const int* kv_lens, float* out) {
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(d / heads));
+  thread_local std::vector<float> scores;
+  for (int r = 0; r < rows; ++r) {
+    const float* qrow = q + static_cast<std::size_t>(r) * d;
+    float* orow = out + static_cast<std::size_t>(r) * d;
+    const int kv_len = kv_lens[r];
+    scores.resize(static_cast<std::size_t>(heads) * kv_len);
+    scores_one_pass_rowmajor(qrow, ks[r], kv_len, d, heads, scores.data());
+    softmax_scaled_rows(scores.data(), heads, kv_len, inv_sqrt);
+    std::memset(orow, 0, sizeof(float) * static_cast<std::size_t>(d));
+    pv_one_pass(scores.data(), vs[r], kv_len, d, heads, orow);
+  }
+}
+
+void attention_shared(const float* q, int rows, int d, int heads,
+                      const float* kt, const float* v, int kv_len,
+                      float* out) {
+  using tensor::kernels::Trans;
+  const int hd = d / heads;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+  thread_local std::vector<float> scores;
+  std::memset(out, 0, sizeof(float) * static_cast<std::size_t>(rows) * d);
+
+  // Beam-sized row blocks (the decode case): fused per-row loops, both
+  // score and PV inner loops unit-stride over kv / the V row. Larger blocks
+  // amortize packing and go through the kernel-layer GEMMs per head.
+  if (rows <= 16) {
+    scores.resize(static_cast<std::size_t>(heads) * kv_len);
+    for (int r = 0; r < rows; ++r) {
+      const float* qrow = q + static_cast<std::size_t>(r) * d;
+      scores_one_pass(qrow, kt, kv_len, d, heads, scores.data());
+      softmax_scaled_rows(scores.data(), heads, kv_len, inv_sqrt);
+      pv_one_pass(scores.data(), v, kv_len, d, heads,
+                  out + static_cast<std::size_t>(r) * d);
+    }
+    return;
+  }
+
+  scores.resize(static_cast<std::size_t>(rows) * kv_len);
+  for (int h = 0; h < heads; ++h) {
+    const int off = h * hd;
+    std::fill(scores.begin(), scores.end(), 0.0f);
+    // scores[rows, kv_len] = Q_h . Kt_h with Kt_h the head's [hd, kv_len]
+    // row block of the transposed panel -- a plain NN product.
+    tensor::kernels::gemm_acc(Trans::N, Trans::N, rows, kv_len, hd, q + off, d,
+                              kt + static_cast<std::size_t>(off) * kv_len,
+                              kv_len, scores.data(), kv_len);
+    softmax_scaled_rows(scores.data(), rows, kv_len, inv_sqrt);
+    // out_h += P . V_h.
+    tensor::kernels::gemm_acc(Trans::N, Trans::N, rows, hd, kv_len,
+                              scores.data(), kv_len, v + off, d, out + off, d);
+  }
+}
+
+}  // namespace decode_step
 
 }  // namespace mpirical::nn

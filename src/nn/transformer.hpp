@@ -133,4 +133,46 @@ class Transformer {
   Linear out_proj_;  // [d, vocab]
 };
 
+// ---- batched decode-step primitives -----------------------------------------
+//
+// Row-batched building blocks for the batched incremental decode engine
+// (infer.cpp): every operand is a row-major [rows, width] panel holding one
+// row per live hypothesis, and the matrix products route through
+// tensor::kernels so a single GEMM serves every hypothesis in the wave
+// instead of one GEMV each.
+namespace decode_step {
+
+/// Row-wise layer norm: out[r] = LN(x[r]) for each of the [rows, d] rows.
+void layer_norm_rows(const float* x, const LayerNormParams& ln, int rows,
+                     int d, float* out);
+
+/// out[rows, out_dim] = x[rows, in_dim] @ W + b as one GEMM (bias broadcast
+/// per row). `x` and `out` must not alias.
+void linear_rows(const float* x, const Linear& lin, int rows, float* out);
+
+/// In-place tanh-approximation GELU over a flat buffer.
+void gelu_rows(float* x, std::size_t n);
+
+/// Ragged multi-head attention: row r's query attends over its own cache
+/// ks[r]/vs[r] of kv_lens[r] positions (each a [kv_len, d] row-major
+/// buffer). Used for beam-search self-attention where every hypothesis owns
+/// a distinct (forked) K/V history.
+void attention_ragged(const float* q, int rows, int d, int heads,
+                      const float* const* ks, const float* const* vs,
+                      const int* kv_lens, float* out);
+
+/// Multi-head attention of a contiguous query block over one shared K/V
+/// panel. `kt` is the K panel stored TRANSPOSED, [d, kv_len] row-major (row
+/// i = K column i), so score accumulation is unit-stride over kv and
+/// autovectorizes; `v` stays [kv_len, d]. Used for cross-attention where
+/// all hypotheses of a request share the precomputed encoder K/V (the
+/// transpose is paid once per request at precompute time). Beam-sized row
+/// blocks run fused one-pass loops; larger blocks route the score and PV
+/// products through kernel-layer GEMMs.
+void attention_shared(const float* q, int rows, int d, int heads,
+                      const float* kt, const float* v, int kv_len,
+                      float* out);
+
+}  // namespace decode_step
+
 }  // namespace mpirical::nn

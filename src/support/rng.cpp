@@ -1,6 +1,7 @@
 #include "support/rng.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 namespace mpirical {
 
@@ -27,6 +28,26 @@ std::size_t Rng::pick_weighted(const std::vector<double>& weights) {
     if (r <= 0.0) return i;
   }
   return weights.size() - 1;
+}
+
+std::uint64_t test_seed_base() {
+  static const std::uint64_t base = [] {
+    if (const char* env = std::getenv("MPIRICAL_TEST_SEED")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 0);
+      if (end != env) return static_cast<std::uint64_t>(v);
+    }
+    return static_cast<std::uint64_t>(0x5EEDBA5EDA7A1234ULL);
+  }();
+  return base;
+}
+
+Rng test_rng(std::uint64_t salt) {
+  // splitmix-style finalization of the mix keeps nearby salts uncorrelated.
+  std::uint64_t z = test_seed_base() + salt * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return Rng(z ^ (z >> 31));
 }
 
 }  // namespace mpirical

@@ -111,4 +111,16 @@ class Rng {
   std::uint64_t state_[4] = {};
 };
 
+/// Base seed shared by every randomized test in the suite. Defaults to a
+/// fixed constant so plain `ctest` runs are reproducible; overridable with
+/// the MPIRICAL_TEST_SEED environment variable (read once, first use) to
+/// re-roll the whole suite or replay a failure. Failing tests print this
+/// value (see tests/testing.hpp).
+std::uint64_t test_seed_base();
+
+/// Rng for a randomized test: the global base seed mixed with a per-call-site
+/// `salt` so tests draw independent streams while staying replayable from
+/// the single base seed.
+Rng test_rng(std::uint64_t salt);
+
 }  // namespace mpirical

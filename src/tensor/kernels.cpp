@@ -154,8 +154,9 @@ void gemm_blocked_range(Trans ta, Trans tb, int i0, int i1, int j0, int j1,
 
 }  // namespace
 
-void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
-              const float* b, int ldb, float* c, int ldc) {
+void gemm_acc_on(ThreadPool& pool_ref, Trans ta, Trans tb, int m, int n, int k,
+                 const float* a, int lda, const float* b, int ldb, float* c,
+                 int ldc) {
   if (m <= 0 || n <= 0 || k <= 0) return;
   const double flops = 2.0 * m * n * k;
   if (flops < kSmallProblemFlops) {
@@ -163,25 +164,36 @@ void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
     return;
   }
 
-  const std::size_t pool = ThreadPool::global().size();
+  const std::size_t pool = pool_ref.size();
   if (pool <= 1 || flops < kParallelFlops) {
     gemm_blocked_range(ta, tb, 0, m, 0, n, k, a, lda, b, ldb, c, ldc);
     return;
   }
 
-  // 2D decomposition: row blocks x column panels, each task owning a
-  // disjoint C tile (deterministic regardless of scheduling).
+  // 2D decomposition: row ranges x column panels, each task owning a
+  // disjoint C tile (deterministic regardless of scheduling: every C element
+  // accumulates its k-steps in the same ascending order whatever the tiling).
+  // Each task's i-range spans multiple kMc row blocks, sized so one column
+  // panel splits into about `pool` tasks: gemm_blocked_range packs the B
+  // panel once per (jc, pc) and reuses it across all row blocks in its
+  // range, instead of re-packing per kMc block as one-block tasks would.
+  const int row_blocks = (m + kMc - 1) / kMc;
+  const int ranges_per_panel =
+      std::min(row_blocks, static_cast<int>(pool));
+  const int blocks_per_range =
+      (row_blocks + ranges_per_panel - 1) / ranges_per_panel;
+  const int i_step = blocks_per_range * kMc;
   struct Tile {
     int i0, i1, j0, j1;
   };
   std::vector<Tile> tiles;
   for (int j0 = 0; j0 < n; j0 += kNc) {
     const int j1 = std::min(n, j0 + kNc);
-    for (int i0 = 0; i0 < m; i0 += kMc) {
-      tiles.push_back(Tile{i0, std::min(m, i0 + kMc), j0, j1});
+    for (int i0 = 0; i0 < m; i0 += i_step) {
+      tiles.push_back(Tile{i0, std::min(m, i0 + i_step), j0, j1});
     }
   }
-  parallel_for_range(
+  pool_ref.for_range(
       0, tiles.size(),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t t = lo; t < hi; ++t) {
@@ -191,6 +203,11 @@ void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
         }
       },
       /*grain=*/1);
+}
+
+void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
+              const float* b, int ldb, float* c, int ldc) {
+  gemm_acc_on(ThreadPool::global(), ta, tb, m, n, k, a, lda, b, ldb, c, ldc);
 }
 
 void gemv(int m, int n, const float* x, const float* w, int ldw,

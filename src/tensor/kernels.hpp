@@ -24,6 +24,10 @@
 
 #include <cstddef>
 
+namespace mpirical {
+class ThreadPool;
+}
+
 namespace mpirical::tensor::kernels {
 
 enum class Trans { N, T };
@@ -34,6 +38,16 @@ enum class Trans { N, T };
 /// depend on the pool size.
 void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
               const float* b, int ldb, float* c, int ldc);
+
+/// Same product decomposed over an explicit pool instead of the global one.
+/// Each task owns a contiguous multi-row-block i-range sized from the pool
+/// width, so its packed B panel is reused across all its row blocks instead
+/// of being re-packed per kMc block. Exposed so tests can drive the parallel
+/// decomposition with a multi-thread pool regardless of the host's core
+/// count; results are bitwise identical for every pool size.
+void gemm_acc_on(ThreadPool& pool, Trans ta, Trans tb, int m, int n, int k,
+                 const float* a, int lda, const float* b, int ldb, float* c,
+                 int ldc);
 
 /// y[n] = x[m] . W[m,n] (+ bias[n] when bias != nullptr; zero otherwise).
 /// W has leading dimension ldw. Blocked over multiple rows of W per pass so

@@ -5,6 +5,7 @@
 #include "corpus/generator.hpp"
 #include "metrics/metrics.hpp"
 #include "support/rng.hpp"
+#include "testing.hpp"
 
 namespace mpirical::core {
 namespace {
@@ -28,7 +29,7 @@ TEST(Align, EmptySlotsYieldNothing) {
 // Core property: ground truth -> slots -> call sites must reconstruct the
 // ground truth (same functions, lines within the paper's one-line tolerance).
 TEST(Align, RoundTripReconstructsGroundTruth) {
-  Rng rng(2718);
+  MR_SEEDED_RNG(rng, 2718);
   int checked = 0;
   for (int i = 0; i < 60 && checked < 25; ++i) {
     const auto prog = corpus::generate_random_program(rng);
@@ -48,7 +49,7 @@ TEST(Align, RoundTripReconstructsGroundTruth) {
 }
 
 TEST(Align, SlotCountMatchesInputLines) {
-  Rng rng(31);
+  MR_SEEDED_RNG(rng, 31);
   corpus::Example ex;
   bool found = false;
   for (int i = 0; i < 20 && !found; ++i) {

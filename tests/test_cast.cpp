@@ -6,6 +6,7 @@
 #include "cparse/parser.hpp"
 #include "support/rng.hpp"
 #include "xsbt/xsbt.hpp"
+#include "testing.hpp"
 
 namespace mpirical {
 namespace {
@@ -181,7 +182,7 @@ TEST(Xsbt, MatchesPaperExampleShape) {
 }
 
 TEST(Xsbt, ShorterThanSbt) {
-  Rng rng(99);
+  MR_SEEDED_RNG(rng, 99);
   for (int i = 0; i < 10; ++i) {
     const auto prog = corpus::generate_random_program(rng);
     const auto tree = parse::parse_translation_unit(prog.source);

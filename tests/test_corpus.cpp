@@ -11,6 +11,7 @@
 #include "cparse/parser.hpp"
 #include "mpidb/catalog.hpp"
 #include "support/strings.hpp"
+#include "testing.hpp"
 
 namespace mpirical::corpus {
 namespace {
@@ -23,7 +24,7 @@ TEST_P(FamilyGeneration, GeneratesParseableDistinctPrograms) {
   const Family family = GetParam();
   std::set<std::string> sources;
   for (int seed = 0; seed < 10; ++seed) {
-    Rng rng(static_cast<std::uint64_t>(seed) * 1237 + 5);
+    MR_SEEDED_RNG(rng, static_cast<std::uint64_t>(seed) * 1237 + 5);
     const std::string src = generate_program(family, rng);
     EXPECT_NO_THROW(parse::parse_translation_unit(src))
         << family_name(family) << " seed " << seed << "\n"
@@ -37,7 +38,7 @@ TEST_P(FamilyGeneration, GeneratesParseableDistinctPrograms) {
 TEST_P(FamilyGeneration, MpiFamiliesContainCommonPrologue) {
   const Family family = GetParam();
   if (family == Family::kSerialUtility) return;
-  Rng rng(2024);
+  MR_SEEDED_RNG(rng, 2024);
   const std::string src = generate_program(family, rng);
   EXPECT_TRUE(contains(src, "MPI_Init")) << family_name(family);
   EXPECT_TRUE(contains(src, "MPI_Finalize")) << family_name(family);
@@ -52,21 +53,21 @@ INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyGeneration,
 
 TEST(Generator, SerialUtilityHasNoMpi) {
   for (int seed = 0; seed < 20; ++seed) {
-    Rng rng(static_cast<std::uint64_t>(seed));
+    MR_SEEDED_RNG(rng, static_cast<std::uint64_t>(seed));
     EXPECT_FALSE(
         contains(generate_program(Family::kSerialUtility, rng), "MPI_"));
   }
 }
 
 TEST(Generator, SampleFamilyCoversMostFamilies) {
-  Rng rng(77);
+  MR_SEEDED_RNG(rng, 77);
   std::set<Family> seen;
   for (int i = 0; i < 2000; ++i) seen.insert(sample_family(rng));
   EXPECT_GE(seen.size(), all_families().size() - 2);
 }
 
 TEST(Generator, CatalogKnowsEveryGeneratedRoutine) {
-  Rng rng(31337);
+  MR_SEEDED_RNG(rng, 31337);
   for (int i = 0; i < 200; ++i) {
     const auto prog = generate_random_program(rng);
     const auto tree = parse::parse_translation_unit(prog.source);
@@ -98,7 +99,7 @@ TEST(Corpus, DifferentSeedsDiffer) {
 }
 
 TEST(Removal, StripsEveryMpiCall) {
-  Rng rng(4242);
+  MR_SEEDED_RNG(rng, 4242);
   for (int i = 0; i < 50; ++i) {
     const auto prog = generate_random_program(rng);
     const auto tree = parse::parse_translation_unit(prog.source);
@@ -113,7 +114,7 @@ TEST(Removal, StripsEveryMpiCall) {
 }
 
 TEST(Removal, StrippedProgramStillParses) {
-  Rng rng(555);
+  MR_SEEDED_RNG(rng, 555);
   for (int i = 0; i < 50; ++i) {
     const auto prog = generate_random_program(rng);
     const auto tree = parse::parse_translation_unit(prog.source);
@@ -154,7 +155,7 @@ TEST(Removal, DeclarationInitializerDropped) {
 }
 
 TEST(Removal, GroundTruthLinesMatchLabelCode) {
-  Rng rng(808);
+  MR_SEEDED_RNG(rng, 808);
   for (int i = 0; i < 30; ++i) {
     const auto prog = generate_random_program(rng);
     Example ex;
@@ -176,7 +177,7 @@ TEST(Dataset, MakeExampleRejectsUnparseable) {
 }
 
 TEST(Dataset, MakeExampleRejectsTooLong) {
-  Rng rng(9);
+  MR_SEEDED_RNG(rng, 9);
   const std::string src = generate_program(Family::kCompositePipeline, rng);
   Example ex;
   EXPECT_FALSE(make_example(src, 10, ex));

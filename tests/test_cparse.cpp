@@ -5,6 +5,7 @@
 #include "corpus/generator.hpp"
 #include "cparse/parser.hpp"
 #include "support/check.hpp"
+#include "testing.hpp"
 
 namespace mpirical {
 namespace {
@@ -254,7 +255,7 @@ TEST(Parser, LineNumbersRecorded) {
 class RoundTrip : public ::testing::TestWithParam<int> {};
 
 TEST_P(RoundTrip, PrintParsePrintIsFixedPoint) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  MR_SEEDED_RNG(rng, static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
   for (int i = 0; i < 12; ++i) {
     const auto prog = corpus::generate_random_program(rng);
     const auto tree = parse(prog.source);

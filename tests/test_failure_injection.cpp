@@ -12,12 +12,13 @@
 #include "nn/transformer.hpp"
 #include "support/check.hpp"
 #include "toklib/vocab.hpp"
+#include "testing.hpp"
 
 namespace mpirical {
 namespace {
 
 TEST(FailureInjection, TruncatedTransformerCheckpoint) {
-  Rng rng(1);
+  MR_SEEDED_RNG(rng, 1);
   nn::TransformerConfig cfg;
   cfg.vocab_size = 16;
   cfg.d_model = 8;
@@ -33,7 +34,7 @@ TEST(FailureInjection, TruncatedTransformerCheckpoint) {
 }
 
 TEST(FailureInjection, TrailingGarbageInCheckpoint) {
-  Rng rng(2);
+  MR_SEEDED_RNG(rng, 2);
   nn::TransformerConfig cfg;
   cfg.vocab_size = 16;
   cfg.d_model = 8;

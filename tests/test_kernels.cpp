@@ -3,8 +3,11 @@
 #include <cmath>
 #include <vector>
 
+#include "nn/transformer.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "tensor/kernels.hpp"
+#include "testing.hpp"
 
 namespace mpirical::tensor::kernels {
 namespace {
@@ -33,8 +36,8 @@ void check_gemm(Trans ta, Trans tb, int m, int n, int k, Rng& rng) {
 }
 
 TEST(Kernels, GemmRandomShapeSweep) {
-  Rng rng(1234);
-  Rng shapes(99);
+  MR_SEEDED_RNG(rng, 1234);
+  MR_SEEDED_RNG(shapes, 99);
   // Randomized sweep hitting sizes around and across the 6x16 micro-tile and
   // the cache-block boundaries, in all three hot orientations.
   for (int trial = 0; trial < 60; ++trial) {
@@ -49,7 +52,7 @@ TEST(Kernels, GemmRandomShapeSweep) {
 }
 
 TEST(Kernels, GemmTileEdgeShapes) {
-  Rng rng(77);
+  MR_SEEDED_RNG(rng, 77);
   // m/n/k deliberately not divisible by the register tile (6x16) or cache
   // blocks (72/128/256), plus degenerate m=1 / n=1 / k=1.
   const int shapes[][3] = {{1, 1, 1},    {1, 16, 96},  {6, 16, 256},
@@ -65,7 +68,7 @@ TEST(Kernels, GemmTileEdgeShapes) {
 }
 
 TEST(Kernels, GemmLargeMatchesNaive) {
-  Rng rng(5);
+  MR_SEEDED_RNG(rng, 5);
   check_gemm(Trans::N, Trans::N, 256, 256, 256, rng);
   check_gemm(Trans::T, Trans::N, 200, 150, 300, rng);
   check_gemm(Trans::N, Trans::T, 150, 300, 200, rng);
@@ -74,7 +77,7 @@ TEST(Kernels, GemmLargeMatchesNaive) {
 
 TEST(Kernels, GemmSubMatrixLeadingDimensions) {
   // A 3x4 times 4x2 product embedded in larger row-major buffers.
-  Rng rng(11);
+  MR_SEEDED_RNG(rng, 11);
   const int lda = 9, ldb = 7, ldc = 5;
   const auto a = rng.gaussian_vec(3 * lda);
   const auto b = rng.gaussian_vec(4 * ldb);
@@ -95,7 +98,7 @@ TEST(Kernels, GemmZeroDimensionIsNoop) {
 }
 
 TEST(Kernels, GemvMatchesNaive) {
-  Rng rng(42);
+  MR_SEEDED_RNG(rng, 42);
   for (const auto m : {1, 7, 8, 9, 95, 96, 192, 257}) {
     for (const auto n : {1, 17, 96, 800}) {
       const auto x = rng.gaussian_vec(static_cast<std::size_t>(m));
@@ -115,7 +118,7 @@ TEST(Kernels, GemvMatchesNaive) {
 }
 
 TEST(Kernels, GemvStridedW) {
-  Rng rng(13);
+  MR_SEEDED_RNG(rng, 13);
   const int m = 10, n = 6, ldw = 11;
   const auto x = rng.gaussian_vec(m);
   const auto w = rng.gaussian_vec(static_cast<std::size_t>(m) * ldw);
@@ -123,6 +126,156 @@ TEST(Kernels, GemvStridedW) {
   gemv(m, n, x.data(), w.data(), ldw, nullptr, y_blocked.data());
   naive::gemv(m, n, x.data(), w.data(), ldw, nullptr, y_naive.data());
   expect_close(y_blocked, y_naive);
+}
+
+// The parallel decomposition sizes each task's i-range from the pool width
+// (sharing one packed B panel across its row blocks). Drive it with explicit
+// multi-thread pools -- the host may be single-core -- and require bitwise
+// identical results for every pool size: each C element accumulates its
+// k-steps in the same order no matter how the i/j space is tiled.
+TEST(Kernels, GemmParallelDecompositionMatchesAcrossPoolSizes) {
+  MR_SEEDED_RNG(rng, 21);
+  ThreadPool pool1(1);
+  ThreadPool pool3(3);
+  ThreadPool pool7(7);
+  // Shapes above the 4 MFLOP parallel threshold with row/column counts that
+  // do not divide the kMc=72 / kNc=128 blocks evenly.
+  const int shapes[][3] = {{300, 160, 80}, {145, 257, 96}, {73, 640, 64}};
+  for (const auto& s : shapes) {
+    const int m = s[0], n = s[1], k = s[2];
+    for (Trans ta : {Trans::N, Trans::T}) {
+      for (Trans tb : {Trans::N, Trans::T}) {
+        const int lda = ta == Trans::N ? k : m;
+        const int ldb = tb == Trans::N ? n : k;
+        const auto a = rng.gaussian_vec(static_cast<std::size_t>(m) * k);
+        const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+        const auto c0 = rng.gaussian_vec(static_cast<std::size_t>(m) * n);
+        auto c1 = c0, c3 = c0, c7 = c0, c_naive = c0;
+        gemm_acc_on(pool1, ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                    c1.data(), n);
+        gemm_acc_on(pool3, ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                    c3.data(), n);
+        gemm_acc_on(pool7, ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                    c7.data(), n);
+        naive::gemm_acc(ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                        c_naive.data(), n);
+        expect_close(c3, c_naive);
+        ASSERT_EQ(c3, c1) << "pool=3 diverged from pool=1";
+        ASSERT_EQ(c7, c1) << "pool=7 diverged from pool=1";
+      }
+    }
+  }
+}
+
+// ---- batched decode-step attention ------------------------------------------
+
+// Naive per-row multi-head attention reference for the decode_step kernels.
+void attend_reference(const float* q, int rows, int d, int heads,
+                      const float* const* ks, const float* const* vs,
+                      const int* kv_lens, float* out) {
+  const int hd = d / heads;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+  for (int r = 0; r < rows; ++r) {
+    const float* qrow = q + static_cast<std::size_t>(r) * d;
+    float* orow = out + static_cast<std::size_t>(r) * d;
+    for (int h = 0; h < heads; ++h) {
+      const int off = h * hd;
+      std::vector<double> scores(static_cast<std::size_t>(kv_lens[r]));
+      double mx = -1e30;
+      for (int j = 0; j < kv_lens[r]; ++j) {
+        const float* krow = ks[r] + static_cast<std::size_t>(j) * d + off;
+        double s = 0.0;
+        for (int c = 0; c < hd; ++c) {
+          s += static_cast<double>(qrow[off + c]) * krow[c];
+        }
+        s *= inv_sqrt;
+        scores[static_cast<std::size_t>(j)] = s;
+        mx = std::max(mx, s);
+      }
+      double sum = 0.0;
+      for (auto& s : scores) {
+        s = std::exp(s - mx);
+        sum += s;
+      }
+      for (int c = 0; c < hd; ++c) orow[off + c] = 0.0f;
+      for (int j = 0; j < kv_lens[r]; ++j) {
+        const double p = scores[static_cast<std::size_t>(j)] / sum;
+        const float* vrow = vs[r] + static_cast<std::size_t>(j) * d + off;
+        for (int c = 0; c < hd; ++c) {
+          orow[off + c] += static_cast<float>(p * vrow[c]);
+        }
+      }
+    }
+  }
+}
+
+// Tile-edge shapes for the batched cross-attention step: beam-sized row
+// blocks (1, 5, 7, 16) against KV lengths straddling the kNc=128 and
+// kKc=256 cache-block boundaries the per-head GEMMs tile over.
+TEST(Kernels, BatchedSharedAttentionTileEdgeShapes) {
+  MR_SEEDED_RNG(rng, 31);
+  for (const int d : {32, 96}) {
+    const int heads = d == 32 ? 2 : 4;
+    // 1..16 exercise the fused beam-sized path, 17/48 the per-head GEMMs.
+    for (const int rows : {1, 5, 7, 16, 17, 48}) {
+      for (const int kv_len : {1, 7, 127, 128, 129, 255, 256, 257, 300}) {
+        const auto q = rng.gaussian_vec(static_cast<std::size_t>(rows) * d);
+        const auto k = rng.gaussian_vec(static_cast<std::size_t>(kv_len) * d);
+        const auto v = rng.gaussian_vec(static_cast<std::size_t>(kv_len) * d);
+        // attention_shared takes the K panel transposed ([d, kv_len]).
+        std::vector<float> kt(k.size());
+        for (int j = 0; j < kv_len; ++j) {
+          for (int i = 0; i < d; ++i) {
+            kt[static_cast<std::size_t>(i) * kv_len + j] =
+                k[static_cast<std::size_t>(j) * d + i];
+          }
+        }
+        std::vector<float> got(static_cast<std::size_t>(rows) * d);
+        std::vector<float> want(static_cast<std::size_t>(rows) * d);
+        nn::decode_step::attention_shared(q.data(), rows, d, heads, kt.data(),
+                                          v.data(), kv_len, got.data());
+        std::vector<const float*> ks(static_cast<std::size_t>(rows), k.data());
+        std::vector<const float*> vs(static_cast<std::size_t>(rows), v.data());
+        std::vector<int> lens(static_cast<std::size_t>(rows), kv_len);
+        attend_reference(q.data(), rows, d, heads, ks.data(), vs.data(),
+                         lens.data(), want.data());
+        SCOPED_TRACE(::testing::Message() << "d=" << d << " rows=" << rows
+                                          << " kv_len=" << kv_len);
+        expect_close(got, want, 2e-3f);
+      }
+    }
+  }
+}
+
+// Ragged self-attention: every row owns a distinct cache with its own
+// length (the beam fork layout), including length-1 degenerate rows.
+TEST(Kernels, BatchedRaggedAttentionMatchesReference) {
+  MR_SEEDED_RNG(rng, 37);
+  const int d = 48, heads = 4;
+  for (const int rows : {1, 5, 7, 16}) {
+    std::vector<std::vector<float>> k_bufs, v_bufs;
+    std::vector<const float*> ks, vs;
+    std::vector<int> lens;
+    for (int r = 0; r < rows; ++r) {
+      const int len = 1 + static_cast<int>(rng.next_below(40));
+      k_bufs.push_back(rng.gaussian_vec(static_cast<std::size_t>(len) * d));
+      v_bufs.push_back(rng.gaussian_vec(static_cast<std::size_t>(len) * d));
+      lens.push_back(len);
+    }
+    for (int r = 0; r < rows; ++r) {
+      ks.push_back(k_bufs[static_cast<std::size_t>(r)].data());
+      vs.push_back(v_bufs[static_cast<std::size_t>(r)].data());
+    }
+    const auto q = rng.gaussian_vec(static_cast<std::size_t>(rows) * d);
+    std::vector<float> got(static_cast<std::size_t>(rows) * d);
+    std::vector<float> want(static_cast<std::size_t>(rows) * d);
+    nn::decode_step::attention_ragged(q.data(), rows, d, heads, ks.data(),
+                                      vs.data(), lens.data(), got.data());
+    attend_reference(q.data(), rows, d, heads, ks.data(), vs.data(),
+                     lens.data(), want.data());
+    SCOPED_TRACE(::testing::Message() << "rows=" << rows);
+    expect_close(got, want, 2e-3f);
+  }
 }
 
 }  // namespace

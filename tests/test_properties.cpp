@@ -19,6 +19,7 @@
 #include "support/strings.hpp"
 #include "toklib/vocab.hpp"
 #include "xsbt/xsbt.hpp"
+#include "testing.hpp"
 
 namespace mpirical {
 namespace {
@@ -118,7 +119,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty, ::testing::Range(0, 6));
 class ExecutionProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(ExecutionProperty, PiRiemannProgramsComputePi) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  MR_SEEDED_RNG(rng, static_cast<std::uint64_t>(GetParam()) * 7 + 1);
   const std::string src =
       corpus::generate_program(corpus::Family::kPiRiemann, rng);
   mpisim::RunOptions opts;
@@ -129,7 +130,7 @@ TEST_P(ExecutionProperty, PiRiemannProgramsComputePi) {
 }
 
 TEST_P(ExecutionProperty, TrapezoidProgramsComputeIntegral) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+  MR_SEEDED_RNG(rng, static_cast<std::uint64_t>(GetParam()) * 13 + 5);
   const std::string src =
       corpus::generate_program(corpus::Family::kTrapezoid, rng);
   mpisim::RunOptions opts;
@@ -141,7 +142,7 @@ TEST_P(ExecutionProperty, TrapezoidProgramsComputeIntegral) {
 }
 
 TEST_P(ExecutionProperty, SerialUtilityDeterministic) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 2);
+  MR_SEEDED_RNG(rng, static_cast<std::uint64_t>(GetParam()) * 17 + 2);
   const std::string src =
       corpus::generate_program(corpus::Family::kSerialUtility, rng);
   const auto tree = parse::parse_translation_unit(src);
@@ -161,7 +162,7 @@ TEST_P(ExecutionProperty, GeneratedMpiFamiliesRunCleanly) {
       corpus::Family::kMasterWorker,  corpus::Family::kPrefixScan,
       corpus::Family::kAllreduceNorm, corpus::Family::kHistogram,
   };
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 23 + 11);
+  MR_SEEDED_RNG(rng, static_cast<std::uint64_t>(GetParam()) * 23 + 11);
   for (const auto family : families) {
     const std::string src = corpus::generate_program(family, rng);
     mpisim::RunOptions opts;
@@ -205,7 +206,7 @@ INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep, ::testing::Values(2, 4, 8));
 class MetricBounds : public ::testing::TestWithParam<int> {};
 
 TEST_P(MetricBounds, AllSequenceMetricsStayInUnitInterval) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  MR_SEEDED_RNG(rng, static_cast<std::uint64_t>(GetParam()) * 31 + 7);
   const std::vector<std::string> alphabet = {"a", "b", "c", "(", ")", ";"};
   for (int trial = 0; trial < 20; ++trial) {
     std::vector<std::string> cand;
@@ -227,7 +228,7 @@ TEST_P(MetricBounds, AllSequenceMetricsStayInUnitInterval) {
 
 TEST_P(MetricBounds, MatchingIsSymmetricInCounts) {
   // Swapping prediction and truth swaps FP and FN but preserves TP.
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 1);
+  MR_SEEDED_RNG(rng, static_cast<std::uint64_t>(GetParam()) * 37 + 1);
   const std::vector<std::string> functions = {"MPI_Send", "MPI_Recv",
                                               "MPI_Bcast"};
   for (int trial = 0; trial < 20; ++trial) {

@@ -12,6 +12,7 @@
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
+#include "testing.hpp"
 
 namespace mpirical {
 namespace {
@@ -47,19 +48,19 @@ TEST(Rng, DifferentSeedsDiffer) {
 }
 
 TEST(Rng, NextBelowInRange) {
-  Rng rng(7);
+  MR_SEEDED_RNG(rng, 7);
   for (int i = 0; i < 1000; ++i) {
     EXPECT_LT(rng.next_below(17), 17u);
   }
 }
 
 TEST(Rng, NextBelowRejectsZero) {
-  Rng rng(7);
+  MR_SEEDED_RNG(rng, 7);
   EXPECT_THROW(rng.next_below(0), Error);
 }
 
 TEST(Rng, NextIntInclusiveBounds) {
-  Rng rng(3);
+  MR_SEEDED_RNG(rng, 3);
   std::set<std::int64_t> seen;
   for (int i = 0; i < 2000; ++i) {
     const auto v = rng.next_int(-2, 2);
@@ -71,7 +72,7 @@ TEST(Rng, NextIntInclusiveBounds) {
 }
 
 TEST(Rng, NextDoubleUnitInterval) {
-  Rng rng(11);
+  MR_SEEDED_RNG(rng, 11);
   for (int i = 0; i < 1000; ++i) {
     const double v = rng.next_double();
     EXPECT_GE(v, 0.0);
@@ -80,7 +81,7 @@ TEST(Rng, NextDoubleUnitInterval) {
 }
 
 TEST(Rng, GaussianMoments) {
-  Rng rng(13);
+  MR_SEEDED_RNG(rng, 13);
   double sum = 0.0;
   double sum_sq = 0.0;
   const int n = 20000;
@@ -94,7 +95,7 @@ TEST(Rng, GaussianMoments) {
 }
 
 TEST(Rng, ShuffleIsPermutation) {
-  Rng rng(5);
+  MR_SEEDED_RNG(rng, 5);
   std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9};
   auto sorted = v;
   rng.shuffle(v);
@@ -102,7 +103,7 @@ TEST(Rng, ShuffleIsPermutation) {
 }
 
 TEST(Rng, PickWeightedRespectsZeroWeight) {
-  Rng rng(9);
+  MR_SEEDED_RNG(rng, 9);
   const std::vector<double> weights = {0.0, 1.0, 0.0};
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(rng.pick_weighted(weights), 1u);
@@ -110,7 +111,7 @@ TEST(Rng, PickWeightedRespectsZeroWeight) {
 }
 
 TEST(Rng, PickWeightedCoversSupport) {
-  Rng rng(17);
+  MR_SEEDED_RNG(rng, 17);
   const std::vector<double> weights = {1.0, 2.0, 3.0};
   std::vector<int> counts(3, 0);
   for (int i = 0; i < 6000; ++i) {

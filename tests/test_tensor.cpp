@@ -4,6 +4,7 @@
 
 #include "support/rng.hpp"
 #include "tensor/tensor.hpp"
+#include "testing.hpp"
 
 namespace mpirical::tensor {
 namespace {
@@ -60,7 +61,7 @@ TEST(Tensor, ItemRequiresScalar) {
 }
 
 TEST(Tensor, RandnStatistics) {
-  Rng rng(1);
+  MR_SEEDED_RNG(rng, 1);
   Tensor t = Tensor::randn({100, 100}, rng, 0.5f);
   double sum = 0.0;
   double sq = 0.0;
@@ -85,7 +86,7 @@ TEST(Matmul, ShapeMismatchThrows) {
 }
 
 TEST(Matmul, GradientCheck) {
-  Rng rng(2);
+  MR_SEEDED_RNG(rng, 2);
   Tensor a = Tensor::randn({3, 4}, rng, 1.0f, true);
   Tensor b = Tensor::randn({4, 2}, rng, 1.0f, true);
   check_gradients(
@@ -104,7 +105,7 @@ TEST(Elementwise, AddSubMulValues) {
 }
 
 TEST(Elementwise, GradientChecks) {
-  Rng rng(3);
+  MR_SEEDED_RNG(rng, 3);
   for (int which = 0; which < 3; ++which) {
     Tensor a = Tensor::randn({2, 3}, rng, 1.0f, true);
     Tensor b = Tensor::randn({2, 3}, rng, 1.0f, true);
@@ -120,7 +121,7 @@ TEST(Elementwise, GradientChecks) {
 }
 
 TEST(AddBias, BroadcastAndGradient) {
-  Rng rng(4);
+  MR_SEEDED_RNG(rng, 4);
   Tensor x = Tensor::randn({3, 4}, rng, 1.0f, true);
   Tensor b = Tensor::randn({4}, rng, 1.0f, true);
   Tensor y = add_bias(x, b);
@@ -133,7 +134,7 @@ TEST(AddBias, BroadcastAndGradient) {
 }
 
 TEST(Scale, ValuesAndGradient) {
-  Rng rng(5);
+  MR_SEEDED_RNG(rng, 5);
   Tensor x = Tensor::randn({2, 2}, rng, 1.0f, true);
   EXPECT_NEAR(scale(x, 2.5f).value()[3], x.value()[3] * 2.5f, 1e-6);
   check_gradients(
@@ -153,7 +154,7 @@ TEST(Activations, ReluForwardBackward) {
 }
 
 TEST(Activations, GeluShapeAndGradient) {
-  Rng rng(6);
+  MR_SEEDED_RNG(rng, 6);
   Tensor x = Tensor::randn({2, 5}, rng, 1.0f, true);
   Tensor y = gelu(x);
   // GELU(0) == 0, GELU(large) ~ identity.
@@ -166,7 +167,7 @@ TEST(Activations, GeluShapeAndGradient) {
 }
 
 TEST(Softmax, RowsSumToOne) {
-  Rng rng(7);
+  MR_SEEDED_RNG(rng, 7);
   Tensor x = Tensor::randn({4, 6}, rng, 2.0f);
   Tensor p = softmax_rows(x);
   for (int i = 0; i < 4; ++i) {
@@ -183,7 +184,7 @@ TEST(Softmax, StableWithLargeInputs) {
 }
 
 TEST(Softmax, GradientCheck) {
-  Rng rng(8);
+  MR_SEEDED_RNG(rng, 8);
   Tensor x = Tensor::randn({3, 4}, rng, 1.0f, true);
   Tensor w = Tensor::randn({3, 4}, rng, 1.0f, false);
   check_gradients(
@@ -194,7 +195,7 @@ TEST(Softmax, GradientCheck) {
 }
 
 TEST(LayerNorm, NormalizesRows) {
-  Rng rng(9);
+  MR_SEEDED_RNG(rng, 9);
   Tensor x = Tensor::randn({3, 8}, rng, 3.0f);
   Tensor gamma = Tensor::full({8}, 1.0f);
   Tensor beta = Tensor::zeros({8});
@@ -215,7 +216,7 @@ TEST(LayerNorm, NormalizesRows) {
 }
 
 TEST(LayerNorm, GradientCheck) {
-  Rng rng(10);
+  MR_SEEDED_RNG(rng, 10);
   Tensor x = Tensor::randn({2, 6}, rng, 1.0f, true);
   Tensor gamma = Tensor::randn({6}, rng, 0.3f, true);
   Tensor beta = Tensor::randn({6}, rng, 0.3f, true);
@@ -266,14 +267,14 @@ TEST(SliceConcat, RoundTrip) {
 }
 
 TEST(Dropout, IdentityWhenNotTraining) {
-  Rng rng(11);
+  MR_SEEDED_RNG(rng, 11);
   Tensor x = Tensor::full({2, 2}, 3.0f);
   Tensor y = dropout(x, 0.5f, rng, /*training=*/false);
   EXPECT_EQ(y.value(), x.value());
 }
 
 TEST(Dropout, PreservesExpectation) {
-  Rng rng(12);
+  MR_SEEDED_RNG(rng, 12);
   Tensor x = Tensor::full({100, 100}, 1.0f);
   Tensor y = dropout(x, 0.3f, rng, /*training=*/true);
   double sum = 0.0;
@@ -297,7 +298,7 @@ TEST(CrossEntropy, IgnoreIndexSkipsRows) {
 }
 
 TEST(CrossEntropy, GradientCheck) {
-  Rng rng(13);
+  MR_SEEDED_RNG(rng, 13);
   Tensor logits = Tensor::randn({3, 5}, rng, 1.0f, true);
   check_gradients(
       [](const std::vector<Tensor>& in) {
@@ -314,7 +315,7 @@ TEST(Accuracy, CountsArgmaxMatches) {
 }
 
 TEST(Attention, OutputShape) {
-  Rng rng(14);
+  MR_SEEDED_RNG(rng, 14);
   const int b = 2, t = 3, d = 8;
   Tensor q = Tensor::randn({b * t, d}, rng, 1.0f);
   Tensor k = Tensor::randn({b * t, d}, rng, 1.0f);
@@ -324,7 +325,7 @@ TEST(Attention, OutputShape) {
 }
 
 TEST(Attention, CausalMaskBlocksFuture) {
-  Rng rng(15);
+  MR_SEEDED_RNG(rng, 15);
   const int t = 4, d = 8;
   Tensor q = Tensor::randn({t, d}, rng, 1.0f);
   Tensor k = Tensor::randn({t, d}, rng, 1.0f);
@@ -353,7 +354,7 @@ TEST(Attention, CausalMaskBlocksFuture) {
 }
 
 TEST(Attention, PaddingMaskBlocksInvalidKeys) {
-  Rng rng(16);
+  MR_SEEDED_RNG(rng, 16);
   const int t = 4, d = 4;
   Tensor q = Tensor::randn({t, d}, rng, 1.0f);
   Tensor k = Tensor::randn({t, d}, rng, 1.0f);
@@ -379,7 +380,7 @@ TEST(Attention, SingleKeyReturnsItsValue) {
 }
 
 TEST(Attention, GradientCheck) {
-  Rng rng(17);
+  MR_SEEDED_RNG(rng, 17);
   const int t = 3, d = 4;
   Tensor q = Tensor::randn({t, d}, rng, 0.7f, true);
   Tensor k = Tensor::randn({t, d}, rng, 0.7f, true);
@@ -414,7 +415,7 @@ TEST(Backward, NoGradInputsProduceNoTape) {
 }
 
 TEST(GemvRow, MatchesMatmul) {
-  Rng rng(18);
+  MR_SEEDED_RNG(rng, 18);
   Tensor x = Tensor::randn({1, 5}, rng, 1.0f);
   Tensor w = Tensor::randn({5, 3}, rng, 1.0f);
   Tensor b = Tensor::randn({3}, rng, 1.0f);

@@ -6,6 +6,7 @@
 #include "cparse/parser.hpp"
 #include "support/rng.hpp"
 #include "toklib/vocab.hpp"
+#include "testing.hpp"
 
 namespace mpirical::tok {
 namespace {
@@ -63,7 +64,7 @@ TEST(Tokens, BlankLinesProduceMultipleNewlineTokens) {
 }
 
 TEST(Tokens, RoundTripPreservesAstAndLines) {
-  Rng rng(1312);
+  MR_SEEDED_RNG(rng, 1312);
   for (int i = 0; i < 20; ++i) {
     const auto prog = corpus::generate_random_program(rng);
     const auto tree = parse::parse_translation_unit(prog.source);

@@ -1,0 +1,20 @@
+// Shared helpers for the randomized tests.
+//
+// Every randomized test draws its Rng through MR_SEEDED_RNG so the whole
+// suite reruns under a different seed via the MPIRICAL_TEST_SEED environment
+// variable (e.g. `MPIRICAL_TEST_SEED=7 ctest`), while plain runs stay
+// reproducible from the fixed default base. On failure, gtest's scoped trace
+// prints the base seed and call-site salt needed to replay the exact stream.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+// Declares `name` as an Rng seeded from the global test seed mixed with
+// `salt`, and leaves a trace so a failure reports how to reproduce it.
+#define MR_SEEDED_RNG(name, salt)                                            \
+  ::mpirical::Rng name = ::mpirical::test_rng(salt);                         \
+  SCOPED_TRACE(::testing::Message()                                          \
+               << "replay with MPIRICAL_TEST_SEED="                          \
+               << ::mpirical::test_seed_base() << " (salt " << (salt) << ")")
