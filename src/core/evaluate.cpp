@@ -64,9 +64,12 @@ EvalSummary evaluate_model(const MpiRical& model,
   EvalSummary total;
   if (predictions) predictions->assign(split.size(), {});
 
-  // Decode every example through the batched engine first (all live
-  // hypotheses share GEMM waves; the GEMMs themselves parallelize over the
-  // pool), then score the decoded programs in parallel.
+  // Decode every example through the batched engine first: each wave
+  // encodes its sources in one padded batched encoder pass and all live
+  // hypotheses share GEMM waves (the GEMMs themselves parallelize over the
+  // pool). A pool thread's waves reuse one ScratchArena for the padded
+  // panels instead of reallocating them per wave. The decoded programs are
+  // then scored in parallel.
   std::vector<MpiRical::TranslateRequest> inputs(split.size());
   for (std::size_t i = 0; i < split.size(); ++i) {
     inputs[i] = {split[i].input_code, split[i].input_xsbt};

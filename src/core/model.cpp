@@ -265,15 +265,24 @@ std::vector<std::string> MpiRical::translate_batch(
   std::vector<std::string> out(inputs.size());
   // Waves are independent, so they decode concurrently across the pool
   // (each wave writes a disjoint slice of `out`); within a wave the batched
-  // engine shares GEMMs across every live hypothesis. With the wave size
-  // fixed above, results do not depend on the pool size.
+  // engine encodes every source through one padded batched encoder pass
+  // (nn::encode_batch; MPIRICAL_ENCODE_BATCH=0 reverts to per-source
+  // encoding) and shares GEMMs across every live hypothesis. With the wave
+  // size fixed above, results do not depend on the pool size.
   const std::size_t chunks = (inputs.size() + wave - 1) / wave;
   parallel_for(
       0, chunks,
       [&](std::size_t c) {
         const std::size_t lo = c * wave;
         const std::size_t hi = std::min(inputs.size(), lo + wave);
-        std::vector<nn::DecodeRequest> reqs(hi - lo);
+        // Wave-loop scratch reuse: a pool thread processes many waves, so
+        // its request vector persists across them, and inside the engine
+        // the padded encoder panels come from the same thread's
+        // ScratchArena -- steady-state waves re-encode without allocating
+        // any encoder scratch (tests/test_kernels.cpp stresses the
+        // no-growth property; decode-side wave state is still per-call).
+        thread_local std::vector<nn::DecodeRequest> reqs;
+        reqs.resize(hi - lo);
         for (std::size_t i = lo; i < hi; ++i) {
           auto& req = reqs[i - lo];
           req.src_ids =

@@ -78,9 +78,12 @@ class MpiRical {
   };
 
   /// Translates many programs at once through the batched decode engine:
-  /// every live hypothesis of every request advances through shared GEMM
-  /// waves (nn::decode_batch), in chunks of MPIRICAL_DECODE_WAVE requests
-  /// (default 32) to bound KV-cache memory. Output order matches input.
+  /// each wave's sources encode in ONE padded batched encoder pass
+  /// (nn::encode_batch -- MPIRICAL_ENCODE_BATCH=0 reverts to the per-source
+  /// oracle path), then every live hypothesis of every request advances
+  /// through shared GEMM waves (nn::decode_batch), in chunks of
+  /// MPIRICAL_DECODE_WAVE requests (default 32) to bound KV-cache memory.
+  /// Output order matches input.
   std::vector<std::string> translate_batch(
       const std::vector<TranslateRequest>& inputs, int beam_width = 1) const;
 

@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "support/arena.hpp"
 #include "support/check.hpp"
+#include "support/timer.hpp"
 #include "tensor/kernels.hpp"
 
 namespace mpirical::nn {
@@ -359,18 +361,6 @@ struct LaneCache {
   std::vector<std::vector<float>> v;
 };
 
-// Per-request immutable cross-attention K/V (the batched engine's analogue
-// of IncrementalDecoder::SourceState; computed independently so the two
-// paths stay separate implementations). K is stored transposed, the layout
-// decode_step::attention_shared streams with unit stride.
-struct CrossKV {
-  struct Layer {
-    std::vector<float> kt;  // [d, src_len] -- K transposed
-    std::vector<float> v;   // [src_len, d]
-  };
-  std::vector<Layer> layers;
-};
-
 // One live or finished hypothesis of a request's beam. `cache` is shared
 // between forks of one parent until the next wave's append clones it
 // (copy-on-write); finished hypotheses drop theirs.
@@ -389,7 +379,7 @@ struct BatchHyp {
 
 struct RequestState {
   int src_len = 0;
-  std::shared_ptr<const CrossKV> cross;
+  std::shared_ptr<const SourceCrossKV> cross;
   std::vector<BatchHyp> beam;
   bool done = false;
 };
@@ -401,21 +391,18 @@ void grow(std::vector<float>& v, std::size_t n) {
   v.resize(n);
 }
 
-std::shared_ptr<const CrossKV> precompute_cross_kv(
-    const Transformer& model, const std::vector<int>& src_ids) {
-  const auto& cfg = model.config();
-  const int d = cfg.d_model;
-  const int src_len = static_cast<int>(src_ids.size());
-  MR_CHECK(src_len > 0, "empty source sequence");
-  MR_CHECK(src_len <= cfg.max_len, "source exceeds max_len");
-
-  Rng rng(0);
-  const std::vector<int> lens = {src_len};
-  tensor::Tensor enc = model.encode(src_ids, /*batch=*/1, src_len, lens,
-                                    /*training=*/false, rng);
-  const std::vector<float>& enc_out = enc.value();
-
-  auto cross = std::make_shared<CrossKV>();
+// Projects one source's contiguous encoder rows ([src_len, d], leading
+// dimension d) into its per-layer cross-attention K/V: one
+// [src_len, d] x [d, d] GEMM per projection. Serves the per-source oracle
+// path only -- the batched path projects all sources through one fused
+// row-stable GEMM instead (different accumulation path, same values within
+// kernel noise; the equivalence suite bounds the difference).
+std::shared_ptr<const SourceCrossKV> project_cross_kv(const Transformer& model,
+                                                      const float* enc_rows,
+                                                      int src_len) {
+  const int d = model.config().d_model;
+  auto cross = std::make_shared<SourceCrossKV>();
+  cross->src_len = src_len;
   cross->layers.resize(model.decoder_layers().size());
   using tensor::kernels::Trans;
   auto project = [&](const Linear& lin, std::vector<float>& dst) {
@@ -425,9 +412,8 @@ std::shared_ptr<const CrossKV> precompute_cross_kv(
       std::copy(bias.begin(), bias.end(),
                 dst.begin() + static_cast<std::size_t>(s) * d);
     }
-    tensor::kernels::gemm_acc(Trans::N, Trans::N, src_len, d, d,
-                              enc_out.data(), d, lin.w.value().data(), d,
-                              dst.data(), d);
+    tensor::kernels::gemm_acc(Trans::N, Trans::N, src_len, d, d, enc_rows, d,
+                              lin.w.value().data(), d, dst.data(), d);
   };
   std::vector<float> k_rows;
   for (std::size_t li = 0; li < cross->layers.size(); ++li) {
@@ -446,10 +432,155 @@ std::shared_ptr<const CrossKV> precompute_cross_kv(
   return cross;
 }
 
+// The PR 2 per-source encode: a padding-free batch of one through the
+// training-path encoder, numerically identical to what the reference
+// decoder's constructor computes. Retained as the oracle the batched padded
+// encoder differentials against.
+std::shared_ptr<const SourceCrossKV> precompute_cross_kv_per_source(
+    const Transformer& model, const std::vector<int>& src_ids) {
+  const auto& cfg = model.config();
+  const int src_len = static_cast<int>(src_ids.size());
+  MR_CHECK(src_len > 0, "empty source sequence");
+  MR_CHECK(src_len <= cfg.max_len, "source exceeds max_len");
+
+  Rng rng(0);
+  const std::vector<int> lens = {src_len};
+  tensor::Tensor enc = model.encode(src_ids, /*batch=*/1, src_len, lens,
+                                    /*training=*/false, rng);
+  return project_cross_kv(model, enc.value().data(), src_len);
+}
+
 }  // namespace
 
-std::vector<DecodeResult> decode_batch(
-    const Transformer& model, const std::vector<DecodeRequest>& requests) {
+bool encode_batch_enabled() {
+  const char* e = std::getenv("MPIRICAL_ENCODE_BATCH");
+  if (e == nullptr || e[0] == '\0') return true;
+  return e[0] != '0';
+}
+
+std::vector<std::shared_ptr<const SourceCrossKV>> precompute_cross_kv_batch(
+    const Transformer& model,
+    const std::vector<const std::vector<int>*>& sources, bool batched) {
+  std::vector<std::shared_ptr<const SourceCrossKV>> out(sources.size());
+  if (sources.empty()) return out;  // both paths agree on the empty wave
+  if (!batched) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      out[i] = precompute_cross_kv_per_source(model, *sources[i]);
+    }
+    return out;
+  }
+
+  // One padded encoder pass for the whole wave, then ONE fused projection
+  // GEMM for every source, layer, and K/V head: the sources' valid rows
+  // (each contiguous at the head of its panel block -- padded rows are
+  // excluded by this compaction) are gathered into a [sum_len, d] panel and
+  // multiplied against the decoder layers' interleaved [d, layers * 2d]
+  // cross-projection weights. gemm_acc_rowstable keeps each row's bits
+  // independent of the wave composition, so a source's K/V is identical
+  // however it is batched (the padding-invariance suite asserts this).
+  const std::shared_ptr<const EncodedBatch> wave = encode_batch(model, sources);
+  const int d = model.config().d_model;
+  const auto& dec_layers = model.decoder_layers();
+  const int ncols = static_cast<int>(dec_layers.size()) * 2 * d;
+  std::size_t sum_len = 0;
+  for (const auto& len : wave->lens) sum_len += static_cast<std::size_t>(len);
+
+  if (ncols == 0) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      auto cross = std::make_shared<SourceCrossKV>();
+      cross->src_len = wave->lens[i];
+      out[i] = std::move(cross);
+    }
+    return out;
+  }
+
+  // Arena reuse: encode_batch's intermediates are dead once the wave panel
+  // is out, so the projection scratch recycles the same memory.
+  ScratchArena& arena = ScratchArena::local();
+  arena.reset();
+  float* compact = arena.floats(sum_len * static_cast<std::size_t>(d));
+  float* w_fused = arena.floats(static_cast<std::size_t>(d) * ncols);
+  float* b_fused = arena.floats(static_cast<std::size_t>(ncols));
+  float* proj = arena.floats(sum_len * static_cast<std::size_t>(ncols));
+
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const EncodedView view{wave, static_cast<int>(i)};
+    std::memcpy(compact + cursor * d, view.rows(),
+                sizeof(float) * static_cast<std::size_t>(view.len()) * d);
+    cursor += static_cast<std::size_t>(view.len());
+  }
+  for (std::size_t li = 0; li < dec_layers.size(); ++li) {
+    const auto& attn = dec_layers[li].cross_attn;
+    const float* wk = attn.wk.w.value().data();
+    const float* wv = attn.wv.w.value().data();
+    const int base = static_cast<int>(li) * 2 * d;
+    for (int i = 0; i < d; ++i) {
+      float* row = w_fused + static_cast<std::size_t>(i) * ncols + base;
+      std::memcpy(row, wk + static_cast<std::size_t>(i) * d,
+                  sizeof(float) * static_cast<std::size_t>(d));
+      std::memcpy(row + d, wv + static_cast<std::size_t>(i) * d,
+                  sizeof(float) * static_cast<std::size_t>(d));
+    }
+    std::memcpy(b_fused + base, attn.wk.b.value().data(),
+                sizeof(float) * static_cast<std::size_t>(d));
+    std::memcpy(b_fused + base + d, attn.wv.b.value().data(),
+                sizeof(float) * static_cast<std::size_t>(d));
+  }
+  for (std::size_t r = 0; r < sum_len; ++r) {
+    std::memcpy(proj + r * ncols, b_fused,
+                sizeof(float) * static_cast<std::size_t>(ncols));
+  }
+  tensor::kernels::gemm_acc_rowstable(
+      tensor::kernels::Trans::N, tensor::kernels::Trans::N,
+      static_cast<int>(sum_len), ncols, d, compact, d, w_fused, ncols, proj,
+      ncols);
+
+  // Split the fused panel back out per source and layer: V rows copy out
+  // contiguously, K transposes into the [d, src_len] layout
+  // decode_step::attention_shared streams with unit stride. The transpose
+  // runs in 32x32 tiles so both sides stay within cached lines instead of
+  // taking one cache miss per scattered element.
+  constexpr int kTile = 32;
+  cursor = 0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const int len = wave->lens[i];
+    auto cross = std::make_shared<SourceCrossKV>();
+    cross->src_len = len;
+    cross->layers.resize(dec_layers.size());
+    for (std::size_t li = 0; li < dec_layers.size(); ++li) {
+      const int base = static_cast<int>(li) * 2 * d;
+      auto& kt = cross->layers[li].kt;
+      auto& v = cross->layers[li].v;
+      kt.resize(static_cast<std::size_t>(d) * len);
+      v.resize(static_cast<std::size_t>(len) * d);
+      for (int s0 = 0; s0 < len; s0 += kTile) {
+        const int s1 = std::min(len, s0 + kTile);
+        for (int c0 = 0; c0 < d; c0 += kTile) {
+          const int c1 = std::min(d, c0 + kTile);
+          for (int s = s0; s < s1; ++s) {
+            const float* prow = proj + (cursor + s) * ncols + base;
+            for (int c = c0; c < c1; ++c) {
+              kt[static_cast<std::size_t>(c) * len + s] = prow[c];
+            }
+          }
+        }
+      }
+      for (int s = 0; s < len; ++s) {
+        std::memcpy(v.data() + static_cast<std::size_t>(s) * d,
+                    proj + (cursor + s) * ncols + base + d,
+                    sizeof(float) * static_cast<std::size_t>(d));
+      }
+    }
+    out[i] = std::move(cross);
+    cursor += static_cast<std::size_t>(len);
+  }
+  return out;
+}
+
+std::vector<DecodeResult> decode_batch(const Transformer& model,
+                                       const std::vector<DecodeRequest>& requests,
+                                       DecodeBatchStats* stats) {
   std::vector<DecodeResult> results(requests.size());
   if (requests.empty()) return results;
   if (use_reference_decode()) {
@@ -471,13 +602,22 @@ std::vector<DecodeResult> decode_batch(
                           : model.decoder_layers()[0].ffn.up.w.dim(1);
   const float embed_scale = std::sqrt(static_cast<float>(d));
 
+  // Encode the whole wave's sources (one padded batched pass by default) and
+  // hand each request its cross-attention K/V.
+  Timer encode_timer;
+  std::vector<const std::vector<int>*> sources(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    sources[i] = &requests[i].src_ids;
+  }
+  const auto crosses =
+      precompute_cross_kv_batch(model, sources, encode_batch_enabled());
   std::vector<RequestState> states(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const DecodeRequest& req = requests[i];
     MR_CHECK(req.beam_width >= 1, "beam width must be >= 1");
     auto& st = states[i];
     st.src_len = static_cast<int>(req.src_ids.size());
-    st.cross = precompute_cross_kv(model, req.src_ids);
+    st.cross = crosses[i];
     BatchHyp root;
     root.cache = std::make_shared<LaneCache>();
     root.cache->k.resize(layers);
@@ -485,6 +625,40 @@ std::vector<DecodeResult> decode_batch(
     root.next_input = req.sos;
     st.beam.push_back(std::move(root));
   }
+  if (stats) stats->encode_seconds = encode_timer.seconds();
+  Timer decode_timer;
+
+  // Pack every wave-stepped weight panel once: the step loop multiplies the
+  // same matrices up to max_len times, and for beam-sized row counts the
+  // per-call packing inside gemm_acc costs more traffic than the products.
+  // Results are bit-identical to the unpacked calls (packing never changes
+  // an element's k-step order; sub-threshold shapes take the same naive
+  // fallback through the retained raw pointers).
+  using tensor::kernels::pack_b_panels;
+  using tensor::kernels::PackedPanelB;
+  using tensor::kernels::Trans;
+  auto pack_lin = [](const Linear& lin) {
+    return pack_b_panels(Trans::N, lin.w.dim(1), lin.w.dim(0),
+                         lin.w.value().data(), lin.w.dim(1));
+  };
+  struct PackedDecoderLayer {
+    PackedPanelB self_q, self_k, self_v, self_o;
+    PackedPanelB cross_q, cross_o;
+    PackedPanelB up, down;
+  };
+  std::vector<PackedDecoderLayer> packed(layers);
+  for (std::size_t li = 0; li < layers; ++li) {
+    const auto& layer = model.decoder_layers()[li];
+    packed[li].self_q = pack_lin(layer.self_attn.wq);
+    packed[li].self_k = pack_lin(layer.self_attn.wk);
+    packed[li].self_v = pack_lin(layer.self_attn.wv);
+    packed[li].self_o = pack_lin(layer.self_attn.wo);
+    packed[li].cross_q = pack_lin(layer.cross_attn.wq);
+    packed[li].cross_o = pack_lin(layer.cross_attn.wo);
+    packed[li].up = pack_lin(layer.ffn.up);
+    packed[li].down = pack_lin(layer.ffn.down);
+  }
+  const PackedPanelB out_proj_packed = pack_lin(model.output_projection());
 
   // Wave scratch: one row per live hypothesis across all requests.
   std::vector<float> x, normed, q, attn, proj, krows, vrows, hidden, logits;
@@ -561,11 +735,14 @@ std::vector<DecodeResult> decode_batch(
       // Causal self-attention: one GEMM per projection over all rows, then
       // per-row ragged attention over each hypothesis's own cache.
       decode_step::layer_norm_rows(x.data(), layer.ln1, rows, d, normed.data());
-      decode_step::linear_rows(normed.data(), layer.self_attn.wq, rows,
+      decode_step::linear_rows(normed.data(), packed[li].self_q,
+                               layer.self_attn.wq.b.value().data(), rows,
                                q.data());
-      decode_step::linear_rows(normed.data(), layer.self_attn.wk, rows,
+      decode_step::linear_rows(normed.data(), packed[li].self_k,
+                               layer.self_attn.wk.b.value().data(), rows,
                                krows.data());
-      decode_step::linear_rows(normed.data(), layer.self_attn.wv, rows,
+      decode_step::linear_rows(normed.data(), packed[li].self_v,
+                               layer.self_attn.wv.b.value().data(), rows,
                                vrows.data());
       const std::size_t cache_off = static_cast<std::size_t>(t) * d;
       for (int m = 0; m < rows; ++m) {
@@ -583,14 +760,16 @@ std::vector<DecodeResult> decode_batch(
       }
       decode_step::attention_ragged(q.data(), rows, d, heads, ks.data(),
                                     vs.data(), kv_lens.data(), attn.data());
-      decode_step::linear_rows(attn.data(), layer.self_attn.wo, rows,
+      decode_step::linear_rows(attn.data(), packed[li].self_o,
+                               layer.self_attn.wo.b.value().data(), rows,
                                proj.data());
       for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
 
       // Cross attention: each request's contiguous row block attends over
       // its shared encoder K/V panel via per-head GEMMs.
       decode_step::layer_norm_rows(x.data(), layer.ln2, rows, d, normed.data());
-      decode_step::linear_rows(normed.data(), layer.cross_attn.wq, rows,
+      decode_step::linear_rows(normed.data(), packed[li].cross_q,
+                               layer.cross_attn.wq.b.value().data(), rows,
                                q.data());
       for (const RowSpan& span : spans) {
         const auto& cross = states[span.req].cross->layers[li];
@@ -599,24 +778,28 @@ std::vector<DecodeResult> decode_batch(
             d, heads, cross.kt.data(), cross.v.data(), states[span.req].src_len,
             attn.data() + static_cast<std::size_t>(span.m0) * d);
       }
-      decode_step::linear_rows(attn.data(), layer.cross_attn.wo, rows,
+      decode_step::linear_rows(attn.data(), packed[li].cross_o,
+                               layer.cross_attn.wo.b.value().data(), rows,
                                proj.data());
       for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
 
       // Feed-forward.
       decode_step::layer_norm_rows(x.data(), layer.ln3, rows, d, normed.data());
-      decode_step::linear_rows(normed.data(), layer.ffn.up, rows,
+      decode_step::linear_rows(normed.data(), packed[li].up,
+                               layer.ffn.up.b.value().data(), rows,
                                hidden.data());
       decode_step::gelu_rows(hidden.data(),
                              static_cast<std::size_t>(rows) * ffn_dim);
-      decode_step::linear_rows(hidden.data(), layer.ffn.down, rows,
+      decode_step::linear_rows(hidden.data(), packed[li].down,
+                               layer.ffn.down.b.value().data(), rows,
                                proj.data());
       for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
     }
 
     decode_step::layer_norm_rows(x.data(), model.decoder_final_ln(), rows, d,
                                  normed.data());
-    decode_step::linear_rows(normed.data(), model.output_projection(), rows,
+    decode_step::linear_rows(normed.data(), out_proj_packed,
+                             model.output_projection().b.value().data(), rows,
                              logits.data());
 
     // Per-request beam bookkeeping, mirroring the reference path's candidate
@@ -705,6 +888,7 @@ std::vector<DecodeResult> decode_batch(
     results[i].tokens = best->tokens;
     results[i].log_prob = best->log_prob;
   }
+  if (stats) stats->decode_seconds = decode_timer.seconds();
   return results;
 }
 

@@ -1,11 +1,13 @@
 // Forward-only incremental decoding with per-layer KV caches.
 //
-// Two decode paths live here. The batched engine (decode_batch) advances all
-// live hypotheses of all concurrent requests through one [rows, d] GEMM per
-// projection per layer and is what greedy_decode / beam_decode route
+// Two decode paths live here. The batched engine (decode_batch) encodes each
+// wave's sources through one padded batched encoder pass (nn::encode_batch;
+// MPIRICAL_ENCODE_BATCH=0 falls back to per-source encoding) and advances
+// all live hypotheses of all concurrent requests through one [rows, d] GEMM
+// per projection per layer; it is what greedy_decode / beam_decode route
 // through. The per-hypothesis reference path (IncrementalDecoder +
 // decode_reference) is the PR 1 implementation, kept as the oracle for the
-// differential equivalence suite and the fallback for odd shapes.
+// differential equivalence suites and the fallback for odd shapes.
 //
 // Training uses the autograd path; generation would be quadratic-in-length if
 // it re-ran the full decoder per emitted token. IncrementalDecoder encodes
@@ -99,12 +101,52 @@ struct DecodeResult {
   double log_prob = 0.0;
 };
 
+/// Per-request immutable cross-attention K/V, shared (behind shared_ptr)
+/// across every hypothesis of a request's beam. K is stored TRANSPOSED
+/// ([d, src_len] row-major), the layout decode_step::attention_shared
+/// streams with unit stride; V stays [src_len, d].
+struct SourceCrossKV {
+  struct Layer {
+    std::vector<float> kt;  // [d, src_len] -- K transposed
+    std::vector<float> v;   // [src_len, d]
+  };
+  int src_len = 0;
+  std::vector<Layer> layers;
+};
+
+/// True unless MPIRICAL_ENCODE_BATCH is set to a value starting with '0'
+/// (read per call so benches can toggle mid-process). When enabled (the
+/// default), decode_batch encodes each wave's sources through one padded
+/// batched encoder pass (nn::encode_batch); when disabled it falls back to
+/// the per-source padding-free batch-of-1 encode -- the oracle the
+/// encode-equivalence suite differentials against.
+bool encode_batch_enabled();
+
+/// Precomputes each source's decoder cross-attention K/V: one GEMM per
+/// projection per layer over that source's encoder rows, padded rows
+/// excluded. `batched` selects the padded batched encoder (all sources in
+/// one wave pass, per-request EncodedView slices of the shared panel) vs the
+/// per-source oracle path. Exposed for the encode-equivalence and
+/// padding-invariance suites; decode_batch routes through it.
+std::vector<std::shared_ptr<const SourceCrossKV>> precompute_cross_kv_batch(
+    const Transformer& model,
+    const std::vector<const std::vector<int>*>& sources, bool batched);
+
+/// Wall-time split of one decode_batch call, for the decode bench's
+/// encode_ms/decode_ms reporting. Filled only by the batched engine (the
+/// MPIRICAL_DECODE_REFERENCE fallback leaves it zeroed).
+struct DecodeBatchStats {
+  double encode_seconds = 0.0;  // source encoding + cross-K/V precompute
+  double decode_seconds = 0.0;  // wave stepping + beam bookkeeping
+};
+
 /// Decodes all requests in lockstep GEMM waves. Token-for-token equivalent
 /// to running decode_reference per request (tests/test_decode_equivalence.cpp
 /// is the differential harness). Setting MPIRICAL_DECODE_REFERENCE=1 in the
 /// environment routes every request through the reference path instead.
 std::vector<DecodeResult> decode_batch(const Transformer& model,
-                                       const std::vector<DecodeRequest>& requests);
+                                       const std::vector<DecodeRequest>& requests,
+                                       DecodeBatchStats* stats = nullptr);
 
 /// The PR 1 per-hypothesis decode path (IncrementalDecoder + one GEMV per
 /// projection per hypothesis), kept as the oracle for the differential

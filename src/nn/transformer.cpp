@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "support/arena.hpp"
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 
 namespace mpirical::nn {
@@ -285,6 +287,17 @@ void linear_rows(const float* x, const Linear& lin, int rows, float* out) {
                             lin.w.value().data(), n, out, n);
 }
 
+void linear_rows(const float* x, const tensor::kernels::PackedPanelB& w,
+                 const float* bias, int rows, float* out) {
+  const int n = w.n;
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(out + static_cast<std::size_t>(r) * n, bias,
+                sizeof(float) * static_cast<std::size_t>(n));
+  }
+  tensor::kernels::gemm_acc_packed(tensor::kernels::Trans::N, rows, x, w.k, w,
+                                   out, n);
+}
+
 void gelu_rows(float* x, std::size_t n) {
   constexpr float kC = 0.7978845608028654f;
   constexpr float kA = 0.044715f;
@@ -431,5 +444,308 @@ void attention_shared(const float* q, int rows, int d, int heads,
 }
 
 }  // namespace decode_step
+
+// ---- batched encoder-panel primitives ---------------------------------------
+//
+// GCC's -O2 "very-cheap" vectorizer cost model refuses the elementwise and
+// streaming loops below (runtime trip counts need epilogues), leaving the
+// softmax exp and GELU passes scalar. O3's dynamic model vectorizes them.
+// This cannot change results: without -ffast-math the vectorizer never
+// reassociates FP reductions, and every loop here is either elementwise or
+// an explicitly lane-split (4-accumulator) reduction whose combine order is
+// fixed in the source.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC push_options
+#pragma GCC optimize("O3")
+#endif
+
+namespace encode_step {
+
+void linear_panel(const float* x, const Linear& lin, int rows, float* out) {
+  const int in = lin.w.dim(0);
+  const int n = lin.w.dim(1);
+  const auto& bias = lin.b.value();
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(out + static_cast<std::size_t>(r) * n, bias.data(),
+                sizeof(float) * static_cast<std::size_t>(n));
+  }
+  tensor::kernels::gemm_acc_rowstable(tensor::kernels::Trans::N,
+                                      tensor::kernels::Trans::N, rows, n, in,
+                                      x, in, lin.w.value().data(), n, out, n);
+}
+
+void linear_panel_residual(const float* in, const Linear& lin, int rows,
+                           float* x) {
+  const int k = lin.w.dim(0);
+  const int n = lin.w.dim(1);
+  tensor::kernels::gemm_acc_rowstable(tensor::kernels::Trans::N,
+                                      tensor::kernels::Trans::N, rows, n, k,
+                                      in, k, lin.w.value().data(), n, x, n);
+  const auto& bias = lin.b.value();
+  for (int r = 0; r < rows; ++r) {
+    float* xrow = x + static_cast<std::size_t>(r) * n;
+    for (int j = 0; j < n; ++j) xrow[j] += bias[static_cast<std::size_t>(j)];
+  }
+}
+
+namespace {
+
+// Vectorizable exp approximation shared by the padded encoder's softmax and
+// GELU: 2^z split into integer and [-0.5, 0.5] fraction, with the
+// round-to-nearest done by the 1.5 * 2^23 magic-number bias (a pure float
+// add that rounds to nearest-even and leaves the integer in the low
+// mantissa bits) so the loop body is branch-free float/int ops the compiler
+// autovectorizes -- no libm call, no scalar cvt. The degree-6 Taylor of 2^f
+// keeps relative error ~1e-7, ~2 ulp off glibc expf: the same order as the
+// kernel layer's reassociation noise. Inputs below -87 clamp (exp == 0 at
+// float precision there anyway); softmax feeds max-subtracted values <= 0.
+inline float exp_fast(float x) {
+  constexpr float kLog2e = 1.44269504088896341f;
+  constexpr float kC1 = 0.6931471805599453f;   // ln2
+  constexpr float kC2 = 0.2402265069591007f;   // ln2^2/2!
+  constexpr float kC3 = 0.05550410866482158f;  // ln2^3/3!
+  constexpr float kC4 = 0.009618129107628477f;
+  constexpr float kC5 = 0.0013333558146428443f;
+  constexpr float kC6 = 0.00015403530393381608f;
+  constexpr float kRound = 12582912.0f;  // 1.5 * 2^23
+  const float z = (x < -87.0f ? -87.0f : x) * kLog2e;
+  const float biased = z + kRound;
+  std::int32_t zi;
+  std::memcpy(&zi, &biased, sizeof(zi));
+  zi -= 0x4B400000;  // bit pattern of kRound: the low bits are round(z)
+  const float f = z - (biased - kRound);
+  const float p =
+      1.0f +
+      f * (kC1 + f * (kC2 + f * (kC3 + f * (kC4 + f * (kC5 + f * kC6)))));
+  const std::int32_t bits = (zi + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return scale * p;
+}
+
+}  // namespace
+
+void gelu_panel(float* x, std::size_t n) {
+  constexpr float kC = 0.7978845608028654f;
+  constexpr float kA = 0.044715f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float u = kC * (v + kA * v * v * v);
+    // tanh(u) = 1 - 2 / (exp(2u) + 1); u is clamped so exp stays in range
+    // (|u| >= 9 is tanh == +-1 at float precision anyway).
+    const float uc = u > 9.0f ? 9.0f : (u < -9.0f ? -9.0f : u);
+    const float t = 1.0f - 2.0f / (exp_fast(2.0f * uc) + 1.0f);
+    x[i] = 0.5f * v * (1.0f + t);
+  }
+}
+
+void qkv_panel(const float* x, const AttentionBlock& attn, int rows, int d,
+               float* qkv) {
+  const int n3 = 3 * d;
+  // Interleave the three projections' weights row-wise ([d, 3d]) and biases
+  // once per call; the copies are O(d^2), noise next to the [rows, 3d] GEMM.
+  thread_local std::vector<float> w3, b3;
+  w3.resize(static_cast<std::size_t>(d) * n3);
+  b3.resize(static_cast<std::size_t>(n3));
+  const float* wq = attn.wq.w.value().data();
+  const float* wk = attn.wk.w.value().data();
+  const float* wv = attn.wv.w.value().data();
+  for (int i = 0; i < d; ++i) {
+    float* row = w3.data() + static_cast<std::size_t>(i) * n3;
+    std::memcpy(row, wq + static_cast<std::size_t>(i) * d,
+                sizeof(float) * static_cast<std::size_t>(d));
+    std::memcpy(row + d, wk + static_cast<std::size_t>(i) * d,
+                sizeof(float) * static_cast<std::size_t>(d));
+    std::memcpy(row + 2 * d, wv + static_cast<std::size_t>(i) * d,
+                sizeof(float) * static_cast<std::size_t>(d));
+  }
+  std::memcpy(b3.data(), attn.wq.b.value().data(),
+              sizeof(float) * static_cast<std::size_t>(d));
+  std::memcpy(b3.data() + d, attn.wk.b.value().data(),
+              sizeof(float) * static_cast<std::size_t>(d));
+  std::memcpy(b3.data() + 2 * d, attn.wv.b.value().data(),
+              sizeof(float) * static_cast<std::size_t>(d));
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(qkv + static_cast<std::size_t>(r) * n3, b3.data(),
+                sizeof(float) * static_cast<std::size_t>(n3));
+  }
+  tensor::kernels::gemm_acc_rowstable(tensor::kernels::Trans::N,
+                                      tensor::kernels::Trans::N, rows, n3, d,
+                                      x, d, w3.data(), n3, qkv, n3);
+}
+
+void self_attention_padded(const float* q, const float* k, const float* v,
+                           int ld, int batch, int max_len, const int* lens,
+                           int d, int heads, float* out) {
+  using tensor::kernels::Trans;
+  const int hd = d / heads;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+  std::memset(out, 0,
+              sizeof(float) * static_cast<std::size_t>(batch) * max_len * d);
+
+  // Per (source, head): one Q.K^T score GEMM over the source's valid rows,
+  // the training path's exact masked-softmax row loop (scale, float max,
+  // exp, guarded normalize), then one probs.V GEMM into the zeroed output.
+  // The score panel's leading dimension is the source's own valid length,
+  // so nothing here depends on max_len or on the other sources.
+  parallel_for(
+      0, static_cast<std::size_t>(batch) * heads,
+      [&](std::size_t bh) {
+        const int b = static_cast<int>(bh) / heads;
+        const int h = static_cast<int>(bh) % heads;
+        const int len = lens[b];
+        const float* qbase =
+            q + static_cast<std::size_t>(b) * max_len * ld + h * hd;
+        const float* kbase =
+            k + static_cast<std::size_t>(b) * max_len * ld + h * hd;
+        const float* vbase =
+            v + static_cast<std::size_t>(b) * max_len * ld + h * hd;
+        float* obase = out + static_cast<std::size_t>(b) * max_len * d + h * hd;
+        thread_local std::vector<float> probs;
+        probs.assign(static_cast<std::size_t>(len) * len, 0.0f);
+        tensor::kernels::gemm_acc(Trans::N, Trans::T, len, len, hd, qbase, ld,
+                                  kbase, ld, probs.data(), len);
+        for (int i = 0; i < len; ++i) {
+          float* prow = probs.data() + static_cast<std::size_t>(i) * len;
+          // Four-lane max accumulators: exact same max (associative), but
+          // the dependence chain no longer serializes the pass.
+          float m0 = -1e30f, m1 = -1e30f, m2 = -1e30f, m3 = -1e30f;
+          int j = 0;
+          for (; j + 4 <= len; j += 4) {
+            prow[j] *= inv_sqrt;
+            prow[j + 1] *= inv_sqrt;
+            prow[j + 2] *= inv_sqrt;
+            prow[j + 3] *= inv_sqrt;
+            m0 = std::max(m0, prow[j]);
+            m1 = std::max(m1, prow[j + 1]);
+            m2 = std::max(m2, prow[j + 2]);
+            m3 = std::max(m3, prow[j + 3]);
+          }
+          for (; j < len; ++j) {
+            prow[j] *= inv_sqrt;
+            m0 = std::max(m0, prow[j]);
+          }
+          const float mx = std::max(std::max(m0, m1), std::max(m2, m3));
+          for (j = 0; j < len; ++j) prow[j] = exp_fast(prow[j] - mx);
+          // Four partial sums (fixed combine order, so the result depends
+          // only on len) break the serial FP-add chain the same way.
+          float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+          for (j = 0; j + 4 <= len; j += 4) {
+            s0 += prow[j];
+            s1 += prow[j + 1];
+            s2 += prow[j + 2];
+            s3 += prow[j + 3];
+          }
+          for (; j < len; ++j) s0 += prow[j];
+          const float sum = (s0 + s1) + (s2 + s3);
+          const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
+          for (j = 0; j < len; ++j) prow[j] *= inv;
+        }
+        tensor::kernels::gemm_acc(Trans::N, Trans::N, len, hd, len,
+                                  probs.data(), len, vbase, ld, obase, d);
+      },
+      /*grain=*/1);
+}
+
+}  // namespace encode_step
+
+// ---- padded batched encoder -------------------------------------------------
+
+std::shared_ptr<const EncodedBatch> encode_batch(
+    const Transformer& model,
+    const std::vector<const std::vector<int>*>& sources) {
+  const TransformerConfig& cfg = model.config();
+  const int d = cfg.d_model;
+  const int heads = cfg.heads;
+  const int batch = static_cast<int>(sources.size());
+  MR_CHECK(batch > 0, "encode_batch: empty wave");
+
+  std::vector<int> lens(static_cast<std::size_t>(batch));
+  int max_len = 0;
+  for (int b = 0; b < batch; ++b) {
+    const std::vector<int>& src = *sources[static_cast<std::size_t>(b)];
+    const int len = static_cast<int>(src.size());
+    MR_CHECK(len > 0, "encode_batch: empty source sequence");
+    MR_CHECK(len <= cfg.max_len, "encode_batch: source exceeds max_len");
+    lens[static_cast<std::size_t>(b)] = len;
+    max_len = std::max(max_len, len);
+  }
+
+  const int rows = batch * max_len;
+  const std::size_t rd = static_cast<std::size_t>(rows) * d;
+  const int ffn_dim =
+      model.encoder_layers().empty()
+          ? 0
+          : model.encoder_layers()[0].ffn.up.w.dim(1);
+
+  // All intermediate panels come from the calling thread's arena: a pool
+  // thread decoding wave after wave reuses the same memory once the arena
+  // reaches the steady-state wave footprint.
+  ScratchArena& arena = ScratchArena::local();
+  arena.reset();
+  float* x = arena.floats(rd);
+  float* normed = arena.floats(rd);
+  float* qkv = arena.floats(rd * 3);
+  float* attn = arena.floats(rd);
+  float* hidden = arena.floats(static_cast<std::size_t>(rows) * ffn_dim);
+
+  // Embedding + positional encoding; padding rows stay zero (they only ever
+  // feed row-wise ops, and attention masks them out entirely).
+  std::memset(x, 0, sizeof(float) * rd);
+  const float embed_scale = std::sqrt(static_cast<float>(d));
+  const float* embed = model.token_embedding().value().data();
+  for (int b = 0; b < batch; ++b) {
+    const std::vector<int>& src = *sources[static_cast<std::size_t>(b)];
+    for (int t = 0; t < lens[static_cast<std::size_t>(b)]; ++t) {
+      const int token = src[static_cast<std::size_t>(t)];
+      MR_CHECK(token >= 0 && token < cfg.vocab_size,
+               "encode_batch: token id out of range");
+      const float* erow = embed + static_cast<std::size_t>(token) * d;
+      const std::vector<float>& pos = model.positional_row(t);
+      float* xrow =
+          x + (static_cast<std::size_t>(b) * max_len + t) * d;
+      for (int i = 0; i < d; ++i) {
+        // Named temporary so scale-then-add rounds exactly like the training
+        // path's separate tensor::scale and tensor::add ops (no FMA fusion).
+        const float scaled = erow[i] * embed_scale;
+        xrow[i] = scaled + pos[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+  for (const EncoderLayer& layer : model.encoder_layers()) {
+    decode_step::layer_norm_rows(x, layer.ln1, rows, d, normed);
+    encode_step::qkv_panel(normed, layer.attn, rows, d, qkv);
+    encode_step::self_attention_padded(qkv, qkv + d, qkv + 2 * d, 3 * d, batch,
+                                       max_len, lens.data(), d, heads, attn);
+    encode_step::linear_panel_residual(attn, layer.attn.wo, rows, x);
+
+    decode_step::layer_norm_rows(x, layer.ln2, rows, d, normed);
+    encode_step::linear_panel(normed, layer.ffn.up, rows, hidden);
+    encode_step::gelu_panel(hidden, static_cast<std::size_t>(rows) * ffn_dim);
+    encode_step::linear_panel_residual(hidden, layer.ffn.down, rows, x);
+  }
+
+  auto out = std::make_shared<EncodedBatch>();
+  out->batch = batch;
+  out->max_len = max_len;
+  out->d = d;
+  out->lens = std::move(lens);
+  out->panel.resize(rd);
+  decode_step::layer_norm_rows(x, model.encoder_final_ln(), rows, d,
+                               out->panel.data());
+  return out;
+}
+
+std::shared_ptr<const EncodedBatch> encode_batch(
+    const Transformer& model, const std::vector<std::vector<int>>& sources) {
+  std::vector<const std::vector<int>*> ptrs(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) ptrs[i] = &sources[i];
+  return encode_batch(model, ptrs);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC pop_options
+#endif
 
 }  // namespace mpirical::nn

@@ -7,11 +7,13 @@
 // and sequence lengths carry the padding masks into attention.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "nn/linear.hpp"
 #include "support/rng.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mpirical::nn {
@@ -150,6 +152,13 @@ void layer_norm_rows(const float* x, const LayerNormParams& ln, int rows,
 /// per row). `x` and `out` must not alias.
 void linear_rows(const float* x, const Linear& lin, int rows, float* out);
 
+/// Same product against a PREPACKED weight panel
+/// (tensor::kernels::pack_b_panels, once per wave) -- bit-identical to the
+/// Linear overload at every shape, but the weight packing that gemm_acc
+/// would redo inside every decode step is paid once per decode_batch call.
+void linear_rows(const float* x, const tensor::kernels::PackedPanelB& w,
+                 const float* bias, int rows, float* out);
+
 /// In-place tanh-approximation GELU over a flat buffer.
 void gelu_rows(float* x, std::size_t n);
 
@@ -174,5 +183,114 @@ void attention_shared(const float* q, int rows, int d, int heads,
                       float* out);
 
 }  // namespace decode_step
+
+// ---- padded batched encoder -------------------------------------------------
+//
+// The serving-path encoder: a whole wave of variable-length sources packed
+// into one padded [batch * max_len, d] panel and advanced through the full
+// encoder stack with a single GEMM per projection per layer. Padding
+// semantics: row b * max_len + t holds source b's position t; rows with
+// t >= lens[b] are padding -- they ride through the row-wise ops (cheap, and
+// keeps every projection one dense GEMM) but are masked out of attention, so
+// no valid row ever reads a padded one. All panel projections go through
+// kernels::gemm_acc_rowstable and the masked attention mirrors the training
+// path's per-(source, head) loop shapes, which together make each source's
+// rows bitwise identical to encoding it alone in a padding-free batch of one
+// -- the property tests/test_encode_equivalence.cpp locks in.
+
+/// One wave's shared encoder output panel. `panel` holds the final
+/// layer-normed encoder states, [batch * max_len, d] row-major; rows at
+/// positions >= lens[b] within source b's block are padding (never read by
+/// consumers, which use lens[b]).
+struct EncodedBatch {
+  int batch = 0;
+  int max_len = 0;
+  int d = 0;
+  std::vector<int> lens;     // valid length per source
+  std::vector<float> panel;  // [batch * max_len, d]
+
+  /// Source b's contiguous valid rows ([lens[b], d], leading dimension d).
+  const float* rows_of(int b) const {
+    return panel.data() +
+           static_cast<std::size_t>(b) * max_len * d;
+  }
+};
+
+/// Per-request handle into a wave's shared panel: holding a view keeps the
+/// panel alive (shared_ptr), so concurrent consumers of different sources
+/// share one allocation instead of copying their slices out.
+struct EncodedView {
+  std::shared_ptr<const EncodedBatch> wave;
+  int index = 0;
+
+  int len() const { return wave->lens[static_cast<std::size_t>(index)]; }
+  const float* rows() const { return wave->rows_of(index); }
+};
+
+/// Encodes a wave of sources through the padded batched encoder. Sources
+/// must be non-empty and no longer than the model's max_len. Intermediate
+/// panels come from the calling thread's ScratchArena (reset here), so a
+/// pool thread processing many waves reuses the same scratch memory; only
+/// the returned output panel is owned by the EncodedBatch.
+std::shared_ptr<const EncodedBatch> encode_batch(
+    const Transformer& model,
+    const std::vector<const std::vector<int>*>& sources);
+
+/// Convenience overload for owned source vectors (tests, simple callers).
+std::shared_ptr<const EncodedBatch> encode_batch(
+    const Transformer& model, const std::vector<std::vector<int>>& sources);
+
+// ---- batched encoder-panel primitives ---------------------------------------
+//
+// Row-panel building blocks for encode_batch, the encoder-side siblings of
+// the decode_step primitives above. They operate on padded [rows, width]
+// panels and are deliberately bit-row-stable: a row's output bits depend
+// only on that row's inputs (and, for attention, its own source's valid
+// rows), never on the panel height or the row's position.
+namespace encode_step {
+
+/// out[rows, out_dim] = x[rows, in_dim] @ W + b as one
+/// kernels::gemm_acc_rowstable GEMM. The bias is preloaded as each output
+/// row's accumulator init -- for k <= 256 (one kernel k-block) that rounds
+/// bit-identically to the training path's matmul-then-add_bias order, since
+/// float addition is commutative and the k-sum accumulates in a register
+/// before the single add.
+void linear_panel(const float* x, const Linear& lin, int rows, float* out);
+
+/// Residual-fused projection: x[rows, d] += in @ W + b. The GEMM
+/// accumulates directly into the residual stream (no intermediate panel, no
+/// zeroing pass); the bias is added in one trailing pass.
+void linear_panel_residual(const float* in, const Linear& lin, int rows,
+                           float* x);
+
+/// In-place tanh-approximation GELU over the padded panel, with tanh
+/// computed through expf (tanh u = 1 - 2/(e^2u + 1)): glibc's vectorizable
+/// expf is ~4x faster than its scalar tanhf, at a 2-3 ULP deviation --
+/// the same order as the kernel layer's reassociation noise, and an
+/// elementwise map, so rows stay bit-stable. The decode engine keeps the
+/// exact decode_step::gelu_rows.
+void gelu_panel(float* x, std::size_t n);
+
+/// Fused attention-input projection: qkv[rows, 3d] = x @ [Wq|Wk|Wv] + bias
+/// as ONE GEMM (columns [0,d) = Q, [d,2d) = K, [2d,3d) = V, leading
+/// dimension 3d). Column-for-column bit-identical to three separate
+/// linear_panel calls -- n-tiling never changes an output element's k-order.
+void qkv_panel(const float* x, const AttentionBlock& attn, int rows, int d,
+               float* qkv);
+
+/// Padding-masked bidirectional multi-head self-attention over a padded
+/// panel: query row (b, t < lens[b]) attends over key rows (b, j < lens[b])
+/// only; padded rows of `out` are zeroed. `q`/`k`/`v` rows share leading
+/// dimension `ld` (3d when sliced from a qkv_panel); `out` is [.., d],
+/// leading dimension d. Per (source, head): one Q.K^T score GEMM over the
+/// source's valid rows, the training path's exact masked-softmax row loop,
+/// then one probs.V GEMM -- every shape depends only on lens[b], d, and
+/// heads, never on max_len or batch, which is what makes the padded pass
+/// padding-invariant per source.
+void self_attention_padded(const float* q, const float* k, const float* v,
+                           int ld, int batch, int max_len, const int* lens,
+                           int d, int heads, float* out);
+
+}  // namespace encode_step
 
 }  // namespace mpirical::nn

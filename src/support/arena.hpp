@@ -1,0 +1,79 @@
+// Reusable scratch arena for per-wave inference panels.
+//
+// The batched decode/encode engines allocate the same large flat buffers
+// (padded embedding panels, per-projection activations, FFN hidden panels)
+// once per wave. Drawing them from a per-thread bump arena instead of fresh
+// vectors means a pool thread that processes many waves touches the
+// allocator only while the arena grows to the steady-state wave footprint;
+// after that, every wave is pointer arithmetic. reset() rewinds the cursors
+// without releasing memory, and capacity is observable so tests can assert
+// that repeated waves stop growing (tests/test_kernels.cpp stress test).
+//
+// Chunks never resize once created, so pointers handed out stay valid until
+// the owning arena is destroyed -- reset() only invalidates them logically
+// (the next wave will overwrite the bytes).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace mpirical {
+
+class ScratchArena {
+ public:
+  /// Returns a float buffer of `n` elements valid until the next reset().
+  /// Contents are unspecified (callers that need zeros memset themselves).
+  /// Returns nullptr for n == 0.
+  float* floats(std::size_t n) {
+    if (n == 0) return nullptr;
+    for (auto& chunk : chunks_) {
+      if (chunk.data.size() - chunk.used >= n) {
+        float* p = chunk.data.data() + chunk.used;
+        chunk.used += n;
+        return p;
+      }
+    }
+    chunks_.emplace_back();
+    Chunk& chunk = chunks_.back();
+    chunk.data.resize(std::max(n, kMinChunkFloats));
+    chunk.used = n;
+    return chunk.data.data();
+  }
+
+  /// Rewinds every chunk cursor; capacity is retained for the next wave.
+  void reset() {
+    for (auto& chunk : chunks_) chunk.used = 0;
+  }
+
+  /// Total floats held across chunks (the steady-state wave footprint once
+  /// growth stops).
+  std::size_t capacity_floats() const {
+    std::size_t total = 0;
+    for (const auto& chunk : chunks_) total += chunk.data.size();
+    return total;
+  }
+
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+  /// The calling thread's arena. Each pool worker (and the main thread) owns
+  /// one, so waves running on the same thread reuse the same memory and
+  /// concurrent waves on different threads never contend.
+  static ScratchArena& local() {
+    static thread_local ScratchArena arena;
+    return arena;
+  }
+
+ private:
+  // 64 Ki floats (256 KiB): one chunk comfortably holds a smoke-sized wave,
+  // and production waves settle after a handful of chunks.
+  static constexpr std::size_t kMinChunkFloats = std::size_t{1} << 16;
+
+  struct Chunk {
+    std::vector<float> data;
+    std::size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace mpirical

@@ -152,18 +152,55 @@ void gemm_blocked_range(Trans ta, Trans tb, int i0, int i1, int j0, int j1,
   }
 }
 
-}  // namespace
-
-void gemm_acc_on(ThreadPool& pool_ref, Trans ta, Trans tb, int m, int n, int k,
-                 const float* a, int lda, const float* b, int ldb, float* c,
-                 int ldc) {
-  if (m <= 0 || n <= 0 || k <= 0) return;
-  const double flops = 2.0 * m * n * k;
-  if (flops < kSmallProblemFlops) {
-    naive::gemm_acc(ta, tb, m, n, k, a, lda, b, ldb, c, ldc);
-    return;
+// One jc column-panel of a prepacked-B product over C rows [i0, i1): the
+// panel's kKc blocks are consumed in the same pc-ascending order
+// gemm_blocked_range packs and consumes them, so every C element sees the
+// identical k-step order whether B was packed inline or up front.
+void gemm_blocked_rows_packed(Trans ta, int i0, int i1, int jc, int nc, int k,
+                              const float* a, int lda, const float* panel,
+                              float* c, int ldc) {
+  auto& a_pack = t_a_pack;
+  a_pack.resize(round_up(std::min(kMc, i1 - i0), kMr) *
+                static_cast<std::size_t>(kKc));
+  const float* bp_block = panel;
+  for (int pc = 0; pc < k; pc += kKc) {
+    const int kc = std::min(kKc, k - pc);
+    for (int ic = i0; ic < i1; ic += kMc) {
+      const int mc = std::min(kMc, i1 - ic);
+      pack_a(ta, a, lda, ic, mc, pc, kc, a_pack.data());
+      for (int js = 0; js < nc; js += kNr) {
+        const float* bp =
+            bp_block + static_cast<std::size_t>(js / kNr) * kc * kNr;
+        const int nr = std::min(kNr, nc - js);
+        for (int is = 0; is < mc; is += kMr) {
+          const float* ap =
+              a_pack.data() + static_cast<std::size_t>(is / kMr) * kc * kMr;
+          const int mr = std::min(kMr, mc - is);
+          micro_kernel(kc, ap, bp, mr, nr,
+                       c + static_cast<std::size_t>(ic + is) * ldc + jc + js,
+                       ldc);
+        }
+      }
+    }
+    bp_block += round_up(nc, kNr) * static_cast<std::size_t>(kc);
   }
+}
 
+// A jc panel's packed size: every kKc block holds round_up(nc, kNr) sliver
+// columns, and the kc's sum to k.
+std::size_t packed_panel_floats(int nc, int k) {
+  return round_up(nc, kNr) * static_cast<std::size_t>(k);
+}
+
+// Blocked-path dispatch shared by gemm_acc_on (after its naive small-problem
+// shortcut) and gemm_acc_rowstable (which must never take that shortcut).
+// Serial-vs-parallel and the 2D tiling only change which C elements are
+// computed when, never the per-element k-step order, so both callers get
+// bit-identical rows for a given (A row, B, initial C row).
+void gemm_dispatch_blocked(ThreadPool& pool_ref, Trans ta, Trans tb, int m,
+                           int n, int k, const float* a, int lda,
+                           const float* b, int ldb, float* c, int ldc) {
+  const double flops = 2.0 * m * n * k;
   const std::size_t pool = pool_ref.size();
   if (pool <= 1 || flops < kParallelFlops) {
     gemm_blocked_range(ta, tb, 0, m, 0, n, k, a, lda, b, ldb, c, ldc);
@@ -205,9 +242,112 @@ void gemm_acc_on(ThreadPool& pool_ref, Trans ta, Trans tb, int m, int n, int k,
       /*grain=*/1);
 }
 
+}  // namespace
+
+void gemm_acc_on(ThreadPool& pool_ref, Trans ta, Trans tb, int m, int n, int k,
+                 const float* a, int lda, const float* b, int ldb, float* c,
+                 int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (2.0 * m * n * k < kSmallProblemFlops) {
+    naive::gemm_acc(ta, tb, m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  gemm_dispatch_blocked(pool_ref, ta, tb, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
 void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
               const float* b, int ldb, float* c, int ldc) {
   gemm_acc_on(ThreadPool::global(), ta, tb, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_acc_rowstable(Trans ta, Trans tb, int m, int n, int k,
+                        const float* a, int lda, const float* b, int ldb,
+                        float* c, int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  gemm_dispatch_blocked(ThreadPool::global(), ta, tb, m, n, k, a, lda, b, ldb,
+                        c, ldc);
+}
+
+PackedPanelB pack_b_panels(Trans tb, int n, int k, const float* b, int ldb) {
+  PackedPanelB packed;
+  packed.n = n;
+  packed.k = k;
+  packed.tb = tb;
+  packed.raw = b;
+  packed.ldb = ldb;
+  std::size_t total = 0;
+  for (int jc = 0; jc < n; jc += kNc) {
+    total += packed_panel_floats(std::min(kNc, n - jc), k);
+  }
+  packed.data.resize(total);
+  float* dst = packed.data.data();
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int nc = std::min(kNc, n - jc);
+    for (int pc = 0; pc < k; pc += kKc) {
+      const int kc = std::min(kKc, k - pc);
+      pack_b(tb, b, ldb, pc, kc, jc, nc, dst);
+      dst += round_up(nc, kNr) * static_cast<std::size_t>(kc);
+    }
+  }
+  return packed;
+}
+
+void gemm_acc_packed(Trans ta, int m, const float* a, int lda,
+                     const PackedPanelB& b, float* c, int ldc) {
+  const int n = b.n;
+  const int k = b.k;
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  const double flops = 2.0 * m * n * k;
+  if (flops < kSmallProblemFlops) {
+    // Same fallback gemm_acc takes, via the retained raw operand, so results
+    // stay bit-identical to the unpacked call at every shape.
+    naive::gemm_acc(ta, b.tb, m, n, k, a, lda, b.raw, b.ldb, c, ldc);
+    return;
+  }
+
+  ThreadPool& pool_ref = ThreadPool::global();
+  const std::size_t pool = pool_ref.size();
+  if (pool <= 1 || flops < kParallelFlops) {
+    std::size_t off = 0;
+    for (int jc = 0; jc < n; jc += kNc) {
+      const int nc = std::min(kNc, n - jc);
+      gemm_blocked_rows_packed(ta, 0, m, jc, nc, k, a, lda, b.data.data() + off,
+                               c, ldc);
+      off += packed_panel_floats(nc, k);
+    }
+    return;
+  }
+
+  // Same 2D decomposition as gemm_acc_on: row ranges x column panels, each
+  // task a disjoint C tile reading its panel's prepacked data.
+  const int row_blocks = (m + kMc - 1) / kMc;
+  const int ranges_per_panel = std::min(row_blocks, static_cast<int>(pool));
+  const int blocks_per_range =
+      (row_blocks + ranges_per_panel - 1) / ranges_per_panel;
+  const int i_step = blocks_per_range * kMc;
+  struct Tile {
+    int i0, i1, jc, nc;
+    std::size_t off;
+  };
+  std::vector<Tile> tiles;
+  std::size_t off = 0;
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int nc = std::min(kNc, n - jc);
+    for (int i0 = 0; i0 < m; i0 += i_step) {
+      tiles.push_back(Tile{i0, std::min(m, i0 + i_step), jc, nc, off});
+    }
+    off += packed_panel_floats(nc, k);
+  }
+  pool_ref.for_range(
+      0, tiles.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t t = lo; t < hi; ++t) {
+          const Tile& tile = tiles[t];
+          gemm_blocked_rows_packed(ta, tile.i0, tile.i1, tile.jc, tile.nc, k,
+                                   a, lda, b.data.data() + tile.off, c, ldc);
+        }
+      },
+      /*grain=*/1);
 }
 
 void gemv(int m, int n, const float* x, const float* w, int ldw,

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 namespace mpirical {
 class ThreadPool;
@@ -32,12 +33,55 @@ namespace mpirical::tensor::kernels {
 
 enum class Trans { N, T };
 
+/// A B operand packed once into the kernel's internal panel layout for reuse
+/// across many products against the same matrix -- the decode engine's
+/// weight panels are multiplied once per wave step, and re-packing them
+/// inside every gemm_acc call costs more memory traffic than the products
+/// themselves for beam-sized row counts. The raw pointer/leading dimension
+/// are retained so small products can take the same naive fallback gemm_acc
+/// takes, keeping results bit-identical to the unpacked call for EVERY
+/// shape. The raw matrix must outlive the pack.
+struct PackedPanelB {
+  int n = 0;
+  int k = 0;
+  Trans tb = Trans::N;
+  const float* raw = nullptr;
+  int ldb = 0;
+  std::vector<float> data;  // kNc-column panels x kKc-row blocks, in order
+};
+
+/// Packs op(B) ([k, n] logical) for gemm_acc_packed.
+PackedPanelB pack_b_panels(Trans tb, int n, int k, const float* b, int ldb);
+
+/// C[m, n] (ldc) += op(A) . op(B) with B prepacked. Bit-identical to
+/// gemm_acc(ta, tb, m, n, k, a, lda, raw_b, ldb, c, ldc) for every shape:
+/// packing never changes an element's k-step order, and sub-threshold
+/// products route through the same naive fallback via the retained raw
+/// pointer.
+void gemm_acc_packed(Trans ta, int m, const float* a, int lda,
+                     const PackedPanelB& b, float* c, int ldc);
+
 /// C[m,n] (ldc) += op(A) . op(B). `ta == Trans::T` means A is stored [k,m]
 /// (lda >= m); `tb == Trans::T` means B is stored [n,k] (ldb >= k). Large
 /// products are decomposed over the global thread pool; results do not
 /// depend on the pool size.
 void gemm_acc(Trans ta, Trans tb, int m, int n, int k, const float* a, int lda,
               const float* b, int ldb, float* c, int ldc);
+
+/// Same product as gemm_acc, but with BIT-STABLE ROWS: the small-problem
+/// fallback to the naive loops is skipped, so every C element accumulates
+/// its k-steps in the blocked order no matter what m is. A given C row's
+/// bits therefore depend only on its own A row, B, and its initial C values
+/// -- never on how many other rows ride in the same product, where the row
+/// sits in the panel, or the pool size. The padded batched encoder routes
+/// its panel projections through this so that encoding a source in batches
+/// padded to different lengths yields bitwise-identical rows (the
+/// padding-invariance guarantee of tests/test_encode_equivalence.cpp).
+/// Slightly slower than gemm_acc on tiny shapes (packing overhead the naive
+/// path avoids); prefer gemm_acc when row stability is not required.
+void gemm_acc_rowstable(Trans ta, Trans tb, int m, int n, int k,
+                        const float* a, int lda, const float* b, int ldb,
+                        float* c, int ldc);
 
 /// Same product decomposed over an explicit pool instead of the global one.
 /// Each task owns a contiguous multi-row-block i-range sized from the pool

@@ -1,0 +1,319 @@
+// Differential harness for the padded batched encoder (nn::encode_batch):
+// decoding through a wave-encoded padded panel must emit token-for-token
+// identical output (and matching scores within 1e-5) to the per-source
+// padding-free batch-of-1 oracle, across ragged source-length mixes whose
+// lengths straddle the kernel tile edges (6/16/72/128) and beam widths 1-8.
+// On top of the differential contract, the padding-invariance property is
+// asserted BITWISE: encoding the same source in batches padded to different
+// max lengths yields bit-identical encoder rows and cross-attention K/V,
+// because every panel projection routes through kernels::gemm_acc_rowstable
+// and the masked attention's shapes depend only on the source's own length.
+//
+// As in test_decode_equivalence.cpp, exact token equality against the oracle
+// is a probabilistic guarantee: the two encoders' logits agree only to the
+// last few ULPs (different GEMM fusion, expf-approximation softmax), which
+// random-model logit gaps (~1e-2) dwarf. Under an MPIRICAL_TEST_SEED re-roll
+// an astronomically unlucky near-tie could flip one argmax -- check the
+// divergence point's logit gap before suspecting a bug. The bitwise
+// padding-invariance assertions carry no such caveat.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "nn/infer.hpp"
+#include "nn/transformer.hpp"
+#include "testing.hpp"
+
+namespace mpirical::nn {
+namespace {
+
+constexpr int kSos = 1;
+constexpr int kEos = 2;
+
+// Source lengths straddling the register-tile (6) / sliver (16) / cache-block
+// (72, 128) edges the panel GEMMs and attention tiles decompose over.
+constexpr int kRaggedLens[] = {5, 6, 7, 15, 16, 17, 71, 72, 73, 127, 128, 129};
+
+TransformerConfig random_config(Rng& rng) {
+  TransformerConfig cfg;
+  const int d_choices[] = {16, 24, 32};
+  cfg.d_model = d_choices[rng.next_below(3)];
+  cfg.heads = rng.next_bool() ? 2 : 4;  // both divide every d_model choice
+  cfg.ffn_dim = cfg.d_model * 2;
+  cfg.vocab_size = 14 + static_cast<int>(rng.next_below(20));
+  cfg.encoder_layers = 1 + static_cast<int>(rng.next_below(2));
+  cfg.decoder_layers = 1 + static_cast<int>(rng.next_below(2));
+  cfg.max_len = 160;  // covers the 129-token ragged sources plus decode steps
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+std::vector<int> source_of_len(Rng& rng, const TransformerConfig& cfg,
+                               int len) {
+  std::vector<int> src(static_cast<std::size_t>(len));
+  for (auto& id : src) {
+    id = 3 + static_cast<int>(
+                 rng.next_below(static_cast<std::uint64_t>(cfg.vocab_size) - 3));
+  }
+  return src;
+}
+
+int pick_len(Rng& rng) {
+  return kRaggedLens[rng.next_below(sizeof(kRaggedLens) /
+                                    sizeof(kRaggedLens[0]))];
+}
+
+void expect_equivalent(const DecodeResult& got, const DecodeResult& want,
+                       const std::string& what) {
+  ASSERT_EQ(got.tokens, want.tokens) << what << ": token sequences diverged";
+  ASSERT_NEAR(got.log_prob, want.log_prob,
+              1e-5 * std::max(1.0, std::fabs(want.log_prob)))
+      << what << ": scores diverged";
+}
+
+// The batched panel's valid rows must match the per-source oracle encoder
+// (training-path tensor ops, padding-free batch of one) to within the usual
+// kernel-noise tolerance.
+TEST(EncodeEquivalence, PanelMatchesPerSourceOracleEncoder) {
+  MR_SEEDED_RNG(rng, 0xE0);
+  for (int trial = 0; trial < 3; ++trial) {
+    const TransformerConfig cfg = random_config(rng);
+    Transformer model(cfg, rng);
+    std::vector<std::vector<int>> sources;
+    for (int i = 0; i < 7; ++i) {
+      sources.push_back(source_of_len(rng, cfg, pick_len(rng)));
+    }
+    const auto wave = encode_batch(model, sources);
+    ASSERT_EQ(wave->batch, 7);
+    ASSERT_EQ(wave->d, cfg.d_model);
+    for (int b = 0; b < wave->batch; ++b) {
+      const int len = static_cast<int>(sources[static_cast<std::size_t>(b)]
+                                           .size());
+      ASSERT_EQ(wave->lens[static_cast<std::size_t>(b)], len);
+      Rng enc_rng(0);
+      const std::vector<int> lens1 = {len};
+      tensor::Tensor oracle =
+          model.encode(sources[static_cast<std::size_t>(b)], 1, len, lens1,
+                       /*training=*/false, enc_rng);
+      const EncodedView view{wave, b};
+      const float* got = view.rows();
+      const auto& want = oracle.value();
+      for (std::size_t i = 0;
+           i < static_cast<std::size_t>(len) * cfg.d_model; ++i) {
+        ASSERT_NEAR(got[i], want[i],
+                    1e-4f * std::max(1.0f, std::fabs(want[i])))
+            << "trial " << trial << " source " << b << " element " << i;
+      }
+    }
+  }
+}
+
+// Greedy decode through the batched encoder, across ragged mixes of 1, 7,
+// and 16 sources, vs the full per-source reference decoder.
+TEST(EncodeEquivalence, GreedyTokenIdenticalAcrossRaggedMixes) {
+  MR_SEEDED_RNG(rng, 0xE1);
+  const TransformerConfig cfg = random_config(rng);
+  Transformer model(cfg, rng);
+  for (const int wave_size : {1, 7, 16}) {
+    std::vector<DecodeRequest> reqs;
+    for (int i = 0; i < wave_size; ++i) {
+      DecodeRequest req;
+      req.src_ids = source_of_len(rng, cfg, pick_len(rng));
+      req.sos = kSos;
+      req.eos = kEos;
+      req.max_len = 14;
+      req.beam_width = 1;
+      reqs.push_back(std::move(req));
+    }
+    const auto batched = decode_batch(model, reqs);
+    ASSERT_EQ(batched.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const auto ref = decode_reference(model, reqs[i].src_ids, kSos, kEos,
+                                        reqs[i].max_len, 1);
+      expect_equivalent(batched[i], ref,
+                        "wave " + std::to_string(wave_size) + " source " +
+                            std::to_string(i) + " len " +
+                            std::to_string(reqs[i].src_ids.size()));
+    }
+  }
+}
+
+TEST(EncodeEquivalence, BeamWidths1Through8MatchReference) {
+  MR_SEEDED_RNG(rng, 0xE2);
+  const TransformerConfig cfg = random_config(rng);
+  Transformer model(cfg, rng);
+  std::vector<std::vector<int>> sources;
+  for (int i = 0; i < 3; ++i) {
+    sources.push_back(source_of_len(rng, cfg, pick_len(rng)));
+  }
+  for (int width = 1; width <= 8; ++width) {
+    std::vector<DecodeRequest> reqs;
+    for (const auto& src : sources) {
+      reqs.push_back(DecodeRequest{src, kSos, kEos, 10, width});
+    }
+    const auto batched = decode_batch(model, reqs);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const auto ref =
+          decode_reference(model, sources[i], kSos, kEos, 10, width);
+      expect_equivalent(batched[i], ref,
+                        "width " + std::to_string(width) + " source " +
+                            std::to_string(i));
+    }
+  }
+}
+
+// Mixed beam widths and staggered decode budgets share one wave whose
+// sources also have ragged lengths -- the full serving-path shape.
+TEST(EncodeEquivalence, MixedBeamRaggedWaveMatchesReference) {
+  MR_SEEDED_RNG(rng, 0xE3);
+  const TransformerConfig cfg = random_config(rng);
+  Transformer model(cfg, rng);
+  std::vector<DecodeRequest> reqs;
+  for (int i = 0; i < 7; ++i) {
+    DecodeRequest req;
+    req.src_ids = source_of_len(rng, cfg, pick_len(rng));
+    req.sos = kSos;
+    req.eos = kEos;
+    req.max_len = 6 + i * 2;
+    req.beam_width = 1 + i;
+    reqs.push_back(std::move(req));
+  }
+  const auto batched = decode_batch(model, reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto ref = decode_reference(model, reqs[i].src_ids, kSos, kEos,
+                                      reqs[i].max_len, reqs[i].beam_width);
+    expect_equivalent(batched[i], ref, "request " + std::to_string(i));
+  }
+}
+
+// Padding-invariance, the bitwise property: the same source encoded in
+// waves padded to different max lengths (alone, and next to companions of
+// tile-edge lengths 72 / 128) must produce BIT-identical encoder rows and
+// cross-attention K/V. No tolerance -- every panel projection is
+// row-bit-stable and the masked attention's shapes depend only on the
+// source's own length.
+TEST(EncodeEquivalence, PaddingInvarianceIsBitwise) {
+  MR_SEEDED_RNG(rng, 0xE4);
+  for (int trial = 0; trial < 2; ++trial) {
+    const TransformerConfig cfg = random_config(rng);
+    Transformer model(cfg, rng);
+    for (const int len : {6, 16, 72}) {
+      const std::vector<int> src = source_of_len(rng, cfg, len);
+      // Padded to len (alone), 72, and 128: three different panel shapes.
+      const std::vector<std::vector<int>> companions = {
+          {}, source_of_len(rng, cfg, 72), source_of_len(rng, cfg, 128)};
+
+      std::vector<float> base_rows;
+      std::vector<std::shared_ptr<const SourceCrossKV>> base_kv;
+      for (std::size_t ci = 0; ci < companions.size(); ++ci) {
+        std::vector<const std::vector<int>*> wave_sources = {&src};
+        if (!companions[ci].empty()) wave_sources.push_back(&companions[ci]);
+
+        const auto wave = encode_batch(model, wave_sources);
+        const EncodedView view{wave, 0};
+        ASSERT_EQ(view.len(), len);
+        std::vector<float> rows(
+            view.rows(),
+            view.rows() + static_cast<std::size_t>(len) * cfg.d_model);
+
+        const auto kv =
+            precompute_cross_kv_batch(model, wave_sources, /*batched=*/true);
+        SCOPED_TRACE(::testing::Message()
+                     << "trial " << trial << " len " << len << " companion "
+                     << ci << " (max_len " << wave->max_len << ")");
+        if (ci == 0) {
+          base_rows = std::move(rows);
+          base_kv = kv;
+          continue;
+        }
+        ASSERT_EQ(rows, base_rows) << "encoder rows changed with padding";
+        ASSERT_EQ(kv[0]->src_len, base_kv[0]->src_len);
+        ASSERT_EQ(kv[0]->layers.size(), base_kv[0]->layers.size());
+        for (std::size_t li = 0; li < kv[0]->layers.size(); ++li) {
+          ASSERT_EQ(kv[0]->layers[li].kt, base_kv[0]->layers[li].kt)
+              << "cross-K changed with padding (layer " << li << ")";
+          ASSERT_EQ(kv[0]->layers[li].v, base_kv[0]->layers[li].v)
+              << "cross-V changed with padding (layer " << li << ")";
+        }
+      }
+    }
+  }
+}
+
+// End-to-end corollary: decoding a request alone and decoding it inside a
+// wave with a longer companion yields the same tokens (the cross-K/V bits
+// are identical; only wave-row-count rounding in the decoder differs, which
+// token gaps dwarf).
+TEST(EncodeEquivalence, PaddingInvariantDecodedTokens) {
+  MR_SEEDED_RNG(rng, 0xE5);
+  const TransformerConfig cfg = random_config(rng);
+  Transformer model(cfg, rng);
+  const std::vector<int> src = source_of_len(rng, cfg, 16);
+  const std::vector<int> companion = source_of_len(rng, cfg, 128);
+  const DecodeRequest req{src, kSos, kEos, 12, 2};
+  const DecodeRequest other{companion, kSos, kEos, 12, 2};
+
+  const auto alone = decode_batch(model, {req});
+  const auto padded = decode_batch(model, {req, other});
+  EXPECT_EQ(alone[0].tokens, padded[0].tokens);
+  EXPECT_NEAR(alone[0].log_prob, padded[0].log_prob,
+              1e-5 * std::max(1.0, std::fabs(alone[0].log_prob)));
+}
+
+// MPIRICAL_ENCODE_BATCH=0 falls back to the per-source oracle encoder; both
+// settings must match the reference decode, and the toggle must be read
+// per call.
+TEST(EncodeEquivalence, EncodeBatchToggleFallsBackToPerSourcePath) {
+  MR_SEEDED_RNG(rng, 0xE6);
+  const TransformerConfig cfg = random_config(rng);
+  Transformer model(cfg, rng);
+  std::vector<DecodeRequest> reqs;
+  for (int i = 0; i < 3; ++i) {
+    reqs.push_back(DecodeRequest{source_of_len(rng, cfg, pick_len(rng)), kSos,
+                                 kEos, 10, 2});
+  }
+
+  ASSERT_TRUE(encode_batch_enabled());
+  setenv("MPIRICAL_ENCODE_BATCH", "0", 1);
+  ASSERT_FALSE(encode_batch_enabled());
+  const auto per_source = decode_batch(model, reqs);
+  unsetenv("MPIRICAL_ENCODE_BATCH");
+  ASSERT_TRUE(encode_batch_enabled());
+  const auto batched = decode_batch(model, reqs);
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto ref = decode_reference(model, reqs[i].src_ids, kSos, kEos, 10,
+                                      2);
+    expect_equivalent(per_source[i], ref,
+                      "per-source request " + std::to_string(i));
+    expect_equivalent(batched[i], ref, "batched request " + std::to_string(i));
+  }
+}
+
+// Degenerate shapes: single-token sources and a source at the model's
+// max_len must encode and decode like the oracle.
+TEST(EncodeEquivalence, DegenerateSourceLengths) {
+  MR_SEEDED_RNG(rng, 0xE7);
+  TransformerConfig cfg = random_config(rng);
+  cfg.max_len = 140;
+  Transformer model(cfg, rng);
+  for (const int len : {1, 2, 128}) {
+    std::vector<DecodeRequest> reqs = {
+        DecodeRequest{source_of_len(rng, cfg, len), kSos, kEos, 8, 1},
+        DecodeRequest{source_of_len(rng, cfg, 1), kSos, kEos, 8, 3}};
+    const auto batched = decode_batch(model, reqs);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const auto ref =
+          decode_reference(model, reqs[i].src_ids, kSos, kEos, 8,
+                           reqs[i].beam_width);
+      expect_equivalent(batched[i], ref,
+                        "len " + std::to_string(len) + " request " +
+                            std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpirical::nn

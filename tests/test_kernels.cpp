@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <mutex>
 #include <vector>
 
+#include "nn/infer.hpp"
 #include "nn/transformer.hpp"
+#include "support/arena.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "tensor/kernels.hpp"
@@ -165,6 +169,165 @@ TEST(Kernels, GemmParallelDecompositionMatchesAcrossPoolSizes) {
       }
     }
   }
+}
+
+// gemm_acc_rowstable's contract: a C row's bits depend only on its own A row
+// (and B), never on m or the row's position. Computing each row alone (m=1)
+// must reproduce the full product's rows BITWISE, including shapes small
+// enough that gemm_acc itself would fall back to the naive loops.
+TEST(Kernels, GemmRowstableRowsAreBitStable) {
+  MR_SEEDED_RNG(rng, 51);
+  for (const auto& s :
+       std::vector<std::array<int, 3>>{{1, 8, 8},    {5, 16, 24},
+                                       {17, 96, 96}, {73, 96, 192},
+                                       {96, 129, 96}, {200, 96, 300}}) {
+    const int m = s[0], n = s[1], k = s[2];
+    const auto a = rng.gaussian_vec(static_cast<std::size_t>(m) * k);
+    const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+    const auto c0 = rng.gaussian_vec(static_cast<std::size_t>(m) * n);
+    auto c_full = c0;
+    gemm_acc_rowstable(Trans::N, Trans::N, m, n, k, a.data(), k, b.data(), n,
+                       c_full.data(), n);
+    // Numerically it is still the same product.
+    auto c_naive = c0;
+    naive::gemm_acc(Trans::N, Trans::N, m, n, k, a.data(), k, b.data(), n,
+                    c_naive.data(), n);
+    expect_close(c_full, c_naive);
+    // Bitwise: any single row recomputed alone matches the full panel.
+    for (const int i : {0, m / 2, m - 1}) {
+      std::vector<float> c_row(c0.begin() + static_cast<std::size_t>(i) * n,
+                               c0.begin() + static_cast<std::size_t>(i + 1) * n);
+      gemm_acc_rowstable(Trans::N, Trans::N, 1, n, k,
+                         a.data() + static_cast<std::size_t>(i) * k, k,
+                         b.data(), n, c_row.data(), n);
+      for (int j = 0; j < n; ++j) {
+        ASSERT_EQ(c_row[static_cast<std::size_t>(j)],
+                  c_full[static_cast<std::size_t>(i) * n + j])
+            << "m=" << m << " n=" << n << " k=" << k << " row " << i
+            << " col " << j << ": row bits depend on panel height";
+      }
+    }
+  }
+}
+
+// gemm_acc_packed's contract: bit-identical to gemm_acc on the same
+// operands for every shape, including sub-threshold products (which must
+// take the same naive fallback) and multi-panel / multi-k-block shapes.
+TEST(Kernels, GemmPackedMatchesUnpackedBitwise) {
+  MR_SEEDED_RNG(rng, 53);
+  for (Trans ta : {Trans::N, Trans::T}) {
+    for (Trans tb : {Trans::N, Trans::T}) {
+      for (const auto& s :
+           std::vector<std::array<int, 3>>{{1, 8, 8},     {3, 96, 96},
+                                           {24, 800, 96}, {24, 96, 96},
+                                           {96, 129, 300}, {7, 17, 129}}) {
+        const int m = s[0], n = s[1], k = s[2];
+        const int lda = ta == Trans::N ? k : m;
+        const int ldb = tb == Trans::N ? n : k;
+        const auto a = rng.gaussian_vec(static_cast<std::size_t>(m) * k);
+        const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+        const auto c0 = rng.gaussian_vec(static_cast<std::size_t>(m) * n);
+        auto c_unpacked = c0;
+        gemm_acc(ta, tb, m, n, k, a.data(), lda, b.data(), ldb,
+                 c_unpacked.data(), n);
+        const PackedPanelB packed = pack_b_panels(tb, n, k, b.data(), ldb);
+        auto c_packed = c0;
+        gemm_acc_packed(ta, m, a.data(), lda, packed, c_packed.data(), n);
+        ASSERT_EQ(c_packed, c_unpacked)
+            << "m=" << m << " n=" << n << " k=" << k
+            << " ta=" << (ta == Trans::T) << " tb=" << (tb == Trans::T);
+      }
+    }
+  }
+}
+
+// ---- scratch arena ----------------------------------------------------------
+
+TEST(Arena, ReusesCapacityAcrossWaves) {
+  ScratchArena arena;
+  EXPECT_EQ(arena.capacity_floats(), 0u);
+
+  // A wave-shaped allocation pattern, repeated: capacity and chunk count
+  // must stop growing after the first wave, and the first allocation of
+  // every wave must land on the same reused memory.
+  const std::size_t sizes[] = {3840, 3840, 11520, 3840, 7680};
+  float* first_wave_ptr = nullptr;
+  std::size_t cap_after_first = 0, chunks_after_first = 0;
+  for (int wave = 0; wave < 50; ++wave) {
+    arena.reset();
+    float* first = nullptr;
+    for (const std::size_t n : sizes) {
+      float* p = arena.floats(n);
+      ASSERT_NE(p, nullptr);
+      if (!first) first = p;
+      p[0] = 1.0f;
+      p[n - 1] = 2.0f;  // touch both ends
+    }
+    if (wave == 0) {
+      first_wave_ptr = first;
+      cap_after_first = arena.capacity_floats();
+      chunks_after_first = arena.chunk_count();
+      continue;
+    }
+    EXPECT_EQ(first, first_wave_ptr) << "wave " << wave;
+    EXPECT_EQ(arena.capacity_floats(), cap_after_first) << "wave " << wave;
+    EXPECT_EQ(arena.chunk_count(), chunks_after_first) << "wave " << wave;
+  }
+  EXPECT_EQ(arena.floats(0), nullptr);
+}
+
+// ThreadPool stress for the per-wave arena reuse: pool workers drive real
+// encode waves (nn::encode_batch + cross-K/V precompute, exactly what
+// evaluate_model's wave loop runs per chunk) back to back, and each
+// worker's thread-local arena must stop growing after its first wave --
+// repeated waves reallocate nothing.
+TEST(Arena, ThreadPoolStressNoPerWaveAllocationGrowth) {
+  MR_SEEDED_RNG(rng, 57);
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 40;
+  cfg.d_model = 24;
+  cfg.heads = 4;
+  cfg.ffn_dim = 48;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 2;
+  cfg.max_len = 64;
+  cfg.dropout = 0.0f;
+  nn::Transformer model(cfg, rng);
+  std::vector<std::vector<int>> sources;
+  for (const int len : {9, 33, 48, 17}) {
+    std::vector<int> src(static_cast<std::size_t>(len));
+    for (auto& id : src) id = 3 + static_cast<int>(rng.next_below(37));
+    sources.push_back(std::move(src));
+  }
+  std::vector<const std::vector<int>*> ptrs;
+  for (const auto& src : sources) ptrs.push_back(&src);
+
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::string> failures;
+  pool.for_range(
+      0, 4,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t task = lo; task < hi; ++task) {
+          // Warmup wave grows this worker's arena to steady state.
+          (void)nn::precompute_cross_kv_batch(model, ptrs, /*batched=*/true);
+          const std::size_t cap = ScratchArena::local().capacity_floats();
+          const std::size_t chunks = ScratchArena::local().chunk_count();
+          for (int wave = 0; wave < 12; ++wave) {
+            (void)nn::precompute_cross_kv_batch(model, ptrs, /*batched=*/true);
+            if (ScratchArena::local().capacity_floats() != cap ||
+                ScratchArena::local().chunk_count() != chunks) {
+              std::lock_guard<std::mutex> lock(mu);
+              failures.push_back("task " + std::to_string(task) + " wave " +
+                                 std::to_string(wave) +
+                                 ": arena grew past the warmup wave");
+              return;
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  for (const auto& f : failures) ADD_FAILURE() << f;
 }
 
 // ---- batched decode-step attention ------------------------------------------
