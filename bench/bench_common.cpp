@@ -2,8 +2,12 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
+#include "shard/eval.hpp"
 #include "support/strings.hpp"
 #include "support/timer.hpp"
 
@@ -15,6 +19,41 @@ std::size_t env_size(const char* name, std::size_t fallback) {
     if (parsed > 0) return static_cast<std::size_t>(parsed);
   }
   return fallback;
+}
+
+bool smoke_mode() {
+  const char* e = std::getenv("MPIRICAL_BENCH_SMOKE");
+  return e != nullptr && e[0] != '\0' && e[0] != '0';
+}
+
+void setenv_default(const char* name, const char* value) {
+  if (std::getenv(name) == nullptr) setenv(name, value, 1);
+}
+
+void append_json_line(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  out << line << "\n";
+}
+
+bool maybe_run_eval_shard_worker() {
+  if (!shard::is_worker_role()) return false;
+  // The driver's stdout carries the bench tables/JSON; route this worker's
+  // setup chatter to stderr instead.
+  std::fflush(stdout);
+  dup2(2, 1);
+
+  // The driver already (re)trained and cached the checkpoint before
+  // spawning workers; a worker must always load that cache, even when the
+  // driver itself was launched with MPIRICAL_BENCH_RETRAIN=1.
+  unsetenv("MPIRICAL_BENCH_RETRAIN");
+  TrainedSetup setup = ensure_trained_model();
+  const std::size_t limit = env_size("MPIRICAL_BENCH_EVAL_LIMIT", 160);
+  std::vector<corpus::Example> test = setup.dataset.test;
+  if (test.size() > limit) test.resize(limit);
+
+  const auto transport = shard::worker_transport();
+  shard::run_worker(setup.model, test, *transport);
+  return true;
 }
 
 std::string artifacts_dir() {

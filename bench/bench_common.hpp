@@ -25,6 +25,27 @@ namespace mpirical::bench {
 std::size_t env_size(const char* name, std::size_t fallback);
 std::string artifacts_dir();
 
+/// MPIRICAL_BENCH_SMOKE set and non-"0": shrink workloads for CI.
+bool smoke_mode();
+
+/// setenv(name, value) only when the variable is unset -- smoke-mode
+/// defaults that still respect explicit overrides. Call before
+/// ensure_trained_model (and before spawning shard workers, which inherit
+/// the resulting environment).
+void setenv_default(const char* name, const char* value);
+
+/// Appends one line to a BENCH_*.json perf-trajectory file.
+void append_json_line(const std::string& path, const std::string& line);
+
+/// Shard-worker entry for the model-eval benches. When this process was
+/// launched with MPIRICAL_EVAL_SHARD_ROLE=worker it rebuilds the SAME model
+/// and test split the driver evaluates (cached checkpoint + deterministic
+/// dataset from the inherited environment), serves shard chunks over the
+/// inherited pipes (shard::worker_transport), and returns true -- the caller
+/// must then exit(0) without running the bench body. Returns false in a
+/// normal (driver) process.
+bool maybe_run_eval_shard_worker();
+
 corpus::DatasetConfig default_dataset_config();
 core::ModelConfig default_model_config();
 

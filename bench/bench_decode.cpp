@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "nn/infer.hpp"
 #include "nn/transformer.hpp"
 #include "support/rng.hpp"
@@ -26,18 +27,10 @@
 namespace {
 
 using namespace mpirical;
+using bench::smoke_mode;
 
 std::size_t env_or(const char* name, std::size_t fallback) {
-  if (const char* env = std::getenv(name)) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return fallback;
-}
-
-bool smoke_mode() {
-  const char* e = std::getenv("MPIRICAL_BENCH_SMOKE");
-  return e != nullptr && e[0] != '\0' && e[0] != '0';
+  return bench::env_size(name, fallback);
 }
 
 struct Case {
@@ -102,11 +95,19 @@ int main() {
     const double ref_s = ref_timer.seconds();
 
     // The PR 2 configuration: batched decode waves, per-source encoding.
+    // Save and restore the toggle rather than unsetting it, so a caller's
+    // explicit MPIRICAL_ENCODE_BATCH survives the bench.
+    const char* saved_toggle_c = std::getenv("MPIRICAL_ENCODE_BATCH");
+    const std::string saved_toggle = saved_toggle_c ? saved_toggle_c : "";
     setenv("MPIRICAL_ENCODE_BATCH", "0", 1);
     Timer per_source_timer;
     const auto per_source = nn::decode_batch(model, reqs);
     const double per_source_s = per_source_timer.seconds();
-    unsetenv("MPIRICAL_ENCODE_BATCH");
+    if (saved_toggle_c) {
+      setenv("MPIRICAL_ENCODE_BATCH", saved_toggle.c_str(), 1);
+    } else {
+      unsetenv("MPIRICAL_ENCODE_BATCH");
+    }
 
     // The default path: padded batched encoder feeding the decode waves.
     nn::DecodeBatchStats stats;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 #include "tensor/kernels.hpp"
@@ -23,15 +24,9 @@ namespace {
 using namespace mpirical;
 using tensor::kernels::Trans;
 
-/// True when MPIRICAL_BENCH_SMOKE=1: shorter timing windows and the largest
-/// shape skipped, so CI can record trend lines in a few seconds.
-bool smoke_mode() {
-  static const bool v = [] {
-    const char* e = std::getenv("MPIRICAL_BENCH_SMOKE");
-    return e != nullptr && e[0] != '\0' && e[0] != '0';
-  }();
-  return v;
-}
+// Smoke mode (bench::smoke_mode): shorter timing windows and the largest
+// shape skipped, so CI can record trend lines in a few seconds.
+using bench::smoke_mode;
 
 /// Runs `body` repeatedly for >= 0.3 s (0.05 s in smoke mode; at least 3
 /// reps) and returns the best seconds-per-call.

@@ -1,18 +1,50 @@
 // Reproduces Table II: MPI-RICAL quality on the MPICodeCorpus test split --
 // M-F1/Precision/Recall over all MPI functions, MCC-* over the Common Core,
 // and the sequence metrics BLEU / METEOR / ROUGE-L / exact-match ACC.
+//
+// Corpus-scale evaluation shards across worker PROCESSES with
+// MPIRICAL_EVAL_SHARDS=N (default 1): the driver fork/execs N copies of this
+// binary (MPIRICAL_EVAL_SHARD_ROLE=worker), hands decode waves out over
+// pipes, and merges per-example records bit-identically to the unsharded
+// run (src/shard/eval.hpp). Every run appends a perf-trajectory record with
+// shards + examples/s to BENCH_table2.json (path override:
+// MPIRICAL_BENCH_TABLE2_JSON). MPIRICAL_BENCH_SMOKE=1 shrinks the corpus,
+// training, and eval for CI.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/evaluate.hpp"
 #include "core/tagger.hpp"
 #include "metrics/metrics.hpp"
 #include "mpidb/catalog.hpp"
+#include "shard/eval.hpp"
 #include "support/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpirical;
+  (void)argc;
+  if (bench::maybe_run_eval_shard_worker()) return 0;
+
+  const bool smoke = bench::smoke_mode();
+  if (smoke) {
+    // CI-sized run: tiny corpus, one epoch, short eval -- still end-to-end
+    // (train, shard, decode, score). Explicit env settings win.
+    bench::setenv_default("MPIRICAL_BENCH_CORPUS", "320");
+    bench::setenv_default("MPIRICAL_BENCH_EPOCHS", "1");
+    bench::setenv_default("MPIRICAL_BENCH_EVAL_LIMIT", "32");
+    bench::setenv_default("MPIRICAL_BENCH_TAGGER_EPOCHS", "1");
+    // The default wave (32) would make the whole smoke eval one chunk and
+    // starve all but one shard; a wave of 8 gives every CI shard real work.
+    bench::setenv_default("MPIRICAL_DECODE_WAVE", "8");
+  }
+
   bench::print_header("Table II -- performance on the MPICodeCorpus test set");
+
+  // Register this binary as the shard worker BEFORE evaluating so
+  // MPIRICAL_EVAL_SHARDS>1 fans the decode waves out across processes.
+  shard::set_worker_self_exec(argv[0]);
+  const std::size_t shards = shard::env_shards();
 
   auto setup = bench::ensure_trained_model();
   const std::size_t limit =
@@ -20,12 +52,37 @@ int main() {
   std::vector<corpus::Example> test = setup.dataset.test;
   if (test.size() > limit) test.resize(limit);
 
-  std::printf("[eval] greedy-decoding %zu test examples...\n", test.size());
+  std::printf("[eval] greedy-decoding %zu test examples across %zu shard%s...\n",
+              test.size(), shards, shards == 1 ? "" : "s");
   Timer decode_timer;
   const core::EvalSummary s = core::evaluate_model(setup.model, test);
   const double decode_s = decode_timer.seconds();
-  std::printf("[eval] decoded in %.2f s (%.2f examples/s)\n", decode_s,
-              test.empty() ? 0.0 : static_cast<double>(test.size()) / decode_s);
+  const double examples_per_s =
+      decode_s > 0.0 && !test.empty()
+          ? static_cast<double>(test.size()) / decode_s
+          : 0.0;
+  std::printf("[eval] decoded in %.2f s (%.2f examples/s, %zu shard%s)\n",
+              decode_s, examples_per_s, shards, shards == 1 ? "" : "s");
+
+  {
+    char json[512];
+    std::snprintf(
+        json, sizeof(json),
+        "{\"bench\":\"table2_eval\",\"shards\":%zu,\"examples\":%zu,"
+        "\"wave\":%zu,\"beam_width\":1,\"seconds_decode\":%.3f,"
+        "\"examples_per_s\":%.3f,\"m_f1\":%.4f,\"mcc_f1\":%.4f,"
+        "\"bleu\":%.4f,\"meteor\":%.4f,\"rouge_l\":%.4f,\"acc\":%.4f,"
+        "\"smoke\":%s}",
+        shards, test.size(), shard::decode_wave_size(), decode_s,
+        examples_per_s, s.m_counts.f1(), s.mcc_counts.f1(), s.bleu, s.meteor,
+        s.rouge_l, s.acc, smoke ? "true" : "false");
+    std::string path = "BENCH_table2.json";
+    if (const char* override_path = std::getenv("MPIRICAL_BENCH_TABLE2_JSON")) {
+      path = override_path;
+    }
+    bench::append_json_line(path, json);
+    std::printf("%s\n", json);
+  }
 
   struct Row {
     const char* name;

@@ -1,28 +1,23 @@
 #include "core/evaluate.hpp"
 
-#include <mutex>
-
 #include "cparse/parser.hpp"
 #include "mpidb/catalog.hpp"
+#include "shard/eval.hpp"
 #include "support/thread_pool.hpp"
 #include "toklib/vocab.hpp"
 
 namespace mpirical::core {
 
-namespace {
-
-/// Scores one already-decoded prediction against its example (everything in
-/// evaluate_one except the translation itself).
-EvalSummary score_prediction(const corpus::Example& ex,
-                             const std::string& predicted, int line_tolerance,
-                             ExamplePrediction* prediction) {
+EvalSummary score_example(const corpus::Example& ex,
+                          const std::string& predicted_code,
+                          int line_tolerance, ExamplePrediction* prediction) {
   EvalSummary summary;
   summary.examples = 1;
 
   ExamplePrediction pred;
-  pred.predicted_code = predicted;
+  pred.predicted_code = predicted_code;
   try {
-    const auto tree = parse::parse_translation_unit(predicted);
+    const auto tree = parse::parse_translation_unit(predicted_code);
     pred.predicted_calls = ast::collect_mpi_calls(*tree);
     pred.parsed = true;
   } catch (const Error&) {
@@ -36,7 +31,7 @@ EvalSummary score_prediction(const corpus::Example& ex,
       pred.predicted_calls, ex.ground_truth, line_tolerance,
       [](const std::string& f) { return mpidb::is_common_core(f); });
 
-  const auto cand = tok::code_to_tokens(predicted);
+  const auto cand = tok::code_to_tokens(predicted_code);
   const auto ref = tok::code_to_tokens(ex.label_code);
   summary.bleu = metrics::bleu(cand, ref);
   summary.meteor = metrics::meteor(cand, ref);
@@ -47,55 +42,18 @@ EvalSummary score_prediction(const corpus::Example& ex,
   return summary;
 }
 
-}  // namespace
-
-EvalSummary evaluate_one(const MpiRical& model, const corpus::Example& ex,
-                         int beam_width, int line_tolerance,
-                         ExamplePrediction* prediction) {
-  const std::string predicted =
-      model.translate(ex.input_code, ex.input_xsbt, beam_width);
-  return score_prediction(ex, predicted, line_tolerance, prediction);
-}
-
-EvalSummary evaluate_model(const MpiRical& model,
-                           const std::vector<corpus::Example>& split,
-                           int beam_width, int line_tolerance,
-                           std::vector<ExamplePrediction>* predictions) {
+EvalSummary reduce_example_summaries(
+    const std::vector<EvalSummary>& per_example) {
   EvalSummary total;
-  if (predictions) predictions->assign(split.size(), {});
-
-  // Decode every example through the batched engine first: each wave
-  // encodes its sources in one padded batched encoder pass and all live
-  // hypotheses share GEMM waves (the GEMMs themselves parallelize over the
-  // pool). A pool thread's waves reuse one ScratchArena for the padded
-  // panels instead of reallocating them per wave. The decoded programs are
-  // then scored in parallel.
-  std::vector<MpiRical::TranslateRequest> inputs(split.size());
-  for (std::size_t i = 0; i < split.size(); ++i) {
-    inputs[i] = {split[i].input_code, split[i].input_xsbt};
+  for (const auto& one : per_example) {
+    total.m_counts += one.m_counts;
+    total.mcc_counts += one.mcc_counts;
+    total.bleu += one.bleu;
+    total.meteor += one.meteor;
+    total.rouge_l += one.rouge_l;
+    total.acc += one.acc;
+    total.examples += one.examples;
   }
-  const std::vector<std::string> decoded =
-      model.translate_batch(inputs, beam_width);
-
-  std::mutex mu;
-  parallel_for(
-      0, split.size(),
-      [&](std::size_t i) {
-        ExamplePrediction pred;
-        const EvalSummary one =
-            score_prediction(split[i], decoded[i], line_tolerance, &pred);
-        std::lock_guard<std::mutex> lock(mu);
-        total.m_counts += one.m_counts;
-        total.mcc_counts += one.mcc_counts;
-        total.bleu += one.bleu;
-        total.meteor += one.meteor;
-        total.rouge_l += one.rouge_l;
-        total.acc += one.acc;
-        ++total.examples;
-        if (predictions) (*predictions)[i] = std::move(pred);
-      },
-      /*grain=*/1);
-
   if (total.examples > 0) {
     const double n = static_cast<double>(total.examples);
     total.bleu /= n;
@@ -104,6 +62,58 @@ EvalSummary evaluate_model(const MpiRical& model,
     total.acc /= n;
   }
   return total;
+}
+
+EvalSummary evaluate_one(const MpiRical& model, const corpus::Example& ex,
+                         int beam_width, int line_tolerance,
+                         ExamplePrediction* prediction) {
+  const std::string predicted =
+      model.translate(ex.input_code, ex.input_xsbt, beam_width);
+  return score_example(ex, predicted, line_tolerance, prediction);
+}
+
+EvalSummary evaluate_model(const MpiRical& model,
+                           const std::vector<corpus::Example>& split,
+                           int beam_width, int line_tolerance,
+                           std::vector<ExamplePrediction>* predictions) {
+  const std::size_t shards = shard::env_shards();
+  if (shards > 1) {
+    shard::ShardOptions options;
+    options.shards = shards;
+    options.beam_width = beam_width;
+    options.line_tolerance = line_tolerance;
+    return shard::evaluate_sharded(model, split, options, predictions);
+  }
+
+  if (predictions) predictions->assign(split.size(), {});
+
+  // Decode every example through the batched engine first: each wave
+  // encodes its sources in one padded batched encoder pass and all live
+  // hypotheses share GEMM waves (the GEMMs themselves parallelize over the
+  // pool). A pool thread's waves reuse one ScratchArena for the padded
+  // panels instead of reallocating them per wave. The decoded programs are
+  // then scored in parallel into per-example slots and reduced in canonical
+  // example order (the same reduction the sharded merge uses, so sharded
+  // runs are bit-identical to this one).
+  std::vector<MpiRical::TranslateRequest> inputs(split.size());
+  for (std::size_t i = 0; i < split.size(); ++i) {
+    inputs[i] = {split[i].input_code, split[i].input_xsbt};
+  }
+  const std::vector<std::string> decoded =
+      model.translate_batch(inputs, beam_width);
+
+  std::vector<EvalSummary> per_example(split.size());
+  parallel_for(
+      0, split.size(),
+      [&](std::size_t i) {
+        ExamplePrediction pred;
+        per_example[i] =
+            score_example(split[i], decoded[i], line_tolerance, &pred);
+        if (predictions) (*predictions)[i] = std::move(pred);
+      },
+      /*grain=*/1);
+
+  return reduce_example_summaries(per_example);
 }
 
 }  // namespace mpirical::core

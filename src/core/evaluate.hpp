@@ -30,12 +30,32 @@ struct ExamplePrediction {
 };
 
 /// Translates every example in `split` (greedy when beam_width <= 1) and
-/// aggregates the Table II metrics. Parallelizes across examples.
+/// aggregates the Table II metrics. Parallelizes across examples in-process;
+/// with MPIRICAL_EVAL_SHARDS > 1 the decode waves are distributed across
+/// shard workers instead (src/shard/eval.hpp) -- worker processes when a
+/// self-exec binary is registered, loopback threads otherwise -- and the
+/// merged summary is bit-identical to the unsharded run. `predictions`, when
+/// non-null, is always populated in original split order.
 EvalSummary evaluate_model(const MpiRical& model,
                            const std::vector<corpus::Example>& split,
                            int beam_width = 1, int line_tolerance = 1,
                            std::vector<ExamplePrediction>* predictions =
                                nullptr);
+
+/// Scores one already-decoded prediction against its example (everything in
+/// evaluate_one except the translation). Exposed so shard workers score
+/// chunk results with the exact code path the unsharded loop uses.
+EvalSummary score_example(const corpus::Example& ex,
+                          const std::string& predicted_code,
+                          int line_tolerance = 1,
+                          ExamplePrediction* prediction = nullptr);
+
+/// Reduces per-example summaries (each with examples == 1) in canonical
+/// index order: integer counts sum exactly, sequence metrics sum then
+/// normalize in a fixed order, so any evaluation that produces the same
+/// per-example values merges to a bit-identical EvalSummary regardless of
+/// completion order or shard count.
+EvalSummary reduce_example_summaries(const std::vector<EvalSummary>& per_example);
 
 /// Single-example scoring, exposed for tests and the Table III bench.
 EvalSummary evaluate_one(const MpiRical& model, const corpus::Example& ex,

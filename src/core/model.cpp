@@ -11,6 +11,7 @@
 #include "mpidb/catalog.hpp"
 #include "nn/adam.hpp"
 #include "nn/infer.hpp"
+#include "shard/partition.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -255,12 +256,10 @@ std::vector<std::string> MpiRical::translate_batch(
   // last-ULP rounding -- a fixed wave keeps decoded tokens identical across
   // machines. Tune per run with MPIRICAL_DECODE_WAVE (smaller waves = more
   // chunks for the parallel_for below on many-core boxes, at ULP risk only
-  // for that run).
-  std::size_t wave = 32;
-  if (const char* env = std::getenv("MPIRICAL_DECODE_WAVE")) {
-    const long v = std::atol(env);
-    if (v > 0) wave = static_cast<std::size_t>(v);
-  }
+  // for that run). shard::decode_wave_size is the single source of truth:
+  // the sharded evaluator's chunk boundaries MUST be these wave boundaries
+  // for its merge to be bit-identical to this loop.
+  const std::size_t wave = shard::decode_wave_size();
 
   std::vector<std::string> out(inputs.size());
   // Waves are independent, so they decode concurrently across the pool

@@ -32,6 +32,20 @@ struct PrfCounts {
     return *this;
   }
 
+  // Counts merge commutatively and exactly (integers), so sharded partial
+  // sums reduce to the same totals in any order; equality backs the
+  // shard-invariance differential suite.
+  friend PrfCounts operator+(PrfCounts a, const PrfCounts& b) {
+    a += b;
+    return a;
+  }
+  friend bool operator==(const PrfCounts& a, const PrfCounts& b) {
+    return a.tp == b.tp && a.fp == b.fp && a.fn == b.fn;
+  }
+  friend bool operator!=(const PrfCounts& a, const PrfCounts& b) {
+    return !(a == b);
+  }
+
   double precision() const {
     return tp + fp == 0 ? 0.0
                         : static_cast<double>(tp) /

@@ -264,11 +264,12 @@ void linear_panel_residual(const float* in, const Linear& lin, int rows,
                            float* x);
 
 /// In-place tanh-approximation GELU over the padded panel, with tanh
-/// computed through expf (tanh u = 1 - 2/(e^2u + 1)): glibc's vectorizable
-/// expf is ~4x faster than its scalar tanhf, at a 2-3 ULP deviation --
-/// the same order as the kernel layer's reassociation noise, and an
-/// elementwise map, so rows stay bit-stable. The decode engine keeps the
-/// exact decode_step::gelu_rows.
+/// computed through the in-house vectorizable exp_fast polynomial
+/// (tanh u = 1 - 2/(e^2u + 1); exp_fast is a degree-6 2^f expansion,
+/// ~1e-7 relative / ~2 ULP off glibc expf -- the same order as the kernel
+/// layer's reassociation noise) instead of scalar tanhf. An elementwise
+/// map, so rows stay bit-stable. The decode engine keeps the exact
+/// decode_step::gelu_rows.
 void gelu_panel(float* x, std::size_t n);
 
 /// Fused attention-input projection: qkv[rows, 3d] = x @ [Wq|Wk|Wv] + bias

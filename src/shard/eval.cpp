@@ -1,0 +1,609 @@
+#include "shard/eval.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+extern char** environ;
+
+namespace mpirical::shard {
+
+namespace {
+
+/// One observation from a worker: a decoded frame, or EOF (death / clean
+/// shutdown -- always the reader's final event for that worker).
+struct Event {
+  std::size_t worker = 0;
+  bool eof = false;
+  Frame frame;
+};
+
+class EventQueue {
+ public:
+  void push(Event e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      events_.push_back(std::move(e));
+    }
+    cv_.notify_one();
+  }
+
+  Event pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !events_.empty(); });
+    Event e = std::move(events_.front());
+    events_.pop_front();
+    return e;
+  }
+
+  /// Like pop, but gives up after `timeout` (nullopt = no event arrived).
+  std::optional<Event> pop_for(std::chrono::seconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return !events_.empty(); })) {
+      return std::nullopt;
+    }
+    Event e = std::move(events_.front());
+    events_.pop_front();
+    return e;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Event> events_;
+};
+
+/// Driver watchdog: with MPIRICAL_EVAL_SHARD_TIMEOUT_S=<seconds> set, a
+/// stretch of that many seconds with NO event from ANY worker declares every
+/// live worker dead and falls back to in-process evaluation -- bounding the
+/// damage a wedged (alive but silent) worker can do. Default 0 = disabled,
+/// because legitimate chunk decodes can be arbitrarily slow on loaded boxes.
+long watchdog_timeout_s() {
+  if (const char* env = std::getenv("MPIRICAL_EVAL_SHARD_TIMEOUT_S")) {
+    const long v = std::atol(env);
+    if (v > 0) return v;
+  }
+  return 0;
+}
+
+core::EvalSummary summary_from(const ResultRecord& r) {
+  core::EvalSummary one;
+  one.examples = 1;
+  one.m_counts = r.m_counts;
+  one.mcc_counts = r.mcc_counts;
+  one.bleu = r.bleu;
+  one.meteor = r.meteor;
+  one.rouge_l = r.rouge_l;
+  one.acc = r.acc;
+  return one;
+}
+
+core::ExamplePrediction prediction_from(ResultRecord&& r) {
+  core::ExamplePrediction pred;
+  pred.predicted_code = std::move(r.predicted_code);
+  pred.predicted_calls = std::move(r.predicted_calls);
+  pred.parsed = r.parsed;
+  return pred;
+}
+
+std::string g_self_exec;
+
+}  // namespace
+
+std::size_t env_shards() {
+  if (const char* env = std::getenv("MPIRICAL_EVAL_SHARDS")) {
+    const long v = std::atol(env);
+    if (v > 1) return std::min<std::size_t>(static_cast<std::size_t>(v), 256);
+  }
+  return 1;
+}
+
+std::vector<ResultRecord> evaluate_chunk(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const TaskGrant& grant) {
+  MR_CHECK(grant.begin <= grant.end && grant.end <= split.size(),
+           "task grant outside the split");
+  const std::size_t n = static_cast<std::size_t>(grant.end - grant.begin);
+  std::vector<core::MpiRical::TranslateRequest> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& ex = split[grant.begin + i];
+    inputs[i] = {ex.input_code, ex.input_xsbt};
+  }
+  // One chunk == one decode wave (chunk boundaries come from
+  // make_wave_chunks over the same MPIRICAL_DECODE_WAVE), so this batch has
+  // the exact wave membership the unsharded loop would use -- decoded
+  // tokens, and therefore every per-example score, are bit-identical.
+  const std::vector<std::string> decoded =
+      model.translate_batch(inputs, grant.beam_width);
+
+  std::vector<ResultRecord> out(n);
+  parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        core::ExamplePrediction pred;
+        const core::EvalSummary one = core::score_example(
+            split[grant.begin + i], decoded[i], grant.line_tolerance, &pred);
+        ResultRecord& r = out[i];
+        r.chunk_index = grant.chunk_index;
+        r.example_index = grant.begin + i;
+        r.m_counts = one.m_counts;
+        r.mcc_counts = one.mcc_counts;
+        r.bleu = one.bleu;
+        r.meteor = one.meteor;
+        r.rouge_l = one.rouge_l;
+        r.acc = one.acc;
+        r.parsed = pred.parsed;
+        r.predicted_calls = std::move(pred.predicted_calls);
+        r.predicted_code = std::move(pred.predicted_code);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+void run_worker(const core::MpiRical& model,
+                const std::vector<corpus::Example>& split,
+                Transport& transport) {
+  FrameParser parser;
+  auto recv_frame = [&]() -> std::optional<Frame> {
+    for (;;) {
+      if (auto f = parser.next()) return f;
+      const std::string bytes = transport.recv_some();
+      if (bytes.empty()) return std::nullopt;
+      parser.feed(bytes.data(), bytes.size());
+    }
+  };
+
+  try {
+    for (;;) {
+      if (!transport.send(encode_frame(FrameType::kTaskRequest, ""))) break;
+      std::optional<Frame> frame;
+      do {
+        frame = recv_frame();
+      } while (frame && frame->type == FrameType::kHeartbeat);
+      if (!frame || frame->type == FrameType::kDone) break;
+      if (frame->type != FrameType::kTaskGrant) break;  // protocol violation
+      const TaskGrant grant = decode_task_grant(frame->payload);
+      // Ack the grant before the (potentially long) decode so the driver
+      // can tell "working" from "dead" if it ever wants to.
+      if (!transport.send(encode_frame(FrameType::kHeartbeat, ""))) break;
+      auto results = evaluate_chunk(model, split, grant);
+      bool ok = true;
+      for (const auto& r : results) {
+        if (!transport.send(
+                encode_frame(FrameType::kResult, encode_result(r)))) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+    }
+    transport.send(encode_frame(FrameType::kDone, ""));
+  } catch (const Error&) {
+    // Corrupt driver stream or a scoring failure: die quietly; the driver
+    // reassigns our chunks.
+  }
+  transport.close();
+}
+
+core::EvalSummary run_driver(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const std::vector<Transport*>& workers, const ShardOptions& options,
+    std::vector<core::ExamplePrediction>* predictions) {
+  const std::size_t n = split.size();
+  const std::vector<Chunk> chunk_list =
+      make_wave_chunks(n, decode_wave_size());
+  const std::size_t num_workers = workers.size();
+  Partitioner part(chunk_list, std::max<std::size_t>(num_workers, 1),
+                   options.mode);
+
+  std::vector<core::EvalSummary> per_example(n);
+  std::vector<core::ExamplePrediction> preds(predictions ? n : 0);
+  std::vector<bool> got(n, false);
+  std::vector<std::size_t> remaining(chunk_list.size());
+  std::vector<bool> chunk_done(chunk_list.size(), false);
+  for (const auto& c : chunk_list) remaining[c.index] = c.end - c.begin;
+
+  std::vector<bool> dead(num_workers, false);
+  std::set<std::size_t> parked;
+  std::size_t alive = num_workers;
+
+  auto send_grant = [&](std::size_t w, const Chunk& c) {
+    TaskGrant g;
+    g.chunk_index = c.index;
+    g.begin = c.begin;
+    g.end = c.end;
+    g.beam_width = options.beam_width;
+    g.line_tolerance = options.line_tolerance;
+    workers[w]->send(
+        encode_frame(FrameType::kTaskGrant, encode_task_grant(g)));
+  };
+  auto send_done = [&](std::size_t w) {
+    workers[w]->send(encode_frame(FrameType::kDone, ""));
+  };
+  // Serve parked workers whenever the pending set may have changed (a shard
+  // failed and orphaned chunks, or everything finished).
+  auto service_parked = [&] {
+    for (auto it = parked.begin(); it != parked.end();) {
+      const std::size_t w = *it;
+      if (auto c = part.next_for(w)) {
+        send_grant(w, *c);
+        it = parked.erase(it);
+      } else if (part.all_complete()) {
+        send_done(w);
+        it = parked.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  auto grant_or_park = [&](std::size_t w) {
+    if (auto c = part.next_for(w)) {
+      send_grant(w, *c);
+    } else if (part.all_complete()) {
+      send_done(w);
+    } else {
+      // Nothing pending right now, but an outstanding chunk could still
+      // fail back into the pool -- hold the worker instead of releasing it.
+      parked.insert(w);
+    }
+  };
+  auto declare_dead = [&](std::size_t w) {
+    if (dead[w]) return;
+    dead[w] = true;
+    --alive;
+    parked.erase(w);
+    // Close our send direction too: a worker declared dead for a protocol
+    // violation (not EOF) may still be alive and blocked waiting for a
+    // grant -- the close cascades to its recv EOF, it exits, and this
+    // worker's reader thread sees EOF instead of blocking join() forever.
+    workers[w]->close();
+    part.fail_shard(w);
+    service_parked();
+  };
+
+  EventQueue queue;
+  std::vector<std::thread> readers;
+  readers.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    Transport* t = workers[w];
+    readers.emplace_back([w, t, &queue] {
+      FrameParser parser;
+      for (;;) {
+        const std::string bytes = t->recv_some();
+        if (bytes.empty()) break;  // EOF (clean exit or death; a partial
+                                   // buffered frame means mid-record death)
+        try {
+          parser.feed(bytes.data(), bytes.size());
+          while (auto f = parser.next()) {
+            Event e;
+            e.worker = w;
+            e.frame = std::move(*f);
+            queue.push(std::move(e));
+          }
+        } catch (const Error&) {
+          break;  // garbage stream: treat the worker as dead
+        }
+      }
+      Event eof;
+      eof.worker = w;
+      eof.eof = true;
+      queue.push(std::move(eof));
+    });
+  }
+
+  // The loop ends as soon as every example is merged (all_complete) -- the
+  // driver must not wait for a wedged worker's EOF once no results are
+  // owed -- or when every worker is gone.
+  const long timeout_s = watchdog_timeout_s();
+  while (alive > 0 && !part.all_complete()) {
+    Event e;
+    if (timeout_s > 0) {
+      auto maybe = queue.pop_for(std::chrono::seconds(timeout_s));
+      if (!maybe) {
+        // Total silence for the whole watchdog window: declare every live
+        // worker dead; their chunks fall through to the in-process
+        // evaluation below.
+        for (std::size_t dw = 0; dw < num_workers; ++dw) {
+          if (!dead[dw]) declare_dead(dw);
+        }
+        break;
+      }
+      e = std::move(*maybe);
+    } else {
+      e = queue.pop();
+    }
+    const std::size_t w = e.worker;
+    if (e.eof) {
+      declare_dead(w);
+      continue;
+    }
+    if (dead[w]) continue;
+    switch (e.frame.type) {
+      case FrameType::kTaskRequest:
+        grant_or_park(w);
+        break;
+      case FrameType::kResult: {
+        ResultRecord r;
+        bool valid = true;
+        try {
+          r = decode_result(e.frame.payload);
+          MR_CHECK(r.example_index < n && r.chunk_index < chunk_list.size(),
+                   "result record out of range");
+          const Chunk& c = chunk_list[r.chunk_index];
+          MR_CHECK(r.example_index >= c.begin && r.example_index < c.end,
+                   "result record outside its chunk");
+        } catch (const Error&) {
+          valid = false;
+        }
+        if (!valid) {
+          declare_dead(w);
+          break;
+        }
+        const std::size_t idx = static_cast<std::size_t>(r.example_index);
+        const std::size_t ci = static_cast<std::size_t>(r.chunk_index);
+        // A chunk reassigned after a partial failure re-sends records the
+        // dead worker already delivered; they are identical, so first
+        // delivery wins.
+        if (!got[idx]) {
+          got[idx] = true;
+          per_example[idx] = summary_from(r);
+          if (predictions) preds[idx] = prediction_from(std::move(r));
+          if (!chunk_done[ci] && --remaining[ci] == 0) {
+            chunk_done[ci] = true;
+            part.complete(ci);
+            if (part.all_complete()) service_parked();
+          }
+        }
+        break;
+      }
+      case FrameType::kHeartbeat:
+      case FrameType::kDone:
+        break;  // liveness / clean-shutdown notice; EOF follows kDone
+      case FrameType::kTaskGrant:
+        declare_dead(w);  // workers never send grants
+        break;
+    }
+  }
+  // Release everyone: healthy workers get a Done (those already gone fail
+  // the send harmlessly), and shutdown_recv unblocks the reader threads
+  // even from a wedged worker that will never close its pipe.
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    if (!dead[w]) workers[w]->send(encode_frame(FrameType::kDone, ""));
+  }
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    workers[w]->shutdown_recv();
+  }
+  for (auto& reader : readers) reader.join();
+
+  // Every worker is gone. Whatever chunks never completed (all workers died
+  // holding them) are evaluated right here so the merge is always total.
+  for (const auto& c : chunk_list) {
+    if (chunk_done[c.index]) continue;
+    TaskGrant g;
+    g.chunk_index = c.index;
+    g.begin = c.begin;
+    g.end = c.end;
+    g.beam_width = options.beam_width;
+    g.line_tolerance = options.line_tolerance;
+    for (auto& r : evaluate_chunk(model, split, g)) {
+      const std::size_t idx = static_cast<std::size_t>(r.example_index);
+      if (got[idx]) continue;
+      got[idx] = true;
+      per_example[idx] = summary_from(r);
+      if (predictions) preds[idx] = prediction_from(std::move(r));
+    }
+    chunk_done[c.index] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    MR_CHECK(got[i], "sharded eval lost an example");
+  }
+
+  if (predictions) *predictions = std::move(preds);
+  // Canonical-order reduction: the same function, over the same per-example
+  // values, in the same index order as the unsharded path -- the merged
+  // summary is bit-identical no matter how completion interleaved.
+  return core::reduce_example_summaries(per_example);
+}
+
+core::EvalSummary evaluate_sharded_inprocess(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const ShardOptions& options,
+    std::vector<core::ExamplePrediction>* predictions) {
+  const std::size_t chunks =
+      make_wave_chunks(split.size(), decode_wave_size()).size();
+  const std::size_t num_workers =
+      std::max<std::size_t>(1, std::min(options.shards, std::max<std::size_t>(
+                                                            chunks, 1)));
+  std::vector<std::unique_ptr<Transport>> driver_ends;
+  std::vector<Transport*> driver_ptrs;
+  std::vector<std::thread> worker_threads;
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    const LoopbackFault fault = w < options.loopback_faults.size()
+                                    ? options.loopback_faults[w]
+                                    : LoopbackFault{};
+    auto [driver_end, worker_end] = make_loopback_pair(fault);
+    driver_ptrs.push_back(driver_end.get());
+    driver_ends.push_back(std::move(driver_end));
+    worker_threads.emplace_back(
+        [&model, &split, endpoint = std::shared_ptr<Transport>(
+                             std::move(worker_end))] {
+          run_worker(model, split, *endpoint);
+        });
+  }
+  core::EvalSummary summary =
+      run_driver(model, split, driver_ptrs, options, predictions);
+  for (auto& end : driver_ends) end->close();
+  for (auto& t : worker_threads) t.join();
+  return summary;
+}
+
+void set_worker_self_exec(const std::string& exe_path) {
+  g_self_exec = exe_path;
+}
+
+bool worker_self_exec_configured() { return !g_self_exec.empty(); }
+
+bool is_worker_role() {
+  const char* role = std::getenv("MPIRICAL_EVAL_SHARD_ROLE");
+  return role != nullptr && std::string(role) == "worker";
+}
+
+std::unique_ptr<Transport> worker_transport() {
+  std::signal(SIGPIPE, SIG_IGN);
+  return std::make_unique<PipeTransport>(/*read_fd=*/3, /*write_fd=*/4);
+}
+
+namespace {
+
+std::string resolve_self_exec() {
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len > 0) {
+    buf[len] = '\0';
+    return std::string(buf);
+  }
+  return g_self_exec;
+}
+
+struct ProcessWorker {
+  pid_t pid = -1;
+  std::unique_ptr<Transport> transport;
+};
+
+ProcessWorker spawn_worker(const std::string& exe,
+                           const std::vector<char*>& envp,
+                           std::size_t shard_id) {
+  int grant_pipe[2];
+  int result_pipe[2];
+  MR_CHECK(::pipe(grant_pipe) == 0, "pipe() failed");
+  MR_CHECK(::pipe(result_pipe) == 0, "pipe() failed");
+  // Parent-held ends are close-on-exec so later-spawned siblings do not
+  // keep each other's pipes open (a dead worker must read as EOF).
+  ::fcntl(grant_pipe[1], F_SETFD, FD_CLOEXEC);
+  ::fcntl(result_pipe[0], F_SETFD, FD_CLOEXEC);
+
+  const pid_t pid = ::fork();
+  MR_CHECK(pid >= 0, "fork() failed");
+  if (pid == 0) {
+    // Child: async-signal-safe calls only until execve. Park the two pipe
+    // ends above the target fds first so dup2 cannot clobber them, then pin
+    // grants to fd 3 and results to fd 4 (the worker_transport contract).
+    const int grant_r = ::fcntl(grant_pipe[0], F_DUPFD, 10);
+    const int result_w = ::fcntl(result_pipe[1], F_DUPFD, 10);
+    if (grant_r < 0 || result_w < 0 || ::dup2(grant_r, 3) < 0 ||
+        ::dup2(result_w, 4) < 0) {
+      _exit(127);
+    }
+    for (int fd = 5; fd < 1024; ++fd) ::close(fd);
+    char* const argv[] = {const_cast<char*>(exe.c_str()), nullptr};
+    ::execve(exe.c_str(), argv, envp.data());
+    _exit(127);
+  }
+  ::close(grant_pipe[0]);
+  ::close(result_pipe[1]);
+  ProcessWorker worker;
+  worker.pid = pid;
+  worker.transport =
+      std::make_unique<PipeTransport>(result_pipe[0], grant_pipe[1]);
+  (void)shard_id;
+  return worker;
+}
+
+}  // namespace
+
+core::EvalSummary evaluate_sharded_processes(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const ShardOptions& options,
+    std::vector<core::ExamplePrediction>* predictions) {
+  MR_CHECK(worker_self_exec_configured(),
+           "no self-exec worker binary registered");
+  std::signal(SIGPIPE, SIG_IGN);
+  const std::string exe = resolve_self_exec();
+
+  const std::size_t chunks =
+      make_wave_chunks(split.size(), decode_wave_size()).size();
+  const std::size_t num_workers =
+      std::max<std::size_t>(1, std::min(options.shards, std::max<std::size_t>(
+                                                            chunks, 1)));
+
+  // Child environment: the parent's, plus the worker role marker. Built
+  // before fork so the child touches no allocator.
+  std::vector<std::string> env_storage;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    if (std::string(*e).rfind("MPIRICAL_EVAL_SHARD_ROLE=", 0) == 0) continue;
+    env_storage.emplace_back(*e);
+  }
+  env_storage.emplace_back("MPIRICAL_EVAL_SHARD_ROLE=worker");
+  std::vector<char*> envp;
+  envp.reserve(env_storage.size() + 1);
+  for (auto& s : env_storage) envp.push_back(s.data());
+  envp.push_back(nullptr);
+
+  std::vector<ProcessWorker> procs;
+  std::vector<Transport*> transports;
+  procs.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    procs.push_back(spawn_worker(exe, envp, w));
+    transports.push_back(procs.back().transport.get());
+  }
+
+  core::EvalSummary summary =
+      run_driver(model, split, transports, options, predictions);
+
+  for (auto& proc : procs) {
+    proc.transport.reset();  // closes both pipe ends; healthy workers exit
+  }
+  // Reap with a grace window, then escalate: a wedged worker must not turn
+  // a finished evaluation into an unbounded wait.
+  for (auto& proc : procs) {
+    int status = 0;
+    bool reaped = false;
+    for (int tick = 0; tick < 100; ++tick) {  // ~10 s
+      const pid_t r = ::waitpid(proc.pid, &status, WNOHANG);
+      if (r == proc.pid || (r < 0 && errno != EINTR)) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (!reaped) {
+      ::kill(proc.pid, SIGKILL);
+      while (::waitpid(proc.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+  }
+  return summary;
+}
+
+core::EvalSummary evaluate_sharded(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const ShardOptions& options,
+    std::vector<core::ExamplePrediction>* predictions) {
+  if (split.empty()) {
+    if (predictions) predictions->clear();
+    return core::reduce_example_summaries({});
+  }
+  if (worker_self_exec_configured() && !is_worker_role()) {
+    return evaluate_sharded_processes(model, split, options, predictions);
+  }
+  return evaluate_sharded_inprocess(model, split, options, predictions);
+}
+
+}  // namespace mpirical::shard

@@ -1,0 +1,108 @@
+// Sharded corpus evaluation: distributes decode waves across N workers and
+// merges their per-example records into an EvalSummary that is bit-identical
+// to the unsharded core::evaluate_model, regardless of shard count, partition
+// mode, or completion order.
+//
+// Why bitwise is achievable: chunks are exactly the unsharded wave groups
+// (see partition.hpp), decode is deterministic for a fixed wave membership,
+// per-example scores travel as raw IEEE-754 bits, and the driver reduces the
+// per-example summaries in canonical example order through the same
+// core::reduce_example_summaries the unsharded path uses.
+//
+// Two deployment shapes share one driver/worker protocol implementation:
+//  - loopback: workers are std::threads over in-process queue transports
+//    (the default for core::evaluate_model with MPIRICAL_EVAL_SHARDS > 1,
+//    and the harness for the differential/failure tests);
+//  - processes: the driver fork/execs N copies of a registered self-exec
+//    binary with MPIRICAL_EVAL_SHARD_ROLE=worker, talking over pipes on fds
+//    3 (grants in) and 4 (results out). The worker binary rebuilds the same
+//    model+split from its (inherited) environment and calls run_worker --
+//    bench_table2_corpus_eval does exactly this via bench_common.
+//
+// Fault model: a worker that dies (EOF, mid-frame truncation, garbage) has
+// its unfinished chunks reassigned to live workers; if none remain, the
+// driver evaluates the leftovers in-process, so the merged summary is always
+// complete and still oracle-equal.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/model.hpp"
+#include "corpus/dataset.hpp"
+#include "shard/partition.hpp"
+#include "shard/protocol.hpp"
+#include "shard/transport.hpp"
+
+namespace mpirical::shard {
+
+struct ShardOptions {
+  std::size_t shards = 1;
+  PartitionMode mode = PartitionMode::kDynamic;
+  int beam_width = 1;
+  int line_tolerance = 1;
+  /// Test hook: per-worker loopback fault injection (index = worker id);
+  /// workers beyond the vector run fault-free. Loopback path only.
+  std::vector<LoopbackFault> loopback_faults;
+};
+
+/// MPIRICAL_EVAL_SHARDS (default 1 = unsharded in-process wave loop).
+std::size_t env_shards();
+
+/// Evaluates split examples [grant.begin, grant.end) in-process: one decode
+/// wave through translate_batch plus per-example scoring. Shared by worker
+/// loops and the driver's dead-worker fallback.
+std::vector<ResultRecord> evaluate_chunk(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const TaskGrant& grant);
+
+/// Worker side of the protocol: request chunks, evaluate, stream one
+/// ResultRecord per example, until the driver says kDone or the transport
+/// dies. Never throws on transport loss -- it just returns.
+void run_worker(const core::MpiRical& model,
+                const std::vector<corpus::Example>& split,
+                Transport& transport);
+
+/// Driver side: partitions the split into wave chunks, serves grants over
+/// the worker transports, reassigns on worker death, evaluates any
+/// still-missing chunks in-process, and merges in canonical example order.
+core::EvalSummary run_driver(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const std::vector<Transport*>& workers, const ShardOptions& options,
+    std::vector<core::ExamplePrediction>* predictions = nullptr);
+
+/// Loopback deployment: N worker threads in this process.
+core::EvalSummary evaluate_sharded_inprocess(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const ShardOptions& options,
+    std::vector<core::ExamplePrediction>* predictions = nullptr);
+
+/// Registers the binary to fork/exec for multi-process sharding. The binary
+/// must, when MPIRICAL_EVAL_SHARD_ROLE=worker is set, rebuild the identical
+/// model and split and call run_worker over worker_transport().
+void set_worker_self_exec(const std::string& exe_path);
+bool worker_self_exec_configured();
+
+/// True in a process launched as a shard worker.
+bool is_worker_role();
+
+/// The spawned worker's pipe transport (grants on fd 3, results on fd 4).
+std::unique_ptr<Transport> worker_transport();
+
+/// Process deployment: fork/execs the registered self-exec binary per shard.
+core::EvalSummary evaluate_sharded_processes(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const ShardOptions& options,
+    std::vector<core::ExamplePrediction>* predictions = nullptr);
+
+/// What core::evaluate_model routes through for MPIRICAL_EVAL_SHARDS > 1:
+/// the process deployment when a self-exec worker is registered (and this
+/// process is not itself a worker), else loopback threads.
+core::EvalSummary evaluate_sharded(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const ShardOptions& options,
+    std::vector<core::ExamplePrediction>* predictions = nullptr);
+
+}  // namespace mpirical::shard

@@ -1,0 +1,106 @@
+#include "shard/partition.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace mpirical::shard {
+
+std::vector<Chunk> make_wave_chunks(std::size_t n, std::size_t wave) {
+  MR_CHECK(wave > 0, "wave size must be positive");
+  std::vector<Chunk> chunks;
+  chunks.reserve((n + wave - 1) / wave);
+  for (std::size_t lo = 0; lo < n; lo += wave) {
+    Chunk c;
+    c.index = chunks.size();
+    c.begin = lo;
+    c.end = std::min(n, lo + wave);
+    chunks.push_back(c);
+  }
+  return chunks;
+}
+
+std::size_t decode_wave_size() {
+  // Single source of truth for the decode wave: MpiRical::translate_batch
+  // reads it from here, so sharded chunk boundaries ARE the wave
+  // boundaries of the unsharded loop.
+  std::size_t wave = 32;
+  if (const char* env = std::getenv("MPIRICAL_DECODE_WAVE")) {
+    const long v = std::atol(env);
+    if (v > 0) wave = static_cast<std::size_t>(v);
+  }
+  return wave;
+}
+
+Partitioner::Partitioner(std::vector<Chunk> chunks, std::size_t num_shards,
+                         PartitionMode mode)
+    : chunks_(std::move(chunks)),
+      state_(chunks_.size(), State::kPending),
+      owner_(chunks_.size(), 0),
+      dead_(std::max<std::size_t>(num_shards, 1), false),
+      mode_(mode) {
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    MR_CHECK(chunks_[i].index == i, "chunk indices must match positions");
+  }
+  if (mode_ == PartitionMode::kStatic) {
+    queues_.resize(dead_.size());
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      queues_[i % dead_.size()].push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < chunks_.size(); ++i) pool_.push_back(i);
+  }
+}
+
+std::optional<Chunk> Partitioner::grant(std::size_t chunk_index,
+                                        std::size_t shard) {
+  MR_ASSERT(state_[chunk_index] == State::kPending);
+  state_[chunk_index] = State::kGranted;
+  owner_[chunk_index] = shard;
+  return chunks_[chunk_index];
+}
+
+std::optional<Chunk> Partitioner::next_for(std::size_t shard) {
+  MR_CHECK(shard < dead_.size(), "shard index out of range");
+  MR_CHECK(!dead_[shard], "dead shard cannot claim work");
+  if (mode_ == PartitionMode::kStatic && !queues_[shard].empty()) {
+    const std::size_t ci = queues_[shard].front();
+    queues_[shard].pop_front();
+    return grant(ci, shard);
+  }
+  if (!pool_.empty()) {
+    const std::size_t ci = pool_.front();
+    pool_.pop_front();
+    return grant(ci, shard);
+  }
+  return std::nullopt;
+}
+
+void Partitioner::complete(std::size_t chunk_index) {
+  MR_CHECK(chunk_index < chunks_.size(), "chunk index out of range");
+  MR_CHECK(state_[chunk_index] == State::kGranted,
+           "complete requires a granted chunk");
+  state_[chunk_index] = State::kComplete;
+  ++completed_;
+}
+
+void Partitioner::fail_shard(std::size_t shard) {
+  MR_CHECK(shard < dead_.size(), "shard index out of range");
+  if (dead_[shard]) return;
+  dead_[shard] = true;
+  // Unfinished grants go back first (they were taken earliest), then any
+  // chunks never handed out from the shard's static queue.
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    if (state_[i] == State::kGranted && owner_[i] == shard) {
+      state_[i] = State::kPending;
+      pool_.push_back(i);
+    }
+  }
+  if (mode_ == PartitionMode::kStatic) {
+    for (const std::size_t ci : queues_[shard]) pool_.push_back(ci);
+    queues_[shard].clear();
+  }
+}
+
+}  // namespace mpirical::shard

@@ -1,0 +1,89 @@
+// Wave-aware work partitioning for sharded corpus evaluation.
+//
+// The unit of distributable work is one decode WAVE: translate_batch groups
+// examples into fixed-size waves (MPIRICAL_DECODE_WAVE, default 32) and the
+// wave membership decides which rows share the padded encoder panel and the
+// decode GEMMs -- i.e. it selects kernel paths and therefore last-ULP
+// rounding. Chunks handed to shards are exactly the unsharded wave groups
+// ([c*wave, (c+1)*wave) over the split), so a chunk decoded by any shard is
+// bit-identical to the same wave decoded by the unsharded loop.
+//
+// The Partitioner tracks grant/complete/fail state for every chunk. It is
+// driven from a single thread (the shard driver's event loop) and is not
+// internally synchronized.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace mpirical::shard {
+
+/// One wave-aligned range of split indices: examples [begin, end).
+struct Chunk {
+  std::size_t index = 0;  // position in the chunk list (stable id)
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Chops [0, n) into wave-sized chunks with the same boundaries the
+/// unsharded translate_batch wave loop uses (last chunk may be short).
+std::vector<Chunk> make_wave_chunks(std::size_t n, std::size_t wave);
+
+/// The decode wave size translate_batch will use: MPIRICAL_DECODE_WAVE when
+/// set and positive, else 32. Chunk boundaries must come from this value for
+/// sharded results to be bit-identical to the unsharded loop.
+std::size_t decode_wave_size();
+
+enum class PartitionMode {
+  kStatic,   // chunk i pre-assigned to shard i % num_shards
+  kDynamic,  // work-stealing: any shard takes the next pending chunk
+};
+
+/// Grant/complete/fail bookkeeping over a fixed chunk list.
+///
+/// Exactly-once discipline: every chunk is granted to one shard at a time;
+/// `fail_shard` returns a dead shard's unfinished grants (and, in static
+/// mode, its still-queued chunks) to a shared orphan pool that any live
+/// shard may claim, so each chunk is *completed* exactly once even across
+/// worker deaths.
+class Partitioner {
+ public:
+  Partitioner(std::vector<Chunk> chunks, std::size_t num_shards,
+              PartitionMode mode);
+
+  std::size_t shard_count() const { return dead_.size(); }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+  /// Next chunk for `shard` to work on, or nullopt when nothing is
+  /// currently pending for it. Static mode serves the shard's own queue
+  /// first, then the orphan pool; dynamic mode serves the shared queue.
+  std::optional<Chunk> next_for(std::size_t shard);
+
+  /// Marks a granted chunk finished.
+  void complete(std::size_t chunk_index);
+
+  /// Marks `shard` dead: its granted-but-unfinished chunks and any chunks
+  /// still queued for it return to the orphan pool for live shards.
+  void fail_shard(std::size_t shard);
+
+  bool shard_dead(std::size_t shard) const { return dead_.at(shard); }
+  bool all_complete() const { return completed_ == chunks_.size(); }
+
+ private:
+  enum class State { kPending, kGranted, kComplete };
+
+  std::optional<Chunk> grant(std::size_t chunk_index, std::size_t shard);
+
+  std::vector<Chunk> chunks_;
+  std::vector<State> state_;
+  std::vector<std::size_t> owner_;              // valid while kGranted
+  std::vector<std::deque<std::size_t>> queues_;  // static mode: per shard
+  std::deque<std::size_t> pool_;  // dynamic queue + orphans in both modes
+  std::vector<bool> dead_;
+  PartitionMode mode_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace mpirical::shard

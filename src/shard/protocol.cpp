@@ -1,0 +1,258 @@
+#include "shard/protocol.hpp"
+
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace mpirical::shard {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 4 + 1 + 4;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void append_i32(std::string& out, std::int32_t v) {
+  append_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void append_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_u64(out, bits);
+}
+
+void append_bytes(std::string& out, const std::string& s) {
+  MR_CHECK(s.size() <= kMaxFramePayload, "string field too large for wire");
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string bytes() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  void done() const {
+    MR_CHECK(pos_ == data_.size(), "trailing garbage in wire record");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    MR_CHECK(pos_ + n <= data_.size(), "truncated wire record");
+  }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kTaskRequest) &&
+         t <= static_cast<std::uint8_t>(FrameType::kDone);
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  MR_CHECK(payload.size() <= kMaxFramePayload, "frame payload too large");
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  append_u32(out, kFrameMagic);
+  out.push_back(static_cast<char>(type));
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void FrameParser::validate_header() const {
+  // Called with at least the magic buffered; checks whatever header prefix
+  // is available so garbage is rejected as early as possible.
+  const std::size_t avail = buf_.size() - pos_;
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(buf_[pos_ + i]))
+             << (8 * i);
+  }
+  MR_CHECK(magic == kFrameMagic, "bad frame magic (corrupt shard stream)");
+  if (avail >= 5) {
+    MR_CHECK(valid_type(static_cast<std::uint8_t>(buf_[pos_ + 4])),
+             "unknown frame type (corrupt shard stream)");
+  }
+  if (avail >= kHeaderSize) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(buf_[pos_ + 5 + i]))
+             << (8 * i);
+    }
+    MR_CHECK(len <= kMaxFramePayload,
+             "oversized frame length (corrupt shard stream)");
+  }
+}
+
+void FrameParser::feed(const void* data, std::size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+  if (buf_.size() - pos_ >= 4) validate_header();
+}
+
+std::optional<Frame> FrameParser::next() {
+  if (buf_.size() - pos_ < kHeaderSize) return std::nullopt;
+  validate_header();
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(buf_[pos_ + 5 + i]))
+           << (8 * i);
+  }
+  if (buf_.size() - pos_ < kHeaderSize + len) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(static_cast<std::uint8_t>(buf_[pos_ + 4]));
+  frame.payload = buf_.substr(pos_ + kHeaderSize, len);
+  pos_ += kHeaderSize + len;
+  // Reclaim the consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ >= 4) validate_header();
+  return frame;
+}
+
+std::string encode_task_grant(const TaskGrant& grant) {
+  std::string out;
+  append_u64(out, grant.chunk_index);
+  append_u64(out, grant.begin);
+  append_u64(out, grant.end);
+  append_i32(out, grant.beam_width);
+  append_i32(out, grant.line_tolerance);
+  return out;
+}
+
+TaskGrant decode_task_grant(const std::string& payload) {
+  Reader r(payload);
+  TaskGrant grant;
+  grant.chunk_index = r.u64();
+  grant.begin = r.u64();
+  grant.end = r.u64();
+  grant.beam_width = r.i32();
+  grant.line_tolerance = r.i32();
+  r.done();
+  MR_CHECK(grant.begin <= grant.end, "task grant range inverted");
+  return grant;
+}
+
+std::string encode_result(const ResultRecord& record) {
+  std::string out;
+  append_u64(out, record.chunk_index);
+  append_u64(out, record.example_index);
+  append_u64(out, record.m_counts.tp);
+  append_u64(out, record.m_counts.fp);
+  append_u64(out, record.m_counts.fn);
+  append_u64(out, record.mcc_counts.tp);
+  append_u64(out, record.mcc_counts.fp);
+  append_u64(out, record.mcc_counts.fn);
+  append_f64(out, record.bleu);
+  append_f64(out, record.meteor);
+  append_f64(out, record.rouge_l);
+  append_f64(out, record.acc);
+  out.push_back(record.parsed ? 1 : 0);
+  append_u32(out, static_cast<std::uint32_t>(record.predicted_calls.size()));
+  for (const auto& call : record.predicted_calls) {
+    append_bytes(out, call.callee);
+    append_i32(out, call.line);
+  }
+  append_bytes(out, record.predicted_code);
+  return out;
+}
+
+ResultRecord decode_result(const std::string& payload) {
+  Reader r(payload);
+  ResultRecord record;
+  record.chunk_index = r.u64();
+  record.example_index = r.u64();
+  record.m_counts.tp = r.u64();
+  record.m_counts.fp = r.u64();
+  record.m_counts.fn = r.u64();
+  record.mcc_counts.tp = r.u64();
+  record.mcc_counts.fp = r.u64();
+  record.mcc_counts.fn = r.u64();
+  record.bleu = r.f64();
+  record.meteor = r.f64();
+  record.rouge_l = r.f64();
+  record.acc = r.f64();
+  record.parsed = r.u8() != 0;
+  // Every encoded call site occupies >= 8 payload bytes (length + line),
+  // so this bound both rejects corrupt counts and caps the reserve below
+  // the actual frame size (a forged count must not allocate gigabytes).
+  const std::uint32_t calls = r.u32();
+  MR_CHECK(calls <= payload.size() / 8, "call-site count exceeds payload");
+  record.predicted_calls.reserve(calls);
+  for (std::uint32_t i = 0; i < calls; ++i) {
+    ast::CallSite call;
+    call.callee = r.bytes();
+    call.line = r.i32();
+    record.predicted_calls.push_back(std::move(call));
+  }
+  record.predicted_code = r.bytes();
+  r.done();
+  return record;
+}
+
+}  // namespace mpirical::shard

@@ -1,0 +1,104 @@
+// Length-prefixed binary wire protocol between the shard driver and its
+// eval workers.
+//
+// Every frame is:  u32 magic ("MPRS") | u8 type | u32 payload_len | payload
+// with all integers little-endian and doubles shipped as raw IEEE-754 bit
+// patterns (the merge must be BITWISE identical to the unsharded reduction,
+// so no text round-trip is allowed). The conversation is worker-driven:
+//
+//   worker -> driver   kTaskRequest              (give me a chunk)
+//   driver -> worker   kTaskGrant TaskGrant      (chunk + beam/tolerance)
+//   worker -> driver   kHeartbeat                (grant ack / liveness)
+//   worker -> driver   kResult ResultRecord      (one per example)
+//   driver -> worker   kDone                     (no more work; exit)
+//   worker -> driver   kDone                     (clean shutdown, then EOF)
+//
+// FrameParser rejects garbage headers loudly (wrong magic, unknown type,
+// absurd length) and exposes `has_partial` so a stream that ends mid-frame
+// (a worker dying mid-record) is distinguishable from a clean EOF.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cast/node.hpp"
+#include "metrics/metrics.hpp"
+
+namespace mpirical::shard {
+
+enum class FrameType : std::uint8_t {
+  kTaskRequest = 1,
+  kTaskGrant = 2,
+  kResult = 3,
+  kHeartbeat = 4,
+  kDone = 5,
+};
+
+constexpr std::uint32_t kFrameMagic = 0x5352504D;  // "MPRS" little-endian
+constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;  // 64 MiB
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+std::string encode_frame(FrameType type, const std::string& payload);
+
+/// Incremental frame decoder over an arbitrary byte stream.
+class FrameParser {
+ public:
+  /// Buffers more stream bytes. Throws Error as soon as a header is
+  /// determinable and invalid (bad magic / unknown type / oversized length).
+  void feed(const void* data, std::size_t n);
+
+  /// Pops the next complete frame, if one is buffered.
+  std::optional<Frame> next();
+
+  /// True when buffered bytes form an incomplete frame (stream truncated if
+  /// EOF follows).
+  bool has_partial() const { return buf_.size() > pos_; }
+
+ private:
+  void validate_header() const;
+
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+};
+
+/// Driver -> worker: evaluate split examples [begin, end).
+struct TaskGrant {
+  std::uint64_t chunk_index = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::int32_t beam_width = 1;
+  std::int32_t line_tolerance = 1;
+};
+
+/// Worker -> driver: everything the merge needs for ONE example -- the
+/// per-example Table II terms (integer PRF counts, raw-bit sequence scores)
+/// plus the prediction for the caller's out-parameter.
+struct ResultRecord {
+  std::uint64_t chunk_index = 0;
+  std::uint64_t example_index = 0;
+  metrics::PrfCounts m_counts;
+  metrics::PrfCounts mcc_counts;
+  double bleu = 0.0;
+  double meteor = 0.0;
+  double rouge_l = 0.0;
+  double acc = 0.0;
+  bool parsed = false;
+  std::vector<ast::CallSite> predicted_calls;
+  std::string predicted_code;
+};
+
+std::string encode_task_grant(const TaskGrant& grant);
+/// Throws Error on truncated or oversized payloads.
+TaskGrant decode_task_grant(const std::string& payload);
+
+std::string encode_result(const ResultRecord& record);
+/// Throws Error on truncated or oversized payloads.
+ResultRecord decode_result(const std::string& payload);
+
+}  // namespace mpirical::shard

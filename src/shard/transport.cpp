@@ -1,0 +1,193 @@
+#include "shard/transport.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <mutex>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace mpirical::shard {
+
+namespace {
+
+/// Shared state of one loopback connection: a byte queue per direction plus
+/// liveness flags. `worker_dead` models a process death: both directions cut
+/// at once, possibly mid-frame.
+struct LoopbackState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string to_driver;
+  std::string to_worker;
+  bool driver_closed = false;  // driver's send side closed
+  bool worker_closed = false;  // worker's send side closed
+  bool worker_dead = false;    // injected fault fired
+  bool driver_recv_shutdown = false;  // driver abandoned its recv side
+  bool worker_recv_shutdown = false;  // worker abandoned its recv side
+  LoopbackFault fault;
+  std::size_t worker_sends = 0;
+};
+
+class LoopbackEndpoint : public Transport {
+ public:
+  LoopbackEndpoint(std::shared_ptr<LoopbackState> state, bool is_driver)
+      : state_(std::move(state)), is_driver_(is_driver) {}
+
+  ~LoopbackEndpoint() override { close(); }
+
+  bool send(const std::string& bytes) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (is_driver_) {
+      if (state_->driver_closed) return false;
+      // Sending to a dead worker succeeds at the pipe level (the driver
+      // only learns of the death from the recv side), so the bytes are
+      // simply dropped -- like writing to a pipe whose reader is gone
+      // with SIGPIPE ignored.
+      if (!state_->worker_dead) {
+        state_->to_worker.append(bytes);
+        state_->cv.notify_all();
+      }
+      return !state_->worker_dead;
+    }
+    if (state_->worker_closed || state_->worker_dead) return false;
+    if (state_->worker_sends == state_->fault.fail_after_sends) {
+      // The fatal send: deliver a truncated prefix, then die.
+      state_->to_driver.append(bytes.substr(
+          0, std::min(state_->fault.truncate_bytes, bytes.size())));
+      state_->worker_dead = true;
+      state_->cv.notify_all();
+      return false;
+    }
+    ++state_->worker_sends;
+    state_->to_driver.append(bytes);
+    state_->cv.notify_all();
+    return true;
+  }
+
+  std::string recv_some() override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (is_driver_) {
+      state_->cv.wait(lock, [&] {
+        return !state_->to_driver.empty() || state_->worker_closed ||
+               state_->worker_dead || state_->driver_recv_shutdown;
+      });
+      if (state_->driver_recv_shutdown) return std::string();
+      std::string out = std::move(state_->to_driver);
+      state_->to_driver.clear();
+      return out;  // empty => worker closed/died with nothing buffered
+    }
+    state_->cv.wait(lock, [&] {
+      return !state_->to_worker.empty() || state_->driver_closed ||
+             state_->worker_dead || state_->worker_recv_shutdown;
+    });
+    if (state_->worker_dead || state_->worker_recv_shutdown) {
+      return std::string();
+    }
+    std::string out = std::move(state_->to_worker);
+    state_->to_worker.clear();
+    return out;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (is_driver_) {
+      state_->driver_closed = true;
+    } else {
+      state_->worker_closed = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  void shutdown_recv() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (is_driver_) {
+      state_->driver_recv_shutdown = true;
+    } else {
+      state_->worker_recv_shutdown = true;
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<LoopbackState> state_;
+  bool is_driver_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair(const LoopbackFault& worker_fault) {
+  auto state = std::make_shared<LoopbackState>();
+  state->fault = worker_fault;
+  return {std::make_unique<LoopbackEndpoint>(state, /*is_driver=*/true),
+          std::make_unique<LoopbackEndpoint>(state, /*is_driver=*/false)};
+}
+
+PipeTransport::PipeTransport(int read_fd, int write_fd)
+    : read_fd_(read_fd), write_fd_(write_fd) {}
+
+PipeTransport::~PipeTransport() {
+  close();
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+}
+
+bool PipeTransport::send(const std::string& bytes) {
+  if (write_fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(write_fd_, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE (peer gone) or any other hard error: give up on this peer.
+    // Callers run with SIGPIPE ignored, so EPIPE surfaces here.
+    ::close(write_fd_);
+    write_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+std::string PipeTransport::recv_some() {
+  if (read_fd_ < 0) return std::string();
+  char buf[65536];
+  // Poll with a short timeout instead of blocking in read() so that
+  // shutdown_recv can release a reader even when the peer process is
+  // wedged and will never close its end of the pipe.
+  for (;;) {
+    if (recv_shutdown_.load(std::memory_order_acquire)) return std::string();
+    struct pollfd pfd;
+    pfd.fd = read_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return std::string();
+    }
+    if (ready == 0) continue;  // timeout: re-check the shutdown flag
+    const ssize_t n = ::read(read_fd_, buf, sizeof(buf));
+    if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+    if (n < 0 && errno == EINTR) continue;
+    return std::string();  // EOF or hard error
+  }
+}
+
+void PipeTransport::close() {
+  if (write_fd_ >= 0) {
+    ::close(write_fd_);
+    write_fd_ = -1;
+  }
+}
+
+void PipeTransport::shutdown_recv() {
+  recv_shutdown_.store(true, std::memory_order_release);
+}
+
+}  // namespace mpirical::shard

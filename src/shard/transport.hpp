@@ -1,0 +1,71 @@
+// Byte transports the shard protocol runs over.
+//
+// Two implementations of the same blocking stream interface:
+//  - a loopback pair (two in-process endpoints over shared queues) so the
+//    partitioner, frame protocol, and merge logic are unit-testable without
+//    forking -- including injected worker death (EOF after k sends, with an
+//    optional mid-frame truncation) for the failure-injection suite;
+//  - a pipe transport over POSIX fds for real fork/exec worker processes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace mpirical::shard {
+
+/// Blocking byte stream. `send` returns false once the peer is gone (a dead
+/// worker / closed pipe); `recv_some` blocks for the next bytes and returns
+/// an empty string on EOF.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual bool send(const std::string& bytes) = 0;
+  virtual std::string recv_some() = 0;
+
+  /// Closes this endpoint's send direction; the peer drains buffered bytes
+  /// and then sees EOF.
+  virtual void close() = 0;
+
+  /// Makes any current and future recv_some on THIS endpoint return EOF,
+  /// even if the peer never closes -- the driver uses it to release its
+  /// reader threads from a wedged (alive but silent) worker.
+  virtual void shutdown_recv() = 0;
+};
+
+/// Injected failure for the WORKER end of a loopback pair: the endpoint
+/// "dies" on its (fail_after_sends+1)-th send -- that send delivers only
+/// `truncate_bytes` of its frame (0 = nothing), then both directions of the
+/// endpoint behave like a dead process: sends are dropped and its recv
+/// returns EOF immediately.
+struct LoopbackFault {
+  std::size_t fail_after_sends = static_cast<std::size_t>(-1);
+  std::size_t truncate_bytes = 0;
+};
+
+/// Connected in-process endpoint pair: {driver_end, worker_end}. The fault,
+/// if any, applies to the worker end.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair(const LoopbackFault& worker_fault = {});
+
+/// Transport over a POSIX (read_fd, write_fd) pair. Owns and closes the fds.
+class PipeTransport : public Transport {
+ public:
+  PipeTransport(int read_fd, int write_fd);
+  ~PipeTransport() override;
+
+  bool send(const std::string& bytes) override;
+  std::string recv_some() override;
+  void close() override;
+  void shutdown_recv() override;
+
+ private:
+  int read_fd_;
+  int write_fd_;
+  std::atomic<bool> recv_shutdown_{false};
+};
+
+}  // namespace mpirical::shard

@@ -276,10 +276,12 @@ TEST(EncodeEquivalence, EncodeBatchToggleFallsBackToPerSourcePath) {
   }
 
   ASSERT_TRUE(encode_batch_enabled());
-  setenv("MPIRICAL_ENCODE_BATCH", "0", 1);
-  ASSERT_FALSE(encode_batch_enabled());
-  const auto per_source = decode_batch(model, reqs);
-  unsetenv("MPIRICAL_ENCODE_BATCH");
+  std::vector<DecodeResult> per_source;
+  {
+    testutil::ScopedEnv toggle("MPIRICAL_ENCODE_BATCH", "0");
+    ASSERT_FALSE(encode_batch_enabled());
+    per_source = decode_batch(model, reqs);
+  }
   ASSERT_TRUE(encode_batch_enabled());
   const auto batched = decode_batch(model, reqs);
 

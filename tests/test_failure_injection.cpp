@@ -1,15 +1,25 @@
 // Failure-injection tests: corrupted checkpoints, malformed predictions,
-// hostile inputs, and resource-limit behaviour. The library must fail loudly
-// and precisely, never crash or silently mis-score.
+// hostile inputs, resource-limit behaviour, and shard workers dying
+// mid-chunk. The library must fail loudly and precisely (or, for the shard
+// driver, recover to an oracle-identical merge), never crash or silently
+// mis-score.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
 
 #include "cinterp/interp.hpp"
 #include "clex/lexer.hpp"
+#include "core/evaluate.hpp"
 #include "core/model.hpp"
 #include "cparse/parser.hpp"
 #include "metrics/metrics.hpp"
 #include "mpisim/runner.hpp"
 #include "nn/transformer.hpp"
+#include "shard/eval.hpp"
 #include "support/check.hpp"
 #include "toklib/vocab.hpp"
 #include "testing.hpp"
@@ -155,6 +165,154 @@ TEST(FailureInjection, MatchingToleratesAbsurdLines) {
   EXPECT_EQ(counts.tp, 0u);
   EXPECT_EQ(counts.fp, 1u);
   EXPECT_EQ(counts.fn, 1u);
+}
+
+// ---- sharded evaluation under worker death ----------------------------------
+
+namespace shard_failure {
+
+/// Tiny untrained model + a small split -- decode is deterministic, so the
+/// unsharded run is an exact oracle for the fault-injected sharded runs.
+struct EvalHarness {
+  corpus::Dataset dataset;
+  core::MpiRical model;
+  std::vector<corpus::Example> split;
+};
+
+const EvalHarness& eval_harness() {
+  static const EvalHarness* h = [] {
+    corpus::DatasetConfig dcfg;
+    dcfg.corpus_size = 260;
+    dcfg.seed = 55;
+    dcfg.max_tokens = 180;
+    core::ModelConfig mcfg;
+    mcfg.d_model = 32;
+    mcfg.heads = 2;
+    mcfg.ffn_dim = 64;
+    mcfg.encoder_layers = 1;
+    mcfg.decoder_layers = 1;
+    mcfg.dropout = 0.0f;
+    mcfg.max_src_tokens = 256;
+    mcfg.max_tgt_tokens = 32;
+    mcfg.seed = 919;
+    auto* built = new EvalHarness;
+    built->dataset = corpus::build_dataset(dcfg);
+    built->model = core::MpiRical::create(built->dataset, mcfg);
+    auto& pool = built->dataset.test;
+    for (const auto& ex : built->dataset.train) {
+      if (pool.size() >= 7) break;
+      pool.push_back(ex);
+    }
+    pool.resize(std::min<std::size_t>(pool.size(), 7));
+    built->split = pool;
+    return built;
+  }();
+  return *h;
+}
+
+void expect_oracle_equal(const core::EvalSummary& merged,
+                         const core::EvalSummary& oracle) {
+  using testutil::double_bits;
+  EXPECT_EQ(merged.examples, oracle.examples);
+  EXPECT_TRUE(merged.m_counts == oracle.m_counts);
+  EXPECT_TRUE(merged.mcc_counts == oracle.mcc_counts);
+  EXPECT_EQ(double_bits(merged.bleu), double_bits(oracle.bleu));
+  EXPECT_EQ(double_bits(merged.meteor), double_bits(oracle.meteor));
+  EXPECT_EQ(double_bits(merged.rouge_l), double_bits(oracle.rouge_l));
+  EXPECT_EQ(double_bits(merged.acc), double_bits(oracle.acc));
+}
+
+}  // namespace shard_failure
+
+TEST(FailureInjection, ShardWorkerDeathMidChunkReassigned) {
+  using namespace shard_failure;
+  const auto& h = eval_harness();
+  testutil::ScopedEnv wave("MPIRICAL_DECODE_WAVE", "2");  // 7 ex -> 4 chunks
+  const core::EvalSummary oracle = core::evaluate_model(h.model, h.split);
+
+  // Worker 0 dies after 3 protocol sends (its task request, grant ack, and
+  // one result record -- i.e. mid-chunk); worker 1 survives and must pick
+  // up the reassigned remainder.
+  shard::ShardOptions options;
+  options.shards = 2;
+  options.loopback_faults.resize(1);
+  options.loopback_faults[0].fail_after_sends = 3;
+  std::vector<core::ExamplePrediction> preds;
+  const core::EvalSummary merged =
+      shard::evaluate_sharded_inprocess(h.model, h.split, options, &preds);
+  expect_oracle_equal(merged, oracle);
+  ASSERT_EQ(preds.size(), h.split.size());
+  for (const auto& pred : preds) {
+    EXPECT_FALSE(pred.predicted_code.empty());
+  }
+}
+
+TEST(FailureInjection, ShardWorkerTruncatedFrameTreatedAsDeath) {
+  using namespace shard_failure;
+  const auto& h = eval_harness();
+  testutil::ScopedEnv wave("MPIRICAL_DECODE_WAVE", "2");
+  const core::EvalSummary oracle = core::evaluate_model(h.model, h.split);
+
+  // The fatal send is a RESULT record cut off after 11 bytes (a valid
+  // header plus two payload bytes): the driver's parser must hold the
+  // partial frame, see EOF, and treat it as death -- not parse garbage.
+  shard::ShardOptions options;
+  options.shards = 3;
+  options.loopback_faults.resize(1);
+  options.loopback_faults[0].fail_after_sends = 3;
+  options.loopback_faults[0].truncate_bytes = 11;
+  const core::EvalSummary merged =
+      shard::evaluate_sharded_inprocess(h.model, h.split, options);
+  expect_oracle_equal(merged, oracle);
+}
+
+TEST(FailureInjection, WedgedShardWorkerTimedOutByWatchdog) {
+  using namespace shard_failure;
+  const auto& h = eval_harness();
+  testutil::ScopedEnv wave("MPIRICAL_DECODE_WAVE", "3");
+  const core::EvalSummary oracle = core::evaluate_model(h.model, h.split);
+
+  // A wedged worker: alive, transport open, but never speaks the protocol
+  // and never closes. Without the watchdog the driver would wait on it
+  // forever; with MPIRICAL_EVAL_SHARD_TIMEOUT_S it must declare the worker
+  // dead, evaluate the chunks itself, and still merge oracle-equal.
+  testutil::ScopedEnv watchdog("MPIRICAL_EVAL_SHARD_TIMEOUT_S", "1");
+  auto [driver_end, worker_end] = shard::make_loopback_pair();
+  std::thread wedged([endpoint = std::shared_ptr<shard::Transport>(
+                          std::move(worker_end))] {
+    // Hold the connection open until the driver abandons us.
+    while (!endpoint->recv_some().empty()) {
+    }
+  });
+  shard::ShardOptions options;
+  options.shards = 1;
+  std::vector<core::ExamplePrediction> preds;
+  const core::EvalSummary merged = shard::run_driver(
+      h.model, h.split, {driver_end.get()}, options, &preds);
+  expect_oracle_equal(merged, oracle);
+  ASSERT_EQ(preds.size(), h.split.size());
+  driver_end->close();  // releases the wedged thread's recv
+  wedged.join();
+}
+
+TEST(FailureInjection, AllShardWorkersDeadFallsBackInProcess) {
+  using namespace shard_failure;
+  const auto& h = eval_harness();
+  testutil::ScopedEnv wave("MPIRICAL_DECODE_WAVE", "3");
+  const core::EvalSummary oracle = core::evaluate_model(h.model, h.split);
+
+  // Every worker dies almost immediately: the driver itself must evaluate
+  // the leftover chunks so the merge is still total and oracle-equal.
+  shard::ShardOptions options;
+  options.shards = 2;
+  options.loopback_faults.resize(2);
+  options.loopback_faults[0].fail_after_sends = 2;
+  options.loopback_faults[1].fail_after_sends = 3;
+  std::vector<core::ExamplePrediction> preds;
+  const core::EvalSummary merged =
+      shard::evaluate_sharded_inprocess(h.model, h.split, options, &preds);
+  expect_oracle_equal(merged, oracle);
+  ASSERT_EQ(preds.size(), h.split.size());
 }
 
 }  // namespace

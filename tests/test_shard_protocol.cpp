@@ -1,0 +1,394 @@
+// Property tests for the shard work partitioner (every example assigned
+// exactly once across shard counts and chunk geometries) and round-trip /
+// rejection tests for the wire protocol framing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "shard/partition.hpp"
+#include "shard/protocol.hpp"
+#include "shard/transport.hpp"
+#include "support/check.hpp"
+#include "testing.hpp"
+
+namespace mpirical::shard {
+namespace {
+
+using testutil::double_bits;
+
+// ---- make_wave_chunks -------------------------------------------------------
+
+TEST(WaveChunks, CoverRangeExactlyOnce) {
+  MR_SEEDED_RNG(rng, 101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.next_below(200));
+    const std::size_t wave = 1 + static_cast<std::size_t>(rng.next_below(40));
+    const auto chunks = make_wave_chunks(n, wave);
+    std::size_t expected_begin = 0;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      EXPECT_EQ(chunks[i].index, i);
+      EXPECT_EQ(chunks[i].begin, expected_begin);
+      EXPECT_GT(chunks[i].end, chunks[i].begin);
+      EXPECT_LE(chunks[i].end - chunks[i].begin, wave);
+      // Wave alignment: every chunk but the last is exactly one wave.
+      if (i + 1 < chunks.size()) {
+        EXPECT_EQ(chunks[i].end - chunks[i].begin, wave);
+      }
+      expected_begin = chunks[i].end;
+    }
+    EXPECT_EQ(expected_begin, n);
+    EXPECT_EQ(chunks.size(), (n + wave - 1) / wave);
+  }
+}
+
+TEST(WaveChunks, EmptyRangeYieldsNoChunks) {
+  EXPECT_TRUE(make_wave_chunks(0, 32).empty());
+}
+
+TEST(WaveChunks, RejectsZeroWave) {
+  EXPECT_THROW(make_wave_chunks(10, 0), Error);
+}
+
+// ---- Partitioner ------------------------------------------------------------
+
+// Drains a partitioner by round-robin polling every live shard, simulating
+// instant completion. Returns grant counts per chunk.
+std::map<std::size_t, std::size_t> drain(Partitioner& part) {
+  std::map<std::size_t, std::size_t> grants;
+  bool progress = true;
+  while (!part.all_complete() && progress) {
+    progress = false;
+    for (std::size_t s = 0; s < part.shard_count(); ++s) {
+      if (part.shard_dead(s)) continue;
+      while (auto c = part.next_for(s)) {
+        ++grants[c->index];
+        part.complete(c->index);
+        progress = true;
+      }
+    }
+  }
+  return grants;
+}
+
+TEST(Partitioner, EveryChunkAssignedExactlyOnce) {
+  MR_SEEDED_RNG(rng, 202);
+  for (const PartitionMode mode :
+       {PartitionMode::kStatic, PartitionMode::kDynamic}) {
+    for (std::size_t shards = 1; shards <= 8; ++shards) {
+      // Chunk geometries straddling the wave size: fewer chunks than
+      // shards, equal, more, and a randomized count.
+      for (const std::size_t chunks_n :
+           {std::size_t{0}, std::size_t{1}, shards, shards + 3,
+            static_cast<std::size_t>(rng.next_below(64))}) {
+        Partitioner part(make_wave_chunks(chunks_n * 5, 5), shards, mode);
+        ASSERT_EQ(part.chunk_count(), chunks_n);
+        const auto grants = drain(part);
+        EXPECT_TRUE(part.all_complete());
+        EXPECT_EQ(grants.size(), chunks_n);
+        for (const auto& [chunk, count] : grants) {
+          EXPECT_LT(chunk, chunks_n);
+          EXPECT_EQ(count, 1u) << "chunk " << chunk << " granted twice";
+        }
+      }
+    }
+  }
+}
+
+TEST(Partitioner, StaticModeAssignsRoundRobin) {
+  const std::size_t shards = 3;
+  Partitioner part(make_wave_chunks(7 * 4, 4), shards,
+                   PartitionMode::kStatic);
+  for (std::size_t s = 0; s < shards; ++s) {
+    while (auto c = part.next_for(s)) {
+      EXPECT_EQ(c->index % shards, s);
+      part.complete(c->index);
+    }
+  }
+  EXPECT_TRUE(part.all_complete());
+}
+
+TEST(Partitioner, FailedShardChunksReassignedExactlyOnce) {
+  MR_SEEDED_RNG(rng, 203);
+  for (const PartitionMode mode :
+       {PartitionMode::kStatic, PartitionMode::kDynamic}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::size_t shards =
+          2 + static_cast<std::size_t>(rng.next_below(6));
+      const std::size_t chunks_n =
+          1 + static_cast<std::size_t>(rng.next_below(24));
+      Partitioner part(make_wave_chunks(chunks_n * 3, 3), shards, mode);
+
+      // Shard 0 takes a few grants, completes some, then dies.
+      std::set<std::size_t> unfinished;
+      const std::size_t taken = rng.next_below(4) + 1;
+      for (std::size_t k = 0; k < taken; ++k) {
+        auto c = part.next_for(0);
+        if (!c) break;
+        if (rng.next_bool()) {
+          part.complete(c->index);
+        } else {
+          unfinished.insert(c->index);
+        }
+      }
+      part.fail_shard(0);
+      EXPECT_TRUE(part.shard_dead(0));
+      EXPECT_THROW(part.next_for(0), Error);
+
+      // Survivors drain everything, including the orphans.
+      std::map<std::size_t, std::size_t> grants;
+      bool progress = true;
+      while (!part.all_complete() && progress) {
+        progress = false;
+        for (std::size_t s = 1; s < shards; ++s) {
+          while (auto c = part.next_for(s)) {
+            ++grants[c->index];
+            part.complete(c->index);
+            progress = true;
+          }
+        }
+      }
+      EXPECT_TRUE(part.all_complete());
+      for (const std::size_t orphan : unfinished) {
+        EXPECT_EQ(grants.count(orphan), 1u)
+            << "orphaned chunk " << orphan << " not reassigned";
+      }
+      for (const auto& [chunk, count] : grants) {
+        EXPECT_EQ(count, 1u) << "chunk " << chunk << " re-granted twice";
+      }
+    }
+  }
+}
+
+TEST(Partitioner, CompleteRequiresGrant) {
+  Partitioner part(make_wave_chunks(8, 4), 2, PartitionMode::kDynamic);
+  EXPECT_THROW(part.complete(0), Error);
+  EXPECT_THROW(part.complete(99), Error);
+}
+
+// ---- frame protocol ---------------------------------------------------------
+
+TEST(Framing, RoundTripAcrossArbitrarySlicing) {
+  MR_SEEDED_RNG(rng, 301);
+  std::vector<Frame> sent;
+  std::string stream;
+  for (int i = 0; i < 20; ++i) {
+    Frame f;
+    f.type = static_cast<FrameType>(1 + rng.next_below(5));
+    const std::size_t len = static_cast<std::size_t>(rng.next_below(300));
+    f.payload.resize(len);
+    for (auto& ch : f.payload) {
+      ch = static_cast<char>(rng.next_below(256));
+    }
+    stream += encode_frame(f.type, f.payload);
+    sent.push_back(std::move(f));
+  }
+
+  // Feed the byte stream in random-sized slices (including size 1).
+  FrameParser parser;
+  std::vector<Frame> received;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t n = std::min<std::size_t>(
+        1 + rng.next_below(37), stream.size() - pos);
+    parser.feed(stream.data() + pos, n);
+    pos += n;
+    while (auto f = parser.next()) received.push_back(std::move(*f));
+  }
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(received[i].type, sent[i].type);
+    EXPECT_EQ(received[i].payload, sent[i].payload);
+  }
+  EXPECT_FALSE(parser.has_partial());
+}
+
+TEST(Framing, GarbageMagicRejected) {
+  FrameParser parser;
+  const std::string junk = "GARBAGE STREAM!!";
+  EXPECT_THROW(parser.feed(junk.data(), junk.size()), Error);
+}
+
+TEST(Framing, UnknownFrameTypeRejected) {
+  std::string frame = encode_frame(FrameType::kHeartbeat, "");
+  frame[4] = 99;  // type byte
+  FrameParser parser;
+  EXPECT_THROW(parser.feed(frame.data(), frame.size()), Error);
+}
+
+TEST(Framing, OversizedLengthRejected) {
+  std::string frame = encode_frame(FrameType::kHeartbeat, "");
+  frame[8] = 0x7F;  // top byte of the length field -> ~2 GiB
+  FrameParser parser;
+  EXPECT_THROW(parser.feed(frame.data(), frame.size()), Error);
+}
+
+TEST(Framing, TruncatedFrameIsDetectableNotParsed) {
+  const std::string full =
+      encode_frame(FrameType::kResult, std::string(100, 'x'));
+  FrameParser parser;
+  parser.feed(full.data(), full.size() - 7);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.has_partial());
+  // The rest arrives: frame completes normally.
+  parser.feed(full.data() + full.size() - 7, 7);
+  auto f = parser.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->payload.size(), 100u);
+  EXPECT_FALSE(parser.has_partial());
+}
+
+// ---- record round trips -----------------------------------------------------
+
+TEST(Records, TaskGrantRoundTrip) {
+  TaskGrant grant;
+  grant.chunk_index = 123456789012345ULL;
+  grant.begin = 7;
+  grant.end = 39;
+  grant.beam_width = 4;
+  grant.line_tolerance = -2;
+  const TaskGrant back = decode_task_grant(encode_task_grant(grant));
+  EXPECT_EQ(back.chunk_index, grant.chunk_index);
+  EXPECT_EQ(back.begin, grant.begin);
+  EXPECT_EQ(back.end, grant.end);
+  EXPECT_EQ(back.beam_width, grant.beam_width);
+  EXPECT_EQ(back.line_tolerance, grant.line_tolerance);
+}
+
+TEST(Records, TaskGrantRejectsTruncationAndTrailingGarbage) {
+  const std::string payload = encode_task_grant(TaskGrant{});
+  EXPECT_THROW(decode_task_grant(payload.substr(0, payload.size() - 1)),
+               Error);
+  EXPECT_THROW(decode_task_grant(payload + "x"), Error);
+  TaskGrant inverted;
+  inverted.begin = 5;
+  inverted.end = 2;
+  EXPECT_THROW(decode_task_grant(encode_task_grant(inverted)), Error);
+}
+
+TEST(Records, ResultRecordRoundTripIsBitwise) {
+  ResultRecord r;
+  r.chunk_index = 3;
+  r.example_index = 97;
+  r.m_counts = {5, 2, 1};
+  r.mcc_counts = {4, 0, 7};
+  // Doubles that text round-trips would mangle: denormal, -0.0, NaN,
+  // next-after values.
+  r.bleu = 4.9406564584124654e-324;   // min denormal
+  r.meteor = -0.0;
+  r.rouge_l = std::nan("");
+  r.acc = std::nextafter(1.0, 2.0);
+  r.parsed = true;
+  r.predicted_calls = {{"MPI_Send", 12}, {"MPI_Recv", -3}, {"", 0}};
+  r.predicted_code = std::string("int main() {\0 junk\n}", 20);
+
+  const ResultRecord back = decode_result(encode_result(r));
+  EXPECT_EQ(back.chunk_index, r.chunk_index);
+  EXPECT_EQ(back.example_index, r.example_index);
+  EXPECT_TRUE(back.m_counts == r.m_counts);
+  EXPECT_TRUE(back.mcc_counts == r.mcc_counts);
+  EXPECT_EQ(double_bits(back.bleu), double_bits(r.bleu));
+  EXPECT_EQ(double_bits(back.meteor), double_bits(r.meteor));
+  EXPECT_EQ(double_bits(back.rouge_l), double_bits(r.rouge_l));
+  EXPECT_EQ(double_bits(back.acc), double_bits(r.acc));
+  EXPECT_EQ(back.parsed, r.parsed);
+  ASSERT_EQ(back.predicted_calls.size(), r.predicted_calls.size());
+  for (std::size_t i = 0; i < r.predicted_calls.size(); ++i) {
+    EXPECT_EQ(back.predicted_calls[i].callee, r.predicted_calls[i].callee);
+    EXPECT_EQ(back.predicted_calls[i].line, r.predicted_calls[i].line);
+  }
+  EXPECT_EQ(back.predicted_code, r.predicted_code);
+}
+
+TEST(Records, ResultRecordRandomizedRoundTrip) {
+  MR_SEEDED_RNG(rng, 302);
+  for (int trial = 0; trial < 30; ++trial) {
+    ResultRecord r;
+    r.chunk_index = rng.next_u64();
+    r.example_index = rng.next_u64();
+    r.m_counts = {static_cast<std::size_t>(rng.next_below(1000)),
+                  static_cast<std::size_t>(rng.next_below(1000)),
+                  static_cast<std::size_t>(rng.next_below(1000))};
+    r.bleu = rng.next_double();
+    r.meteor = rng.next_gaussian();
+    r.rouge_l = rng.next_double() * 1e300;
+    r.acc = rng.next_bool() ? 1.0 : 0.0;
+    r.parsed = rng.next_bool();
+    const std::size_t calls = rng.next_below(6);
+    for (std::size_t i = 0; i < calls; ++i) {
+      r.predicted_calls.push_back(
+          {"MPI_Fn_" + std::to_string(rng.next_below(100)),
+           static_cast<int>(rng.next_int(-5, 500))});
+    }
+    r.predicted_code.resize(rng.next_below(400));
+    for (auto& ch : r.predicted_code) {
+      ch = static_cast<char>(rng.next_below(256));
+    }
+
+    const ResultRecord back = decode_result(encode_result(r));
+    EXPECT_EQ(back.example_index, r.example_index);
+    EXPECT_TRUE(back.m_counts == r.m_counts);
+    EXPECT_EQ(double_bits(back.bleu), double_bits(r.bleu));
+    EXPECT_EQ(double_bits(back.meteor), double_bits(r.meteor));
+    EXPECT_EQ(double_bits(back.rouge_l), double_bits(r.rouge_l));
+    EXPECT_EQ(double_bits(back.acc), double_bits(r.acc));
+    EXPECT_EQ(back.predicted_calls.size(), r.predicted_calls.size());
+    EXPECT_EQ(back.predicted_code, r.predicted_code);
+  }
+}
+
+TEST(Records, ResultRecordRejectsTruncation) {
+  ResultRecord r;
+  r.predicted_calls = {{"MPI_Send", 3}};
+  r.predicted_code = "int main() { return 0; }";
+  const std::string payload = encode_result(r);
+  for (const std::size_t keep :
+       {payload.size() - 1, payload.size() / 2, std::size_t{3}}) {
+    EXPECT_THROW(decode_result(payload.substr(0, keep)), Error);
+  }
+  EXPECT_THROW(decode_result(payload + "!"), Error);
+}
+
+// ---- loopback transport -----------------------------------------------------
+
+TEST(Loopback, DeliversBytesAndEof) {
+  auto [driver, worker] = make_loopback_pair();
+  EXPECT_TRUE(worker->send("hello "));
+  EXPECT_TRUE(worker->send("world"));
+  std::string got;
+  while (got.size() < 11) {
+    const std::string part = driver->recv_some();
+    ASSERT_FALSE(part.empty());
+    got += part;
+  }
+  EXPECT_EQ(got, "hello world");
+  worker->close();
+  EXPECT_TRUE(driver->recv_some().empty());
+}
+
+TEST(Loopback, FaultCutsBothDirectionsAfterKSends) {
+  LoopbackFault fault;
+  fault.fail_after_sends = 2;
+  fault.truncate_bytes = 3;
+  auto [driver, worker] = make_loopback_pair(fault);
+  EXPECT_TRUE(worker->send("aaaa"));
+  EXPECT_TRUE(worker->send("bbbb"));
+  EXPECT_FALSE(worker->send("cccc"));   // dies here, 3 bytes delivered
+  EXPECT_FALSE(worker->send("dddd"));   // stays dead
+  std::string got;
+  for (;;) {
+    const std::string part = driver->recv_some();
+    if (part.empty()) break;
+    got += part;
+  }
+  EXPECT_EQ(got, "aaaabbbbccc");
+  // The dead worker's recv sees EOF even though the driver never closed,
+  // and sending toward it fails like a pipe with its reader gone (EPIPE).
+  EXPECT_FALSE(driver->send("grant"));
+  EXPECT_TRUE(worker->recv_some().empty());
+}
+
+}  // namespace
+}  // namespace mpirical::shard

@@ -9,7 +9,53 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
 #include "support/rng.hpp"
+
+namespace mpirical::testutil {
+
+/// Sets (or, with nullptr, unsets) an environment variable for the
+/// enclosing scope and restores the previous state on exit -- including on
+/// early returns from failed ASSERTs. gtest runs tests serially, so scoped
+/// mutation is race-free.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      setenv(name_, saved_->c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+/// Raw IEEE-754 bit pattern, for asserting bitwise double equality.
+inline std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace mpirical::testutil
 
 // Declares `name` as an Rng seeded from the global test seed mixed with
 // `salt`, and leaves a trace so a failure reports how to reproduce it.
