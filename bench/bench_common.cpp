@@ -7,7 +7,11 @@
 
 #include <unistd.h>
 
+#include "core/world_snapshot.hpp"
 #include "shard/eval.hpp"
+#include "snapshot/snapshot.hpp"
+#include "support/check.hpp"
+#include "support/io.hpp"
 #include "support/strings.hpp"
 #include "support/timer.hpp"
 
@@ -37,21 +41,38 @@ void append_json_line(const std::string& path, const std::string& line) {
 
 bool maybe_run_eval_shard_worker() {
   if (!shard::is_worker_role()) return false;
+  Timer startup_timer;
   // The driver's stdout carries the bench tables/JSON; route this worker's
   // setup chatter to stderr instead.
   std::fflush(stdout);
   dup2(2, 1);
 
-  // The driver already (re)trained and cached the checkpoint before
-  // spawning workers; a worker must always load that cache, even when the
-  // driver itself was launched with MPIRICAL_BENCH_RETRAIN=1.
+  if (snapshot::snapshot_enabled()) {
+    // Snapshot deployment: the driver ships the world (model + exact eval
+    // split) as an mmap-able file, path-over-pipe. No corpus rebuild, no
+    // checkpoint re-parse -- startup is mmap + pointer fixups.
+    const auto transport = shard::worker_transport();
+    shard::run_worker_from_snapshot(*transport,
+                                    startup_timer.seconds() * 1e3);
+    return true;
+  }
+
+  // Legacy deployment (MPIRICAL_SNAPSHOT=0): rebuild the same model and
+  // test split from the inherited environment. The driver already
+  // (re)trained and cached the checkpoint before spawning workers; a worker
+  // must always load that cache, even when the driver itself was launched
+  // with MPIRICAL_BENCH_RETRAIN=1.
   unsetenv("MPIRICAL_BENCH_RETRAIN");
+  Timer load_timer;
   TrainedSetup setup = ensure_trained_model();
   const std::size_t limit = env_size("MPIRICAL_BENCH_EVAL_LIMIT", 160);
   std::vector<corpus::Example> test = setup.dataset.test;
   if (test.size() > limit) test.resize(limit);
+  const double load_ms = load_timer.seconds() * 1e3;
 
   const auto transport = shard::worker_transport();
+  shard::send_startup_info(*transport, startup_timer.seconds() * 1e3,
+                           load_ms);
   shard::run_worker(setup.model, test, *transport);
   return true;
 }
@@ -97,7 +118,7 @@ bool retrain_forced() {
 std::vector<core::EpochLog> load_training_log() {
   std::vector<core::EpochLog> logs;
   if (!std::filesystem::exists(log_path())) return logs;
-  const std::string data = core::read_file(log_path());
+  const std::string data = io::read_file(log_path());
   for (const auto& line : split_lines(data)) {
     std::istringstream is(line);
     core::EpochLog log;
@@ -111,6 +132,33 @@ std::vector<core::EpochLog> load_training_log() {
 
 TrainedSetup ensure_trained_model() {
   TrainedSetup setup;
+
+  // A pre-built world snapshot short-circuits everything: model + all three
+  // splits mmap in, with corpus construction and training skipped.
+  // MPIRICAL_BENCH_RETRAIN=1 wins over the file: a forced retrain must not
+  // silently evaluate a stale snapshot (the fresh world is rewritten below).
+  const char* snap_path = std::getenv("MPIRICAL_SNAPSHOT_PATH");
+  if (snapshot::snapshot_enabled() && snap_path != nullptr &&
+      !retrain_forced() && io::file_exists(snap_path)) {
+    Timer load_timer;
+    core::World world = core::load_world_snapshot(snap_path);
+    MR_CHECK(world.has_dataset,
+             std::string("MPIRICAL_SNAPSHOT_PATH names an eval-only "
+                         "snapshot (benches need the dataset shape): ") +
+                 snap_path);
+    setup.model = std::move(world.model);
+    setup.dataset = std::move(world.dataset);
+    setup.epoch_logs = load_training_log();
+    setup.from_snapshot = true;
+    setup.snapshot_load_ms = load_timer.seconds() * 1e3;
+    std::printf(
+        "[setup] world snapshot %s: %zu train / %zu val / %zu test "
+        "examples, mmap-loaded in %.1f ms\n",
+        snap_path, setup.dataset.train.size(), setup.dataset.val.size(),
+        setup.dataset.test.size(), setup.snapshot_load_ms);
+    return setup;
+  }
+
   const corpus::DatasetConfig dcfg = default_dataset_config();
   std::printf("[setup] building corpus (%zu programs, seed %llu)...\n",
               dcfg.corpus_size,
@@ -124,11 +172,24 @@ TrainedSetup ensure_trained_model() {
       setup.dataset.val.size(), setup.dataset.test.size(),
       setup.dataset.excluded_too_long, dcfg.max_tokens, timer.seconds());
 
+  // After building (or loading) the model, optionally materialize the
+  // dataset snapshot so the next run starts from the file.
+  auto maybe_write_snapshot = [&](const TrainedSetup& s) {
+    if (snapshot::snapshot_enabled() && snap_path != nullptr &&
+        (retrain_forced() || !io::file_exists(snap_path))) {
+      Timer write_timer;
+      core::write_dataset_snapshot(snap_path, s.model, s.dataset);
+      std::printf("[setup] wrote world snapshot to %s (%.1f ms)\n",
+                  snap_path, write_timer.seconds() * 1e3);
+    }
+  };
+
   if (!retrain_forced() && std::filesystem::exists(checkpoint_path())) {
     std::printf("[setup] loading cached model from %s\n",
                 checkpoint_path().c_str());
     setup.model = core::MpiRical::load(checkpoint_path());
     setup.epoch_logs = load_training_log();
+    maybe_write_snapshot(setup);
     return setup;
   }
 
@@ -157,8 +218,9 @@ TrainedSetup ensure_trained_model() {
                 std::to_string(log.val_token_accuracy) + "\t" +
                 std::to_string(log.seconds) + "\n";
   }
-  core::write_file(log_path(), log_data);
+  io::write_file(log_path(), log_data);
   std::printf("[setup] checkpoint saved to %s\n", checkpoint_path().c_str());
+  maybe_write_snapshot(setup);
   return setup;
 }
 

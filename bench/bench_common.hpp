@@ -38,12 +38,16 @@ void setenv_default(const char* name, const char* value);
 void append_json_line(const std::string& path, const std::string& line);
 
 /// Shard-worker entry for the model-eval benches. When this process was
-/// launched with MPIRICAL_EVAL_SHARD_ROLE=worker it rebuilds the SAME model
-/// and test split the driver evaluates (cached checkpoint + deterministic
-/// dataset from the inherited environment), serves shard chunks over the
-/// inherited pipes (shard::worker_transport), and returns true -- the caller
-/// must then exit(0) without running the bench body. Returns false in a
-/// normal (driver) process.
+/// launched with MPIRICAL_EVAL_SHARD_ROLE=worker it obtains the SAME model
+/// and test split the driver evaluates -- by mmap'ing the world snapshot the
+/// driver ships path-over-pipe (default), or, with MPIRICAL_SNAPSHOT=0, by
+/// rebuilding from the inherited environment (cached checkpoint +
+/// deterministic dataset) -- serves shard chunks over the inherited pipes
+/// (shard::worker_transport), and returns true; the caller must then
+/// exit(0) without running the bench body. Returns false in a normal
+/// (driver) process. Either way the worker reports its startup/load timings
+/// to the driver, so BENCH_table2.json records the spawn cost of both
+/// deployments.
 bool maybe_run_eval_shard_worker();
 
 corpus::DatasetConfig default_dataset_config();
@@ -53,11 +57,19 @@ struct TrainedSetup {
   corpus::Dataset dataset;
   core::MpiRical model;
   std::vector<core::EpochLog> epoch_logs;  // empty when loaded from cache
+  bool from_snapshot = false;      // loaded whole from MPIRICAL_SNAPSHOT_PATH
+  double snapshot_load_ms = -1.0;  // mmap + fixups time when from_snapshot
 };
 
 /// Loads the cached model if present (and retraining not forced), otherwise
 /// builds the dataset, trains (echoing per-epoch logs), and caches both the
 /// checkpoint and the training log under artifacts_dir().
+///
+/// With MPIRICAL_SNAPSHOT_PATH set (and snapshots enabled): when the file
+/// exists, model AND dataset come straight from the mmap'd snapshot --
+/// corpus construction and training are skipped entirely; when it does not,
+/// the normal build/train path runs and then writes the dataset snapshot
+/// there, so a later run (or CI job) starts from the file.
 TrainedSetup ensure_trained_model();
 
 /// Reads the persisted training log (epoch, train_loss, val_loss, val_acc,

@@ -65,23 +65,67 @@ int main(int argc, char** argv) {
               decode_s, examples_per_s, shards, shards == 1 ? "" : "s");
 
   {
-    char json[512];
+    char json[768];
     std::snprintf(
         json, sizeof(json),
         "{\"bench\":\"table2_eval\",\"shards\":%zu,\"examples\":%zu,"
         "\"wave\":%zu,\"beam_width\":1,\"seconds_decode\":%.3f,"
         "\"examples_per_s\":%.3f,\"m_f1\":%.4f,\"mcc_f1\":%.4f,"
         "\"bleu\":%.4f,\"meteor\":%.4f,\"rouge_l\":%.4f,\"acc\":%.4f,"
-        "\"smoke\":%s}",
+        "\"smoke\":%s",
         shards, test.size(), shard::decode_wave_size(), decode_s,
         examples_per_s, s.m_counts.f1(), s.mcc_counts.f1(), s.bleu, s.meteor,
         s.rouge_l, s.acc, smoke ? "true" : "false");
+    std::string line(json);
+    // Snapshot-deployment observability: how the driver shipped the world
+    // and what each worker's spawn actually cost (the numbers the zero-copy
+    // snapshot layer exists to collapse).
+    const shard::ShardRunStats stats = shard::last_run_stats();
+    {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    ",\"snapshot\":%s,\"snapshot_write_ms\":%.2f,"
+                    "\"snapshot_bytes\":%llu",
+                    stats.used_snapshot ? "true" : "false",
+                    stats.snapshot_write_ms,
+                    static_cast<unsigned long long>(stats.snapshot_bytes));
+      line += buf;
+    }
+    if (setup.from_snapshot) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ",\"setup_snapshot_load_ms\":%.2f",
+                    setup.snapshot_load_ms);
+      line += buf;
+    }
+    auto append_array = [&line](const char* key,
+                                const std::vector<double>& values) {
+      line += ",\"";
+      line += key;
+      line += "\":[";
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%s%.2f", i > 0 ? "," : "",
+                      values[i]);
+        line += buf;
+      }
+      line += "]";
+    };
+    append_array("worker_startup_ms", stats.worker_startup_ms);
+    append_array("worker_load_ms", stats.worker_load_ms);
+    line += "}";
     std::string path = "BENCH_table2.json";
     if (const char* override_path = std::getenv("MPIRICAL_BENCH_TABLE2_JSON")) {
       path = override_path;
     }
-    bench::append_json_line(path, json);
-    std::printf("%s\n", json);
+    bench::append_json_line(path, line);
+    std::printf("%s\n", line.c_str());
+    for (std::size_t w = 0; w < stats.worker_startup_ms.size(); ++w) {
+      if (stats.worker_startup_ms[w] < 0) continue;  // never reported
+      std::printf("[eval] worker %zu: startup %.1f ms (world %s %.1f ms)\n",
+                  w, stats.worker_startup_ms[w],
+                  stats.used_snapshot ? "mmap-load" : "env rebuild",
+                  stats.worker_load_ms[w]);
+    }
   }
 
   struct Row {

@@ -79,5 +79,17 @@ int main(int argc, char **argv) {
   if (suggestions.empty()) {
     std::printf("  (none -- try more epochs or a larger corpus)\n");
   }
+
+  // 4. Persist and reload through the snapshot checkpoint: save() writes
+  // the mmap-able binary snapshot format (MPIRICAL_SNAPSHOT=0 reverts to
+  // the legacy text checkpoint), load() auto-detects by magic, and a
+  // snapshot-loaded model's weights are zero-copy views into the mapping.
+  const std::string ckpt = "quickstart_model.mpsn";
+  model.save(ckpt);
+  const core::MpiRical reloaded = core::MpiRical::load(ckpt);
+  std::string repredicted;
+  reloaded.suggest(serial, &repredicted);
+  std::printf("\nsaved + mmap-reloaded %s: predictions %s\n", ckpt.c_str(),
+              repredicted == predicted ? "identical" : "DIVERGED");
   return 0;
 }

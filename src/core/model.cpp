@@ -1,9 +1,9 @@
 #include "core/model.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 
 #include "cast/printer.hpp"
@@ -12,7 +12,9 @@
 #include "nn/adam.hpp"
 #include "nn/infer.hpp"
 #include "shard/partition.hpp"
+#include "snapshot/snapshot.hpp"
 #include "support/check.hpp"
+#include "support/io.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "tensor/tensor.hpp"
@@ -331,19 +333,67 @@ namespace {
 void put_u64(std::string& out, std::uint64_t v) {
   out.append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
-std::uint64_t get_u64(const std::string& in, std::size_t& pos) {
+std::uint64_t get_u64(std::string_view in, std::size_t& pos) {
   MR_CHECK(pos + sizeof(std::uint64_t) <= in.size(), "checkpoint truncated");
   std::uint64_t v;
   std::memcpy(&v, in.data() + pos, sizeof(v));
   pos += sizeof(v);
   return v;
 }
+
+/// A corrupt checkpoint must fail loudly here, not as a giant allocation or
+/// a downstream crash with garbage dimensions.
+void validate_model_config(const ModelConfig& cfg) {
+  MR_CHECK(cfg.d_model > 0 && cfg.d_model <= (1 << 16),
+           "model config: d_model out of range");
+  MR_CHECK(cfg.heads > 0 && cfg.heads <= 256 && cfg.d_model % cfg.heads == 0,
+           "model config: heads out of range");
+  MR_CHECK(cfg.ffn_dim > 0 && cfg.ffn_dim <= (1 << 20),
+           "model config: ffn_dim out of range");
+  MR_CHECK(cfg.encoder_layers >= 0 && cfg.encoder_layers <= 64 &&
+               cfg.decoder_layers >= 0 && cfg.decoder_layers <= 64,
+           "model config: layer count out of range");
+  MR_CHECK(cfg.max_src_tokens > 0 && cfg.max_src_tokens <= (1 << 20) &&
+               cfg.max_tgt_tokens > 0 && cfg.max_tgt_tokens <= (1 << 20),
+           "model config: token limits out of range");
+  MR_CHECK(cfg.dropout >= 0.0f && cfg.dropout <= 1.0f,
+           "model config: dropout out of range");
+}
 }  // namespace
 
 std::string MpiRical::serialize() const {
   std::string out;
-  // Config (plain struct copy of POD fields).
-  out.append(reinterpret_cast<const char*>(&config_), sizeof(config_));
+  // Config: the legacy layout is the raw struct image, but copying config_
+  // directly would leak indeterminate PADDING bytes into the checkpoint --
+  // two identical models could serialize to different bytes. Assembling the
+  // image field-by-field in a zeroed CHAR buffer (where, unlike in a struct
+  // object, every byte is value representation the compiler must preserve)
+  // pins the padding to zero, so byte-level comparisons of checkpoints are
+  // meaningful.
+  char cfg_image[sizeof(ModelConfig)] = {};
+  auto put_field = [&cfg_image](std::size_t offset, const void* src,
+                                std::size_t n) {
+    std::memcpy(cfg_image + offset, src, n);
+  };
+#define MR_PUT_CFG(field) \
+  put_field(offsetof(ModelConfig, field), &config_.field, \
+            sizeof(config_.field))
+  MR_PUT_CFG(d_model);
+  MR_PUT_CFG(heads);
+  MR_PUT_CFG(ffn_dim);
+  MR_PUT_CFG(encoder_layers);
+  MR_PUT_CFG(decoder_layers);
+  MR_PUT_CFG(dropout);
+  MR_PUT_CFG(max_src_tokens);
+  MR_PUT_CFG(max_tgt_tokens);
+  MR_PUT_CFG(use_xsbt);
+  MR_PUT_CFG(batch_size);
+  MR_PUT_CFG(epochs);
+  MR_PUT_CFG(lr);
+  MR_PUT_CFG(warmup_steps);
+  MR_PUT_CFG(seed);
+#undef MR_PUT_CFG
+  out.append(cfg_image, sizeof(cfg_image));
   const std::string vocab_data = vocab_.serialize();
   put_u64(out, vocab_data.size());
   out += vocab_data;
@@ -353,45 +403,110 @@ std::string MpiRical::serialize() const {
   return out;
 }
 
-MpiRical MpiRical::deserialize(const std::string& data) {
+MpiRical MpiRical::deserialize(std::string_view data) {
   MpiRical m;
   std::size_t pos = 0;
   MR_CHECK(data.size() >= sizeof(ModelConfig), "checkpoint too small");
   std::memcpy(&m.config_, data.data(), sizeof(ModelConfig));
   pos += sizeof(ModelConfig);
+  validate_model_config(m.config_);
+  // Sections are parsed as string_view slices of the caller's buffer -- no
+  // substr copies of multi-megabyte vocab/weight blobs.
   const std::uint64_t vocab_size = get_u64(data, pos);
-  MR_CHECK(pos + vocab_size <= data.size(), "checkpoint truncated (vocab)");
+  MR_CHECK(vocab_size <= data.size() - pos, "checkpoint truncated (vocab)");
   m.vocab_ = tok::Vocab::deserialize(data.substr(pos, vocab_size));
   pos += vocab_size;
   const std::uint64_t model_size = get_u64(data, pos);
-  MR_CHECK(pos + model_size <= data.size(), "checkpoint truncated (model)");
+  MR_CHECK(model_size <= data.size() - pos, "checkpoint truncated (model)");
   m.model_ = nn::Transformer::deserialize(data.substr(pos, model_size));
   pos += model_size;
   MR_CHECK(pos == data.size(), "trailing bytes in model checkpoint");
   return m;
 }
 
+// ---- snapshot format --------------------------------------------------------
+
+void MpiRical::to_snapshot(snapshot::Builder& builder) const {
+  {
+    snapshot::ByteWriter w;
+    w.i32(config_.d_model);
+    w.i32(config_.heads);
+    w.i32(config_.ffn_dim);
+    w.i32(config_.encoder_layers);
+    w.i32(config_.decoder_layers);
+    w.f32(config_.dropout);
+    w.i32(config_.max_src_tokens);
+    w.i32(config_.max_tgt_tokens);
+    w.u8(config_.use_xsbt ? 1 : 0);
+    w.i32(config_.batch_size);
+    w.i32(config_.epochs);
+    w.f32(config_.lr);
+    w.i32(config_.warmup_steps);
+    w.u64(config_.seed);
+    builder.add(snapshot::SectionKind::kModelConfig, "model_config",
+                w.take());
+  }
+  {
+    snapshot::ByteWriter w;
+    vocab_.to_snapshot(w);
+    builder.add(snapshot::SectionKind::kVocab, "vocab", w.take());
+  }
+  model_.to_snapshot(builder);
+}
+
+std::string MpiRical::serialize_snapshot() const {
+  snapshot::Builder builder;
+  to_snapshot(builder);
+  return builder.finish();
+}
+
+MpiRical MpiRical::from_snapshot(
+    const std::shared_ptr<const snapshot::Snapshot>& snap) {
+  MR_CHECK(snap != nullptr, "null snapshot");
+  MpiRical m;
+  {
+    snapshot::ByteReader r(
+        snap->require(snapshot::SectionKind::kModelConfig, "model_config")
+            .payload);
+    m.config_.d_model = r.i32();
+    m.config_.heads = r.i32();
+    m.config_.ffn_dim = r.i32();
+    m.config_.encoder_layers = r.i32();
+    m.config_.decoder_layers = r.i32();
+    m.config_.dropout = r.f32();
+    m.config_.max_src_tokens = r.i32();
+    m.config_.max_tgt_tokens = r.i32();
+    m.config_.use_xsbt = r.u8() != 0;
+    m.config_.batch_size = r.i32();
+    m.config_.epochs = r.i32();
+    m.config_.lr = r.f32();
+    m.config_.warmup_steps = r.i32();
+    m.config_.seed = r.u64();
+    r.done();
+  }
+  validate_model_config(m.config_);
+  m.vocab_ = tok::Vocab::from_view(
+      snap->require(snapshot::SectionKind::kVocab, "vocab").payload);
+  m.model_ = nn::Transformer::from_view(*snap, snapshot::owner_of(snap));
+  MR_CHECK(static_cast<std::size_t>(m.model_.config().vocab_size) ==
+               m.vocab_.size(),
+           "snapshot vocab size does not match the transformer");
+  return m;
+}
+
 void MpiRical::save(const std::string& path) const {
-  write_file(path, serialize());
+  if (snapshot::snapshot_enabled()) {
+    io::write_file(path, serialize_snapshot());
+  } else {
+    io::write_file(path, serialize());
+  }
 }
 
 MpiRical MpiRical::load(const std::string& path) {
-  return deserialize(read_file(path));
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  MR_CHECK(in.good(), "cannot open file for reading: " + path);
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
-}
-
-void write_file(const std::string& path, const std::string& data) {
-  std::ofstream out(path, std::ios::binary);
-  MR_CHECK(out.good(), "cannot open file for writing: " + path);
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  MR_CHECK(out.good(), "failed writing file: " + path);
+  if (snapshot::has_snapshot_magic(io::read_prefix(path, 4))) {
+    return from_snapshot(snapshot::Snapshot::map_file(path));
+  }
+  return deserialize(io::read_file(path));
 }
 
 }  // namespace mpirical::core

@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cast/node.hpp"
@@ -17,6 +19,11 @@
 #include "nn/adam.hpp"
 #include "nn/transformer.hpp"
 #include "toklib/vocab.hpp"
+
+namespace mpirical::snapshot {
+class Builder;
+class Snapshot;
+}
 
 namespace mpirical::core {
 
@@ -102,9 +109,26 @@ class MpiRical {
   const nn::Transformer& transformer() const { return model_; }
   const ModelConfig& config() const { return config_; }
 
-  /// Checkpoint I/O (config + vocab + weights).
+  /// Legacy checkpoint I/O (config + vocab + weights, sequentially packed).
+  /// Kept as the differential oracle for the snapshot format.
   std::string serialize() const;
-  static MpiRical deserialize(const std::string& data);
+  static MpiRical deserialize(std::string_view data);
+
+  /// Snapshot-format checkpoint: the model's sections appended to `builder`
+  /// (model_config + vocab + transformer_config + tensor_index + one
+  /// aligned raw-float section per parameter).
+  void to_snapshot(snapshot::Builder& builder) const;
+  /// A complete single-model snapshot file image.
+  std::string serialize_snapshot() const;
+  /// Rebuilds a model over an opened snapshot; transformer weights are
+  /// zero-copy views pinned to the snapshot's backing mapping.
+  static MpiRical from_snapshot(
+      const std::shared_ptr<const snapshot::Snapshot>& snap);
+
+  /// save() writes the snapshot format unless MPIRICAL_SNAPSHOT=0 (legacy
+  /// text checkpoint). load() auto-detects the format by magic: snapshot
+  /// files are mmap'd (weights stay views into the mapping), anything else
+  /// takes the legacy parse path.
   void save(const std::string& path) const;
   static MpiRical load(const std::string& path);
 
@@ -127,9 +151,5 @@ class MpiRical {
   tok::Vocab vocab_;
   nn::Transformer model_;
 };
-
-/// Reads/writes a file as a string (shared by checkpoint callers).
-std::string read_file(const std::string& path);
-void write_file(const std::string& path, const std::string& data);
 
 }  // namespace mpirical::core

@@ -1,0 +1,83 @@
+#include "core/world_snapshot.hpp"
+
+#include "support/check.hpp"
+#include "support/io.hpp"
+
+namespace mpirical::core {
+
+namespace {
+
+void add_split(snapshot::Builder& builder, const char* name,
+               const std::vector<corpus::Example>& split) {
+  snapshot::ByteWriter w;
+  corpus::encode_examples(w, split);
+  builder.add(snapshot::SectionKind::kCorpus, name, w.take());
+}
+
+}  // namespace
+
+std::string build_eval_snapshot(const MpiRical& model,
+                                const std::vector<corpus::Example>& split) {
+  snapshot::Builder builder;
+  model.to_snapshot(builder);
+  add_split(builder, "eval", split);
+  return builder.finish();
+}
+
+void write_eval_snapshot(const std::string& path, const MpiRical& model,
+                         const std::vector<corpus::Example>& split) {
+  io::write_file(path, build_eval_snapshot(model, split));
+}
+
+std::string build_dataset_snapshot(const MpiRical& model,
+                                   const corpus::Dataset& dataset) {
+  snapshot::Builder builder;
+  model.to_snapshot(builder);
+  add_split(builder, "train", dataset.train);
+  add_split(builder, "val", dataset.val);
+  add_split(builder, "test", dataset.test);
+  snapshot::ByteWriter meta;
+  meta.u64(dataset.total_programs);
+  meta.u64(dataset.parse_failures);
+  meta.u64(dataset.excluded_too_long);
+  builder.add(snapshot::SectionKind::kMeta, "dataset_meta", meta.take());
+  return builder.finish();
+}
+
+void write_dataset_snapshot(const std::string& path, const MpiRical& model,
+                            const corpus::Dataset& dataset) {
+  io::write_file(path, build_dataset_snapshot(model, dataset));
+}
+
+World load_world_snapshot(const std::string& path) {
+  World world;
+  world.snap = snapshot::Snapshot::map_file(path);
+  world.model = MpiRical::from_snapshot(world.snap);
+  if (const auto* s =
+          world.snap->find(snapshot::SectionKind::kCorpus, "eval")) {
+    world.eval = corpus::decode_examples(s->payload);
+    world.has_eval = true;
+  }
+  if (const auto* train =
+          world.snap->find(snapshot::SectionKind::kCorpus, "train")) {
+    world.dataset.train = corpus::decode_examples(train->payload);
+    world.dataset.val = corpus::decode_examples(
+        world.snap->require(snapshot::SectionKind::kCorpus, "val").payload);
+    world.dataset.test = corpus::decode_examples(
+        world.snap->require(snapshot::SectionKind::kCorpus, "test").payload);
+    if (const auto* meta =
+            world.snap->find(snapshot::SectionKind::kMeta, "dataset_meta")) {
+      snapshot::ByteReader r(meta->payload);
+      world.dataset.total_programs = r.u64();
+      world.dataset.parse_failures = r.u64();
+      world.dataset.excluded_too_long = r.u64();
+      r.done();
+    }
+    world.has_dataset = true;
+  }
+  MR_CHECK(world.has_eval || world.has_dataset,
+           "world snapshot carries no corpus split: " + path);
+  return world;
+}
+
+}  // namespace mpirical::core

@@ -1,0 +1,53 @@
+// "World" snapshots: one mmap-able file holding everything an eval worker
+// (or a bench run) needs -- the trained MpiRical plus materialized corpus
+// splits -- so worker startup is an mmap + pointer fixups instead of
+// rebuilding the corpus from environment knobs and re-parsing a text
+// checkpoint (PR 4's dominant spawn cost).
+//
+// Two shapes share the container:
+//  - an EVAL snapshot ("eval" split only): what the shard driver writes to a
+//    temp file and ships to workers by path-over-pipe;
+//  - a DATASET snapshot (train/val/test + pipeline accounting): what the
+//    benches cache at MPIRICAL_SNAPSHOT_PATH so CI can train once, upload
+//    the artifact, and re-run everything downstream from the file.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "corpus/dataset.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace mpirical::core {
+
+/// A loaded world snapshot. `snap` pins the mapping the model's weights
+/// view into (the tensors also hold it; this handle is for callers that
+/// want explicit lifetime). Absent splits are empty.
+struct World {
+  MpiRical model;
+  corpus::Dataset dataset;             // dataset-shape snapshots
+  std::vector<corpus::Example> eval;   // eval-shape snapshots
+  bool has_dataset = false;
+  bool has_eval = false;
+  std::shared_ptr<const snapshot::Snapshot> snap;
+};
+
+/// Model + one materialized eval split (the shard-worker shape).
+std::string build_eval_snapshot(const MpiRical& model,
+                                const std::vector<corpus::Example>& split);
+void write_eval_snapshot(const std::string& path, const MpiRical& model,
+                         const std::vector<corpus::Example>& split);
+
+/// Model + full dataset splits and accounting (the bench-cache shape).
+std::string build_dataset_snapshot(const MpiRical& model,
+                                   const corpus::Dataset& dataset);
+void write_dataset_snapshot(const std::string& path, const MpiRical& model,
+                            const corpus::Dataset& dataset);
+
+/// mmaps and validates `path`, rebuilding the model (zero-copy weights) and
+/// whichever splits the file carries.
+World load_world_snapshot(const std::string& path);
+
+}  // namespace mpirical::core

@@ -7,6 +7,7 @@
 #include "clex/lexer.hpp"
 #include "corpus/removal.hpp"
 #include "cparse/parser.hpp"
+#include "snapshot/snapshot.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 #include "xsbt/xsbt.hpp"
@@ -104,6 +105,60 @@ Dataset build_dataset(const DatasetConfig& config) {
     }
   }
   return ds;
+}
+
+void encode_examples(snapshot::ByteWriter& w,
+                     const std::vector<Example>& examples) {
+  w.u32(static_cast<std::uint32_t>(examples.size()));
+  for (const auto& ex : examples) {
+    w.i32(ex.id);
+    w.u32(static_cast<std::uint32_t>(ex.family));
+    w.bytes(ex.label_code);
+    w.bytes(ex.input_code);
+    w.bytes(ex.input_xsbt);
+    w.u32(static_cast<std::uint32_t>(ex.ground_truth.size()));
+    for (const auto& call : ex.ground_truth) {
+      w.bytes(call.callee);
+      w.i32(call.line);
+    }
+    w.u64(ex.label_token_count);
+  }
+}
+
+std::vector<Example> decode_examples(std::string_view payload) {
+  snapshot::ByteReader r(payload);
+  const std::uint32_t count = r.u32();
+  // Every encoded example costs >= 4 bytes of length prefixes alone, so a
+  // forged count cannot force an outsized reserve.
+  MR_CHECK(count <= payload.size() / 4,
+           "corpus example count exceeds payload");
+  std::vector<Example> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Example ex;
+    ex.id = r.i32();
+    const std::uint32_t family = r.u32();
+    MR_CHECK(family < static_cast<std::uint32_t>(kFamilyCount),
+             "corpus example has unknown family");
+    ex.family = static_cast<Family>(family);
+    ex.label_code = std::string(r.bytes());
+    ex.input_code = std::string(r.bytes());
+    ex.input_xsbt = std::string(r.bytes());
+    const std::uint32_t calls = r.u32();
+    MR_CHECK(calls <= payload.size() / 8,
+             "corpus call-site count exceeds payload");
+    ex.ground_truth.reserve(calls);
+    for (std::uint32_t c = 0; c < calls; ++c) {
+      ast::CallSite call;
+      call.callee = std::string(r.bytes());
+      call.line = r.i32();
+      ex.ground_truth.push_back(std::move(call));
+    }
+    ex.label_token_count = r.u64();
+    out.push_back(std::move(ex));
+  }
+  r.done();
+  return out;
 }
 
 }  // namespace mpirical::corpus

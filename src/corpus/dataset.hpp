@@ -11,10 +11,15 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cast/node.hpp"
 #include "corpus/corpus.hpp"
+
+namespace mpirical::snapshot {
+class ByteWriter;
+}
 
 namespace mpirical::corpus {
 
@@ -57,5 +62,16 @@ Dataset build_dataset(const DatasetConfig& config);
 /// the token-count exclusion. On success fills `out` (id/family left as-is).
 bool make_example(const std::string& source, std::size_t max_tokens,
                   Example& out);
+
+/// Snapshot payload for one materialized split: every Example field, so a
+/// shard worker (or a bench run started from MPIRICAL_SNAPSHOT_PATH) gets
+/// the EXACT examples the driver evaluates instead of re-deriving the corpus
+/// from environment knobs.
+void encode_examples(snapshot::ByteWriter& w,
+                     const std::vector<Example>& examples);
+/// Parses an encode_examples payload (a snapshot section view); strings are
+/// copied exactly once, out of the view into the Examples. Throws Error on
+/// truncation or forged counts.
+std::vector<Example> decode_examples(std::string_view payload);
 
 }  // namespace mpirical::corpus

@@ -65,7 +65,7 @@ IncrementalDecoder::IncrementalDecoder(const Transformer& model,
   // Precompute cross-attention K/V per decoder layer: one [src_len, d] x
   // [d, d] GEMM per projection instead of src_len GEMVs. The encoder output
   // is only needed here, so it is not retained in the shared state.
-  const std::vector<float>& enc_out = enc.value();
+  const auto& enc_out = enc.value();
   auto source = std::make_shared<SourceState>();
   source->layers.resize(model.decoder_layers().size());
   using tensor::kernels::Trans;

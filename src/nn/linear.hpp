@@ -14,6 +14,11 @@ struct Linear {
       : w(tensor::Tensor::randn({in, out}, rng, init_std,
                                 /*requires_grad=*/true)),
         b(tensor::Tensor::zeros({out}, /*requires_grad=*/true)) {}
+  /// Zero-initialized: for loaders that overwrite (or repoint) every
+  /// parameter anyway -- skips the per-element Gaussian draw.
+  Linear(int in, int out)
+      : w(tensor::Tensor::zeros({in, out}, /*requires_grad=*/true)),
+        b(tensor::Tensor::zeros({out}, /*requires_grad=*/true)) {}
 
   tensor::Tensor forward(const tensor::Tensor& x) const {
     return tensor::add_bias(tensor::matmul(x, w), b);

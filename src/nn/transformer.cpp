@@ -1,5 +1,7 @@
 #include "nn/transformer.hpp"
 
+#include "snapshot/snapshot.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -13,6 +15,27 @@ namespace mpirical::nn {
 
 using tensor::Tensor;
 
+namespace {
+
+std::vector<std::vector<float>> positional_table(
+    const TransformerConfig& config) {
+  std::vector<std::vector<float>> pos(
+      static_cast<std::size_t>(config.max_len));
+  for (int p = 0; p < config.max_len; ++p) {
+    auto& row = pos[static_cast<std::size_t>(p)];
+    row.resize(static_cast<std::size_t>(config.d_model));
+    for (int i = 0; i < config.d_model; ++i) {
+      const double angle =
+          p / std::pow(10000.0, 2.0 * (i / 2) / config.d_model);
+      row[static_cast<std::size_t>(i)] = static_cast<float>(
+          i % 2 == 0 ? std::sin(angle) : std::cos(angle));
+    }
+  }
+  return pos;
+}
+
+}  // namespace
+
 Transformer::Transformer(const TransformerConfig& config, Rng& rng)
     : config_(config),
       tok_embed_(Tensor::randn({config.vocab_size, config.d_model}, rng, 0.02f,
@@ -22,21 +45,27 @@ Transformer::Transformer(const TransformerConfig& config, Rng& rng)
       out_proj_(config.d_model, config.vocab_size, rng) {
   MR_CHECK(config.d_model % config.heads == 0,
            "d_model must be divisible by heads");
-  pos_.resize(static_cast<std::size_t>(config.max_len));
-  for (int p = 0; p < config.max_len; ++p) {
-    auto& row = pos_[static_cast<std::size_t>(p)];
-    row.resize(static_cast<std::size_t>(config.d_model));
-    for (int i = 0; i < config.d_model; ++i) {
-      const double angle =
-          p / std::pow(10000.0, 2.0 * (i / 2) / config.d_model);
-      row[static_cast<std::size_t>(i)] = static_cast<float>(
-          i % 2 == 0 ? std::sin(angle) : std::cos(angle));
-    }
-  }
+  pos_ = positional_table(config);
   enc_.reserve(static_cast<std::size_t>(config.encoder_layers));
   for (int i = 0; i < config.encoder_layers; ++i) enc_.emplace_back(config, rng);
   dec_.reserve(static_cast<std::size_t>(config.decoder_layers));
   for (int i = 0; i < config.decoder_layers; ++i) dec_.emplace_back(config, rng);
+}
+
+Transformer::Transformer(const TransformerConfig& config)
+    : config_(config),
+      tok_embed_(Tensor::zeros({config.vocab_size, config.d_model},
+                               /*requires_grad=*/true)),
+      enc_ln_(config.d_model),
+      dec_ln_(config.d_model),
+      out_proj_(config.d_model, config.vocab_size) {
+  MR_CHECK(config.d_model % config.heads == 0,
+           "d_model must be divisible by heads");
+  pos_ = positional_table(config);
+  enc_.reserve(static_cast<std::size_t>(config.encoder_layers));
+  for (int i = 0; i < config.encoder_layers; ++i) enc_.emplace_back(config);
+  dec_.reserve(static_cast<std::size_t>(config.decoder_layers));
+  for (int i = 0; i < config.decoder_layers; ++i) dec_.emplace_back(config);
 }
 
 const std::vector<float>& Transformer::positional_row(int pos) const {
@@ -185,14 +214,14 @@ void put_i32(std::string& out, std::int32_t v) {
 void put_f32(std::string& out, float v) {
   out.append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
-std::int32_t get_i32(const std::string& in, std::size_t& pos) {
+std::int32_t get_i32(std::string_view in, std::size_t& pos) {
   MR_CHECK(pos + sizeof(std::int32_t) <= in.size(), "checkpoint truncated");
   std::int32_t v;
   std::memcpy(&v, in.data() + pos, sizeof(v));
   pos += sizeof(v);
   return v;
 }
-float get_f32(const std::string& in, std::size_t& pos) {
+float get_f32(std::string_view in, std::size_t& pos) {
   MR_CHECK(pos + sizeof(float) <= in.size(), "checkpoint truncated");
   float v;
   std::memcpy(&v, in.data() + pos, sizeof(v));
@@ -201,6 +230,27 @@ float get_f32(const std::string& in, std::size_t& pos) {
 }
 
 constexpr std::int32_t kMagic = 0x4D504952;  // "MPIR"
+
+/// Rejects configs whose fields are garbage (a corrupt checkpoint must fail
+/// loudly here, not as a multi-gigabyte allocation or a downstream crash).
+void validate_config(const TransformerConfig& cfg) {
+  MR_CHECK(cfg.vocab_size > 0 && cfg.vocab_size <= (1 << 24),
+           "checkpoint config: vocab_size out of range");
+  MR_CHECK(cfg.d_model > 0 && cfg.d_model <= (1 << 16),
+           "checkpoint config: d_model out of range");
+  MR_CHECK(cfg.heads > 0 && cfg.heads <= 256 &&
+               cfg.d_model % cfg.heads == 0,
+           "checkpoint config: heads out of range");
+  MR_CHECK(cfg.ffn_dim > 0 && cfg.ffn_dim <= (1 << 20),
+           "checkpoint config: ffn_dim out of range");
+  MR_CHECK(cfg.encoder_layers >= 0 && cfg.encoder_layers <= 64 &&
+               cfg.decoder_layers >= 0 && cfg.decoder_layers <= 64,
+           "checkpoint config: layer count out of range");
+  MR_CHECK(cfg.max_len > 0 && cfg.max_len <= (1 << 20),
+           "checkpoint config: max_len out of range");
+  MR_CHECK(cfg.dropout >= 0.0f && cfg.dropout <= 1.0f,
+           "checkpoint config: dropout out of range");
+}
 
 }  // namespace
 
@@ -222,7 +272,7 @@ std::string Transformer::serialize() const {
   return out;
 }
 
-Transformer Transformer::deserialize(const std::string& data) {
+Transformer Transformer::deserialize(std::string_view data) {
   std::size_t pos = 0;
   MR_CHECK(get_i32(data, pos) == kMagic, "bad checkpoint magic");
   TransformerConfig cfg;
@@ -234,15 +284,120 @@ Transformer Transformer::deserialize(const std::string& data) {
   cfg.decoder_layers = get_i32(data, pos);
   cfg.max_len = get_i32(data, pos);
   cfg.dropout = get_f32(data, pos);
-  Rng rng(0);  // weights are overwritten below
-  Transformer model(cfg, rng);
+  validate_config(cfg);
+  Transformer model(cfg);  // zero-init; every value overwritten below
   for (auto& p : model.parameters()) {
     const std::int32_t n = get_i32(data, pos);
-    MR_CHECK(static_cast<std::size_t>(n) == p.numel(),
+    MR_CHECK(n >= 0 && static_cast<std::size_t>(n) == p.numel(),
              "checkpoint parameter size mismatch");
     for (auto& x : p.value()) x = get_f32(data, pos);
   }
   MR_CHECK(pos == data.size(), "trailing bytes in checkpoint");
+  return model;
+}
+
+// ---- snapshot sections ------------------------------------------------------
+
+void Transformer::to_snapshot(snapshot::Builder& builder) const {
+  {
+    snapshot::ByteWriter w;
+    w.i32(config_.vocab_size);
+    w.i32(config_.d_model);
+    w.i32(config_.heads);
+    w.i32(config_.ffn_dim);
+    w.i32(config_.encoder_layers);
+    w.i32(config_.decoder_layers);
+    w.i32(config_.max_len);
+    w.f32(config_.dropout);
+    builder.add(snapshot::SectionKind::kTransformerConfig,
+                "transformer_config", w.take());
+  }
+  const std::vector<tensor::Tensor> params = parameters();
+  snapshot::ByteWriter index;
+  index.u32(static_cast<std::uint32_t>(params.size()));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const tensor::Tensor& p = params[i];
+    const auto& shape = p.shape();
+    MR_CHECK(shape.size() <= 2, "snapshot supports rank <= 2 tensors");
+    index.u32(static_cast<std::uint32_t>(shape.size()));
+    index.u32(shape.empty() ? 1u : static_cast<std::uint32_t>(shape[0]));
+    index.u32(shape.size() < 2 ? 1u : static_cast<std::uint32_t>(shape[1]));
+    std::string payload;
+    payload.resize(p.numel() * sizeof(float));
+    std::memcpy(payload.data(), p.value().data(), payload.size());
+    const std::size_t section = builder.add(
+        snapshot::SectionKind::kTensorData, "t" + std::to_string(i),
+        std::move(payload));
+    index.u32(static_cast<std::uint32_t>(section));
+  }
+  builder.add(snapshot::SectionKind::kTensorIndex, "tensor_index",
+              index.take());
+}
+
+Transformer Transformer::from_view(const snapshot::Snapshot& snap,
+                                   std::shared_ptr<const void> owner) {
+  TransformerConfig cfg;
+  {
+    snapshot::ByteReader r(
+        snap.require(snapshot::SectionKind::kTransformerConfig,
+                     "transformer_config")
+            .payload);
+    cfg.vocab_size = r.i32();
+    cfg.d_model = r.i32();
+    cfg.heads = r.i32();
+    cfg.ffn_dim = r.i32();
+    cfg.encoder_layers = r.i32();
+    cfg.decoder_layers = r.i32();
+    cfg.max_len = r.i32();
+    cfg.dropout = r.f32();
+    r.done();
+  }
+  validate_config(cfg);
+  // Zero-init construction: every parameter's storage is repointed at the
+  // mapping below, so worker startup never pays a Gaussian init.
+  Transformer model(cfg);
+  std::vector<tensor::Tensor> params = model.parameters();
+
+  snapshot::ByteReader index(
+      snap.require(snapshot::SectionKind::kTensorIndex, "tensor_index")
+          .payload);
+  const std::uint32_t count = index.u32();
+  MR_CHECK(count == params.size(),
+           "snapshot tensor count does not match the model architecture");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t rank = index.u32();
+    const std::uint32_t d0 = index.u32();
+    const std::uint32_t d1 = index.u32();
+    const std::uint32_t section_id = index.u32();
+    tensor::Tensor& p = params[i];
+    const auto& shape = p.shape();
+    MR_CHECK(rank == shape.size(),
+             "snapshot tensor rank mismatch at parameter " +
+                 std::to_string(i));
+    const std::uint32_t want0 =
+        shape.empty() ? 1u : static_cast<std::uint32_t>(shape[0]);
+    const std::uint32_t want1 =
+        shape.size() < 2 ? 1u : static_cast<std::uint32_t>(shape[1]);
+    MR_CHECK(d0 == want0 && d1 == want1,
+             "snapshot tensor shape mismatch at parameter " +
+                 std::to_string(i));
+    const snapshot::Section& data =
+        snap.section(static_cast<std::size_t>(section_id));
+    MR_CHECK(data.kind == snapshot::SectionKind::kTensorData,
+             "snapshot tensor index points at a non-tensor section");
+    MR_CHECK(data.payload.size() == p.numel() * sizeof(float),
+             "snapshot tensor payload size mismatch at parameter " +
+                 std::to_string(i));
+    // Zero-copy: the parameter's storage becomes a view into the mapping
+    // (64-byte aligned by the container layout); `owner` keeps it alive.
+    // Drop the eagerly-allocated grad buffer too -- an eval-only worker
+    // must not hold a dead model-sized gradient allocation (it comes back
+    // lazily via ensure_grad if the model is ever trained).
+    p.set_view(reinterpret_cast<const float*>(data.payload.data()),
+               p.numel(), owner);
+    p.release_grad();
+  }
+  index.done();
   return model;
 }
 

@@ -9,12 +9,18 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "nn/linear.hpp"
 #include "support/rng.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
+
+namespace mpirical::snapshot {
+class Builder;
+class Snapshot;
+}
 
 namespace mpirical::nn {
 
@@ -45,6 +51,7 @@ struct AttentionBlock {
   AttentionBlock() = default;
   AttentionBlock(int d, Rng& rng)
       : wq(d, d, rng), wk(d, d, rng), wv(d, d, rng), wo(d, d, rng) {}
+  explicit AttentionBlock(int d) : wq(d, d), wk(d, d), wv(d, d), wo(d, d) {}
   Linear wq, wk, wv, wo;
 };
 
@@ -52,6 +59,7 @@ struct FfnBlock {
   FfnBlock() = default;
   FfnBlock(int d, int hidden, Rng& rng)
       : up(d, hidden, rng), down(hidden, d, rng) {}
+  FfnBlock(int d, int hidden) : up(d, hidden), down(hidden, d) {}
   Linear up, down;
 };
 
@@ -62,6 +70,11 @@ struct EncoderLayer {
         ln2(cfg.d_model),
         attn(cfg.d_model, rng),
         ffn(cfg.d_model, cfg.ffn_dim, rng) {}
+  explicit EncoderLayer(const TransformerConfig& cfg)
+      : ln1(cfg.d_model),
+        ln2(cfg.d_model),
+        attn(cfg.d_model),
+        ffn(cfg.d_model, cfg.ffn_dim) {}
   LayerNormParams ln1, ln2;
   AttentionBlock attn;
   FfnBlock ffn;
@@ -76,6 +89,13 @@ struct DecoderLayer {
         self_attn(cfg.d_model, rng),
         cross_attn(cfg.d_model, rng),
         ffn(cfg.d_model, cfg.ffn_dim, rng) {}
+  explicit DecoderLayer(const TransformerConfig& cfg)
+      : ln1(cfg.d_model),
+        ln2(cfg.d_model),
+        ln3(cfg.d_model),
+        self_attn(cfg.d_model),
+        cross_attn(cfg.d_model),
+        ffn(cfg.d_model, cfg.ffn_dim) {}
   LayerNormParams ln1, ln2, ln3;
   AttentionBlock self_attn;
   AttentionBlock cross_attn;
@@ -86,6 +106,10 @@ class Transformer {
  public:
   Transformer() = default;
   Transformer(const TransformerConfig& config, Rng& rng);
+  /// Zero-initialized parameters: the cheap construction for loaders
+  /// (deserialize / from_view) that overwrite or repoint every parameter
+  /// anyway -- worker startup must not pay a full Gaussian init.
+  explicit Transformer(const TransformerConfig& config);
 
   const TransformerConfig& config() const { return config_; }
 
@@ -108,9 +132,21 @@ class Transformer {
   std::vector<tensor::Tensor> parameters() const;
   std::size_t parameter_count() const;
 
-  /// Binary checkpoint I/O (config + all parameter values).
+  /// Binary checkpoint I/O (config + all parameter values). Legacy format,
+  /// kept as the differential oracle for the snapshot path.
   std::string serialize() const;
-  static Transformer deserialize(const std::string& data);
+  static Transformer deserialize(std::string_view data);
+
+  /// Snapshot sections: "transformer_config" + "tensor_index" + one raw
+  /// float32 "t<i>" data section per parameter (64-byte aligned in the
+  /// finished file).
+  void to_snapshot(snapshot::Builder& builder) const;
+  /// Rebuilds a transformer whose parameter values are ZERO-COPY views into
+  /// the snapshot's tensor sections; `owner` pins the backing mapping.
+  /// Parameters stay trainable -- first mutable access (e.g. an Adam step)
+  /// materializes an owned copy.
+  static Transformer from_view(const snapshot::Snapshot& snap,
+                               std::shared_ptr<const void> owner);
 
   // Internals exposed for the incremental decoder (read-only use).
   const tensor::Tensor& token_embedding() const { return tok_embed_; }

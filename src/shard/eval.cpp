@@ -18,8 +18,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "core/world_snapshot.hpp"
+#include "snapshot/snapshot.hpp"
 #include "support/check.hpp"
+#include "support/io.hpp"
 #include "support/thread_pool.hpp"
+#include "support/timer.hpp"
 
 extern char** environ;
 
@@ -105,7 +109,32 @@ core::ExamplePrediction prediction_from(ResultRecord&& r) {
 
 std::string g_self_exec;
 
+std::mutex g_stats_mu;
+ShardRunStats g_stats;
+
+void reset_run_stats() {
+  std::lock_guard<std::mutex> lock(g_stats_mu);
+  g_stats = ShardRunStats{};
+}
+
+void record_startup_info(std::size_t worker, const StartupInfo& info) {
+  std::lock_guard<std::mutex> lock(g_stats_mu);
+  if (g_stats.worker_startup_ms.size() <= worker) {
+    g_stats.worker_startup_ms.resize(worker + 1, -1.0);
+    g_stats.worker_load_ms.resize(worker + 1, -1.0);
+  }
+  g_stats.worker_startup_ms[worker] =
+      static_cast<double>(info.startup_us) / 1000.0;
+  g_stats.worker_load_ms[worker] =
+      static_cast<double>(info.load_us) / 1000.0;
+}
+
 }  // namespace
+
+ShardRunStats last_run_stats() {
+  std::lock_guard<std::mutex> lock(g_stats_mu);
+  return g_stats;
+}
 
 std::size_t env_shards() {
   if (const char* env = std::getenv("MPIRICAL_EVAL_SHARDS")) {
@@ -157,25 +186,30 @@ std::vector<ResultRecord> evaluate_chunk(
   return out;
 }
 
-void run_worker(const core::MpiRical& model,
-                const std::vector<corpus::Example>& split,
-                Transport& transport) {
-  FrameParser parser;
-  auto recv_frame = [&]() -> std::optional<Frame> {
-    for (;;) {
-      if (auto f = parser.next()) return f;
-      const std::string bytes = transport.recv_some();
-      if (bytes.empty()) return std::nullopt;
-      parser.feed(bytes.data(), bytes.size());
-    }
-  };
+namespace {
 
+/// Pumps transport bytes through the parser until a full frame (or EOF =
+/// nullopt). Throws Error on a corrupt stream, like FrameParser::feed.
+std::optional<Frame> recv_frame(Transport& transport, FrameParser& parser) {
+  for (;;) {
+    if (auto f = parser.next()) return f;
+    const std::string bytes = transport.recv_some();
+    if (bytes.empty()) return std::nullopt;
+    parser.feed(bytes.data(), bytes.size());
+  }
+}
+
+/// The worker's request/evaluate/stream loop over an already-initialized
+/// parser (the snapshot handshake shares it so no buffered bytes are lost).
+void run_worker_loop(const core::MpiRical& model,
+                     const std::vector<corpus::Example>& split,
+                     Transport& transport, FrameParser& parser) {
   try {
     for (;;) {
       if (!transport.send(encode_frame(FrameType::kTaskRequest, ""))) break;
       std::optional<Frame> frame;
       do {
-        frame = recv_frame();
+        frame = recv_frame(transport, parser);
       } while (frame && frame->type == FrameType::kHeartbeat);
       if (!frame || frame->type == FrameType::kDone) break;
       if (frame->type != FrameType::kTaskGrant) break;  // protocol violation
@@ -198,6 +232,56 @@ void run_worker(const core::MpiRical& model,
   } catch (const Error&) {
     // Corrupt driver stream or a scoring failure: die quietly; the driver
     // reassigns our chunks.
+  }
+  transport.close();
+}
+
+}  // namespace
+
+void run_worker(const core::MpiRical& model,
+                const std::vector<corpus::Example>& split,
+                Transport& transport) {
+  FrameParser parser;
+  run_worker_loop(model, split, transport, parser);
+}
+
+bool send_startup_info(Transport& transport, double startup_ms,
+                       double load_ms) {
+  StartupInfo info;
+  info.startup_us = static_cast<std::uint64_t>(startup_ms * 1000.0);
+  info.load_us = static_cast<std::uint64_t>(load_ms * 1000.0);
+  return transport.send(
+      encode_frame(FrameType::kStartupInfo, encode_startup_info(info)));
+}
+
+void run_worker_from_snapshot(Transport& transport, double pre_ms) {
+  FrameParser parser;
+  try {
+    std::optional<Frame> frame;
+    do {
+      frame = recv_frame(transport, parser);
+    } while (frame && frame->type == FrameType::kHeartbeat);
+    if (!frame || frame->type != FrameType::kSnapshot) {
+      transport.close();
+      return;
+    }
+    const SnapshotHello hello = decode_snapshot_hello(frame->payload);
+    // Startup proper: mmap + checksum pass + pointer fixups + split decode.
+    // Waiting for the driver's frame above is excluded -- that's the
+    // driver's time, not this worker's spawn cost.
+    Timer load_timer;
+    const core::World world = core::load_world_snapshot(hello.path);
+    MR_CHECK(world.has_eval, "worker snapshot carries no eval split");
+    const double load_ms = load_timer.seconds() * 1e3;
+    if (!send_startup_info(transport, pre_ms + load_ms, load_ms)) {
+      transport.close();
+      return;
+    }
+    run_worker_loop(world.model, world.eval, transport, parser);
+    return;  // run_worker_loop closed the transport
+  } catch (const Error&) {
+    // Corrupt driver stream or an unreadable/corrupt snapshot: die quietly;
+    // the driver reassigns our chunks (or falls back in-process).
   }
   transport.close();
 }
@@ -376,8 +460,17 @@ core::EvalSummary run_driver(
       case FrameType::kHeartbeat:
       case FrameType::kDone:
         break;  // liveness / clean-shutdown notice; EOF follows kDone
+      case FrameType::kStartupInfo:
+        try {
+          record_startup_info(w, decode_startup_info(e.frame.payload));
+        } catch (const Error&) {
+          declare_dead(w);
+        }
+        break;
       case FrameType::kTaskGrant:
-        declare_dead(w);  // workers never send grants
+      case FrameType::kSnapshot:
+        declare_dead(w);  // driver-only frames; a worker sending one is
+                          // violating the protocol
         break;
     }
   }
@@ -426,6 +519,7 @@ core::EvalSummary evaluate_sharded_inprocess(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options,
     std::vector<core::ExamplePrediction>* predictions) {
+  reset_run_stats();
   const std::size_t chunks =
       make_wave_chunks(split.size(), decode_wave_size()).size();
   const std::size_t num_workers =
@@ -528,6 +622,28 @@ ProcessWorker spawn_worker(const std::string& exe,
 
 }  // namespace
 
+namespace {
+
+/// Writes the world-snapshot bytes the workers will mmap to a unique temp
+/// file (TMPDIR or /tmp); returns its path.
+std::string write_worker_snapshot(const std::string& bytes) {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string path = (tmpdir != nullptr && tmpdir[0] != '\0')
+                         ? std::string(tmpdir)
+                         : std::string("/tmp");
+  path += "/mpirical_eval_snapshot_XXXXXX";
+  std::vector<char> buf(path.begin(), path.end());
+  buf.push_back('\0');
+  const int fd = ::mkstemp(buf.data());
+  MR_CHECK(fd >= 0, "cannot create worker snapshot temp file");
+  ::close(fd);
+  path.assign(buf.data());
+  io::write_file(path, bytes);
+  return path;
+}
+
+}  // namespace
+
 core::EvalSummary evaluate_sharded_processes(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options,
@@ -536,12 +652,34 @@ core::EvalSummary evaluate_sharded_processes(
            "no self-exec worker binary registered");
   std::signal(SIGPIPE, SIG_IGN);
   const std::string exe = resolve_self_exec();
+  reset_run_stats();
+
+  // Snapshot deployment: materialize the exact model + split into one
+  // mmap-able file ONCE; every worker's startup collapses to mmap +
+  // pointer fixups instead of rebuilding the corpus from the environment.
+  std::string snapshot_path;
+  if (snapshot::snapshot_enabled()) {
+    Timer write_timer;
+    const std::string bytes = core::build_eval_snapshot(model, split);
+    snapshot_path = write_worker_snapshot(bytes);
+    std::lock_guard<std::mutex> lock(g_stats_mu);
+    g_stats.used_snapshot = true;
+    g_stats.snapshot_write_ms = write_timer.seconds() * 1e3;
+    g_stats.snapshot_bytes = bytes.size();
+  }
 
   const std::size_t chunks =
       make_wave_chunks(split.size(), decode_wave_size()).size();
   const std::size_t num_workers =
       std::max<std::size_t>(1, std::min(options.shards, std::max<std::size_t>(
                                                             chunks, 1)));
+  {
+    // Presize the per-worker stat slots so index == worker id even when a
+    // worker dies before reporting its StartupInfo (sentinel -1 stays).
+    std::lock_guard<std::mutex> lock(g_stats_mu);
+    g_stats.worker_startup_ms.assign(num_workers, -1.0);
+    g_stats.worker_load_ms.assign(num_workers, -1.0);
+  }
 
   // Child environment: the parent's, plus the worker role marker. Built
   // before fork so the child touches no allocator.
@@ -562,10 +700,25 @@ core::EvalSummary evaluate_sharded_processes(
   for (std::size_t w = 0; w < num_workers; ++w) {
     procs.push_back(spawn_worker(exe, envp, w));
     transports.push_back(procs.back().transport.get());
+    if (!snapshot_path.empty()) {
+      // First frame to every snapshot-mode worker: the path to mmap. A
+      // worker that already died fails the send harmlessly; the driver
+      // reassigns its chunks.
+      SnapshotHello hello;
+      hello.path = snapshot_path;
+      transports.back()->send(
+          encode_frame(FrameType::kSnapshot, encode_snapshot_hello(hello)));
+    }
   }
 
   core::EvalSummary summary =
       run_driver(model, split, transports, options, predictions);
+
+  if (!snapshot_path.empty()) {
+    // Workers have mapped the file (or died); the name can go. Mappings
+    // keep the content alive until the workers exit.
+    ::unlink(snapshot_path.c_str());
+  }
 
   for (auto& proc : procs) {
     proc.transport.reset();  // closes both pipe ends; healthy workers exit

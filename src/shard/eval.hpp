@@ -51,6 +51,20 @@ struct ShardOptions {
 /// MPIRICAL_EVAL_SHARDS (default 1 = unsharded in-process wave loop).
 std::size_t env_shards();
 
+/// Observability for the last sharded evaluation run in this process (the
+/// benches surface these in BENCH_table2.json). Worker arrays are indexed
+/// by worker id; a worker that never reported (died early, legacy loopback)
+/// holds the sentinel -1.
+struct ShardRunStats {
+  bool used_snapshot = false;        // world snapshot shipped path-over-pipe
+  double snapshot_write_ms = 0.0;    // driver: build + write the world file
+  std::uint64_t snapshot_bytes = 0;  // world file size
+  std::vector<double> worker_startup_ms;  // exec -> ready (per worker)
+  std::vector<double> worker_load_ms;     // world load (mmap+fixups or
+                                          // legacy env rebuild) per worker
+};
+ShardRunStats last_run_stats();
+
 /// Evaluates split examples [grant.begin, grant.end) in-process: one decode
 /// wave through translate_batch plus per-example scoring. Shared by worker
 /// loops and the driver's dead-worker fallback.
@@ -64,6 +78,20 @@ std::vector<ResultRecord> evaluate_chunk(
 void run_worker(const core::MpiRical& model,
                 const std::vector<corpus::Example>& split,
                 Transport& transport);
+
+/// Snapshot-deployment worker entry: blocks for the driver's kSnapshot
+/// frame, mmap-loads the world snapshot it names (weights become zero-copy
+/// views into the mapping), reports a StartupInfo of `pre_ms` (the caller's
+/// process-setup time so far) plus the load time, then serves chunks via
+/// run_worker. Returns without throwing on a dead/corrupt driver stream or
+/// an unloadable snapshot (the driver reassigns the chunks).
+void run_worker_from_snapshot(Transport& transport, double pre_ms);
+
+/// Sends the worker's StartupInfo (legacy rebuild-from-env workers call
+/// this themselves so before/after spawn costs land in the same bench
+/// record). Returns false when the driver is gone.
+bool send_startup_info(Transport& transport, double startup_ms,
+                       double load_ms);
 
 /// Driver side: partitions the split into wave chunks, serves grants over
 /// the worker transports, reassigns on worker death, evaluates any

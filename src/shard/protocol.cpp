@@ -104,7 +104,7 @@ class Reader {
 
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kTaskRequest) &&
-         t <= static_cast<std::uint8_t>(FrameType::kDone);
+         t <= static_cast<std::uint8_t>(FrameType::kStartupInfo);
 }
 
 }  // namespace
@@ -253,6 +253,37 @@ ResultRecord decode_result(const std::string& payload) {
   record.predicted_code = r.bytes();
   r.done();
   return record;
+}
+
+std::string encode_snapshot_hello(const SnapshotHello& hello) {
+  std::string out;
+  append_bytes(out, hello.path);
+  return out;
+}
+
+SnapshotHello decode_snapshot_hello(const std::string& payload) {
+  Reader r(payload);
+  SnapshotHello hello;
+  hello.path = r.bytes();
+  r.done();
+  MR_CHECK(!hello.path.empty(), "snapshot hello names no path");
+  return hello;
+}
+
+std::string encode_startup_info(const StartupInfo& info) {
+  std::string out;
+  append_u64(out, info.startup_us);
+  append_u64(out, info.load_us);
+  return out;
+}
+
+StartupInfo decode_startup_info(const std::string& payload) {
+  Reader r(payload);
+  StartupInfo info;
+  info.startup_us = r.u64();
+  info.load_us = r.u64();
+  r.done();
+  return info;
 }
 
 }  // namespace mpirical::shard

@@ -34,6 +34,11 @@ enum class FrameType : std::uint8_t {
   kResult = 3,
   kHeartbeat = 4,
   kDone = 5,
+  // Snapshot deployment (MPIRICAL_SNAPSHOT enabled): the driver's FIRST
+  // frame to a spawned worker names the world-snapshot file to mmap; the
+  // worker answers with its startup timings once it is ready to serve.
+  kSnapshot = 6,      // driver -> worker: world-snapshot path
+  kStartupInfo = 7,   // worker -> driver: startup_us + snapshot load_us
 };
 
 constexpr std::uint32_t kFrameMagic = 0x5352504D;  // "MPRS" little-endian
@@ -100,5 +105,26 @@ TaskGrant decode_task_grant(const std::string& payload);
 std::string encode_result(const ResultRecord& record);
 /// Throws Error on truncated or oversized payloads.
 ResultRecord decode_result(const std::string& payload);
+
+/// Driver -> worker: mmap this world snapshot instead of rebuilding the
+/// corpus/model from the environment.
+struct SnapshotHello {
+  std::string path;
+};
+
+/// Worker -> driver: how long the worker took to become ready (exec to
+/// first task request, excluding time spent waiting for the driver) and how
+/// much of that was the snapshot mmap + fixups. Microseconds, integral, so
+/// the record is platform-stable on the wire.
+struct StartupInfo {
+  std::uint64_t startup_us = 0;
+  std::uint64_t load_us = 0;
+};
+
+std::string encode_snapshot_hello(const SnapshotHello& hello);
+SnapshotHello decode_snapshot_hello(const std::string& payload);
+
+std::string encode_startup_info(const StartupInfo& info);
+StartupInfo decode_startup_info(const std::string& payload);
 
 }  // namespace mpirical::shard

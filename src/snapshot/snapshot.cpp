@@ -1,0 +1,356 @@
+#include "snapshot/snapshot.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/check.hpp"
+
+namespace mpirical::snapshot {
+
+std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool host_is_little_endian() {
+  const std::uint32_t probe = 1;
+  unsigned char byte0 = 0;
+  std::memcpy(&byte0, &probe, 1);
+  return byte0 == 1;
+}
+
+bool snapshot_enabled() {
+  const char* env = std::getenv("MPIRICAL_SNAPSHOT");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+bool has_snapshot_magic(std::string_view bytes) {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes[static_cast<size_t>(i)]))
+             << (8 * i);
+  }
+  return magic == kMagic;
+}
+
+// ---- ByteWriter / ByteReader ------------------------------------------------
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void ByteWriter::f32(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::bytes(std::string_view s) {
+  MR_CHECK(s.size() <= (std::uint64_t{1} << 32) - 1,
+           "snapshot string field too large");
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+void ByteWriter::raw(const void* data, std::size_t n) {
+  out_.append(static_cast<const char*>(data), n);
+}
+
+void ByteReader::need(std::size_t n) const {
+  MR_CHECK(pos_ + n <= data_.size(), "truncated snapshot payload");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+float ByteReader::f32() {
+  const std::uint32_t bits = u32();
+  float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string_view ByteReader::bytes() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string_view s = data_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+void ByteReader::done() const {
+  MR_CHECK(pos_ == data_.size(), "trailing bytes in snapshot payload");
+}
+
+// ---- Builder ----------------------------------------------------------------
+
+namespace {
+
+std::size_t align_up(std::size_t n) {
+  return (n + kAlign - 1) & ~(kAlign - 1);
+}
+
+void put_u32_at(std::string& buf, std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void put_u64_at(std::string& buf, std::size_t pos, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint32_t get_u32_at(std::string_view buf, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(buf[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64_at(std::string_view buf, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(buf[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::size_t Builder::add(SectionKind kind, std::string_view name,
+                         std::string payload) {
+  MR_CHECK(name.size() <= kSectionNameMax,
+           "snapshot section name too long: " + std::string(name));
+  Pending p;
+  p.kind = kind;
+  p.name = std::string(name);
+  p.payload = std::move(payload);
+  sections_.push_back(std::move(p));
+  return sections_.size() - 1;
+}
+
+std::string Builder::finish() const {
+  MR_CHECK(host_is_little_endian(),
+           "snapshot format requires a little-endian host");
+  const std::size_t table_size = sections_.size() * kSectionEntrySize;
+  std::size_t offset = align_up(kHeaderSize + table_size);
+  std::vector<std::size_t> offsets(sections_.size());
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    offsets[i] = offset;
+    offset = align_up(offset + sections_[i].payload.size());
+  }
+  const std::size_t file_size = offset;
+
+  std::string out(file_size, '\0');
+  // Section table + payloads first, so the table checksum can be stamped
+  // into the header afterwards.
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const Pending& s = sections_[i];
+    const std::size_t entry = kHeaderSize + i * kSectionEntrySize;
+    put_u32_at(out, entry + 0, static_cast<std::uint32_t>(s.kind));
+    put_u32_at(out, entry + 4, 0);  // reserved
+    put_u64_at(out, entry + 8, offsets[i]);
+    put_u64_at(out, entry + 16, s.payload.size());
+    put_u64_at(out, entry + 24, fnv1a64(s.payload.data(), s.payload.size()));
+    std::memcpy(&out[entry + 32], s.name.data(), s.name.size());
+    std::memcpy(&out[offsets[i]], s.payload.data(), s.payload.size());
+  }
+
+  put_u32_at(out, 0, kMagic);
+  put_u32_at(out, 4, kVersion);
+  put_u64_at(out, 8, file_size);
+  put_u32_at(out, 16, static_cast<std::uint32_t>(sections_.size()));
+  put_u32_at(out, 20, 0);  // flags
+  put_u64_at(out, 24, fnv1a64(out.data() + kHeaderSize, table_size));
+  return out;
+}
+
+// ---- Snapshot reader --------------------------------------------------------
+
+Snapshot::~Snapshot() {
+  if (mapped_ && map_addr_ != nullptr) {
+    ::munmap(map_addr_, size_);
+  }
+}
+
+const Section& Snapshot::section(std::size_t i) const {
+  MR_CHECK(i < sections_.size(), "snapshot section index out of range");
+  return sections_[i];
+}
+
+const Section* Snapshot::find(SectionKind kind, std::string_view name) const {
+  for (const auto& s : sections_) {
+    if (s.kind == kind && (name.empty() || s.name == name)) return &s;
+  }
+  return nullptr;
+}
+
+const Section& Snapshot::require(SectionKind kind,
+                                 std::string_view name) const {
+  const Section* s = find(kind, name);
+  MR_CHECK(s != nullptr, "snapshot missing required section (kind " +
+                             std::to_string(static_cast<unsigned>(kind)) +
+                             ", name '" + std::string(name) + "')");
+  return *s;
+}
+
+void Snapshot::parse_and_validate() {
+  MR_CHECK(host_is_little_endian(),
+           "snapshot format requires a little-endian host");
+  const std::string_view buf(data_, size_);
+  MR_CHECK(size_ >= kHeaderSize, "snapshot truncated: no header");
+  MR_CHECK(get_u32_at(buf, 0) == kMagic, "bad snapshot magic");
+  const std::uint32_t version = get_u32_at(buf, 4);
+  MR_CHECK(version == kVersion,
+           "unsupported snapshot version " + std::to_string(version) +
+               " (expected " + std::to_string(kVersion) + ")");
+  const std::uint64_t file_size = get_u64_at(buf, 8);
+  MR_CHECK(file_size == size_,
+           "snapshot size mismatch: header says " + std::to_string(file_size) +
+               " bytes, file has " + std::to_string(size_));
+  const std::uint32_t count = get_u32_at(buf, 16);
+  // An absurd section count cannot request more table bytes than the file
+  // holds (also caps the parse loop before any allocation).
+  MR_CHECK(count <= (size_ - kHeaderSize) / kSectionEntrySize,
+           "snapshot section table exceeds file size");
+  const std::size_t table_size = count * kSectionEntrySize;
+  MR_CHECK(get_u64_at(buf, 24) ==
+               fnv1a64(data_ + kHeaderSize, table_size),
+           "snapshot section table checksum mismatch");
+
+  sections_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t entry = kHeaderSize + i * kSectionEntrySize;
+    const std::uint32_t kind = get_u32_at(buf, entry + 0);
+    MR_CHECK(kind >= static_cast<std::uint32_t>(SectionKind::kModelConfig) &&
+                 kind <= static_cast<std::uint32_t>(SectionKind::kMeta),
+             "snapshot section " + std::to_string(i) + " has unknown kind " +
+                 std::to_string(kind));
+    const std::uint64_t off = get_u64_at(buf, entry + 8);
+    const std::uint64_t len = get_u64_at(buf, entry + 16);
+    MR_CHECK(off % kAlign == 0,
+             "snapshot section " + std::to_string(i) + " is misaligned");
+    MR_CHECK(off >= kHeaderSize + table_size && off <= size_ &&
+                 len <= size_ - off,
+             "snapshot section " + std::to_string(i) +
+                 " points past end of file");
+    const char* name_begin = data_ + entry + 32;
+    const std::size_t name_len =
+        ::strnlen(name_begin, kSectionNameMax + 1);
+    MR_CHECK(name_len <= kSectionNameMax,
+             "snapshot section name not NUL-terminated");
+    Section s;
+    s.kind = static_cast<SectionKind>(kind);
+    s.name.assign(name_begin, name_len);
+    s.payload = std::string_view(data_ + off, len);
+    MR_CHECK(get_u64_at(buf, entry + 24) ==
+                 fnv1a64(s.payload.data(), s.payload.size()),
+             "snapshot section '" + s.name + "' checksum mismatch");
+    sections_.push_back(std::move(s));
+  }
+}
+
+std::shared_ptr<const Snapshot> Snapshot::map_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  MR_CHECK(fd >= 0, "cannot open snapshot: " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    MR_CHECK(false, "cannot stat snapshot: " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size < kHeaderSize) {
+    ::close(fd);
+    MR_CHECK(false, "snapshot truncated: no header (" + path + ")");
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file content alive
+  MR_CHECK(addr != MAP_FAILED, "mmap failed for snapshot: " + path);
+
+  std::shared_ptr<Snapshot> snap(new Snapshot());
+  snap->data_ = static_cast<const char*>(addr);
+  snap->size_ = size;
+  snap->mapped_ = true;
+  snap->map_addr_ = addr;
+  snap->parse_and_validate();  // dtor munmaps on throw
+  return snap;
+}
+
+std::shared_ptr<const Snapshot> Snapshot::from_bytes(std::string bytes) {
+  std::shared_ptr<Snapshot> snap(new Snapshot());
+  snap->owned_ = std::move(bytes);
+  snap->data_ = snap->owned_.data();
+  snap->size_ = snap->owned_.size();
+  snap->parse_and_validate();
+  return snap;
+}
+
+}  // namespace mpirical::snapshot

@@ -1,0 +1,204 @@
+// Zero-copy binary snapshot container: the on-disk format that ships a
+// trained MpiRical (config + vocab + transformer weights) and materialized
+// corpus splits to eval workers as ONE mmap-able file, replacing the
+// rebuild-the-world-from-env worker startup (PR 4's dominant spawn cost) and
+// the text-parsed legacy checkpoint.
+//
+// Layout (all integers little-endian; the format requires a little-endian
+// host because tensor payloads are raw native float32 and loads are
+// zero-copy views into the mapping):
+//
+//   offset 0, 64 bytes     Header
+//     u32  magic           "MPSN" (0x4E53504D read as LE u32)
+//     u32  version         kVersion (readers reject any other value)
+//     u64  file_size       total bytes, including padding
+//     u32  section_count
+//     u32  flags           reserved, 0
+//     u64  table_checksum  FNV-1a 64 over the section-table bytes
+//     ...zero padding to 64 bytes
+//
+//   offset 64              Section table: section_count x 64-byte entries
+//     u32  kind            SectionKind
+//     u32  reserved        0
+//     u64  offset          payload start (64-byte aligned, from file start)
+//     u64  size            payload bytes (excluding padding)
+//     u64  checksum        FNV-1a 64 over the payload bytes
+//     char name[32]        NUL-padded section name
+//
+//   payloads               each 64-byte aligned, zero-padded between
+//
+// Every payload starts on a 64-byte boundary so a float tensor section can
+// be consumed in place (cache-line aligned) by tensor::Storage views; the
+// Snapshot reader validates header sanity, table bounds, and every checksum
+// at open, throwing Error with a diagnostic on any corruption -- truncation,
+// bit flips, tables pointing past EOF, or version skew never reach the
+// consumers (tests/test_snapshot.cpp fuzzes all of these).
+//
+// The container knows nothing about models: domain encoders (Transformer,
+// Vocab, corpus splits, ModelConfig) serialize themselves into sections via
+// ByteWriter and parse them back with the bounds-checked ByteReader over
+// string_views of the mapping.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpirical::snapshot {
+
+constexpr std::uint32_t kMagic = 0x4E53504D;  // "MPSN" little-endian
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kHeaderSize = 64;
+constexpr std::size_t kSectionEntrySize = 64;
+constexpr std::size_t kSectionNameMax = 31;  // NUL-terminated within 32
+
+enum class SectionKind : std::uint32_t {
+  kModelConfig = 1,       // core::ModelConfig fields
+  kTransformerConfig = 2, // nn::TransformerConfig fields
+  kVocab = 3,             // token table
+  kTensorIndex = 4,       // parameter directory (shapes + data sections)
+  kTensorData = 5,        // raw float32 payload of one parameter
+  kCorpus = 6,            // one materialized example split
+  kMeta = 7,              // free-form key/value info (accounting, provenance)
+};
+
+/// FNV-1a 64-bit over a byte range (the per-section checksum).
+std::uint64_t fnv1a64(const void* data, std::size_t n);
+
+/// True on little-endian hosts (the only ones the format supports).
+bool host_is_little_endian();
+
+/// MPIRICAL_SNAPSHOT env gate: unset or any value but "0" = enabled.
+/// Disabling reverts save() to the legacy text checkpoint and shard workers
+/// to rebuild-from-env (reading existing snapshot files keeps working).
+bool snapshot_enabled();
+
+// ---- payload encoding helpers ----------------------------------------------
+
+/// Little-endian append-only payload encoder.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+  /// Length-prefixed byte string.
+  void bytes(std::string_view s);
+  /// Raw bytes, no length prefix.
+  void raw(const void* data, std::size_t n);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader over a payload view. Never copies the
+/// underlying bytes; `bytes()` returns a string_view into the payload, so
+/// parsing an mmap'd section costs one copy per field the CALLER chooses to
+/// own, not two. Throws Error on any out-of-bounds read.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  float f32();
+  double f64();
+  /// Length-prefixed byte string as a view into the payload.
+  std::string_view bytes();
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws unless the payload was consumed exactly.
+  void done() const;
+
+ private:
+  void need(std::size_t n) const;
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- container --------------------------------------------------------------
+
+/// Assembles a snapshot file image: sections are appended, then finish()
+/// lays out header + table + 64-byte-aligned payloads and stamps checksums.
+class Builder {
+ public:
+  /// Appends a section (payload copied). Returns the section index.
+  std::size_t add(SectionKind kind, std::string_view name,
+                  std::string payload);
+  std::string finish() const;
+
+ private:
+  struct Pending {
+    SectionKind kind;
+    std::string name;
+    std::string payload;
+  };
+  std::vector<Pending> sections_;
+};
+
+/// One parsed section-table entry plus its payload view into the mapping.
+struct Section {
+  SectionKind kind = SectionKind::kMeta;
+  std::string name;
+  std::string_view payload;
+};
+
+/// A validated, opened snapshot. Holds the backing bytes (an mmap or an
+/// owned buffer); tensors and other zero-copy consumers keep the mapping
+/// alive by holding the shared_ptr returned by map_file/from_bytes (or an
+/// owner() aliased to it).
+class Snapshot {
+ public:
+  /// mmaps `path` read-only and validates it. Zero-copy: section payloads
+  /// are views into the mapping.
+  static std::shared_ptr<const Snapshot> map_file(const std::string& path);
+  /// Validates an in-memory image (tests, transports). The Snapshot owns
+  /// the buffer; payloads view into it.
+  static std::shared_ptr<const Snapshot> from_bytes(std::string bytes);
+
+  ~Snapshot();
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  std::size_t section_count() const { return sections_.size(); }
+  const Section& section(std::size_t i) const;
+  /// First section of `kind` (and `name`, unless empty); null when absent.
+  const Section* find(SectionKind kind, std::string_view name = {}) const;
+  /// Like find, but throws Error naming the missing section.
+  const Section& require(SectionKind kind, std::string_view name = {}) const;
+
+  std::size_t total_bytes() const { return size_; }
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  Snapshot() = default;
+  void parse_and_validate();
+
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;       // mmap vs owned buffer
+  void* map_addr_ = nullptr;  // munmap handle when mapped_
+  std::string owned_;         // backing bytes when !mapped_
+  std::vector<Section> sections_;
+};
+
+/// Owner handle for zero-copy views into `snap` (aliases the control block,
+/// so the mapping lives as long as any view does).
+inline std::shared_ptr<const void> owner_of(
+    const std::shared_ptr<const Snapshot>& snap) {
+  return std::shared_ptr<const void>(snap, snap.get());
+}
+
+/// True when `bytes` (a file prefix) starts with the snapshot magic.
+bool has_snapshot_magic(std::string_view bytes);
+
+}  // namespace mpirical::snapshot

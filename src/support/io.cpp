@@ -1,0 +1,58 @@
+#include "support/io.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "support/check.hpp"
+
+namespace mpirical::io {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MR_CHECK(in.good(), "cannot open file for reading: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  MR_CHECK(!in.bad(), "failed reading file: " + path);
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  // Write-to-temp + rename, NOT in-place truncation: snapshot loads are
+  // mmap views into the target inode, so truncating a file a live model
+  // still maps would SIGBUS (or silently mutate) that model's weights.
+  // rename() atomically swaps the name onto the new inode while existing
+  // mappings keep the old one alive.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    MR_CHECK(out.good(), "cannot open file for writing: " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    MR_CHECK(out.good(), "failed writing file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    MR_CHECK(false, "cannot rename " + tmp + " over " + path);
+  }
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+std::string read_prefix(const std::string& path, std::size_t n) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return {};
+  std::string buf(n, '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(n));
+  buf.resize(static_cast<std::size_t>(in.gcount()));
+  return buf;
+}
+
+}  // namespace mpirical::io

@@ -1,0 +1,24 @@
+// Error-checked whole-file I/O, shared by checkpoint/snapshot code and the
+// benches (previously duplicated across core/model.cpp and bench helpers).
+#pragma once
+
+#include <string>
+
+namespace mpirical::io {
+
+/// Reads an entire file as bytes. Throws Error (with the path) when the file
+/// cannot be opened or read.
+std::string read_file(const std::string& path);
+
+/// Writes `data` to `path`, truncating. Throws Error (with the path) when
+/// the file cannot be created or the write fails.
+void write_file(const std::string& path, const std::string& data);
+
+/// True when `path` exists and is a regular file.
+bool file_exists(const std::string& path);
+
+/// Reads the first `n` bytes of a file (fewer if the file is shorter);
+/// returns empty when the file cannot be opened. Used for format sniffing.
+std::string read_prefix(const std::string& path, std::size_t n);
+
+}  // namespace mpirical::io

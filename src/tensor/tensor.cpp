@@ -14,7 +14,7 @@ namespace detail {
 
 struct Node {
   std::vector<int> shape;
-  std::vector<float> value;
+  Storage value;  // owned buffer, or a view pinned to an external mapping
   std::vector<float> grad;  // allocated lazily when requires_grad
   bool requires_grad = false;
   std::vector<std::shared_ptr<Node>> parents;
@@ -101,6 +101,24 @@ Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float stddev,
   return Tensor(std::move(node));
 }
 
+Tensor Tensor::from_view(std::vector<int> shape, const float* data,
+                         std::shared_ptr<const void> owner) {
+  const std::size_t n = shape_numel(shape);
+  MR_CHECK(data != nullptr || n == 0, "from_view: null data");
+  auto node = std::make_shared<Node>();
+  node->shape = std::move(shape);
+  node->value = Storage::view(data, n, std::move(owner));
+  return Tensor(std::move(node));
+}
+
+void Tensor::set_view(const float* data, std::size_t size,
+                      std::shared_ptr<const void> owner) {
+  MR_CHECK(node_, "undefined tensor");
+  MR_CHECK(size == node_->numel(), "set_view: element count mismatch");
+  MR_CHECK(data != nullptr || size == 0, "set_view: null data");
+  node_->value = Storage::view(data, size, std::move(owner));
+}
+
 const std::vector<int>& Tensor::shape() const {
   MR_CHECK(node_, "undefined tensor");
   return node_->shape;
@@ -120,11 +138,11 @@ std::size_t Tensor::numel() const {
   return node_->numel();
 }
 
-std::vector<float>& Tensor::value() {
+Storage& Tensor::value() {
   MR_CHECK(node_, "undefined tensor");
   return node_->value;
 }
-const std::vector<float>& Tensor::value() const {
+const Storage& Tensor::value() const {
   MR_CHECK(node_, "undefined tensor");
   return node_->value;
 }
@@ -148,6 +166,11 @@ void Tensor::zero_grad() {
     node_->ensure_grad();
     std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
   }
+}
+
+void Tensor::release_grad() {
+  if (!node_) return;
+  node_->grad = {};
 }
 
 float Tensor::item() const {
@@ -211,12 +234,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         anode->ensure_grad();
         // dA[m,k] = dC[m,n] @ B[k,n]^T
         kernels::gemm_acc(Trans::N, Trans::T, m, k, n, self.grad.data(), n,
-                          bnode->value.data(), n, anode->grad.data(), k);
+                          bnode->value.cdata(), n, anode->grad.data(), k);
       }
       if (bnode->requires_grad) {
         bnode->ensure_grad();
         // dB[k,n] = A[m,k]^T @ dC[m,n]
-        kernels::gemm_acc(Trans::T, Trans::N, k, n, m, anode->value.data(), k,
+        kernels::gemm_acc(Trans::T, Trans::N, k, n, m, anode->value.cdata(), k,
                           self.grad.data(), n, bnode->grad.data(), n);
       }
     };
@@ -295,16 +318,20 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   return elementwise_binary(
       a, b, [](float x, float y) { return x * y; },
       [](Node& self, Node& an, Node& bn) {
+        // cdata(): reads must not hit Storage's mutable path, which would
+        // materialize a view-backed (snapshot-mapped) operand.
         if (an.requires_grad) {
           an.ensure_grad();
+          const float* bv = bn.value.cdata();
           for (std::size_t i = 0; i < self.grad.size(); ++i) {
-            an.grad[i] += self.grad[i] * bn.value[i];
+            an.grad[i] += self.grad[i] * bv[i];
           }
         }
         if (bn.requires_grad) {
           bn.ensure_grad();
+          const float* av = an.value.cdata();
           for (std::size_t i = 0; i < self.grad.size(); ++i) {
-            bn.grad[i] += self.grad[i] * an.value[i];
+            bn.grad[i] += self.grad[i] * av[i];
           }
         }
       });
@@ -374,7 +401,7 @@ Tensor relu(const Tensor& x) {
     out->backward_fn = [xnode](Node& self) {
       xnode->ensure_grad();
       for (std::size_t i = 0; i < self.grad.size(); ++i) {
-        if (xnode->value[i] > 0.0f) xnode->grad[i] += self.grad[i];
+        if (xnode->value.cdata()[i] > 0.0f) xnode->grad[i] += self.grad[i];
       }
     };
   }
@@ -402,7 +429,7 @@ Tensor gelu(const Tensor& x) {
       parallel_for(
           0, self.grad.size(),
           [&](std::size_t i) {
-            const float v = xnode->value[i];
+            const float v = xnode->value.cdata()[i];
             const float u = kC * (v + kA * v * v * v);
             const float t = std::tanh(u);
             const float du = kC * (1.0f + 3.0f * kA * v * v);
@@ -447,7 +474,7 @@ Tensor softmax_rows(const Tensor& x) {
       parallel_for(
           0, static_cast<std::size_t>(m),
           [&](std::size_t i) {
-            const float* p = self.value.data() + i * n;
+            const float* p = self.value.cdata() + i * n;
             const float* g = self.grad.data() + i * n;
             float* xg = xnode->grad.data() + i * n;
             float dot = 0.0f;
@@ -506,7 +533,7 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         const float mean = (*stats)[static_cast<std::size_t>(i) * 2];
         const float inv_std = (*stats)[static_cast<std::size_t>(i) * 2 + 1];
         const float* xrow =
-            xnode->value.data() + static_cast<std::size_t>(i) * n;
+            xnode->value.cdata() + static_cast<std::size_t>(i) * n;
         const float* grow = self.grad.data() + static_cast<std::size_t>(i) * n;
         if (gnode->requires_grad || bnode->requires_grad) {
           gnode->ensure_grad();
@@ -524,7 +551,7 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           float mean_dyg = 0.0f;
           float mean_dyg_xhat = 0.0f;
           for (int j = 0; j < n; ++j) {
-            const float dyg = grow[j] * gnode->value[j];
+            const float dyg = grow[j] * gnode->value.cdata()[j];
             const float xhat = (xrow[j] - mean) * inv_std;
             mean_dyg += dyg;
             mean_dyg_xhat += dyg * xhat;
@@ -532,7 +559,7 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           mean_dyg /= static_cast<float>(n);
           mean_dyg_xhat /= static_cast<float>(n);
           for (int j = 0; j < n; ++j) {
-            const float dyg = grow[j] * gnode->value[j];
+            const float dyg = grow[j] * gnode->value.cdata()[j];
             const float xhat = (xrow[j] - mean) * inv_std;
             xg[j] += inv_std * (dyg - mean_dyg - xhat * mean_dyg_xhat);
           }
@@ -805,7 +832,7 @@ Tensor multi_head_attention(const Tensor& q, const Tensor& k, const Tensor& v,
                 const float* prow = pbase + static_cast<std::size_t>(i) * tk;
                 const float* grow =
                     go + (static_cast<std::size_t>(b) * tq + i) * d + h * hd;
-                const float* qrow = qn->value.data() +
+                const float* qrow = qn->value.cdata() +
                                     (static_cast<std::size_t>(b) * tq + i) * d +
                                     h * hd;
                 float* dqrow = qn->grad.data() +
@@ -818,7 +845,7 @@ Tensor multi_head_attention(const Tensor& q, const Tensor& k, const Tensor& v,
                 std::vector<float> dp(static_cast<std::size_t>(limit));
                 for (int j = 0; j < limit; ++j) {
                   const float* vrow =
-                      vn->value.data() +
+                      vn->value.cdata() +
                       (static_cast<std::size_t>(b) * tk + j) * d + h * hd;
                   float* dvrow = vn->grad.data() +
                                  (static_cast<std::size_t>(b) * tk + j) * d +
@@ -838,7 +865,7 @@ Tensor multi_head_attention(const Tensor& q, const Tensor& k, const Tensor& v,
                       inv_sqrt;
                   if (ds == 0.0f) continue;
                   const float* krow =
-                      kn->value.data() +
+                      kn->value.cdata() +
                       (static_cast<std::size_t>(b) * tk + j) * d + h * hd;
                   float* dkrow = kn->grad.data() +
                                  (static_cast<std::size_t>(b) * tk + j) * d +

@@ -15,6 +15,8 @@
 //     folded into rows ([B*T, d]); the fused attention op is told B/H/T.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -27,6 +29,101 @@ namespace mpirical::tensor {
 
 namespace detail {
 struct Node;
+}
+
+/// Flat float storage behind a tensor value: either an owned buffer or a
+/// non-owning view over external memory (e.g. a tensor section of an mmap'd
+/// snapshot) whose lifetime is pinned by a shared owner handle.
+///
+/// The interface mirrors the slice of std::vector<float> the codebase uses,
+/// so call sites compile unchanged. Constness is load-bearing: const access
+/// never copies, while MUTABLE access to a view first materializes it into an
+/// owned copy (copy-on-write) so writers never touch foreign (possibly
+/// read-only-mapped) memory. Materialization is not thread-safe; mutable
+/// access requires the usual exclusive ownership writers need anyway.
+class Storage {
+ public:
+  using value_type = float;
+
+  Storage() = default;
+  Storage(std::vector<float> data)  // NOLINT(google-explicit-constructor)
+      : owned_(std::move(data)), size_(owned_.size()) {}
+  Storage& operator=(std::vector<float> data) {
+    owned_ = std::move(data);
+    view_ = nullptr;
+    owner_.reset();
+    size_ = owned_.size();
+    return *this;
+  }
+
+  /// Non-owning view over `size` floats at `data`; `owner` keeps the backing
+  /// memory (an mmap or a shared buffer) alive for the view's lifetime.
+  static Storage view(const float* data, std::size_t size,
+                      std::shared_ptr<const void> owner) {
+    Storage s;
+    s.view_ = data;
+    s.size_ = size;
+    s.owner_ = std::move(owner);
+    return s;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool is_view() const { return view_ != nullptr; }
+
+  const float* data() const { return view_ ? view_ : owned_.data(); }
+  const float* cdata() const { return data(); }
+  float* data() {
+    ensure_owned();
+    return owned_.data();
+  }
+
+  float operator[](std::size_t i) const { return data()[i]; }
+  float& operator[](std::size_t i) { return data()[i]; }
+
+  const float* begin() const { return data(); }
+  const float* end() const { return data() + size_; }
+  float* begin() { return data(); }
+  float* end() { return data() + size_; }
+
+  void assign(std::size_t n, float v) {
+    view_ = nullptr;
+    owner_.reset();
+    owned_.assign(n, v);
+    size_ = n;
+  }
+
+  /// Copies a view into owned memory; no-op when already owned.
+  void ensure_owned() {
+    if (!view_) return;
+    owned_.assign(view_, view_ + size_);
+    view_ = nullptr;
+    owner_.reset();
+  }
+
+  /// Explicit: converting to a vector is a deep copy -- an implicit
+  /// conversion here silently turned `const std::vector<float>& x =
+  /// t.value()` bindings into full-buffer copies.
+  explicit operator std::vector<float>() const {
+    return std::vector<float>(data(), data() + size_);
+  }
+
+ private:
+  std::vector<float> owned_;
+  const float* view_ = nullptr;  // non-null iff this is a view
+  std::size_t size_ = 0;
+  std::shared_ptr<const void> owner_;
+};
+
+inline bool operator==(const Storage& a, const Storage& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin());
+}
+inline bool operator==(const Storage& a, const std::vector<float>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+inline bool operator==(const std::vector<float>& a, const Storage& b) {
+  return b == a;
 }
 
 class Tensor {
@@ -42,6 +139,10 @@ class Tensor {
   /// Gaussian init with the given stddev (transformer weight init).
   static Tensor randn(std::vector<int> shape, Rng& rng, float stddev,
                       bool requires_grad = false);
+  /// Non-owning tensor over external memory (zero-copy snapshot load);
+  /// `owner` keeps the backing mapping alive. Never requires grad.
+  static Tensor from_view(std::vector<int> shape, const float* data,
+                          std::shared_ptr<const void> owner);
 
   bool defined() const { return node_ != nullptr; }
   const std::vector<int>& shape() const;
@@ -49,12 +150,22 @@ class Tensor {
   int rank() const;
   std::size_t numel() const;
 
-  std::vector<float>& value();
-  const std::vector<float>& value() const;
+  Storage& value();
+  const Storage& value() const;
+  /// Repoints this tensor's storage at external memory (must match numel()).
+  /// Grad state is unchanged -- a parameter stays trainable, its first
+  /// mutable access simply materializes an owned copy.
+  void set_view(const float* data, std::size_t size,
+                std::shared_ptr<const void> owner);
   std::vector<float>& grad();
   const std::vector<float>& grad() const;
   bool requires_grad() const;
   void zero_grad();
+  /// Frees the grad buffer without changing requires_grad; it reallocates
+  /// lazily (ensure_grad) on the next backward/zero_grad/grad() access.
+  /// Loaders call this so an eval-only model does not hold a dead
+  /// model-sized gradient allocation.
+  void release_grad();
 
   float item() const;  // requires numel()==1
 

@@ -1,6 +1,7 @@
 #include "toklib/vocab.hpp"
 
 #include "clex/lexer.hpp"
+#include "snapshot/snapshot.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -54,7 +55,7 @@ std::string Vocab::serialize() const {
   return out;
 }
 
-Vocab Vocab::deserialize(const std::string& data) {
+Vocab Vocab::deserialize(std::string_view data) {
   Vocab vocab;
   const auto lines = split_lines(data);
   MR_CHECK(lines.size() >= special_texts().size(),
@@ -66,6 +67,33 @@ Vocab Vocab::deserialize(const std::string& data) {
   for (std::size_t i = special_texts().size(); i < lines.size(); ++i) {
     vocab.add(lines[i]);
   }
+  return vocab;
+}
+
+void Vocab::to_snapshot(snapshot::ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(id_to_text_.size()));
+  for (const auto& t : id_to_text_) w.bytes(t);
+}
+
+Vocab Vocab::from_view(std::string_view payload) {
+  snapshot::ByteReader r(payload);
+  const std::uint32_t count = r.u32();
+  MR_CHECK(count >= special_texts().size(),
+           "vocab snapshot missing special tokens");
+  // Each token costs at least its 4-byte length prefix, so a forged count
+  // cannot out-allocate the payload.
+  MR_CHECK(count <= payload.size() / 4, "vocab token count exceeds payload");
+  Vocab vocab;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string_view token = r.bytes();
+    if (i < special_texts().size()) {
+      MR_CHECK(token == special_texts()[i],
+               "vocab snapshot has unexpected special token order");
+    } else {
+      vocab.add(std::string(token));
+    }
+  }
+  r.done();
   return vocab;
 }
 

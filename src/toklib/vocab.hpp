@@ -13,8 +13,13 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+namespace mpirical::snapshot {
+class ByteWriter;
+}
 
 namespace mpirical::tok {
 
@@ -45,8 +50,15 @@ class Vocab {
   std::size_t size() const { return id_to_text_.size(); }
 
   /// Serialization (one token per line, in id order, specials included).
+  /// Legacy text format; the snapshot path below is the binary sibling.
   std::string serialize() const;
-  static Vocab deserialize(const std::string& data);
+  static Vocab deserialize(std::string_view data);
+
+  /// Binary snapshot payload (length-prefixed tokens in id order, specials
+  /// included); from_view parses a section view with exactly one copy per
+  /// token (into the id table).
+  void to_snapshot(snapshot::ByteWriter& w) const;
+  static Vocab from_view(std::string_view payload);
 
  private:
   std::unordered_map<std::string, TokenId> text_to_id_;

@@ -353,6 +353,49 @@ TEST(Records, ResultRecordRejectsTruncation) {
 
 // ---- loopback transport -----------------------------------------------------
 
+TEST(Records, SnapshotHelloRoundTripAndRejection) {
+  SnapshotHello hello;
+  hello.path = "/tmp/mpirical_eval_snapshot_Ab12Cd";
+  const SnapshotHello back =
+      decode_snapshot_hello(encode_snapshot_hello(hello));
+  EXPECT_EQ(back.path, hello.path);
+
+  const std::string payload = encode_snapshot_hello(hello);
+  EXPECT_THROW(decode_snapshot_hello(payload.substr(0, payload.size() - 1)),
+               Error);
+  EXPECT_THROW(decode_snapshot_hello(payload + "x"), Error);
+  // An empty path is a protocol violation, not a valid hello.
+  EXPECT_THROW(decode_snapshot_hello(encode_snapshot_hello(SnapshotHello{})),
+               Error);
+}
+
+TEST(Records, StartupInfoRoundTripAndRejection) {
+  StartupInfo info;
+  info.startup_us = 123456789ULL;
+  info.load_us = 98765ULL;
+  const StartupInfo back = decode_startup_info(encode_startup_info(info));
+  EXPECT_EQ(back.startup_us, info.startup_us);
+  EXPECT_EQ(back.load_us, info.load_us);
+
+  const std::string payload = encode_startup_info(info);
+  EXPECT_THROW(decode_startup_info(payload.substr(0, 7)), Error);
+  EXPECT_THROW(decode_startup_info(payload + "zz"), Error);
+}
+
+TEST(Framing, SnapshotFrameTypesAreValidOnTheWire) {
+  // The PR 5 frame types must survive the parser's type validation.
+  for (const FrameType type :
+       {FrameType::kSnapshot, FrameType::kStartupInfo}) {
+    FrameParser parser;
+    const std::string stream = encode_frame(type, "payload");
+    parser.feed(stream.data(), stream.size());
+    const auto frame = parser.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, "payload");
+  }
+}
+
 TEST(Loopback, DeliversBytesAndEof) {
   auto [driver, worker] = make_loopback_pair();
   EXPECT_TRUE(worker->send("hello "));

@@ -1,0 +1,434 @@
+// Snapshot container + zero-copy storage unit and robustness suite.
+//
+// Covers the format layer (Builder/Snapshot round trips, 64-byte alignment,
+// checksums), the fuzz/robustness properties the shard deployment depends
+// on (truncated headers, bad checksums, section tables pointing past EOF,
+// version skew, and MR_SEEDED_RNG random slicing/corruption -- every bad
+// input must throw Error with a diagnostic, never crash), the tensor
+// non-owning Storage mode (zero-copy views, owner lifetime, copy-on-write),
+// the domain payload round trips (vocab, corpus examples), the legacy
+// checkpoint's string_view parsing + garbage rejection, and support/io.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/dataset.hpp"
+#include "snapshot/snapshot.hpp"
+#include "support/check.hpp"
+#include "support/io.hpp"
+#include "tensor/tensor.hpp"
+#include "testing.hpp"
+#include "toklib/vocab.hpp"
+
+namespace mpirical {
+namespace {
+
+using snapshot::Builder;
+using snapshot::ByteReader;
+using snapshot::ByteWriter;
+using snapshot::SectionKind;
+using snapshot::Snapshot;
+
+std::string valid_image() {
+  Builder b;
+  b.add(SectionKind::kMeta, "alpha", "first section payload");
+  b.add(SectionKind::kTensorData, "t0", std::string(100, '\x7f'));
+  b.add(SectionKind::kCorpus, "empty", "");
+  return b.finish();
+}
+
+void patch_u64(std::string& buf, std::size_t pos, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void patch_u32(std::string& buf, std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Restamps the header's table checksum after a deliberate table patch, so
+/// tests reach the validation AFTER the checksum (bounds checks etc.).
+void restamp_table_checksum(std::string& buf) {
+  const std::uint32_t count =
+      static_cast<std::uint8_t>(buf[16]) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf[17])) << 8) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf[18])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf[19])) << 24);
+  patch_u64(buf, 24,
+            snapshot::fnv1a64(buf.data() + snapshot::kHeaderSize,
+                              count * snapshot::kSectionEntrySize));
+}
+
+TEST(SnapshotFormat, BuilderRoundTrip) {
+  const std::string image = valid_image();
+  const auto snap = Snapshot::from_bytes(image);
+  ASSERT_EQ(snap->section_count(), 3u);
+  EXPECT_EQ(snap->section(0).kind, SectionKind::kMeta);
+  EXPECT_EQ(snap->section(0).name, "alpha");
+  EXPECT_EQ(snap->section(0).payload, "first section payload");
+  EXPECT_EQ(snap->section(1).name, "t0");
+  EXPECT_EQ(snap->section(1).payload.size(), 100u);
+  EXPECT_EQ(snap->section(2).payload.size(), 0u);
+  EXPECT_EQ(snap->total_bytes(), image.size());
+  EXPECT_NE(snap->find(SectionKind::kTensorData, "t0"), nullptr);
+  EXPECT_EQ(snap->find(SectionKind::kTensorData, "missing"), nullptr);
+  EXPECT_THROW(snap->require(SectionKind::kVocab), Error);
+}
+
+TEST(SnapshotFormat, SectionOffsetsAre64ByteAligned) {
+  const std::string image = valid_image();
+  const auto snap = Snapshot::from_bytes(image);
+  // The first payload sits at align_up(header + table); every later one is
+  // a multiple of 64 further in (verified via pointer distance within the
+  // snapshot's buffer).
+  const std::size_t first =
+      (snapshot::kHeaderSize +
+       snap->section_count() * snapshot::kSectionEntrySize +
+       snapshot::kAlign - 1) &
+      ~(snapshot::kAlign - 1);
+  EXPECT_EQ(first % snapshot::kAlign, 0u);
+  const char* base = snap->section(0).payload.data() - first;
+  for (std::size_t i = 0; i < snap->section_count(); ++i) {
+    const auto& s = snap->section(i);
+    if (s.payload.empty()) continue;
+    EXPECT_EQ(static_cast<std::size_t>(s.payload.data() - base) %
+                  snapshot::kAlign,
+              0u)
+        << "section " << i;
+  }
+}
+
+TEST(SnapshotFormat, MappedFileIsAbsolutelyAligned) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/snap_align.mpsn";
+  io::write_file(path, valid_image());
+  const auto snap = Snapshot::map_file(path);
+  ASSERT_TRUE(snap->is_mapped());
+  for (std::size_t i = 0; i < snap->section_count(); ++i) {
+    const auto& s = snap->section(i);
+    if (s.payload.empty()) continue;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.payload.data()) %
+                  snapshot::kAlign,
+              0u)
+        << "section " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotFormat, RejectsEmptyAndTruncatedHeader) {
+  EXPECT_THROW(Snapshot::from_bytes(""), Error);
+  const std::string image = valid_image();
+  for (const std::size_t cut : {1u, 4u, 16u, 40u, 63u}) {
+    EXPECT_THROW(Snapshot::from_bytes(image.substr(0, cut)), Error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotFormat, RejectsBadMagic) {
+  std::string image = valid_image();
+  image[0] = 'X';
+  EXPECT_THROW(Snapshot::from_bytes(image), Error);
+}
+
+TEST(SnapshotFormat, RejectsVersionSkew) {
+  std::string image = valid_image();
+  patch_u32(image, 4, snapshot::kVersion + 1);
+  try {
+    Snapshot::from_bytes(image);
+    FAIL() << "version skew accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(SnapshotFormat, RejectsFileSizeMismatch) {
+  std::string image = valid_image();
+  image.push_back('\0');  // grow the file without touching the header
+  EXPECT_THROW(Snapshot::from_bytes(image), Error);
+}
+
+TEST(SnapshotFormat, RejectsAbsurdSectionCount) {
+  std::string image = valid_image();
+  patch_u32(image, 16, 0x00FFFFFF);
+  EXPECT_THROW(Snapshot::from_bytes(image), Error);
+}
+
+TEST(SnapshotFormat, RejectsTableCorruption) {
+  std::string image = valid_image();
+  image[snapshot::kHeaderSize + 8] ^= 0x01;  // first entry's offset
+  EXPECT_THROW(Snapshot::from_bytes(image), Error);
+}
+
+TEST(SnapshotFormat, RejectsSectionPointingPastEof) {
+  std::string image = valid_image();
+  // Point section 1 past the end (64-aligned so the alignment check passes),
+  // then restamp the table checksum so the BOUNDS check is what fires.
+  const std::size_t entry =
+      snapshot::kHeaderSize + 1 * snapshot::kSectionEntrySize;
+  patch_u64(image, entry + 8, (image.size() + 4096) & ~std::size_t{63});
+  restamp_table_checksum(image);
+  try {
+    Snapshot::from_bytes(image);
+    FAIL() << "out-of-bounds section accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("past end"), std::string::npos);
+  }
+}
+
+TEST(SnapshotFormat, RejectsMisalignedSection) {
+  std::string image = valid_image();
+  const std::size_t entry = snapshot::kHeaderSize;
+  // +4: still in bounds, no longer 64-aligned.
+  const std::uint64_t off =
+      static_cast<std::uint64_t>(snapshot::kHeaderSize +
+                                 3 * snapshot::kSectionEntrySize) +
+      4;
+  patch_u64(image, entry + 8, off);
+  restamp_table_checksum(image);
+  EXPECT_THROW(Snapshot::from_bytes(image), Error);
+}
+
+TEST(SnapshotFormat, RejectsPayloadCorruption) {
+  std::string image = valid_image();
+  const auto snap = Snapshot::from_bytes(image);  // find a payload offset
+  const std::ptrdiff_t off =
+      snap->section(1).payload.data() - snap->section(0).payload.data();
+  // Recompute section 1's file offset from section 0's (both aligned).
+  const std::size_t base =
+      (snapshot::kHeaderSize + 3 * snapshot::kSectionEntrySize +
+       snapshot::kAlign - 1) &
+      ~(snapshot::kAlign - 1);
+  image[base + static_cast<std::size_t>(off) + 50] ^= 0x40;
+  try {
+    Snapshot::from_bytes(image);
+    FAIL() << "payload corruption accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(SnapshotFormat, RandomTruncationNeverCrashes) {
+  MR_SEEDED_RNG(rng, 0x534E4150);
+  const std::string image = valid_image();
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t cut =
+        static_cast<std::size_t>(rng.next_below(image.size()));
+    try {
+      Snapshot::from_bytes(image.substr(0, cut));
+      // A strict prefix must never validate: the header's file_size pins
+      // the full length.
+      ADD_FAILURE() << "truncated snapshot (cut " << cut << ") accepted";
+    } catch (const Error&) {
+      // expected: rejected with a diagnostic
+    }
+  }
+}
+
+TEST(SnapshotFormat, RandomCorruptionNeverCrashes) {
+  MR_SEEDED_RNG(rng, 0x534E4151);
+  const std::string image = valid_image();
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string bad = image;
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.next_below(bad.size()));
+    const char flip =
+        static_cast<char>(1 + rng.next_below(255));
+    bad[pos] = static_cast<char>(bad[pos] ^ flip);
+    try {
+      const auto snap = Snapshot::from_bytes(bad);
+      // Flips in inter-section padding are outside every checksum; anything
+      // else must throw. Either way: no crash, and a validated snapshot
+      // still parses consistently.
+      EXPECT_EQ(snap->section_count(), 3u);
+    } catch (const Error&) {
+      // expected for flips in header/table/payload bytes
+    }
+  }
+}
+
+// ---- byte reader/writer -----------------------------------------------------
+
+TEST(SnapshotBytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i32(-42);
+  w.f32(3.5f);
+  w.f64(-0.0);
+  w.bytes("hello\0world");  // embedded NUL would be cut by the literal; fine
+  ByteReader r(w.str());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.f32(), 3.5f);
+  EXPECT_EQ(testutil::double_bits(r.f64()), testutil::double_bits(-0.0));
+  EXPECT_EQ(r.bytes(), "hello");
+  r.done();
+}
+
+TEST(SnapshotBytes, ReaderRejectsTruncation) {
+  ByteWriter w;
+  w.u64(1);
+  w.bytes("payload");
+  const std::string full = w.str();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    ByteReader r(std::string_view(full).substr(0, cut));
+    EXPECT_THROW(
+        {
+          r.u64();
+          r.bytes();
+          r.done();
+        },
+        Error)
+        << "cut at " << cut;
+  }
+}
+
+// ---- tensor non-owning storage ----------------------------------------------
+
+TEST(TensorView, ZeroCopyAndOwnerLifetime) {
+  auto buf = std::make_shared<std::vector<float>>(
+      std::vector<float>{1, 2, 3, 4, 5, 6});
+  const float* raw = buf->data();
+  tensor::Tensor t = tensor::Tensor::from_view({2, 3}, raw, buf);
+  EXPECT_TRUE(t.value().is_view());
+  EXPECT_EQ(t.value().cdata(), raw);  // zero-copy: same pointer
+  std::weak_ptr<std::vector<float>> watch = buf;
+  buf.reset();
+  EXPECT_FALSE(watch.expired());  // the tensor's owner handle pins it
+  EXPECT_EQ(t.value()[4], 5.0f);
+  t = tensor::Tensor();
+  EXPECT_TRUE(watch.expired());  // releasing the tensor releases the buffer
+}
+
+TEST(TensorView, CopyOnWriteMaterializes) {
+  auto buf = std::make_shared<std::vector<float>>(std::vector<float>{1, 2});
+  tensor::Tensor t = tensor::Tensor::from_view({2}, buf->data(), buf);
+  const tensor::Tensor& ct = t;
+  EXPECT_EQ(ct.value().cdata(), buf->data());
+  // First MUTABLE access detaches from the view.
+  t.value().data()[0] = 99.0f;
+  EXPECT_FALSE(t.value().is_view());
+  EXPECT_NE(ct.value().cdata(), buf->data());
+  EXPECT_EQ((*buf)[0], 1.0f);  // foreign memory untouched
+  EXPECT_EQ(ct.value()[0], 99.0f);
+  EXPECT_EQ(ct.value()[1], 2.0f);  // contents carried over
+}
+
+TEST(TensorView, ViewFeedsOpsLikeOwnedStorage) {
+  auto buf = std::make_shared<std::vector<float>>(
+      std::vector<float>{1, 2, 3, 4});
+  tensor::Tensor v = tensor::Tensor::from_view({2, 2}, buf->data(), buf);
+  tensor::Tensor o = tensor::Tensor::from_data({2, 2}, *buf);
+  const tensor::Tensor pv = tensor::matmul(v, v);
+  const tensor::Tensor po = tensor::matmul(o, o);
+  EXPECT_EQ(pv.value(), po.value());
+}
+
+TEST(TensorView, SetViewRejectsSizeMismatch) {
+  auto buf = std::make_shared<std::vector<float>>(std::vector<float>{1, 2});
+  tensor::Tensor t = tensor::Tensor::zeros({3});
+  EXPECT_THROW(t.set_view(buf->data(), 2, buf), Error);
+}
+
+// ---- domain payloads --------------------------------------------------------
+
+TEST(SnapshotDomain, VocabRoundTrip) {
+  tok::Vocab vocab;
+  vocab.add("int");
+  vocab.add("main");
+  vocab.add("MPI_Allreduce");
+  ByteWriter w;
+  vocab.to_snapshot(w);
+  const tok::Vocab back = tok::Vocab::from_view(w.str());
+  ASSERT_EQ(back.size(), vocab.size());
+  for (tok::TokenId id = 0; id < static_cast<tok::TokenId>(vocab.size());
+       ++id) {
+    EXPECT_EQ(back.text_of(id), vocab.text_of(id));
+  }
+  EXPECT_EQ(back.id_of("MPI_Allreduce"), vocab.id_of("MPI_Allreduce"));
+}
+
+TEST(SnapshotDomain, VocabRejectsGarbage) {
+  EXPECT_THROW(tok::Vocab::from_view("garbage"), Error);
+  ByteWriter w;
+  w.u32(1000);  // forged count, no payload behind it
+  EXPECT_THROW(tok::Vocab::from_view(w.str()), Error);
+}
+
+TEST(SnapshotDomain, CorpusExamplesRoundTrip) {
+  std::vector<corpus::Example> examples(2);
+  examples[0].id = 7;
+  examples[0].family = corpus::Family::kHalo1D;
+  examples[0].label_code = "int main() {\n  return 0;\n}\n";
+  examples[0].input_code = "int main() { return 0; }";
+  examples[0].input_xsbt = "<tu> <fn> </fn> </tu>";
+  examples[0].ground_truth.push_back({"MPI_Init", 2});
+  examples[0].ground_truth.push_back({"MPI_Finalize", 3});
+  examples[0].label_token_count = 11;
+  examples[1].id = 8;
+  examples[1].family = corpus::Family::kSerialUtility;
+
+  ByteWriter w;
+  corpus::encode_examples(w, examples);
+  const auto back = corpus::decode_examples(w.str());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, 7);
+  EXPECT_EQ(back[0].family, corpus::Family::kHalo1D);
+  EXPECT_EQ(back[0].label_code, examples[0].label_code);
+  EXPECT_EQ(back[0].input_code, examples[0].input_code);
+  EXPECT_EQ(back[0].input_xsbt, examples[0].input_xsbt);
+  ASSERT_EQ(back[0].ground_truth.size(), 2u);
+  EXPECT_EQ(back[0].ground_truth[1].callee, "MPI_Finalize");
+  EXPECT_EQ(back[0].ground_truth[1].line, 3);
+  EXPECT_EQ(back[0].label_token_count, 11u);
+  EXPECT_EQ(back[1].family, corpus::Family::kSerialUtility);
+}
+
+TEST(SnapshotDomain, CorpusExamplesRejectGarbage) {
+  EXPECT_THROW(corpus::decode_examples("xy"), Error);
+  ByteWriter w;
+  w.u32(0xFFFFFF);
+  EXPECT_THROW(corpus::decode_examples(w.str()), Error);
+}
+
+// ---- support/io -------------------------------------------------------------
+
+TEST(SupportIo, RoundTripAndErrors) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/io_roundtrip.bin";
+  const std::string payload("\x00\x01binary\xFFpayload", 16);
+  io::write_file(path, payload);
+  EXPECT_TRUE(io::file_exists(path));
+  EXPECT_EQ(io::read_file(path), payload);
+  EXPECT_EQ(io::read_prefix(path, 4), payload.substr(0, 4));
+  EXPECT_EQ(io::read_prefix(path, 1024), payload);
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(io::file_exists(dir + "/does_not_exist"));
+  EXPECT_THROW(io::read_file(dir + "/does_not_exist"), Error);
+  EXPECT_TRUE(io::read_prefix(dir + "/does_not_exist", 4).empty());
+  try {
+    io::read_file(dir + "/does_not_exist");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("does_not_exist"),
+              std::string::npos)
+        << "diagnostic must name the path";
+  }
+  EXPECT_THROW(io::write_file(dir + "/no_such_dir/x", "data"), Error);
+}
+
+}  // namespace
+}  // namespace mpirical

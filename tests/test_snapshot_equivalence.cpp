@@ -1,0 +1,332 @@
+// Snapshot differential suite: the mmap-loaded (zero-copy) model must be
+// indistinguishable -- BITWISE -- from the legacy text-checkpoint path.
+//
+//  * save -> mmap-load -> save yields byte-identical snapshot files;
+//  * greedy and beam-4 decodes are token-identical between the
+//    legacy-loaded and snapshot-loaded model;
+//  * the merged EvalSummary from sharded evaluation (shards {1,2,3}) of the
+//    mmap-loaded model is bit-identical to the unsharded legacy-loaded
+//    oracle (extending the PR 3 / PR 4 bitwise discipline across the
+//    persistence boundary);
+//  * the shard driver/worker snapshot handshake (kSnapshot path-over-pipe +
+//    kStartupInfo) produces the same merged summary over a loopback
+//    transport, with the worker world coming from the mmap'd file.
+//
+// Standalone binary (like test_shard_equivalence): it builds models, which
+// is the slow part of the main test binary's link-iterate loop.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/model.hpp"
+#include "core/world_snapshot.hpp"
+#include "corpus/dataset.hpp"
+#include "shard/eval.hpp"
+#include "snapshot/snapshot.hpp"
+#include "support/io.hpp"
+#include "testing.hpp"
+
+namespace mpirical {
+namespace {
+
+using testutil::double_bits;
+using testutil::ScopedEnv;
+
+/// One tiny untrained model + dataset shared by every test: decode is
+/// deterministic for fixed weights, and random weights exercise the full
+/// persistence/decode/score path without paying for training.
+struct Harness {
+  corpus::Dataset dataset;
+  core::MpiRical model;
+  std::vector<corpus::Example> examples;
+};
+
+const Harness& harness() {
+  static const Harness* h = [] {
+    corpus::DatasetConfig dcfg;
+    dcfg.corpus_size = 300;
+    dcfg.seed = 173;
+    dcfg.max_tokens = 170;
+
+    core::ModelConfig mcfg;
+    mcfg.d_model = 32;
+    mcfg.heads = 2;
+    mcfg.ffn_dim = 64;
+    mcfg.encoder_layers = 1;
+    mcfg.decoder_layers = 1;
+    mcfg.dropout = 0.0f;
+    mcfg.max_src_tokens = 256;
+    mcfg.max_tgt_tokens = 40;  // bound decode length for an untrained model
+    mcfg.seed = 2027;
+
+    auto* built = new Harness;
+    built->dataset = corpus::build_dataset(dcfg);
+    built->model = core::MpiRical::create(built->dataset, mcfg);
+    built->examples = built->dataset.test;
+    for (const auto& ex : built->dataset.train) {
+      if (built->examples.size() >= 12) break;
+      built->examples.push_back(ex);
+    }
+    return built;
+  }();
+  return *h;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> decode_all(const core::MpiRical& model,
+                                    int beam_width) {
+  std::vector<core::MpiRical::TranslateRequest> reqs;
+  for (const auto& ex : harness().examples) {
+    reqs.push_back({ex.input_code, ex.input_xsbt});
+  }
+  return model.translate_batch(reqs, beam_width);
+}
+
+void expect_identical(const core::EvalSummary& a, const core::EvalSummary& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.examples, b.examples);
+  EXPECT_TRUE(a.m_counts == b.m_counts);
+  EXPECT_TRUE(a.mcc_counts == b.mcc_counts);
+  EXPECT_EQ(double_bits(a.bleu), double_bits(b.bleu));
+  EXPECT_EQ(double_bits(a.meteor), double_bits(b.meteor));
+  EXPECT_EQ(double_bits(a.rouge_l), double_bits(b.rouge_l));
+  EXPECT_EQ(double_bits(a.acc), double_bits(b.acc));
+}
+
+TEST(SnapshotEquivalence, SaveLoadSaveIsByteIdentical) {
+  const std::string path1 = temp_path("model_a.mpsn");
+  const std::string path2 = temp_path("model_b.mpsn");
+  ScopedEnv on("MPIRICAL_SNAPSHOT", nullptr);  // default: enabled
+  harness().model.save(path1);
+  const core::MpiRical loaded = core::MpiRical::load(path1);
+  loaded.save(path2);
+  EXPECT_EQ(io::read_file(path1), io::read_file(path2));
+  // And the in-memory image matches the files exactly.
+  EXPECT_EQ(harness().model.serialize_snapshot(), io::read_file(path1));
+  std::filesystem::remove(path1);
+  std::filesystem::remove(path2);
+}
+
+TEST(SnapshotEquivalence, LegacyAndSnapshotLoadedModelsSerializeIdentically) {
+  const core::MpiRical legacy =
+      core::MpiRical::deserialize(harness().model.serialize());
+  const auto snap =
+      snapshot::Snapshot::from_bytes(harness().model.serialize_snapshot());
+  const core::MpiRical mapped = core::MpiRical::from_snapshot(snap);
+  EXPECT_EQ(legacy.serialize(), mapped.serialize());
+  EXPECT_EQ(legacy.serialize_snapshot(), mapped.serialize_snapshot());
+}
+
+TEST(SnapshotEquivalence, MmapLoadedDecodesBitIdenticalGreedyAndBeam) {
+  const std::string path = temp_path("decode_model.mpsn");
+  io::write_file(path, harness().model.serialize_snapshot());
+  const core::MpiRical mapped = core::MpiRical::load(path);
+  const core::MpiRical legacy =
+      core::MpiRical::deserialize(harness().model.serialize());
+
+  for (const int beam : {1, 4}) {
+    SCOPED_TRACE("beam " + std::to_string(beam));
+    const auto from_legacy = decode_all(legacy, beam);
+    const auto from_mapped = decode_all(mapped, beam);
+    ASSERT_EQ(from_legacy.size(), from_mapped.size());
+    for (std::size_t i = 0; i < from_legacy.size(); ++i) {
+      EXPECT_EQ(from_legacy[i], from_mapped[i]) << "example " << i;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotEquivalence, ShardedEvalFromMmapMatchesLegacyOracleBitwise) {
+  const std::string path = temp_path("sharded_model.mpsn");
+  io::write_file(path, harness().model.serialize_snapshot());
+  const core::MpiRical mapped = core::MpiRical::load(path);
+  const core::MpiRical legacy =
+      core::MpiRical::deserialize(harness().model.serialize());
+
+  ScopedEnv wave("MPIRICAL_DECODE_WAVE", "3");
+  ScopedEnv no_shards("MPIRICAL_EVAL_SHARDS", nullptr);
+  const auto& split = harness().examples;
+
+  for (const int beam : {1, 4}) {
+    std::vector<core::ExamplePrediction> oracle_preds;
+    const core::EvalSummary oracle =
+        core::evaluate_model(legacy, split, beam, 1, &oracle_preds);
+    for (const std::size_t shards : {1u, 2u, 3u}) {
+      shard::ShardOptions options;
+      options.shards = shards;
+      options.beam_width = beam;
+      std::vector<core::ExamplePrediction> preds;
+      const core::EvalSummary merged = shard::evaluate_sharded_inprocess(
+          mapped, split, options, &preds);
+      const std::string what = "beam=" + std::to_string(beam) +
+                               " shards=" + std::to_string(shards);
+      expect_identical(merged, oracle, what);
+      ASSERT_EQ(preds.size(), oracle_preds.size()) << what;
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        EXPECT_EQ(preds[i].predicted_code, oracle_preds[i].predicted_code)
+            << what << " example " << i;
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotEquivalence, LegacyDeserializeRejectsGarbageAndTruncation) {
+  // Regression for the old substr-slicing loader: a truncated or
+  // garbage-magic blob must throw Error with a diagnostic -- never crash,
+  // never allocate from forged sizes.
+  EXPECT_THROW(core::MpiRical::deserialize(""), Error);
+  EXPECT_THROW(core::MpiRical::deserialize("not a checkpoint at all"), Error);
+  EXPECT_THROW(core::MpiRical::deserialize(std::string(4096, '\xEE')), Error);
+
+  const std::string blob = harness().model.serialize();
+  MR_SEEDED_RNG(rng, 0x4C454741);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t cut =
+        static_cast<std::size_t>(rng.next_below(blob.size()));
+    EXPECT_THROW(core::MpiRical::deserialize(
+                     std::string_view(blob).substr(0, cut)),
+                 Error)
+        << "cut at " << cut;
+  }
+  // Random single-byte corruption: rejected or parsed -- never UB. (Flips
+  // in weight bytes legitimately still parse; flips in structure fields
+  // must throw, not crash.)
+  for (int iter = 0; iter < 40; ++iter) {
+    std::string bad = blob;
+    bad[static_cast<std::size_t>(rng.next_below(bad.size()))] ^=
+        static_cast<char>(1 + rng.next_below(255));
+    try {
+      const core::MpiRical m = core::MpiRical::deserialize(bad);
+      (void)m;
+    } catch (const Error&) {
+      // expected for structural corruption
+    }
+  }
+  // The happy path still round-trips.
+  const core::MpiRical back = core::MpiRical::deserialize(blob);
+  EXPECT_EQ(back.serialize(), blob);
+}
+
+TEST(SnapshotEquivalence, LoadAutoDetectsFormatByMagic) {
+  const std::string snap_path = temp_path("auto_snap.ckpt");
+  const std::string legacy_path = temp_path("auto_legacy.ckpt");
+  {
+    ScopedEnv on("MPIRICAL_SNAPSHOT", nullptr);
+    harness().model.save(snap_path);
+  }
+  {
+    ScopedEnv off("MPIRICAL_SNAPSHOT", "0");
+    harness().model.save(legacy_path);
+  }
+  const std::string snap_magic = io::read_prefix(snap_path, 4);
+  EXPECT_TRUE(snapshot::has_snapshot_magic(snap_magic));
+  EXPECT_FALSE(snapshot::has_snapshot_magic(io::read_prefix(legacy_path, 4)));
+  // Both load through the same entry point and describe the same model.
+  const core::MpiRical a = core::MpiRical::load(snap_path);
+  const core::MpiRical b = core::MpiRical::load(legacy_path);
+  EXPECT_EQ(a.serialize(), b.serialize());
+  std::filesystem::remove(snap_path);
+  std::filesystem::remove(legacy_path);
+}
+
+TEST(SnapshotEquivalence, WorldSnapshotRoundTripsDatasetShape) {
+  const std::string path = temp_path("world_dataset.mpsn");
+  core::write_dataset_snapshot(path, harness().model, harness().dataset);
+  const core::World world = core::load_world_snapshot(path);
+  EXPECT_TRUE(world.has_dataset);
+  EXPECT_FALSE(world.has_eval);
+  EXPECT_EQ(world.dataset.train.size(), harness().dataset.train.size());
+  EXPECT_EQ(world.dataset.val.size(), harness().dataset.val.size());
+  EXPECT_EQ(world.dataset.test.size(), harness().dataset.test.size());
+  EXPECT_EQ(world.dataset.total_programs, harness().dataset.total_programs);
+  EXPECT_EQ(world.dataset.excluded_too_long,
+            harness().dataset.excluded_too_long);
+  ASSERT_FALSE(world.dataset.test.empty());
+  EXPECT_EQ(world.dataset.test[0].label_code,
+            harness().dataset.test[0].label_code);
+  EXPECT_EQ(world.model.serialize_snapshot(),
+            harness().model.serialize_snapshot());
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotEquivalence, SnapshotHandshakeOverLoopbackMatchesOracle) {
+  const auto& split = harness().examples;
+  ScopedEnv wave("MPIRICAL_DECODE_WAVE", "3");
+  ScopedEnv no_shards("MPIRICAL_EVAL_SHARDS", nullptr);
+
+  const core::EvalSummary oracle =
+      core::evaluate_model(harness().model, split, /*beam_width=*/1);
+
+  const std::string path = temp_path("world_eval.mpsn");
+  core::write_eval_snapshot(path, harness().model, split);
+
+  // Drive the full worker-side snapshot handshake over a loopback pair:
+  // the worker's model/split come from the mmap'd file, not from `model`.
+  auto [driver_end, worker_end] = shard::make_loopback_pair();
+  std::thread worker([end = std::shared_ptr<shard::Transport>(
+                          std::move(worker_end))] {
+    shard::run_worker_from_snapshot(*end, /*pre_ms=*/0.0);
+  });
+  shard::SnapshotHello hello;
+  hello.path = path;
+  driver_end->send(shard::encode_frame(
+      shard::FrameType::kSnapshot, shard::encode_snapshot_hello(hello)));
+
+  shard::ShardOptions options;
+  options.shards = 1;
+  const core::EvalSummary merged = shard::run_driver(
+      harness().model, split, {driver_end.get()}, options);
+  driver_end->close();
+  worker.join();
+  expect_identical(merged, oracle, "snapshot handshake loopback");
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotEquivalence, WorkerRejectsCorruptSnapshotQuietly) {
+  const auto& split = harness().examples;
+  ScopedEnv wave("MPIRICAL_DECODE_WAVE", "3");
+  ScopedEnv no_shards("MPIRICAL_EVAL_SHARDS", nullptr);
+
+  const core::EvalSummary oracle =
+      core::evaluate_model(harness().model, split, /*beam_width=*/1);
+
+  // A corrupt snapshot file: the worker must die quietly (no crash, no
+  // partial results) and the driver must fall back in-process, still
+  // producing the oracle summary.
+  const std::string path = temp_path("world_corrupt.mpsn");
+  std::string bytes = core::build_eval_snapshot(harness().model, split);
+  bytes[bytes.size() / 2] ^= 0x20;
+  io::write_file(path, bytes);
+
+  auto [driver_end, worker_end] = shard::make_loopback_pair();
+  std::thread worker([end = std::shared_ptr<shard::Transport>(
+                          std::move(worker_end))] {
+    shard::run_worker_from_snapshot(*end, /*pre_ms=*/0.0);
+  });
+  shard::SnapshotHello hello;
+  hello.path = path;
+  driver_end->send(shard::encode_frame(
+      shard::FrameType::kSnapshot, shard::encode_snapshot_hello(hello)));
+
+  shard::ShardOptions options;
+  options.shards = 1;
+  const core::EvalSummary merged = shard::run_driver(
+      harness().model, split, {driver_end.get()}, options);
+  driver_end->close();
+  worker.join();
+  expect_identical(merged, oracle, "corrupt snapshot fallback");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace mpirical

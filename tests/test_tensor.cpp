@@ -332,8 +332,8 @@ TEST(Attention, CausalMaskBlocksFuture) {
   Tensor v = Tensor::randn({t, d}, rng, 1.0f);
   Tensor o1 = multi_head_attention(q, k, v, 1, 2, /*causal=*/true);
   // Perturb the last key/value row; earlier outputs must not change.
-  Tensor k2 = Tensor::from_data({t, d}, k.value());
-  Tensor v2 = Tensor::from_data({t, d}, v.value());
+  Tensor k2 = Tensor::from_data({t, d}, std::vector<float>(k.value()));
+  Tensor v2 = Tensor::from_data({t, d}, std::vector<float>(v.value()));
   for (int j = 0; j < d; ++j) {
     k2.value()[(t - 1) * d + j] += 5.0f;
     v2.value()[(t - 1) * d + j] -= 3.0f;
@@ -362,7 +362,7 @@ TEST(Attention, PaddingMaskBlocksInvalidKeys) {
   const std::vector<int> kv_lens = {2};  // only first two keys valid
   Tensor o1 = multi_head_attention(q, k, v, 1, 1, false, nullptr, &kv_lens);
   // Changing keys beyond the valid length must not affect the output.
-  Tensor k2 = Tensor::from_data({t, d}, k.value());
+  Tensor k2 = Tensor::from_data({t, d}, std::vector<float>(k.value()));
   for (int j = 0; j < d; ++j) k2.value()[3 * d + j] = 99.0f;
   Tensor o2 = multi_head_attention(q, k2, v, 1, 1, false, nullptr, &kv_lens);
   for (std::size_t i = 0; i < o1.numel(); ++i) {
