@@ -21,6 +21,7 @@
 #include "bench_common.hpp"
 #include "nn/infer.hpp"
 #include "nn/transformer.hpp"
+#include "snapshot/snapshot.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -37,6 +38,48 @@ struct Case {
   const char* mode;
   int beam_width;
 };
+
+/// Saves an env var, sets it for the scope of one timed configuration, and
+/// restores the caller's value on destruction.
+struct EnvOverride {
+  EnvOverride(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    setenv(name, value, 1);
+  }
+  ~EnvOverride() {
+    if (had_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+/// Elements of one packed weight panel: columns padded to the 16-wide
+/// register tile, times the k depth -- the exact PackedPanelB(I8) layout.
+std::size_t panel_elems(int n, int k) {
+  return static_cast<std::size_t>((n + 15) / 16 * 16) *
+         static_cast<std::size_t>(k);
+}
+
+/// Packed weight elements every decode wave step streams: all decoder-layer
+/// projections plus the vocab output projection. f32 streams 4 bytes per
+/// element, int8 one.
+std::size_t decode_step_weight_elems(const nn::TransformerConfig& cfg) {
+  const int d = cfg.d_model;
+  std::size_t elems = 0;
+  for (int l = 0; l < cfg.decoder_layers; ++l) {
+    elems += 6 * panel_elems(d, d);  // self q/k/v/o + cross q/o
+    elems += panel_elems(cfg.ffn_dim, d) + panel_elems(d, cfg.ffn_dim);
+  }
+  elems += panel_elems(cfg.vocab_size, d);
+  return elems;
+}
 
 }  // namespace
 
@@ -80,6 +123,18 @@ int main() {
                "decode bench: %zu examples, src_len=%d, max_len=%d%s\n",
                examples, src_len, max_len, smoke ? " (smoke)" : "");
 
+  // Snapshot footprint of this model in both weight encodings (the int8
+  // sections are what MPIRICAL_SNAPSHOT_INT8 would write).
+  std::size_t snapshot_bytes_f32 = 0, snapshot_bytes_int8 = 0;
+  {
+    snapshot::Builder b_f32, b_i8;
+    model.to_snapshot(b_f32, /*quantize_weights=*/false);
+    model.to_snapshot(b_i8, /*quantize_weights=*/true);
+    snapshot_bytes_f32 = b_f32.finish().size();
+    snapshot_bytes_int8 = b_i8.finish().size();
+  }
+  const std::size_t wave_weight_elems = decode_step_weight_elems(cfg);
+
   for (const Case c : {Case{"greedy", 1}, Case{"beam4", 4}}) {
     std::vector<nn::DecodeRequest> reqs(examples);
     for (std::size_t i = 0; i < examples; ++i) {
@@ -115,14 +170,28 @@ int main() {
     const auto batched = nn::decode_batch(model, reqs, &stats);
     const double batched_s = batched_timer.seconds();
 
+    // The int8 weights-only configuration of the same batched path: weight
+    // panels quantize at pack time, activations stay f32.
+    nn::DecodeBatchStats stats_i8;
+    double int8_s = 0.0;
+    std::vector<nn::DecodeResult> int8_results;
+    {
+      EnvOverride i8("MPIRICAL_DECODE_INT8", "1");
+      Timer int8_timer;
+      int8_results = nn::decode_batch(model, reqs, &stats_i8);
+      int8_s = int8_timer.seconds();
+    }
+
     // Separate counters so the JSON trajectory can attribute a divergence
     // to the batched encoder vs the per-source decode configuration.
     std::size_t mismatches_batched = 0;
     std::size_t mismatches_per_source = 0;
+    std::size_t mismatches_int8 = 0;  // vs the f32 batched decode
     std::size_t tokens = 0;
     for (std::size_t i = 0; i < examples; ++i) {
       if (batched[i].tokens != ref[i].tokens) ++mismatches_batched;
       if (per_source[i].tokens != ref[i].tokens) ++mismatches_per_source;
+      if (int8_results[i].tokens != batched[i].tokens) ++mismatches_int8;
       tokens += batched[i].tokens.size();
     }
     const std::size_t mismatches =
@@ -139,12 +208,21 @@ int main() {
         "\"speedup\":%.3f,\"speedup_vs_per_source_encode\":%.3f,"
         "\"tokens_per_s_batched\":%.1f,"
         "\"token_mismatches\":%zu,\"token_mismatches_batched\":%zu,"
-        "\"token_mismatches_per_source\":%zu,\"smoke\":%s}\n",
+        "\"token_mismatches_per_source\":%zu,"
+        "\"seconds_int8\":%.3f,\"decode_ms_int8\":%.1f,"
+        "\"speedup_int8_vs_f32\":%.3f,\"token_mismatches_int8\":%zu,"
+        "\"wave_weight_bytes_f32\":%zu,\"wave_weight_bytes_i8\":%zu,"
+        "\"snapshot_bytes_f32\":%zu,\"snapshot_bytes_int8\":%zu,"
+        "\"smoke\":%s}\n",
         c.mode, c.beam_width, examples, src_len, max_len, ref_s, per_source_s,
         batched_s, stats.encode_seconds * 1e3, stats.decode_seconds * 1e3,
         speedup, speedup_vs_per_source,
         batched_s > 0.0 ? static_cast<double>(tokens) / batched_s : 0.0,
-        mismatches, mismatches_batched, mismatches_per_source,
+        mismatches, mismatches_batched, mismatches_per_source, int8_s,
+        stats_i8.decode_seconds * 1e3,
+        int8_s > 0.0 ? batched_s / int8_s : 0.0, mismatches_int8,
+        wave_weight_elems * sizeof(float), wave_weight_elems,
+        snapshot_bytes_f32, snapshot_bytes_int8,
         smoke ? "true" : "false");
     std::fflush(stdout);
     std::fprintf(stderr,
@@ -155,6 +233,13 @@ int main() {
                  stats.encode_seconds * 1e3, stats.decode_seconds * 1e3,
                  speedup, speedup_vs_per_source, examples - mismatches,
                  examples);
+    std::fprintf(stderr,
+                 "%-8s int8      %6.2f s (decode %6.1f ms)  %5.2fx vs f32  "
+                 "(%zu/%zu match f32)  weights %zu -> %zu B/step\n",
+                 c.mode, int8_s, stats_i8.decode_seconds * 1e3,
+                 int8_s > 0.0 ? batched_s / int8_s : 0.0,
+                 examples - mismatches_int8, examples,
+                 wave_weight_elems * sizeof(float), wave_weight_elems);
   }
   return 0;
 }

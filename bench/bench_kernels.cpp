@@ -130,6 +130,94 @@ void bench_gemv(int m, int n, Rng& rng) {
   report("gemv", 1, n, m, blocked_s / 64.0, naive_s / 64.0, diff);
 }
 
+// Int8-weights packed GEMM vs the f32 packed path on the same operands:
+// the decode engine's per-wave product, where B is a prepacked weight panel.
+// Reports the int8-over-f32 speedup and the bytes each packed operand
+// streams per pass (the int8 win is memory-bound, ~4x fewer weight bytes).
+void bench_gemm_i8(int m, int n, int k, Rng& rng) {
+  const auto a = rng.gaussian_vec(static_cast<std::size_t>(m) * k);
+  const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+  const tensor::kernels::PackedPanelB packed_f32 =
+      tensor::kernels::pack_b_panels(Trans::N, n, k, b.data(), n);
+  const tensor::kernels::PackedPanelBI8 packed_i8 =
+      tensor::kernels::pack_b_panels_i8(Trans::N, n, k, b.data(), n);
+
+  std::vector<float> c_f32(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> c_i8(static_cast<std::size_t>(m) * n, 0.0f);
+  tensor::kernels::gemm_acc_packed(Trans::N, m, a.data(), k, packed_f32,
+                                   c_f32.data(), n);
+  tensor::kernels::gemm_acc_packed_i8(Trans::N, m, a.data(), k, packed_i8,
+                                      c_i8.data(), n);
+  const double diff = max_abs_diff(c_f32, c_i8);  // quantization error
+
+  const double f32_s = best_seconds([&] {
+    tensor::kernels::gemm_acc_packed(Trans::N, m, a.data(), k, packed_f32,
+                                     c_f32.data(), n);
+  });
+  const double i8_s = best_seconds([&] {
+    tensor::kernels::gemm_acc_packed_i8(Trans::N, m, a.data(), k, packed_i8,
+                                        c_i8.data(), n);
+  });
+  const double flops = 2.0 * m * n * k;
+  const std::size_t f32_bytes = packed_f32.data.size() * sizeof(float);
+  std::printf(
+      "{\"bench\":\"gemm_i8\",\"m\":%d,\"n\":%d,\"k\":%d,"
+      "\"gflops_i8\":%.3f,\"gflops_f32\":%.3f,\"speedup_vs_f32\":%.3f,"
+      "\"weight_bytes_i8\":%zu,\"weight_bytes_f32\":%zu,"
+      "\"max_abs_diff\":%.3g,\"smoke\":%s}\n",
+      m, n, k, flops / i8_s * 1e-9, flops / f32_s * 1e-9, f32_s / i8_s,
+      packed_i8.weight_bytes(), f32_bytes, diff,
+      smoke_mode() ? "true" : "false");
+  std::fflush(stdout);
+  std::fprintf(stderr,
+               "gemm_i8        m=%-5d n=%-5d k=%-5d %8.2f GF/s (f32 %6.2f, "
+               "%5.2fx, %zu->%zu B)\n",
+               m, n, k, flops / i8_s * 1e-9, flops / f32_s * 1e-9, f32_s / i8_s,
+               f32_bytes, packed_i8.weight_bytes());
+}
+
+// Software-prefetch before/after for both packed micro-kernels. Recorded
+// even when the host shows no win (single-core CI boxes often don't); the
+// JSON keeps the trajectory comparable across machines.
+void bench_prefetch(const char* kernel, int m, int n, int k, Rng& rng) {
+  const auto a = rng.gaussian_vec(static_cast<std::size_t>(m) * k);
+  const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+  const tensor::kernels::PackedPanelB packed_f32 =
+      tensor::kernels::pack_b_panels(Trans::N, n, k, b.data(), n);
+  const tensor::kernels::PackedPanelBI8 packed_i8 =
+      tensor::kernels::pack_b_panels_i8(Trans::N, n, k, b.data(), n);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  const bool is_i8 = std::string(kernel) == "i8";
+  const auto run = [&] {
+    if (is_i8) {
+      tensor::kernels::gemm_acc_packed_i8(Trans::N, m, a.data(), k, packed_i8,
+                                          c.data(), n);
+    } else {
+      tensor::kernels::gemm_acc_packed(Trans::N, m, a.data(), k, packed_f32,
+                                       c.data(), n);
+    }
+  };
+  const bool saved = tensor::kernels::gemm_prefetch_enabled();
+  tensor::kernels::set_gemm_prefetch(false);
+  const double off_s = best_seconds(run);
+  tensor::kernels::set_gemm_prefetch(true);
+  const double on_s = best_seconds(run);
+  tensor::kernels::set_gemm_prefetch(saved);
+  const double flops = 2.0 * m * n * k;
+  std::printf(
+      "{\"bench\":\"gemm_prefetch\",\"kernel\":\"%s\",\"m\":%d,\"n\":%d,"
+      "\"k\":%d,\"gflops_off\":%.3f,\"gflops_on\":%.3f,\"speedup\":%.3f,"
+      "\"smoke\":%s}\n",
+      kernel, m, n, k, flops / off_s * 1e-9, flops / on_s * 1e-9, off_s / on_s,
+      smoke_mode() ? "true" : "false");
+  std::fflush(stdout);
+  std::fprintf(stderr,
+               "gemm_prefetch  %-3s m=%-5d n=%-5d k=%-5d off %6.2f on %6.2f "
+               "GF/s (%5.2fx)\n",
+               kernel, m, n, k, flops / off_s * 1e-9, flops / on_s * 1e-9,
+               off_s / on_s);
+}
+
 void bench_attention(int t, int d, int heads, bool causal, Rng& rng) {
   tensor::Tensor q = tensor::Tensor::randn({t, d}, rng, 1.0f);
   tensor::Tensor k = tensor::Tensor::randn({t, d}, rng, 1.0f);
@@ -166,6 +254,19 @@ int main() {
   bench_gemm(Trans::N, Trans::T, "gemm_nt", 256, 256, 256, rng);
   bench_gemm(Trans::N, Trans::N, "gemm_linear", 2048, 96, 96, rng);
   bench_gemm(Trans::N, Trans::N, "gemm_vocab", 512, 800, 96, rng);
+
+  // Decode-wave shapes (small m = wave rows against weight panels) plus one
+  // square compute-bound shape for the int8 path.
+  bench_gemm_i8(24, 96, 96, rng);
+  bench_gemm_i8(24, 800, 96, rng);
+  if (!smoke_mode()) bench_gemm_i8(256, 256, 256, rng);
+
+  bench_prefetch("f32", 24, 800, 96, rng);
+  bench_prefetch("i8", 24, 800, 96, rng);
+  if (!smoke_mode()) {
+    bench_prefetch("f32", 256, 256, 256, rng);
+    bench_prefetch("i8", 256, 256, 256, rng);
+  }
 
   bench_gemv(96, 96, rng);
   bench_gemv(96, 800, rng);

@@ -64,6 +64,34 @@ int main(int argc, char** argv) {
   std::printf("[eval] decoded in %.2f s (%.2f examples/s, %zu shard%s)\n",
               decode_s, examples_per_s, shards, shards == 1 ? "" : "s");
 
+  // The same evaluation on the int8 weights-only decode path. The toggle is
+  // set before evaluate_model so fork/exec'd shard workers inherit it; the
+  // caller's value is restored afterwards.
+  const char* saved_i8 = std::getenv("MPIRICAL_DECODE_INT8");
+  const std::string saved_i8_value = saved_i8 ? saved_i8 : "";
+  setenv("MPIRICAL_DECODE_INT8", "1", 1);
+  std::printf("[eval] re-running the eval on the int8 decode path...\n");
+  Timer int8_timer;
+  const core::EvalSummary s_i8 = core::evaluate_model(setup.model, test);
+  const double decode_s_i8 = int8_timer.seconds();
+  if (saved_i8) {
+    setenv("MPIRICAL_DECODE_INT8", saved_i8_value.c_str(), 1);
+  } else {
+    unsetenv("MPIRICAL_DECODE_INT8");
+  }
+  std::printf(
+      "[eval] int8 decoded in %.2f s (%.2fx vs f32), acc %.4f vs %.4f "
+      "(drift %+.4f)\n",
+      decode_s_i8, decode_s_i8 > 0.0 ? decode_s / decode_s_i8 : 0.0, s_i8.acc,
+      s.acc, s_i8.acc - s.acc);
+
+  // Snapshot footprint in both weight encodings (what MPIRICAL_SNAPSHOT_INT8
+  // buys at rest).
+  const std::size_t snap_bytes_f32 =
+      setup.model.serialize_snapshot(/*quantize_weights=*/false).size();
+  const std::size_t snap_bytes_i8 =
+      setup.model.serialize_snapshot(/*quantize_weights=*/true).size();
+
   {
     char json[768];
     std::snprintf(
@@ -77,6 +105,21 @@ int main(int argc, char** argv) {
         examples_per_s, s.m_counts.f1(), s.mcc_counts.f1(), s.bleu, s.meteor,
         s.rouge_l, s.acc, smoke ? "true" : "false");
     std::string line(json);
+    {
+      // Quantized-path record: quality alongside f32 (the CI drift gate
+      // reads acc/acc_int8 off this line) plus speed and at-rest size.
+      char buf[384];
+      std::snprintf(
+          buf, sizeof(buf),
+          ",\"seconds_decode_int8\":%.3f,\"speedup_int8_vs_f32\":%.3f,"
+          "\"m_f1_int8\":%.4f,\"mcc_f1_int8\":%.4f,\"bleu_int8\":%.4f,"
+          "\"acc_int8\":%.4f,\"acc_drift_int8\":%.4f,"
+          "\"snapshot_bytes_f32\":%zu,\"snapshot_bytes_int8\":%zu",
+          decode_s_i8, decode_s_i8 > 0.0 ? decode_s / decode_s_i8 : 0.0,
+          s_i8.m_counts.f1(), s_i8.mcc_counts.f1(), s_i8.bleu, s_i8.acc,
+          s_i8.acc - s.acc, snap_bytes_f32, snap_bytes_i8);
+      line += buf;
+    }
     // Snapshot-deployment observability: how the driver shipped the world
     // and what each worker's spawn actually cost (the numbers the zero-copy
     // snapshot layer exists to collapse).

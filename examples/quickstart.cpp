@@ -9,6 +9,7 @@
 #include "core/evaluate.hpp"
 #include "core/model.hpp"
 #include "corpus/dataset.hpp"
+#include "snapshot/snapshot.hpp"
 
 int main(int argc, char** argv) {
   using namespace mpirical;
@@ -89,7 +90,14 @@ int main(int argc, char **argv) {
   const core::MpiRical reloaded = core::MpiRical::load(ckpt);
   std::string repredicted;
   reloaded.suggest(serial, &repredicted);
+  // With MPIRICAL_SNAPSHOT_INT8=1 the checkpoint's weight sections are
+  // lossy (int8 + per-column scales), so the reloaded f32 decode is allowed
+  // to differ; in the default f32 encoding any difference is a bug.
+  const char* verdict = repredicted == predicted ? "identical"
+                        : mpirical::snapshot::snapshot_int8_enabled()
+                            ? "differ (int8 weight sections are lossy)"
+                            : "DIVERGED";
   std::printf("\nsaved + mmap-reloaded %s: predictions %s\n", ckpt.c_str(),
-              repredicted == predicted ? "identical" : "DIVERGED");
+              verdict);
   return 0;
 }

@@ -427,6 +427,11 @@ MpiRical MpiRical::deserialize(std::string_view data) {
 // ---- snapshot format --------------------------------------------------------
 
 void MpiRical::to_snapshot(snapshot::Builder& builder) const {
+  to_snapshot(builder, snapshot::snapshot_int8_enabled());
+}
+
+void MpiRical::to_snapshot(snapshot::Builder& builder,
+                           bool quantize_weights) const {
   {
     snapshot::ByteWriter w;
     w.i32(config_.d_model);
@@ -451,12 +456,16 @@ void MpiRical::to_snapshot(snapshot::Builder& builder) const {
     vocab_.to_snapshot(w);
     builder.add(snapshot::SectionKind::kVocab, "vocab", w.take());
   }
-  model_.to_snapshot(builder);
+  model_.to_snapshot(builder, quantize_weights);
 }
 
 std::string MpiRical::serialize_snapshot() const {
+  return serialize_snapshot(snapshot::snapshot_int8_enabled());
+}
+
+std::string MpiRical::serialize_snapshot(bool quantize_weights) const {
   snapshot::Builder builder;
-  to_snapshot(builder);
+  to_snapshot(builder, quantize_weights);
   return builder.finish();
 }
 

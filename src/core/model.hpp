@@ -116,10 +116,15 @@ class MpiRical {
 
   /// Snapshot-format checkpoint: the model's sections appended to `builder`
   /// (model_config + vocab + transformer_config + tensor_index + one
-  /// aligned raw-float section per parameter).
+  /// aligned raw-float section per parameter). The single-argument form
+  /// consults MPIRICAL_SNAPSHOT_INT8; pass `quantize_weights` explicitly to
+  /// force int8 weight sections (scales + int8 payload, ~4x smaller) or
+  /// plain f32 ones. Readers handle both kinds transparently.
   void to_snapshot(snapshot::Builder& builder) const;
+  void to_snapshot(snapshot::Builder& builder, bool quantize_weights) const;
   /// A complete single-model snapshot file image.
   std::string serialize_snapshot() const;
+  std::string serialize_snapshot(bool quantize_weights) const;
   /// Rebuilds a model over an opened snapshot; transformer weights are
   /// zero-copy views pinned to the snapshot's backing mapping.
   static MpiRical from_snapshot(

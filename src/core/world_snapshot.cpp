@@ -16,6 +16,10 @@ void add_split(snapshot::Builder& builder, const char* name,
 
 }  // namespace
 
+// World snapshots inherit the env-driven weight encoding: under
+// MPIRICAL_SNAPSHOT_INT8 the model's 2D weights land as kTensorDataI8
+// sections (readers dequantize on load), otherwise as f32 kTensorData.
+
 std::string build_eval_snapshot(const MpiRical& model,
                                 const std::vector<corpus::Example>& split) {
   snapshot::Builder builder;

@@ -636,15 +636,42 @@ std::vector<DecodeResult> decode_batch(const Transformer& model,
   // fallback through the retained raw pointers).
   using tensor::kernels::pack_b_panels;
   using tensor::kernels::PackedPanelB;
+  using tensor::kernels::PackedPanelBI8;
   using tensor::kernels::Trans;
-  auto pack_lin = [](const Linear& lin) {
-    return pack_b_panels(Trans::N, lin.w.dim(1), lin.w.dim(0),
-                         lin.w.value().data(), lin.w.dim(1));
+  // Quantized-weights mode (MPIRICAL_DECODE_INT8, re-read per wave): the
+  // stepped panels pack as int8 instead -- zero-copy from a quantized
+  // snapshot's q8 views when present, else quantized here at pack time. The
+  // f32 packing stays the oracle path.
+  const bool int8_mode = decode_int8_enabled();
+  struct PackedLin {
+    PackedPanelB f32;
+    PackedPanelBI8 i8;
+    const float* bias = nullptr;
+    bool quant = false;
+    void run(const float* x, int rows, float* out) const {
+      if (quant) {
+        decode_step::linear_rows(x, i8, bias, rows, out);
+      } else {
+        decode_step::linear_rows(x, f32, bias, rows, out);
+      }
+    }
+  };
+  auto pack_lin = [int8_mode](const Linear& lin) {
+    PackedLin p;
+    p.bias = lin.b.value().data();
+    p.quant = int8_mode;
+    if (int8_mode) {
+      p.i8 = pack_linear_i8(lin);
+    } else {
+      p.f32 = pack_b_panels(Trans::N, lin.w.dim(1), lin.w.dim(0),
+                            lin.w.value().data(), lin.w.dim(1));
+    }
+    return p;
   };
   struct PackedDecoderLayer {
-    PackedPanelB self_q, self_k, self_v, self_o;
-    PackedPanelB cross_q, cross_o;
-    PackedPanelB up, down;
+    PackedLin self_q, self_k, self_v, self_o;
+    PackedLin cross_q, cross_o;
+    PackedLin up, down;
   };
   std::vector<PackedDecoderLayer> packed(layers);
   for (std::size_t li = 0; li < layers; ++li) {
@@ -658,7 +685,7 @@ std::vector<DecodeResult> decode_batch(const Transformer& model,
     packed[li].up = pack_lin(layer.ffn.up);
     packed[li].down = pack_lin(layer.ffn.down);
   }
-  const PackedPanelB out_proj_packed = pack_lin(model.output_projection());
+  const PackedLin out_proj_packed = pack_lin(model.output_projection());
 
   // Wave scratch: one row per live hypothesis across all requests.
   std::vector<float> x, normed, q, attn, proj, krows, vrows, hidden, logits;
@@ -735,15 +762,9 @@ std::vector<DecodeResult> decode_batch(const Transformer& model,
       // Causal self-attention: one GEMM per projection over all rows, then
       // per-row ragged attention over each hypothesis's own cache.
       decode_step::layer_norm_rows(x.data(), layer.ln1, rows, d, normed.data());
-      decode_step::linear_rows(normed.data(), packed[li].self_q,
-                               layer.self_attn.wq.b.value().data(), rows,
-                               q.data());
-      decode_step::linear_rows(normed.data(), packed[li].self_k,
-                               layer.self_attn.wk.b.value().data(), rows,
-                               krows.data());
-      decode_step::linear_rows(normed.data(), packed[li].self_v,
-                               layer.self_attn.wv.b.value().data(), rows,
-                               vrows.data());
+      packed[li].self_q.run(normed.data(), rows, q.data());
+      packed[li].self_k.run(normed.data(), rows, krows.data());
+      packed[li].self_v.run(normed.data(), rows, vrows.data());
       const std::size_t cache_off = static_cast<std::size_t>(t) * d;
       for (int m = 0; m < rows; ++m) {
         LaneCache& cache = *row_hyp[static_cast<std::size_t>(m)]->cache;
@@ -760,17 +781,13 @@ std::vector<DecodeResult> decode_batch(const Transformer& model,
       }
       decode_step::attention_ragged(q.data(), rows, d, heads, ks.data(),
                                     vs.data(), kv_lens.data(), attn.data());
-      decode_step::linear_rows(attn.data(), packed[li].self_o,
-                               layer.self_attn.wo.b.value().data(), rows,
-                               proj.data());
+      packed[li].self_o.run(attn.data(), rows, proj.data());
       for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
 
       // Cross attention: each request's contiguous row block attends over
       // its shared encoder K/V panel via per-head GEMMs.
       decode_step::layer_norm_rows(x.data(), layer.ln2, rows, d, normed.data());
-      decode_step::linear_rows(normed.data(), packed[li].cross_q,
-                               layer.cross_attn.wq.b.value().data(), rows,
-                               q.data());
+      packed[li].cross_q.run(normed.data(), rows, q.data());
       for (const RowSpan& span : spans) {
         const auto& cross = states[span.req].cross->layers[li];
         decode_step::attention_shared(
@@ -778,29 +795,21 @@ std::vector<DecodeResult> decode_batch(const Transformer& model,
             d, heads, cross.kt.data(), cross.v.data(), states[span.req].src_len,
             attn.data() + static_cast<std::size_t>(span.m0) * d);
       }
-      decode_step::linear_rows(attn.data(), packed[li].cross_o,
-                               layer.cross_attn.wo.b.value().data(), rows,
-                               proj.data());
+      packed[li].cross_o.run(attn.data(), rows, proj.data());
       for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
 
       // Feed-forward.
       decode_step::layer_norm_rows(x.data(), layer.ln3, rows, d, normed.data());
-      decode_step::linear_rows(normed.data(), packed[li].up,
-                               layer.ffn.up.b.value().data(), rows,
-                               hidden.data());
+      packed[li].up.run(normed.data(), rows, hidden.data());
       decode_step::gelu_rows(hidden.data(),
                              static_cast<std::size_t>(rows) * ffn_dim);
-      decode_step::linear_rows(hidden.data(), packed[li].down,
-                               layer.ffn.down.b.value().data(), rows,
-                               proj.data());
+      packed[li].down.run(hidden.data(), rows, proj.data());
       for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
     }
 
     decode_step::layer_norm_rows(x.data(), model.decoder_final_ln(), rows, d,
                                  normed.data());
-    decode_step::linear_rows(normed.data(), out_proj_packed,
-                             model.output_projection().b.value().data(), rows,
-                             logits.data());
+    out_proj_packed.run(normed.data(), rows, logits.data());
 
     // Per-request beam bookkeeping, mirroring the reference path's candidate
     // order, scoring, and tie-breaking exactly.

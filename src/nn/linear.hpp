@@ -3,10 +3,28 @@
 // GEMV used by incremental decoding.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+
 #include "support/rng.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mpirical::nn {
+
+/// Zero-copy view of a pre-quantized int8 weight matrix (row-major
+/// [rows, cols] = [in, out], symmetric per-output-column f32 scales),
+/// typically pointing straight into a mapped snapshot's kTensorDataI8
+/// section. When present and matching the f32 weight's shape, the int8
+/// decode path packs its wave panels from these exact stored bytes instead
+/// of re-quantizing the (dequantized) f32 weights.
+struct QuantizedWeightView {
+  int rows = 0;
+  int cols = 0;
+  const std::int8_t* q = nullptr;
+  const float* scales = nullptr;
+  std::shared_ptr<const void> owner;  // pins the mapping
+  bool valid() const { return q != nullptr && rows > 0 && cols > 0; }
+};
 
 struct Linear {
   Linear() = default;
@@ -26,6 +44,7 @@ struct Linear {
 
   tensor::Tensor w;
   tensor::Tensor b;
+  QuantizedWeightView q8;  // set by snapshot loads of quantized sections
 };
 
 }  // namespace mpirical::nn

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 
 #include "support/arena.hpp"
@@ -35,6 +37,22 @@ std::vector<std::vector<float>> positional_table(
 }
 
 }  // namespace
+
+bool decode_int8_enabled() {
+  const char* env = std::getenv("MPIRICAL_DECODE_INT8");
+  return env != nullptr && std::string_view(env) != "0";
+}
+
+tensor::kernels::PackedPanelBI8 pack_linear_i8(const Linear& lin) {
+  const int rows = lin.w.dim(0);
+  const int cols = lin.w.dim(1);
+  if (lin.q8.valid() && lin.q8.rows == rows && lin.q8.cols == cols) {
+    return tensor::kernels::pack_b_panels_i8(cols, rows, lin.q8.q,
+                                             lin.q8.scales);
+  }
+  return tensor::kernels::pack_b_panels_i8(tensor::kernels::Trans::N, cols,
+                                           rows, lin.w.value().data(), cols);
+}
 
 Transformer::Transformer(const TransformerConfig& config, Rng& rng)
     : config_(config),
@@ -161,31 +179,33 @@ Tensor Transformer::decode(const Tensor& enc_out,
   return out_proj_.forward(x);
 }
 
-std::vector<Tensor> Transformer::parameters() const {
-  std::vector<Tensor> params;
-  params.push_back(tok_embed_);
-  auto add_linear = [&](const Linear& l) {
-    params.push_back(l.w);
-    params.push_back(l.b);
+template <typename Self, typename Fn>
+void Transformer::visit_params(Self& self, Fn&& fn) {
+  using LinearPtr = decltype(&self.out_proj_);
+  const LinearPtr none = nullptr;
+  fn(self.tok_embed_, none);
+  auto add_linear = [&](auto& l) {
+    fn(l.w, &l);
+    fn(l.b, none);
   };
-  auto add_ln = [&](const LayerNormParams& ln) {
-    params.push_back(ln.gamma);
-    params.push_back(ln.beta);
+  auto add_ln = [&](auto& ln) {
+    fn(ln.gamma, none);
+    fn(ln.beta, none);
   };
-  auto add_attn = [&](const AttentionBlock& a) {
+  auto add_attn = [&](auto& a) {
     add_linear(a.wq);
     add_linear(a.wk);
     add_linear(a.wv);
     add_linear(a.wo);
   };
-  for (const auto& layer : enc_) {
+  for (auto& layer : self.enc_) {
     add_ln(layer.ln1);
     add_ln(layer.ln2);
     add_attn(layer.attn);
     add_linear(layer.ffn.up);
     add_linear(layer.ffn.down);
   }
-  for (const auto& layer : dec_) {
+  for (auto& layer : self.dec_) {
     add_ln(layer.ln1);
     add_ln(layer.ln2);
     add_ln(layer.ln3);
@@ -194,9 +214,16 @@ std::vector<Tensor> Transformer::parameters() const {
     add_linear(layer.ffn.up);
     add_linear(layer.ffn.down);
   }
-  add_ln(enc_ln_);
-  add_ln(dec_ln_);
-  add_linear(out_proj_);
+  add_ln(self.enc_ln_);
+  add_ln(self.dec_ln_);
+  add_linear(self.out_proj_);
+}
+
+std::vector<Tensor> Transformer::parameters() const {
+  std::vector<Tensor> params;
+  visit_params(*this, [&](const Tensor& t, const Linear*) {
+    params.push_back(t);
+  });
   return params;
 }
 
@@ -298,7 +325,8 @@ Transformer Transformer::deserialize(std::string_view data) {
 
 // ---- snapshot sections ------------------------------------------------------
 
-void Transformer::to_snapshot(snapshot::Builder& builder) const {
+void Transformer::to_snapshot(snapshot::Builder& builder,
+                              bool quantize_weights) const {
   {
     snapshot::ByteWriter w;
     w.i32(config_.vocab_size);
@@ -312,22 +340,52 @@ void Transformer::to_snapshot(snapshot::Builder& builder) const {
     builder.add(snapshot::SectionKind::kTransformerConfig,
                 "transformer_config", w.take());
   }
-  const std::vector<tensor::Tensor> params = parameters();
+  std::vector<std::pair<const tensor::Tensor*, const Linear*>> refs;
+  visit_params(*this, [&](const Tensor& t, const Linear* lin) {
+    refs.emplace_back(&t, lin);
+  });
   snapshot::ByteWriter index;
-  index.u32(static_cast<std::uint32_t>(params.size()));
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    const tensor::Tensor& p = params[i];
+  index.u32(static_cast<std::uint32_t>(refs.size()));
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const tensor::Tensor& p = *refs[i].first;
+    const Linear* lin = refs[i].second;
     const auto& shape = p.shape();
     MR_CHECK(shape.size() <= 2, "snapshot supports rank <= 2 tensors");
     index.u32(static_cast<std::uint32_t>(shape.size()));
     index.u32(shape.empty() ? 1u : static_cast<std::uint32_t>(shape[0]));
     index.u32(shape.size() < 2 ? 1u : static_cast<std::uint32_t>(shape[1]));
-    std::string payload;
-    payload.resize(p.numel() * sizeof(float));
-    std::memcpy(payload.data(), p.value().data(), payload.size());
-    const std::size_t section = builder.add(
-        snapshot::SectionKind::kTensorData, "t" + std::to_string(i),
-        std::move(payload));
+    std::size_t section;
+    if (quantize_weights && lin != nullptr && shape.size() == 2) {
+      const int rows = static_cast<int>(shape[0]);
+      const int cols = static_cast<int>(shape[1]);
+      snapshot::ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(rows));
+      w.u32(static_cast<std::uint32_t>(cols));
+      if (lin->q8.valid() && lin->q8.rows == rows && lin->q8.cols == cols) {
+        // Loaded from a quantized snapshot: re-emit the stored bytes
+        // verbatim so quantized save -> load -> save is byte-identical
+        // (requantizing the dequantized weights could flip a last-ulp
+        // scale).
+        w.raw(lin->q8.scales, sizeof(float) * static_cast<std::size_t>(cols));
+        w.raw(lin->q8.q, static_cast<std::size_t>(rows) * cols);
+      } else {
+        std::vector<float> scales(static_cast<std::size_t>(cols));
+        std::vector<std::int8_t> q(static_cast<std::size_t>(rows) * cols);
+        tensor::kernels::quantize_weights_i8(
+            tensor::kernels::Trans::N, cols, rows, p.value().data(), cols,
+            q.data(), scales.data());
+        w.raw(scales.data(), sizeof(float) * scales.size());
+        w.raw(q.data(), q.size());
+      }
+      section = builder.add(snapshot::SectionKind::kTensorDataI8,
+                            "t" + std::to_string(i), w.take());
+    } else {
+      std::string payload;
+      payload.resize(p.numel() * sizeof(float));
+      std::memcpy(payload.data(), p.value().data(), payload.size());
+      section = builder.add(snapshot::SectionKind::kTensorData,
+                            "t" + std::to_string(i), std::move(payload));
+    }
     index.u32(static_cast<std::uint32_t>(section));
   }
   builder.add(snapshot::SectionKind::kTensorIndex, "tensor_index",
@@ -356,20 +414,24 @@ Transformer Transformer::from_view(const snapshot::Snapshot& snap,
   // Zero-init construction: every parameter's storage is repointed at the
   // mapping below, so worker startup never pays a Gaussian init.
   Transformer model(cfg);
-  std::vector<tensor::Tensor> params = model.parameters();
+  std::vector<std::pair<tensor::Tensor*, Linear*>> refs;
+  visit_params(model, [&](Tensor& t, Linear* lin) {
+    refs.emplace_back(&t, lin);
+  });
 
   snapshot::ByteReader index(
       snap.require(snapshot::SectionKind::kTensorIndex, "tensor_index")
           .payload);
   const std::uint32_t count = index.u32();
-  MR_CHECK(count == params.size(),
+  MR_CHECK(count == refs.size(),
            "snapshot tensor count does not match the model architecture");
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint32_t rank = index.u32();
     const std::uint32_t d0 = index.u32();
     const std::uint32_t d1 = index.u32();
     const std::uint32_t section_id = index.u32();
-    tensor::Tensor& p = params[i];
+    tensor::Tensor& p = *refs[i].first;
+    Linear* lin = refs[i].second;
     const auto& shape = p.shape();
     MR_CHECK(rank == shape.size(),
              "snapshot tensor rank mismatch at parameter " +
@@ -383,6 +445,52 @@ Transformer Transformer::from_view(const snapshot::Snapshot& snap,
                  std::to_string(i));
     const snapshot::Section& data =
         snap.section(static_cast<std::size_t>(section_id));
+    if (data.kind == snapshot::SectionKind::kTensorDataI8) {
+      // Quantized weight section: u32 rows, u32 cols, f32 scales[cols],
+      // int8 payload[rows*cols]. Dequantize into the parameter's owned f32
+      // storage (every legacy consumer keeps working) and attach the int8
+      // bytes to the Linear as a zero-copy view for the int8 decode path.
+      MR_CHECK(lin != nullptr && shape.size() == 2,
+               "snapshot quantized section at non-weight parameter " +
+                   std::to_string(i));
+      snapshot::ByteReader r(data.payload);
+      const std::uint32_t rows = r.u32();
+      const std::uint32_t cols = r.u32();
+      MR_CHECK(rows == want0 && cols == want1,
+               "snapshot quantized tensor shape mismatch at parameter " +
+                   std::to_string(i));
+      const std::size_t want_bytes =
+          8 + sizeof(float) * static_cast<std::size_t>(cols) +
+          static_cast<std::size_t>(rows) * cols;
+      MR_CHECK(data.payload.size() == want_bytes,
+               "snapshot quantized tensor payload size mismatch at "
+               "parameter " +
+                   std::to_string(i));
+      const float* scales =
+          reinterpret_cast<const float*>(data.payload.data() + 8);
+      const std::int8_t* q = reinterpret_cast<const std::int8_t*>(
+          data.payload.data() + 8 + sizeof(float) * cols);
+      for (std::uint32_t j = 0; j < cols; ++j) {
+        MR_CHECK(std::isfinite(scales[j]) && scales[j] > 0.0f,
+                 "snapshot quantized tensor has corrupt scale at parameter " +
+                     std::to_string(i));
+      }
+      auto& vals = p.value();
+      for (std::uint32_t row = 0; row < rows; ++row) {
+        const std::int8_t* qrow = q + static_cast<std::size_t>(row) * cols;
+        float* vrow = vals.data() + static_cast<std::size_t>(row) * cols;
+        for (std::uint32_t j = 0; j < cols; ++j) {
+          vrow[j] = scales[j] * static_cast<float>(qrow[j]);
+        }
+      }
+      lin->q8.rows = static_cast<int>(rows);
+      lin->q8.cols = static_cast<int>(cols);
+      lin->q8.q = q;
+      lin->q8.scales = scales;
+      lin->q8.owner = owner;
+      p.release_grad();
+      continue;
+    }
     MR_CHECK(data.kind == snapshot::SectionKind::kTensorData,
              "snapshot tensor index points at a non-tensor section");
     MR_CHECK(data.payload.size() == p.numel() * sizeof(float),
@@ -451,6 +559,17 @@ void linear_rows(const float* x, const tensor::kernels::PackedPanelB& w,
   }
   tensor::kernels::gemm_acc_packed(tensor::kernels::Trans::N, rows, x, w.k, w,
                                    out, n);
+}
+
+void linear_rows(const float* x, const tensor::kernels::PackedPanelBI8& w,
+                 const float* bias, int rows, float* out) {
+  const int n = w.n;
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(out + static_cast<std::size_t>(r) * n, bias,
+                sizeof(float) * static_cast<std::size_t>(n));
+  }
+  tensor::kernels::gemm_acc_packed_i8(tensor::kernels::Trans::N, rows, x, w.k,
+                                      w, out, n);
 }
 
 void gelu_rows(float* x, std::size_t n) {
@@ -694,12 +813,13 @@ void gelu_panel(float* x, std::size_t n) {
   }
 }
 
-void qkv_panel(const float* x, const AttentionBlock& attn, int rows, int d,
-               float* qkv) {
+namespace {
+
+// Interleaves the three projections' weights row-wise ([d, 3d]) and biases
+// once per call; the copies are O(d^2), noise next to the [rows, 3d] GEMM.
+void build_fused_qkv(const AttentionBlock& attn, int d, std::vector<float>& w3,
+                     std::vector<float>& b3) {
   const int n3 = 3 * d;
-  // Interleave the three projections' weights row-wise ([d, 3d]) and biases
-  // once per call; the copies are O(d^2), noise next to the [rows, 3d] GEMM.
-  thread_local std::vector<float> w3, b3;
   w3.resize(static_cast<std::size_t>(d) * n3);
   b3.resize(static_cast<std::size_t>(n3));
   const float* wq = attn.wq.w.value().data();
@@ -720,6 +840,15 @@ void qkv_panel(const float* x, const AttentionBlock& attn, int rows, int d,
               sizeof(float) * static_cast<std::size_t>(d));
   std::memcpy(b3.data() + 2 * d, attn.wv.b.value().data(),
               sizeof(float) * static_cast<std::size_t>(d));
+}
+
+}  // namespace
+
+void qkv_panel(const float* x, const AttentionBlock& attn, int rows, int d,
+               float* qkv) {
+  const int n3 = 3 * d;
+  thread_local std::vector<float> w3, b3;
+  build_fused_qkv(attn, d, w3, b3);
   for (int r = 0; r < rows; ++r) {
     std::memcpy(qkv + static_cast<std::size_t>(r) * n3, b3.data(),
                 sizeof(float) * static_cast<std::size_t>(n3));
@@ -727,6 +856,50 @@ void qkv_panel(const float* x, const AttentionBlock& attn, int rows, int d,
   tensor::kernels::gemm_acc_rowstable(tensor::kernels::Trans::N,
                                       tensor::kernels::Trans::N, rows, n3, d,
                                       x, d, w3.data(), n3, qkv, n3);
+}
+
+void linear_panel_i8(const float* x, const Linear& lin, int rows, float* out) {
+  const tensor::kernels::PackedPanelBI8 packed = pack_linear_i8(lin);
+  const int n = packed.n;
+  const auto& bias = lin.b.value();
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(out + static_cast<std::size_t>(r) * n, bias.data(),
+                sizeof(float) * static_cast<std::size_t>(n));
+  }
+  tensor::kernels::gemm_acc_packed_i8(tensor::kernels::Trans::N, rows, x,
+                                      packed.k, packed, out, n);
+}
+
+void linear_panel_residual_i8(const float* in, const Linear& lin, int rows,
+                              float* x) {
+  const tensor::kernels::PackedPanelBI8 packed = pack_linear_i8(lin);
+  const int n = packed.n;
+  tensor::kernels::gemm_acc_packed_i8(tensor::kernels::Trans::N, rows, in,
+                                      packed.k, packed, x, n);
+  const auto& bias = lin.b.value();
+  for (int r = 0; r < rows; ++r) {
+    float* xrow = x + static_cast<std::size_t>(r) * n;
+    for (int j = 0; j < n; ++j) xrow[j] += bias[static_cast<std::size_t>(j)];
+  }
+}
+
+void qkv_panel_i8(const float* x, const AttentionBlock& attn, int rows, int d,
+                  float* qkv) {
+  const int n3 = 3 * d;
+  thread_local std::vector<float> w3, b3;
+  build_fused_qkv(attn, d, w3, b3);
+  // Quantizing the fused [d, 3d] matrix gives the same per-column scales as
+  // quantizing Wq/Wk/Wv separately (columns are independent), so the fused
+  // product stays column-for-column identical to three separate i8 panels.
+  const tensor::kernels::PackedPanelBI8 packed =
+      tensor::kernels::pack_b_panels_i8(tensor::kernels::Trans::N, n3, d,
+                                        w3.data(), n3);
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(qkv + static_cast<std::size_t>(r) * n3, b3.data(),
+                sizeof(float) * static_cast<std::size_t>(n3));
+  }
+  tensor::kernels::gemm_acc_packed_i8(tensor::kernels::Trans::N, rows, x, d,
+                                      packed, qkv, n3);
 }
 
 void self_attention_padded(const float* q, const float* k, const float* v,
@@ -868,17 +1041,37 @@ std::shared_ptr<const EncodedBatch> encode_batch(
     }
   }
 
+  // Quantized-weights mode (MPIRICAL_DECODE_INT8): every panel projection
+  // routes through the int8 kernel; attention, softmax, GELU, and layer
+  // norms stay f32, so padding-invariance carries over unchanged.
+  const bool int8_mode = decode_int8_enabled();
   for (const EncoderLayer& layer : model.encoder_layers()) {
     decode_step::layer_norm_rows(x, layer.ln1, rows, d, normed);
-    encode_step::qkv_panel(normed, layer.attn, rows, d, qkv);
+    if (int8_mode) {
+      encode_step::qkv_panel_i8(normed, layer.attn, rows, d, qkv);
+    } else {
+      encode_step::qkv_panel(normed, layer.attn, rows, d, qkv);
+    }
     encode_step::self_attention_padded(qkv, qkv + d, qkv + 2 * d, 3 * d, batch,
                                        max_len, lens.data(), d, heads, attn);
-    encode_step::linear_panel_residual(attn, layer.attn.wo, rows, x);
+    if (int8_mode) {
+      encode_step::linear_panel_residual_i8(attn, layer.attn.wo, rows, x);
+    } else {
+      encode_step::linear_panel_residual(attn, layer.attn.wo, rows, x);
+    }
 
     decode_step::layer_norm_rows(x, layer.ln2, rows, d, normed);
-    encode_step::linear_panel(normed, layer.ffn.up, rows, hidden);
+    if (int8_mode) {
+      encode_step::linear_panel_i8(normed, layer.ffn.up, rows, hidden);
+    } else {
+      encode_step::linear_panel(normed, layer.ffn.up, rows, hidden);
+    }
     encode_step::gelu_panel(hidden, static_cast<std::size_t>(rows) * ffn_dim);
-    encode_step::linear_panel_residual(hidden, layer.ffn.down, rows, x);
+    if (int8_mode) {
+      encode_step::linear_panel_residual_i8(hidden, layer.ffn.down, rows, x);
+    } else {
+      encode_step::linear_panel_residual(hidden, layer.ffn.down, rows, x);
+    }
   }
 
   auto out = std::make_shared<EncodedBatch>();

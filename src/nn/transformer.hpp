@@ -24,6 +24,18 @@ class Snapshot;
 
 namespace mpirical::nn {
 
+/// Quantized-weights decode mode gate: MPIRICAL_DECODE_INT8 set to anything
+/// but "0" routes the batched encode/decode panel projections through the
+/// int8 kernel path (weights quantized per wave, or mapped zero-copy from a
+/// quantized snapshot). Default off: the f32 path stays the oracle. Re-read
+/// on every wave, so tests and benches can flip it per call.
+bool decode_int8_enabled();
+
+/// Packs a Linear's [in, out] weight for the int8 GEMM: zero-copy from its
+/// q8 snapshot view when the shapes match (the stored int8 bytes are used
+/// verbatim), otherwise quantizing the f32 weights at pack time.
+tensor::kernels::PackedPanelBI8 pack_linear_i8(const Linear& lin);
+
 struct TransformerConfig {
   int vocab_size = 512;
   int d_model = 96;
@@ -137,14 +149,24 @@ class Transformer {
   std::string serialize() const;
   static Transformer deserialize(std::string_view data);
 
-  /// Snapshot sections: "transformer_config" + "tensor_index" + one raw
-  /// float32 "t<i>" data section per parameter (64-byte aligned in the
-  /// finished file).
-  void to_snapshot(snapshot::Builder& builder) const;
+  /// Snapshot sections: "transformer_config" + "tensor_index" + one "t<i>"
+  /// data section per parameter (64-byte aligned in the finished file).
+  /// With `quantize_weights`, every 2D Linear weight is emitted as a
+  /// kTensorDataI8 section (u32 rows, u32 cols, f32 scales[cols], int8
+  /// payload) instead of raw f32 -- ~4x smaller; embeddings, layer norms,
+  /// and biases stay f32. A weight whose q8 view already matches (a model
+  /// loaded from a quantized snapshot) re-emits the stored bytes verbatim,
+  /// so quantized save -> load -> save round-trips byte-identically.
+  void to_snapshot(snapshot::Builder& builder,
+                   bool quantize_weights = false) const;
   /// Rebuilds a transformer whose parameter values are ZERO-COPY views into
   /// the snapshot's tensor sections; `owner` pins the backing mapping.
   /// Parameters stay trainable -- first mutable access (e.g. an Adam step)
-  /// materializes an owned copy.
+  /// materializes an owned copy. Quantized (kTensorDataI8) weight sections
+  /// are dequantized into owned f32 storage on load -- every existing f32
+  /// consumer keeps working -- while the int8 payload is also attached to
+  /// the owning Linear's q8 view, so the int8 decode path packs its wave
+  /// panels straight from the mapping.
   static Transformer from_view(const snapshot::Snapshot& snap,
                                std::shared_ptr<const void> owner);
 
@@ -160,6 +182,13 @@ class Transformer {
  private:
   tensor::Tensor embed(const std::vector<int>& ids, int batch, int len,
                        bool training, Rng& rng) const;
+
+  /// Single source of truth for the parameter traversal order (parameters(),
+  /// serialization, snapshot I/O all agree by construction). Calls
+  /// fn(tensor, linear) for every parameter; `linear` is the owning Linear
+  /// for a 2D weight (the quantizable set), null for everything else.
+  template <typename Self, typename Fn>
+  static void visit_params(Self& self, Fn&& fn);
 
   TransformerConfig config_;
   tensor::Tensor tok_embed_;             // [vocab, d]
@@ -193,6 +222,13 @@ void linear_rows(const float* x, const Linear& lin, int rows, float* out);
 /// Linear overload at every shape, but the weight packing that gemm_acc
 /// would redo inside every decode step is paid once per decode_batch call.
 void linear_rows(const float* x, const tensor::kernels::PackedPanelB& w,
+                 const float* bias, int rows, float* out);
+
+/// Int8-weights sibling: the same once-per-wave packed product against an
+/// int8 panel (pack_linear_i8). Rowstable like the kernel beneath it -- a
+/// row's bits never depend on the wave's other rows -- but NOT bit-identical
+/// to the f32 overload (quantization error); the f32 path stays the oracle.
+void linear_rows(const float* x, const tensor::kernels::PackedPanelBI8& w,
                  const float* bias, int rows, float* out);
 
 /// In-place tanh-approximation GELU over a flat buffer.
@@ -314,6 +350,19 @@ void gelu_panel(float* x, std::size_t n);
 /// linear_panel calls -- n-tiling never changes an output element's k-order.
 void qkv_panel(const float* x, const AttentionBlock& attn, int rows, int d,
                float* qkv);
+
+/// Int8-weights variants of the panel projections, used by encode_batch when
+/// decode_int8_enabled(). Each packs its weight once per call (encode_batch
+/// runs once per wave, so this is once-per-wave exactly like the decode
+/// engine's panels) via pack_linear_i8 -- zero-copy from a quantized
+/// snapshot's q8 view when present. Activations, biases, attention, GELU,
+/// and layer norms stay f32, so the padding-invariance argument carries over
+/// unchanged: the int8 GEMM is rowstable and everything else is row-local.
+void linear_panel_i8(const float* x, const Linear& lin, int rows, float* out);
+void linear_panel_residual_i8(const float* in, const Linear& lin, int rows,
+                              float* x);
+void qkv_panel_i8(const float* x, const AttentionBlock& attn, int rows, int d,
+                  float* qkv);
 
 /// Padding-masked bidirectional multi-head self-attention over a padded
 /// panel: query row (b, t < lens[b]) attends over key rows (b, j < lens[b])

@@ -34,6 +34,16 @@ bool snapshot_enabled() {
   return env == nullptr || std::string_view(env) != "0";
 }
 
+bool snapshot_int8_enabled() {
+  const char* env = std::getenv("MPIRICAL_SNAPSHOT_INT8");
+  return env != nullptr && std::string_view(env) != "0";
+}
+
+bool snapshot_verify_lazy() {
+  const char* env = std::getenv("MPIRICAL_SNAPSHOT_VERIFY");
+  return env != nullptr && std::string_view(env) == "lazy";
+}
+
 bool has_snapshot_magic(std::string_view bytes) {
   if (bytes.size() < 4) return false;
   std::uint32_t magic = 0;
@@ -241,14 +251,29 @@ Snapshot::~Snapshot() {
   }
 }
 
+void Snapshot::verify_section(std::size_t i) const {
+  if (!lazy_verify_) return;
+  auto& flag = verified_[i];
+  if (flag.load(std::memory_order_acquire) != 0) return;
+  const Section& s = sections_[i];
+  MR_CHECK(checksums_[i] == fnv1a64(s.payload.data(), s.payload.size()),
+           "snapshot section '" + s.name + "' checksum mismatch");
+  flag.store(1, std::memory_order_release);
+}
+
 const Section& Snapshot::section(std::size_t i) const {
   MR_CHECK(i < sections_.size(), "snapshot section index out of range");
+  verify_section(i);
   return sections_[i];
 }
 
 const Section* Snapshot::find(SectionKind kind, std::string_view name) const {
-  for (const auto& s : sections_) {
-    if (s.kind == kind && (name.empty() || s.name == name)) return &s;
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const Section& s = sections_[i];
+    if (s.kind == kind && (name.empty() || s.name == name)) {
+      verify_section(i);
+      return &s;
+    }
   }
   return nullptr;
 }
@@ -265,6 +290,7 @@ const Section& Snapshot::require(SectionKind kind,
 void Snapshot::parse_and_validate() {
   MR_CHECK(host_is_little_endian(),
            "snapshot format requires a little-endian host");
+  lazy_verify_ = snapshot_verify_lazy();
   const std::string_view buf(data_, size_);
   MR_CHECK(size_ >= kHeaderSize, "snapshot truncated: no header");
   MR_CHECK(get_u32_at(buf, 0) == kMagic, "bad snapshot magic");
@@ -291,7 +317,7 @@ void Snapshot::parse_and_validate() {
     const std::size_t entry = kHeaderSize + i * kSectionEntrySize;
     const std::uint32_t kind = get_u32_at(buf, entry + 0);
     MR_CHECK(kind >= static_cast<std::uint32_t>(SectionKind::kModelConfig) &&
-                 kind <= static_cast<std::uint32_t>(SectionKind::kMeta),
+                 kind <= static_cast<std::uint32_t>(SectionKind::kTensorDataI8),
              "snapshot section " + std::to_string(i) + " has unknown kind " +
                  std::to_string(kind));
     const std::uint64_t off = get_u64_at(buf, entry + 8);
@@ -311,10 +337,20 @@ void Snapshot::parse_and_validate() {
     s.kind = static_cast<SectionKind>(kind);
     s.name.assign(name_begin, name_len);
     s.payload = std::string_view(data_ + off, len);
-    MR_CHECK(get_u64_at(buf, entry + 24) ==
-                 fnv1a64(s.payload.data(), s.payload.size()),
-             "snapshot section '" + s.name + "' checksum mismatch");
+    const std::uint64_t expected = get_u64_at(buf, entry + 24);
+    if (lazy_verify_) {
+      checksums_.push_back(expected);
+    } else {
+      MR_CHECK(expected == fnv1a64(s.payload.data(), s.payload.size()),
+               "snapshot section '" + s.name + "' checksum mismatch");
+    }
     sections_.push_back(std::move(s));
+  }
+  if (lazy_verify_ && count > 0) {
+    verified_ = std::make_unique<std::atomic<std::uint8_t>[]>(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      verified_[i].store(0, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -40,6 +40,7 @@
 // string_views of the mapping.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -63,6 +64,8 @@ enum class SectionKind : std::uint32_t {
   kTensorData = 5,        // raw float32 payload of one parameter
   kCorpus = 6,            // one materialized example split
   kMeta = 7,              // free-form key/value info (accounting, provenance)
+  kTensorDataI8 = 8,      // int8-quantized parameter: u32 rows, u32 cols,
+                          // f32 scales[cols], int8 payload[rows*cols]
 };
 
 /// FNV-1a 64-bit over a byte range (the per-section checksum).
@@ -75,6 +78,20 @@ bool host_is_little_endian();
 /// Disabling reverts save() to the legacy text checkpoint and shard workers
 /// to rebuild-from-env (reading existing snapshot files keeps working).
 bool snapshot_enabled();
+
+/// MPIRICAL_SNAPSHOT_INT8 env gate (default off): when enabled, model saves
+/// emit int8-quantized weight sections (kTensorDataI8) instead of raw f32 for
+/// the 2D linear weights. Readers handle both kinds regardless of the gate
+/// (dequantize-on-load), so quantized snapshots round-trip through every
+/// existing path; the default-off gate is what keeps freshly written
+/// snapshots readable by pre-int8 binaries.
+bool snapshot_int8_enabled();
+
+/// MPIRICAL_SNAPSHOT_VERIFY env knob: "lazy" defers per-section payload
+/// checksum verification from open to a section's first view (header, table
+/// checksum, bounds, and alignment are still validated eagerly). Any other
+/// value (or unset) keeps the default eager full verification at open.
+bool snapshot_verify_lazy();
 
 // ---- payload encoding helpers ----------------------------------------------
 
@@ -182,6 +199,10 @@ class Snapshot {
  private:
   Snapshot() = default;
   void parse_and_validate();
+  /// In lazy-verify mode, checks section i's payload checksum on first
+  /// access (idempotent, race-safe); no-op in eager mode where open already
+  /// verified everything.
+  void verify_section(std::size_t i) const;
 
   const char* data_ = nullptr;
   std::size_t size_ = 0;
@@ -189,6 +210,9 @@ class Snapshot {
   void* map_addr_ = nullptr;  // munmap handle when mapped_
   std::string owned_;         // backing bytes when !mapped_
   std::vector<Section> sections_;
+  bool lazy_verify_ = false;  // latched from MPIRICAL_SNAPSHOT_VERIFY at open
+  std::vector<std::uint64_t> checksums_;  // expected, from the section table
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> verified_;
 };
 
 /// Owner handle for zero-copy views into `snap` (aliases the control block,

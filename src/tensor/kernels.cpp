@@ -1,10 +1,22 @@
 #include "tensor/kernels.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "support/thread_pool.hpp"
+
+// Prefetch is advisory at the ISA level (never faults, never writes), so it
+// cannot change results; the macro guard only covers compilers without the
+// builtin.
+#if defined(__GNUC__) || defined(__clang__)
+#define MR_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define MR_PREFETCH(addr) ((void)0)
+#endif
 
 namespace mpirical::tensor::kernels {
 
@@ -27,6 +39,18 @@ constexpr int kNc = 128;
 constexpr double kSmallProblemFlops = 32768.0;
 // Below this many flops a single task computes the whole product.
 constexpr double kParallelFlops = 4.0 * 1024 * 1024;
+
+// How many packed k-steps ahead the micro-kernels prefetch B. Slivers are
+// contiguous in the packed panel, so a fixed-distance prefetch naturally
+// crosses into the next sliver as the current one drains.
+constexpr int kPrefetchKSteps = 8;
+
+bool init_prefetch_from_env() {
+  const char* v = std::getenv("MPIRICAL_GEMM_PREFETCH");
+  return !(v && v[0] == '0' && v[1] == '\0');
+}
+
+bool g_prefetch = init_prefetch_from_env();
 
 std::size_t round_up(std::size_t v, std::size_t to) {
   return (v + to - 1) / to * to;
@@ -91,8 +115,10 @@ void micro_kernel(int pc, const float* __restrict ap, const float* __restrict bp
   for (int r = 0; r < kMr; ++r) {
     for (int j = 0; j < kNr; ++j) acc[r][j] = 0.0f;
   }
+  const bool prefetch = g_prefetch;
   for (int p = 0; p < pc; ++p) {
     const float* brow = bp + static_cast<std::size_t>(p) * kNr;
+    if (prefetch) MR_PREFETCH(brow + kPrefetchKSteps * kNr);
     const float* arow = ap + static_cast<std::size_t>(p) * kMr;
     for (int r = 0; r < kMr; ++r) {
       const float av = arow[r];
@@ -108,6 +134,61 @@ void micro_kernel(int pc, const float* __restrict ap, const float* __restrict bp
     for (int r = 0; r < mr; ++r) {
       float* crow = c + static_cast<std::size_t>(r) * ldc;
       for (int j = 0; j < nr; ++j) crow[j] += acc[r][j];
+    }
+  }
+}
+
+// Int8 sibling of micro_kernel: B arrives already widened to f32 (the raw
+// quantized integers as floats, UNSCALED -- see widen_b_block_i8), and the
+// per-column dequant scale is applied once when adding the tile into C.
+// Because the scale multiply happens at the kKc-block C add, each C
+// element's value is a fixed function of its A row, the quantized B, and
+// the ascending block order -- rowstable for free.
+void micro_kernel_i8(int pc, const float* __restrict ap,
+                     const float* __restrict bp,
+                     const float* __restrict scales, int mr, int nr,
+                     float* __restrict c, int ldc) {
+  float acc[kMr][kNr];
+  for (int r = 0; r < kMr; ++r) {
+    for (int j = 0; j < kNr; ++j) acc[r][j] = 0.0f;
+  }
+  const bool prefetch = g_prefetch;
+  for (int p = 0; p < pc; ++p) {
+    const float* brow = bp + static_cast<std::size_t>(p) * kNr;
+    if (prefetch) MR_PREFETCH(brow + kPrefetchKSteps * kNr);
+    const float* arow = ap + static_cast<std::size_t>(p) * kMr;
+    for (int r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      for (int j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  if (mr == kMr && nr == kNr) {
+    for (int r = 0; r < kMr; ++r) {
+      float* crow = c + static_cast<std::size_t>(r) * ldc;
+      for (int j = 0; j < kNr; ++j) crow[j] += scales[j] * acc[r][j];
+    }
+  } else {
+    for (int r = 0; r < mr; ++r) {
+      float* crow = c + static_cast<std::size_t>(r) * ldc;
+      for (int j = 0; j < nr; ++j) crow[j] += scales[j] * acc[r][j];
+    }
+  }
+}
+
+// Widens one packed int8 kKc block to f32 (value-preserving int -> float,
+// scales NOT applied -- they join at the micro-kernel's C add). Done ONCE
+// per block per C row range and amortized over all its kMr row tiles: the
+// int8 bytes are streamed from memory exactly once, and the micro-kernel
+// then runs at full f32 speed out of this cache-resident buffer.
+void widen_b_block_i8(const std::int8_t* __restrict src, std::size_t count,
+                      float* __restrict dst) {
+  const bool prefetch = g_prefetch;
+  constexpr std::size_t kStride = 64;  // one cache line of int8 per chunk
+  for (std::size_t i = 0; i < count; i += kStride) {
+    if (prefetch) MR_PREFETCH(src + i + kPrefetchKSteps * kStride);
+    const std::size_t end = std::min(count, i + kStride);
+    for (std::size_t j = i; j < end; ++j) {
+      dst[j] = static_cast<float>(src[j]);
     }
   }
 }
@@ -187,9 +268,70 @@ void gemm_blocked_rows_packed(Trans ta, int i0, int i1, int jc, int nc, int k,
 }
 
 // A jc panel's packed size: every kKc block holds round_up(nc, kNr) sliver
-// columns, and the kc's sum to k.
+// columns, and the kc's sum to k. The int8 layout packs the same element
+// count (1 byte each instead of 4).
 std::size_t packed_panel_floats(int nc, int k) {
   return round_up(nc, kNr) * static_cast<std::size_t>(k);
+}
+
+// pack_b for a row-major [k, n] int8 matrix: identical sliver layout,
+// zero-padded.
+void pack_b_i8(const std::int8_t* q, int n, int p0, int pc, int j0, int nc,
+               std::int8_t* dst) {
+  for (int s = 0; s < nc; s += kNr) {
+    const int nr = std::min(kNr, nc - s);
+    for (int p = 0; p < pc; ++p) {
+      std::int8_t* out = dst + p * kNr;
+      const std::int8_t* src =
+          q + static_cast<std::size_t>(p0 + p) * n + (j0 + s);
+      for (int c = 0; c < nr; ++c) out[c] = src[c];
+      for (int c = nr; c < kNr; ++c) out[c] = 0;
+    }
+    dst += static_cast<std::size_t>(pc) * kNr;
+  }
+}
+
+// Int8 sibling of gemm_blocked_rows_packed: one jc column-panel over C rows
+// [i0, i1), consuming the panel's kKc blocks in the same pc-ascending order.
+// Each block is widened to f32 once (reusing the t_b_pack scratch) and
+// shared by every row tile in the range, so the int8 bytes are read from
+// memory once per range while the inner loops stay pure-f32.
+// `scales` points at the n-indexed scale vector offset to column jc.
+void gemm_blocked_rows_packed_i8(Trans ta, int i0, int i1, int jc, int nc,
+                                 int k, const float* a, int lda,
+                                 const std::int8_t* panel,
+                                 const float* scales, float* c, int ldc) {
+  auto& a_pack = t_a_pack;
+  a_pack.resize(round_up(std::min(kMc, i1 - i0), kMr) *
+                static_cast<std::size_t>(kKc));
+  auto& b_widen = t_b_pack;
+  b_widen.resize(round_up(nc, kNr) *
+                 static_cast<std::size_t>(std::min(kKc, k)));
+  const std::int8_t* bp_block = panel;
+  for (int pc = 0; pc < k; pc += kKc) {
+    const int kc = std::min(kKc, k - pc);
+    widen_b_block_i8(bp_block, round_up(nc, kNr) * static_cast<std::size_t>(kc),
+                     b_widen.data());
+    for (int ic = i0; ic < i1; ic += kMc) {
+      const int mc = std::min(kMc, i1 - ic);
+      pack_a(ta, a, lda, ic, mc, pc, kc, a_pack.data());
+      for (int js = 0; js < nc; js += kNr) {
+        const float* bp =
+            b_widen.data() + static_cast<std::size_t>(js / kNr) * kc * kNr;
+        const int nr = std::min(kNr, nc - js);
+        for (int is = 0; is < mc; is += kMr) {
+          const float* ap =
+              a_pack.data() + static_cast<std::size_t>(is / kMr) * kc * kMr;
+          const int mr = std::min(kMr, mc - is);
+          micro_kernel_i8(kc, ap, bp, scales + js, mr, nr,
+                          c + static_cast<std::size_t>(ic + is) * ldc + jc +
+                              js,
+                          ldc);
+        }
+      }
+    }
+    bp_block += round_up(nc, kNr) * static_cast<std::size_t>(kc);
+  }
 }
 
 // Blocked-path dispatch shared by gemm_acc_on (after its naive small-problem
@@ -349,6 +491,128 @@ void gemm_acc_packed(Trans ta, int m, const float* a, int lda,
       },
       /*grain=*/1);
 }
+
+void quantize_weights_i8(Trans tb, int n, int k, const float* b, int ldb,
+                         std::int8_t* q, float* scales) {
+  for (int j = 0; j < n; ++j) {
+    float amax = 0.0f;
+    if (tb == Trans::N) {
+      for (int p = 0; p < k; ++p) {
+        const float v = std::fabs(b[static_cast<std::size_t>(p) * ldb + j]);
+        if (v > amax) amax = v;
+      }
+    } else {
+      const float* col = b + static_cast<std::size_t>(j) * ldb;
+      for (int p = 0; p < k; ++p) {
+        const float v = std::fabs(col[p]);
+        if (v > amax) amax = v;
+      }
+    }
+    scales[j] = amax == 0.0f ? 1.0f : amax / 127.0f;
+  }
+  for (int p = 0; p < k; ++p) {
+    std::int8_t* qrow = q + static_cast<std::size_t>(p) * n;
+    for (int j = 0; j < n; ++j) {
+      const float v = tb == Trans::N
+                          ? b[static_cast<std::size_t>(p) * ldb + j]
+                          : b[static_cast<std::size_t>(j) * ldb + p];
+      long iv = std::lrintf(v / scales[j]);
+      if (iv > 127) iv = 127;
+      if (iv < -127) iv = -127;
+      qrow[j] = static_cast<std::int8_t>(iv);
+    }
+  }
+}
+
+PackedPanelBI8 pack_b_panels_i8(int n, int k, const std::int8_t* q,
+                                const float* scales) {
+  PackedPanelBI8 packed;
+  packed.n = n;
+  packed.k = k;
+  packed.scales.assign(scales, scales + n);
+  std::size_t total = 0;
+  for (int jc = 0; jc < n; jc += kNc) {
+    total += packed_panel_floats(std::min(kNc, n - jc), k);
+  }
+  packed.data.resize(total);
+  std::int8_t* dst = packed.data.data();
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int nc = std::min(kNc, n - jc);
+    for (int pc = 0; pc < k; pc += kKc) {
+      const int kc = std::min(kKc, k - pc);
+      pack_b_i8(q, n, pc, kc, jc, nc, dst);
+      dst += round_up(nc, kNr) * static_cast<std::size_t>(kc);
+    }
+  }
+  return packed;
+}
+
+PackedPanelBI8 pack_b_panels_i8(Trans tb, int n, int k, const float* b,
+                                int ldb) {
+  std::vector<std::int8_t> q(static_cast<std::size_t>(k) * n);
+  std::vector<float> scales(static_cast<std::size_t>(n));
+  quantize_weights_i8(tb, n, k, b, ldb, q.data(), scales.data());
+  return pack_b_panels_i8(n, k, q.data(), scales.data());
+}
+
+void gemm_acc_packed_i8(Trans ta, int m, const float* a, int lda,
+                        const PackedPanelBI8& b, float* c, int ldc) {
+  const int n = b.n;
+  const int k = b.k;
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  // No naive fallback: there is no raw f32 operand to fall back to, and
+  // always-blocked is exactly what makes the int8 path rowstable.
+  const double flops = 2.0 * m * n * k;
+  ThreadPool& pool_ref = ThreadPool::global();
+  const std::size_t pool = pool_ref.size();
+  if (pool <= 1 || flops < kParallelFlops) {
+    std::size_t off = 0;
+    for (int jc = 0; jc < n; jc += kNc) {
+      const int nc = std::min(kNc, n - jc);
+      gemm_blocked_rows_packed_i8(ta, 0, m, jc, nc, k, a, lda,
+                                  b.data.data() + off, b.scales.data() + jc,
+                                  c, ldc);
+      off += packed_panel_floats(nc, k);
+    }
+    return;
+  }
+
+  // Same 2D decomposition as gemm_acc_packed: row ranges x column panels,
+  // each task a disjoint C tile reading its panel's prepacked data.
+  const int row_blocks = (m + kMc - 1) / kMc;
+  const int ranges_per_panel = std::min(row_blocks, static_cast<int>(pool));
+  const int blocks_per_range =
+      (row_blocks + ranges_per_panel - 1) / ranges_per_panel;
+  const int i_step = blocks_per_range * kMc;
+  struct Tile {
+    int i0, i1, jc, nc;
+    std::size_t off;
+  };
+  std::vector<Tile> tiles;
+  std::size_t off = 0;
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int nc = std::min(kNc, n - jc);
+    for (int i0 = 0; i0 < m; i0 += i_step) {
+      tiles.push_back(Tile{i0, std::min(m, i0 + i_step), jc, nc, off});
+    }
+    off += packed_panel_floats(nc, k);
+  }
+  pool_ref.for_range(
+      0, tiles.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t t = lo; t < hi; ++t) {
+          const Tile& tile = tiles[t];
+          gemm_blocked_rows_packed_i8(ta, tile.i0, tile.i1, tile.jc, tile.nc,
+                                      k, a, lda, b.data.data() + tile.off,
+                                      b.scales.data() + tile.jc, c, ldc);
+        }
+      },
+      /*grain=*/1);
+}
+
+void set_gemm_prefetch(bool enabled) { g_prefetch = enabled; }
+
+bool gemm_prefetch_enabled() { return g_prefetch; }
 
 void gemv(int m, int n, const float* x, const float* w, int ldw,
           const float* bias, float* y) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace mpirical {
@@ -60,6 +61,59 @@ PackedPanelB pack_b_panels(Trans tb, int n, int k, const float* b, int ldb);
 /// pointer.
 void gemm_acc_packed(Trans ta, int m, const float* a, int lda,
                      const PackedPanelB& b, float* c, int ldc);
+
+/// A B operand quantized to int8 (weights-only, per-output-channel symmetric
+/// scales) and packed into the same kNc-panel / kKc-block / 16-column-sliver
+/// layout PackedPanelB uses, so the int8 micro-kernel streams one quarter of
+/// the bytes per k-step. There is no retained raw fallback: int8 products are
+/// ALWAYS blocked, which makes gemm_acc_packed_i8 inherently rowstable (a C
+/// row's bits never depend on how many rows share the product, on panel
+/// position, or on the pool size).
+struct PackedPanelBI8 {
+  int n = 0;
+  int k = 0;
+  std::vector<float> scales;      // per output column j: dequant multiplier
+  std::vector<std::int8_t> data;  // kNc-column panels x kKc-row blocks
+  /// Bytes the micro-kernel streams per full pass over the operand.
+  std::size_t weight_bytes() const { return data.size(); }
+  bool empty() const { return data.empty(); }
+};
+
+/// Symmetric per-output-channel int8 quantization of op(B) ([k, n] logical):
+/// scales[j] = max_p |B(p, j)| / 127 (1.0 for an all-zero column) and
+/// q[p * n + j] = clamp(round(B(p, j) / scales[j]), -127, 127), row-major.
+/// Shared by pack-time quantization and snapshot emission so both produce
+/// bit-identical int8 payloads for the same weights.
+void quantize_weights_i8(Trans tb, int n, int k, const float* b, int ldb,
+                         std::int8_t* q, float* scales);
+
+/// Quantizes op(B) ([k, n] logical) at pack time and lays the int8 values
+/// out in PackedPanelB's panel order for gemm_acc_packed_i8.
+PackedPanelBI8 pack_b_panels_i8(Trans tb, int n, int k, const float* b,
+                                int ldb);
+
+/// Packs an ALREADY-quantized row-major [k, n] int8 matrix (plus its n
+/// per-column scales) -- e.g. a zero-copy view into a quantized snapshot
+/// section. Produces bit-identical panels to the quantizing overload fed the
+/// same q/scales.
+PackedPanelBI8 pack_b_panels_i8(int n, int k, const std::int8_t* q,
+                                const float* scales);
+
+/// C[m, n] (ldc) += op(A) . dequant(B) with B prepacked as int8. The
+/// micro-kernel widens int8 to f32 in-register, accumulates the tile in f32,
+/// and applies the per-column scale once per kKc block at the C add, so every
+/// C element sees a fixed k-block order: rowstable by construction (there is
+/// no small-problem fallback to the naive loops).
+void gemm_acc_packed_i8(Trans ta, int m, const float* a, int lda,
+                        const PackedPanelBI8& b, float* c, int ldc);
+
+/// Runtime toggle for software prefetch of upcoming packed-B slivers inside
+/// the GEMM micro-kernels (f32 and int8). Defaults from MPIRICAL_GEMM_PREFETCH
+/// at startup (any value but "0" enables). Prefetch only warms caches --
+/// results are bitwise identical either way; the toggle exists so
+/// bench_kernels can record before/after and tests can assert the identity.
+void set_gemm_prefetch(bool enabled);
+bool gemm_prefetch_enabled();
 
 /// C[m,n] (ldc) += op(A) . op(B). `ta == Trans::T` means A is stored [k,m]
 /// (lda >= m); `tb == Trans::T` means B is stored [n,k] (ldb >= k). Large

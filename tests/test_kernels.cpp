@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -239,6 +240,188 @@ TEST(Kernels, GemmPackedMatchesUnpackedBitwise) {
       }
     }
   }
+}
+
+// ---- int8 weights-only path -------------------------------------------------
+
+// Dequantized-B reference for the int8 GEMM: widen q back to f32 with the
+// per-column scales and run the naive f32 oracle over it.
+void naive_gemm_dequant(Trans ta, int m, int n, int k, const float* a, int lda,
+                        const std::int8_t* q, const float* scales, float* c,
+                        int ldc) {
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  for (int p = 0; p < k; ++p) {
+    for (int j = 0; j < n; ++j) {
+      b[static_cast<std::size_t>(p) * n + j] =
+          scales[j] * static_cast<float>(q[static_cast<std::size_t>(p) * n + j]);
+    }
+  }
+  naive::gemm_acc(ta, Trans::N, m, n, k, a, lda, b.data(), n, c, ldc);
+}
+
+TEST(KernelsI8, QuantizeWeightsPerColumnSymmetric) {
+  MR_SEEDED_RNG(rng, 61);
+  const int k = 37, n = 23;
+  auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+  // One all-zero column must quantize to q=0 / scale=1 (not NaN).
+  for (int p = 0; p < k; ++p) b[static_cast<std::size_t>(p) * n + 5] = 0.0f;
+  std::vector<std::int8_t> q(b.size());
+  std::vector<float> scales(static_cast<std::size_t>(n));
+  quantize_weights_i8(Trans::N, n, k, b.data(), n, q.data(), scales.data());
+  for (int j = 0; j < n; ++j) {
+    float amax = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      amax = std::max(amax,
+                      std::fabs(b[static_cast<std::size_t>(p) * n + j]));
+    }
+    if (j == 5) {
+      EXPECT_EQ(scales[static_cast<std::size_t>(j)], 1.0f);
+    } else {
+      EXPECT_FLOAT_EQ(scales[static_cast<std::size_t>(j)], amax / 127.0f);
+    }
+    for (int p = 0; p < k; ++p) {
+      const std::size_t idx = static_cast<std::size_t>(p) * n + j;
+      ASSERT_GE(q[idx], -127);
+      ASSERT_LE(q[idx], 127);
+      // Round-to-nearest: dequantized value within half a quantization step.
+      ASSERT_NEAR(scales[static_cast<std::size_t>(j)] *
+                      static_cast<float>(q[idx]),
+                  b[idx], 0.5f * scales[static_cast<std::size_t>(j)] + 1e-7f);
+    }
+  }
+  // Quantizing the transposed storage of the same logical matrix gives the
+  // same q/scales: orientation is a storage detail, not a value change.
+  std::vector<float> bt(b.size());
+  for (int p = 0; p < k; ++p) {
+    for (int j = 0; j < n; ++j) {
+      bt[static_cast<std::size_t>(j) * k + p] =
+          b[static_cast<std::size_t>(p) * n + j];
+    }
+  }
+  std::vector<std::int8_t> qt(b.size());
+  std::vector<float> scales_t(static_cast<std::size_t>(n));
+  quantize_weights_i8(Trans::T, n, k, bt.data(), k, qt.data(),
+                      scales_t.data());
+  EXPECT_EQ(q, qt);
+  EXPECT_EQ(scales, scales_t);
+}
+
+TEST(KernelsI8, GemmPackedI8MatchesDequantizedOracle) {
+  MR_SEEDED_RNG(rng, 63);
+  for (Trans ta : {Trans::N, Trans::T}) {
+    for (const auto& s :
+         std::vector<std::array<int, 3>>{{1, 8, 8},      {3, 96, 96},
+                                         {24, 800, 96},  {7, 17, 129},
+                                         {96, 129, 300}, {6, 16, 256}}) {
+      const int m = s[0], n = s[1], k = s[2];
+      const int lda = ta == Trans::N ? k : m;
+      const auto a = rng.gaussian_vec(static_cast<std::size_t>(m) * k);
+      const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+      const PackedPanelBI8 packed = pack_b_panels_i8(Trans::N, n, k, b.data(), n);
+      ASSERT_EQ(packed.scales.size(), static_cast<std::size_t>(n));
+      const auto c0 = rng.gaussian_vec(static_cast<std::size_t>(m) * n);
+      auto c_i8 = c0;
+      gemm_acc_packed_i8(ta, m, a.data(), lda, packed, c_i8.data(), n);
+      // Reference: naive f32 product against the dequantized weights. The
+      // int8 kernel accumulates the same values in a different (blocked)
+      // order, so compare numerically, not bitwise.
+      std::vector<std::int8_t> q(b.size());
+      std::vector<float> scales(static_cast<std::size_t>(n));
+      quantize_weights_i8(Trans::N, n, k, b.data(), n, q.data(), scales.data());
+      auto c_ref = c0;
+      naive_gemm_dequant(ta, m, n, k, a.data(), lda, q.data(), scales.data(),
+                         c_ref.data(), n);
+      SCOPED_TRACE(::testing::Message() << "m=" << m << " n=" << n
+                                        << " k=" << k
+                                        << " ta=" << (ta == Trans::T));
+      expect_close(c_i8, c_ref, 2e-3f);
+    }
+  }
+}
+
+// gemm_acc_packed_i8's headline contract: rowstable BY CONSTRUCTION. Any C
+// row recomputed alone (m=1) matches the full product's row bitwise for
+// every shape -- including tiny ones, where the f32 path would take its
+// naive fallback but the int8 path has none to take.
+TEST(KernelsI8, GemmPackedI8RowsAreBitStable) {
+  MR_SEEDED_RNG(rng, 67);
+  for (const auto& s :
+       std::vector<std::array<int, 3>>{{1, 8, 8},      {5, 16, 24},
+                                       {17, 96, 96},   {73, 96, 192},
+                                       {96, 129, 96},  {200, 96, 300}}) {
+    const int m = s[0], n = s[1], k = s[2];
+    const auto a = rng.gaussian_vec(static_cast<std::size_t>(m) * k);
+    const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+    const PackedPanelBI8 packed = pack_b_panels_i8(Trans::N, n, k, b.data(), n);
+    const auto c0 = rng.gaussian_vec(static_cast<std::size_t>(m) * n);
+    auto c_full = c0;
+    gemm_acc_packed_i8(Trans::N, m, a.data(), k, packed, c_full.data(), n);
+    for (const int i : {0, m / 2, m - 1}) {
+      std::vector<float> c_row(c0.begin() + static_cast<std::size_t>(i) * n,
+                               c0.begin() + static_cast<std::size_t>(i + 1) * n);
+      gemm_acc_packed_i8(Trans::N, 1, a.data() + static_cast<std::size_t>(i) * k,
+                         k, packed, c_row.data(), n);
+      for (int j = 0; j < n; ++j) {
+        ASSERT_EQ(c_row[static_cast<std::size_t>(j)],
+                  c_full[static_cast<std::size_t>(i) * n + j])
+            << "m=" << m << " n=" << n << " k=" << k << " row " << i
+            << " col " << j << ": int8 row bits depend on panel height";
+      }
+    }
+  }
+}
+
+// The prequantized (snapshot-view) pack overload must produce bit-identical
+// panels to the quantizing overload fed the same weights: decoding from a
+// quantized snapshot and decoding from in-memory f32 weights share bits.
+TEST(KernelsI8, ViewPackAndQuantizingPackAgreeBitwise) {
+  MR_SEEDED_RNG(rng, 71);
+  for (const auto& s : std::vector<std::array<int, 2>>{
+           {8, 8}, {96, 96}, {129, 300}, {17, 40}}) {
+    const int n = s[0], k = s[1];
+    const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+    const PackedPanelBI8 direct = pack_b_panels_i8(Trans::N, n, k, b.data(), n);
+    std::vector<std::int8_t> q(b.size());
+    std::vector<float> scales(static_cast<std::size_t>(n));
+    quantize_weights_i8(Trans::N, n, k, b.data(), n, q.data(), scales.data());
+    const PackedPanelBI8 view = pack_b_panels_i8(n, k, q.data(), scales.data());
+    EXPECT_EQ(direct.n, view.n);
+    EXPECT_EQ(direct.k, view.k);
+    EXPECT_EQ(direct.scales, view.scales);
+    EXPECT_EQ(direct.data, view.data);
+    // And the quarter-bytes claim: the packed int8 operand streams 1/4 the
+    // bytes of the equivalent f32 panel.
+    const PackedPanelB f32 = pack_b_panels(Trans::N, n, k, b.data(), n);
+    EXPECT_EQ(direct.weight_bytes() * 4, f32.data.size() * sizeof(float));
+  }
+}
+
+// Software prefetch is advisory: toggling it must not change a single bit of
+// either the f32 or the int8 packed GEMM, on shapes large enough that the
+// micro-kernel (where the prefetch lives) actually runs.
+TEST(KernelsI8, PrefetchToggleKeepsGemmBitsIdentical) {
+  MR_SEEDED_RNG(rng, 73);
+  const bool saved = gemm_prefetch_enabled();
+  const int m = 48, n = 640, k = 300;
+  const auto a = rng.gaussian_vec(static_cast<std::size_t>(m) * k);
+  const auto b = rng.gaussian_vec(static_cast<std::size_t>(k) * n);
+  const auto c0 = rng.gaussian_vec(static_cast<std::size_t>(m) * n);
+  const PackedPanelB packed_f32 = pack_b_panels(Trans::N, n, k, b.data(), n);
+  const PackedPanelBI8 packed_i8 = pack_b_panels_i8(Trans::N, n, k, b.data(), n);
+
+  set_gemm_prefetch(false);
+  auto c_f32_off = c0, c_i8_off = c0;
+  gemm_acc_packed(Trans::N, m, a.data(), k, packed_f32, c_f32_off.data(), n);
+  gemm_acc_packed_i8(Trans::N, m, a.data(), k, packed_i8, c_i8_off.data(), n);
+
+  set_gemm_prefetch(true);
+  auto c_f32_on = c0, c_i8_on = c0;
+  gemm_acc_packed(Trans::N, m, a.data(), k, packed_f32, c_f32_on.data(), n);
+  gemm_acc_packed_i8(Trans::N, m, a.data(), k, packed_i8, c_i8_on.data(), n);
+
+  set_gemm_prefetch(saved);
+  EXPECT_EQ(c_f32_off, c_f32_on) << "prefetch changed f32 GEMM bits";
+  EXPECT_EQ(c_i8_off, c_i8_on) << "prefetch changed int8 GEMM bits";
 }
 
 // ---- scratch arena ----------------------------------------------------------
