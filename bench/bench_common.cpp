@@ -11,6 +11,7 @@
 #include "shard/eval.hpp"
 #include "snapshot/snapshot.hpp"
 #include "support/check.hpp"
+#include "support/env.hpp"
 #include "support/io.hpp"
 #include "support/strings.hpp"
 #include "support/timer.hpp"
@@ -18,11 +19,10 @@
 namespace mpirical::bench {
 
 std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* value = std::getenv(name)) {
-    const long long parsed = std::atoll(value);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
-  }
-  return fallback;
+  // Sizes clamp to [1, 1e9]; garbage (MPIRICAL_BENCH_CORPUS=2k6) throws
+  // instead of silently running the bench at the default size.
+  return static_cast<std::size_t>(support::env_long(
+      name, static_cast<long>(fallback), 1, 1000000000L));
 }
 
 bool smoke_mode() {

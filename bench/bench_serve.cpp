@@ -1,0 +1,308 @@
+// Serving bench: boots the persistent daemon (tools/mpirical_served's
+// run_daemon, via self-exec) against a world snapshot and drives it with an
+// open-loop client -- requests arrive on a fixed schedule regardless of how
+// fast results come back, the way real callers do. Measures request latency
+// (p50/p99) and sustained throughput for BOTH admission policies:
+//
+//   continuous  requests join the running decode wave at the next step
+//               boundary (the tentpole);
+//   barrier     requests wait until the wave fully drains (the
+//               per-wave-barrier baseline, --barrier / MPIRICAL_SERVE_BARRIER).
+//
+// Every served output is also checked token-identical to a local
+// MpiRical::translate_batch on the same inputs -- the bench doubles as an
+// end-to-end differential check over the socket.
+//
+// Appends one JSON line per mode to BENCH_serve.json (override the path
+// with MPIRICAL_BENCH_SERVE_JSON) and echoes them to stdout; the
+// human-readable table goes to stderr.
+//
+// Knobs: MPIRICAL_BENCH_SERVE_REQUESTS (default 48, smoke 12),
+//        MPIRICAL_BENCH_SERVE_RATE_FRACTION x100 (default 85 = arrivals at
+//        0.85x the locally-measured batch throughput).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/world_snapshot.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "support/check.hpp"
+#include "support/env.hpp"
+#include "support/timer.hpp"
+
+extern char** environ;
+
+using namespace mpirical;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  MR_CHECK(len > 0, "readlink(/proc/self/exe) failed");
+  buf[len] = '\0';
+  return std::string(buf);
+}
+
+/// Forks + execs this binary in the daemon role (serve::maybe_run_serve_daemon
+/// picks it up as the first statement of main). The environment is rebuilt
+/// before fork() -- only async-signal-safe calls run in the child.
+pid_t spawn_daemon(const std::string& snapshot, const std::string& socket,
+                   bool barrier) {
+  std::vector<std::string> env_strings;
+  for (char** e = environ; *e != nullptr; ++e) {
+    const char* eq = std::strchr(*e, '=');
+    const std::string key(*e, eq != nullptr ? eq - *e : std::strlen(*e));
+    if (key.rfind("MPIRICAL_SERVE_", 0) == 0) continue;
+    env_strings.emplace_back(*e);
+  }
+  env_strings.push_back("MPIRICAL_SERVE_ROLE=daemon");
+  env_strings.push_back("MPIRICAL_SERVE_SNAPSHOT=" + snapshot);
+  env_strings.push_back("MPIRICAL_SERVE_SOCKET=" + socket);
+  env_strings.push_back(std::string("MPIRICAL_SERVE_BARRIER=") +
+                        (barrier ? "1" : "0"));
+  std::vector<char*> envp;
+  envp.reserve(env_strings.size() + 1);
+  for (auto& s : env_strings) envp.push_back(s.data());
+  envp.push_back(nullptr);
+
+  const std::string exe = self_exe();
+  const pid_t pid = ::fork();
+  MR_CHECK(pid >= 0, "fork() failed");
+  if (pid == 0) {
+    char* const argv[] = {const_cast<char*>(exe.c_str()), nullptr};
+    ::execve(exe.c_str(), argv, envp.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+struct ModeResult {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double req_per_s = 0.0;
+  double wall_s = 0.0;
+  std::size_t mismatches = 0;
+  std::size_t joined_running_wave = 0;
+};
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// One open-loop run against a freshly-booted daemon. `interval_s` is the
+/// fixed inter-arrival time; sends happen on schedule from a dedicated
+/// thread while this thread drains completion-order results.
+ModeResult run_mode(const std::string& snapshot, const std::string& socket,
+                    bool barrier,
+                    const std::vector<core::MpiRical::TranslateRequest>& reqs,
+                    const std::vector<std::string>& expected,
+                    double interval_s) {
+  const pid_t daemon_pid = spawn_daemon(snapshot, socket, barrier);
+  ModeResult out;
+  {
+    serve::Client client(socket);
+    const std::size_t n = reqs.size();
+    std::vector<Clock::time_point> sent(n), done(n);
+    std::mutex mu;
+    std::vector<std::pair<std::uint64_t, std::size_t>> id_to_slot;
+    id_to_slot.reserve(n);
+
+    // The Client is documented single-threaded, but its two directions are
+    // independent: this thread only send()s/finish()es (socket writes),
+    // the main thread only recv()s (socket reads + its own parser). The
+    // mutex is held ACROSS each send so a result cannot be matched before
+    // its id is recorded.
+    const Clock::time_point start = Clock::now();
+    std::thread sender([&] {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(interval_s *
+                                                      static_cast<double>(i))));
+        std::lock_guard<std::mutex> lock(mu);
+        sent[i] = Clock::now();
+        const std::uint64_t id =
+            client.send(reqs[i].input_code, reqs[i].input_xsbt);
+        id_to_slot.emplace_back(id, i);
+      }
+      client.finish();
+    });
+
+    std::size_t received = 0;
+    Clock::time_point last_done = start;
+    while (received < n) {
+      auto res = client.recv();
+      MR_CHECK(res.has_value(), "daemon closed before delivering all results");
+      const Clock::time_point now = Clock::now();
+      std::size_t slot = n;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        for (const auto& [id, s] : id_to_slot) {
+          if (id == res->id) slot = s;
+        }
+      }
+      MR_CHECK(slot < n, "daemon returned an unknown result id");
+      done[slot] = now;
+      last_done = now;
+      if (res->joined_running_wave != 0) ++out.joined_running_wave;
+      if (res->output_code != expected[slot]) ++out.mismatches;
+      ++received;
+    }
+    sender.join();
+
+    std::vector<double> latencies_ms(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      latencies_ms[i] =
+          std::chrono::duration<double, std::milli>(done[i] - sent[i]).count();
+    }
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    out.p50_ms = percentile(latencies_ms, 0.50);
+    out.p99_ms = percentile(latencies_ms, 0.99);
+    out.wall_s = std::chrono::duration<double>(last_done - start).count();
+    out.req_per_s =
+        out.wall_s > 0.0 ? static_cast<double>(n) / out.wall_s : 0.0;
+  }
+
+  // Drain-and-exit handshake on a second connection, then reap the daemon.
+  {
+    serve::Client stopper(socket);
+    stopper.send_shutdown();
+    stopper.finish();
+    while (stopper.recv().has_value()) {
+    }
+  }
+  int status = 0;
+  MR_CHECK(::waitpid(daemon_pid, &status, 0) == daemon_pid,
+           "waitpid(daemon) failed");
+  MR_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+           "serve daemon exited abnormally");
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Re-exec'd child? Becomes the daemon and never returns.
+  serve::maybe_run_serve_daemon();
+
+  const bool smoke = bench::smoke_mode();
+  if (smoke) {
+    bench::setenv_default("MPIRICAL_BENCH_CORPUS", "320");
+    bench::setenv_default("MPIRICAL_BENCH_EPOCHS", "1");
+    bench::setenv_default("MPIRICAL_BENCH_TAGGER_EPOCHS", "1");
+    // Small waves make the open-loop arrivals actually join running waves
+    // instead of all fitting into one admission.
+    bench::setenv_default("MPIRICAL_DECODE_WAVE", "8");
+  }
+  const std::size_t n_requests =
+      bench::env_size("MPIRICAL_BENCH_SERVE_REQUESTS", smoke ? 12 : 48);
+  const double rate_fraction =
+      static_cast<double>(support::env_long("MPIRICAL_BENCH_SERVE_RATE_FRACTION",
+                                            85, 1, 1000)) /
+      100.0;
+
+  bench::TrainedSetup setup = bench::ensure_trained_model();
+
+  // The daemon maps the model from a world snapshot; an eval-shape snapshot
+  // with an empty split carries exactly the weights and nothing else.
+  const std::string artifacts = bench::artifacts_dir();
+  const std::string snapshot_path = artifacts + "/serve_world.mpsn";
+  core::write_eval_snapshot(snapshot_path, setup.model, {});
+
+  std::vector<core::MpiRical::TranslateRequest> reqs(n_requests);
+  const std::vector<corpus::Example>& pool =
+      setup.dataset.test.empty() ? setup.dataset.train : setup.dataset.test;
+  MR_CHECK(!pool.empty(), "dataset has no examples to serve");
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    const corpus::Example& ex = pool[i % pool.size()];
+    reqs[i] = {ex.input_code, ex.input_xsbt};
+  }
+
+  // Local ground truth: what the served outputs must be token-identical to,
+  // and the throughput the open-loop arrival rate is calibrated against.
+  Timer local_timer;
+  const std::vector<std::string> expected = setup.model.translate_batch(reqs);
+  const double local_s = local_timer.seconds();
+  const double local_rps =
+      local_s > 0.0 ? static_cast<double>(n_requests) / local_s : 1.0;
+  const double interval_s = 1.0 / (local_rps * rate_fraction);
+
+  std::fprintf(stderr,
+               "serve bench: %zu requests, local batch %.2fs (%.1f req/s), "
+               "open-loop arrivals at %.1f req/s%s\n",
+               n_requests, local_s, local_rps, local_rps * rate_fraction,
+               smoke ? " (smoke)" : "");
+
+  struct Mode {
+    const char* name;
+    bool barrier;
+  };
+  ModeResult results[2];
+  const Mode modes[2] = {{"continuous", false}, {"barrier", true}};
+  for (int m = 0; m < 2; ++m) {
+    const std::string socket = artifacts + "/serve_bench.sock";
+    results[m] = run_mode(snapshot_path, socket, modes[m].barrier, reqs,
+                          expected, interval_s);
+    std::fprintf(stderr,
+                 "%-10s p50 %8.1f ms  p99 %8.1f ms  %6.1f req/s  "
+                 "joined_running_wave %zu  (%zu/%zu token-identical)\n",
+                 modes[m].name, results[m].p50_ms, results[m].p99_ms,
+                 results[m].req_per_s, results[m].joined_running_wave,
+                 n_requests - results[m].mismatches, n_requests);
+  }
+
+  const double p99_speedup = results[0].p99_ms > 0.0
+                                 ? results[1].p99_ms / results[0].p99_ms
+                                 : 0.0;
+  std::fprintf(stderr,
+               "continuous vs barrier: p99 %.2fx lower, throughput %.2fx\n",
+               p99_speedup,
+               results[1].req_per_s > 0.0
+                   ? results[0].req_per_s / results[1].req_per_s
+                   : 0.0);
+
+  std::string json_path = "BENCH_serve.json";
+  if (const char* override_path = std::getenv("MPIRICAL_BENCH_SERVE_JSON")) {
+    json_path = override_path;
+  }
+  for (int m = 0; m < 2; ++m) {
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"bench\":\"serve\",\"mode\":\"%s\",\"requests\":%zu,"
+        "\"arrival_req_per_s\":%.2f,\"p50_ms\":%.2f,\"p99_ms\":%.2f,"
+        "\"sustained_req_per_s\":%.2f,\"wall_s\":%.3f,"
+        "\"joined_running_wave\":%zu,\"token_mismatches\":%zu,"
+        "\"local_batch_req_per_s\":%.2f,\"smoke\":%s}",
+        modes[m].name, n_requests, local_rps * rate_fraction,
+        results[m].p50_ms, results[m].p99_ms, results[m].req_per_s,
+        results[m].wall_s, results[m].joined_running_wave,
+        results[m].mismatches, local_rps, smoke ? "true" : "false");
+    bench::append_json_line(json_path, line);
+    std::printf("%s\n", line);
+  }
+  std::fflush(stdout);
+
+  // The bench is also a differential check: served outputs must match the
+  // local batch bit-for-bit in both admission modes.
+  MR_CHECK(results[0].mismatches == 0 && results[1].mismatches == 0,
+           "served outputs diverged from local translate_batch");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "core/stream.hpp"
+
+#include "support/check.hpp"
+#include "toklib/vocab.hpp"
+
+namespace mpirical::core {
+
+TranslateStream::TranslateStream(const MpiRical& model, int beam_width)
+    : model_(&model),
+      beam_width_(beam_width < 1 ? 1 : beam_width),
+      stream_(model.transformer()) {}
+
+std::vector<TranslateStream::TicketId> TranslateStream::submit(
+    const std::vector<MpiRical::TranslateRequest>& inputs,
+    const std::vector<int>& beam_widths) {
+  MR_CHECK(beam_widths.empty() || beam_widths.size() == inputs.size(),
+           "per-request beam widths must match the input count");
+  std::vector<nn::DecodeRequest> reqs(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto& req = reqs[i];
+    req.src_ids =
+        model_->encode_source(inputs[i].input_code, inputs[i].input_xsbt);
+    MR_CHECK(!req.src_ids.empty(), "empty source after encoding");
+    req.sos = tok::kSos;
+    req.eos = tok::kEos;
+    req.max_len = model_->config().max_tgt_tokens;
+    const int width = beam_widths.empty() ? beam_width_ : beam_widths[i];
+    req.beam_width = width < 1 ? beam_width_ : width;
+  }
+  return stream_.submit(reqs);
+}
+
+std::vector<TranslateStream::Finished> TranslateStream::step() {
+  std::vector<Finished> out;
+  for (auto& fin : stream_.step()) {
+    Finished f;
+    f.id = fin.id;
+    f.output_code =
+        tok::tokens_to_code(tok::decode(model_->vocab(), fin.result.tokens));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace mpirical::core

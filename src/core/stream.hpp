@@ -1,0 +1,59 @@
+// Request-shaped translation: the serving-side sibling of
+// MpiRical::translate_batch.
+//
+// translate_batch takes the whole workload up front and barriers per wave;
+// TranslateStream is the entry the serve daemon drives instead -- requests
+// are admitted whenever they arrive (submit) and each step() advances every
+// live request by one token, returning the ones that finished. Because the
+// decode engine underneath (nn::DecodeStream) is rowstable, a request's
+// output is bitwise identical to what translate_batch would produce for the
+// same input, no matter what else shares its waves or when it was admitted
+// (tests/test_serve_equivalence.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "nn/infer.hpp"
+
+namespace mpirical::core {
+
+/// Not thread-safe: one thread owns a stream (the daemon's engine thread).
+/// The model must outlive the stream.
+class TranslateStream {
+ public:
+  using TicketId = nn::DecodeStream::TicketId;
+
+  struct Finished {
+    TicketId id = 0;
+    std::string output_code;
+  };
+
+  /// `beam_width` applies to every request submitted without an explicit
+  /// width (<= 0 in submit's per-request widths).
+  explicit TranslateStream(const MpiRical& model, int beam_width = 1);
+
+  /// Admits a group of requests (encoded through one padded batched encoder
+  /// pass, like one translate_batch wave). `beam_widths`, when non-empty,
+  /// gives a per-request width (values <= 0 fall back to the stream
+  /// default). Returns one ticket per request, in request order.
+  std::vector<TicketId> submit(
+      const std::vector<MpiRical::TranslateRequest>& inputs,
+      const std::vector<int>& beam_widths = {});
+
+  /// Advances every live request by one token position; finished requests
+  /// come back decoded to program text.
+  std::vector<Finished> step();
+
+  std::size_t live() const { return stream_.live(); }
+  bool idle() const { return stream_.idle(); }
+
+ private:
+  const MpiRical* model_;
+  int beam_width_;
+  nn::DecodeStream stream_;
+};
+
+}  // namespace mpirical::core

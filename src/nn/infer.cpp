@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_map>
 
 #include "support/arena.hpp"
 #include "support/check.hpp"
@@ -354,36 +355,6 @@ bool use_reference_decode() {
   return v;
 }
 
-// Growing per-hypothesis self-attention K/V, all decoder layers in one
-// allocation unit so a copy-on-write clone is a single object copy.
-struct LaneCache {
-  std::vector<std::vector<float>> k;  // [layer][t * d]
-  std::vector<std::vector<float>> v;
-};
-
-// One live or finished hypothesis of a request's beam. `cache` is shared
-// between forks of one parent until the next wave's append clones it
-// (copy-on-write); finished hypotheses drop theirs.
-struct BatchHyp {
-  std::shared_ptr<LaneCache> cache;
-  std::vector<int> tokens;
-  double log_prob = 0.0;
-  bool finished = false;
-  int next_input = -1;
-
-  double score() const {
-    const double len = static_cast<double>(tokens.size()) + 1.0;
-    return log_prob / len;  // length-normalized, as the reference scores
-  }
-};
-
-struct RequestState {
-  int src_len = 0;
-  std::shared_ptr<const SourceCrossKV> cross;
-  std::vector<BatchHyp> beam;
-  bool done = false;
-};
-
 // Resize that keeps vector growth amortized: plain resize(n) reallocates to
 // exactly n, which would re-copy the whole cache every wave.
 void grow(std::vector<float>& v, std::size_t n) {
@@ -578,6 +549,447 @@ std::vector<std::shared_ptr<const SourceCrossKV>> precompute_cross_kv_batch(
   return out;
 }
 
+// ---- continuous decode stream -----------------------------------------------
+
+// DecodeStream::Impl's member types live in this NAMED namespace rather than
+// the anonymous one above: Impl itself has external linkage, and GCC's
+// -Wsubobject-linkage (a -Werror in CI) flags external-linkage aggregates
+// holding internal-linkage member types.
+namespace detail {
+
+// Growing per-hypothesis self-attention K/V, all decoder layers in one
+// allocation unit so a copy-on-write clone is a single object copy.
+struct LaneCache {
+  std::vector<std::vector<float>> k;  // [layer][t * d]
+  std::vector<std::vector<float>> v;
+};
+
+// One live or finished hypothesis of a request's beam. `cache` is shared
+// between forks of one parent until the next wave's append clones it
+// (copy-on-write); finished hypotheses drop theirs.
+struct BatchHyp {
+  std::shared_ptr<LaneCache> cache;
+  std::vector<int> tokens;
+  double log_prob = 0.0;
+  bool finished = false;
+  int next_input = -1;
+
+  double score() const {
+    const double len = static_cast<double>(tokens.size()) + 1.0;
+    return log_prob / len;  // length-normalized, as the reference scores
+  }
+};
+
+// One wave-stepped weight panel, packed once for the stream's lifetime: the
+// step loop multiplies the same matrices up to max_len times, and for
+// beam-sized row counts the per-call packing inside gemm_acc costs more
+// traffic than the products. Both run() paths are ROWSTABLE -- f32 through
+// decode_step::linear_rows_rowstable, int8 by construction -- so an output
+// row's bits never depend on how many rows ride in the wave. That is the
+// keystone of the serve path's determinism: requests join and leave the
+// running wave without perturbing any other request's bits.
+struct PackedLin {
+  tensor::kernels::PackedPanelB f32;
+  tensor::kernels::PackedPanelBI8 i8;
+  const float* bias = nullptr;
+  bool quant = false;
+
+  void run(const float* x, int rows, float* out) const {
+    if (quant) {
+      decode_step::linear_rows(x, i8, bias, rows, out);
+    } else {
+      decode_step::linear_rows_rowstable(x, f32, bias, rows, out);
+    }
+  }
+};
+
+// Quantized-weights mode (MPIRICAL_DECODE_INT8): the stepped panels pack as
+// int8 instead -- zero-copy from a quantized snapshot's q8 views when
+// present, else quantized here at pack time. The f32 packing stays the
+// oracle path.
+PackedLin pack_lin(const Linear& lin, bool int8_mode) {
+  PackedLin p;
+  p.bias = lin.b.value().data();
+  p.quant = int8_mode;
+  if (int8_mode) {
+    p.i8 = pack_linear_i8(lin);
+  } else {
+    p.f32 = tensor::kernels::pack_b_panels(
+        tensor::kernels::Trans::N, lin.w.dim(1), lin.w.dim(0),
+        lin.w.value().data(), lin.w.dim(1));
+  }
+  return p;
+}
+
+struct PackedDecoderLayer {
+  PackedLin self_q, self_k, self_v, self_o;
+  PackedLin cross_q, cross_o;
+  PackedLin up, down;
+};
+
+}  // namespace detail
+
+struct DecodeStream::Impl {
+  const Transformer* model = nullptr;
+  int d = 0;
+  int heads = 0;
+  int vocab = 0;
+  int ffn_dim = 0;
+  std::size_t layers = 0;
+  float embed_scale = 1.0f;
+
+  std::vector<detail::PackedDecoderLayer> packed;
+  detail::PackedLin out_proj;
+
+  // One admitted request. `t` is the lane's OWN step counter: a lane
+  // admitted mid-stream runs behind older lanes, each row seeing its own
+  // positional encoding, cache offset, and KV length -- which is what lets
+  // one wave mix lanes of different ages.
+  struct Lane {
+    TicketId id = 0;
+    int t = 0;
+    int src_len = 0;
+    int eos = 0;
+    int max_len = 0;
+    int beam_width = 1;
+    std::shared_ptr<const SourceCrossKV> cross;
+    std::vector<detail::BatchHyp> beam;
+  };
+  std::vector<Lane> lanes;
+  TicketId next_id = 1;
+
+  // Wave scratch: one row per live hypothesis across all lanes, reused
+  // across steps.
+  std::vector<float> x, normed, q, attn, proj, krows, vrows, hidden, logits;
+  struct RowSpan {
+    std::size_t lane;  // index into lanes
+    int m0, m1;        // contiguous row range of its live hypotheses
+  };
+  std::vector<RowSpan> spans;
+  std::vector<detail::BatchHyp*> row_hyp;  // row -> stepping hypothesis
+  std::vector<const float*> ks, vs;        // row -> self K/V cache base
+  std::vector<int> kv_lens;                // row -> its lane's t + 1
+  std::vector<int> row_t;                  // row -> its lane's t
+
+  explicit Impl(const Transformer& m) : model(&m) {
+    const auto& cfg = m.config();
+    d = cfg.d_model;
+    heads = cfg.heads;
+    vocab = cfg.vocab_size;
+    layers = m.decoder_layers().size();
+    ffn_dim = layers == 0 ? 0 : m.decoder_layers()[0].ffn.up.w.dim(1);
+    embed_scale = std::sqrt(static_cast<float>(d));
+
+    const bool int8_mode = decode_int8_enabled();
+    packed.resize(layers);
+    for (std::size_t li = 0; li < layers; ++li) {
+      const auto& layer = m.decoder_layers()[li];
+      packed[li].self_q = detail::pack_lin(layer.self_attn.wq, int8_mode);
+      packed[li].self_k = detail::pack_lin(layer.self_attn.wk, int8_mode);
+      packed[li].self_v = detail::pack_lin(layer.self_attn.wv, int8_mode);
+      packed[li].self_o = detail::pack_lin(layer.self_attn.wo, int8_mode);
+      packed[li].cross_q = detail::pack_lin(layer.cross_attn.wq, int8_mode);
+      packed[li].cross_o = detail::pack_lin(layer.cross_attn.wo, int8_mode);
+      packed[li].up = detail::pack_lin(layer.ffn.up, int8_mode);
+      packed[li].down = detail::pack_lin(layer.ffn.down, int8_mode);
+    }
+    out_proj = detail::pack_lin(m.output_projection(), int8_mode);
+  }
+
+  bool lane_exhausted(const Lane& lane) const {
+    if (lane.t >= lane.max_len) return true;
+    for (const auto& hyp : lane.beam) {
+      if (!hyp.finished) return false;
+    }
+    return true;
+  }
+
+  Finished finalize(const Lane& lane) const {
+    const detail::BatchHyp* best = &lane.beam.front();
+    for (const auto& hyp : lane.beam) {
+      if (hyp.score() > best->score()) best = &hyp;
+    }
+    Finished fin;
+    fin.id = lane.id;
+    fin.result.tokens = best->tokens;
+    fin.result.log_prob = best->log_prob;
+    return fin;
+  }
+
+  // Delivers and removes every exhausted lane (max_len reached or every
+  // hypothesis finished), compacting the lane list in admission order.
+  void reap(std::vector<Finished>& out) {
+    std::size_t w = 0;
+    for (std::size_t li = 0; li < lanes.size(); ++li) {
+      if (lane_exhausted(lanes[li])) {
+        out.push_back(finalize(lanes[li]));
+      } else {
+        if (w != li) lanes[w] = std::move(lanes[li]);
+        ++w;
+      }
+    }
+    lanes.resize(w);
+  }
+};
+
+DecodeStream::DecodeStream(const Transformer& model)
+    : impl_(std::make_unique<Impl>(model)) {}
+
+DecodeStream::~DecodeStream() = default;
+
+std::size_t DecodeStream::live() const { return impl_->lanes.size(); }
+
+const Transformer& DecodeStream::model() const { return *impl_->model; }
+
+std::vector<DecodeStream::TicketId> DecodeStream::submit(
+    const std::vector<DecodeRequest>& requests) {
+  Impl& im = *impl_;
+  std::vector<TicketId> ids(requests.size());
+  if (requests.empty()) return ids;
+  std::vector<const std::vector<int>*> sources(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    MR_CHECK(requests[i].beam_width >= 1, "beam width must be >= 1");
+    sources[i] = &requests[i].src_ids;
+  }
+  const auto crosses =
+      precompute_cross_kv_batch(*im.model, sources, encode_batch_enabled());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const DecodeRequest& req = requests[i];
+    Impl::Lane lane;
+    lane.id = im.next_id++;
+    lane.src_len = static_cast<int>(req.src_ids.size());
+    lane.eos = req.eos;
+    lane.max_len = req.max_len;
+    lane.beam_width = req.beam_width;
+    lane.cross = crosses[i];
+    detail::BatchHyp root;
+    root.cache = std::make_shared<detail::LaneCache>();
+    root.cache->k.resize(im.layers);
+    root.cache->v.resize(im.layers);
+    root.next_input = req.sos;
+    lane.beam.push_back(std::move(root));
+    ids[i] = lane.id;
+    im.lanes.push_back(std::move(lane));
+  }
+  return ids;
+}
+
+std::vector<DecodeStream::Finished> DecodeStream::step() {
+  Impl& im = *impl_;
+  std::vector<Finished> out;
+  im.reap(out);  // lanes already exhausted at entry (e.g. max_len == 0)
+  if (im.lanes.empty()) return out;
+
+  const Transformer& model = *im.model;
+  const auto& cfg = model.config();
+  const int d = im.d;
+  const int heads = im.heads;
+  const int vocab = im.vocab;
+  const int ffn_dim = im.ffn_dim;
+  const std::size_t layers = im.layers;
+
+  // Gather this wave's rows, lane-major in admission order, beam order
+  // within a lane. Every surviving lane has at least one live hypothesis.
+  im.spans.clear();
+  im.row_hyp.clear();
+  im.row_t.clear();
+  for (std::size_t li = 0; li < im.lanes.size(); ++li) {
+    Impl::Lane& lane = im.lanes[li];
+    MR_CHECK(lane.t < cfg.max_len, "decode length exceeds max_len");
+    const int m0 = static_cast<int>(im.row_hyp.size());
+    for (auto& hyp : lane.beam) {
+      if (!hyp.finished) {
+        im.row_hyp.push_back(&hyp);
+        im.row_t.push_back(lane.t);
+      }
+    }
+    im.spans.push_back(Impl::RowSpan{li, m0,
+                                     static_cast<int>(im.row_hyp.size())});
+  }
+  const int rows = static_cast<int>(im.row_hyp.size());
+
+  const std::size_t rd = static_cast<std::size_t>(rows) * d;
+  im.x.resize(rd);
+  im.normed.resize(rd);
+  im.q.resize(rd);
+  im.attn.resize(rd);
+  im.proj.resize(rd);
+  im.krows.resize(rd);
+  im.vrows.resize(rd);
+  im.hidden.resize(static_cast<std::size_t>(rows) * ffn_dim);
+  im.logits.resize(static_cast<std::size_t>(rows) * vocab);
+  im.ks.resize(static_cast<std::size_t>(rows));
+  im.vs.resize(static_cast<std::size_t>(rows));
+  im.kv_lens.resize(static_cast<std::size_t>(rows));
+  for (int m = 0; m < rows; ++m) {
+    im.kv_lens[static_cast<std::size_t>(m)] =
+        im.row_t[static_cast<std::size_t>(m)] + 1;
+  }
+
+  // Embedding + per-lane positional encoding, and copy-on-write unsharing:
+  // a cache still shared with a sibling fork is cloned before this wave
+  // appends.
+  for (const Impl::RowSpan& span : im.spans) {
+    const auto& pos = model.positional_row(im.lanes[span.lane].t);
+    for (int m = span.m0; m < span.m1; ++m) {
+      detail::BatchHyp& hyp = *im.row_hyp[static_cast<std::size_t>(m)];
+      const int token = hyp.next_input;
+      MR_CHECK(token >= 0 && token < vocab, "token id out of range");
+      const float* erow = model.token_embedding().value().data() +
+                          static_cast<std::size_t>(token) * d;
+      float* xrow = im.x.data() + static_cast<std::size_t>(m) * d;
+      for (int i = 0; i < d; ++i) {
+        xrow[i] = erow[i] * im.embed_scale + pos[static_cast<std::size_t>(i)];
+      }
+      if (hyp.cache.use_count() > 1) {
+        hyp.cache = std::make_shared<detail::LaneCache>(*hyp.cache);
+      }
+    }
+  }
+
+  for (std::size_t li = 0; li < layers; ++li) {
+    const auto& layer = model.decoder_layers()[li];
+
+    // Causal self-attention: one GEMM per projection over all rows, then
+    // per-row ragged attention over each hypothesis's own cache (whose
+    // length is its LANE's t, not anyone else's).
+    decode_step::layer_norm_rows(im.x.data(), layer.ln1, rows, d,
+                                 im.normed.data());
+    im.packed[li].self_q.run(im.normed.data(), rows, im.q.data());
+    im.packed[li].self_k.run(im.normed.data(), rows, im.krows.data());
+    im.packed[li].self_v.run(im.normed.data(), rows, im.vrows.data());
+    for (int m = 0; m < rows; ++m) {
+      detail::LaneCache& cache = *im.row_hyp[static_cast<std::size_t>(m)]->cache;
+      const std::size_t cache_off =
+          static_cast<std::size_t>(im.row_t[static_cast<std::size_t>(m)]) * d;
+      grow(cache.k[li], cache_off + static_cast<std::size_t>(d));
+      grow(cache.v[li], cache_off + static_cast<std::size_t>(d));
+      std::memcpy(cache.k[li].data() + cache_off,
+                  im.krows.data() + static_cast<std::size_t>(m) * d,
+                  sizeof(float) * static_cast<std::size_t>(d));
+      std::memcpy(cache.v[li].data() + cache_off,
+                  im.vrows.data() + static_cast<std::size_t>(m) * d,
+                  sizeof(float) * static_cast<std::size_t>(d));
+      im.ks[static_cast<std::size_t>(m)] = cache.k[li].data();
+      im.vs[static_cast<std::size_t>(m)] = cache.v[li].data();
+    }
+    decode_step::attention_ragged(im.q.data(), rows, d, heads, im.ks.data(),
+                                  im.vs.data(), im.kv_lens.data(),
+                                  im.attn.data());
+    im.packed[li].self_o.run(im.attn.data(), rows, im.proj.data());
+    for (std::size_t i = 0; i < rd; ++i) im.x[i] += im.proj[i];
+
+    // Cross attention: each lane's contiguous row block attends over its
+    // shared encoder K/V panel via per-head GEMMs.
+    decode_step::layer_norm_rows(im.x.data(), layer.ln2, rows, d,
+                                 im.normed.data());
+    im.packed[li].cross_q.run(im.normed.data(), rows, im.q.data());
+    for (const Impl::RowSpan& span : im.spans) {
+      const Impl::Lane& lane = im.lanes[span.lane];
+      const auto& cross = lane.cross->layers[li];
+      decode_step::attention_shared(
+          im.q.data() + static_cast<std::size_t>(span.m0) * d,
+          span.m1 - span.m0, d, heads, cross.kt.data(), cross.v.data(),
+          lane.src_len, im.attn.data() + static_cast<std::size_t>(span.m0) * d);
+    }
+    im.packed[li].cross_o.run(im.attn.data(), rows, im.proj.data());
+    for (std::size_t i = 0; i < rd; ++i) im.x[i] += im.proj[i];
+
+    // Feed-forward.
+    decode_step::layer_norm_rows(im.x.data(), layer.ln3, rows, d,
+                                 im.normed.data());
+    im.packed[li].up.run(im.normed.data(), rows, im.hidden.data());
+    decode_step::gelu_rows(im.hidden.data(),
+                           static_cast<std::size_t>(rows) * ffn_dim);
+    im.packed[li].down.run(im.hidden.data(), rows, im.proj.data());
+    for (std::size_t i = 0; i < rd; ++i) im.x[i] += im.proj[i];
+  }
+
+  decode_step::layer_norm_rows(im.x.data(), model.decoder_final_ln(), rows, d,
+                               im.normed.data());
+  im.out_proj.run(im.normed.data(), rows, im.logits.data());
+
+  // Per-lane beam bookkeeping, mirroring the reference path's candidate
+  // order, scoring, and tie-breaking exactly.
+  for (const Impl::RowSpan& span : im.spans) {
+    Impl::Lane& lane = im.lanes[span.lane];
+    if (lane.beam_width == 1) {
+      detail::BatchHyp& hyp = lane.beam.front();
+      float* row = im.logits.data() +
+                   static_cast<std::size_t>(span.m0) * vocab;
+      int best = 0;
+      for (int j = 1; j < vocab; ++j) {
+        if (row[j] > row[best]) best = j;
+      }
+      if (best == lane.eos) {
+        hyp.finished = true;
+        hyp.cache.reset();
+      } else {
+        log_softmax_row(row, vocab);  // row is wave scratch, safe to clobber
+        hyp.log_prob += static_cast<double>(row[best]);
+        hyp.tokens.push_back(best);
+        hyp.next_input = best;
+      }
+      ++lane.t;
+      continue;
+    }
+
+    std::vector<detail::BatchHyp> candidates;
+    int row_cursor = span.m0;
+    for (auto& hyp : lane.beam) {
+      if (hyp.finished) {
+        candidates.push_back(hyp);
+        continue;
+      }
+      float* row = im.logits.data() +
+                   static_cast<std::size_t>(row_cursor++) * vocab;
+      log_softmax_row(row, vocab);
+
+      std::vector<int> order(static_cast<std::size_t>(vocab));
+      for (std::size_t j = 0; j < order.size(); ++j) {
+        order[j] = static_cast<int>(j);
+      }
+      std::partial_sort(order.begin(),
+                        order.begin() +
+                            std::min<std::size_t>(
+                                order.size(),
+                                static_cast<std::size_t>(lane.beam_width)),
+                        order.end(), [&](int a, int b) {
+                          return row[static_cast<std::size_t>(a)] >
+                                 row[static_cast<std::size_t>(b)];
+                        });
+      for (int c = 0; c < lane.beam_width && c < vocab; ++c) {
+        const int tok = order[static_cast<std::size_t>(c)];
+        detail::BatchHyp next;
+        next.tokens = hyp.tokens;
+        next.log_prob =
+            hyp.log_prob +
+            static_cast<double>(row[static_cast<std::size_t>(tok)]);
+        if (tok == lane.eos) {
+          next.finished = true;  // drops the cache reference
+        } else {
+          next.cache = hyp.cache;  // shared; next wave's append unshares
+          next.tokens.push_back(tok);
+          next.next_input = tok;
+        }
+        candidates.push_back(std::move(next));
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const detail::BatchHyp& a, const detail::BatchHyp& b) {
+                return a.score() > b.score();
+              });
+    if (candidates.size() > static_cast<std::size_t>(lane.beam_width)) {
+      candidates.resize(static_cast<std::size_t>(lane.beam_width));
+    }
+    lane.beam = std::move(candidates);
+    ++lane.t;
+  }
+
+  im.reap(out);  // lanes that finished this step deliver immediately
+  return out;
+}
+
 std::vector<DecodeResult> decode_batch(const Transformer& model,
                                        const std::vector<DecodeRequest>& requests,
                                        DecodeBatchStats* stats) {
@@ -592,310 +1004,22 @@ std::vector<DecodeResult> decode_batch(const Transformer& model,
     return results;
   }
 
-  const auto& cfg = model.config();
-  const int d = cfg.d_model;
-  const int heads = cfg.heads;
-  const int vocab = cfg.vocab_size;
-  const std::size_t layers = model.decoder_layers().size();
-  const int ffn_dim = layers == 0
-                          ? 0
-                          : model.decoder_layers()[0].ffn.up.w.dim(1);
-  const float embed_scale = std::sqrt(static_cast<float>(d));
-
-  // Encode the whole wave's sources (one padded batched pass by default) and
-  // hand each request its cross-attention K/V.
+  // The batched engine IS a one-shot stream: construct (packs the stepped
+  // weight panels -- outside both stat timers), submit everything as one
+  // group, step to idle. The serve daemon steps the same engine
+  // continuously, admitting mid-stream.
+  DecodeStream stream(model);
   Timer encode_timer;
-  std::vector<const std::vector<int>*> sources(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    sources[i] = &requests[i].src_ids;
-  }
-  const auto crosses =
-      precompute_cross_kv_batch(model, sources, encode_batch_enabled());
-  std::vector<RequestState> states(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const DecodeRequest& req = requests[i];
-    MR_CHECK(req.beam_width >= 1, "beam width must be >= 1");
-    auto& st = states[i];
-    st.src_len = static_cast<int>(req.src_ids.size());
-    st.cross = crosses[i];
-    BatchHyp root;
-    root.cache = std::make_shared<LaneCache>();
-    root.cache->k.resize(layers);
-    root.cache->v.resize(layers);
-    root.next_input = req.sos;
-    st.beam.push_back(std::move(root));
-  }
+  const std::vector<DecodeStream::TicketId> ids = stream.submit(requests);
   if (stats) stats->encode_seconds = encode_timer.seconds();
   Timer decode_timer;
-
-  // Pack every wave-stepped weight panel once: the step loop multiplies the
-  // same matrices up to max_len times, and for beam-sized row counts the
-  // per-call packing inside gemm_acc costs more traffic than the products.
-  // Results are bit-identical to the unpacked calls (packing never changes
-  // an element's k-step order; sub-threshold shapes take the same naive
-  // fallback through the retained raw pointers).
-  using tensor::kernels::pack_b_panels;
-  using tensor::kernels::PackedPanelB;
-  using tensor::kernels::PackedPanelBI8;
-  using tensor::kernels::Trans;
-  // Quantized-weights mode (MPIRICAL_DECODE_INT8, re-read per wave): the
-  // stepped panels pack as int8 instead -- zero-copy from a quantized
-  // snapshot's q8 views when present, else quantized here at pack time. The
-  // f32 packing stays the oracle path.
-  const bool int8_mode = decode_int8_enabled();
-  struct PackedLin {
-    PackedPanelB f32;
-    PackedPanelBI8 i8;
-    const float* bias = nullptr;
-    bool quant = false;
-    void run(const float* x, int rows, float* out) const {
-      if (quant) {
-        decode_step::linear_rows(x, i8, bias, rows, out);
-      } else {
-        decode_step::linear_rows(x, f32, bias, rows, out);
-      }
+  std::unordered_map<DecodeStream::TicketId, std::size_t> slot;
+  slot.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) slot.emplace(ids[i], i);
+  while (!stream.idle()) {
+    for (auto& fin : stream.step()) {
+      results[slot.at(fin.id)] = std::move(fin.result);
     }
-  };
-  auto pack_lin = [int8_mode](const Linear& lin) {
-    PackedLin p;
-    p.bias = lin.b.value().data();
-    p.quant = int8_mode;
-    if (int8_mode) {
-      p.i8 = pack_linear_i8(lin);
-    } else {
-      p.f32 = pack_b_panels(Trans::N, lin.w.dim(1), lin.w.dim(0),
-                            lin.w.value().data(), lin.w.dim(1));
-    }
-    return p;
-  };
-  struct PackedDecoderLayer {
-    PackedLin self_q, self_k, self_v, self_o;
-    PackedLin cross_q, cross_o;
-    PackedLin up, down;
-  };
-  std::vector<PackedDecoderLayer> packed(layers);
-  for (std::size_t li = 0; li < layers; ++li) {
-    const auto& layer = model.decoder_layers()[li];
-    packed[li].self_q = pack_lin(layer.self_attn.wq);
-    packed[li].self_k = pack_lin(layer.self_attn.wk);
-    packed[li].self_v = pack_lin(layer.self_attn.wv);
-    packed[li].self_o = pack_lin(layer.self_attn.wo);
-    packed[li].cross_q = pack_lin(layer.cross_attn.wq);
-    packed[li].cross_o = pack_lin(layer.cross_attn.wo);
-    packed[li].up = pack_lin(layer.ffn.up);
-    packed[li].down = pack_lin(layer.ffn.down);
-  }
-  const PackedLin out_proj_packed = pack_lin(model.output_projection());
-
-  // Wave scratch: one row per live hypothesis across all requests.
-  std::vector<float> x, normed, q, attn, proj, krows, vrows, hidden, logits;
-  struct RowSpan {
-    std::size_t req;  // request index
-    int m0, m1;       // contiguous row range of its live hypotheses
-  };
-  std::vector<RowSpan> spans;
-  std::vector<BatchHyp*> row_hyp;           // row -> stepping hypothesis
-  std::vector<const float*> ks, vs;         // row -> self K/V cache base
-  std::vector<int> kv_lens;
-
-  for (int t = 0;; ++t) {
-    // Gather this wave's rows, request-major, beam order within a request.
-    spans.clear();
-    row_hyp.clear();
-    for (std::size_t ri = 0; ri < requests.size(); ++ri) {
-      auto& st = states[ri];
-      if (st.done) continue;
-      if (t >= requests[ri].max_len) {
-        st.done = true;
-        continue;
-      }
-      const int m0 = static_cast<int>(row_hyp.size());
-      for (auto& hyp : st.beam) {
-        if (!hyp.finished) row_hyp.push_back(&hyp);
-      }
-      const int m1 = static_cast<int>(row_hyp.size());
-      if (m0 == m1) {
-        st.done = true;  // every hypothesis finished
-        continue;
-      }
-      spans.push_back(RowSpan{ri, m0, m1});
-    }
-    const int rows = static_cast<int>(row_hyp.size());
-    if (rows == 0) break;
-    MR_CHECK(t < cfg.max_len, "decode length exceeds max_len");
-
-    const std::size_t rd = static_cast<std::size_t>(rows) * d;
-    x.resize(rd);
-    normed.resize(rd);
-    q.resize(rd);
-    attn.resize(rd);
-    proj.resize(rd);
-    krows.resize(rd);
-    vrows.resize(rd);
-    hidden.resize(static_cast<std::size_t>(rows) * ffn_dim);
-    logits.resize(static_cast<std::size_t>(rows) * vocab);
-    ks.resize(static_cast<std::size_t>(rows));
-    vs.resize(static_cast<std::size_t>(rows));
-    kv_lens.assign(static_cast<std::size_t>(rows), t + 1);
-
-    // Embedding + positional encoding, and copy-on-write unsharing: a cache
-    // still shared with a sibling fork is cloned before this wave appends.
-    const auto& pos = model.positional_row(t);
-    for (int m = 0; m < rows; ++m) {
-      BatchHyp& hyp = *row_hyp[static_cast<std::size_t>(m)];
-      const int token = hyp.next_input;
-      MR_CHECK(token >= 0 && token < vocab, "token id out of range");
-      const float* erow = model.token_embedding().value().data() +
-                          static_cast<std::size_t>(token) * d;
-      float* xrow = x.data() + static_cast<std::size_t>(m) * d;
-      for (int i = 0; i < d; ++i) {
-        xrow[i] = erow[i] * embed_scale + pos[static_cast<std::size_t>(i)];
-      }
-      if (hyp.cache.use_count() > 1) {
-        hyp.cache = std::make_shared<LaneCache>(*hyp.cache);
-      }
-    }
-
-    for (std::size_t li = 0; li < layers; ++li) {
-      const auto& layer = model.decoder_layers()[li];
-
-      // Causal self-attention: one GEMM per projection over all rows, then
-      // per-row ragged attention over each hypothesis's own cache.
-      decode_step::layer_norm_rows(x.data(), layer.ln1, rows, d, normed.data());
-      packed[li].self_q.run(normed.data(), rows, q.data());
-      packed[li].self_k.run(normed.data(), rows, krows.data());
-      packed[li].self_v.run(normed.data(), rows, vrows.data());
-      const std::size_t cache_off = static_cast<std::size_t>(t) * d;
-      for (int m = 0; m < rows; ++m) {
-        LaneCache& cache = *row_hyp[static_cast<std::size_t>(m)]->cache;
-        grow(cache.k[li], cache_off + static_cast<std::size_t>(d));
-        grow(cache.v[li], cache_off + static_cast<std::size_t>(d));
-        std::memcpy(cache.k[li].data() + cache_off,
-                    krows.data() + static_cast<std::size_t>(m) * d,
-                    sizeof(float) * static_cast<std::size_t>(d));
-        std::memcpy(cache.v[li].data() + cache_off,
-                    vrows.data() + static_cast<std::size_t>(m) * d,
-                    sizeof(float) * static_cast<std::size_t>(d));
-        ks[static_cast<std::size_t>(m)] = cache.k[li].data();
-        vs[static_cast<std::size_t>(m)] = cache.v[li].data();
-      }
-      decode_step::attention_ragged(q.data(), rows, d, heads, ks.data(),
-                                    vs.data(), kv_lens.data(), attn.data());
-      packed[li].self_o.run(attn.data(), rows, proj.data());
-      for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
-
-      // Cross attention: each request's contiguous row block attends over
-      // its shared encoder K/V panel via per-head GEMMs.
-      decode_step::layer_norm_rows(x.data(), layer.ln2, rows, d, normed.data());
-      packed[li].cross_q.run(normed.data(), rows, q.data());
-      for (const RowSpan& span : spans) {
-        const auto& cross = states[span.req].cross->layers[li];
-        decode_step::attention_shared(
-            q.data() + static_cast<std::size_t>(span.m0) * d, span.m1 - span.m0,
-            d, heads, cross.kt.data(), cross.v.data(), states[span.req].src_len,
-            attn.data() + static_cast<std::size_t>(span.m0) * d);
-      }
-      packed[li].cross_o.run(attn.data(), rows, proj.data());
-      for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
-
-      // Feed-forward.
-      decode_step::layer_norm_rows(x.data(), layer.ln3, rows, d, normed.data());
-      packed[li].up.run(normed.data(), rows, hidden.data());
-      decode_step::gelu_rows(hidden.data(),
-                             static_cast<std::size_t>(rows) * ffn_dim);
-      packed[li].down.run(hidden.data(), rows, proj.data());
-      for (std::size_t i = 0; i < rd; ++i) x[i] += proj[i];
-    }
-
-    decode_step::layer_norm_rows(x.data(), model.decoder_final_ln(), rows, d,
-                                 normed.data());
-    out_proj_packed.run(normed.data(), rows, logits.data());
-
-    // Per-request beam bookkeeping, mirroring the reference path's candidate
-    // order, scoring, and tie-breaking exactly.
-    for (const RowSpan& span : spans) {
-      auto& st = states[span.req];
-      const DecodeRequest& req = requests[span.req];
-      if (req.beam_width == 1) {
-        BatchHyp& hyp = st.beam.front();
-        float* row = logits.data() + static_cast<std::size_t>(span.m0) * vocab;
-        int best = 0;
-        for (int j = 1; j < vocab; ++j) {
-          if (row[j] > row[best]) best = j;
-        }
-        if (best == req.eos) {
-          hyp.finished = true;
-          hyp.cache.reset();
-          st.done = true;
-          continue;
-        }
-        log_softmax_row(row, vocab);  // row is wave scratch, safe to clobber
-        hyp.log_prob += static_cast<double>(row[best]);
-        hyp.tokens.push_back(best);
-        hyp.next_input = best;
-        continue;
-      }
-
-      std::vector<BatchHyp> candidates;
-      int row_cursor = span.m0;
-      for (auto& hyp : st.beam) {
-        if (hyp.finished) {
-          candidates.push_back(hyp);
-          continue;
-        }
-        float* row = logits.data() +
-                     static_cast<std::size_t>(row_cursor++) * vocab;
-        log_softmax_row(row, vocab);
-
-        std::vector<int> order(static_cast<std::size_t>(vocab));
-        for (std::size_t j = 0; j < order.size(); ++j) {
-          order[j] = static_cast<int>(j);
-        }
-        std::partial_sort(order.begin(),
-                          order.begin() +
-                              std::min<std::size_t>(
-                                  order.size(),
-                                  static_cast<std::size_t>(req.beam_width)),
-                          order.end(), [&](int a, int b) {
-                            return row[static_cast<std::size_t>(a)] >
-                                   row[static_cast<std::size_t>(b)];
-                          });
-        for (int c = 0; c < req.beam_width && c < vocab; ++c) {
-          const int tok = order[static_cast<std::size_t>(c)];
-          BatchHyp next;
-          next.tokens = hyp.tokens;
-          next.log_prob =
-              hyp.log_prob +
-              static_cast<double>(row[static_cast<std::size_t>(tok)]);
-          if (tok == req.eos) {
-            next.finished = true;  // drops the cache reference
-          } else {
-            next.cache = hyp.cache;  // shared; next wave's append unshares
-            next.tokens.push_back(tok);
-            next.next_input = tok;
-          }
-          candidates.push_back(std::move(next));
-        }
-      }
-      std::sort(candidates.begin(), candidates.end(),
-                [](const BatchHyp& a, const BatchHyp& b) {
-                  return a.score() > b.score();
-                });
-      if (candidates.size() > static_cast<std::size_t>(req.beam_width)) {
-        candidates.resize(static_cast<std::size_t>(req.beam_width));
-      }
-      st.beam = std::move(candidates);
-    }
-  }
-
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const auto& beam = states[i].beam;
-    const BatchHyp* best = &beam.front();
-    for (const auto& hyp : beam) {
-      if (hyp.score() > best->score()) best = &hyp;
-    }
-    results[i].tokens = best->tokens;
-    results[i].log_prob = best->log_prob;
   }
   if (stats) stats->decode_seconds = decode_timer.seconds();
   return results;

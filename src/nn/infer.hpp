@@ -19,6 +19,7 @@
 // cache.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -138,6 +139,66 @@ std::vector<std::shared_ptr<const SourceCrossKV>> precompute_cross_kv_batch(
 struct DecodeBatchStats {
   double encode_seconds = 0.0;  // source encoding + cross-K/V precompute
   double decode_seconds = 0.0;  // wave stepping + beam bookkeeping
+};
+
+// ---- continuous decode stream -----------------------------------------------
+
+/// The batched decode engine as a long-lived object: weights are packed once
+/// at construction, then requests JOIN the running wave at any step boundary
+/// (submit) and LEAVE as they finish (step's return) -- no per-wave barrier.
+/// This is what the serve daemon steps continuously; decode_batch is a thin
+/// wrapper around it (construct, submit once, step to idle).
+///
+/// Token identity across wave compositions is DETERMINISTIC, not
+/// statistical: every full-wave f32 projection routes through
+/// decode_step::linear_rows_rowstable (the int8 panels are rowstable by
+/// construction), every other step op is per-row or per-request-span, and
+/// the batched encoder is padding-invariant -- so a request's decoded tokens
+/// and log-prob BITS are independent of which other requests share its
+/// waves. Any arrival order reproduces decode_batch's results exactly
+/// (tests/test_serve_equivalence.cpp is the differential harness).
+///
+/// Not thread-safe: one thread owns a stream (the serve daemon dedicates an
+/// engine thread; other threads hand it requests through the scheduler).
+class DecodeStream {
+ public:
+  /// Identifies one submitted request across submit()/step().
+  using TicketId = std::uint64_t;
+
+  struct Finished {
+    TicketId id = 0;
+    DecodeResult result;
+  };
+
+  /// Packs every wave-stepped weight panel (f32, or int8 when
+  /// MPIRICAL_DECODE_INT8 is set -- read once here, not per wave). The model
+  /// must outlive the stream.
+  explicit DecodeStream(const Transformer& model);
+  ~DecodeStream();
+  DecodeStream(const DecodeStream&) = delete;
+  DecodeStream& operator=(const DecodeStream&) = delete;
+
+  /// Admits a group of requests; they start stepping at the next step()
+  /// call. The group's sources are encoded through one padded batched
+  /// encoder pass (per-source oracle when MPIRICAL_ENCODE_BATCH=0) --
+  /// padding invariance makes the resulting cross-K/V bitwise independent
+  /// of the grouping. Returns one ticket per request, in request order.
+  std::vector<TicketId> submit(const std::vector<DecodeRequest>& requests);
+
+  /// Advances every live request by one token position and returns the
+  /// requests that finished (eos / beam exhaustion / max_len), in admission
+  /// order within the step. Safe to call when idle (returns empty).
+  std::vector<Finished> step();
+
+  /// Requests admitted but not yet returned by step().
+  std::size_t live() const;
+  bool idle() const { return live() == 0; }
+
+  const Transformer& model() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Decodes all requests in lockstep GEMM waves. Token-for-token equivalent

@@ -561,6 +561,18 @@ void linear_rows(const float* x, const tensor::kernels::PackedPanelB& w,
                                    out, n);
 }
 
+void linear_rows_rowstable(const float* x,
+                           const tensor::kernels::PackedPanelB& w,
+                           const float* bias, int rows, float* out) {
+  const int n = w.n;
+  for (int r = 0; r < rows; ++r) {
+    std::memcpy(out + static_cast<std::size_t>(r) * n, bias,
+                sizeof(float) * static_cast<std::size_t>(n));
+  }
+  tensor::kernels::gemm_acc_packed_rowstable(tensor::kernels::Trans::N, rows,
+                                             x, w.k, w, out, n);
+}
+
 void linear_rows(const float* x, const tensor::kernels::PackedPanelBI8& w,
                  const float* bias, int rows, float* out) {
   const int n = w.n;

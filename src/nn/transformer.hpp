@@ -224,6 +224,20 @@ void linear_rows(const float* x, const Linear& lin, int rows, float* out);
 void linear_rows(const float* x, const tensor::kernels::PackedPanelB& w,
                  const float* bias, int rows, float* out);
 
+/// The packed f32 product, but ROWSTABLE: routed through
+/// gemm_acc_packed_rowstable, so out row r's bits depend only on x row r,
+/// the panel, and the bias -- never on `rows`. This is what the decode
+/// engine steps through: with every step projection rowstable, a request's
+/// decoded tokens are bitwise independent of which other requests share its
+/// waves, which is what lets the serve path admit requests into a RUNNING
+/// wave and still match translate_batch token-for-token (the
+/// test_serve_equivalence differential). Bit-identical to the plain packed
+/// overload above the kernel's small-problem threshold; below it the plain
+/// overload takes the naive fallback while this stays blocked.
+void linear_rows_rowstable(const float* x,
+                           const tensor::kernels::PackedPanelB& w,
+                           const float* bias, int rows, float* out);
+
 /// Int8-weights sibling: the same once-per-wave packed product against an
 /// int8 panel (pack_linear_i8). Rowstable like the kernel beneath it -- a
 /// row's bits never depend on the wave's other rows -- but NOT bit-identical

@@ -1,0 +1,80 @@
+#include "serve/client.hpp"
+
+#include "support/check.hpp"
+
+namespace mpirical::serve {
+
+using shard::FrameType;
+
+Client::Client(const std::string& socket_path, int connect_timeout_ms)
+    : transport_(shard::unix_connect(socket_path, connect_timeout_ms)) {}
+
+std::uint64_t Client::send(const std::string& input_code,
+                           const std::string& input_xsbt, int beam_width) {
+  shard::TranslateWireRequest req;
+  req.id = next_id_++;
+  req.input_code = input_code;
+  req.input_xsbt = input_xsbt;
+  req.beam_width = beam_width < 1 ? 1 : beam_width;
+  const bool sent = transport_.send(shard::encode_frame(
+      FrameType::kTranslateRequest, shard::encode_translate_request(req)));
+  MR_CHECK(sent, "serve daemon is gone (send failed)");
+  return req.id;
+}
+
+std::optional<shard::TranslateWireResult> Client::recv() {
+  for (;;) {
+    if (auto frame = parser_.next()) {
+      MR_CHECK(frame->type == FrameType::kTranslateResult,
+               "unexpected frame type from serve daemon");
+      return shard::decode_translate_result(frame->payload);
+    }
+    const std::string bytes = transport_.recv_some();
+    if (bytes.empty()) {
+      MR_CHECK(!parser_.has_partial(),
+               "serve stream truncated mid-frame (daemon died?)");
+      return std::nullopt;
+    }
+    parser_.feed(bytes.data(), bytes.size());
+  }
+}
+
+void Client::finish() { transport_.close(); }
+
+void Client::send_shutdown() {
+  transport_.send(shard::encode_frame(FrameType::kServeShutdown, ""));
+}
+
+std::vector<std::string> Client::translate_batch(
+    const std::vector<core::MpiRical::TranslateRequest>& inputs,
+    int beam_width) {
+  std::vector<std::uint64_t> ids(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ids[i] = send(inputs[i].input_code, inputs[i].input_xsbt, beam_width);
+  }
+  finish();
+  std::vector<std::string> out(inputs.size());
+  std::vector<bool> got(inputs.size(), false);
+  std::size_t remaining = inputs.size();
+  while (remaining > 0) {
+    auto res = recv();
+    MR_CHECK(res.has_value(), "serve daemon closed before delivering all "
+                              "results");
+    // Results arrive in completion order; ids restore input order.
+    std::size_t slot = inputs.size();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == res->id) {
+        slot = i;
+        break;
+      }
+    }
+    MR_CHECK(slot < inputs.size() && !got[slot],
+             "serve daemon returned an unknown or duplicate result id");
+    got[slot] = true;
+    out[slot] = std::move(res->output_code);
+    --remaining;
+  }
+  return out;
+}
+
+}  // namespace mpirical::serve

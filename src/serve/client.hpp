@@ -1,0 +1,60 @@
+// Client side of the serve protocol: pipelined requests over one
+// Unix-domain connection.
+//
+// send() never waits for results, so a client can keep the daemon's decode
+// wave full; results come back in COMPLETION order (continuous batching
+// finishes short programs early) carrying the client-chosen request id.
+// translate_batch() is the order-restoring convenience wrapper the tests
+// and bench build on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "shard/protocol.hpp"
+#include "shard/transport.hpp"
+
+namespace mpirical::serve {
+
+/// Not thread-safe; use one Client per thread (connections are cheap).
+class Client {
+ public:
+  /// Connects to the daemon at `socket_path`, waiting up to
+  /// `connect_timeout_ms` for it to finish booting (snapshot load).
+  explicit Client(const std::string& socket_path,
+                  int connect_timeout_ms = 30000);
+
+  /// Pipelines one request; returns the id its result will carry.
+  std::uint64_t send(const std::string& input_code,
+                     const std::string& input_xsbt, int beam_width = 1);
+
+  /// Next result in completion order. nullopt once the daemon has closed
+  /// the stream (all results after a finish() were delivered, or the daemon
+  /// shut down / aborted the connection). Throws Error on a corrupt or
+  /// mid-frame-truncated stream.
+  std::optional<shard::TranslateWireResult> recv();
+
+  /// Half-close: no more requests. The daemon finishes this connection's
+  /// in-flight work, delivers the results, then EOF follows.
+  void finish();
+
+  /// Asks the daemon to stop admitting, drain every live request, and exit.
+  void send_shutdown();
+
+  /// Convenience: pipelines all inputs, half-closes, and drains the
+  /// results back into INPUT order. Token-identical to
+  /// MpiRical::translate_batch on the served model for any arrival order.
+  std::vector<std::string> translate_batch(
+      const std::vector<core::MpiRical::TranslateRequest>& inputs,
+      int beam_width = 1);
+
+ private:
+  shard::SocketTransport transport_;
+  shard::FrameParser parser_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mpirical::serve

@@ -1,0 +1,62 @@
+#include "serve/daemon.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "core/world_snapshot.hpp"
+#include "support/check.hpp"
+#include "support/env.hpp"
+#include "support/process.hpp"
+
+namespace mpirical::serve {
+
+ServerStats run_daemon(const DaemonOptions& options) {
+  support::ignore_sigpipe();
+  MR_CHECK(!options.snapshot_path.empty(), "daemon needs a snapshot path");
+  core::World world = core::load_world_snapshot(options.snapshot_path);
+  ServerOptions server_options;
+  server_options.socket_path = options.socket_path;
+  server_options.max_wave = options.max_wave;
+  server_options.barrier_mode = options.barrier_mode;
+  Server server(world.model, server_options);
+  server.run();
+  return server.stats();
+}
+
+void maybe_run_serve_daemon() {
+  const char* role = std::getenv("MPIRICAL_SERVE_ROLE");
+  if (role == nullptr || std::string(role) != "daemon") return;
+  const char* snapshot = std::getenv("MPIRICAL_SERVE_SNAPSHOT");
+  const char* socket = std::getenv("MPIRICAL_SERVE_SOCKET");
+  int code = 0;
+  try {
+    MR_CHECK(snapshot != nullptr && socket != nullptr,
+             "daemon role needs MPIRICAL_SERVE_SNAPSHOT and "
+             "MPIRICAL_SERVE_SOCKET");
+    DaemonOptions options;
+    options.snapshot_path = snapshot;
+    options.socket_path = socket;
+    options.max_wave = static_cast<std::size_t>(
+        support::env_long("MPIRICAL_SERVE_WAVE", 0, 0, 4096));
+    options.barrier_mode =
+        support::env_long("MPIRICAL_SERVE_BARRIER", 0, 0, 1) != 0;
+    const ServerStats stats = run_daemon(options);
+    std::fprintf(stderr,
+                 "[mpirical_served] served=%llu joined_running_wave=%llu "
+                 "aborted_connections=%llu\n",
+                 static_cast<unsigned long long>(stats.served),
+                 static_cast<unsigned long long>(stats.joined_running_wave),
+                 static_cast<unsigned long long>(stats.aborted_connections));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[mpirical_served] fatal: %s\n", e.what());
+    code = 1;
+  }
+  // _exit, not exit: the parent binary's atexit hooks (bench harness state,
+  // gtest registries) belong to the client role, not to this forked daemon.
+  std::fflush(nullptr);
+  ::_exit(code);
+}
+
+}  // namespace mpirical::serve

@@ -1,0 +1,36 @@
+// Daemon entry points: load a world snapshot once, serve it until told to
+// stop.
+//
+// Shared by the standalone binary (tools/mpirical_served.cpp), the serve
+// bench's self-exec'd daemon role, and the fault/differential tests, so
+// every consumer boots the daemon the exact same way.
+#pragma once
+
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace mpirical::serve {
+
+struct DaemonOptions {
+  /// World snapshot to mmap (model weights stay zero-copy views into the
+  /// mapping for the daemon's lifetime). Eval- and dataset-shape snapshots
+  /// both work; only the model is served.
+  std::string snapshot_path;
+  std::string socket_path;
+  std::size_t max_wave = 0;   // 0 = shard::decode_wave_size()
+  bool barrier_mode = false;  // per-wave-barrier baseline (bench control)
+};
+
+/// Blocks serving until a client sends kServeShutdown; returns the final
+/// serving stats.
+ServerStats run_daemon(const DaemonOptions& options);
+
+/// Self-exec hook for binaries that re-exec themselves as the daemon (the
+/// serve bench and tests): when MPIRICAL_SERVE_ROLE=daemon, reads
+/// MPIRICAL_SERVE_SNAPSHOT / MPIRICAL_SERVE_SOCKET / MPIRICAL_SERVE_WAVE /
+/// MPIRICAL_SERVE_BARRIER, runs the daemon, and _exits -- it never returns.
+/// In any other role it returns immediately. Call first in main().
+void maybe_run_serve_daemon();
+
+}  // namespace mpirical::serve

@@ -1,0 +1,71 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mpirical::serve {
+
+Scheduler::Scheduler(std::size_t max_wave, bool barrier_mode)
+    : max_wave_(max_wave), barrier_mode_(barrier_mode) {
+  MR_CHECK(max_wave >= 1, "serve wave size must be >= 1");
+}
+
+bool Scheduler::enqueue(ServeJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+std::size_t Scheduler::cancel_connection(std::uint64_t conn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t before = queue_.size();
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [conn_id](const ServeJob& job) {
+                                return job.conn_id == conn_id;
+                              }),
+               queue_.end());
+  return before - queue_.size();
+}
+
+void Scheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Scheduler::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+std::vector<ServeJob> Scheduler::admit(std::size_t live) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<ServeJob> out;
+  if (live == 0) {
+    // Idle engine: sleep until work or shutdown (spinning here would burn a
+    // core between requests).
+    cv_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
+  } else if (barrier_mode_ || live >= max_wave_) {
+    return out;  // barrier: wave must drain first; continuous: wave is full
+  }
+  const std::size_t room = max_wave_ - std::min(live, max_wave_);
+  while (out.size() < room && !queue_.empty()) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+bool Scheduler::drained(std::size_t live) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_ && queue_.empty() && live == 0;
+}
+
+}  // namespace mpirical::serve

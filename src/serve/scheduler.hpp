@@ -1,0 +1,84 @@
+// Admission control between the serve daemon's connection readers and its
+// single decode-engine thread.
+//
+// Reader threads enqueue decoded TranslateWireRequests; the engine thread
+// calls admit() once per wave step to top its decode stream back up. The
+// CONTINUOUS policy (the tentpole): while lanes are mid-decode, admit()
+// never blocks -- it hands over up to (max_wave - live) queued requests so
+// new arrivals join the running wave at the next step boundary. The BARRIER
+// policy is the control the serve bench compares against: a new wave is
+// admitted only once the previous one fully drains, i.e. the per-wave
+// barrier translate_batch imposes.
+//
+// Shutdown drains: after shutdown(), new enqueues are refused but
+// everything already queued or decoding runs to completion; drained()
+// tells the engine when it may exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "shard/protocol.hpp"
+
+namespace mpirical::serve {
+
+/// One queued translate request, tagged with the connection that owes the
+/// result. `conn` is an opaque refcount the server threads share (the
+/// engine casts it back to its Connection type); the scheduler only keys
+/// cancellation on `conn_id`.
+struct ServeJob {
+  std::uint64_t conn_id = 0;
+  std::shared_ptr<void> conn;
+  shard::TranslateWireRequest request;
+};
+
+/// Thread-safe. One engine thread calls admit()/drained(); any number of
+/// reader threads call enqueue()/cancel_connection()/shutdown().
+class Scheduler {
+ public:
+  /// `max_wave` caps concurrently-decoding requests (KV-cache memory bound,
+  /// like translate_batch's wave size). `barrier_mode` selects the per-wave
+  /// barrier baseline instead of continuous refill.
+  Scheduler(std::size_t max_wave, bool barrier_mode);
+
+  /// Queues a request. Returns false once shutdown began -- the job is NOT
+  /// queued and the caller should abort its connection.
+  bool enqueue(ServeJob job);
+
+  /// Drops every queued (not yet admitted) job of a dead connection and
+  /// returns how many were dropped, so the caller can settle its in-flight
+  /// accounting. Jobs already decoding finish; the engine discards their
+  /// results.
+  std::size_t cancel_connection(std::uint64_t conn_id);
+
+  /// Refuses new enqueues from now on; queued work still runs. Wakes a
+  /// blocked admit().
+  void shutdown();
+
+  /// Engine thread: hands over the next admissible jobs given `live` lanes
+  /// currently decoding. Blocks only when the engine is idle (live == 0)
+  /// and nothing is queued; with lanes live it returns immediately (empty
+  /// in barrier mode, up to max_wave - live jobs in continuous mode) so the
+  /// engine keeps stepping.
+  std::vector<ServeJob> admit(std::size_t live);
+
+  /// True when the engine may exit: shutdown requested, queue empty, and
+  /// nothing live.
+  bool drained(std::size_t live) const;
+
+  bool shutting_down() const;
+
+ private:
+  const std::size_t max_wave_;
+  const bool barrier_mode_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ServeJob> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace mpirical::serve

@@ -1,0 +1,229 @@
+#include "serve/server.hpp"
+
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/stream.hpp"
+#include "serve/scheduler.hpp"
+#include "shard/partition.hpp"
+#include "shard/transport.hpp"
+#include "support/check.hpp"
+#include "support/process.hpp"
+
+namespace mpirical::serve {
+
+using shard::FrameType;
+
+/// One accepted client. The reader thread and the engine thread share it by
+/// shared_ptr (jobs carry the refcount), so it outlives whichever side
+/// finishes first.
+struct Server::Connection {
+  std::uint64_t id = 0;
+  shard::SocketTransport transport;
+  std::atomic<bool> dead{false};          // aborted: results are discarded
+  std::atomic<bool> eof{false};           // client half-closed cleanly
+  std::atomic<std::size_t> inflight{0};   // queued + decoding requests
+
+  Connection(std::uint64_t conn_id, int fd) : id(conn_id), transport(fd) {}
+
+  /// Half-close handshake: once the client has said "no more requests" and
+  /// every owed result went out, close our send side so the client's recv
+  /// drains to EOF. Reader and engine both call this after updating their
+  /// half of the condition, so whichever observes the final state closes
+  /// (SocketTransport::close is idempotent).
+  void maybe_finish() {
+    if (eof.load(std::memory_order_acquire) &&
+        inflight.load(std::memory_order_acquire) == 0) {
+      transport.close();
+    }
+  }
+};
+
+Server::Server(const core::MpiRical& model, ServerOptions options)
+    : model_(&model),
+      options_(std::move(options)),
+      scheduler_(options_.max_wave != 0 ? options_.max_wave
+                                        : shard::decode_wave_size(),
+                 options_.barrier_mode) {
+  MR_CHECK(!options_.socket_path.empty(), "serve socket path is empty");
+}
+
+Server::~Server() = default;
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.served = served_.load();
+  s.joined_running_wave = joined_running_wave_.load();
+  s.aborted_connections = aborted_connections_.load();
+  return s;
+}
+
+void Server::request_shutdown() {
+  scheduler_.shutdown();
+  // Unblock the accept loop; ::shutdown (not close) so the fd stays valid
+  // for run()'s final close whatever thread we race with.
+  const int fd = listen_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  shard::FrameParser parser;
+  bool abort = false;
+  for (;;) {
+    const std::string bytes = conn->transport.recv_some();
+    if (bytes.empty()) {
+      // EOF at a frame boundary is the clean "no more requests" half-close;
+      // EOF mid-frame is a client dying mid-request.
+      abort = parser.has_partial();
+      break;
+    }
+    bool stop = false;
+    try {
+      parser.feed(bytes.data(), bytes.size());
+      while (auto frame = parser.next()) {
+        if (frame->type == FrameType::kServeShutdown) {
+          request_shutdown();
+          continue;  // keep reading; the client half-closes when done
+        }
+        MR_CHECK(frame->type == FrameType::kTranslateRequest,
+                 "unexpected frame type on serve connection");
+        ServeJob job;
+        job.conn_id = conn->id;
+        job.conn = conn;
+        job.request = shard::decode_translate_request(frame->payload);
+        conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+        if (!scheduler_.enqueue(std::move(job))) {
+          // Shutting down: this request will never run, so cut the
+          // connection rather than leave the client waiting forever.
+          conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+          abort = true;
+          stop = true;
+          break;
+        }
+      }
+    } catch (const Error&) {
+      // Garbage frame (bad magic/type/length) or malformed payload: the
+      // stream is unrecoverable -- framing offers no resync point.
+      abort = true;
+      stop = true;
+    }
+    if (stop) break;
+  }
+  if (abort) {
+    conn->dead.store(true, std::memory_order_release);
+    const std::size_t cancelled = scheduler_.cancel_connection(conn->id);
+    conn->inflight.fetch_sub(cancelled, std::memory_order_acq_rel);
+    conn->transport.close();
+    aborted_connections_.fetch_add(1);
+  } else {
+    conn->eof.store(true, std::memory_order_release);
+    conn->maybe_finish();
+  }
+}
+
+void Server::engine_loop() {
+  core::TranslateStream stream(*model_);
+  struct Ticket {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t wire_id = 0;
+    bool joined = false;
+  };
+  std::unordered_map<core::TranslateStream::TicketId, Ticket> tickets;
+
+  for (;;) {
+    const std::size_t live = stream.live();
+    if (scheduler_.drained(live)) break;
+
+    // Top the wave back up: new requests join at this step boundary while
+    // older lanes keep their positions (continuous batching). In barrier
+    // mode this returns nothing until the wave drains.
+    std::vector<ServeJob> jobs = scheduler_.admit(live);
+    if (!jobs.empty()) {
+      const bool joined = live > 0;
+      std::vector<core::MpiRical::TranslateRequest> inputs(jobs.size());
+      std::vector<int> widths(jobs.size());
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        inputs[i].input_code = std::move(jobs[i].request.input_code);
+        inputs[i].input_xsbt = std::move(jobs[i].request.input_xsbt);
+        widths[i] = jobs[i].request.beam_width;
+      }
+      const auto ids = stream.submit(inputs, widths);
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        Ticket ticket;
+        ticket.conn = std::static_pointer_cast<Connection>(jobs[i].conn);
+        ticket.wire_id = jobs[i].request.id;
+        ticket.joined = joined;
+        tickets.emplace(ids[i], std::move(ticket));
+      }
+      if (joined) joined_running_wave_.fetch_add(jobs.size());
+    }
+    if (stream.idle()) continue;  // woken empty (shutdown); recheck drained
+
+    for (auto& fin : stream.step()) {
+      const auto it = tickets.find(fin.id);
+      MR_ASSERT(it != tickets.end());
+      Ticket& ticket = it->second;
+      if (!ticket.conn->dead.load(std::memory_order_acquire)) {
+        shard::TranslateWireResult res;
+        res.id = ticket.wire_id;
+        res.output_code = std::move(fin.output_code);
+        res.joined_running_wave = ticket.joined ? 1 : 0;
+        // A send failure means the client vanished mid-decode; nothing to
+        // do -- its reader will abort the connection when it sees EOF.
+        ticket.conn->transport.send(shard::encode_frame(
+            FrameType::kTranslateResult, shard::encode_translate_result(res)));
+        served_.fetch_add(1);
+      }
+      ticket.conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      ticket.conn->maybe_finish();
+      tickets.erase(it);
+    }
+  }
+}
+
+void Server::run() {
+  support::ignore_sigpipe();
+  listen_fd_.store(shard::unix_listen(options_.socket_path, /*backlog=*/64),
+                   std::memory_order_release);
+  std::thread engine([this] { engine_loop(); });
+  std::vector<std::thread> readers;
+  std::uint64_t next_conn = 1;
+  for (;;) {
+    const int fd = shard::unix_accept(listen_fd_.load());
+    if (fd < 0) break;  // listener shut down
+    if (scheduler_.shutting_down()) {
+      ::close(fd);
+      continue;  // raced request_shutdown; accept() fails next iteration
+    }
+    auto conn = std::make_shared<Connection>(next_conn++, fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    readers.emplace_back([this, conn] { reader_loop(conn); });
+  }
+  // Drain: the engine exits only once every queued/decoding request has
+  // delivered. THEN release any reader still blocked on a client that never
+  // closes its end.
+  engine.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& weak : conns_) {
+      if (auto conn = weak.lock()) {
+        conn->transport.close();
+        conn->transport.shutdown_recv();
+      }
+    }
+  }
+  for (auto& reader : readers) reader.join();
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+  ::unlink(options_.socket_path.c_str());
+}
+
+}  // namespace mpirical::serve

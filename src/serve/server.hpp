@@ -1,0 +1,82 @@
+// The persistent serving daemon's core loop.
+//
+// One Server owns a listening Unix-domain socket and three kinds of
+// threads:
+//   * the ACCEPT loop (the caller's thread inside run()), which turns each
+//     connection into a SocketTransport + reader thread;
+//   * one READER per connection, which parses length-prefixed frames
+//     (shard::FrameParser -- the same framing the eval shards speak) into
+//     scheduler jobs and classifies stream endings: clean half-close (EOF
+//     at a frame boundary) lets in-flight work finish, while garbage frames
+//     or a mid-frame cut abort the connection and cancel its queued work;
+//   * the ENGINE thread, the sole owner of the TranslateStream and the sole
+//     writer of result frames, which steps the decode wave continuously and
+//     refills it from the scheduler at step boundaries.
+//
+// Because the decode engine is rowstable, every response is token-identical
+// to what MpiRical::translate_batch would produce for the same input,
+// regardless of arrival order or what else shared the waves
+// (tests/test_serve_equivalence.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/model.hpp"
+#include "serve/scheduler.hpp"
+
+namespace mpirical::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Cap on concurrently-decoding requests; 0 = shard::decode_wave_size()
+  /// (the same MPIRICAL_DECODE_WAVE knob translate_batch obeys).
+  std::size_t max_wave = 0;
+  /// Per-wave-barrier admission instead of continuous refill -- the
+  /// baseline bench_serve compares the tentpole against.
+  bool barrier_mode = false;
+};
+
+struct ServerStats {
+  std::uint64_t served = 0;                // results delivered
+  std::uint64_t joined_running_wave = 0;   // admitted while lanes were live
+  std::uint64_t aborted_connections = 0;   // garbage frames / mid-frame cuts
+};
+
+class Server {
+ public:
+  /// The model must outlive the server.
+  Server(const core::MpiRical& model, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and serves until a client sends kServeShutdown (or
+  /// request_shutdown() is called); every request already queued or
+  /// decoding is drained before returning. Blocks the calling thread.
+  void run();
+
+  /// Stops admission (new connections and new requests), shuts the
+  /// listener down, and lets run() drain and return. Safe from any thread.
+  void request_shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void engine_loop();
+
+  const core::MpiRical* model_;
+  ServerOptions options_;
+  Scheduler scheduler_;
+  std::atomic<int> listen_fd_{-1};
+  std::mutex conns_mu_;
+  std::vector<std::weak_ptr<Connection>> conns_;
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> joined_running_wave_{0};
+  std::atomic<std::uint64_t> aborted_connections_{0};
+};
+
+}  // namespace mpirical::serve

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
-#include <csignal>
 #include <cstdlib>
 #include <deque>
 #include <mutex>
@@ -21,7 +20,9 @@
 #include "core/world_snapshot.hpp"
 #include "snapshot/snapshot.hpp"
 #include "support/check.hpp"
+#include "support/env.hpp"
 #include "support/io.hpp"
+#include "support/process.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -80,11 +81,10 @@ class EventQueue {
 /// damage a wedged (alive but silent) worker can do. Default 0 = disabled,
 /// because legitimate chunk decodes can be arbitrarily slow on loaded boxes.
 long watchdog_timeout_s() {
-  if (const char* env = std::getenv("MPIRICAL_EVAL_SHARD_TIMEOUT_S")) {
-    const long v = std::atol(env);
-    if (v > 0) return v;
-  }
-  return 0;
+  // 0 disables; explicit timeouts clamp to at most a day. Garbage throws
+  // (support::env_long) -- a typo'd timeout must not silently disable the
+  // watchdog.
+  return support::env_long("MPIRICAL_EVAL_SHARD_TIMEOUT_S", 0, 0, 86400);
 }
 
 core::EvalSummary summary_from(const ResultRecord& r) {
@@ -137,11 +137,10 @@ ShardRunStats last_run_stats() {
 }
 
 std::size_t env_shards() {
-  if (const char* env = std::getenv("MPIRICAL_EVAL_SHARDS")) {
-    const long v = std::atol(env);
-    if (v > 1) return std::min<std::size_t>(static_cast<std::size_t>(v), 256);
-  }
-  return 1;
+  // 1 (the default) means unsharded; explicit counts clamp to [1, 256].
+  // MPIRICAL_EVAL_SHARDS=abc used to silently mean "1 shard"; it throws now.
+  return static_cast<std::size_t>(
+      support::env_long("MPIRICAL_EVAL_SHARDS", 1, 1, 256));
 }
 
 std::vector<ResultRecord> evaluate_chunk(
@@ -469,8 +468,11 @@ core::EvalSummary run_driver(
         break;
       case FrameType::kTaskGrant:
       case FrameType::kSnapshot:
-        declare_dead(w);  // driver-only frames; a worker sending one is
-                          // violating the protocol
+      case FrameType::kTranslateRequest:
+      case FrameType::kTranslateResult:
+      case FrameType::kServeShutdown:
+        declare_dead(w);  // driver-only / serve-only frames; a worker
+                          // sending one is violating the protocol
         break;
     }
   }
@@ -560,7 +562,9 @@ bool is_worker_role() {
 }
 
 std::unique_ptr<Transport> worker_transport() {
-  std::signal(SIGPIPE, SIG_IGN);
+  // The driver can vanish while this worker writes a result frame; EPIPE
+  // (not a fatal signal) is the contract PipeTransport::send relies on.
+  support::ignore_sigpipe();
   return std::make_unique<PipeTransport>(/*read_fd=*/3, /*write_fd=*/4);
 }
 
@@ -625,21 +629,20 @@ ProcessWorker spawn_worker(const std::string& exe,
 namespace {
 
 /// Writes the world-snapshot bytes the workers will mmap to a unique temp
-/// file (TMPDIR or /tmp); returns its path.
-std::string write_worker_snapshot(const std::string& bytes) {
+/// file (TMPDIR or /tmp). The bytes go through the original mkstemp
+/// descriptor (no reopen-by-name window) and the returned RAII guard
+/// unlinks the file on EVERY exit path -- a driver that throws mid-run
+/// must not leave mpirical_eval_snapshot_* droppings in /tmp.
+io::TempFile write_worker_snapshot(const std::string& bytes) {
   const char* tmpdir = std::getenv("TMPDIR");
-  std::string path = (tmpdir != nullptr && tmpdir[0] != '\0')
-                         ? std::string(tmpdir)
-                         : std::string("/tmp");
-  path += "/mpirical_eval_snapshot_XXXXXX";
-  std::vector<char> buf(path.begin(), path.end());
-  buf.push_back('\0');
-  const int fd = ::mkstemp(buf.data());
-  MR_CHECK(fd >= 0, "cannot create worker snapshot temp file");
-  ::close(fd);
-  path.assign(buf.data());
-  io::write_file(path, bytes);
-  return path;
+  std::string path_template = (tmpdir != nullptr && tmpdir[0] != '\0')
+                                  ? std::string(tmpdir)
+                                  : std::string("/tmp");
+  path_template += "/mpirical_eval_snapshot_XXXXXX";
+  io::TempFile file(path_template);
+  file.write(bytes);
+  file.close_fd();  // workers open it by name; the driver only needs the path
+  return file;
 }
 
 }  // namespace
@@ -650,18 +653,22 @@ core::EvalSummary evaluate_sharded_processes(
     std::vector<core::ExamplePrediction>* predictions) {
   MR_CHECK(worker_self_exec_configured(),
            "no self-exec worker binary registered");
-  std::signal(SIGPIPE, SIG_IGN);
+  // A worker can die while the driver writes a grant; see
+  // support::ignore_sigpipe for the process-wide policy (installed once,
+  // not per evaluation).
+  support::ignore_sigpipe();
   const std::string exe = resolve_self_exec();
   reset_run_stats();
 
   // Snapshot deployment: materialize the exact model + split into one
   // mmap-able file ONCE; every worker's startup collapses to mmap +
   // pointer fixups instead of rebuilding the corpus from the environment.
-  std::string snapshot_path;
+  // The RAII guard unlinks the temp file even when the driver below throws.
+  std::optional<io::TempFile> snapshot_file;
   if (snapshot::snapshot_enabled()) {
     Timer write_timer;
     const std::string bytes = core::build_eval_snapshot(model, split);
-    snapshot_path = write_worker_snapshot(bytes);
+    snapshot_file.emplace(write_worker_snapshot(bytes));
     std::lock_guard<std::mutex> lock(g_stats_mu);
     g_stats.used_snapshot = true;
     g_stats.snapshot_write_ms = write_timer.seconds() * 1e3;
@@ -700,12 +707,12 @@ core::EvalSummary evaluate_sharded_processes(
   for (std::size_t w = 0; w < num_workers; ++w) {
     procs.push_back(spawn_worker(exe, envp, w));
     transports.push_back(procs.back().transport.get());
-    if (!snapshot_path.empty()) {
+    if (snapshot_file) {
       // First frame to every snapshot-mode worker: the path to mmap. A
       // worker that already died fails the send harmlessly; the driver
       // reassigns its chunks.
       SnapshotHello hello;
-      hello.path = snapshot_path;
+      hello.path = snapshot_file->path();
       transports.back()->send(
           encode_frame(FrameType::kSnapshot, encode_snapshot_hello(hello)));
     }
@@ -714,10 +721,10 @@ core::EvalSummary evaluate_sharded_processes(
   core::EvalSummary summary =
       run_driver(model, split, transports, options, predictions);
 
-  if (!snapshot_path.empty()) {
+  if (snapshot_file) {
     // Workers have mapped the file (or died); the name can go. Mappings
     // keep the content alive until the workers exit.
-    ::unlink(snapshot_path.c_str());
+    snapshot_file->unlink_now();
   }
 
   for (auto& proc : procs) {

@@ -1,9 +1,9 @@
 #include "shard/partition.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace mpirical::shard {
 
@@ -24,13 +24,11 @@ std::vector<Chunk> make_wave_chunks(std::size_t n, std::size_t wave) {
 std::size_t decode_wave_size() {
   // Single source of truth for the decode wave: MpiRical::translate_batch
   // reads it from here, so sharded chunk boundaries ARE the wave
-  // boundaries of the unsharded loop.
-  std::size_t wave = 32;
-  if (const char* env = std::getenv("MPIRICAL_DECODE_WAVE")) {
-    const long v = std::atol(env);
-    if (v > 0) wave = static_cast<std::size_t>(v);
-  }
-  return wave;
+  // boundaries of the unsharded loop. Default 32, clamped to [1, 4096];
+  // non-numeric values throw (support::env_long) instead of silently
+  // changing wave membership.
+  return static_cast<std::size_t>(
+      support::env_long("MPIRICAL_DECODE_WAVE", 32, 1, 4096));
 }
 
 Partitioner::Partitioner(std::vector<Chunk> chunks, std::size_t num_shards,

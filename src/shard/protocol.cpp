@@ -104,7 +104,7 @@ class Reader {
 
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kTaskRequest) &&
-         t <= static_cast<std::uint8_t>(FrameType::kStartupInfo);
+         t <= static_cast<std::uint8_t>(FrameType::kServeShutdown);
 }
 
 }  // namespace
@@ -284,6 +284,45 @@ StartupInfo decode_startup_info(const std::string& payload) {
   info.load_us = r.u64();
   r.done();
   return info;
+}
+
+std::string encode_translate_request(const TranslateWireRequest& req) {
+  std::string out;
+  append_u64(out, req.id);
+  append_bytes(out, req.input_code);
+  append_bytes(out, req.input_xsbt);
+  append_i32(out, req.beam_width);
+  return out;
+}
+
+TranslateWireRequest decode_translate_request(const std::string& payload) {
+  Reader r(payload);
+  TranslateWireRequest req;
+  req.id = r.u64();
+  req.input_code = r.bytes();
+  req.input_xsbt = r.bytes();
+  req.beam_width = r.i32();
+  r.done();
+  MR_CHECK(req.beam_width >= 1, "translate request beam width must be >= 1");
+  return req;
+}
+
+std::string encode_translate_result(const TranslateWireResult& res) {
+  std::string out;
+  append_u64(out, res.id);
+  append_bytes(out, res.output_code);
+  out.push_back(static_cast<char>(res.joined_running_wave ? 1 : 0));
+  return out;
+}
+
+TranslateWireResult decode_translate_result(const std::string& payload) {
+  Reader r(payload);
+  TranslateWireResult res;
+  res.id = r.u64();
+  res.output_code = r.bytes();
+  res.joined_running_wave = r.u8();
+  r.done();
+  return res;
 }
 
 }  // namespace mpirical::shard

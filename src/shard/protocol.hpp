@@ -39,6 +39,16 @@ enum class FrameType : std::uint8_t {
   // worker answers with its startup timings once it is ready to serve.
   kSnapshot = 6,      // driver -> worker: world-snapshot path
   kStartupInfo = 7,   // worker -> driver: startup_us + snapshot load_us
+  // Serving (src/serve): a persistent daemon speaks the same framing over a
+  // Unix-domain socket. Clients pipeline kTranslateRequest frames and read
+  // kTranslateResult frames back in COMPLETION order (continuous wave
+  // batching finishes short programs early); a client half-close (EOF after
+  // its last request) asks the daemon to finish that connection's in-flight
+  // work and close. kServeShutdown from any client stops admission, drains
+  // every live request, and exits the daemon.
+  kTranslateRequest = 8,  // client -> daemon: TranslateWireRequest
+  kTranslateResult = 9,   // daemon -> client: TranslateWireResult
+  kServeShutdown = 10,    // client -> daemon: drain and exit (no payload)
 };
 
 constexpr std::uint32_t kFrameMagic = 0x5352504D;  // "MPRS" little-endian
@@ -126,5 +136,34 @@ SnapshotHello decode_snapshot_hello(const std::string& payload);
 
 std::string encode_startup_info(const StartupInfo& info);
 StartupInfo decode_startup_info(const std::string& payload);
+
+/// Client -> daemon: translate one source program. `id` is chosen by the
+/// client (unique per connection) and echoed on the result frame, which is
+/// what lets a pipelined client match out-of-completion-order results back
+/// to its requests.
+struct TranslateWireRequest {
+  std::uint64_t id = 0;
+  std::string input_code;
+  std::string input_xsbt;
+  std::int32_t beam_width = 1;
+};
+
+/// Daemon -> client: the predicted MPI program for request `id`.
+/// `joined_running_wave` reports whether the request was admitted into a
+/// wave that already had older requests mid-decode (the continuous-batching
+/// path the serve bench exercises) rather than starting a fresh wave.
+struct TranslateWireResult {
+  std::uint64_t id = 0;
+  std::string output_code;
+  std::uint8_t joined_running_wave = 0;
+};
+
+std::string encode_translate_request(const TranslateWireRequest& req);
+/// Throws Error on truncated or oversized payloads.
+TranslateWireRequest decode_translate_request(const std::string& payload);
+
+std::string encode_translate_result(const TranslateWireResult& res);
+/// Throws Error on truncated or oversized payloads.
+TranslateWireResult decode_translate_result(const std::string& payload);
 
 }  // namespace mpirical::shard

@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
+#include <thread>
 
 #include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
+
+#include "support/check.hpp"
 
 namespace mpirical::shard {
 
@@ -188,6 +195,139 @@ void PipeTransport::close() {
 
 void PipeTransport::shutdown_recv() {
   recv_shutdown_.store(true, std::memory_order_release);
+}
+
+SocketTransport::SocketTransport(int fd) : fd_(fd) {
+  MR_CHECK(fd >= 0, "socket transport over an invalid fd");
+}
+
+SocketTransport::~SocketTransport() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketTransport::send(const std::string& bytes) {
+  if (fd_ < 0 || send_closed_.load(std::memory_order_acquire)) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE / ECONNRESET (peer gone) or any other hard error: give up on
+    // this peer's send direction but keep the fd open -- results already in
+    // the kernel buffer may still be readable, and recv_some reports the
+    // definitive EOF.
+    send_closed_.store(true, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+std::string SocketTransport::recv_some() {
+  if (fd_ < 0) return std::string();
+  char buf[65536];
+  // Same poll-with-timeout loop as PipeTransport, so shutdown_recv releases
+  // a blocked reader even when the peer never closes.
+  for (;;) {
+    if (recv_shutdown_.load(std::memory_order_acquire)) return std::string();
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return std::string();
+    }
+    if (ready == 0) continue;  // timeout: re-check the shutdown flag
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+    if (n < 0 && errno == EINTR) continue;
+    return std::string();  // EOF or hard error
+  }
+}
+
+void SocketTransport::close() {
+  if (fd_ < 0) return;
+  if (!send_closed_.exchange(true, std::memory_order_acq_rel)) {
+    ::shutdown(fd_, SHUT_WR);
+  }
+}
+
+void SocketTransport::shutdown_recv() {
+  recv_shutdown_.store(true, std::memory_order_release);
+}
+
+namespace {
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  MR_CHECK(path.size() < sizeof(addr.sun_path),
+           "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int unix_listen(const std::string& path, int backlog) {
+  const sockaddr_un addr = unix_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  MR_CHECK(fd >= 0, std::string("socket(AF_UNIX): ") + std::strerror(errno));
+  ::unlink(path.c_str());  // stale socket from a previous daemon
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    MR_CHECK(false, "bind(" + path + "): " + std::strerror(err));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    MR_CHECK(false, "listen(" + path + "): " + std::strerror(err));
+  }
+  return fd;
+}
+
+int unix_accept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;  // listener closed / shut down: accept loop exits
+  }
+}
+
+int unix_connect(const std::string& path, int timeout_ms) {
+  const sockaddr_un addr = unix_addr(path);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    MR_CHECK(fd >= 0, std::string("socket(AF_UNIX): ") + std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    // The daemon may still be booting: no socket file yet (ENOENT) or a
+    // full backlog (ECONNREFUSED/EAGAIN). Anything else is a hard error.
+    MR_CHECK(err == ENOENT || err == ECONNREFUSED || err == EAGAIN ||
+                 err == EINTR,
+             "connect(" + path + "): " + std::strerror(err));
+    MR_CHECK(std::chrono::steady_clock::now() < deadline,
+             "connect(" + path + "): timed out waiting for the daemon");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
 }
 
 }  // namespace mpirical::shard

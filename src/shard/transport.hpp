@@ -51,6 +51,45 @@ struct LoopbackFault {
 std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
 make_loopback_pair(const LoopbackFault& worker_fault = {});
 
+/// Transport over ONE connected stream-socket fd (a Unix-domain serve
+/// connection). Owns the fd. Unlike PipeTransport's fd pair, both directions
+/// share the socket, so close() half-closes with shutdown(SHUT_WR): the peer
+/// drains any in-flight frames and then sees EOF -- the serve protocol's
+/// clean "no more requests" signal -- while this end can still read the
+/// remaining results. Sends use MSG_NOSIGNAL, so a dead peer surfaces as a
+/// false return even in a process that never touched the SIGPIPE
+/// disposition.
+class SocketTransport : public Transport {
+ public:
+  explicit SocketTransport(int fd);
+  ~SocketTransport() override;
+
+  bool send(const std::string& bytes) override;
+  std::string recv_some() override;
+  void close() override;
+  void shutdown_recv() override;
+
+ private:
+  int fd_;
+  std::atomic<bool> send_closed_{false};
+  std::atomic<bool> recv_shutdown_{false};
+};
+
+/// Binds and listens on a Unix-domain stream socket at `path`, unlinking any
+/// stale socket file first. Throws Error on failure; returns the listening
+/// fd (caller closes).
+int unix_listen(const std::string& path, int backlog);
+
+/// Accepts one connection on a unix_listen fd, retrying EINTR. Returns -1
+/// once the listening fd has been closed/shut down (the daemon's shutdown
+/// path), so the accept loop can exit cleanly.
+int unix_accept(int listen_fd);
+
+/// Connects to the Unix-domain socket at `path`, retrying while the file
+/// does not exist yet or the daemon's backlog refuses (it is still booting),
+/// for up to `timeout_ms`. Throws Error on timeout or a hard error.
+int unix_connect(const std::string& path, int timeout_ms);
+
 /// Transport over a POSIX (read_fd, write_fd) pair. Owns and closes the fds.
 class PipeTransport : public Transport {
  public:

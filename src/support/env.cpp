@@ -1,0 +1,32 @@
+#include "support/env.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace mpirical::support {
+
+long env_long(const char* name, long fallback, long min_value,
+              long max_value) {
+  MR_ASSERT(min_value <= max_value);
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  // Full-string parse: strtol stopping early (nothing consumed, or trailing
+  // junk) is garbage, not a number to fall back from. strtol itself skips
+  // leading whitespace; a strict knob value must not.
+  MR_CHECK(end != raw && *end == '\0' &&
+               (raw[0] == '-' || raw[0] == '+' ||
+                (raw[0] >= '0' && raw[0] <= '9')),
+           std::string(name) + "=\"" + raw + "\" is not an integer");
+  // Overflow saturates strtol at LONG_MIN/LONG_MAX (errno == ERANGE); the
+  // clamp below maps either extreme onto the documented bound.
+  return std::clamp(v, min_value, max_value);
+}
+
+}  // namespace mpirical::support

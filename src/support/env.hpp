@@ -1,0 +1,23 @@
+// Strict numeric environment readers.
+//
+// Every numeric MPIRICAL_* knob used to go through std::atol, which returns
+// 0 on garbage -- MPIRICAL_EVAL_SHARDS=abc silently meant "1 shard" and a
+// typo'd wave size silently changed decode wave membership (and therefore
+// which kernel paths run). env_long is the single replacement: unset/empty
+// means the documented fallback, anything that is not a full integer throws
+// loudly (naming the variable and the offending value), and in-range values
+// clamp to the caller's documented [min, max].
+#pragma once
+
+namespace mpirical::support {
+
+/// Reads `name` from the environment as a base-10 integer.
+///  - unset or empty          -> `fallback` (returned unclamped; callers pass
+///                               an in-range default)
+///  - not a full integer      -> throws Error ("MPIRICAL_FOO=\"abc\" ...");
+///                               trailing junk ("5x", "5 ") counts as garbage
+///  - parses but out of range -> clamped into [min_value, max_value]
+///    (including values overflowing long)
+long env_long(const char* name, long fallback, long min_value, long max_value);
+
+}  // namespace mpirical::support

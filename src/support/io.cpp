@@ -1,15 +1,78 @@
 #include "support/io.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
+#include <stdlib.h>
 #include <unistd.h>
 
 #include "support/check.hpp"
 
 namespace mpirical::io {
+
+TempFile::TempFile(const std::string& path_template) {
+  std::vector<char> buf(path_template.begin(), path_template.end());
+  buf.push_back('\0');
+  fd_ = ::mkstemp(buf.data());
+  MR_CHECK(fd_ >= 0, "mkstemp failed for " + path_template + ": " +
+                         std::strerror(errno));
+  path_.assign(buf.data());
+}
+
+TempFile::~TempFile() {
+  close_fd();
+  unlink_now();
+}
+
+TempFile::TempFile(TempFile&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_) {
+  other.path_.clear();
+  other.fd_ = -1;
+}
+
+TempFile& TempFile::operator=(TempFile&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    unlink_now();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    other.path_.clear();
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TempFile::write(const std::string& data) {
+  MR_CHECK(fd_ >= 0, "TempFile descriptor already closed: " + path_);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    MR_CHECK(n > 0, "failed writing temp file " + path_ + ": " +
+                        std::strerror(errno));
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void TempFile::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TempFile::unlink_now() {
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);

@@ -6,6 +6,43 @@
 
 namespace mpirical::io {
 
+/// RAII mkstemp file: created from `path_template` (which must end in
+/// "XXXXXX"), written through the ORIGINAL descriptor (no close-then-reopen
+/// window where another process could swap the name), and unlinked on
+/// destruction -- so a temp file never outlives its owner even when an
+/// exception unwinds past it. The shard layer's worker-snapshot files are
+/// the motivating user: the pre-RAII code leaked /tmp files on every
+/// throwing path and re-opened the mkstemp name by path.
+class TempFile {
+ public:
+  /// Creates the file via mkstemp. Throws Error when creation fails.
+  explicit TempFile(const std::string& path_template);
+  ~TempFile();
+
+  TempFile(TempFile&& other) noexcept;
+  TempFile& operator=(TempFile&& other) noexcept;
+  TempFile(const TempFile&) = delete;
+  TempFile& operator=(const TempFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Appends `data` through the mkstemp descriptor. Throws Error when the
+  /// write fails (the destructor still unlinks the partial file).
+  void write(const std::string& data);
+
+  /// Closes the descriptor, keeping the file on disk (e.g. for other
+  /// processes to open/mmap by name). Idempotent.
+  void close_fd();
+
+  /// Unlinks the file now instead of at destruction (the content stays
+  /// alive for processes that already mapped it). Idempotent.
+  void unlink_now();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
 /// Reads an entire file as bytes. Throws Error (with the path) when the file
 /// cannot be opened or read.
 std::string read_file(const std::string& path);

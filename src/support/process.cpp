@@ -1,0 +1,13 @@
+#include "support/process.hpp"
+
+#include <csignal>
+#include <mutex>
+
+namespace mpirical::support {
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+}  // namespace mpirical::support

@@ -1,0 +1,19 @@
+// Process-global state that must be mutated exactly once, at a documented
+// point, instead of sprinkled through call sites.
+#pragma once
+
+namespace mpirical::support {
+
+/// Ignores SIGPIPE process-wide -- exactly once, no matter how many callers
+/// race here (std::call_once). With the default disposition a write to a
+/// vanished peer kills the process; ignored, it surfaces as EPIPE from
+/// write()/send(), which the shard and serve transports turn into a clean
+/// "peer gone" false return. This is the ONLY place the library touches the
+/// process signal table for SIGPIPE; the entry points that depend on it
+/// (sharded process evaluation, shard worker startup, the serve server and
+/// client) call this on construction rather than re-installing per
+/// operation. Never restored: every transport in this codebase requires it,
+/// and flipping dispositions back and forth across threads would race.
+void ignore_sigpipe();
+
+}  // namespace mpirical::support

@@ -1,8 +1,9 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <exception>
+
+#include "support/env.hpp"
 
 namespace mpirical {
 
@@ -140,13 +141,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("MPIRICAL_THREADS")) {
-      const long v = std::atol(env);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-    return static_cast<std::size_t>(0);
-  }());
+  // MPIRICAL_THREADS: 0 (the default) sizes the pool from the hardware;
+  // explicit values clamp to [0, 1024]; garbage throws out of the first
+  // ThreadPool::global() call (support::env_long) instead of silently
+  // meaning "auto".
+  static ThreadPool pool(static_cast<std::size_t>(
+      support::env_long("MPIRICAL_THREADS", 0, 0, 1024)));
   return pool;
 }
 

@@ -434,19 +434,17 @@ PackedPanelB pack_b_panels(Trans tb, int n, int k, const float* b, int ldb) {
   return packed;
 }
 
-void gemm_acc_packed(Trans ta, int m, const float* a, int lda,
-                     const PackedPanelB& b, float* c, int ldc) {
+namespace {
+
+// The always-blocked packed product shared by gemm_acc_packed (above the
+// small-problem threshold) and gemm_acc_packed_rowstable (at every shape).
+// Serial and parallel decompositions produce bitwise-identical C, and each
+// C row's bits are independent of m and of the other rows in the panel.
+void gemm_packed_blocked(Trans ta, int m, const float* a, int lda,
+                         const PackedPanelB& b, float* c, int ldc) {
   const int n = b.n;
   const int k = b.k;
-  if (m <= 0 || n <= 0 || k <= 0) return;
   const double flops = 2.0 * m * n * k;
-  if (flops < kSmallProblemFlops) {
-    // Same fallback gemm_acc takes, via the retained raw operand, so results
-    // stay bit-identical to the unpacked call at every shape.
-    naive::gemm_acc(ta, b.tb, m, n, k, a, lda, b.raw, b.ldb, c, ldc);
-    return;
-  }
-
   ThreadPool& pool_ref = ThreadPool::global();
   const std::size_t pool = pool_ref.size();
   if (pool <= 1 || flops < kParallelFlops) {
@@ -490,6 +488,28 @@ void gemm_acc_packed(Trans ta, int m, const float* a, int lda,
         }
       },
       /*grain=*/1);
+}
+
+}  // namespace
+
+void gemm_acc_packed(Trans ta, int m, const float* a, int lda,
+                     const PackedPanelB& b, float* c, int ldc) {
+  const int n = b.n;
+  const int k = b.k;
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (2.0 * m * n * k < kSmallProblemFlops) {
+    // Same fallback gemm_acc takes, via the retained raw operand, so results
+    // stay bit-identical to the unpacked call at every shape.
+    naive::gemm_acc(ta, b.tb, m, n, k, a, lda, b.raw, b.ldb, c, ldc);
+    return;
+  }
+  gemm_packed_blocked(ta, m, a, lda, b, c, ldc);
+}
+
+void gemm_acc_packed_rowstable(Trans ta, int m, const float* a, int lda,
+                               const PackedPanelB& b, float* c, int ldc) {
+  if (m <= 0 || b.n <= 0 || b.k <= 0) return;
+  gemm_packed_blocked(ta, m, a, lda, b, c, ldc);
 }
 
 void quantize_weights_i8(Trans tb, int n, int k, const float* b, int ldb,

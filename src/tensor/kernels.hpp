@@ -62,6 +62,18 @@ PackedPanelB pack_b_panels(Trans tb, int n, int k, const float* b, int ldb);
 void gemm_acc_packed(Trans ta, int m, const float* a, int lda,
                      const PackedPanelB& b, float* c, int ldc);
 
+/// gemm_acc_packed minus the small-problem fallback: every product takes
+/// the blocked path, so (like gemm_acc_rowstable) a C row's bits depend
+/// only on its own A row, the packed B, and its initial C values -- never
+/// on m (how many rows ride in the product) or the pool size. The decode
+/// engine routes its f32 step projections through this so a hypothesis
+/// row's bits do not depend on which other requests share the wave: the
+/// invariance that makes continuously-batched serving token-identical to
+/// translate_batch for any arrival order (tests/test_serve_equivalence.cpp).
+/// Bit-identical to gemm_acc_packed above the small-problem threshold.
+void gemm_acc_packed_rowstable(Trans ta, int m, const float* a, int lda,
+                               const PackedPanelB& b, float* c, int ldc);
+
 /// A B operand quantized to int8 (weights-only, per-output-channel symmetric
 /// scales) and packed into the same kNc-panel / kKc-block / 16-column-sliver
 /// layout PackedPanelB uses, so the int8 micro-kernel streams one quarter of

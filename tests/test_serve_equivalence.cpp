@@ -1,0 +1,329 @@
+// Serve differential suite: outputs delivered by the continuous-batching
+// daemon loop must be TOKEN-IDENTICAL to MpiRical::translate_batch on the
+// same inputs, for any arrival order -- requests that join a running wave,
+// arrive in randomized bursts, or interleave across connections all decode
+// to the same bytes (the rowstable-GEMM guarantee, end to end over the
+// socket). Plus the serve fault matrix: garbage frames and mid-frame
+// disconnects abort only the offending connection, clean disconnects drop
+// results without wedging the engine, and shutdown drains every queued
+// request before the server exits.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "corpus/dataset.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "shard/protocol.hpp"
+#include "shard/transport.hpp"
+#include "testing.hpp"
+
+namespace mpirical {
+namespace {
+
+/// One tiny untrained model shared by the whole suite: decode is
+/// deterministic for fixed weights, and random weights exercise the full
+/// serve path without paying for training.
+struct Harness {
+  corpus::Dataset dataset;
+  core::MpiRical model;
+  std::vector<core::MpiRical::TranslateRequest> inputs;
+  std::vector<std::string> expected;  // translate_batch ground truth
+};
+
+const Harness& harness() {
+  static const Harness* h = [] {
+    corpus::DatasetConfig dcfg;
+    dcfg.corpus_size = 200;
+    dcfg.seed = 137;
+    dcfg.max_tokens = 180;
+
+    core::ModelConfig mcfg;
+    mcfg.d_model = 32;
+    mcfg.heads = 2;
+    mcfg.ffn_dim = 64;
+    mcfg.encoder_layers = 1;
+    mcfg.decoder_layers = 1;
+    mcfg.dropout = 0.0f;
+    mcfg.max_src_tokens = 256;
+    mcfg.max_tgt_tokens = 32;  // bound decode length for an untrained model
+    mcfg.seed = 4711;
+
+    auto* built = new Harness;
+    built->dataset = corpus::build_dataset(dcfg);
+    built->model = core::MpiRical::create(built->dataset, mcfg);
+    const auto& pool = built->dataset.test.empty() ? built->dataset.train
+                                                   : built->dataset.test;
+    for (std::size_t i = 0; i < pool.size() && built->inputs.size() < 12;
+         ++i) {
+      built->inputs.push_back({pool[i].input_code, pool[i].input_xsbt});
+    }
+    built->expected = built->model.translate_batch(built->inputs);
+    return built;
+  }();
+  return *h;
+}
+
+/// A Server on its own thread with a unique socket path. Clients connect
+/// while it boots (unix_connect retries); stop() drains and joins.
+class RunningServer {
+ public:
+  explicit RunningServer(bool barrier_mode = false, std::size_t max_wave = 4) {
+    static int counter = 0;
+    socket_ = "/tmp/mpirical_serve_test_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter++) + ".sock";
+    serve::ServerOptions options;
+    options.socket_path = socket_;
+    options.max_wave = max_wave;
+    options.barrier_mode = barrier_mode;
+    server_ = std::make_unique<serve::Server>(harness().model, options);
+    thread_ = std::thread([this] { server_->run(); });
+  }
+  ~RunningServer() { stop(); }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    server_->request_shutdown();
+    thread_.join();
+  }
+
+  const std::string& socket() const { return socket_; }
+  serve::ServerStats stats() const { return server_->stats(); }
+
+ private:
+  std::string socket_;
+  std::unique_ptr<serve::Server> server_;
+  std::thread thread_;
+};
+
+/// Polls `pred` for up to ~5s -- fault accounting happens on reader threads
+/// the test does not otherwise synchronize with.
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+// ---- differential: token identity under arbitrary arrival ------------------
+
+TEST(ServeEquivalence, BatchThroughOneConnectionMatchesLocal) {
+  RunningServer server;
+  serve::Client client(server.socket());
+  const auto got = client.translate_batch(harness().inputs);
+  ASSERT_EQ(got.size(), harness().expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], harness().expected[i]) << "request " << i;
+  }
+  EXPECT_EQ(server.stats().aborted_connections, 0u);
+}
+
+TEST(ServeEquivalence, RandomizedArrivalOrderAndBurstsMatchLocal) {
+  MR_SEEDED_RNG(rng, 0x5e12);
+  const auto& inputs = harness().inputs;
+  for (int trial = 0; trial < 3; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    // A deliberately small wave forces later arrivals to queue and then
+    // join a running wave mid-decode -- the continuous-batching path the
+    // identity claim is really about.
+    RunningServer server(/*barrier_mode=*/false,
+                         /*max_wave=*/1 + rng.next_below(4));
+    serve::Client client(server.socket());
+
+    std::vector<std::size_t> order(inputs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+
+    // Send in random bursts with pauses between them, so some requests
+    // arrive while earlier ones are already decoding.
+    std::map<std::uint64_t, std::size_t> slot_of;
+    std::size_t sent = 0;
+    while (sent < order.size()) {
+      const std::size_t burst =
+          std::min(order.size() - sent, 1 + rng.next_below(4));
+      for (std::size_t b = 0; b < burst; ++b, ++sent) {
+        const std::size_t slot = order[sent];
+        slot_of[client.send(inputs[slot].input_code,
+                            inputs[slot].input_xsbt)] = slot;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(rng.next_below(4)));
+    }
+    client.finish();
+
+    std::size_t received = 0;
+    while (auto res = client.recv()) {
+      const auto it = slot_of.find(res->id);
+      ASSERT_NE(it, slot_of.end());
+      EXPECT_EQ(res->output_code, harness().expected[it->second])
+          << "request slot " << it->second << " diverged from "
+          << "translate_batch";
+      ++received;
+    }
+    EXPECT_EQ(received, inputs.size());
+    EXPECT_EQ(server.stats().served, inputs.size());
+  }
+}
+
+TEST(ServeEquivalence, BarrierModeAlsoMatchesLocal) {
+  RunningServer server(/*barrier_mode=*/true, /*max_wave=*/3);
+  serve::Client client(server.socket());
+  const auto got = client.translate_batch(harness().inputs);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], harness().expected[i]) << "request " << i;
+  }
+  // Barrier admission never tops up a live wave.
+  EXPECT_EQ(server.stats().joined_running_wave, 0u);
+}
+
+TEST(ServeEquivalence, InterleavedConnectionsShareWavesWithoutCrosstalk) {
+  const auto& inputs = harness().inputs;
+  RunningServer server(/*barrier_mode=*/false, /*max_wave=*/3);
+  serve::Client a(server.socket());
+  serve::Client b(server.socket());
+  // Alternate sends so the two connections' requests interleave inside the
+  // same decode waves; each client must still get exactly its own answers.
+  std::map<std::uint64_t, std::size_t> a_slots, b_slots;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto& client = (i % 2 == 0) ? a : b;
+    auto& slots = (i % 2 == 0) ? a_slots : b_slots;
+    slots[client.send(inputs[i].input_code, inputs[i].input_xsbt)] = i;
+  }
+  a.finish();
+  b.finish();
+  auto drain = [](serve::Client& client,
+                  const std::map<std::uint64_t, std::size_t>& slots) {
+    std::size_t received = 0;
+    while (auto res = client.recv()) {
+      const auto it = slots.find(res->id);
+      ASSERT_NE(it, slots.end()) << "result for a request this connection "
+                                    "never sent";
+      EXPECT_EQ(res->output_code, harness().expected[it->second]);
+      ++received;
+    }
+    EXPECT_EQ(received, slots.size());
+  };
+  drain(a, a_slots);
+  drain(b, b_slots);
+}
+
+// ---- fault matrix -----------------------------------------------------------
+
+TEST(ServeFaults, GarbageFrameAbortsOnlyThatConnection) {
+  RunningServer server;
+  {
+    shard::SocketTransport garbage(
+        shard::unix_connect(server.socket(), 30000));
+    garbage.send("this is definitely not a protocol frame");
+    // The daemon cuts the connection; our recv drains to EOF.
+    while (!garbage.recv_some().empty()) {
+    }
+  }
+  EXPECT_TRUE(eventually(
+      [&] { return server.stats().aborted_connections == 1; }));
+
+  // The engine and listener are unaffected: a well-behaved client on a
+  // fresh connection still gets exact answers.
+  serve::Client client(server.socket());
+  const auto got = client.translate_batch(harness().inputs);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], harness().expected[i]);
+  }
+}
+
+TEST(ServeFaults, MidFrameDisconnectAbortsAndCancelsQueuedWork) {
+  RunningServer server(/*barrier_mode=*/false, /*max_wave=*/2);
+  {
+    shard::SocketTransport dying(shard::unix_connect(server.socket(), 30000));
+    // A few complete requests (they may start decoding) followed by half a
+    // frame, then the stream cuts -- a client dying mid-request.
+    for (int i = 0; i < 3; ++i) {
+      shard::TranslateWireRequest req;
+      req.id = static_cast<std::uint64_t>(i + 1);
+      req.input_code = harness().inputs[0].input_code;
+      req.input_xsbt = harness().inputs[0].input_xsbt;
+      dying.send(shard::encode_frame(
+          shard::FrameType::kTranslateRequest,
+          shard::encode_translate_request(req)));
+    }
+    const std::string frame = shard::encode_frame(
+        shard::FrameType::kTranslateRequest,
+        shard::encode_translate_request({99, "int main(){}", "<x>", 1}));
+    dying.send(frame.substr(0, frame.size() / 2));
+    dying.close();
+    while (!dying.recv_some().empty()) {
+    }
+  }
+  EXPECT_TRUE(eventually(
+      [&] { return server.stats().aborted_connections == 1; }));
+
+  serve::Client client(server.socket());
+  const auto got = client.translate_batch(harness().inputs);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], harness().expected[i]);
+  }
+}
+
+TEST(ServeFaults, CleanDisconnectBeforeResultsDoesNotWedgeEngine) {
+  RunningServer server;
+  {
+    // Send one request, then tear the whole socket down (destructor closes
+    // the fd) without waiting: a clean EOF whose results have nowhere to
+    // go. The engine's send fails quietly and the wave moves on.
+    shard::SocketTransport impatient(
+        shard::unix_connect(server.socket(), 30000));
+    shard::TranslateWireRequest req;
+    req.id = 7;
+    req.input_code = harness().inputs[0].input_code;
+    req.input_xsbt = harness().inputs[0].input_xsbt;
+    impatient.send(shard::encode_frame(
+        shard::FrameType::kTranslateRequest,
+        shard::encode_translate_request(req)));
+  }
+  serve::Client client(server.socket());
+  const auto got = client.translate_batch(harness().inputs);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], harness().expected[i]);
+  }
+  // A clean half-close is not a protocol violation.
+  EXPECT_EQ(server.stats().aborted_connections, 0u);
+}
+
+TEST(ServeFaults, ShutdownDrainsEveryQueuedRequest) {
+  RunningServer server(/*barrier_mode=*/false, /*max_wave=*/2);
+  serve::Client client(server.socket());
+  std::map<std::uint64_t, std::size_t> slot_of;
+  for (std::size_t i = 0; i < harness().inputs.size(); ++i) {
+    slot_of[client.send(harness().inputs[i].input_code,
+                        harness().inputs[i].input_xsbt)] = i;
+  }
+  // Shutdown lands behind the pipelined requests on the same connection:
+  // admission stops, but everything already queued must still deliver.
+  client.send_shutdown();
+  client.finish();
+  std::size_t received = 0;
+  while (auto res = client.recv()) {
+    const auto it = slot_of.find(res->id);
+    ASSERT_NE(it, slot_of.end());
+    EXPECT_EQ(res->output_code, harness().expected[it->second]);
+    ++received;
+  }
+  EXPECT_EQ(received, harness().inputs.size());
+  server.stop();  // run() must already be returning; joins promptly
+  EXPECT_EQ(server.stats().served, harness().inputs.size());
+}
+
+}  // namespace
+}  // namespace mpirical

@@ -396,6 +396,109 @@ TEST(Framing, SnapshotFrameTypesAreValidOnTheWire) {
   }
 }
 
+TEST(Framing, ServeFrameTypesAreValidOnTheWire) {
+  // The serve-daemon frame types must survive the parser's type
+  // validation; one past kServeShutdown must not.
+  for (const FrameType type :
+       {FrameType::kTranslateRequest, FrameType::kTranslateResult,
+        FrameType::kServeShutdown}) {
+    FrameParser parser;
+    const std::string stream = encode_frame(type, "payload");
+    parser.feed(stream.data(), stream.size());
+    const auto frame = parser.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, "payload");
+  }
+  FrameParser parser;
+  std::string stream = encode_frame(FrameType::kServeShutdown, "p");
+  stream[4] = static_cast<char>(static_cast<int>(FrameType::kServeShutdown) +
+                                1);
+  EXPECT_THROW(
+      {
+        parser.feed(stream.data(), stream.size());
+        parser.next();
+      },
+      Error);
+}
+
+TEST(Records, TranslateRequestRoundTrip) {
+  TranslateWireRequest req;
+  req.id = 0xDEADBEEFCAFE1234ull;
+  req.input_code = "int main() { return 0; }\n";
+  req.input_xsbt = "<unit><fn>main</fn></unit>";
+  req.beam_width = 4;
+  const TranslateWireRequest back =
+      decode_translate_request(encode_translate_request(req));
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.input_code, req.input_code);
+  EXPECT_EQ(back.input_xsbt, req.input_xsbt);
+  EXPECT_EQ(back.beam_width, req.beam_width);
+}
+
+TEST(Records, TranslateRequestRandomizedRoundTrip) {
+  MR_SEEDED_RNG(rng, 0x7e57);
+  for (int trial = 0; trial < 32; ++trial) {
+    TranslateWireRequest req;
+    req.id = rng.next_u64();
+    // Arbitrary bytes, including NUL and high bits -- program text goes
+    // through uninterpreted.
+    const std::size_t code_len = rng.next_below(200);
+    for (std::size_t i = 0; i < code_len; ++i) {
+      req.input_code.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    const std::size_t xsbt_len = rng.next_below(200);
+    for (std::size_t i = 0; i < xsbt_len; ++i) {
+      req.input_xsbt.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    req.beam_width = 1 + static_cast<std::int32_t>(rng.next_below(16));
+    const TranslateWireRequest back =
+        decode_translate_request(encode_translate_request(req));
+    EXPECT_EQ(back.id, req.id);
+    EXPECT_EQ(back.input_code, req.input_code);
+    EXPECT_EQ(back.input_xsbt, req.input_xsbt);
+    EXPECT_EQ(back.beam_width, req.beam_width);
+  }
+}
+
+TEST(Records, TranslateRequestRejectsTruncationGarbageAndBadBeam) {
+  TranslateWireRequest req;
+  req.id = 7;
+  req.input_code = "code";
+  req.input_xsbt = "xsbt";
+  req.beam_width = 2;
+  const std::string bytes = encode_translate_request(req);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(decode_translate_request(bytes.substr(0, cut)), Error)
+        << "truncated at " << cut;
+  }
+  EXPECT_THROW(decode_translate_request(bytes + "z"), Error);
+  // A non-positive beam width on the wire is a protocol violation, not a
+  // "use the default" hint.
+  std::string zero_beam = bytes;
+  for (int i = 0; i < 4; ++i) zero_beam[zero_beam.size() - 1 - i] = '\0';
+  EXPECT_THROW(decode_translate_request(zero_beam), Error);
+}
+
+TEST(Records, TranslateResultRoundTripAndRejection) {
+  TranslateWireResult res;
+  res.id = 0x0123456789ABCDEFull;
+  res.output_code = "MPI_Init(&argc, &argv);\n";
+  res.joined_running_wave = 1;
+  const TranslateWireResult back =
+      decode_translate_result(encode_translate_result(res));
+  EXPECT_EQ(back.id, res.id);
+  EXPECT_EQ(back.output_code, res.output_code);
+  EXPECT_EQ(back.joined_running_wave, res.joined_running_wave);
+
+  const std::string bytes = encode_translate_result(res);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(decode_translate_result(bytes.substr(0, cut)), Error)
+        << "truncated at " << cut;
+  }
+  EXPECT_THROW(decode_translate_result(bytes + "z"), Error);
+}
+
 TEST(Loopback, DeliversBytesAndEof) {
   auto [driver, worker] = make_loopback_pair();
   EXPECT_TRUE(worker->send("hello "));

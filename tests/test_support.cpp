@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -8,6 +11,9 @@
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/env.hpp"
+#include "support/io.hpp"
+#include "support/process.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
@@ -320,6 +326,126 @@ TEST(Timer, Monotonic) {
   const double b = t.seconds();
   EXPECT_GE(b, a);
   EXPECT_GE(a, 0.0);
+}
+
+// ---- env_long ---------------------------------------------------------------
+
+TEST(EnvLong, UnsetAndEmptyFallBack) {
+  testutil::ScopedEnv unset("MPIRICAL_TEST_ENV_LONG", nullptr);
+  EXPECT_EQ(support::env_long("MPIRICAL_TEST_ENV_LONG", 42, 0, 100), 42);
+  testutil::ScopedEnv empty("MPIRICAL_TEST_ENV_LONG", "");
+  EXPECT_EQ(support::env_long("MPIRICAL_TEST_ENV_LONG", 42, 0, 100), 42);
+}
+
+TEST(EnvLong, ParsesFullIntegers) {
+  testutil::ScopedEnv env("MPIRICAL_TEST_ENV_LONG", "17");
+  EXPECT_EQ(support::env_long("MPIRICAL_TEST_ENV_LONG", 1, 0, 100), 17);
+  testutil::ScopedEnv neg("MPIRICAL_TEST_ENV_LONG", "-3");
+  EXPECT_EQ(support::env_long("MPIRICAL_TEST_ENV_LONG", 1, -10, 100), -3);
+}
+
+TEST(EnvLong, GarbageThrowsLoudlyInsteadOfMeaningZero) {
+  // The std::atol predecessor read all of these as 0 -- the bug class the
+  // strict parser exists to kill.
+  for (const char* bad : {"abc", "5x", "5 ", " 5", "1.5", "--2", ""}) {
+    if (bad[0] == '\0') continue;  // empty is a documented fallback, tested above
+    testutil::ScopedEnv env("MPIRICAL_TEST_ENV_LONG", bad);
+    EXPECT_THROW(support::env_long("MPIRICAL_TEST_ENV_LONG", 1, 0, 100),
+                 Error)
+        << "value \"" << bad << "\" should not parse";
+  }
+}
+
+TEST(EnvLong, OutOfRangeClampsIncludingOverflow) {
+  testutil::ScopedEnv big("MPIRICAL_TEST_ENV_LONG", "999999");
+  EXPECT_EQ(support::env_long("MPIRICAL_TEST_ENV_LONG", 1, 1, 64), 64);
+  testutil::ScopedEnv small("MPIRICAL_TEST_ENV_LONG", "-7");
+  EXPECT_EQ(support::env_long("MPIRICAL_TEST_ENV_LONG", 1, 1, 64), 1);
+  // Saturates strtol (errno == ERANGE) and still clamps to the bound.
+  testutil::ScopedEnv huge("MPIRICAL_TEST_ENV_LONG",
+                           "99999999999999999999999999999");
+  EXPECT_EQ(support::env_long("MPIRICAL_TEST_ENV_LONG", 1, 1, 64), 64);
+}
+
+// ---- io::TempFile (the worker-snapshot leak guard) --------------------------
+
+TEST(TempFile, WritesThroughOriginalFdAndUnlinksOnDestruction) {
+  std::string path;
+  {
+    io::TempFile tmp("/tmp/mpirical_test_tmp_XXXXXX");
+    path = tmp.path();
+    tmp.write("hello ");
+    tmp.write("world");
+    EXPECT_TRUE(io::file_exists(path));
+    EXPECT_EQ(io::read_file(path), "hello world");
+  }
+  EXPECT_FALSE(io::file_exists(path));
+}
+
+TEST(TempFile, UnlinksWhenAnExceptionUnwindsPastIt) {
+  // The regression this guards: evaluate_sharded_processes used to leak its
+  // worker-snapshot temp file on every throwing path.
+  std::string path;
+  try {
+    io::TempFile tmp("/tmp/mpirical_test_tmp_XXXXXX");
+    path = tmp.path();
+    tmp.write("doomed");
+    throw Error("simulated driver failure");
+  } catch (const Error&) {
+  }
+  ASSERT_FALSE(path.empty());
+  EXPECT_FALSE(io::file_exists(path));
+}
+
+TEST(TempFile, CloseFdKeepsFileForByNameConsumers) {
+  io::TempFile tmp("/tmp/mpirical_test_tmp_XXXXXX");
+  tmp.write("mapped by workers");
+  tmp.close_fd();
+  tmp.close_fd();  // idempotent
+  EXPECT_TRUE(io::file_exists(tmp.path()));
+  EXPECT_EQ(io::read_file(tmp.path()), "mapped by workers");
+}
+
+TEST(TempFile, UnlinkNowIsIdempotentAndDisarmsDestructor) {
+  io::TempFile tmp("/tmp/mpirical_test_tmp_XXXXXX");
+  const std::string path = tmp.path();
+  tmp.unlink_now();
+  tmp.unlink_now();
+  EXPECT_FALSE(io::file_exists(path));
+}
+
+TEST(TempFile, MoveTransfersOwnership) {
+  std::string path;
+  {
+    io::TempFile outer = [] {
+      io::TempFile inner("/tmp/mpirical_test_tmp_XXXXXX");
+      inner.write("moved");
+      return inner;
+    }();
+    path = outer.path();
+    EXPECT_TRUE(io::file_exists(path));
+    EXPECT_EQ(io::read_file(path), "moved");
+  }
+  EXPECT_FALSE(io::file_exists(path));
+}
+
+TEST(TempFile, RejectsBadTemplate) {
+  EXPECT_THROW(io::TempFile("/nonexistent-dir/nope_XXXXXX"), Error);
+}
+
+// ---- ignore_sigpipe ---------------------------------------------------------
+
+TEST(IgnoreSigpipe, WriteToClosedPipeFailsWithEpipeInsteadOfKilling) {
+  support::ignore_sigpipe();
+  support::ignore_sigpipe();  // idempotent (call_once underneath)
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);
+  errno = 0;
+  const ssize_t n = ::write(fds[1], "x", 1);
+  EXPECT_EQ(n, -1);
+  EXPECT_EQ(errno, EPIPE);  // still alive to observe it
+  ::close(fds[1]);
 }
 
 }  // namespace

@@ -1,0 +1,70 @@
+// Standalone serving daemon: mmap a world snapshot once, serve translate
+// requests over a Unix-domain socket until a client sends kServeShutdown.
+//
+//   mpirical_served <snapshot> <socket> [--wave N] [--barrier]
+//
+//   <snapshot>   world snapshot file (eval or dataset shape; see
+//                core/world_snapshot.hpp). The model weights stay zero-copy
+//                views into the mapping for the daemon's lifetime.
+//   <socket>     Unix-domain socket path to listen on (created; a stale
+//                file is replaced; unlinked on clean exit).
+//   --wave N     cap on concurrently-decoding requests (default: the
+//                MPIRICAL_DECODE_WAVE wave size translate_batch uses).
+//   --barrier    per-wave-barrier admission instead of continuous refill
+//                (the baseline bench_serve measures against).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/daemon.hpp"
+#include "support/check.hpp"
+#include "support/env.hpp"
+
+int main(int argc, char** argv) {
+  using mpirical::serve::DaemonOptions;
+  using mpirical::serve::ServerStats;
+
+  DaemonOptions options;
+  try {
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--barrier") {
+        options.barrier_mode = true;
+      } else if (arg == "--wave") {
+        MR_CHECK(i + 1 < argc, "--wave needs a value");
+        char* end = nullptr;
+        const long v = std::strtol(argv[++i], &end, 10);
+        MR_CHECK(end != argv[i] && *end == '\0' && v >= 1 && v <= 4096,
+                 "--wave must be an integer in [1, 4096]");
+        options.max_wave = static_cast<std::size_t>(v);
+      } else if (positional == 0) {
+        options.snapshot_path = arg;
+        ++positional;
+      } else if (positional == 1) {
+        options.socket_path = arg;
+        ++positional;
+      } else {
+        MR_CHECK(false, "unexpected argument: " + arg);
+      }
+    }
+    MR_CHECK(!options.snapshot_path.empty() && !options.socket_path.empty(),
+             "usage: mpirical_served <snapshot> <socket> [--wave N] "
+             "[--barrier]");
+    std::fprintf(stderr, "[mpirical_served] serving %s on %s%s\n",
+                 options.snapshot_path.c_str(), options.socket_path.c_str(),
+                 options.barrier_mode ? " (barrier mode)" : "");
+    const ServerStats stats = mpirical::serve::run_daemon(options);
+    std::fprintf(stderr,
+                 "[mpirical_served] served=%llu joined_running_wave=%llu "
+                 "aborted_connections=%llu\n",
+                 static_cast<unsigned long long>(stats.served),
+                 static_cast<unsigned long long>(stats.joined_running_wave),
+                 static_cast<unsigned long long>(stats.aborted_connections));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[mpirical_served] fatal: %s\n", e.what());
+    return 1;
+  }
+}
