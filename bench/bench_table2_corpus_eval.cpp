@@ -125,11 +125,14 @@ int main(int argc, char** argv) {
     // snapshot layer exists to collapse).
     const shard::ShardRunStats stats = shard::last_run_stats();
     {
-      char buf[160];
+      char buf[256];
       std::snprintf(buf, sizeof(buf),
-                    ",\"snapshot\":%s,\"snapshot_write_ms\":%.2f,"
+                    ",\"transport\":\"%s\",\"snapshot\":%s,"
+                    "\"snapshot_streamed\":%s,\"snapshot_write_ms\":%.2f,"
                     "\"snapshot_bytes\":%llu",
+                    stats.transport.empty() ? "none" : stats.transport.c_str(),
                     stats.used_snapshot ? "true" : "false",
+                    stats.snapshot_streamed ? "true" : "false",
                     stats.snapshot_write_ms,
                     static_cast<unsigned long long>(stats.snapshot_bytes));
       line += buf;

@@ -9,6 +9,10 @@ using shard::FrameType;
 Client::Client(const std::string& socket_path, int connect_timeout_ms)
     : transport_(shard::unix_connect(socket_path, connect_timeout_ms)) {}
 
+Client::Client(const std::string& host, std::uint16_t port,
+               int connect_timeout_ms)
+    : transport_(shard::tcp_connect(host, port, connect_timeout_ms)) {}
+
 std::uint64_t Client::send(const std::string& input_code,
                            const std::string& input_xsbt, int beam_width) {
   shard::TranslateWireRequest req;

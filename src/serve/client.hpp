@@ -27,6 +27,12 @@ class Client {
   explicit Client(const std::string& socket_path,
                   int connect_timeout_ms = 30000);
 
+  /// Connects to a TCP daemon at host:port (same retry-while-booting
+  /// semantics; TCP_NODELAY is set -- the protocol is request/response on
+  /// small frames).
+  Client(const std::string& host, std::uint16_t port,
+         int connect_timeout_ms = 30000);
+
   /// Pipelines one request; returns the id its result will carry.
   std::uint64_t send(const std::string& input_code,
                      const std::string& input_xsbt, int beam_width = 1);

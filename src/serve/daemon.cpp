@@ -18,6 +18,7 @@ ServerStats run_daemon(const DaemonOptions& options) {
   core::World world = core::load_world_snapshot(options.snapshot_path);
   ServerOptions server_options;
   server_options.socket_path = options.socket_path;
+  server_options.tcp_addr = options.tcp_addr;
   server_options.max_wave = options.max_wave;
   server_options.barrier_mode = options.barrier_mode;
   Server server(world.model, server_options);
@@ -30,14 +31,16 @@ void maybe_run_serve_daemon() {
   if (role == nullptr || std::string(role) != "daemon") return;
   const char* snapshot = std::getenv("MPIRICAL_SERVE_SNAPSHOT");
   const char* socket = std::getenv("MPIRICAL_SERVE_SOCKET");
+  const char* tcp = std::getenv("MPIRICAL_SERVE_TCP");
   int code = 0;
   try {
-    MR_CHECK(snapshot != nullptr && socket != nullptr,
-             "daemon role needs MPIRICAL_SERVE_SNAPSHOT and "
-             "MPIRICAL_SERVE_SOCKET");
+    MR_CHECK(snapshot != nullptr && (socket != nullptr || tcp != nullptr),
+             "daemon role needs MPIRICAL_SERVE_SNAPSHOT and one of "
+             "MPIRICAL_SERVE_SOCKET / MPIRICAL_SERVE_TCP");
     DaemonOptions options;
     options.snapshot_path = snapshot;
-    options.socket_path = socket;
+    if (socket != nullptr) options.socket_path = socket;
+    if (tcp != nullptr) options.tcp_addr = tcp;
     options.max_wave = static_cast<std::size_t>(
         support::env_long("MPIRICAL_SERVE_WAVE", 0, 0, 4096));
     options.barrier_mode =

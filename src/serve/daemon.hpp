@@ -17,7 +17,10 @@ struct DaemonOptions {
   /// mapping for the daemon's lifetime). Eval- and dataset-shape snapshots
   /// both work; only the model is served.
   std::string snapshot_path;
+  /// Exactly one of socket_path (Unix-domain) / tcp_addr ("host:port",
+  /// port 0 = ephemeral) must be set.
   std::string socket_path;
+  std::string tcp_addr;
   std::size_t max_wave = 0;   // 0 = shard::decode_wave_size()
   bool barrier_mode = false;  // per-wave-barrier baseline (bench control)
 };
@@ -28,9 +31,10 @@ ServerStats run_daemon(const DaemonOptions& options);
 
 /// Self-exec hook for binaries that re-exec themselves as the daemon (the
 /// serve bench and tests): when MPIRICAL_SERVE_ROLE=daemon, reads
-/// MPIRICAL_SERVE_SNAPSHOT / MPIRICAL_SERVE_SOCKET / MPIRICAL_SERVE_WAVE /
-/// MPIRICAL_SERVE_BARRIER, runs the daemon, and _exits -- it never returns.
-/// In any other role it returns immediately. Call first in main().
+/// MPIRICAL_SERVE_SNAPSHOT / MPIRICAL_SERVE_SOCKET (or MPIRICAL_SERVE_TCP =
+/// host:port) / MPIRICAL_SERVE_WAVE / MPIRICAL_SERVE_BARRIER, runs the
+/// daemon, and _exits -- it never returns. In any other role it returns
+/// immediately. Call first in main().
 void maybe_run_serve_daemon();
 
 }  // namespace mpirical::serve

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -50,7 +51,8 @@ Server::Server(const core::MpiRical& model, ServerOptions options)
       scheduler_(options_.max_wave != 0 ? options_.max_wave
                                         : shard::decode_wave_size(),
                  options_.barrier_mode) {
-  MR_CHECK(!options_.socket_path.empty(), "serve socket path is empty");
+  MR_CHECK(options_.socket_path.empty() != options_.tcp_addr.empty(),
+           "serve needs exactly one of socket_path / tcp_addr");
 }
 
 Server::~Server() = default;
@@ -60,7 +62,50 @@ ServerStats Server::stats() const {
   s.served = served_.load();
   s.joined_running_wave = joined_running_wave_.load();
   s.aborted_connections = aborted_connections_.load();
+  s.accepted_connections = accepted_connections_.load();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& weak : conns_) {
+      if (!weak.expired()) ++s.tracked_connections;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    // Readers that flagged themselves finished but have not been joined yet
+    // count as reaped: they are done with client I/O, just awaiting the
+    // accept loop's next turn.
+    s.live_readers = readers_.size() > finished_readers_.size()
+                         ? readers_.size() - finished_readers_.size()
+                         : 0;
+  }
   return s;
+}
+
+void Server::reap_finished_readers() {
+  std::vector<std::uint64_t> finished;
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    finished.swap(finished_readers_);
+  }
+  for (const std::uint64_t id : finished) {
+    std::thread reader;
+    {
+      std::lock_guard<std::mutex> lock(readers_mu_);
+      const auto it = readers_.find(id);
+      if (it == readers_.end()) continue;
+      reader = std::move(it->second);
+      readers_.erase(it);
+    }
+    // The thread flagged itself finished as its last act, so this join
+    // returns promptly -- it never waits on client I/O.
+    if (reader.joinable()) reader.join();
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [](const std::weak_ptr<Connection>& weak) {
+                                return weak.expired();
+                              }),
+               conns_.end());
 }
 
 void Server::request_shutdown() {
@@ -124,6 +169,11 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
     conn->eof.store(true, std::memory_order_release);
     conn->maybe_finish();
   }
+  // Last act: flag this reader reapable so the accept loop can join it (a
+  // thread cannot join itself) instead of accumulating one exited thread
+  // per connection ever served.
+  std::lock_guard<std::mutex> lock(readers_mu_);
+  finished_readers_.push_back(conn->id);
 }
 
 void Server::engine_loop() {
@@ -188,24 +238,41 @@ void Server::engine_loop() {
 
 void Server::run() {
   support::ignore_sigpipe();
-  listen_fd_.store(shard::unix_listen(options_.socket_path, /*backlog=*/64),
-                   std::memory_order_release);
+  const bool tcp = !options_.tcp_addr.empty();
+  if (tcp) {
+    const auto [host, port] = shard::split_host_port(options_.tcp_addr);
+    std::uint16_t bound = 0;
+    const int fd = shard::tcp_listen(host, port, /*backlog=*/64, &bound);
+    tcp_port_.store(bound, std::memory_order_release);
+    listen_fd_.store(fd, std::memory_order_release);
+  } else {
+    listen_fd_.store(shard::unix_listen(options_.socket_path, /*backlog=*/64),
+                     std::memory_order_release);
+  }
   std::thread engine([this] { engine_loop(); });
-  std::vector<std::thread> readers;
   std::uint64_t next_conn = 1;
   for (;;) {
-    const int fd = shard::unix_accept(listen_fd_.load());
+    // Both accept helpers retry transient failures internally (EMFILE and
+    // friends back off until descriptors free up) and return -1 only for a
+    // genuinely closed/shut-down listener -- a daemon that hit its fd limit
+    // under load resumes accepting instead of silently dying here.
+    const int fd = tcp ? shard::tcp_accept(listen_fd_.load())
+                       : shard::unix_accept(listen_fd_.load());
     if (fd < 0) break;  // listener shut down
+    reap_finished_readers();
     if (scheduler_.shutting_down()) {
       ::close(fd);
       continue;  // raced request_shutdown; accept() fails next iteration
     }
+    accepted_connections_.fetch_add(1);
     auto conn = std::make_shared<Connection>(next_conn++, fd);
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(conn);
     }
-    readers.emplace_back([this, conn] { reader_loop(conn); });
+    std::thread reader([this, conn] { reader_loop(conn); });
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    readers_.emplace(conn->id, std::move(reader));
   }
   // Drain: the engine exits only once every queued/decoding request has
   // delivered. THEN release any reader still blocked on a client that never
@@ -220,10 +287,24 @@ void Server::run() {
       }
     }
   }
-  for (auto& reader : readers) reader.join();
+  for (;;) {
+    std::thread reader;
+    {
+      std::lock_guard<std::mutex> lock(readers_mu_);
+      if (readers_.empty()) break;
+      auto it = readers_.begin();
+      reader = std::move(it->second);
+      readers_.erase(it);
+    }
+    if (reader.joinable()) reader.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    finished_readers_.clear();
+  }
   const int fd = listen_fd_.exchange(-1);
   if (fd >= 0) ::close(fd);
-  ::unlink(options_.socket_path.c_str());
+  if (!tcp) ::unlink(options_.socket_path.c_str());
 }
 
 }  // namespace mpirical::serve

@@ -21,7 +21,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "core/model.hpp"
 #include "serve/scheduler.hpp"
@@ -29,7 +34,13 @@
 namespace mpirical::serve {
 
 struct ServerOptions {
+  /// Unix-domain listening address. Exactly one of socket_path / tcp_addr
+  /// must be set.
   std::string socket_path;
+  /// TCP listening address as "host:port" (port 0 = pick an ephemeral port;
+  /// read it back with Server::bound_tcp_port). Same framing, same protocol
+  /// -- remote clients just dial instead of opening a socket file.
+  std::string tcp_addr;
   /// Cap on concurrently-decoding requests; 0 = shard::decode_wave_size()
   /// (the same MPIRICAL_DECODE_WAVE knob translate_batch obeys).
   std::size_t max_wave = 0;
@@ -42,6 +53,13 @@ struct ServerStats {
   std::uint64_t served = 0;                // results delivered
   std::uint64_t joined_running_wave = 0;   // admitted while lanes were live
   std::uint64_t aborted_connections = 0;   // garbage frames / mid-frame cuts
+  std::uint64_t accepted_connections = 0;  // lifetime accepts
+  // Steady-state gauges (the churn regression): finished readers are
+  // joined and dead connections pruned as the accept loop turns, so both
+  // stay bounded by the number of LIVE clients instead of growing with
+  // every connection ever served.
+  std::uint64_t tracked_connections = 0;   // conns_ entries still alive
+  std::uint64_t live_readers = 0;          // reader threads not yet reaped
 };
 
 class Server {
@@ -61,22 +79,37 @@ class Server {
   /// listener down, and lets run() drain and return. Safe from any thread.
   void request_shutdown();
 
+  /// The actual TCP port once run() has bound a tcp_addr listener (the
+  /// port-0 ephemeral case); 0 before bind or for Unix-domain servers.
+  std::uint16_t bound_tcp_port() const {
+    return tcp_port_.load(std::memory_order_acquire);
+  }
+
   ServerStats stats() const;
 
  private:
   struct Connection;
   void reader_loop(const std::shared_ptr<Connection>& conn);
   void engine_loop();
+  /// Joins reader threads whose connections have ended and prunes expired
+  /// connection entries -- called as the accept loop turns so a long-lived
+  /// daemon's bookkeeping tracks LIVE clients, not lifetime clients.
+  void reap_finished_readers();
 
   const core::MpiRical* model_;
   ServerOptions options_;
   Scheduler scheduler_;
   std::atomic<int> listen_fd_{-1};
-  std::mutex conns_mu_;
+  std::atomic<std::uint16_t> tcp_port_{0};
+  mutable std::mutex conns_mu_;
   std::vector<std::weak_ptr<Connection>> conns_;
+  mutable std::mutex readers_mu_;
+  std::unordered_map<std::uint64_t, std::thread> readers_;
+  std::vector<std::uint64_t> finished_readers_;
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> joined_running_wave_{0};
   std::atomic<std::uint64_t> aborted_connections_{0};
+  std::atomic<std::uint64_t> accepted_connections_{0};
 };
 
 }  // namespace mpirical::serve

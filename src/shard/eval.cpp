@@ -11,8 +11,10 @@
 #include <thread>
 
 #include <cerrno>
+#include <cstdio>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -253,6 +255,51 @@ bool send_startup_info(Transport& transport, double startup_ms,
       encode_frame(FrameType::kStartupInfo, encode_startup_info(info)));
 }
 
+namespace {
+
+std::string snapshot_temp_template() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string path_template = (tmpdir != nullptr && tmpdir[0] != '\0')
+                                  ? std::string(tmpdir)
+                                  : std::string("/tmp");
+  path_template += "/mpirical_eval_snapshot_XXXXXX";
+  return path_template;
+}
+
+/// Receives an in-band snapshot stream (the kSnapshotBegin frame already
+/// decoded into `begin`) into a local temp file, verifying the per-chunk
+/// checksums (decode_snapshot_chunk), chunk contiguity, and the whole-stream
+/// size + checksum. Returns the temp path; throws Error on any corruption
+/// or a truncated stream.
+io::TempFile recv_snapshot_stream(Transport& transport, FrameParser& parser,
+                                  const SnapshotStreamBegin& begin) {
+  io::TempFile file(snapshot_temp_template());
+  std::uint64_t received = 0;
+  std::uint64_t running = snapshot::kFnv1a64Init;
+  for (;;) {
+    const std::optional<Frame> frame = recv_frame(transport, parser);
+    MR_CHECK(frame.has_value(), "snapshot stream truncated (driver gone)");
+    if (frame->type == FrameType::kSnapshotEnd) break;
+    MR_CHECK(frame->type == FrameType::kSnapshotChunk,
+             "unexpected frame inside a snapshot stream");
+    const SnapshotStreamChunk chunk = decode_snapshot_chunk(frame->payload);
+    MR_CHECK(chunk.offset == received,
+             "snapshot stream gap/overlap (corrupt stream)");
+    running =
+        snapshot::fnv1a64_accum(running, chunk.data.data(), chunk.data.size());
+    file.write(chunk.data);
+    received += chunk.data.size();
+  }
+  MR_CHECK(received == begin.total_bytes,
+           "snapshot stream ended short of its declared size");
+  MR_CHECK(running == begin.checksum,
+           "snapshot stream checksum mismatch (corrupt stream)");
+  file.close_fd();
+  return file;
+}
+
+}  // namespace
+
 void run_worker_from_snapshot(Transport& transport, double pre_ms) {
   FrameParser parser;
   try {
@@ -260,16 +307,28 @@ void run_worker_from_snapshot(Transport& transport, double pre_ms) {
     do {
       frame = recv_frame(transport, parser);
     } while (frame && frame->type == FrameType::kHeartbeat);
-    if (!frame || frame->type != FrameType::kSnapshot) {
+    if (!frame || (frame->type != FrameType::kSnapshot &&
+                   frame->type != FrameType::kSnapshotBegin)) {
       transport.close();
       return;
     }
-    const SnapshotHello hello = decode_snapshot_hello(frame->payload);
-    // Startup proper: mmap + checksum pass + pointer fixups + split decode.
-    // Waiting for the driver's frame above is excluded -- that's the
-    // driver's time, not this worker's spawn cost.
+    // Startup proper: (for in-band streams) receive + verify, then mmap +
+    // checksum pass + pointer fixups + split decode. Waiting for the
+    // driver's first frame above is excluded -- that's the driver's time,
+    // not this worker's spawn cost.
     Timer load_timer;
-    const core::World world = core::load_world_snapshot(hello.path);
+    core::World world;
+    if (frame->type == FrameType::kSnapshot) {
+      const SnapshotHello hello = decode_snapshot_hello(frame->payload);
+      world = core::load_world_snapshot(hello.path);
+    } else {
+      const SnapshotStreamBegin begin = decode_snapshot_begin(frame->payload);
+      io::TempFile file = recv_snapshot_stream(transport, parser, begin);
+      world = core::load_world_snapshot(file.path());
+      // The mapping keeps the bytes alive; the name can go immediately so a
+      // worker killed mid-run leaves no droppings.
+      file.unlink_now();
+    }
     MR_CHECK(world.has_eval, "worker snapshot carries no eval split");
     const double load_ms = load_timer.seconds() * 1e3;
     if (!send_startup_info(transport, pre_ms + load_ms, load_ms)) {
@@ -283,6 +342,27 @@ void run_worker_from_snapshot(Transport& transport, double pre_ms) {
     // the driver reassigns our chunks (or falls back in-process).
   }
   transport.close();
+}
+
+bool send_snapshot_inband(Transport& transport, const std::string& bytes) {
+  SnapshotStreamBegin begin;
+  begin.total_bytes = bytes.size();
+  begin.checksum = snapshot::fnv1a64(bytes.data(), bytes.size());
+  if (!transport.send(encode_frame(FrameType::kSnapshotBegin,
+                                   encode_snapshot_begin(begin)))) {
+    return false;
+  }
+  for (std::size_t off = 0; off < bytes.size(); off += kSnapshotChunkBytes) {
+    SnapshotStreamChunk chunk;
+    chunk.offset = off;
+    chunk.data = bytes.substr(off, kSnapshotChunkBytes);
+    chunk.checksum = snapshot::fnv1a64(chunk.data.data(), chunk.data.size());
+    if (!transport.send(encode_frame(FrameType::kSnapshotChunk,
+                                     encode_snapshot_chunk(chunk)))) {
+      return false;
+    }
+  }
+  return transport.send(encode_frame(FrameType::kSnapshotEnd, ""));
 }
 
 core::EvalSummary run_driver(
@@ -468,6 +548,9 @@ core::EvalSummary run_driver(
         break;
       case FrameType::kTaskGrant:
       case FrameType::kSnapshot:
+      case FrameType::kSnapshotBegin:
+      case FrameType::kSnapshotChunk:
+      case FrameType::kSnapshotEnd:
       case FrameType::kTranslateRequest:
       case FrameType::kTranslateResult:
       case FrameType::kServeShutdown:
@@ -522,6 +605,10 @@ core::EvalSummary evaluate_sharded_inprocess(
     const ShardOptions& options,
     std::vector<core::ExamplePrediction>* predictions) {
   reset_run_stats();
+  {
+    std::lock_guard<std::mutex> lock(g_stats_mu);
+    g_stats.transport = "loopback";
+  }
   const std::size_t chunks =
       make_wave_chunks(split.size(), decode_wave_size()).size();
   const std::size_t num_workers =
@@ -563,8 +650,15 @@ bool is_worker_role() {
 
 std::unique_ptr<Transport> worker_transport() {
   // The driver can vanish while this worker writes a result frame; EPIPE
-  // (not a fatal signal) is the contract PipeTransport::send relies on.
+  // (not a fatal signal) is the contract the transports' send relies on.
   support::ignore_sigpipe();
+  const char* connect_spec = std::getenv("MPIRICAL_EVAL_CONNECT");
+  if (connect_spec != nullptr && connect_spec[0] != '\0') {
+    // TCP dial-back deployment: the driver is listening and told us where.
+    const auto [host, port] = split_host_port(connect_spec);
+    return std::make_unique<SocketTransport>(
+        tcp_connect(host, port, /*timeout_ms=*/10000));
+  }
   return std::make_unique<PipeTransport>(/*read_fd=*/3, /*write_fd=*/4);
 }
 
@@ -609,7 +703,11 @@ ProcessWorker spawn_worker(const std::string& exe,
         ::dup2(result_w, 4) < 0) {
       _exit(127);
     }
-    for (int fd = 5; fd < 1024; ++fd) ::close(fd);
+    // EVERY inherited fd above the pipe contract must go -- the old
+    // `fd < 1024` loop leaked any higher descriptor (trivially reachable
+    // under a serving daemon or a big shard count) into the worker, where a
+    // leaked sibling pipe write-end blocks that sibling's EOF forever.
+    support::close_fds_from(5);
     char* const argv[] = {const_cast<char*>(exe.c_str()), nullptr};
     ::execve(exe.c_str(), argv, envp.data());
     _exit(127);
@@ -624,6 +722,52 @@ ProcessWorker spawn_worker(const std::string& exe,
   return worker;
 }
 
+/// Fork/exec of a TCP dial-back worker: no pipes -- the child inherits only
+/// stdio (everything from fd 3 up is closed, including the driver's listen
+/// socket) and finds the driver's address in MPIRICAL_EVAL_CONNECT.
+pid_t spawn_worker_tcp(const std::string& exe,
+                       const std::vector<char*>& envp) {
+  const pid_t pid = ::fork();
+  MR_CHECK(pid >= 0, "fork() failed");
+  if (pid == 0) {
+    support::close_fds_from(3);
+    char* const argv[] = {const_cast<char*>(exe.c_str()), nullptr};
+    ::execve(exe.c_str(), argv, envp.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Accepts up to `expected` dial-back connections on `listen_fd`, bounded
+/// by `deadline_ms` overall. A worker that died before connecting simply
+/// yields fewer transports -- its chunks are never granted and the driver's
+/// normal reassignment/in-process fallback covers them.
+std::vector<std::unique_ptr<Transport>> accept_dialbacks(int listen_fd,
+                                                         std::size_t expected,
+                                                         int deadline_ms) {
+  std::vector<std::unique_ptr<Transport>> out;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (out.size() < expected) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    struct pollfd pfd;
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, std::min(remaining_ms, 200));
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = tcp_accept(listen_fd);
+    if (fd < 0) break;
+    out.push_back(std::make_unique<SocketTransport>(fd));
+  }
+  return out;
+}
+
 }  // namespace
 
 namespace {
@@ -634,12 +778,7 @@ namespace {
 /// unlinks the file on EVERY exit path -- a driver that throws mid-run
 /// must not leave mpirical_eval_snapshot_* droppings in /tmp.
 io::TempFile write_worker_snapshot(const std::string& bytes) {
-  const char* tmpdir = std::getenv("TMPDIR");
-  std::string path_template = (tmpdir != nullptr && tmpdir[0] != '\0')
-                                  ? std::string(tmpdir)
-                                  : std::string("/tmp");
-  path_template += "/mpirical_eval_snapshot_XXXXXX";
-  io::TempFile file(path_template);
+  io::TempFile file(snapshot_temp_template());
   file.write(bytes);
   file.close_fd();  // workers open it by name; the driver only needs the path
   return file;
@@ -660,19 +799,34 @@ core::EvalSummary evaluate_sharded_processes(
   const std::string exe = resolve_self_exec();
   reset_run_stats();
 
+  // MPIRICAL_EVAL_TCP=1: workers dial back over TCP(127.0.0.1) instead of
+  // inheriting pipes -- the local rehearsal of the cross-machine transport.
+  // MPIRICAL_EVAL_SNAPSHOT_STREAM=1 additionally ships the snapshot bytes
+  // in-band over those connections (no shared filesystem assumed), exactly
+  // what the MPIRICAL_EVAL_HOSTS deployment always does.
+  const bool tcp_mode = support::env_long("MPIRICAL_EVAL_TCP", 0, 0, 1) == 1;
+  const bool have_snapshot = snapshot::snapshot_enabled();
+  const bool stream_snapshot =
+      tcp_mode && have_snapshot &&
+      support::env_long("MPIRICAL_EVAL_SNAPSHOT_STREAM", 0, 0, 1) == 1;
+
   // Snapshot deployment: materialize the exact model + split into one
-  // mmap-able file ONCE; every worker's startup collapses to mmap +
+  // mmap-able blob ONCE; every worker's startup collapses to mmap +
   // pointer fixups instead of rebuilding the corpus from the environment.
   // The RAII guard unlinks the temp file even when the driver below throws.
+  std::string snapshot_bytes;
   std::optional<io::TempFile> snapshot_file;
-  if (snapshot::snapshot_enabled()) {
+  if (have_snapshot) {
     Timer write_timer;
-    const std::string bytes = core::build_eval_snapshot(model, split);
-    snapshot_file.emplace(write_worker_snapshot(bytes));
+    snapshot_bytes = core::build_eval_snapshot(model, split);
+    if (!stream_snapshot) {
+      snapshot_file.emplace(write_worker_snapshot(snapshot_bytes));
+    }
     std::lock_guard<std::mutex> lock(g_stats_mu);
     g_stats.used_snapshot = true;
+    g_stats.snapshot_streamed = stream_snapshot;
     g_stats.snapshot_write_ms = write_timer.seconds() * 1e3;
-    g_stats.snapshot_bytes = bytes.size();
+    g_stats.snapshot_bytes = snapshot_bytes.size();
   }
 
   const std::size_t chunks =
@@ -684,37 +838,79 @@ core::EvalSummary evaluate_sharded_processes(
     // Presize the per-worker stat slots so index == worker id even when a
     // worker dies before reporting its StartupInfo (sentinel -1 stays).
     std::lock_guard<std::mutex> lock(g_stats_mu);
+    g_stats.transport = tcp_mode ? "tcp" : "pipe";
     g_stats.worker_startup_ms.assign(num_workers, -1.0);
     g_stats.worker_load_ms.assign(num_workers, -1.0);
   }
 
-  // Child environment: the parent's, plus the worker role marker. Built
-  // before fork so the child touches no allocator.
+  // TCP mode listens before the child environment is built: the children
+  // need the bound port.
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  if (tcp_mode) {
+    listen_fd = tcp_listen("127.0.0.1", 0,
+                           static_cast<int>(num_workers) + 1, &port);
+  }
+
+  // Child environment: the parent's, plus the worker role marker (and the
+  // dial-back address in TCP mode; a stale inherited one is stripped so a
+  // pipe-mode run under a TCP-mode parent cannot dial a dead listener).
+  // Built before fork so the child touches no allocator.
   std::vector<std::string> env_storage;
   for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
-    if (std::string(*e).rfind("MPIRICAL_EVAL_SHARD_ROLE=", 0) == 0) continue;
-    env_storage.emplace_back(*e);
+    const std::string entry(*e);
+    if (entry.rfind("MPIRICAL_EVAL_SHARD_ROLE=", 0) == 0) continue;
+    if (entry.rfind("MPIRICAL_EVAL_CONNECT=", 0) == 0) continue;
+    env_storage.emplace_back(entry);
   }
   env_storage.emplace_back("MPIRICAL_EVAL_SHARD_ROLE=worker");
+  if (tcp_mode) {
+    env_storage.emplace_back("MPIRICAL_EVAL_CONNECT=127.0.0.1:" +
+                             std::to_string(port));
+  }
   std::vector<char*> envp;
   envp.reserve(env_storage.size() + 1);
   for (auto& s : env_storage) envp.push_back(s.data());
   envp.push_back(nullptr);
 
   std::vector<ProcessWorker> procs;
+  std::vector<std::unique_ptr<Transport>> tcp_transports;
   std::vector<Transport*> transports;
   procs.reserve(num_workers);
-  for (std::size_t w = 0; w < num_workers; ++w) {
-    procs.push_back(spawn_worker(exe, envp, w));
-    transports.push_back(procs.back().transport.get());
-    if (snapshot_file) {
-      // First frame to every snapshot-mode worker: the path to mmap. A
-      // worker that already died fails the send harmlessly; the driver
-      // reassigns its chunks.
-      SnapshotHello hello;
-      hello.path = snapshot_file->path();
-      transports.back()->send(
-          encode_frame(FrameType::kSnapshot, encode_snapshot_hello(hello)));
+  if (tcp_mode) {
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      ProcessWorker proc;
+      proc.pid = spawn_worker_tcp(exe, envp);
+      procs.push_back(std::move(proc));
+    }
+    tcp_transports =
+        accept_dialbacks(listen_fd, num_workers, /*deadline_ms=*/30000);
+    ::close(listen_fd);
+    listen_fd = -1;
+    for (auto& t : tcp_transports) {
+      transports.push_back(t.get());
+      // First frames to every snapshot-mode worker: the world to load,
+      // in-band or by path. A worker that already died fails the send
+      // harmlessly; the driver reassigns its chunks.
+      if (stream_snapshot) {
+        send_snapshot_inband(*t, snapshot_bytes);
+      } else if (snapshot_file) {
+        SnapshotHello hello;
+        hello.path = snapshot_file->path();
+        t->send(
+            encode_frame(FrameType::kSnapshot, encode_snapshot_hello(hello)));
+      }
+    }
+  } else {
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      procs.push_back(spawn_worker(exe, envp, w));
+      transports.push_back(procs.back().transport.get());
+      if (snapshot_file) {
+        SnapshotHello hello;
+        hello.path = snapshot_file->path();
+        transports.back()->send(
+            encode_frame(FrameType::kSnapshot, encode_snapshot_hello(hello)));
+      }
     }
   }
 
@@ -730,6 +926,7 @@ core::EvalSummary evaluate_sharded_processes(
   for (auto& proc : procs) {
     proc.transport.reset();  // closes both pipe ends; healthy workers exit
   }
+  tcp_transports.clear();  // closes the sockets; dial-back workers see EOF
   // Reap with a grace window, then escalate: a wedged worker must not turn
   // a finished evaluation into an unbounded wait.
   for (auto& proc : procs) {
@@ -752,6 +949,83 @@ core::EvalSummary evaluate_sharded_processes(
   return summary;
 }
 
+std::vector<std::string> env_eval_hosts() {
+  std::vector<std::string> hosts;
+  const char* spec = std::getenv("MPIRICAL_EVAL_HOSTS");
+  if (spec == nullptr || spec[0] == '\0') return hosts;
+  const std::string s(spec);
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string part =
+        s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                 : comma - pos);
+    if (!part.empty()) hosts.push_back(part);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return hosts;
+}
+
+core::EvalSummary evaluate_sharded_tcp_hosts(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const ShardOptions& options, const std::vector<std::string>& hosts,
+    std::vector<core::ExamplePrediction>* predictions) {
+  MR_CHECK(!hosts.empty(),
+           "tcp-hosts deployment needs at least one host:port");
+  MR_CHECK(snapshot::snapshot_enabled(),
+           "MPIRICAL_EVAL_HOSTS requires snapshots enabled: remote workers "
+           "cannot rebuild the model from this process's environment");
+  support::ignore_sigpipe();
+  reset_run_stats();
+
+  Timer write_timer;
+  const std::string bytes = core::build_eval_snapshot(model, split);
+  {
+    std::lock_guard<std::mutex> lock(g_stats_mu);
+    g_stats.transport = "tcp-hosts";
+    g_stats.used_snapshot = true;
+    g_stats.snapshot_streamed = true;
+    g_stats.snapshot_write_ms = write_timer.seconds() * 1e3;
+    g_stats.snapshot_bytes = bytes.size();
+    g_stats.worker_startup_ms.assign(hosts.size(), -1.0);
+    g_stats.worker_load_ms.assign(hosts.size(), -1.0);
+  }
+
+  const int timeout_ms = static_cast<int>(support::env_long(
+      "MPIRICAL_EVAL_CONNECT_TIMEOUT_MS", 10000, 1, 600000));
+  std::vector<std::unique_ptr<Transport>> owned;
+  std::vector<Transport*> transports;
+  for (const auto& spec : hosts) {
+    // A malformed spec is config garbage and throws; an unreachable host is
+    // an operational condition -- skip it with a warning and let the driver
+    // spread its chunks over the hosts that did answer (or, if none did,
+    // fall back in-process).
+    const auto [host, port] = split_host_port(spec);
+    int fd = -1;
+    try {
+      fd = tcp_connect(host, port, timeout_ms);
+    } catch (const Error& e) {
+      std::fprintf(stderr,
+                   "mpirical: eval host '%s' unreachable, skipping: %s\n",
+                   spec.c_str(), e.what());
+      continue;
+    }
+    auto t = std::make_unique<SocketTransport>(fd);
+    // Remote filesystems are not assumed shared: the snapshot always goes
+    // in-band. A worker that vanished mid-stream fails the send harmlessly;
+    // its reader sees EOF and the driver reassigns.
+    send_snapshot_inband(*t, bytes);
+    transports.push_back(t.get());
+    owned.push_back(std::move(t));
+  }
+
+  core::EvalSummary summary =
+      run_driver(model, split, transports, options, predictions);
+  owned.clear();  // closes the sockets
+  return summary;
+}
+
 core::EvalSummary evaluate_sharded(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options,
@@ -759,6 +1033,11 @@ core::EvalSummary evaluate_sharded(
   if (split.empty()) {
     if (predictions) predictions->clear();
     return core::reduce_example_summaries({});
+  }
+  const std::vector<std::string> hosts = env_eval_hosts();
+  if (!hosts.empty() && !is_worker_role()) {
+    return evaluate_sharded_tcp_hosts(model, split, options, hosts,
+                                      predictions);
   }
   if (worker_self_exec_configured() && !is_worker_role()) {
     return evaluate_sharded_processes(model, split, options, predictions);

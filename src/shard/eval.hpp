@@ -57,6 +57,9 @@ std::size_t env_shards();
 /// holds the sentinel -1.
 struct ShardRunStats {
   bool used_snapshot = false;        // world snapshot shipped path-over-pipe
+  bool snapshot_streamed = false;    // snapshot bytes went in-band (TCP)
+  std::string transport;             // "loopback" | "pipe" | "tcp" |
+                                     // "tcp-hosts" ("" = no run yet)
   double snapshot_write_ms = 0.0;    // driver: build + write the world file
   std::uint64_t snapshot_bytes = 0;  // world file size
   std::vector<double> worker_startup_ms;  // exec -> ready (per worker)
@@ -93,6 +96,14 @@ void run_worker_from_snapshot(Transport& transport, double pre_ms);
 bool send_startup_info(Transport& transport, double startup_ms,
                        double load_ms);
 
+/// Driver side of in-band snapshot deployment: streams `bytes` as a
+/// kSnapshotBegin / chunked kSnapshotChunk / kSnapshotEnd sequence (each
+/// chunk individually checksummed, the whole stream checksummed in the
+/// begin frame). The worker counterpart is run_worker_from_snapshot, which
+/// accepts this in place of a kSnapshot path hello. Returns false when the
+/// worker vanished mid-stream.
+bool send_snapshot_inband(Transport& transport, const std::string& bytes);
+
 /// Driver side: partitions the split into wave chunks, serves grants over
 /// the worker transports, reassigns on worker death, evaluates any
 /// still-missing chunks in-process, and merges in canonical example order.
@@ -116,16 +127,41 @@ bool worker_self_exec_configured();
 /// True in a process launched as a shard worker.
 bool is_worker_role();
 
-/// The spawned worker's pipe transport (grants on fd 3, results on fd 4).
+/// The spawned worker's transport back to the driver: a TCP dial-back when
+/// MPIRICAL_EVAL_CONNECT=host:port is set (the MPIRICAL_EVAL_TCP
+/// deployment), else the pipe pair (grants on fd 3, results on fd 4).
 std::unique_ptr<Transport> worker_transport();
 
 /// Process deployment: fork/execs the registered self-exec binary per shard.
+/// With MPIRICAL_EVAL_TCP=1 the workers talk TCP instead of pipes: the
+/// driver listens on an ephemeral 127.0.0.1 port, each spawned worker dials
+/// back (MPIRICAL_EVAL_CONNECT=host:port in its environment), and the
+/// snapshot ships by path as usual -- or in-band over the connection when
+/// MPIRICAL_EVAL_SNAPSHOT_STREAM=1 forces the no-shared-filesystem path.
 core::EvalSummary evaluate_sharded_processes(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options,
     std::vector<core::ExamplePrediction>* predictions = nullptr);
 
+/// Cross-machine deployment: dials pre-started listening workers
+/// (mpirical_eval_worker --listen host:port) at each "host:port" in `hosts`
+/// and streams the world snapshot to each IN-BAND -- the remote filesystem
+/// is not assumed shared. A host that cannot be reached within the connect
+/// timeout is skipped with a warning; if none answer (or workers die), the
+/// driver's usual reassignment/in-process fallback keeps the merge total.
+/// Requires snapshots enabled (remote workers cannot rebuild the model from
+/// this process's environment).
+core::EvalSummary evaluate_sharded_tcp_hosts(
+    const core::MpiRical& model, const std::vector<corpus::Example>& split,
+    const ShardOptions& options, const std::vector<std::string>& hosts,
+    std::vector<core::ExamplePrediction>* predictions = nullptr);
+
+/// Parses MPIRICAL_EVAL_HOSTS (comma-separated host:port list); empty when
+/// unset.
+std::vector<std::string> env_eval_hosts();
+
 /// What core::evaluate_model routes through for MPIRICAL_EVAL_SHARDS > 1:
+/// MPIRICAL_EVAL_HOSTS picks the cross-machine TCP deployment; otherwise
 /// the process deployment when a self-exec worker is registered (and this
 /// process is not itself a worker), else loopback threads.
 core::EvalSummary evaluate_sharded(

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "snapshot/snapshot.hpp"
 #include "support/check.hpp"
 
 namespace mpirical::shard {
@@ -104,7 +105,7 @@ class Reader {
 
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kTaskRequest) &&
-         t <= static_cast<std::uint8_t>(FrameType::kServeShutdown);
+         t <= static_cast<std::uint8_t>(FrameType::kSnapshotEnd);
 }
 
 }  // namespace
@@ -284,6 +285,47 @@ StartupInfo decode_startup_info(const std::string& payload) {
   info.load_us = r.u64();
   r.done();
   return info;
+}
+
+std::string encode_snapshot_begin(const SnapshotStreamBegin& begin) {
+  std::string out;
+  append_u64(out, begin.total_bytes);
+  append_u64(out, begin.checksum);
+  return out;
+}
+
+SnapshotStreamBegin decode_snapshot_begin(const std::string& payload) {
+  Reader r(payload);
+  SnapshotStreamBegin begin;
+  begin.total_bytes = r.u64();
+  begin.checksum = r.u64();
+  r.done();
+  // Sanity bound: a forged size must not drive the worker into reserving
+  // terabytes of scratch. World snapshots are tens of MB to a few GB.
+  MR_CHECK(begin.total_bytes <= (std::uint64_t{1} << 38),
+           "snapshot stream size implausibly large");
+  return begin;
+}
+
+std::string encode_snapshot_chunk(const SnapshotStreamChunk& chunk) {
+  std::string out;
+  append_u64(out, chunk.offset);
+  append_u64(out, chunk.checksum);
+  append_bytes(out, chunk.data);
+  return out;
+}
+
+SnapshotStreamChunk decode_snapshot_chunk(const std::string& payload) {
+  Reader r(payload);
+  SnapshotStreamChunk chunk;
+  chunk.offset = r.u64();
+  chunk.checksum = r.u64();
+  chunk.data = r.bytes();
+  r.done();
+  MR_CHECK(chunk.checksum ==
+               snapshot::fnv1a64(chunk.data.data(), chunk.data.size()),
+           "snapshot chunk checksum mismatch (corrupt stream)");
+  return chunk;
 }
 
 std::string encode_translate_request(const TranslateWireRequest& req) {

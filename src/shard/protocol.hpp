@@ -49,6 +49,17 @@ enum class FrameType : std::uint8_t {
   kTranslateRequest = 8,  // client -> daemon: TranslateWireRequest
   kTranslateResult = 9,   // daemon -> client: TranslateWireResult
   kServeShutdown = 10,    // client -> daemon: drain and exit (no payload)
+  // In-band snapshot streaming (cross-machine TCP workers, where the
+  // driver's filesystem is not shared): instead of a kSnapshot path hello,
+  // the driver streams the world-snapshot bytes themselves -- a
+  // kSnapshotBegin announcing size + whole-stream checksum, then chunked,
+  // individually-checksummed kSnapshotChunk frames the worker appends to a
+  // local temp file, then kSnapshotEnd. The worker verifies both checksum
+  // layers, mmaps the temp file, and proceeds exactly like a path-mode
+  // worker (kStartupInfo, then the task loop).
+  kSnapshotBegin = 11,  // driver -> worker: SnapshotStreamBegin
+  kSnapshotChunk = 12,  // driver -> worker: SnapshotStreamChunk
+  kSnapshotEnd = 13,    // driver -> worker: stream complete (no payload)
 };
 
 constexpr std::uint32_t kFrameMagic = 0x5352504D;  // "MPRS" little-endian
@@ -136,6 +147,37 @@ SnapshotHello decode_snapshot_hello(const std::string& payload);
 
 std::string encode_startup_info(const StartupInfo& info);
 StartupInfo decode_startup_info(const std::string& payload);
+
+/// Driver -> worker: an in-band snapshot stream of `total_bytes` follows,
+/// whose FNV-1a-64 over the complete byte sequence is `checksum`.
+struct SnapshotStreamBegin {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Driver -> worker: one contiguous slice of the snapshot stream. `offset`
+/// is the slice's position in the stream (chunks arrive in order; a gap or
+/// overlap means a corrupt/duplicated stream) and `checksum` is the
+/// FNV-1a-64 of `data` alone, so a bit flip is caught per-chunk instead of
+/// only at the end of a multi-hundred-MB stream.
+struct SnapshotStreamChunk {
+  std::uint64_t offset = 0;
+  std::uint64_t checksum = 0;
+  std::string data;
+};
+
+/// Chunk payload size the driver streams with: comfortably under the frame
+/// cap, big enough that framing overhead is noise.
+constexpr std::size_t kSnapshotChunkBytes = std::size_t{4} << 20;  // 4 MiB
+
+std::string encode_snapshot_begin(const SnapshotStreamBegin& begin);
+/// Throws Error on truncated payloads or an absurd total size.
+SnapshotStreamBegin decode_snapshot_begin(const std::string& payload);
+
+std::string encode_snapshot_chunk(const SnapshotStreamChunk& chunk);
+/// Throws Error on truncated payloads or a per-chunk checksum mismatch (the
+/// decode verifies `checksum` against `data`).
+SnapshotStreamChunk decode_snapshot_chunk(const std::string& payload);
 
 /// Client -> daemon: translate one source program. `id` is chosen by the
 /// client (unique per connection) and echoed on the result frame, which is

@@ -4,12 +4,19 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <thread>
+#include <utility>
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -276,13 +283,60 @@ sockaddr_un unix_addr(const std::string& path) {
   return addr;
 }
 
+/// Shared accept loop. A transient failure must NOT be read as "listener
+/// shut down": ECONNABORTED (client gave up in the backlog) retries
+/// immediately, and resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM)
+/// retries with a short capped backoff so a daemon that ran out of
+/// descriptors under load resumes accepting as soon as some free up. Only a
+/// genuinely dead listener (EBADF after close, EINVAL after shutdown,
+/// ENOTSOCK) returns -1 and lets the accept loop exit.
+int accept_retry(int listen_fd) {
+  int backoff_ms = 1;
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    const int err = errno;
+    if (err == EINTR || err == ECONNABORTED) continue;
+    if (err == EBADF || err == EINVAL || err == ENOTSOCK ||
+        err == EOPNOTSUPP) {
+      return -1;  // listener closed / shut down: accept loop exits
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 100);
+  }
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
 }  // namespace
 
 int unix_listen(const std::string& path, int backlog) {
   const sockaddr_un addr = unix_addr(path);
+  // A socket file already at `path` may belong to a LIVE daemon; the old
+  // unconditional unlink silently stole the address and stranded that
+  // daemon's clients. Probe-connect first: an accepted connection (or a
+  // full backlog, EAGAIN on AF_UNIX) means live -- fail loudly; only a file
+  // nothing answers at is stale droppings from a dead process.
+  struct stat st;
+  if (::lstat(path.c_str(), &st) == 0) {
+    MR_CHECK(S_ISSOCK(st.st_mode),
+             "unix_listen path exists and is not a socket: " + path);
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    MR_CHECK(probe >= 0,
+             std::string("socket(AF_UNIX): ") + std::strerror(errno));
+    const int rc =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr));
+    const int err = errno;
+    ::close(probe);
+    MR_CHECK(rc != 0 && err != EAGAIN, "daemon already serving " + path);
+    ::unlink(path.c_str());  // stale socket from a dead daemon
+  }
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   MR_CHECK(fd >= 0, std::string("socket(AF_UNIX): ") + std::strerror(errno));
-  ::unlink(path.c_str());  // stale socket from a previous daemon
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd);
@@ -297,14 +351,7 @@ int unix_listen(const std::string& path, int backlog) {
   return fd;
 }
 
-int unix_accept(int listen_fd) {
-  for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd >= 0) return fd;
-    if (errno == EINTR) continue;
-    return -1;  // listener closed / shut down: accept loop exits
-  }
-}
+int unix_accept(int listen_fd) { return accept_retry(listen_fd); }
 
 int unix_connect(const std::string& path, int timeout_ms) {
   const sockaddr_un addr = unix_addr(path);
@@ -326,6 +373,141 @@ int unix_connect(const std::string& path, int timeout_ms) {
              "connect(" + path + "): " + std::strerror(err));
     MR_CHECK(std::chrono::steady_clock::now() < deadline,
              "connect(" + path + "): timed out waiting for the daemon");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+std::pair<std::string, std::uint16_t> split_host_port(
+    const std::string& spec) {
+  // The port is everything after the LAST colon, so bracketless IPv6
+  // literals ("::1:8080") parse the way the spec format documents.
+  const std::size_t colon = spec.rfind(':');
+  MR_CHECK(colon != std::string::npos && colon + 1 < spec.size(),
+           "host:port spec missing a port: '" + spec + "'");
+  std::string host = spec.substr(0, colon);
+  if (host.size() >= 2 && host.front() == '[' && host.back() == ']') {
+    host = host.substr(1, host.size() - 2);  // [v6]:port form
+  }
+  const std::string port_str = spec.substr(colon + 1);
+  char* end = nullptr;
+  errno = 0;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  MR_CHECK(errno == 0 && end != port_str.c_str() && *end == '\0' &&
+               port >= 0 && port <= 65535,
+           "bad port in host:port spec: '" + spec + "'");
+  return {std::move(host), static_cast<std::uint16_t>(port)};
+}
+
+namespace {
+
+struct ResolvedAddrs {
+  addrinfo* list = nullptr;
+  ~ResolvedAddrs() {
+    if (list != nullptr) ::freeaddrinfo(list);
+  }
+};
+
+void resolve(const std::string& host, std::uint16_t port, bool passive,
+             ResolvedAddrs& out) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  char port_str[16];
+  std::snprintf(port_str, sizeof(port_str), "%u",
+                static_cast<unsigned>(port));
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_str, &hints, &out.list);
+  MR_CHECK(rc == 0, "resolve '" + (host.empty() ? std::string("*") : host) +
+                        "': " + ::gai_strerror(rc));
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_storage addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+               std::uint16_t* bound_port) {
+  ResolvedAddrs addrs;
+  resolve(host, port, /*passive=*/true, addrs);
+  int last_err = 0;
+  for (const addrinfo* ai = addrs.list; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    // SO_REUSEADDR: a restarted driver/daemon must not wait out TIME_WAIT
+    // on its well-known port.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0) {
+      if (bound_port != nullptr) *bound_port = local_port(fd);
+      return fd;
+    }
+    last_err = errno;
+    ::close(fd);
+  }
+  MR_CHECK(false, "tcp_listen(" + host + ":" + std::to_string(port) +
+                      "): " + std::strerror(last_err));
+  return -1;  // unreachable
+}
+
+int tcp_accept(int listen_fd) {
+  const int fd = accept_retry(listen_fd);
+  if (fd >= 0) set_tcp_nodelay(fd);
+  return fd;
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port, int timeout_ms) {
+  const std::string what = "tcp_connect(" + host + ":" +
+                           std::to_string(port) + ")";
+  // Resolution failure is a hard error (typo'd host), not something a retry
+  // deadline should mask.
+  ResolvedAddrs addrs;
+  resolve(host, port, /*passive=*/false, addrs);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int last_err = 0;
+    for (const addrinfo* ai = addrs.list; ai != nullptr; ai = ai->ai_next) {
+      const int fd =
+          ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) {
+        last_err = errno;
+        continue;
+      }
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        set_tcp_nodelay(fd);
+        return fd;
+      }
+      last_err = errno;
+      ::close(fd);
+    }
+    // The peer may still be booting (nothing listening yet) or briefly
+    // unreachable; anything else is a hard error worth surfacing now.
+    MR_CHECK(last_err == ECONNREFUSED || last_err == ETIMEDOUT ||
+                 last_err == ENETUNREACH || last_err == EHOSTUNREACH ||
+                 last_err == ECONNRESET || last_err == EAGAIN ||
+                 last_err == EINTR,
+             what + ": " + std::strerror(last_err));
+    MR_CHECK(std::chrono::steady_clock::now() < deadline,
+             what + ": timed out waiting for the peer");
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
 }

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -75,20 +76,59 @@ class SocketTransport : public Transport {
   std::atomic<bool> recv_shutdown_{false};
 };
 
-/// Binds and listens on a Unix-domain stream socket at `path`, unlinking any
-/// stale socket file first. Throws Error on failure; returns the listening
-/// fd (caller closes).
+/// Binds and listens on a Unix-domain stream socket at `path`. A socket
+/// file already at `path` is probe-connected first: if something answers
+/// (a LIVE daemon), this throws "daemon already serving <path>" instead of
+/// silently stealing the address and stranding that daemon's clients; only
+/// a genuinely stale file (nothing accepts) is unlinked. Throws Error on
+/// failure; returns the listening fd (caller closes).
 int unix_listen(const std::string& path, int backlog);
 
-/// Accepts one connection on a unix_listen fd, retrying EINTR. Returns -1
-/// once the listening fd has been closed/shut down (the daemon's shutdown
-/// path), so the accept loop can exit cleanly.
+/// Accepts one connection on a unix_listen fd. Retries EINTR/ECONNABORTED
+/// immediately and transient resource exhaustion (EMFILE/ENFILE/ENOBUFS/
+/// ENOMEM) with a short backoff -- a loaded daemon resumes accepting once
+/// descriptors free up instead of abandoning its listener. Returns -1 only
+/// once the listening fd has been closed/shut down (EBADF/EINVAL -- the
+/// daemon's shutdown path), so the accept loop can exit cleanly.
 int unix_accept(int listen_fd);
 
 /// Connects to the Unix-domain socket at `path`, retrying while the file
 /// does not exist yet or the daemon's backlog refuses (it is still booting),
 /// for up to `timeout_ms`. Throws Error on timeout or a hard error.
 int unix_connect(const std::string& path, int timeout_ms);
+
+// ---- TCP: the cross-machine transport ---------------------------------------
+//
+// Same byte-stream contract as the Unix-domain path (SocketTransport works
+// unchanged over the returned fds); these helpers add hostname resolution,
+// TCP_NODELAY (the protocol writes whole small frames and waits for
+// replies -- Nagle would serialize every grant/result exchange on a ~40 ms
+// delayed-ack timer), and the same connect-retry and accept-retry semantics
+// as the Unix helpers.
+
+/// Splits "host:port" (the MPIRICAL_EVAL_HOSTS / --listen spec format) into
+/// its parts. `host` may be a hostname or IPv4/IPv6 literal; an empty host
+/// (":port") means "any interface" for listeners. Throws Error on a
+/// malformed spec or an out-of-range port.
+std::pair<std::string, std::uint16_t> split_host_port(const std::string& spec);
+
+/// Resolves `host` (empty = any interface) and listens on `port` (0 = pick
+/// an ephemeral port) with SO_REUSEADDR. Returns the listening fd; when
+/// `bound_port` is non-null it receives the actual bound port (the reason 0
+/// is useful). Throws Error on resolution/bind/listen failure.
+int tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+               std::uint16_t* bound_port = nullptr);
+
+/// Accepts one connection on a tcp_listen fd with the same transient-error
+/// retry/fatal classification as unix_accept, and sets TCP_NODELAY on the
+/// accepted socket. Returns -1 once the listener is closed/shut down.
+int tcp_accept(int listen_fd);
+
+/// Resolves `host` and connects to `host:port`, retrying refused/unreachable
+/// attempts (the peer is still booting) for up to `timeout_ms`, like
+/// unix_connect. Sets TCP_NODELAY on the connected socket. Throws Error on
+/// timeout, resolution failure, or a hard error.
+int tcp_connect(const std::string& host, std::uint16_t port, int timeout_ms);
 
 /// Transport over a POSIX (read_fd, write_fd) pair. Owns and closes the fds.
 class PipeTransport : public Transport {

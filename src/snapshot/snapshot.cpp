@@ -13,13 +13,17 @@
 namespace mpirical::snapshot {
 
 std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  return fnv1a64_accum(kFnv1a64Init, data, n);
+}
+
+std::uint64_t fnv1a64_accum(std::uint64_t state, const void* data,
+                            std::size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xCBF29CE484222325ULL;
   for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001B3ULL;
+    state ^= p[i];
+    state *= 0x100000001B3ULL;
   }
-  return h;
+  return state;
 }
 
 bool host_is_little_endian() {

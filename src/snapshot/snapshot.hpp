@@ -71,6 +71,14 @@ enum class SectionKind : std::uint32_t {
 /// FNV-1a 64-bit over a byte range (the per-section checksum).
 std::uint64_t fnv1a64(const void* data, std::size_t n);
 
+/// Incremental FNV-1a 64-bit: fold `n` more bytes into a running state.
+/// Seed with kFnv1a64Init; folding a byte sequence piecewise yields exactly
+/// fnv1a64() over the concatenation, which is what lets a shard worker
+/// verify a chunked in-band snapshot stream without rebuffering it.
+constexpr std::uint64_t kFnv1a64Init = 0xCBF29CE484222325ULL;
+std::uint64_t fnv1a64_accum(std::uint64_t state, const void* data,
+                            std::size_t n);
+
 /// True on little-endian hosts (the only ones the format supports).
 bool host_is_little_endian();
 

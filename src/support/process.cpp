@@ -1,13 +1,97 @@
 #include "support/process.hpp"
 
 #include <csignal>
+#include <cstdint>
+#include <cstring>
 #include <mutex>
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
 
 namespace mpirical::support {
 
 void ignore_sigpipe() {
   static std::once_flag once;
   std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+namespace {
+
+/// /proc/self/fd walk with raw syscalls only (opendir allocates, which is
+/// off-limits in a fork child of a multithreaded process). Returns true if
+/// the walk ran; closes every listed fd >= lowfd except the directory fd
+/// itself.
+bool close_fds_via_proc(int lowfd) {
+#ifdef SYS_getdents64
+  const int dir_fd =
+      static_cast<int>(::open("/proc/self/fd", O_RDONLY | O_DIRECTORY));
+  if (dir_fd < 0) return false;
+  struct LinuxDirent64 {
+    std::uint64_t d_ino;
+    std::int64_t d_off;
+    unsigned short d_reclen;
+    unsigned char d_type;
+    char d_name[];
+  };
+  char buf[4096];
+  // Closing entries mid-walk can shift the directory stream, so rewind and
+  // rescan until a full pass closes nothing new (converges in <= 2 passes:
+  // after the first, only dir_fd and fds below lowfd remain).
+  for (bool closed_any = true; closed_any;) {
+    closed_any = false;
+    ::lseek(dir_fd, 0, SEEK_SET);
+    long n;
+    while ((n = ::syscall(SYS_getdents64, dir_fd, buf, sizeof(buf))) > 0) {
+      for (long off = 0; off < n;) {
+        const auto* ent = reinterpret_cast<const LinuxDirent64*>(buf + off);
+        off += ent->d_reclen;
+        // Parse the numeric name by hand: strtol is not async-signal-safe
+        // everywhere, and names here are only ".", "..", or digits.
+        int fd = 0;
+        bool numeric = ent->d_name[0] != '\0';
+        for (const char* p = ent->d_name; *p != '\0'; ++p) {
+          if (*p < '0' || *p > '9') {
+            numeric = false;
+            break;
+          }
+          fd = fd * 10 + (*p - '0');
+        }
+        if (numeric && fd >= lowfd && fd != dir_fd) {
+          ::close(fd);
+          closed_any = true;
+        }
+      }
+    }
+  }
+  ::close(dir_fd);
+  return true;
+#else
+  (void)lowfd;
+  return false;
+#endif
+}
+
+}  // namespace
+
+void close_fds_from(int lowfd) {
+#ifdef SYS_close_range
+  if (::syscall(SYS_close_range, static_cast<unsigned>(lowfd), ~0U, 0U) == 0) {
+    return;
+  }
+#endif
+  if (close_fds_via_proc(lowfd)) return;
+  // Last resort: bounded loop up to the descriptor ceiling.
+  struct rlimit rl;
+  long max_fd = 1 << 16;
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 &&
+      rl.rlim_cur != RLIM_INFINITY) {
+    max_fd = static_cast<long>(rl.rlim_cur);
+  }
+  for (long fd = lowfd; fd < max_fd; ++fd) {
+    ::close(static_cast<int>(fd));
+  }
 }
 
 }  // namespace mpirical::support

@@ -16,4 +16,16 @@ namespace mpirical::support {
 /// and flipping dispositions back and forth across threads would race.
 void ignore_sigpipe();
 
+/// Closes every open file descriptor >= `lowfd`. For a forked child between
+/// fork() and exec(): the parent may hold arbitrarily many descriptors
+/// (serving daemon sockets, mmapped snapshots, other workers' pipes), and a
+/// fixed `for (fd = N; fd < 1024; ++fd) close(fd)` loop silently leaks any
+/// fd above its ceiling into the child -- where a leaked pipe write-end
+/// keeps a sibling's stream from ever reporting EOF. Tries close_range(2)
+/// first, falls back to walking /proc/self/fd with raw syscalls, and only
+/// then to a bounded close() loop up to the RLIMIT_NOFILE ceiling.
+/// Async-signal-safe (no allocation, no stdio) -- safe in a fork child of a
+/// multithreaded process.
+void close_fds_from(int lowfd);
+
 }  // namespace mpirical::support

@@ -5,11 +5,15 @@
 // mis-score.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "cinterp/interp.hpp"
 #include "clex/lexer.hpp"
@@ -20,6 +24,8 @@
 #include "mpisim/runner.hpp"
 #include "nn/transformer.hpp"
 #include "shard/eval.hpp"
+#include "shard/protocol.hpp"
+#include "shard/transport.hpp"
 #include "support/check.hpp"
 #include "toklib/vocab.hpp"
 #include "testing.hpp"
@@ -222,6 +228,32 @@ void expect_oracle_equal(const core::EvalSummary& merged,
   EXPECT_EQ(double_bits(merged.acc), double_bits(oracle.acc));
 }
 
+/// N connected (driver, worker) transport pairs over real 127.0.0.1
+/// sockets, for the fault matrix over TCP.
+struct TcpFleet {
+  std::vector<std::unique_ptr<shard::Transport>> driver_ends;
+  std::vector<std::unique_ptr<shard::Transport>> worker_ends;
+
+  explicit TcpFleet(std::size_t n) {
+    std::uint16_t port = 0;
+    const int listen_fd = shard::tcp_listen("127.0.0.1", 0,
+                                            static_cast<int>(n) + 1, &port);
+    for (std::size_t i = 0; i < n; ++i) {
+      worker_ends.push_back(std::make_unique<shard::SocketTransport>(
+          shard::tcp_connect("127.0.0.1", port, 5000)));
+      driver_ends.push_back(std::make_unique<shard::SocketTransport>(
+          shard::tcp_accept(listen_fd)));
+    }
+    ::close(listen_fd);
+  }
+
+  std::vector<shard::Transport*> driver_ptrs() const {
+    std::vector<shard::Transport*> out;
+    for (const auto& t : driver_ends) out.push_back(t.get());
+    return out;
+  }
+};
+
 }  // namespace shard_failure
 
 TEST(FailureInjection, ShardWorkerDeathMidChunkReassigned) {
@@ -311,6 +343,136 @@ TEST(FailureInjection, AllShardWorkersDeadFallsBackInProcess) {
   std::vector<core::ExamplePrediction> preds;
   const core::EvalSummary merged =
       shard::evaluate_sharded_inprocess(h.model, h.split, options, &preds);
+  expect_oracle_equal(merged, oracle);
+  ASSERT_EQ(preds.size(), h.split.size());
+}
+
+// ---- the same fault matrix over TCP -----------------------------------------
+//
+// The loopback faults above are synthetic; these run the identical fault
+// shapes over real 127.0.0.1 sockets -- the transport the cross-machine
+// deployment actually uses -- and require the identical recovery: reassign,
+// or evaluate in-process, always oracle-equal.
+
+TEST(FailureInjection, TcpWorkerDyingMidResultFrameReassigned) {
+  using namespace shard_failure;
+  const auto& h = eval_harness();
+  testutil::ScopedEnv wave("MPIRICAL_DECODE_WAVE", "2");  // 7 ex -> 4 chunks
+  const core::EvalSummary oracle = core::evaluate_model(h.model, h.split);
+
+  TcpFleet fleet(2);
+  // Worker 0: requests a chunk, takes the grant, then emits HALF of a
+  // result frame and half-closes -- a worker process dying mid-record on a
+  // remote machine. The driver must hold the partial frame, classify the
+  // EOF as death, and reassign the chunk.
+  std::thread dying([&fleet] {
+    shard::Transport& t = *fleet.worker_ends[0];
+    shard::FrameParser parser;
+    t.send(shard::encode_frame(shard::FrameType::kTaskRequest, ""));
+    bool granted = false;
+    while (!granted) {
+      const std::string bytes = t.recv_some();
+      if (bytes.empty()) break;
+      parser.feed(bytes.data(), bytes.size());
+      while (const auto frame = parser.next()) {
+        if (frame->type == shard::FrameType::kTaskGrant) granted = true;
+        if (frame->type == shard::FrameType::kDone) break;
+      }
+    }
+    if (granted) {
+      shard::ResultRecord record;  // never completes the wire trip
+      const std::string frame = shard::encode_frame(
+          shard::FrameType::kResult, shard::encode_result(record));
+      t.send(frame.substr(0, frame.size() / 2));
+    }
+    t.close();
+  });
+  // Worker 1: a fully healthy protocol worker.
+  std::thread healthy([&fleet, &h] {
+    shard::run_worker(h.model, h.split, *fleet.worker_ends[1]);
+  });
+
+  shard::ShardOptions options;
+  options.shards = 2;
+  std::vector<core::ExamplePrediction> preds;
+  const core::EvalSummary merged = shard::run_driver(
+      h.model, h.split, fleet.driver_ptrs(), options, &preds);
+  dying.join();
+  healthy.join();
+  expect_oracle_equal(merged, oracle);
+  ASSERT_EQ(preds.size(), h.split.size());
+}
+
+TEST(FailureInjection, TcpGarbageSpeakingWorkerTreatedAsDead) {
+  using namespace shard_failure;
+  const auto& h = eval_harness();
+  testutil::ScopedEnv wave("MPIRICAL_DECODE_WAVE", "2");
+  const core::EvalSummary oracle = core::evaluate_model(h.model, h.split);
+
+  TcpFleet fleet(2);
+  // Worker 0 speaks bytes that are not the protocol at all (wrong magic);
+  // the driver must cut it loose loudly-but-locally and let worker 1 carry
+  // the whole split.
+  std::thread babbling([&fleet] {
+    shard::Transport& t = *fleet.worker_ends[0];
+    t.send("MPRX not actually a frame header at all");
+    while (!t.recv_some().empty()) {
+    }
+    t.close();
+  });
+  std::thread healthy([&fleet, &h] {
+    shard::run_worker(h.model, h.split, *fleet.worker_ends[1]);
+  });
+
+  shard::ShardOptions options;
+  options.shards = 2;
+  const core::EvalSummary merged =
+      shard::run_driver(h.model, h.split, fleet.driver_ptrs(), options);
+  babbling.join();
+  healthy.join();
+  expect_oracle_equal(merged, oracle);
+}
+
+TEST(FailureInjection, WedgedTcpWorkerTimedOutByWatchdog) {
+  using namespace shard_failure;
+  const auto& h = eval_harness();
+  testutil::ScopedEnv wave("MPIRICAL_DECODE_WAVE", "3");
+  const core::EvalSummary oracle = core::evaluate_model(h.model, h.split);
+
+  // Alive TCP connection, total protocol silence: only the watchdog can
+  // classify this worker as gone.
+  testutil::ScopedEnv watchdog("MPIRICAL_EVAL_SHARD_TIMEOUT_S", "1");
+  TcpFleet fleet(1);
+  std::thread wedged([&fleet] {
+    while (!fleet.worker_ends[0]->recv_some().empty()) {
+    }
+  });
+  shard::ShardOptions options;
+  options.shards = 1;
+  std::vector<core::ExamplePrediction> preds;
+  const core::EvalSummary merged = shard::run_driver(
+      h.model, h.split, fleet.driver_ptrs(), options, &preds);
+  expect_oracle_equal(merged, oracle);
+  ASSERT_EQ(preds.size(), h.split.size());
+  fleet.driver_ends[0]->close();  // EOF releases the wedged thread
+  wedged.join();
+}
+
+TEST(FailureInjection, AllTcpWorkersDeadFallsBackInProcess) {
+  using namespace shard_failure;
+  const auto& h = eval_harness();
+  testutil::ScopedEnv wave("MPIRICAL_DECODE_WAVE", "3");
+  const core::EvalSummary oracle = core::evaluate_model(h.model, h.split);
+
+  TcpFleet fleet(2);
+  // Both workers hang up without a word; the driver evaluates everything
+  // itself.
+  for (auto& end : fleet.worker_ends) end->close();
+  shard::ShardOptions options;
+  options.shards = 2;
+  std::vector<core::ExamplePrediction> preds;
+  const core::EvalSummary merged = shard::run_driver(
+      h.model, h.split, fleet.driver_ptrs(), options, &preds);
   expect_oracle_equal(merged, oracle);
   ASSERT_EQ(preds.size(), h.split.size());
 }

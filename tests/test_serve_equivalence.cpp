@@ -9,11 +9,16 @@
 // request before the server exits.
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -74,16 +79,22 @@ const Harness& harness() {
   return *h;
 }
 
-/// A Server on its own thread with a unique socket path. Clients connect
-/// while it boots (unix_connect retries); stop() drains and joins.
+/// A Server on its own thread, either on a unique socket path or (tcp=true)
+/// on an ephemeral 127.0.0.1 TCP port. Clients connect while it boots
+/// (unix_connect/tcp_connect retry); stop() drains and joins.
 class RunningServer {
  public:
-  explicit RunningServer(bool barrier_mode = false, std::size_t max_wave = 4) {
-    static int counter = 0;
-    socket_ = "/tmp/mpirical_serve_test_" + std::to_string(::getpid()) + "_" +
-              std::to_string(counter++) + ".sock";
+  explicit RunningServer(bool barrier_mode = false, std::size_t max_wave = 4,
+                         bool tcp = false) {
     serve::ServerOptions options;
-    options.socket_path = socket_;
+    if (tcp) {
+      options.tcp_addr = "127.0.0.1:0";
+    } else {
+      static int counter = 0;
+      socket_ = "/tmp/mpirical_serve_test_" + std::to_string(::getpid()) +
+                "_" + std::to_string(counter++) + ".sock";
+      options.socket_path = socket_;
+    }
     options.max_wave = max_wave;
     options.barrier_mode = barrier_mode;
     server_ = std::make_unique<serve::Server>(harness().model, options);
@@ -99,6 +110,17 @@ class RunningServer {
 
   const std::string& socket() const { return socket_; }
   serve::ServerStats stats() const { return server_->stats(); }
+
+  /// The bound TCP port, waiting out the boot race (run() publishes it
+  /// right after listen()).
+  std::uint16_t tcp_port() const {
+    for (int i = 0; i < 500; ++i) {
+      const std::uint16_t port = server_->bound_tcp_port();
+      if (port != 0) return port;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return server_->bound_tcp_port();
+  }
 
  private:
   std::string socket_;
@@ -323,6 +345,140 @@ TEST(ServeFaults, ShutdownDrainsEveryQueuedRequest) {
   EXPECT_EQ(received, harness().inputs.size());
   server.stop();  // run() must already be returning; joins promptly
   EXPECT_EQ(server.stats().served, harness().inputs.size());
+}
+
+// ---- TCP serving ------------------------------------------------------------
+
+TEST(ServeTcp, BatchOverTcpMatchesLocal) {
+  // Same daemon, same framing, TCP instead of a socket file: the token-
+  // identity guarantee must not care which stream the frames rode in on.
+  RunningServer server(/*barrier_mode=*/false, /*max_wave=*/4, /*tcp=*/true);
+  const std::uint16_t port = server.tcp_port();
+  ASSERT_NE(port, 0);
+  serve::Client client("127.0.0.1", port);
+  const auto got = client.translate_batch(harness().inputs);
+  ASSERT_EQ(got.size(), harness().expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], harness().expected[i]) << "request " << i;
+  }
+  EXPECT_EQ(server.stats().aborted_connections, 0u);
+}
+
+TEST(ServeTcp, GarbageFrameOverTcpAbortsOnlyThatConnection) {
+  RunningServer server(/*barrier_mode=*/false, /*max_wave=*/4, /*tcp=*/true);
+  const std::uint16_t port = server.tcp_port();
+  {
+    shard::SocketTransport garbage(
+        shard::tcp_connect("127.0.0.1", port, 30000));
+    garbage.send("tcp garbage is still garbage");
+    while (!garbage.recv_some().empty()) {
+    }
+  }
+  EXPECT_TRUE(eventually(
+      [&] { return server.stats().aborted_connections == 1; }));
+  serve::Client client("127.0.0.1", port);
+  const auto got = client.translate_batch(harness().inputs);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], harness().expected[i]);
+  }
+}
+
+// ---- connection churn: reader reaping and connection pruning ----------------
+
+TEST(ServeChurn, SteadyStateCountsStayBoundedAcrossManyConnections) {
+  // Before the reaping fix, every connection ever served left a joinable
+  // reader thread and a dead conns_ entry until shutdown -- a leak on any
+  // long-lived daemon. Churn sequential clients and require the LIVE
+  // gauges to track current clients (none), not lifetime clients.
+  RunningServer server;
+  const std::size_t kConnections = 12;
+  for (std::size_t i = 0; i < kConnections; ++i) {
+    serve::Client client(server.socket());
+    client.send(harness().inputs[0].input_code,
+                harness().inputs[0].input_xsbt);
+    client.finish();
+    std::size_t received = 0;
+    while (client.recv()) ++received;
+    EXPECT_EQ(received, 1u);
+  }
+  EXPECT_TRUE(eventually([&] {
+    const serve::ServerStats s = server.stats();
+    return s.accepted_connections == kConnections &&
+           s.tracked_connections == 0 && s.live_readers == 0;
+  })) << "accepted=" << server.stats().accepted_connections
+      << " tracked=" << server.stats().tracked_connections
+      << " live_readers=" << server.stats().live_readers;
+  EXPECT_EQ(server.stats().served, kConnections);
+}
+
+// ---- accept-loop resilience (the transient-vs-fatal classification) ---------
+
+TEST(ServeFaults, FdExhaustedDaemonResumesAccepting) {
+  RunningServer server;
+  // Pre-create the client's socket fd, THEN exhaust the descriptor table,
+  // THEN connect: the connection lands in the daemon's backlog while its
+  // accept() can only fail with EMFILE. The old loop treated that as fatal
+  // and the daemon went deaf; the fixed loop backs off and resumes once
+  // descriptors free up.
+  const int cfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(cfd, 0);
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(server.socket().size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, server.socket().c_str(),
+              server.socket().size() + 1);
+
+  struct rlimit saved;
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  struct rlimit squeezed = saved;
+  squeezed.rlim_cur = 256;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &squeezed), 0);
+  std::vector<int> hogs;
+  for (;;) {
+    const int fd = ::dup(0);
+    if (fd < 0) break;
+    hogs.push_back(fd);
+  }
+  ASSERT_EQ(
+      ::connect(cfd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  // Hold the exhaustion long enough for the daemon's accept to hit EMFILE
+  // at least once, then release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (const int fd : hogs) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+
+  // The daemon must now accept and serve this very connection...
+  shard::SocketTransport transport(cfd);
+  shard::TranslateWireRequest req;
+  req.id = 1;
+  req.input_code = harness().inputs[0].input_code;
+  req.input_xsbt = harness().inputs[0].input_xsbt;
+  ASSERT_TRUE(transport.send(shard::encode_frame(
+      shard::FrameType::kTranslateRequest,
+      shard::encode_translate_request(req))));
+  transport.close();
+  shard::FrameParser parser;
+  std::optional<shard::Frame> frame;
+  for (;;) {
+    const std::string bytes = transport.recv_some();
+    if (bytes.empty()) break;
+    parser.feed(bytes.data(), bytes.size());
+    if ((frame = parser.next())) break;
+  }
+  ASSERT_TRUE(frame.has_value()) << "daemon never answered after EMFILE";
+  const shard::TranslateWireResult res =
+      shard::decode_translate_result(frame->payload);
+  EXPECT_EQ(res.id, 1u);
+  EXPECT_EQ(res.output_code, harness().expected[0]);
+
+  // ...and keep serving fresh ones.
+  serve::Client client(server.socket());
+  const auto got = client.translate_batch(harness().inputs);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], harness().expected[i]);
+  }
 }
 
 }  // namespace

@@ -8,16 +8,24 @@
 // out-parameter to original split order under sharding.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "core/evaluate.hpp"
 #include "core/model.hpp"
+#include "core/world_snapshot.hpp"
 #include "corpus/dataset.hpp"
 #include "shard/eval.hpp"
+#include "shard/protocol.hpp"
+#include "shard/transport.hpp"
+#include "snapshot/snapshot.hpp"
 #include "testing.hpp"
 
 namespace mpirical {
@@ -208,6 +216,199 @@ TEST(ShardEquivalence, PredictionsFollowSplitOrderUnderSharding) {
         << "prediction " << i << " is not the translation of split[" << i
         << "]";
   }
+}
+
+// ---- TCP transport differential ---------------------------------------------
+//
+// The cross-machine claim: the merged summary must not depend on WHAT the
+// frames travel over. Workers here are threads speaking the real protocol
+// over real 127.0.0.1 sockets (the same listen/connect/accept/SocketTransport
+// path the process and remote deployments use), compared bitwise against the
+// unsharded oracle, the loopback deployment, and OS pipes.
+
+/// N connected (driver, worker) SocketTransport pairs through a real
+/// listening socket.
+struct TcpFleet {
+  std::vector<std::unique_ptr<shard::Transport>> driver_ends;
+  std::vector<std::unique_ptr<shard::Transport>> worker_ends;
+
+  explicit TcpFleet(std::size_t n) {
+    std::uint16_t port = 0;
+    const int listen_fd = shard::tcp_listen("127.0.0.1", 0,
+                                            static_cast<int>(n) + 1, &port);
+    for (std::size_t i = 0; i < n; ++i) {
+      worker_ends.push_back(std::make_unique<shard::SocketTransport>(
+          shard::tcp_connect("127.0.0.1", port, 5000)));
+      driver_ends.push_back(std::make_unique<shard::SocketTransport>(
+          shard::tcp_accept(listen_fd)));
+    }
+    ::close(listen_fd);
+  }
+
+  std::vector<shard::Transport*> driver_ptrs() const {
+    std::vector<shard::Transport*> out;
+    for (const auto& t : driver_ends) out.push_back(t.get());
+    return out;
+  }
+};
+
+core::EvalSummary run_over_tcp(const std::vector<corpus::Example>& split,
+                               std::size_t shards,
+                               std::vector<core::ExamplePrediction>* preds) {
+  TcpFleet fleet(shards);
+  std::vector<std::thread> workers;
+  for (auto& end : fleet.worker_ends) {
+    workers.emplace_back([&split, &end] {
+      shard::run_worker(harness().model, split, *end);
+    });
+  }
+  shard::ShardOptions options;
+  options.shards = shards;
+  const core::EvalSummary merged = shard::run_driver(
+      harness().model, split, fleet.driver_ptrs(), options, preds);
+  for (auto& w : workers) w.join();
+  return merged;
+}
+
+core::EvalSummary run_over_pipes(const std::vector<corpus::Example>& split,
+                                 std::size_t shards,
+                                 std::vector<core::ExamplePrediction>* preds) {
+  std::vector<std::unique_ptr<shard::Transport>> driver_ends;
+  std::vector<std::unique_ptr<shard::Transport>> worker_ends;
+  for (std::size_t i = 0; i < shards; ++i) {
+    int grants[2];
+    int results[2];
+    EXPECT_EQ(::pipe(grants), 0);
+    EXPECT_EQ(::pipe(results), 0);
+    driver_ends.push_back(
+        std::make_unique<shard::PipeTransport>(results[0], grants[1]));
+    worker_ends.push_back(
+        std::make_unique<shard::PipeTransport>(grants[0], results[1]));
+  }
+  std::vector<std::thread> workers;
+  for (auto& end : worker_ends) {
+    workers.emplace_back([&split, &end] {
+      shard::run_worker(harness().model, split, *end);
+    });
+  }
+  std::vector<shard::Transport*> ptrs;
+  for (const auto& t : driver_ends) ptrs.push_back(t.get());
+  shard::ShardOptions options;
+  options.shards = shards;
+  const core::EvalSummary merged =
+      shard::run_driver(harness().model, split, ptrs, options, preds);
+  for (auto& w : workers) w.join();
+  return merged;
+}
+
+TEST(TcpEquivalence, TcpPipeAndLoopbackAreBitIdenticalToTheOracle) {
+  const auto split = take(7);
+  ScopedEnv wave_env("MPIRICAL_DECODE_WAVE", "3");
+  ScopedEnv shards_env("MPIRICAL_EVAL_SHARDS", nullptr);
+
+  std::vector<core::ExamplePrediction> oracle_preds;
+  const core::EvalSummary oracle = core::evaluate_model(
+      harness().model, split, 1, 1, &oracle_preds);
+
+  for (const std::size_t shards : {1u, 2u, 3u}) {
+    const std::string what = "shards=" + std::to_string(shards);
+
+    std::vector<core::ExamplePrediction> tcp_preds;
+    const core::EvalSummary over_tcp = run_over_tcp(split, shards, &tcp_preds);
+    expect_identical(over_tcp, oracle, what + " tcp");
+
+    std::vector<core::ExamplePrediction> pipe_preds;
+    const core::EvalSummary over_pipes =
+        run_over_pipes(split, shards, &pipe_preds);
+    expect_identical(over_pipes, oracle, what + " pipe");
+
+    shard::ShardOptions options;
+    options.shards = shards;
+    const core::EvalSummary loopback = shard::evaluate_sharded_inprocess(
+        harness().model, split, options);
+    expect_identical(loopback, oracle, what + " loopback");
+
+    ASSERT_EQ(tcp_preds.size(), split.size());
+    ASSERT_EQ(pipe_preds.size(), split.size());
+    for (std::size_t i = 0; i < split.size(); ++i) {
+      EXPECT_EQ(tcp_preds[i].predicted_code, oracle_preds[i].predicted_code)
+          << what << " tcp example " << i;
+      EXPECT_EQ(pipe_preds[i].predicted_code, oracle_preds[i].predicted_code)
+          << what << " pipe example " << i;
+    }
+  }
+}
+
+TEST(TcpEquivalence, InBandSnapshotStreamedWorkersMatchTheOracle) {
+  const auto split = take(6);
+  ScopedEnv wave_env("MPIRICAL_DECODE_WAVE", "2");
+  ScopedEnv shards_env("MPIRICAL_EVAL_SHARDS", nullptr);
+  const core::EvalSummary oracle =
+      core::evaluate_model(harness().model, split, 1, 1);
+
+  // End-to-end over the no-shared-filesystem path: the worker threads know
+  // NOTHING but their socket -- model and split both arrive as a streamed
+  // snapshot, exactly like a remote mpirical_eval_worker.
+  const std::string bytes =
+      core::build_eval_snapshot(harness().model, split);
+  for (const std::size_t shards : {1u, 2u}) {
+    TcpFleet fleet(shards);
+    std::vector<std::thread> workers;
+    for (auto& end : fleet.worker_ends) {
+      workers.emplace_back(
+          [&end] { shard::run_worker_from_snapshot(*end, 0.0); });
+    }
+    for (auto& end : fleet.driver_ends) {
+      ASSERT_TRUE(shard::send_snapshot_inband(*end, bytes));
+    }
+    shard::ShardOptions options;
+    options.shards = shards;
+    const core::EvalSummary merged = shard::run_driver(
+        harness().model, split, fleet.driver_ptrs(), options);
+    for (auto& w : workers) w.join();
+    expect_identical(merged, oracle,
+                     "streamed shards=" + std::to_string(shards));
+  }
+}
+
+TEST(TcpEquivalence, CorruptSnapshotStreamFallsBackInProcess) {
+  const auto split = take(4);
+  ScopedEnv wave_env("MPIRICAL_DECODE_WAVE", "2");
+  ScopedEnv shards_env("MPIRICAL_EVAL_SHARDS", nullptr);
+  const core::EvalSummary oracle =
+      core::evaluate_model(harness().model, split, 1, 1);
+
+  const std::string bytes =
+      core::build_eval_snapshot(harness().model, split);
+  TcpFleet fleet(1);
+  std::thread worker(
+      [&fleet] { shard::run_worker_from_snapshot(*fleet.worker_ends[0], 0.0); });
+
+  // A stream whose whole-stream checksum lies: every chunk verifies, the
+  // final accumulator does not. The worker must refuse the snapshot and die
+  // quietly; the driver's fallback still produces the full oracle-equal
+  // merge.
+  shard::Transport& to_worker = *fleet.driver_ends[0];
+  shard::SnapshotStreamBegin begin;
+  begin.total_bytes = bytes.size();
+  begin.checksum =
+      snapshot::fnv1a64(bytes.data(), bytes.size()) ^ 0xDEAD;
+  ASSERT_TRUE(to_worker.send(shard::encode_frame(
+      shard::FrameType::kSnapshotBegin, shard::encode_snapshot_begin(begin))));
+  shard::SnapshotStreamChunk chunk;
+  chunk.offset = 0;
+  chunk.data = bytes;
+  chunk.checksum = snapshot::fnv1a64(chunk.data.data(), chunk.data.size());
+  ASSERT_TRUE(to_worker.send(shard::encode_frame(
+      shard::FrameType::kSnapshotChunk, shard::encode_snapshot_chunk(chunk))));
+  to_worker.send(shard::encode_frame(shard::FrameType::kSnapshotEnd, ""));
+
+  shard::ShardOptions options;
+  options.shards = 1;
+  const core::EvalSummary merged = shard::run_driver(
+      harness().model, split, fleet.driver_ptrs(), options);
+  worker.join();
+  expect_identical(merged, oracle, "corrupt stream fallback");
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // rejection tests for the wire protocol framing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <map>
@@ -11,6 +12,7 @@
 #include "shard/partition.hpp"
 #include "shard/protocol.hpp"
 #include "shard/transport.hpp"
+#include "snapshot/snapshot.hpp"
 #include "support/check.hpp"
 #include "testing.hpp"
 
@@ -382,6 +384,79 @@ TEST(Records, StartupInfoRoundTripAndRejection) {
   EXPECT_THROW(decode_startup_info(payload + "zz"), Error);
 }
 
+TEST(Records, SnapshotStreamBeginRoundTripAndRejection) {
+  SnapshotStreamBegin begin;
+  begin.total_bytes = 123456789ULL;
+  begin.checksum = 0xFEEDFACECAFEBEEFULL;
+  const SnapshotStreamBegin back =
+      decode_snapshot_begin(encode_snapshot_begin(begin));
+  EXPECT_EQ(back.total_bytes, begin.total_bytes);
+  EXPECT_EQ(back.checksum, begin.checksum);
+
+  const std::string payload = encode_snapshot_begin(begin);
+  EXPECT_THROW(decode_snapshot_begin(payload.substr(0, 9)), Error);
+  EXPECT_THROW(decode_snapshot_begin(payload + "x"), Error);
+
+  // A forged size must not drive the worker into reserving terabytes.
+  SnapshotStreamBegin absurd;
+  absurd.total_bytes = std::uint64_t{1} << 39;
+  EXPECT_THROW(decode_snapshot_begin(encode_snapshot_begin(absurd)), Error);
+}
+
+TEST(Records, SnapshotStreamChunkRoundTripVerifiesChecksum) {
+  MR_SEEDED_RNG(rng, 0x5caf);
+  SnapshotStreamChunk chunk;
+  chunk.offset = 4 << 20;
+  for (int i = 0; i < 4096; ++i) {
+    chunk.data.push_back(static_cast<char>(rng.next_below(256)));
+  }
+  chunk.checksum = snapshot::fnv1a64(chunk.data.data(), chunk.data.size());
+  const SnapshotStreamChunk back =
+      decode_snapshot_chunk(encode_snapshot_chunk(chunk));
+  EXPECT_EQ(back.offset, chunk.offset);
+  EXPECT_EQ(back.checksum, chunk.checksum);
+  EXPECT_EQ(back.data, chunk.data);
+
+  // A single flipped bit in the data must be caught by the per-chunk
+  // checksum at decode time, not discovered megabytes later.
+  std::string corrupted = encode_snapshot_chunk(chunk);
+  corrupted[corrupted.size() / 2] ^= 0x04;
+  EXPECT_THROW(decode_snapshot_chunk(corrupted), Error);
+
+  // A checksum that does not match the data is equally corrupt.
+  SnapshotStreamChunk lying = chunk;
+  lying.checksum ^= 1;
+  EXPECT_THROW(decode_snapshot_chunk(encode_snapshot_chunk(lying)), Error);
+
+  // Truncation is rejected before the checksum is even consulted.
+  const std::string payload = encode_snapshot_chunk(chunk);
+  EXPECT_THROW(decode_snapshot_chunk(payload.substr(0, payload.size() / 3)),
+               Error);
+}
+
+TEST(Records, FnvAccumulatorMatchesOneShotHash) {
+  // The streaming receiver folds chunks through fnv1a64_accum; the result
+  // must equal hashing the whole buffer at once, for any split points.
+  MR_SEEDED_RNG(rng, 0xacc0);
+  std::string blob;
+  for (int i = 0; i < 10000; ++i) {
+    blob.push_back(static_cast<char>(rng.next_below(256)));
+  }
+  const std::uint64_t whole = snapshot::fnv1a64(blob.data(), blob.size());
+  for (int trial = 0; trial < 8; ++trial) {
+    std::uint64_t acc = snapshot::kFnv1a64Init;
+    std::size_t off = 0;
+    while (off < blob.size()) {
+      const std::size_t n =
+          std::min(blob.size() - off,
+                   std::size_t{1} + rng.next_below(4096));
+      acc = snapshot::fnv1a64_accum(acc, blob.data() + off, n);
+      off += n;
+    }
+    EXPECT_EQ(acc, whole);
+  }
+}
+
 TEST(Framing, SnapshotFrameTypesAreValidOnTheWire) {
   // The PR 5 frame types must survive the parser's type validation.
   for (const FrameType type :
@@ -398,7 +473,7 @@ TEST(Framing, SnapshotFrameTypesAreValidOnTheWire) {
 
 TEST(Framing, ServeFrameTypesAreValidOnTheWire) {
   // The serve-daemon frame types must survive the parser's type
-  // validation; one past kServeShutdown must not.
+  // validation.
   for (const FrameType type :
        {FrameType::kTranslateRequest, FrameType::kTranslateResult,
         FrameType::kServeShutdown}) {
@@ -410,9 +485,25 @@ TEST(Framing, ServeFrameTypesAreValidOnTheWire) {
     EXPECT_EQ(frame->type, type);
     EXPECT_EQ(frame->payload, "payload");
   }
+}
+
+TEST(Framing, SnapshotStreamFrameTypesAreValidOnTheWire) {
+  // The in-band snapshot-stream types must survive the parser's type
+  // validation; one past kSnapshotEnd (the current highest) must not.
+  for (const FrameType type :
+       {FrameType::kSnapshotBegin, FrameType::kSnapshotChunk,
+        FrameType::kSnapshotEnd}) {
+    FrameParser parser;
+    const std::string stream = encode_frame(type, "payload");
+    parser.feed(stream.data(), stream.size());
+    const auto frame = parser.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, "payload");
+  }
   FrameParser parser;
-  std::string stream = encode_frame(FrameType::kServeShutdown, "p");
-  stream[4] = static_cast<char>(static_cast<int>(FrameType::kServeShutdown) +
+  std::string stream = encode_frame(FrameType::kSnapshotEnd, "p");
+  stream[4] = static_cast<char>(static_cast<int>(FrameType::kSnapshotEnd) +
                                 1);
   EXPECT_THROW(
       {

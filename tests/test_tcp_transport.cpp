@@ -1,0 +1,431 @@
+// Transport-layer suite for the cross-machine TCP path plus the transport
+// bugfix sweep: host:port spec parsing, TCP listen/accept/connect semantics
+// (ephemeral ports, hostname resolution, connect retry-until-deadline),
+// frame integrity over real sockets including RST-mid-frame and garbage
+// streams, the accept-loop failure classification (transient fd exhaustion
+// retries, a closed/shut-down listener exits), unix_listen's live-daemon
+// probe, and the spawn-time close_fds_from sweep that replaced the fixed
+// 0..1023 loop.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shard/protocol.hpp"
+#include "shard/transport.hpp"
+#include "support/check.hpp"
+#include "support/process.hpp"
+#include "testing.hpp"
+
+namespace mpirical {
+namespace {
+
+/// Runs `fn` and returns the Error message it threw ("" = did not throw).
+template <typename Fn>
+std::string thrown_message(Fn fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return std::string();
+}
+
+/// A connected 127.0.0.1 socket pair via the real listen/connect/accept
+/// path. Connect completes against the backlog, so no thread is needed.
+struct TcpPair {
+  int listen_fd = -1;
+  std::unique_ptr<shard::SocketTransport> driver;  // accepted end
+  std::unique_ptr<shard::SocketTransport> worker;  // connecting end
+
+  TcpPair() {
+    std::uint16_t port = 0;
+    listen_fd = shard::tcp_listen("127.0.0.1", 0, /*backlog=*/4, &port);
+    worker = std::make_unique<shard::SocketTransport>(
+        shard::tcp_connect("127.0.0.1", port, /*timeout_ms=*/5000));
+    driver = std::make_unique<shard::SocketTransport>(
+        shard::tcp_accept(listen_fd));
+  }
+  ~TcpPair() {
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+};
+
+// ---- host:port spec parsing -------------------------------------------------
+
+TEST(SplitHostPort, ParsesCommonForms) {
+  const auto v4 = shard::split_host_port("127.0.0.1:8080");
+  EXPECT_EQ(v4.first, "127.0.0.1");
+  EXPECT_EQ(v4.second, 8080);
+
+  const auto name = shard::split_host_port("node17.cluster:0");
+  EXPECT_EQ(name.first, "node17.cluster");
+  EXPECT_EQ(name.second, 0);
+
+  const auto v6 = shard::split_host_port("[::1]:443");
+  EXPECT_EQ(v6.first, "::1");
+  EXPECT_EQ(v6.second, 443);
+
+  // Bare ":port" = any interface, for --listen specs.
+  const auto any = shard::split_host_port(":9000");
+  EXPECT_EQ(any.first, "");
+  EXPECT_EQ(any.second, 9000);
+}
+
+TEST(SplitHostPort, RejectsMalformedSpecs) {
+  EXPECT_NE(thrown_message([] { shard::split_host_port("no-port-here"); }),
+            "");
+  EXPECT_NE(thrown_message([] { shard::split_host_port("host:"); }), "");
+  EXPECT_NE(thrown_message([] { shard::split_host_port("host:http"); }), "");
+  EXPECT_NE(thrown_message([] { shard::split_host_port("host:70000"); }), "");
+  EXPECT_NE(thrown_message([] { shard::split_host_port("host:-1"); }), "");
+}
+
+// ---- TCP stream semantics ---------------------------------------------------
+
+TEST(TcpTransport, EphemeralPortIsReported) {
+  std::uint16_t port = 0;
+  const int fd = shard::tcp_listen("127.0.0.1", 0, 4, &port);
+  ASSERT_GE(fd, 0);
+  EXPECT_GT(port, 0);
+  ::close(fd);
+}
+
+TEST(TcpTransport, FramesSurviveTheRoundTripBothWays) {
+  MR_SEEDED_RNG(rng, 0x7c91);
+  TcpPair pair;
+
+  // Worker -> driver: a payload big enough to split across several
+  // recv_some calls, with seeded random bytes so any reordering or
+  // corruption would show.
+  std::string blob(300000, '\0');
+  for (auto& c : blob) c = static_cast<char>(rng.next_below(256));
+  ASSERT_TRUE(pair.worker->send(
+      shard::encode_frame(shard::FrameType::kResult, blob)));
+
+  shard::FrameParser driver_parser;
+  std::optional<shard::Frame> got;
+  while (!got) {
+    const std::string bytes = pair.driver->recv_some();
+    ASSERT_FALSE(bytes.empty()) << "EOF before the frame completed";
+    driver_parser.feed(bytes.data(), bytes.size());
+    got = driver_parser.next();
+  }
+  EXPECT_EQ(got->type, shard::FrameType::kResult);
+  EXPECT_EQ(got->payload, blob);
+
+  // Driver -> worker on the same connection.
+  shard::TaskGrant grant;
+  grant.chunk_index = 3;
+  grant.begin = 96;
+  grant.end = 128;
+  ASSERT_TRUE(pair.driver->send(shard::encode_frame(
+      shard::FrameType::kTaskGrant, shard::encode_task_grant(grant))));
+  shard::FrameParser worker_parser;
+  std::optional<shard::Frame> reply;
+  while (!reply) {
+    const std::string bytes = pair.worker->recv_some();
+    ASSERT_FALSE(bytes.empty());
+    worker_parser.feed(bytes.data(), bytes.size());
+    reply = worker_parser.next();
+  }
+  const shard::TaskGrant decoded = shard::decode_task_grant(reply->payload);
+  EXPECT_EQ(decoded.chunk_index, 3u);
+  EXPECT_EQ(decoded.begin, 96u);
+  EXPECT_EQ(decoded.end, 128u);
+}
+
+TEST(TcpTransport, HalfCloseDrainsInFlightFramesThenEof) {
+  TcpPair pair;
+  const std::string frame =
+      shard::encode_frame(shard::FrameType::kHeartbeat, "");
+  ASSERT_TRUE(pair.worker->send(frame));
+  pair.worker->close();  // shutdown(SHUT_WR): "no more requests"
+
+  // The driver still receives everything sent before the half-close...
+  std::string drained;
+  for (;;) {
+    const std::string bytes = pair.driver->recv_some();
+    if (bytes.empty()) break;
+    drained += bytes;
+  }
+  EXPECT_EQ(drained, frame);
+
+  // ...and the half-closed end can still READ: the reply direction stays
+  // open, which is what lets a serve client collect its last results.
+  ASSERT_TRUE(pair.driver->send(frame));
+  EXPECT_EQ(pair.worker->recv_some(), frame);
+}
+
+TEST(TcpTransport, HostnameResolutionWorksForLocalhost) {
+  std::uint16_t port = 0;
+  const int listen_fd = shard::tcp_listen("localhost", 0, 4, &port);
+  ASSERT_GE(listen_fd, 0);
+  shard::SocketTransport client(shard::tcp_connect("localhost", port, 5000));
+  shard::SocketTransport server(shard::tcp_accept(listen_fd));
+  ASSERT_TRUE(client.send("ping"));
+  EXPECT_EQ(server.recv_some(), "ping");
+  ::close(listen_fd);
+}
+
+TEST(TcpTransport, ConnectTimesOutWhenNothingListens) {
+  // Grab an ephemeral port, then close the listener: connects to it are
+  // refused, and tcp_connect must retry (the peer could be booting) until
+  // the deadline instead of failing on the first refusal.
+  std::uint16_t port = 0;
+  const int fd = shard::tcp_listen("127.0.0.1", 0, 1, &port);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::string msg = thrown_message(
+      [&] { shard::tcp_connect("127.0.0.1", port, /*timeout_ms=*/300); });
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_NE(msg.find("timed out waiting for the peer"), std::string::npos)
+      << msg;
+  EXPECT_GE(elapsed.count(), 290);  // it kept retrying, not one-shot
+}
+
+TEST(TcpTransport, ConnectRetriesWhileTheListenerBoots) {
+  // Reserve a port, free it, and bring the real listener up only after a
+  // delay -- tcp_connect must survive the refusals in between (a remote
+  // worker still booting when the driver dials).
+  std::uint16_t port = 0;
+  const int probe = shard::tcp_listen("127.0.0.1", 0, 1, &port);
+  ASSERT_GE(probe, 0);
+  ::close(probe);
+
+  std::atomic<int> accepted{-2};
+  std::thread late_listener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    const int listen_fd = shard::tcp_listen("127.0.0.1", port, 4);
+    accepted.store(shard::tcp_accept(listen_fd));
+    ::close(listen_fd);
+  });
+  const int fd = shard::tcp_connect("127.0.0.1", port, /*timeout_ms=*/5000);
+  late_listener.join();
+  EXPECT_GE(fd, 0);
+  EXPECT_GE(accepted.load(), 0);
+  ::close(fd);
+  if (accepted.load() >= 0) ::close(accepted.load());
+}
+
+TEST(TcpTransport, UnresolvableHostIsAHardError) {
+  // A typo'd host must fail loudly and immediately -- masking it behind the
+  // connect-retry deadline would make the driver hang for the full timeout.
+  const std::string msg = thrown_message(
+      [] { shard::tcp_connect("host.invalid", 80, /*timeout_ms=*/60000); });
+  EXPECT_NE(msg.find("resolve"), std::string::npos) << msg;
+}
+
+// ---- fault shapes on the wire ----------------------------------------------
+
+TEST(TcpFaults, RstMidFrameLooksLikeTruncationNotGarbage) {
+  std::uint16_t port = 0;
+  const int listen_fd = shard::tcp_listen("127.0.0.1", 0, 4, &port);
+  const int peer_fd = shard::tcp_connect("127.0.0.1", port, 5000);
+  shard::SocketTransport reader(shard::tcp_accept(listen_fd));
+  ::close(listen_fd);
+
+  // The peer sends half a frame, then aborts hard: SO_LINGER{on, 0} turns
+  // close() into an RST instead of an orderly FIN -- a worker machine
+  // dropping off the network mid-record.
+  const std::string frame = shard::encode_frame(
+      shard::FrameType::kResult, std::string(4096, 'r'));
+  const std::string half = frame.substr(0, frame.size() / 2);
+  ASSERT_EQ(::send(peer_fd, half.data(), half.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(half.size()));
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ASSERT_EQ(::setsockopt(peer_fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg)), 0);
+  ::close(peer_fd);
+
+  // The reader sees some prefix of the frame and then EOF (the RST surfaces
+  // as a failed recv, same empty-string signal). The parser must report a
+  // PARTIAL frame -- the driver's worker-died-mid-record path -- and never
+  // hand over a bogus complete frame.
+  shard::FrameParser parser;
+  for (;;) {
+    const std::string bytes = reader.recv_some();
+    if (bytes.empty()) break;
+    ASSERT_NO_THROW(parser.feed(bytes.data(), bytes.size()));
+  }
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.has_partial());
+}
+
+TEST(TcpFaults, GarbageBytesOverTcpRejectedLoudly) {
+  TcpPair pair;
+  ASSERT_TRUE(pair.worker->send("these bytes are not a protocol frame"));
+  const std::string bytes = pair.driver->recv_some();
+  ASSERT_FALSE(bytes.empty());
+  shard::FrameParser parser;
+  EXPECT_THROW(parser.feed(bytes.data(), bytes.size()), Error);
+}
+
+// ---- accept-loop failure classification (the Server::run fix) ---------------
+
+TEST(AcceptRetry, SurvivesFdExhaustionAndResumesAccepting) {
+  std::uint16_t port = 0;
+  const int listen_fd = shard::tcp_listen("127.0.0.1", 0, 4, &port);
+  ASSERT_GE(listen_fd, 0);
+  // The client lands in the backlog first; accept() will find it waiting.
+  const int client_fd = shard::tcp_connect("127.0.0.1", port, 5000);
+  ASSERT_GE(client_fd, 0);
+
+  // Now exhaust the descriptor table: lower RLIMIT_NOFILE and dup() until
+  // EMFILE, the state a loaded daemon hits. The old accept loop treated the
+  // resulting accept() failure as fatal and abandoned the listener.
+  struct rlimit saved;
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  struct rlimit squeezed = saved;
+  squeezed.rlim_cur = 256;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &squeezed), 0);
+  std::vector<int> hogs;
+  for (;;) {
+    const int fd = ::dup(0);
+    if (fd < 0) {
+      EXPECT_EQ(errno, EMFILE);
+      break;
+    }
+    hogs.push_back(fd);
+  }
+
+  std::atomic<int> accepted{-2};
+  std::thread acceptor([&] { accepted.store(shard::tcp_accept(listen_fd)); });
+  // Give the accept loop time to hit EMFILE and enter its backoff...
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(accepted.load(), -2) << "accept gave up during fd exhaustion";
+  // ...then free descriptors: the retry must now succeed.
+  for (const int fd : hogs) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+  acceptor.join();
+  ASSERT_GE(accepted.load(), 0);
+
+  // The recovered connection actually works end to end.
+  shard::SocketTransport server(accepted.load());
+  shard::SocketTransport client(client_fd);
+  ASSERT_TRUE(client.send("still here"));
+  EXPECT_EQ(server.recv_some(), "still here");
+  ::close(listen_fd);
+}
+
+TEST(AcceptRetry, ClosedListenerExitsTheLoop) {
+  std::uint16_t port = 0;
+  const int listen_fd = shard::tcp_listen("127.0.0.1", 0, 4, &port);
+  ::close(listen_fd);
+  // EBADF is the daemon's own shutdown, not a transient fault: return -1
+  // promptly instead of retrying forever.
+  EXPECT_EQ(shard::tcp_accept(listen_fd), -1);
+}
+
+TEST(AcceptRetry, ShutDownListenerExitsTheLoop) {
+  std::uint16_t port = 0;
+  const int listen_fd = shard::tcp_listen("127.0.0.1", 0, 4, &port);
+  ASSERT_EQ(::shutdown(listen_fd, SHUT_RDWR), 0);
+  // shutdown() on a listener surfaces as EINVAL -- the wake-a-blocked-
+  // accept shutdown path must also classify as "listener gone".
+  EXPECT_EQ(shard::tcp_accept(listen_fd), -1);
+  ::close(listen_fd);
+}
+
+// ---- unix_listen liveness probe (the silent-unlink fix) ---------------------
+
+TEST(UnixListen, RefusesToStealALiveDaemonsSocket) {
+  const std::string path = "/tmp/mpirical_tcp_test_" +
+                           std::to_string(::getpid()) + "_live.sock";
+  const int live = shard::unix_listen(path, 4);
+  ASSERT_GE(live, 0);
+  // A second listener must NOT silently unlink the live daemon's address.
+  const std::string msg =
+      thrown_message([&] { shard::unix_listen(path, 4); });
+  EXPECT_NE(msg.find("daemon already serving"), std::string::npos) << msg;
+  // The live daemon is unharmed: a client still reaches it.
+  const int client = shard::unix_connect(path, 5000);
+  EXPECT_GE(client, 0);
+  ::close(client);
+  ::close(live);
+  ::unlink(path.c_str());
+}
+
+TEST(UnixListen, ReplacesAStaleSocketFile) {
+  const std::string path = "/tmp/mpirical_tcp_test_" +
+                           std::to_string(::getpid()) + "_stale.sock";
+  const int first = shard::unix_listen(path, 4);
+  ASSERT_GE(first, 0);
+  ::close(first);  // daemon died; its socket file lingers
+
+  // Nothing answers at the file now, so a new daemon may take the address.
+  const int second = shard::unix_listen(path, 4);
+  EXPECT_GE(second, 0);
+  ::close(second);
+  ::unlink(path.c_str());
+}
+
+TEST(UnixListen, RejectsANonSocketFileAtThePath) {
+  const std::string path = "/tmp/mpirical_tcp_test_" +
+                           std::to_string(::getpid()) + "_notsock";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::write(fd, "x", 1), 1);
+  ::close(fd);
+  const std::string msg =
+      thrown_message([&] { shard::unix_listen(path, 4); });
+  EXPECT_NE(msg.find("not a socket"), std::string::npos) << msg;
+  ::unlink(path.c_str());
+}
+
+// ---- close_fds_from (the spawn fd-leak fix) ---------------------------------
+
+TEST(CloseFdsFrom, ClosesEveryFdAtOrAboveTheFloorIncludingHighOnes) {
+  // The old spawn path closed a fixed 5..1023 range; descriptors above 1023
+  // (routine at the RLIMIT_NOFILE this repo's eval runs raise) leaked into
+  // every worker. Park dups well above the old ceiling and check a forked
+  // child really loses them.
+  int report[2];
+  ASSERT_EQ(::pipe(report), 0);
+  const int high1 = ::fcntl(report[0], F_DUPFD, 1500);
+  const int high2 = ::fcntl(report[0], F_DUPFD, 4000);
+  ASSERT_GT(high1, 1023);
+  ASSERT_GT(high2, 1023);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: report through fd 4 (below the floor, must survive the sweep).
+    ::dup2(report[1], 4);
+    support::close_fds_from(5);
+    const bool high_gone = ::fcntl(high1, F_GETFD) == -1 && errno == EBADF &&
+                           ::fcntl(high2, F_GETFD) == -1;
+    const char verdict = high_gone ? '1' : '0';
+    const ssize_t n = ::write(4, &verdict, 1);
+    ::_exit(n == 1 ? 0 : 1);
+  }
+  ::close(report[1]);
+  char verdict = '?';
+  ASSERT_EQ(::read(report[0], &verdict, 1), 1);
+  EXPECT_EQ(verdict, '1');
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ::close(report[0]);
+  ::close(high1);
+  ::close(high2);
+}
+
+}  // namespace
+}  // namespace mpirical

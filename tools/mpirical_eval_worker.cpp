@@ -1,0 +1,75 @@
+// Standalone TCP eval worker: what runs on a REMOTE machine in the
+// MPIRICAL_EVAL_HOSTS deployment.
+//
+//   mpirical_eval_worker --listen <host:port> [--once]
+//
+// Listens on host:port (port 0 = pick an ephemeral port; the bound port is
+// printed on stdout so launch scripts can capture it), accepts one driver
+// connection at a time, and serves it with run_worker_from_snapshot: the
+// driver streams the world snapshot IN-BAND (kSnapshotBegin / chunked
+// kSnapshotChunk / kSnapshotEnd, both checksum layers verified here), the
+// worker mmaps it from a local temp file, then speaks the normal task loop.
+// Nothing about the driver's filesystem or environment is assumed.
+//
+// By default the worker goes back to accepting after each driver
+// disconnects, so one long-lived process can serve successive eval runs;
+// --once exits after the first connection (what the tests and one-shot CI
+// jobs want).
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "shard/eval.hpp"
+#include "shard/transport.hpp"
+#include "support/check.hpp"
+#include "support/process.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpirical;
+  try {
+    std::string listen_spec;
+    bool once = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--listen") {
+        MR_CHECK(i + 1 < argc, "--listen needs a host:port value");
+        listen_spec = argv[++i];
+      } else if (arg == "--once") {
+        once = true;
+      } else {
+        MR_CHECK(false, "unexpected argument: " + arg);
+      }
+    }
+    MR_CHECK(!listen_spec.empty(),
+             "usage: mpirical_eval_worker --listen <host:port> [--once]");
+    support::ignore_sigpipe();
+    Timer boot;
+    const auto [host, port] = shard::split_host_port(listen_spec);
+    std::uint16_t bound = 0;
+    const int listen_fd = shard::tcp_listen(host, port, /*backlog=*/4, &bound);
+    // Machine-readable port line for launchers that asked for port 0.
+    std::printf("%u\n", static_cast<unsigned>(bound));
+    std::fflush(stdout);
+    std::fprintf(stderr, "[mpirical_eval_worker] listening on %s port %u\n",
+                 host.empty() ? "*" : host.c_str(),
+                 static_cast<unsigned>(bound));
+    const double boot_ms = boot.seconds() * 1e3;
+    for (;;) {
+      const int fd = shard::tcp_accept(listen_fd);
+      if (fd < 0) break;
+      shard::SocketTransport transport(fd);
+      // Serves this driver to completion (or its death); a corrupt stream
+      // ends the connection quietly and the next accept starts fresh.
+      shard::run_worker_from_snapshot(transport, boot_ms);
+      if (once) break;
+    }
+    ::close(listen_fd);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[mpirical_eval_worker] fatal: %s\n", e.what());
+    return 1;
+  }
+}

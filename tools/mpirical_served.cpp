@@ -1,13 +1,17 @@
 // Standalone serving daemon: mmap a world snapshot once, serve translate
 // requests over a Unix-domain socket until a client sends kServeShutdown.
 //
-//   mpirical_served <snapshot> <socket> [--wave N] [--barrier]
+//   mpirical_served <snapshot> [<socket>] [--tcp host:port] [--wave N]
+//                   [--barrier]
 //
 //   <snapshot>   world snapshot file (eval or dataset shape; see
 //                core/world_snapshot.hpp). The model weights stay zero-copy
 //                views into the mapping for the daemon's lifetime.
-//   <socket>     Unix-domain socket path to listen on (created; a stale
-//                file is replaced; unlinked on clean exit).
+//   <socket>     Unix-domain socket path to listen on (created; a file a
+//                LIVE daemon answers at is refused loudly, only a stale one
+//                is replaced; unlinked on clean exit).
+//   --tcp h:p    listen on TCP host:port instead of a socket file (port 0 =
+//                pick an ephemeral port). Exactly one of <socket> / --tcp.
 //   --wave N     cap on concurrently-decoding requests (default: the
 //                MPIRICAL_DECODE_WAVE wave size translate_batch uses).
 //   --barrier    per-wave-barrier admission instead of continuous refill
@@ -32,6 +36,9 @@ int main(int argc, char** argv) {
       const std::string arg = argv[i];
       if (arg == "--barrier") {
         options.barrier_mode = true;
+      } else if (arg == "--tcp") {
+        MR_CHECK(i + 1 < argc, "--tcp needs a host:port value");
+        options.tcp_addr = argv[++i];
       } else if (arg == "--wave") {
         MR_CHECK(i + 1 < argc, "--wave needs a value");
         char* end = nullptr;
@@ -49,11 +56,15 @@ int main(int argc, char** argv) {
         MR_CHECK(false, "unexpected argument: " + arg);
       }
     }
-    MR_CHECK(!options.snapshot_path.empty() && !options.socket_path.empty(),
-             "usage: mpirical_served <snapshot> <socket> [--wave N] "
-             "[--barrier]");
+    MR_CHECK(!options.snapshot_path.empty() &&
+                 (options.socket_path.empty() != options.tcp_addr.empty()),
+             "usage: mpirical_served <snapshot> [<socket>] "
+             "[--tcp host:port] [--wave N] [--barrier]");
+    const std::string where = options.tcp_addr.empty()
+                                  ? options.socket_path
+                                  : "tcp " + options.tcp_addr;
     std::fprintf(stderr, "[mpirical_served] serving %s on %s%s\n",
-                 options.snapshot_path.c_str(), options.socket_path.c_str(),
+                 options.snapshot_path.c_str(), where.c_str(),
                  options.barrier_mode ? " (barrier mode)" : "");
     const ServerStats stats = mpirical::serve::run_daemon(options);
     std::fprintf(stderr,
