@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -35,8 +36,17 @@ void setenv_default(const char* name, const char* value) {
 }
 
 void append_json_line(const std::string& path, const std::string& line) {
-  std::ofstream out(path, std::ios::app);
-  out << line << "\n";
+  io::append_line(path, line);
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
 }
 
 bool maybe_run_eval_shard_worker() {

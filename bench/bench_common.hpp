@@ -34,8 +34,20 @@ bool smoke_mode();
 /// the resulting environment).
 void setenv_default(const char* name, const char* value);
 
-/// Appends one line to a BENCH_*.json perf-trajectory file.
+/// Appends one line to a BENCH_*.json perf-trajectory file. Crash- and
+/// concurrency-safe: the line goes out as ONE write() on an O_APPEND
+/// descriptor (io::append_line), so parallel bench processes appending to
+/// the same file never interleave bytes and a crash cannot leave a torn
+/// line (tests/test_bench_common.cpp hammers this from forked writers).
 void append_json_line(const std::string& path, const std::string& line);
+
+/// Nearest-rank percentile over an ALREADY SORTED ascending sample:
+/// the smallest value >= p of the sample (rank = ceil(p*n), clamped to
+/// [1, n]), so p=0 is the minimum, p=1 the maximum, and p=0.5 of [1,2,3,4]
+/// is 2. Returns 0 for an empty sample. Replaces bench_serve's old
+/// `sorted[p*(n-1)+0.5]` interpolation-by-truncation, which read one rank
+/// high on even-sized samples (p50 of 100 values returned the 51st).
+double percentile(const std::vector<double>& sorted, double p);
 
 /// Shard-worker entry for the model-eval benches. When this process was
 /// launched with MPIRICAL_EVAL_SHARD_ROLE=worker it obtains the SAME model

@@ -99,13 +99,6 @@ struct ModeResult {
   std::size_t joined_running_wave = 0;
 };
 
-double percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t idx = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
-
 /// One open-loop run against a freshly-booted daemon. `interval_s` is the
 /// fixed inter-arrival time; sends happen on schedule from a dedicated
 /// thread while this thread drains completion-order results.
@@ -173,8 +166,8 @@ ModeResult run_mode(const std::string& snapshot, const std::string& socket,
           std::chrono::duration<double, std::milli>(done[i] - sent[i]).count();
     }
     std::sort(latencies_ms.begin(), latencies_ms.end());
-    out.p50_ms = percentile(latencies_ms, 0.50);
-    out.p99_ms = percentile(latencies_ms, 0.99);
+    out.p50_ms = bench::percentile(latencies_ms, 0.50);
+    out.p99_ms = bench::percentile(latencies_ms, 0.99);
     out.wall_s = std::chrono::duration<double>(last_done - start).count();
     out.req_per_s =
         out.wall_s > 0.0 ? static_cast<double>(n) / out.wall_s : 0.0;

@@ -143,6 +143,26 @@ int main(int argc, char** argv) {
                     setup.snapshot_load_ms);
       line += buf;
     }
+    {
+      // Driver-side run phases from the recorder-backed stats: grant
+      // round-trips, chunk churn (reassignments/steals), and raw transport
+      // volume.
+      char buf[384];
+      std::snprintf(
+          buf, sizeof(buf),
+          ",\"grant_rtt_count\":%llu,\"grant_rtt_total_ms\":%.2f,"
+          "\"grant_rtt_max_ms\":%.2f,\"snapshot_stream_ms\":%.2f,"
+          "\"reassigned_chunks\":%llu,\"stolen_chunks\":%llu,"
+          "\"bytes_sent\":%llu,\"bytes_received\":%llu",
+          static_cast<unsigned long long>(stats.grant_rtt.count),
+          stats.grant_rtt.total_ms(), stats.grant_rtt.max_ms(),
+          stats.snapshot_stream_ms,
+          static_cast<unsigned long long>(stats.reassigned_chunks),
+          static_cast<unsigned long long>(stats.stolen_chunks),
+          static_cast<unsigned long long>(stats.bytes_sent),
+          static_cast<unsigned long long>(stats.bytes_received));
+      line += buf;
+    }
     auto append_array = [&line](const char* key,
                                 const std::vector<double>& values) {
       line += ",\"";

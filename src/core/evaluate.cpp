@@ -2,6 +2,7 @@
 
 #include "cparse/parser.hpp"
 #include "mpidb/catalog.hpp"
+#include "obs/recorder.hpp"
 #include "shard/eval.hpp"
 #include "support/thread_pool.hpp"
 #include "toklib/vocab.hpp"
@@ -99,19 +100,25 @@ EvalSummary evaluate_model(const MpiRical& model,
   for (std::size_t i = 0; i < split.size(); ++i) {
     inputs[i] = {split[i].input_code, split[i].input_xsbt};
   }
-  const std::vector<std::string> decoded =
-      model.translate_batch(inputs, beam_width);
+  std::vector<std::string> decoded;
+  {
+    obs::ScopedPhase decode_phase("eval/decode");
+    decoded = model.translate_batch(inputs, beam_width);
+  }
 
   std::vector<EvalSummary> per_example(split.size());
-  parallel_for(
-      0, split.size(),
-      [&](std::size_t i) {
-        ExamplePrediction pred;
-        per_example[i] =
-            score_example(split[i], decoded[i], line_tolerance, &pred);
-        if (predictions) (*predictions)[i] = std::move(pred);
-      },
-      /*grain=*/1);
+  {
+    obs::ScopedPhase score_phase("eval/score");
+    parallel_for(
+        0, split.size(),
+        [&](std::size_t i) {
+          ExamplePrediction pred;
+          per_example[i] =
+              score_example(split[i], decoded[i], line_tolerance, &pred);
+          if (predictions) (*predictions)[i] = std::move(pred);
+        },
+        /*grain=*/1);
+  }
 
   return reduce_example_summaries(per_example);
 }

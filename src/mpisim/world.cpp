@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "support/check.hpp"
+#include "support/timer.hpp"
 
 namespace mpirical::mpisim {
 
@@ -336,9 +337,13 @@ Value RankApi::call(interp::Interpreter& interp, const std::string& name,
   }
   if (name == "MPI_Wtime") {
     need(0);
-    const auto now = std::chrono::steady_clock::now().time_since_epoch();
-    return Value::make_double(
-        std::chrono::duration<double>(now).count());
+    // Seconds since the first MPI_Wtime call in this process, via the same
+    // Timer every other duration measurement uses. MPI only promises a
+    // per-process arbitrary epoch, and steady_clock's raw time_since_epoch
+    // origin is unspecified anyway -- anchoring to first use keeps the
+    // values small and the clock policy in support/timer.hpp.
+    static const Timer wtime_epoch;
+    return Value::make_double(wtime_epoch.seconds());
   }
   if (name == "MPI_Wtick") { need(0); return Value::make_double(1e-9); }
   if (name == "MPI_Abort") {

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/recorder.hpp"
 #include "support/arena.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
@@ -1011,7 +1012,8 @@ std::vector<DecodeResult> decode_batch(const Transformer& model,
   DecodeStream stream(model);
   Timer encode_timer;
   const std::vector<DecodeStream::TicketId> ids = stream.submit(requests);
-  if (stats) stats->encode_seconds = encode_timer.seconds();
+  const double encode_seconds = encode_timer.seconds();
+  if (stats) stats->encode_seconds = encode_seconds;
   Timer decode_timer;
   std::unordered_map<DecodeStream::TicketId, std::size_t> slot;
   slot.reserve(ids.size());
@@ -1021,7 +1023,17 @@ std::vector<DecodeResult> decode_batch(const Transformer& model,
       results[slot.at(fin.id)] = std::move(fin.result);
     }
   }
-  if (stats) stats->decode_seconds = decode_timer.seconds();
+  const double decode_seconds = decode_timer.seconds();
+  if (stats) stats->decode_seconds = decode_seconds;
+  // Per-wave encode vs decode GEMM split for the recorder -- the same
+  // timers the DecodeBatchStats fields come from, so the two views agree.
+  obs::Recorder& rec = obs::Recorder::global();
+  if (rec.enabled()) {
+    rec.record_phase("nn/wave/encode",
+                     static_cast<std::uint64_t>(encode_seconds * 1e9));
+    rec.record_phase("nn/wave/decode",
+                     static_cast<std::uint64_t>(decode_seconds * 1e9));
+  }
   return results;
 }
 

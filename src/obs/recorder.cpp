@@ -1,0 +1,488 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include <unistd.h>
+
+#include "support/io.hpp"
+
+namespace mpirical::obs {
+
+namespace {
+
+// Fixed per-thread capacities: the hot path indexes flat arrays, never
+// allocates. Paths interned beyond the cap are dropped (id 0), not errors --
+// observability must not take down a run.
+constexpr std::size_t kMaxPhases = 512;
+constexpr std::size_t kMaxCounters = 256;
+
+struct PlainAccum {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+void merge_accum(PlainAccum& into, std::uint64_t count, std::uint64_t total_ns,
+                 std::uint64_t max_ns) {
+  into.count += count;
+  into.total_ns += total_ns;
+  into.max_ns = std::max(into.max_ns, max_ns);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_fixed(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out += buf;
+}
+
+}  // namespace
+
+/// Per-thread accumulation buffer. Only the owning thread writes the cells
+/// (relaxed atomics so snapshot() may read them concurrently without tearing
+/// or UB); the registry merges a thread's cells into the retired pool when
+/// the thread exits.
+struct Recorder::ThreadBuf {
+  struct Cell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+  Cell phases[kMaxPhases];
+  std::atomic<std::uint64_t> counters[kMaxCounters] = {};
+  std::uint32_t current = 0;  // innermost live ScopedPhase (0 = root)
+
+  // Call-site caches: (parent, name pointer) -> interned id, so steady-state
+  // resolution is a short linear scan over this thread's distinct sites
+  // instead of a locked string lookup. Name pointers are the callers'
+  // string literals; a moved pointer just costs one re-intern.
+  struct PhaseSite {
+    std::uint32_t parent;
+    const char* name;
+    std::uint32_t id;
+  };
+  struct CounterSite {
+    const char* name;
+    std::uint32_t id;
+  };
+  std::vector<PhaseSite> phase_sites;
+  std::vector<CounterSite> counter_sites;
+
+  void bump_phase(std::uint32_t id, std::uint64_t ns) {
+    if (id == 0 || id >= kMaxPhases) return;
+    Cell& c = phases[id];
+    c.count.fetch_add(1, std::memory_order_relaxed);
+    c.total_ns.fetch_add(ns, std::memory_order_relaxed);
+    if (ns > c.max_ns.load(std::memory_order_relaxed)) {
+      c.max_ns.store(ns, std::memory_order_relaxed);
+    }
+  }
+};
+
+/// Interned name tables + retired accumulators + the live thread-buffer
+/// list. One mutex guards all of it; the hot path never takes it after a
+/// call site's first resolution on each thread.
+class Recorder::Registry {
+ public:
+  Registry() {
+    nodes_.push_back({0, "", ""});  // id 0: root / dropped sentinel
+    retired_phases_.resize(1);
+  }
+
+  std::uint32_t intern_child(std::uint32_t parent, const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return intern_child_locked(parent, name);
+  }
+
+  std::uint32_t intern_counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return intern_counter_locked(name);
+  }
+
+  void register_buf(ThreadBuf* buf) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs_.push_back(buf);
+  }
+
+  void retire_buf(ThreadBuf* buf) {
+    std::lock_guard<std::mutex> lock(mu_);
+    merge_buf_locked(*buf);
+    bufs_.erase(std::remove(bufs_.begin(), bufs_.end(), buf), bufs_.end());
+  }
+
+  void merge_phase(const std::string& path, std::uint64_t count,
+                   std::uint64_t total_ns, std::uint64_t max_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint32_t id = intern_child_locked(0, path);
+    if (id == 0) return;
+    merge_accum(retired_phases_[id], count, total_ns, max_ns);
+  }
+
+  void merge_counter(const std::string& name, std::uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint32_t id = intern_counter_locked(name);
+    if (id >= retired_counters_.size()) retired_counters_.resize(id + 1, 0);
+    retired_counters_[id] += value;
+  }
+
+  void gauge_set(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = gauges_.try_emplace(name, GaugeStat{name, value, value});
+    if (!inserted) {
+      it->second.last = value;
+      it->second.max = std::max(it->second.max, value);
+    }
+  }
+
+  StatsSnapshot snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<PlainAccum> totals = retired_phases_;
+    totals.resize(nodes_.size());
+    std::vector<std::uint64_t> counter_totals = retired_counters_;
+    counter_totals.resize(counter_names_.size(), 0);
+    for (ThreadBuf* buf : bufs_) {
+      for (std::size_t id = 1; id < nodes_.size() && id < kMaxPhases; ++id) {
+        const ThreadBuf::Cell& c = buf->phases[id];
+        merge_accum(totals[id], c.count.load(std::memory_order_relaxed),
+                    c.total_ns.load(std::memory_order_relaxed),
+                    c.max_ns.load(std::memory_order_relaxed));
+      }
+      for (std::size_t id = 0;
+           id < counter_names_.size() && id < kMaxCounters; ++id) {
+        counter_totals[id] +=
+            buf->counters[id].load(std::memory_order_relaxed);
+      }
+    }
+    // Group by RENDERED path: a node interned as one "a/b" segment and a
+    // nested a -> b chain are the same phase to every consumer.
+    std::map<std::string, PhaseStat> by_path;
+    for (std::size_t id = 1; id < nodes_.size(); ++id) {
+      const PlainAccum& a = totals[id];
+      if (a.count == 0 && a.total_ns == 0) continue;
+      PhaseStat& p = by_path[nodes_[id].path];
+      p.path = nodes_[id].path;
+      p.count += a.count;
+      p.total_ns += a.total_ns;
+      p.max_ns = std::max(p.max_ns, a.max_ns);
+    }
+    std::map<std::string, std::uint64_t> by_name;
+    for (std::size_t id = 0; id < counter_names_.size(); ++id) {
+      if (counter_totals[id] != 0) by_name[counter_names_[id]] += counter_totals[id];
+    }
+    StatsSnapshot snap;
+    for (auto& [path, stat] : by_path) snap.phases.push_back(std::move(stat));
+    for (const auto& [name, value] : by_name) {
+      snap.counters.push_back({name, value});
+    }
+    for (const auto& [name, gauge] : gauges_) snap.gauges.push_back(gauge);
+    return snap;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& a : retired_phases_) a = PlainAccum{};
+    for (auto& v : retired_counters_) v = 0;
+    gauges_.clear();
+    for (ThreadBuf* buf : bufs_) {
+      for (std::size_t id = 0; id < kMaxPhases; ++id) {
+        buf->phases[id].count.store(0, std::memory_order_relaxed);
+        buf->phases[id].total_ns.store(0, std::memory_order_relaxed);
+        buf->phases[id].max_ns.store(0, std::memory_order_relaxed);
+      }
+      for (std::size_t id = 0; id < kMaxCounters; ++id) {
+        buf->counters[id].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void set_dump_path(std::string path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dump_path_ = std::move(path);
+  }
+
+  std::string dump_path() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dump_path_;
+  }
+
+ private:
+  struct Node {
+    std::uint32_t parent;
+    std::string name;
+    std::string path;  // slash-joined ancestor names
+  };
+
+  std::uint32_t intern_child_locked(std::uint32_t parent,
+                                    const std::string& name) {
+    const auto key = std::make_pair(parent, name);
+    const auto it = children_.find(key);
+    if (it != children_.end()) return it->second;
+    if (nodes_.size() >= kMaxPhases) return 0;  // over capacity: drop
+    const auto id = static_cast<std::uint32_t>(nodes_.size());
+    Node node;
+    node.parent = parent;
+    node.name = name;
+    node.path = parent == 0 ? name : nodes_[parent].path + "/" + name;
+    nodes_.push_back(std::move(node));
+    retired_phases_.emplace_back();
+    children_.emplace(key, id);
+    return id;
+  }
+
+  std::uint32_t intern_counter_locked(const std::string& name) {
+    const auto it = counter_ids_.find(name);
+    if (it != counter_ids_.end()) return it->second;
+    // The capacity cap reserves the LAST slot as a shared overflow bucket
+    // (still counted, path precision lost) rather than dropping data.
+    const auto id = static_cast<std::uint32_t>(
+        std::min(counter_names_.size(), kMaxCounters - 1));
+    if (counter_names_.size() < kMaxCounters) counter_names_.push_back(name);
+    counter_ids_.emplace(name, id);
+    return id;
+  }
+
+  void merge_buf_locked(ThreadBuf& buf) {
+    for (std::size_t id = 1; id < nodes_.size() && id < kMaxPhases; ++id) {
+      const ThreadBuf::Cell& c = buf.phases[id];
+      merge_accum(retired_phases_[id],
+                  c.count.load(std::memory_order_relaxed),
+                  c.total_ns.load(std::memory_order_relaxed),
+                  c.max_ns.load(std::memory_order_relaxed));
+    }
+    if (retired_counters_.size() < counter_names_.size()) {
+      retired_counters_.resize(counter_names_.size(), 0);
+    }
+    for (std::size_t id = 0; id < counter_names_.size() && id < kMaxCounters;
+         ++id) {
+      retired_counters_[id] +=
+          buf.counters[id].load(std::memory_order_relaxed);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;
+  std::map<std::pair<std::uint32_t, std::string>, std::uint32_t> children_;
+  std::vector<PlainAccum> retired_phases_;  // indexed by node id
+  std::vector<std::string> counter_names_;
+  std::map<std::string, std::uint32_t> counter_ids_;
+  std::vector<std::uint64_t> retired_counters_;  // indexed by counter id
+  std::map<std::string, GaugeStat> gauges_;
+  std::vector<ThreadBuf*> bufs_;
+  std::string dump_path_;
+};
+
+namespace {
+
+/// TLS anchor: registers the buffer on first touch, retires (merges) it when
+/// the thread exits. The recorder itself is leaked, so the registry is
+/// always alive when a late thread unwinds.
+struct ThreadBufOwner {
+  Recorder::Registry* registry;
+  Recorder::ThreadBuf* buf;
+  explicit ThreadBufOwner(Recorder::Registry* reg)
+      : registry(reg), buf(new Recorder::ThreadBuf) {
+    registry->register_buf(buf);
+  }
+  ~ThreadBufOwner() {
+    registry->retire_buf(buf);
+    delete buf;
+  }
+};
+
+}  // namespace
+
+Recorder::Recorder() : registry_(new Registry) {
+  const char* env = std::getenv("MPIRICAL_STATS");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    registry_->set_dump_path(env);
+    enabled_.store(true, std::memory_order_relaxed);
+    // The serve daemon leaves via _exit and calls dump() itself; everyone
+    // else gets the end-of-run dump for free.
+    std::atexit([] { Recorder::global().dump("exit"); });
+  }
+}
+
+Recorder& Recorder::global() {
+  static Recorder* instance = new Recorder;
+  return *instance;
+}
+
+Recorder::ThreadBuf& Recorder::thread_buf() {
+  thread_local ThreadBufOwner owner(registry_);
+  return *owner.buf;
+}
+
+std::uint32_t Recorder::resolve_child(ThreadBuf& tb, std::uint32_t parent,
+                                      const char* name) {
+  for (const auto& site : tb.phase_sites) {
+    if (site.parent == parent && site.name == name) return site.id;
+  }
+  const std::uint32_t id = registry_->intern_child(parent, name);
+  tb.phase_sites.push_back({parent, name, id});
+  return id;
+}
+
+std::uint32_t Recorder::resolve_counter(ThreadBuf& tb, const char* name) {
+  for (const auto& site : tb.counter_sites) {
+    if (site.name == name) return site.id;
+  }
+  const std::uint32_t id = registry_->intern_counter(name);
+  tb.counter_sites.push_back({name, id});
+  return id;
+}
+
+void Recorder::set_dump_path(std::string path) {
+  registry_->set_dump_path(std::move(path));
+}
+
+std::string Recorder::dump_path() const { return registry_->dump_path(); }
+
+void Recorder::counter_add(const char* name, std::uint64_t delta) {
+  if (!enabled()) return;
+  ThreadBuf& tb = thread_buf();
+  const std::uint32_t id = resolve_counter(tb, name);
+  if (id < kMaxCounters) {
+    tb.counters[id].fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+void Recorder::gauge_set(const char* name, double value) {
+  if (!enabled()) return;
+  registry_->gauge_set(name, value);
+}
+
+void Recorder::record_phase(const char* path, std::uint64_t ns) {
+  if (!enabled()) return;
+  ThreadBuf& tb = thread_buf();
+  tb.bump_phase(resolve_child(tb, 0, path), ns);
+}
+
+void Recorder::merge_phase(const std::string& path, std::uint64_t count,
+                           std::uint64_t total_ns, std::uint64_t max_ns) {
+  registry_->merge_phase(path, count, total_ns, max_ns);
+}
+
+void Recorder::merge_counter(const std::string& name, std::uint64_t value) {
+  registry_->merge_counter(name, value);
+}
+
+StatsSnapshot Recorder::snapshot() { return registry_->snapshot(); }
+
+void Recorder::reset() { registry_->reset(); }
+
+void Recorder::dump(const std::string& label) {
+  const std::string path = registry_->dump_path();
+  if (path.empty()) return;
+  try {
+    io::append_line(path, snapshot().to_json(label));
+  } catch (...) {
+    // Stats are best-effort; a full disk must not fail the run.
+  }
+}
+
+ScopedPhase::ScopedPhase(const char* name) {
+  Recorder& r = Recorder::global();
+  if (!r.enabled()) return;
+  Recorder::ThreadBuf& tb = r.thread_buf();
+  parent_ = tb.current;
+  id_ = r.resolve_child(tb, parent_, name);
+  tb.current = id_;
+  start_ = std::chrono::steady_clock::now();
+  active_ = true;
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (!active_) return;
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  Recorder& r = Recorder::global();
+  Recorder::ThreadBuf& tb = r.thread_buf();
+  tb.current = parent_;
+  tb.bump_phase(id_, ns);
+}
+
+const PhaseStat* StatsSnapshot::find_phase(const std::string& path) const {
+  for (const auto& p : phases) {
+    if (p.path == path) return &p;
+  }
+  return nullptr;
+}
+
+const CounterStat* StatsSnapshot::find_counter(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string StatsSnapshot::to_json(const std::string& label) const {
+  std::string out = "{\"stats\":";
+  append_escaped(out, label);
+  out += ",\"pid\":" + std::to_string(static_cast<long>(::getpid()));
+  out += ",\"phases\":{";
+  bool first = true;
+  for (const auto& p : phases) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, p.path);
+    out += ":{\"count\":" + std::to_string(p.count) + ",\"total_ms\":";
+    append_fixed(out, p.total_ms());
+    out += ",\"max_ms\":";
+    append_fixed(out, p.max_ms());
+    out += "}";
+  }
+  out += "},\"counters\":{";
+  first = true;
+  for (const auto& c : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, c.name);
+    out += ":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, g.name);
+    out += ":{\"last\":";
+    append_fixed(out, g.last);
+    out += ",\"max\":";
+    append_fixed(out, g.max);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace mpirical::obs

@@ -1,0 +1,157 @@
+// Structured phase-measurement recorder (the ROADMAP's follow-up to the
+// serving work, in the style of dss_mehnert::measurement): RAII ScopedPhase
+// timers forming a named phase hierarchy, monotonic counters, and low-rate
+// gauges, all merged into one StatsSnapshot on demand.
+//
+// Hot-path discipline: recording must be provably inert. ScopedPhase and
+// counter_add touch only a PER-THREAD buffer of fixed capacity (no
+// allocation, no lock) using relaxed atomics that the owning thread alone
+// writes; when the recorder is disabled (the default) every entry point is a
+// single relaxed load. Nothing here feeds back into decode -- recorder-on vs
+// recorder-off runs produce bitwise-identical tokens and summaries
+// (tests/test_obs_equivalence.cpp pins this).
+//
+// Phase identity is the slash-joined path of the enclosing ScopedPhase
+// names on the current thread ("serve" nesting "encode" renders as
+// "serve/encode"); record_phase/merge_phase take absolute paths, so
+// measurements shipped from shard workers land in the same tree. All timing
+// is steady_clock.
+//
+// MPIRICAL_STATS=<path> enables the global recorder at startup and appends
+// one JSON line (the BENCH_*.json convention) to <path> at process exit.
+// Processes that leave via _exit (the serve daemon) call dump() explicitly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpirical::obs {
+
+/// Aggregated observations of one phase path.
+struct PhaseStat {
+  std::string path;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  double total_ms() const { return static_cast<double>(total_ns) / 1e6; }
+  double max_ms() const { return static_cast<double>(max_ns) / 1e6; }
+};
+
+struct CounterStat {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeStat {
+  std::string name;
+  double last = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time merge of every thread's buffers, sorted by path/name.
+struct StatsSnapshot {
+  std::vector<PhaseStat> phases;
+  std::vector<CounterStat> counters;
+  std::vector<GaugeStat> gauges;
+
+  const PhaseStat* find_phase(const std::string& path) const;
+  const CounterStat* find_counter(const std::string& name) const;
+
+  /// One JSON object (no trailing newline) tagged with `label` and this
+  /// process's pid, fitting the BENCH_*.json JSON-lines convention:
+  /// {"stats":label,"pid":N,"phases":{path:{count,total_ms,max_ms}},
+  ///  "counters":{name:value},"gauges":{name:{last,max}}}
+  std::string to_json(const std::string& label) const;
+};
+
+class Recorder {
+ public:
+  /// The process-wide recorder. Leaked on purpose: thread-local buffers and
+  /// atexit dump hooks may outlive any static destruction order.
+  static Recorder& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// End-of-run dump target ("" = none). Set from MPIRICAL_STATS at first
+  /// use; tests override it directly.
+  void set_dump_path(std::string path);
+  std::string dump_path() const;
+
+  /// Adds `delta` to a flat monotonic counter. Lock-free after the first
+  /// call from each thread; no-op while disabled.
+  void counter_add(const char* name, std::uint64_t delta);
+
+  /// Sets a low-rate gauge (tracks last and max). Takes the registry mutex;
+  /// no-op while disabled.
+  void gauge_set(const char* name, double value);
+
+  /// Records one externally-measured observation of an ABSOLUTE phase path
+  /// (independent of the calling thread's ScopedPhase nesting). Lock-free
+  /// after the first call from each thread; no-op while disabled.
+  void record_phase(const char* path, std::uint64_t ns);
+
+  /// Merges pre-aggregated phase observations (a shard worker's shipped
+  /// report, a test fixture) under an absolute path. Takes the registry
+  /// mutex; works even while disabled so a driver can always account for a
+  /// worker that recorded.
+  void merge_phase(const std::string& path, std::uint64_t count,
+                   std::uint64_t total_ns, std::uint64_t max_ns);
+  void merge_counter(const std::string& name, std::uint64_t value);
+
+  /// Merges retired + live thread buffers. Concurrent recording keeps
+  /// running; in-flight observations may or may not be included.
+  StatsSnapshot snapshot();
+
+  /// Zeroes every accumulated value (interned paths survive -- other
+  /// threads' cached ids stay valid). Test hook; quiesce recording first.
+  void reset();
+
+  /// Appends to_json(label) + "\n" to dump_path() via a single O_APPEND
+  /// write. No-op when no dump path is set. Swallows I/O errors (stats must
+  /// never fail a run).
+  void dump(const std::string& label);
+
+  // Implementation details, public only so the .cpp's TLS anchor can name
+  // them; not part of the API.
+  struct ThreadBuf;
+  class Registry;
+
+ private:
+  friend class ScopedPhase;
+
+  Recorder();
+  ~Recorder() = delete;  // leaked singleton
+
+  ThreadBuf& thread_buf();
+  std::uint32_t resolve_child(ThreadBuf& tb, std::uint32_t parent,
+                              const char* name);
+  std::uint32_t resolve_counter(ThreadBuf& tb, const char* name);
+
+  std::atomic<bool> enabled_{false};
+  Registry* registry_;  // leaked with the recorder
+};
+
+/// RAII phase timer. Construction pushes `name` onto the calling thread's
+/// phase stack (becoming the parent of nested ScopedPhases); destruction
+/// accumulates the elapsed steady_clock time into the thread buffer. A
+/// no-op (one relaxed load) while the recorder is disabled.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  std::uint32_t id_ = 0;
+  std::uint32_t parent_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  bool active_ = false;
+};
+
+}  // namespace mpirical::obs

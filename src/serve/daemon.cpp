@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include "core/world_snapshot.hpp"
+#include "obs/recorder.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
 #include "support/process.hpp"
@@ -52,12 +53,22 @@ void maybe_run_serve_daemon() {
                  static_cast<unsigned long long>(stats.served),
                  static_cast<unsigned long long>(stats.joined_running_wave),
                  static_cast<unsigned long long>(stats.aborted_connections));
+    for (const auto& p : stats.phases) {
+      std::fprintf(stderr,
+                   "[mpirical_served] phase %s count=%llu total_ms=%.3f "
+                   "max_ms=%.3f\n",
+                   p.path.c_str(), static_cast<unsigned long long>(p.count),
+                   p.total_ms(), p.max_ms());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[mpirical_served] fatal: %s\n", e.what());
     code = 1;
   }
   // _exit, not exit: the parent binary's atexit hooks (bench harness state,
-  // gtest registries) belong to the client role, not to this forked daemon.
+  // gtest registries) belong to the client role, not to this forked daemon
+  // -- which also means the recorder's atexit dump will not fire, so flush
+  // it explicitly while the process still can.
+  obs::Recorder::global().dump("serve_daemon");
   std::fflush(nullptr);
   ::_exit(code);
 }

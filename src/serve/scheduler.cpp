@@ -12,6 +12,7 @@ Scheduler::Scheduler(std::size_t max_wave, bool barrier_mode)
 }
 
 bool Scheduler::enqueue(ServeJob job) {
+  job.enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) return false;

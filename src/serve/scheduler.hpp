@@ -15,6 +15,7 @@
 // tells the engine when it may exit.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -34,6 +35,9 @@ struct ServeJob {
   std::uint64_t conn_id = 0;
   std::shared_ptr<void> conn;
   shard::TranslateWireRequest request;
+  /// Stamped by Scheduler::enqueue; the engine turns it into the
+  /// serve/queue_wait phase when it admits the job.
+  std::chrono::steady_clock::time_point enqueued{};
 };
 
 /// Thread-safe. One engine thread calls admit()/drained(); any number of

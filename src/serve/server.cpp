@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "core/stream.hpp"
+#include "obs/recorder.hpp"
 #include "serve/scheduler.hpp"
 #include "shard/partition.hpp"
 #include "shard/transport.hpp"
@@ -77,6 +78,12 @@ ServerStats Server::stats() const {
     s.live_readers = readers_.size() > finished_readers_.size()
                          ? readers_.size() - finished_readers_.size()
                          : 0;
+  }
+  if (obs::Recorder::global().enabled()) {
+    const obs::StatsSnapshot snap = obs::Recorder::global().snapshot();
+    for (const auto& p : snap.phases) {
+      if (p.path.rfind("serve/", 0) == 0) s.phases.push_back(p);
+    }
   }
   return s;
 }
@@ -184,6 +191,7 @@ void Server::engine_loop() {
     bool joined = false;
   };
   std::unordered_map<core::TranslateStream::TicketId, Ticket> tickets;
+  obs::Recorder& rec = obs::Recorder::global();
 
   for (;;) {
     const std::size_t live = stream.live();
@@ -195,6 +203,19 @@ void Server::engine_loop() {
     std::vector<ServeJob> jobs = scheduler_.admit(live);
     if (!jobs.empty()) {
       const bool joined = live > 0;
+      // Per-request queue residency, and separately the subset that joined
+      // a wave already mid-decode (the continuous-batching win).
+      if (rec.enabled()) {
+        const auto now = std::chrono::steady_clock::now();
+        for (const auto& job : jobs) {
+          const std::uint64_t wait_ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  now - job.enqueued)
+                  .count());
+          rec.record_phase("serve/queue_wait", wait_ns);
+          if (joined) rec.record_phase("serve/wave_join", wait_ns);
+        }
+      }
       std::vector<core::MpiRical::TranslateRequest> inputs(jobs.size());
       std::vector<int> widths(jobs.size());
       for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -202,7 +223,11 @@ void Server::engine_loop() {
         inputs[i].input_xsbt = std::move(jobs[i].request.input_xsbt);
         widths[i] = jobs[i].request.beam_width;
       }
-      const auto ids = stream.submit(inputs, widths);
+      std::vector<core::TranslateStream::TicketId> ids;
+      {
+        obs::ScopedPhase encode_phase("serve/encode");
+        ids = stream.submit(inputs, widths);
+      }
       for (std::size_t i = 0; i < jobs.size(); ++i) {
         Ticket ticket;
         ticket.conn = std::static_pointer_cast<Connection>(jobs[i].conn);
@@ -213,8 +238,15 @@ void Server::engine_loop() {
       if (joined) joined_running_wave_.fetch_add(jobs.size());
     }
     if (stream.idle()) continue;  // woken empty (shutdown); recheck drained
+    rec.gauge_set("serve/wave_occupancy",
+                  static_cast<double>(stream.live()));
 
-    for (auto& fin : stream.step()) {
+    std::vector<core::TranslateStream::Finished> finished;
+    {
+      obs::ScopedPhase step_phase("serve/decode_steps");
+      finished = stream.step();
+    }
+    for (auto& fin : finished) {
       const auto it = tickets.find(fin.id);
       MR_ASSERT(it != tickets.end());
       Ticket& ticket = it->second;
@@ -225,6 +257,7 @@ void Server::engine_loop() {
         res.joined_running_wave = ticket.joined ? 1 : 0;
         // A send failure means the client vanished mid-decode; nothing to
         // do -- its reader will abort the connection when it sees EOF.
+        obs::ScopedPhase write_phase("serve/result_write");
         ticket.conn->transport.send(shard::encode_frame(
             FrameType::kTranslateResult, shard::encode_translate_result(res)));
         served_.fetch_add(1);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "obs/recorder.hpp"
 #include "serve/scheduler.hpp"
 
 namespace mpirical::serve {
@@ -60,6 +61,11 @@ struct ServerStats {
   // every connection ever served.
   std::uint64_t tracked_connections = 0;   // conns_ entries still alive
   std::uint64_t live_readers = 0;          // reader threads not yet reaped
+  // Engine phase timings ("serve/..." from the global recorder, present
+  // only while the recorder is enabled -- MPIRICAL_STATS set): per-request
+  // queue_wait / wave_join and per-step encode / decode_steps /
+  // result_write, plus the wave_occupancy gauge via the stats dump.
+  std::vector<obs::PhaseStat> phases;
 };
 
 class Server {

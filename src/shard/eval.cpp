@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -61,7 +62,9 @@ class EventQueue {
   }
 
   /// Like pop, but gives up after `timeout` (nullopt = no event arrived).
-  std::optional<Event> pop_for(std::chrono::seconds timeout) {
+  /// Milliseconds, not seconds: the post-run stats grace drain waits far
+  /// shorter stretches than the watchdog (which converts losslessly).
+  std::optional<Event> pop_for(std::chrono::milliseconds timeout) {
     std::unique_lock<std::mutex> lock(mu_);
     if (!cv_.wait_for(lock, timeout, [&] { return !events_.empty(); })) {
       return std::nullopt;
@@ -114,21 +117,34 @@ std::string g_self_exec;
 std::mutex g_stats_mu;
 ShardRunStats g_stats;
 
-void reset_run_stats() {
+/// Publishes a COMPLETE run record for last_run_stats(). Called only at the
+/// successful end of an evaluate_sharded_* run: a run that throws leaves the
+/// previous record intact (never a half-written one), and concurrent runs
+/// each swap in a whole struct under the lock instead of racing per field.
+void publish_run_stats(const ShardRunStats& st) {
   std::lock_guard<std::mutex> lock(g_stats_mu);
-  g_stats = ShardRunStats{};
+  g_stats = st;
 }
 
-void record_startup_info(std::size_t worker, const StartupInfo& info) {
-  std::lock_guard<std::mutex> lock(g_stats_mu);
-  if (g_stats.worker_startup_ms.size() <= worker) {
-    g_stats.worker_startup_ms.resize(worker + 1, -1.0);
-    g_stats.worker_load_ms.resize(worker + 1, -1.0);
+/// Startup info lands in the RUN-LOCAL stats (single driver thread; no lock
+/// needed). Slots are pre-sized by the process deployments; loopback grows
+/// on demand.
+void record_startup_info(ShardRunStats& st, std::size_t worker,
+                         const StartupInfo& info) {
+  if (st.worker_startup_ms.size() <= worker) {
+    st.worker_startup_ms.resize(worker + 1, -1.0);
+    st.worker_load_ms.resize(worker + 1, -1.0);
   }
-  g_stats.worker_startup_ms[worker] =
+  st.worker_startup_ms[worker] =
       static_cast<double>(info.startup_us) / 1000.0;
-  g_stats.worker_load_ms[worker] =
-      static_cast<double>(info.load_us) / 1000.0;
+  st.worker_load_ms[worker] = static_cast<double>(info.load_us) / 1000.0;
+}
+
+/// How long the driver waits after its closing kDone for stragglers'
+/// kStatsReport frames. 0 disables the drain (stats that raced the shutdown
+/// are simply dropped -- they are observability, not results).
+long stats_grace_ms() {
+  return support::env_long("MPIRICAL_EVAL_STATS_GRACE_MS", 2000, 0, 60000);
 }
 
 }  // namespace
@@ -200,25 +216,48 @@ std::optional<Frame> recv_frame(Transport& transport, FrameParser& parser) {
   }
 }
 
+/// Folds one measurement (in seconds) into a StatsReportEntry.
+void note_phase(StatsReportEntry& e, double seconds) {
+  const std::uint64_t ns =
+      seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9) : 0;
+  e.count += 1;
+  e.total_ns += ns;
+  if (ns > e.max_ns) e.max_ns = ns;
+}
+
 /// The worker's request/evaluate/stream loop over an already-initialized
 /// parser (the snapshot handshake shares it so no buffered bytes are lost).
+///
+/// Worker-side phases accumulate into a LOCAL `report` (plain Timers, not
+/// the process-global recorder: in loopback mode driver and workers share a
+/// process, and a global would double-count) and ship as one kStatsReport
+/// frame right before the closing kDone -- uniform across loopback, pipe,
+/// and TCP deployments. Callers may pre-populate `report` with phases that
+/// happened before the loop (e.g. the snapshot load).
 void run_worker_loop(const core::MpiRical& model,
                      const std::vector<corpus::Example>& split,
-                     Transport& transport, FrameParser& parser) {
+                     Transport& transport, FrameParser& parser,
+                     StatsReport report = {}) {
+  StatsReportEntry grant_wait{"grant_wait", 0, 0, 0};
+  StatsReportEntry chunk_eval{"chunk_eval", 0, 0, 0};
   try {
     for (;;) {
       if (!transport.send(encode_frame(FrameType::kTaskRequest, ""))) break;
+      const Timer wait_timer;
       std::optional<Frame> frame;
       do {
         frame = recv_frame(transport, parser);
       } while (frame && frame->type == FrameType::kHeartbeat);
       if (!frame || frame->type == FrameType::kDone) break;
       if (frame->type != FrameType::kTaskGrant) break;  // protocol violation
+      note_phase(grant_wait, wait_timer.seconds());
       const TaskGrant grant = decode_task_grant(frame->payload);
       // Ack the grant before the (potentially long) decode so the driver
       // can tell "working" from "dead" if it ever wants to.
       if (!transport.send(encode_frame(FrameType::kHeartbeat, ""))) break;
+      const Timer eval_timer;
       auto results = evaluate_chunk(model, split, grant);
+      note_phase(chunk_eval, eval_timer.seconds());
       bool ok = true;
       for (const auto& r : results) {
         if (!transport.send(
@@ -228,6 +267,12 @@ void run_worker_loop(const core::MpiRical& model,
         }
       }
       if (!ok) break;
+    }
+    if (grant_wait.count > 0) report.phases.push_back(grant_wait);
+    if (chunk_eval.count > 0) report.phases.push_back(chunk_eval);
+    if (!report.phases.empty()) {
+      transport.send(encode_frame(FrameType::kStatsReport,
+                                  encode_stats_report(report)));
     }
     transport.send(encode_frame(FrameType::kDone, ""));
   } catch (const Error&) {
@@ -335,7 +380,14 @@ void run_worker_from_snapshot(Transport& transport, double pre_ms) {
       transport.close();
       return;
     }
-    run_worker_loop(world.model, world.eval, transport, parser);
+    // Snapshot receive+load happened before the request loop; seed the
+    // worker's stats report so the driver still sees it as a phase.
+    StatsReport report;
+    StatsReportEntry load{"snapshot_load", 0, 0, 0};
+    note_phase(load, load_ms / 1e3);
+    report.phases.push_back(load);
+    run_worker_loop(world.model, world.eval, transport, parser,
+                    std::move(report));
     return;  // run_worker_loop closed the transport
   } catch (const Error&) {
     // Corrupt driver stream or an unreadable/corrupt snapshot: die quietly;
@@ -368,13 +420,20 @@ bool send_snapshot_inband(Transport& transport, const std::string& bytes) {
 core::EvalSummary run_driver(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const std::vector<Transport*>& workers, const ShardOptions& options,
-    std::vector<core::ExamplePrediction>* predictions) {
+    std::vector<core::ExamplePrediction>* predictions,
+    ShardRunStats* run_stats) {
   const std::size_t n = split.size();
   const std::vector<Chunk> chunk_list =
       make_wave_chunks(n, decode_wave_size());
   const std::size_t num_workers = workers.size();
   Partitioner part(chunk_list, std::max<std::size_t>(num_workers, 1),
                    options.mode);
+
+  // Run-scoped stats: callers pass their (deployment-prefilled) record;
+  // bare run_driver calls still measure into a local one for the recorder.
+  ShardRunStats local_stats;
+  ShardRunStats& st = run_stats != nullptr ? *run_stats : local_stats;
+  obs::Recorder& rec = obs::Recorder::global();
 
   std::vector<core::EvalSummary> per_example(n);
   std::vector<core::ExamplePrediction> preds(predictions ? n : 0);
@@ -387,6 +446,15 @@ core::EvalSummary run_driver(
   std::set<std::size_t> parked;
   std::size_t alive = num_workers;
 
+  // Grant round-trip bookkeeping: grant sent -> last result of that chunk
+  // merged. A re-granted chunk (its first owner died) restarts the clock,
+  // so RTT measures the grant that actually completed.
+  std::vector<std::chrono::steady_clock::time_point> grant_time(
+      chunk_list.size());
+  std::vector<bool> granted_before(chunk_list.size(), false);
+  // Worker-side phases (kStatsReport), aggregated across workers by path.
+  std::map<std::string, obs::PhaseStat> worker_phase_map;
+
   auto send_grant = [&](std::size_t w, const Chunk& c) {
     TaskGrant g;
     g.chunk_index = c.index;
@@ -394,6 +462,12 @@ core::EvalSummary run_driver(
     g.end = c.end;
     g.beam_width = options.beam_width;
     g.line_tolerance = options.line_tolerance;
+    if (granted_before[c.index]) {
+      ++st.stolen_chunks;
+      rec.counter_add("shard/stolen_chunks", 1);
+    }
+    granted_before[c.index] = true;
+    grant_time[c.index] = std::chrono::steady_clock::now();
     workers[w]->send(
         encode_frame(FrameType::kTaskGrant, encode_task_grant(g)));
   };
@@ -437,8 +511,24 @@ core::EvalSummary run_driver(
     // grant -- the close cascades to its recv EOF, it exits, and this
     // worker's reader thread sees EOF instead of blocking join() forever.
     workers[w]->close();
-    part.fail_shard(w);
+    const std::size_t reassigned = part.fail_shard(w);
+    if (reassigned > 0) {
+      st.reassigned_chunks += reassigned;
+      rec.counter_add("shard/reassigned_chunks", reassigned);
+    }
     service_parked();
+  };
+  // Worker-shipped phases merge under "shard/worker/<path>" -- into the
+  // run's stats and (when enabled) the global recorder.
+  auto merge_stats_report = [&](const StatsReport& report) {
+    for (const auto& e : report.phases) {
+      obs::PhaseStat& p = worker_phase_map[e.path];
+      p.count += e.count;
+      p.total_ns += e.total_ns;
+      p.max_ns = std::max(p.max_ns, e.max_ns);
+      rec.merge_phase("shard/worker/" + e.path, e.count, e.total_ns,
+                      e.max_ns);
+    }
   };
 
   EventQueue queue;
@@ -530,6 +620,14 @@ core::EvalSummary run_driver(
           if (predictions) preds[idx] = prediction_from(std::move(r));
           if (!chunk_done[ci] && --remaining[ci] == 0) {
             chunk_done[ci] = true;
+            const std::uint64_t rtt_ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - grant_time[ci])
+                    .count());
+            st.grant_rtt.count += 1;
+            st.grant_rtt.total_ns += rtt_ns;
+            st.grant_rtt.max_ns = std::max(st.grant_rtt.max_ns, rtt_ns);
+            rec.record_phase("shard/grant_rtt", rtt_ns);
             part.complete(ci);
             if (part.all_complete()) service_parked();
           }
@@ -541,7 +639,14 @@ core::EvalSummary run_driver(
         break;  // liveness / clean-shutdown notice; EOF follows kDone
       case FrameType::kStartupInfo:
         try {
-          record_startup_info(w, decode_startup_info(e.frame.payload));
+          record_startup_info(st, w, decode_startup_info(e.frame.payload));
+        } catch (const Error&) {
+          declare_dead(w);
+        }
+        break;
+      case FrameType::kStatsReport:
+        try {
+          merge_stats_report(decode_stats_report(e.frame.payload));
         } catch (const Error&) {
           declare_dead(w);
         }
@@ -565,10 +670,76 @@ core::EvalSummary run_driver(
   for (std::size_t w = 0; w < num_workers; ++w) {
     if (!dead[w]) workers[w]->send(encode_frame(FrameType::kDone, ""));
   }
+  // Stats grace drain: a worker answers that kDone with its kStatsReport +
+  // kDone and then closes, which can race the shutdown below. Wait a
+  // bounded window for each still-live worker's report (or its EOF/kDone),
+  // so the run record normally carries every worker's phases -- but never
+  // longer than MPIRICAL_EVAL_STATS_GRACE_MS: a wedged worker costs the
+  // grace window at most, and when the watchdog already declared everyone
+  // dead there is nobody left to wait for.
+  {
+    const long grace_ms = stats_grace_ms();
+    std::vector<bool> finished(num_workers, false);
+    std::size_t waiting = 0;
+    for (std::size_t w = 0; w < num_workers; ++w) {
+      finished[w] = dead[w];
+      if (!finished[w]) ++waiting;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(grace_ms);
+    while (grace_ms > 0 && waiting > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      auto maybe = queue.pop_for(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now));
+      if (!maybe) break;
+      const std::size_t w = maybe->worker;
+      if (maybe->eof) {
+        if (!finished[w]) {
+          finished[w] = true;
+          --waiting;
+        }
+        continue;
+      }
+      if (finished[w]) continue;
+      if (maybe->frame.type == FrameType::kStatsReport) {
+        try {
+          merge_stats_report(decode_stats_report(maybe->frame.payload));
+        } catch (const Error&) {
+          // Garbage from a dying worker: drop it, results are already in.
+        }
+        finished[w] = true;
+        --waiting;
+      } else if (maybe->frame.type == FrameType::kDone) {
+        // The worker shut down without a report (e.g. it never got a
+        // grant and has nothing to say); stop waiting on it.
+        finished[w] = true;
+        --waiting;
+      }
+      // Anything else (late results for an already-complete chunk,
+      // heartbeats) is ignorable here.
+    }
+  }
   for (std::size_t w = 0; w < num_workers; ++w) {
     workers[w]->shutdown_recv();
   }
   for (auto& reader : readers) reader.join();
+
+  // Transport byte totals, summed once the readers are quiet.
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    st.bytes_sent += workers[w]->bytes_sent();
+    st.bytes_received += workers[w]->bytes_received();
+  }
+  rec.counter_add("shard/bytes_sent", st.bytes_sent);
+  rec.counter_add("shard/bytes_received", st.bytes_received);
+  st.worker_phases.clear();
+  st.worker_phases.reserve(worker_phase_map.size());
+  for (const auto& [path, stat] : worker_phase_map) {
+    obs::PhaseStat p = stat;
+    p.path = path;
+    st.worker_phases.push_back(std::move(p));
+  }
 
   // Every worker is gone. Whatever chunks never completed (all workers died
   // holding them) are evaluated right here so the merge is always total.
@@ -603,12 +774,12 @@ core::EvalSummary run_driver(
 core::EvalSummary evaluate_sharded_inprocess(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options,
-    std::vector<core::ExamplePrediction>* predictions) {
-  reset_run_stats();
-  {
-    std::lock_guard<std::mutex> lock(g_stats_mu);
-    g_stats.transport = "loopback";
-  }
+    std::vector<core::ExamplePrediction>* predictions,
+    ShardRunStats* run_stats) {
+  ShardRunStats local_stats;
+  ShardRunStats& st = run_stats != nullptr ? *run_stats : local_stats;
+  st = ShardRunStats{};
+  st.transport = "loopback";
   const std::size_t chunks =
       make_wave_chunks(split.size(), decode_wave_size()).size();
   const std::size_t num_workers =
@@ -631,9 +802,10 @@ core::EvalSummary evaluate_sharded_inprocess(
         });
   }
   core::EvalSummary summary =
-      run_driver(model, split, driver_ptrs, options, predictions);
+      run_driver(model, split, driver_ptrs, options, predictions, &st);
   for (auto& end : driver_ends) end->close();
   for (auto& t : worker_threads) t.join();
+  publish_run_stats(st);
   return summary;
 }
 
@@ -789,7 +961,8 @@ io::TempFile write_worker_snapshot(const std::string& bytes) {
 core::EvalSummary evaluate_sharded_processes(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options,
-    std::vector<core::ExamplePrediction>* predictions) {
+    std::vector<core::ExamplePrediction>* predictions,
+    ShardRunStats* run_stats) {
   MR_CHECK(worker_self_exec_configured(),
            "no self-exec worker binary registered");
   // A worker can die while the driver writes a grant; see
@@ -797,7 +970,9 @@ core::EvalSummary evaluate_sharded_processes(
   // not per evaluation).
   support::ignore_sigpipe();
   const std::string exe = resolve_self_exec();
-  reset_run_stats();
+  ShardRunStats local_stats;
+  ShardRunStats& st = run_stats != nullptr ? *run_stats : local_stats;
+  st = ShardRunStats{};
 
   // MPIRICAL_EVAL_TCP=1: workers dial back over TCP(127.0.0.1) instead of
   // inheriting pipes -- the local rehearsal of the cross-machine transport.
@@ -822,11 +997,10 @@ core::EvalSummary evaluate_sharded_processes(
     if (!stream_snapshot) {
       snapshot_file.emplace(write_worker_snapshot(snapshot_bytes));
     }
-    std::lock_guard<std::mutex> lock(g_stats_mu);
-    g_stats.used_snapshot = true;
-    g_stats.snapshot_streamed = stream_snapshot;
-    g_stats.snapshot_write_ms = write_timer.seconds() * 1e3;
-    g_stats.snapshot_bytes = snapshot_bytes.size();
+    st.used_snapshot = true;
+    st.snapshot_streamed = stream_snapshot;
+    st.snapshot_write_ms = write_timer.seconds() * 1e3;
+    st.snapshot_bytes = snapshot_bytes.size();
   }
 
   const std::size_t chunks =
@@ -834,14 +1008,11 @@ core::EvalSummary evaluate_sharded_processes(
   const std::size_t num_workers =
       std::max<std::size_t>(1, std::min(options.shards, std::max<std::size_t>(
                                                             chunks, 1)));
-  {
-    // Presize the per-worker stat slots so index == worker id even when a
-    // worker dies before reporting its StartupInfo (sentinel -1 stays).
-    std::lock_guard<std::mutex> lock(g_stats_mu);
-    g_stats.transport = tcp_mode ? "tcp" : "pipe";
-    g_stats.worker_startup_ms.assign(num_workers, -1.0);
-    g_stats.worker_load_ms.assign(num_workers, -1.0);
-  }
+  // Presize the per-worker stat slots so index == worker id even when a
+  // worker dies before reporting its StartupInfo (sentinel -1 stays).
+  st.transport = tcp_mode ? "tcp" : "pipe";
+  st.worker_startup_ms.assign(num_workers, -1.0);
+  st.worker_load_ms.assign(num_workers, -1.0);
 
   // TCP mode listens before the child environment is built: the children
   // need the bound port.
@@ -893,7 +1064,13 @@ core::EvalSummary evaluate_sharded_processes(
       // in-band or by path. A worker that already died fails the send
       // harmlessly; the driver reassigns its chunks.
       if (stream_snapshot) {
+        const Timer stream_timer;
         send_snapshot_inband(*t, snapshot_bytes);
+        const double secs = stream_timer.seconds();
+        st.snapshot_stream_ms += secs * 1e3;
+        obs::Recorder::global().record_phase(
+            "shard/snapshot_stream",
+            static_cast<std::uint64_t>(secs * 1e9));
       } else if (snapshot_file) {
         SnapshotHello hello;
         hello.path = snapshot_file->path();
@@ -915,7 +1092,7 @@ core::EvalSummary evaluate_sharded_processes(
   }
 
   core::EvalSummary summary =
-      run_driver(model, split, transports, options, predictions);
+      run_driver(model, split, transports, options, predictions, &st);
 
   if (snapshot_file) {
     // Workers have mapped the file (or died); the name can go. Mappings
@@ -946,6 +1123,7 @@ core::EvalSummary evaluate_sharded_processes(
       }
     }
   }
+  publish_run_stats(st);
   return summary;
 }
 
@@ -970,27 +1148,27 @@ std::vector<std::string> env_eval_hosts() {
 core::EvalSummary evaluate_sharded_tcp_hosts(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options, const std::vector<std::string>& hosts,
-    std::vector<core::ExamplePrediction>* predictions) {
+    std::vector<core::ExamplePrediction>* predictions,
+    ShardRunStats* run_stats) {
   MR_CHECK(!hosts.empty(),
            "tcp-hosts deployment needs at least one host:port");
   MR_CHECK(snapshot::snapshot_enabled(),
            "MPIRICAL_EVAL_HOSTS requires snapshots enabled: remote workers "
            "cannot rebuild the model from this process's environment");
   support::ignore_sigpipe();
-  reset_run_stats();
+  ShardRunStats local_stats;
+  ShardRunStats& st = run_stats != nullptr ? *run_stats : local_stats;
+  st = ShardRunStats{};
 
   Timer write_timer;
   const std::string bytes = core::build_eval_snapshot(model, split);
-  {
-    std::lock_guard<std::mutex> lock(g_stats_mu);
-    g_stats.transport = "tcp-hosts";
-    g_stats.used_snapshot = true;
-    g_stats.snapshot_streamed = true;
-    g_stats.snapshot_write_ms = write_timer.seconds() * 1e3;
-    g_stats.snapshot_bytes = bytes.size();
-    g_stats.worker_startup_ms.assign(hosts.size(), -1.0);
-    g_stats.worker_load_ms.assign(hosts.size(), -1.0);
-  }
+  st.transport = "tcp-hosts";
+  st.used_snapshot = true;
+  st.snapshot_streamed = true;
+  st.snapshot_write_ms = write_timer.seconds() * 1e3;
+  st.snapshot_bytes = bytes.size();
+  st.worker_startup_ms.assign(hosts.size(), -1.0);
+  st.worker_load_ms.assign(hosts.size(), -1.0);
 
   const int timeout_ms = static_cast<int>(support::env_long(
       "MPIRICAL_EVAL_CONNECT_TIMEOUT_MS", 10000, 1, 600000));
@@ -1015,34 +1193,44 @@ core::EvalSummary evaluate_sharded_tcp_hosts(
     // Remote filesystems are not assumed shared: the snapshot always goes
     // in-band. A worker that vanished mid-stream fails the send harmlessly;
     // its reader sees EOF and the driver reassigns.
+    const Timer stream_timer;
     send_snapshot_inband(*t, bytes);
+    const double secs = stream_timer.seconds();
+    st.snapshot_stream_ms += secs * 1e3;
+    obs::Recorder::global().record_phase(
+        "shard/snapshot_stream", static_cast<std::uint64_t>(secs * 1e9));
     transports.push_back(t.get());
     owned.push_back(std::move(t));
   }
 
   core::EvalSummary summary =
-      run_driver(model, split, transports, options, predictions);
+      run_driver(model, split, transports, options, predictions, &st);
   owned.clear();  // closes the sockets
+  publish_run_stats(st);
   return summary;
 }
 
 core::EvalSummary evaluate_sharded(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options,
-    std::vector<core::ExamplePrediction>* predictions) {
+    std::vector<core::ExamplePrediction>* predictions,
+    ShardRunStats* run_stats) {
   if (split.empty()) {
     if (predictions) predictions->clear();
+    if (run_stats) *run_stats = ShardRunStats{};
     return core::reduce_example_summaries({});
   }
   const std::vector<std::string> hosts = env_eval_hosts();
   if (!hosts.empty() && !is_worker_role()) {
     return evaluate_sharded_tcp_hosts(model, split, options, hosts,
-                                      predictions);
+                                      predictions, run_stats);
   }
   if (worker_self_exec_configured() && !is_worker_role()) {
-    return evaluate_sharded_processes(model, split, options, predictions);
+    return evaluate_sharded_processes(model, split, options, predictions,
+                                      run_stats);
   }
-  return evaluate_sharded_inprocess(model, split, options, predictions);
+  return evaluate_sharded_inprocess(model, split, options, predictions,
+                                    run_stats);
 }
 
 }  // namespace mpirical::shard

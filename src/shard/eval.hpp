@@ -32,6 +32,7 @@
 #include "core/evaluate.hpp"
 #include "core/model.hpp"
 #include "corpus/dataset.hpp"
+#include "obs/recorder.hpp"
 #include "shard/partition.hpp"
 #include "shard/protocol.hpp"
 #include "shard/transport.hpp"
@@ -51,10 +52,14 @@ struct ShardOptions {
 /// MPIRICAL_EVAL_SHARDS (default 1 = unsharded in-process wave loop).
 std::size_t env_shards();
 
-/// Observability for the last sharded evaluation run in this process (the
-/// benches surface these in BENCH_table2.json). Worker arrays are indexed
-/// by worker id; a worker that never reported (died early, legacy loopback)
-/// holds the sentinel -1.
+/// Observability for ONE sharded evaluation run (the benches surface these
+/// in BENCH_table2.json). Recorder-backed: the driver accumulates the same
+/// measurements into obs::Recorder::global() under "shard/..." paths, and
+/// every evaluate_sharded* entry point fills a caller-provided instance via
+/// its `run_stats` out-parameter -- stats are scoped to the run, not to a
+/// process-global that a throwing or concurrent run could corrupt. Worker
+/// arrays are indexed by worker id; a worker that never reported (died
+/// early, legacy loopback) holds the sentinel -1.
 struct ShardRunStats {
   bool used_snapshot = false;        // world snapshot shipped path-over-pipe
   bool snapshot_streamed = false;    // snapshot bytes went in-band (TCP)
@@ -65,7 +70,27 @@ struct ShardRunStats {
   std::vector<double> worker_startup_ms;  // exec -> ready (per worker)
   std::vector<double> worker_load_ms;     // world load (mmap+fixups or
                                           // legacy env rebuild) per worker
+  // Driver-side phase measurements (obs paths in parentheses):
+  obs::PhaseStat grant_rtt;          // grant sent -> chunk's final result
+                                     // merged ("shard/grant_rtt")
+  double snapshot_stream_ms = 0.0;   // in-band snapshot send time
+                                     // ("shard/snapshot_stream")
+  std::uint64_t reassigned_chunks = 0;  // grants returned by dead workers
+  std::uint64_t stolen_chunks = 0;      // chunks re-granted to another worker
+  std::uint64_t bytes_sent = 0;         // driver->worker transport bytes
+  std::uint64_t bytes_received = 0;     // worker->driver transport bytes
+  // Worker-side phases shipped via kStatsReport, aggregated across workers
+  // by path (paths are worker-relative, e.g. "chunk_eval"; the recorder
+  // carries them as "shard/worker/<path>").
+  std::vector<obs::PhaseStat> worker_phases;
 };
+
+/// Thin compatibility shim over the run-scoped stats: a snapshot of the
+/// LAST SUCCESSFULLY COMPLETED evaluate_sharded* run in this process,
+/// published atomically at the end of the run -- a run that throws can no
+/// longer leave half-written stats behind, and concurrent runs each publish
+/// a complete record instead of racing field-by-field. New code should
+/// prefer the `run_stats` out-parameters.
 ShardRunStats last_run_stats();
 
 /// Evaluates split examples [grant.begin, grant.end) in-process: one decode
@@ -110,13 +135,15 @@ bool send_snapshot_inband(Transport& transport, const std::string& bytes);
 core::EvalSummary run_driver(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const std::vector<Transport*>& workers, const ShardOptions& options,
-    std::vector<core::ExamplePrediction>* predictions = nullptr);
+    std::vector<core::ExamplePrediction>* predictions = nullptr,
+    ShardRunStats* run_stats = nullptr);
 
 /// Loopback deployment: N worker threads in this process.
 core::EvalSummary evaluate_sharded_inprocess(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options,
-    std::vector<core::ExamplePrediction>* predictions = nullptr);
+    std::vector<core::ExamplePrediction>* predictions = nullptr,
+    ShardRunStats* run_stats = nullptr);
 
 /// Registers the binary to fork/exec for multi-process sharding. The binary
 /// must, when MPIRICAL_EVAL_SHARD_ROLE=worker is set, rebuild the identical
@@ -141,7 +168,8 @@ std::unique_ptr<Transport> worker_transport();
 core::EvalSummary evaluate_sharded_processes(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options,
-    std::vector<core::ExamplePrediction>* predictions = nullptr);
+    std::vector<core::ExamplePrediction>* predictions = nullptr,
+    ShardRunStats* run_stats = nullptr);
 
 /// Cross-machine deployment: dials pre-started listening workers
 /// (mpirical_eval_worker --listen host:port) at each "host:port" in `hosts`
@@ -154,7 +182,8 @@ core::EvalSummary evaluate_sharded_processes(
 core::EvalSummary evaluate_sharded_tcp_hosts(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options, const std::vector<std::string>& hosts,
-    std::vector<core::ExamplePrediction>* predictions = nullptr);
+    std::vector<core::ExamplePrediction>* predictions = nullptr,
+    ShardRunStats* run_stats = nullptr);
 
 /// Parses MPIRICAL_EVAL_HOSTS (comma-separated host:port list); empty when
 /// unset.
@@ -167,6 +196,7 @@ std::vector<std::string> env_eval_hosts();
 core::EvalSummary evaluate_sharded(
     const core::MpiRical& model, const std::vector<corpus::Example>& split,
     const ShardOptions& options,
-    std::vector<core::ExamplePrediction>* predictions = nullptr);
+    std::vector<core::ExamplePrediction>* predictions = nullptr,
+    ShardRunStats* run_stats = nullptr);
 
 }  // namespace mpirical::shard

@@ -83,22 +83,25 @@ void Partitioner::complete(std::size_t chunk_index) {
   ++completed_;
 }
 
-void Partitioner::fail_shard(std::size_t shard) {
+std::size_t Partitioner::fail_shard(std::size_t shard) {
   MR_CHECK(shard < dead_.size(), "shard index out of range");
-  if (dead_[shard]) return;
+  if (dead_[shard]) return 0;
   dead_[shard] = true;
   // Unfinished grants go back first (they were taken earliest), then any
   // chunks never handed out from the shard's static queue.
+  std::size_t reassigned = 0;
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
     if (state_[i] == State::kGranted && owner_[i] == shard) {
       state_[i] = State::kPending;
       pool_.push_back(i);
+      ++reassigned;
     }
   }
   if (mode_ == PartitionMode::kStatic) {
     for (const std::size_t ci : queues_[shard]) pool_.push_back(ci);
     queues_[shard].clear();
   }
+  return reassigned;
 }
 
 }  // namespace mpirical::shard

@@ -65,8 +65,11 @@ class Partitioner {
   void complete(std::size_t chunk_index);
 
   /// Marks `shard` dead: its granted-but-unfinished chunks and any chunks
-  /// still queued for it return to the orphan pool for live shards.
-  void fail_shard(std::size_t shard);
+  /// still queued for it return to the orphan pool for live shards. Returns
+  /// how many chunks were GRANTED to the shard and now need reassignment
+  /// (its never-granted static-queue chunks are not counted -- they were
+  /// never in flight), which is the run's reassignment metric.
+  std::size_t fail_shard(std::size_t shard);
 
   bool shard_dead(std::size_t shard) const { return dead_.at(shard); }
   bool all_complete() const { return completed_ == chunks_.size(); }

@@ -105,7 +105,7 @@ class Reader {
 
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kTaskRequest) &&
-         t <= static_cast<std::uint8_t>(FrameType::kSnapshotEnd);
+         t <= static_cast<std::uint8_t>(FrameType::kStatsReport);
 }
 
 }  // namespace
@@ -285,6 +285,38 @@ StartupInfo decode_startup_info(const std::string& payload) {
   info.load_us = r.u64();
   r.done();
   return info;
+}
+
+std::string encode_stats_report(const StatsReport& report) {
+  std::string out;
+  append_u32(out, static_cast<std::uint32_t>(report.phases.size()));
+  for (const auto& entry : report.phases) {
+    append_bytes(out, entry.path);
+    append_u64(out, entry.count);
+    append_u64(out, entry.total_ns);
+    append_u64(out, entry.max_ns);
+  }
+  return out;
+}
+
+StatsReport decode_stats_report(const std::string& payload) {
+  Reader r(payload);
+  StatsReport report;
+  // Every encoded entry occupies >= 28 payload bytes (path length + three
+  // u64s), so this bound rejects forged counts before the reserve.
+  const std::uint32_t n = r.u32();
+  MR_CHECK(n <= payload.size() / 28, "stats entry count exceeds payload");
+  report.phases.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    StatsReportEntry entry;
+    entry.path = r.bytes();
+    entry.count = r.u64();
+    entry.total_ns = r.u64();
+    entry.max_ns = r.u64();
+    report.phases.push_back(std::move(entry));
+  }
+  r.done();
+  return report;
 }
 
 std::string encode_snapshot_begin(const SnapshotStreamBegin& begin) {

@@ -60,6 +60,11 @@ enum class FrameType : std::uint8_t {
   kSnapshotBegin = 11,  // driver -> worker: SnapshotStreamBegin
   kSnapshotChunk = 12,  // driver -> worker: SnapshotStreamChunk
   kSnapshotEnd = 13,    // driver -> worker: stream complete (no payload)
+  // Observability (src/obs): a worker's per-run phase measurements, sent
+  // once right before its closing kDone so the driver can merge every
+  // worker's timing breakdown into the run's ShardRunStats / recorder
+  // (next to kStartupInfo, which carries only the spawn-time story).
+  kStatsReport = 14,  // worker -> driver: StatsReport
 };
 
 constexpr std::uint32_t kFrameMagic = 0x5352504D;  // "MPRS" little-endian
@@ -147,6 +152,26 @@ SnapshotHello decode_snapshot_hello(const std::string& payload);
 
 std::string encode_startup_info(const StartupInfo& info);
 StartupInfo decode_startup_info(const std::string& payload);
+
+/// One aggregated phase in a worker's StatsReport: `path` is relative to
+/// the worker (the driver prefixes "shard/worker/"), durations are integral
+/// nanoseconds so the wire record is platform-stable like StartupInfo.
+struct StatsReportEntry {
+  std::string path;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Worker -> driver: the worker's per-run phase measurements, shipped once
+/// right before its closing kDone.
+struct StatsReport {
+  std::vector<StatsReportEntry> phases;
+};
+
+std::string encode_stats_report(const StatsReport& report);
+/// Throws Error on truncated payloads or a forged entry count.
+StatsReport decode_stats_report(const std::string& payload);
 
 /// Driver -> worker: an in-band snapshot stream of `total_bytes` follows,
 /// whose FNV-1a-64 over the complete byte sequence is `checksum`.

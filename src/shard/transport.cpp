@@ -60,6 +60,7 @@ class LoopbackEndpoint : public Transport {
       // with SIGPIPE ignored.
       if (!state_->worker_dead) {
         state_->to_worker.append(bytes);
+        note_sent(bytes.size());
         state_->cv.notify_all();
       }
       return !state_->worker_dead;
@@ -67,14 +68,17 @@ class LoopbackEndpoint : public Transport {
     if (state_->worker_closed || state_->worker_dead) return false;
     if (state_->worker_sends == state_->fault.fail_after_sends) {
       // The fatal send: deliver a truncated prefix, then die.
-      state_->to_driver.append(bytes.substr(
-          0, std::min(state_->fault.truncate_bytes, bytes.size())));
+      const std::size_t delivered =
+          std::min(state_->fault.truncate_bytes, bytes.size());
+      state_->to_driver.append(bytes.substr(0, delivered));
+      note_sent(delivered);
       state_->worker_dead = true;
       state_->cv.notify_all();
       return false;
     }
     ++state_->worker_sends;
     state_->to_driver.append(bytes);
+    note_sent(bytes.size());
     state_->cv.notify_all();
     return true;
   }
@@ -89,6 +93,7 @@ class LoopbackEndpoint : public Transport {
       if (state_->driver_recv_shutdown) return std::string();
       std::string out = std::move(state_->to_driver);
       state_->to_driver.clear();
+      note_received(out.size());
       return out;  // empty => worker closed/died with nothing buffered
     }
     state_->cv.wait(lock, [&] {
@@ -100,6 +105,7 @@ class LoopbackEndpoint : public Transport {
     }
     std::string out = std::move(state_->to_worker);
     state_->to_worker.clear();
+    note_received(out.size());
     return out;
   }
 
@@ -156,6 +162,7 @@ bool PipeTransport::send(const std::string& bytes) {
     const ssize_t n = ::write(write_fd_, bytes.data() + off, bytes.size() - off);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
+      note_sent(static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -187,7 +194,10 @@ std::string PipeTransport::recv_some() {
     }
     if (ready == 0) continue;  // timeout: re-check the shutdown flag
     const ssize_t n = ::read(read_fd_, buf, sizeof(buf));
-    if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+    if (n > 0) {
+      note_received(static_cast<std::size_t>(n));
+      return std::string(buf, static_cast<std::size_t>(n));
+    }
     if (n < 0 && errno == EINTR) continue;
     return std::string();  // EOF or hard error
   }
@@ -223,6 +233,7 @@ bool SocketTransport::send(const std::string& bytes) {
                              MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
+      note_sent(static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -254,7 +265,10 @@ std::string SocketTransport::recv_some() {
     }
     if (ready == 0) continue;  // timeout: re-check the shutdown flag
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+    if (n > 0) {
+      note_received(static_cast<std::size_t>(n));
+      return std::string(buf, static_cast<std::size_t>(n));
+    }
     if (n < 0 && errno == EINTR) continue;
     return std::string();  // EOF or hard error
   }

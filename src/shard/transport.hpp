@@ -27,6 +27,17 @@ class Transport {
   virtual bool send(const std::string& bytes) = 0;
   virtual std::string recv_some() = 0;
 
+  /// Byte accounting for THIS endpoint, maintained by every implementation
+  /// (bytes actually handed to the kernel / peer queue, including protocol
+  /// framing). The shard driver folds its workers' counters into
+  /// ShardRunStats at the end of each run.
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+
   /// Closes this endpoint's send direction; the peer drains buffered bytes
   /// and then sees EOF.
   virtual void close() = 0;
@@ -35,6 +46,18 @@ class Transport {
   /// even if the peer never closes -- the driver uses it to release its
   /// reader threads from a wedged (alive but silent) worker.
   virtual void shutdown_recv() = 0;
+
+ protected:
+  void note_sent(std::size_t n) {
+    bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void note_received(std::size_t n) {
+    bytes_received_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
 };
 
 /// Injected failure for the WORKER end of a loopback pair: the endpoint

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include <fcntl.h>
 #include <stdlib.h>
 #include <unistd.h>
 
@@ -107,6 +108,32 @@ void write_file(const std::string& path, const std::string& data) {
 bool file_exists(const std::string& path) {
   std::error_code ec;
   return std::filesystem::is_regular_file(path, ec);
+}
+
+void append_line(const std::string& path, const std::string& line) {
+  // O_APPEND + ONE write() per record: the kernel makes the offset-seek and
+  // the write atomic against every other O_APPEND writer of the same file,
+  // so two concurrent smoke runs (or a run that dies mid-call) can never
+  // interleave partial lines -- the guarantee std::ofstream's buffered
+  // operator<< never gave.
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  } while (fd < 0 && errno == EINTR);
+  MR_CHECK(fd >= 0, "cannot open file for appending: " + path);
+  std::string record = line;
+  record.push_back('\n');
+  std::size_t off = 0;
+  while (off < record.size()) {
+    const ssize_t n = ::write(fd, record.data() + off, record.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      MR_CHECK(false, "failed appending to file: " + path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
 }
 
 std::string read_prefix(const std::string& path, std::size_t n) {

@@ -54,6 +54,13 @@ void write_file(const std::string& path, const std::string& data);
 /// True when `path` exists and is a regular file.
 bool file_exists(const std::string& path);
 
+/// Appends `line` plus a trailing newline to `path` as ONE write() on an
+/// O_APPEND descriptor, so concurrent appenders (two smoke runs sharing a
+/// BENCH_*.json, a stats dump racing a bench record) never interleave
+/// partial lines and a crash mid-append cannot leave a torn record from a
+/// buffered stream. Throws Error when the file cannot be opened or written.
+void append_line(const std::string& path, const std::string& line);
+
 /// Reads the first `n` bytes of a file (fewer if the file is shorter);
 /// returns empty when the file cannot be opened. Used for format sniffing.
 std::string read_prefix(const std::string& path, std::size_t n);

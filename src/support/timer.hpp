@@ -1,4 +1,7 @@
-// Wall-clock timer for training logs and benches.
+// Monotonic elapsed-time timer for training logs and benches. Deliberately
+// steady_clock (not wall time): durations must be immune to NTP slews and
+// clock jumps, and every duration measurement in the repo routes through
+// this class or obs::ScopedPhase so the clock choice lives in one place.
 #pragma once
 
 #include <chrono>

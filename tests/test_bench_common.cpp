@@ -1,0 +1,139 @@
+// bench_common regression suite: the nearest-rank percentile that replaced
+// bench_serve's truncating interpolation (which read one rank high on even
+// samples), and the crash/concurrency contract of append_json_line -- many
+// processes appending to one BENCH_*.json file must never tear or
+// interleave a line.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/io.hpp"
+#include "support/strings.hpp"
+
+namespace mpirical {
+namespace {
+
+// ---- percentile -------------------------------------------------------------
+
+std::vector<double> iota_sample(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i + 1);
+  return v;
+}
+
+TEST(BenchPercentile, EmptySampleIsZero) {
+  EXPECT_EQ(bench::percentile({}, 0.5), 0.0);
+}
+
+TEST(BenchPercentile, SingleElement) {
+  const auto v = iota_sample(1);
+  for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(bench::percentile(v, p), 1.0) << "p=" << p;
+  }
+}
+
+TEST(BenchPercentile, TwoElements) {
+  const auto v = iota_sample(2);
+  EXPECT_EQ(bench::percentile(v, 0.0), 1.0);
+  EXPECT_EQ(bench::percentile(v, 0.5), 1.0);  // ceil(0.5*2) = rank 1
+  EXPECT_EQ(bench::percentile(v, 0.99), 2.0);
+  EXPECT_EQ(bench::percentile(v, 1.0), 2.0);
+}
+
+TEST(BenchPercentile, FourElements) {
+  const auto v = iota_sample(4);
+  EXPECT_EQ(bench::percentile(v, 0.0), 1.0);
+  // The defining nearest-rank case: the median of [1,2,3,4] is the 2nd
+  // value, not the 3rd the old `p*(n-1)+0.5` truncation produced.
+  EXPECT_EQ(bench::percentile(v, 0.5), 2.0);
+  EXPECT_EQ(bench::percentile(v, 0.99), 4.0);
+  EXPECT_EQ(bench::percentile(v, 1.0), 4.0);
+}
+
+TEST(BenchPercentile, HundredElements) {
+  const auto v = iota_sample(100);
+  EXPECT_EQ(bench::percentile(v, 0.0), 1.0);
+  EXPECT_EQ(bench::percentile(v, 0.5), 50.0);  // old code returned the 51st
+  EXPECT_EQ(bench::percentile(v, 0.99), 99.0);
+  EXPECT_EQ(bench::percentile(v, 1.0), 100.0);
+}
+
+// ---- append_json_line multi-process hammer ----------------------------------
+
+TEST(BenchAppendJsonLine, ParallelWritersNeverTearOrInterleaveLines) {
+  const std::string path = "/tmp/mpirical_append_hammer_" +
+                           std::to_string(::getpid()) + ".json";
+  std::remove(path.c_str());
+
+  constexpr int kWriters = 8;
+  constexpr int kLines = 200;
+  // Long variable-length payloads so torn or interleaved writes could not
+  // accidentally reassemble into a valid line.
+  auto make_line = [](int writer, int n) {
+    std::string line = "{\"writer\":" + std::to_string(writer) +
+                       ",\"n\":" + std::to_string(n) + ",\"pad\":\"";
+    line.append(static_cast<std::size_t>(64 + (writer * 37 + n * 11) % 192),
+                'a' + static_cast<char>(writer));
+    line += "\"}";
+    return line;
+  };
+
+  std::vector<pid_t> children;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: plain appends, no gtest machinery, leave via _exit so no
+      // parent state (atexit hooks, buffered stdio) replays.
+      int code = 0;
+      try {
+        for (int n = 0; n < kLines; ++n) {
+          bench::append_json_line(path, make_line(w, n));
+        }
+      } catch (...) {
+        code = 1;
+      }
+      ::_exit(code);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+
+  // Every line written by any process must read back whole: exact count,
+  // and the multiset of lines equals the multiset sent (order is free).
+  std::set<std::string> expected;
+  for (int w = 0; w < kWriters; ++w) {
+    for (int n = 0; n < kLines; ++n) expected.insert(make_line(w, n));
+  }
+  const std::vector<std::string> got = split_lines(io::read_file(path));
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(kWriters) * kLines);
+  std::set<std::string> got_set(got.begin(), got.end());
+  EXPECT_EQ(got_set.size(), got.size()) << "duplicate (torn?) lines";
+  EXPECT_EQ(got_set, expected);
+  std::remove(path.c_str());
+}
+
+TEST(BenchAppendJsonLine, CreatesTheFileOnFirstAppend) {
+  const std::string path = "/tmp/mpirical_append_create_" +
+                           std::to_string(::getpid()) + ".json";
+  std::remove(path.c_str());
+  bench::append_json_line(path, "{\"hello\":1}");
+  ASSERT_TRUE(io::file_exists(path));
+  EXPECT_EQ(io::read_file(path), "{\"hello\":1}\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mpirical

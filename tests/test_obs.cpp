@@ -1,0 +1,271 @@
+// Recorder unit suite: phase paths render from ScopedPhase nesting and
+// unify with literal record_phase/merge_phase paths, counters and phases
+// sum across threads, gauges track last/max, the disabled recorder is
+// inert, and to_json/dump emit the BENCH_*.json JSON-lines shape. The
+// recorder under test is the process-global singleton (there is exactly
+// one by design), so every test quiesces and resets it around its body --
+// gtest runs tests serially, making that race-free.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "support/io.hpp"
+#include "testing.hpp"
+
+namespace mpirical {
+namespace {
+
+/// Enables a clean global recorder for one test body and returns it to the
+/// disabled/empty default state afterwards (including the dump path, so no
+/// test leaves an atexit-visible target behind).
+class ObsRecorder : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Recorder& rec = obs::Recorder::global();
+    rec.set_enabled(false);
+    rec.reset();
+    rec.set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Recorder& rec = obs::Recorder::global();
+    rec.set_enabled(false);
+    rec.reset();
+    rec.set_dump_path("");
+  }
+};
+
+TEST_F(ObsRecorder, NestedScopedPhasesRenderSlashJoinedPaths) {
+  obs::Recorder& rec = obs::Recorder::global();
+  {
+    obs::ScopedPhase outer("outer");
+    for (int i = 0; i < 2; ++i) {
+      obs::ScopedPhase inner("inner");
+    }
+  }
+  const obs::StatsSnapshot snap = rec.snapshot();
+  const obs::PhaseStat* outer = snap.find_phase("outer");
+  const obs::PhaseStat* inner = snap.find_phase("outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 2u);
+  // The nested phase never appears as a root: its identity is the full path.
+  EXPECT_EQ(snap.find_phase("inner"), nullptr);
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+}
+
+TEST_F(ObsRecorder, LiteralAndNestedPathsUnifyInTheSnapshot) {
+  obs::Recorder& rec = obs::Recorder::global();
+  {
+    obs::ScopedPhase a("a");
+    obs::ScopedPhase b("b");
+  }
+  // An absolute-path observation of the same phase (how a shard driver
+  // records on behalf of the whole run) must land in the same bucket.
+  rec.record_phase("a/b", 500);
+  rec.merge_phase("a/b", 3, 900, 400);
+  const obs::StatsSnapshot snap = rec.snapshot();
+  const obs::PhaseStat* ab = snap.find_phase("a/b");
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->count, 5u);
+  EXPECT_GE(ab->total_ns, 1400u);
+}
+
+TEST_F(ObsRecorder, DisabledRecorderObservesNothing) {
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.set_enabled(false);
+  {
+    obs::ScopedPhase phase("ghost");
+  }
+  rec.record_phase("ghost/direct", 1000);
+  rec.counter_add("ghost_counter", 7);
+  rec.gauge_set("ghost_gauge", 3.0);
+  const obs::StatsSnapshot snap = rec.snapshot();
+  EXPECT_TRUE(snap.phases.empty());
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+}
+
+TEST_F(ObsRecorder, MergeWorksEvenWhileDisabled) {
+  // A driver must be able to account for a worker's shipped report even
+  // when its own recorder is off (the report already paid its cost).
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.set_enabled(false);
+  rec.merge_phase("shard/worker/chunk_eval", 4, 4000, 1500);
+  rec.merge_counter("shard/bytes_sent", 123);
+  const obs::StatsSnapshot snap = rec.snapshot();
+  const obs::PhaseStat* p = snap.find_phase("shard/worker/chunk_eval");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->count, 4u);
+  EXPECT_EQ(p->total_ns, 4000u);
+  EXPECT_EQ(p->max_ns, 1500u);
+  const obs::CounterStat* c = snap.find_counter("shard/bytes_sent");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 123u);
+}
+
+TEST_F(ObsRecorder, CountersAndPhasesSumAcrossThreads) {
+  obs::Recorder& rec = obs::Recorder::global();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec] {
+      for (int i = 0; i < kIters; ++i) {
+        rec.counter_add("work_items", 3);
+        obs::ScopedPhase phase("work");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();  // exits retire + merge the buffers
+  const obs::StatsSnapshot snap = rec.snapshot();
+  const obs::CounterStat* c = snap.find_counter("work_items");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, static_cast<std::uint64_t>(kThreads) * kIters * 3);
+  const obs::PhaseStat* p = snap.find_phase("work");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->count, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(ObsRecorder, PhaseMaxTracksTheLargestObservation) {
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.record_phase("spiky", 10);
+  rec.record_phase("spiky", 50);
+  rec.record_phase("spiky", 20);
+  const obs::StatsSnapshot snap = rec.snapshot();
+  const obs::PhaseStat* p = snap.find_phase("spiky");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->count, 3u);
+  EXPECT_EQ(p->total_ns, 80u);
+  EXPECT_EQ(p->max_ns, 50u);
+}
+
+TEST_F(ObsRecorder, GaugeTracksLastAndMax) {
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.gauge_set("occupancy", 2.0);
+  rec.gauge_set("occupancy", 9.0);
+  rec.gauge_set("occupancy", 4.0);
+  const obs::StatsSnapshot snap = rec.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "occupancy");
+  EXPECT_EQ(snap.gauges[0].last, 4.0);
+  EXPECT_EQ(snap.gauges[0].max, 9.0);
+}
+
+TEST_F(ObsRecorder, ResetZeroesAccumulationButRecordingContinues) {
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.record_phase("phase", 100);
+  rec.counter_add("count", 5);
+  rec.reset();
+  EXPECT_TRUE(rec.snapshot().phases.empty());
+  EXPECT_TRUE(rec.snapshot().counters.empty());
+  // Interned ids survive the reset; fresh observations land normally.
+  rec.record_phase("phase", 7);
+  const obs::StatsSnapshot snap = rec.snapshot();
+  const obs::PhaseStat* p = snap.find_phase("phase");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->count, 1u);
+  EXPECT_EQ(p->total_ns, 7u);
+}
+
+TEST_F(ObsRecorder, ToJsonCarriesEverySection) {
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.record_phase("serve/encode", 2000000);  // 2 ms
+  rec.counter_add("shard/stolen_chunks", 2);
+  rec.gauge_set("serve/wave_occupancy", 5.0);
+  const std::string json = rec.snapshot().to_json("unit");
+  EXPECT_NE(json.find("\"stats\":\"unit\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve/encode\":{\"count\":1,\"total_ms\":2.000000"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"shard/stolen_chunks\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve/wave_occupancy\":{\"last\":5.000000"),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(ObsRecorder, DumpAppendsOneJsonLinePerCall) {
+  obs::Recorder& rec = obs::Recorder::global();
+  const std::string path = "/tmp/mpirical_obs_dump_" +
+                           std::to_string(::getpid()) + ".json";
+  std::remove(path.c_str());
+  rec.set_dump_path(path);
+  rec.record_phase("dumped/phase", 1000);
+  rec.dump("first");
+  rec.dump("second");
+  const std::string data = io::read_file(path);
+  std::size_t lines = 0;
+  for (const char ch : data) lines += ch == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(data.find("\"stats\":\"first\""), std::string::npos);
+  EXPECT_NE(data.find("\"stats\":\"second\""), std::string::npos);
+  EXPECT_NE(data.find("\"dumped/phase\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsRecorder, DumpWithoutPathIsANoOp) {
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.set_dump_path("");
+  rec.record_phase("phase", 1);
+  rec.dump("nowhere");  // must not throw or create anything
+}
+
+TEST_F(ObsRecorder, RandomizedInterleavingsMatchAReferenceAccumulation) {
+  // Random observation streams over a fixed set of literal paths, split
+  // across threads, must aggregate exactly like a sequential reference map
+  // regardless of interleaving.
+  MR_SEEDED_RNG(rng, 0x0b5);
+  static const char* const kPaths[] = {"r/alpha", "r/beta", "r/gamma"};
+  constexpr int kThreads = 4;
+  constexpr int kObs = 200;
+
+  struct Ref {
+    std::uint64_t count = 0, total = 0, max = 0;
+  };
+  std::map<std::string, Ref> expected;
+  // Pre-draw every observation (path index, duration) so the reference and
+  // the threads consume the same stream.
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> streams(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kObs; ++i) {
+      const int which = static_cast<int>(rng.next_below(3));
+      const std::uint64_t ns = 1 + rng.next_below(10000);
+      streams[t].push_back({which, ns});
+      Ref& r = expected[kPaths[which]];
+      r.count += 1;
+      r.total += ns;
+      r.max = std::max(r.max, ns);
+    }
+  }
+
+  obs::Recorder& rec = obs::Recorder::global();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, &streams, t] {
+      for (const auto& [which, ns] : streams[t]) {
+        rec.record_phase(kPaths[which], ns);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const obs::StatsSnapshot snap = rec.snapshot();
+  for (const auto& [path, ref] : expected) {
+    const obs::PhaseStat* p = snap.find_phase(path);
+    ASSERT_NE(p, nullptr) << path;
+    EXPECT_EQ(p->count, ref.count) << path;
+    EXPECT_EQ(p->total_ns, ref.total) << path;
+    EXPECT_EQ(p->max_ns, ref.max) << path;
+  }
+}
+
+}  // namespace
+}  // namespace mpirical

@@ -1,0 +1,411 @@
+// Observability inertness suite: the phase recorder must be provably inert.
+// Every instrumented path -- the continuous-batching serve loop under
+// randomized arrival, the sharded TCP eval, the int8 weights-only decode,
+// and the core wave loop -- must produce BITWISE-identical tokens and
+// EvalSummaries with the recorder on and off, while the recorder-on run
+// actually observes the phases the README documents (serve/*, shard/*,
+// nn/wave/*) and dumps them as one JSON line.
+//
+// The recorder reads MPIRICAL_STATS only at first construction, so these
+// tests drive the documented test hooks (set_enabled / set_dump_path)
+// directly instead of re-execing per configuration.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/model.hpp"
+#include "corpus/dataset.hpp"
+#include "obs/recorder.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "shard/eval.hpp"
+#include "shard/transport.hpp"
+#include "support/io.hpp"
+#include "testing.hpp"
+
+namespace mpirical {
+namespace {
+
+using testutil::double_bits;
+using testutil::ScopedEnv;
+
+/// One tiny untrained model + dataset shared by the whole suite: decode is
+/// deterministic for fixed weights, so on-vs-off identity is exact, and
+/// random weights exercise the full serve/shard/decode paths without
+/// paying for training.
+struct Harness {
+  corpus::Dataset dataset;
+  core::MpiRical model;
+  std::vector<core::MpiRical::TranslateRequest> inputs;
+  std::vector<std::string> expected;          // translate_batch ground truth
+  std::vector<corpus::Example> examples;      // pool for shard splits
+};
+
+const Harness& harness() {
+  static const Harness* h = [] {
+    corpus::DatasetConfig dcfg;
+    dcfg.corpus_size = 200;
+    dcfg.seed = 137;
+    dcfg.max_tokens = 180;
+
+    core::ModelConfig mcfg;
+    mcfg.d_model = 32;
+    mcfg.heads = 2;
+    mcfg.ffn_dim = 64;
+    mcfg.encoder_layers = 1;
+    mcfg.decoder_layers = 1;
+    mcfg.dropout = 0.0f;
+    mcfg.max_src_tokens = 256;
+    mcfg.max_tgt_tokens = 32;  // bound decode length for an untrained model
+    mcfg.seed = 4711;
+
+    auto* built = new Harness;
+    built->dataset = corpus::build_dataset(dcfg);
+    built->model = core::MpiRical::create(built->dataset, mcfg);
+    const auto& pool = built->dataset.test.empty() ? built->dataset.train
+                                                   : built->dataset.test;
+    for (std::size_t i = 0; i < pool.size() && built->inputs.size() < 10;
+         ++i) {
+      built->inputs.push_back({pool[i].input_code, pool[i].input_xsbt});
+    }
+    built->expected = built->model.translate_batch(built->inputs);
+    built->examples = built->dataset.test;
+    for (const auto& ex : built->dataset.train) {
+      if (built->examples.size() >= 8) break;
+      built->examples.push_back(ex);
+    }
+    return built;
+  }();
+  return *h;
+}
+
+/// Quiesced, empty, DISABLED global recorder for one scope; tests enable it
+/// explicitly for their "on" leg. Restores the disabled/empty default.
+struct RecorderScope {
+  RecorderScope() { clear(); }
+  ~RecorderScope() {
+    clear();
+    obs::Recorder::global().set_dump_path("");
+  }
+  static void clear() {
+    obs::Recorder& rec = obs::Recorder::global();
+    rec.set_enabled(false);
+    rec.reset();
+  }
+};
+
+void expect_identical(const core::EvalSummary& a, const core::EvalSummary& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.examples, b.examples);
+  EXPECT_TRUE(a.m_counts == b.m_counts);
+  EXPECT_TRUE(a.mcc_counts == b.mcc_counts);
+  EXPECT_EQ(double_bits(a.bleu), double_bits(b.bleu));
+  EXPECT_EQ(double_bits(a.meteor), double_bits(b.meteor));
+  EXPECT_EQ(double_bits(a.rouge_l), double_bits(b.rouge_l));
+  EXPECT_EQ(double_bits(a.acc), double_bits(b.acc));
+}
+
+// ---- serve: randomized arrival, recorder on vs off --------------------------
+
+/// A Server over harness().model on its own thread and unique socket.
+class RunningServer {
+ public:
+  explicit RunningServer(std::size_t max_wave) {
+    static int counter = 0;
+    socket_ = "/tmp/mpirical_obs_serve_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter++) + ".sock";
+    serve::ServerOptions options;
+    options.socket_path = socket_;
+    options.max_wave = max_wave;
+    server_ = std::make_unique<serve::Server>(harness().model, options);
+    thread_ = std::thread([this] { server_->run(); });
+  }
+  ~RunningServer() { stop(); }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    server_->request_shutdown();
+    thread_.join();
+  }
+
+  const std::string& socket() const { return socket_; }
+  serve::ServerStats stats() const { return server_->stats(); }
+
+ private:
+  std::string socket_;
+  std::unique_ptr<serve::Server> server_;
+  std::thread thread_;
+};
+
+/// Replays one pre-drawn arrival schedule (shuffled order, burst sizes)
+/// against a fresh server and returns outputs keyed by input slot. The
+/// schedule is drawn ONCE per test so the recorder-on and recorder-off legs
+/// see byte-identical request streams.
+std::map<std::size_t, std::string> run_serve_trial(
+    const std::vector<std::size_t>& order,
+    const std::vector<std::size_t>& bursts, std::size_t max_wave) {
+  const auto& inputs = harness().inputs;
+  RunningServer server(max_wave);
+  serve::Client client(server.socket());
+  std::map<std::uint64_t, std::size_t> slot_of;
+  std::size_t sent = 0;
+  for (const std::size_t burst : bursts) {
+    for (std::size_t b = 0; b < burst && sent < order.size(); ++b, ++sent) {
+      const std::size_t slot = order[sent];
+      slot_of[client.send(inputs[slot].input_code,
+                          inputs[slot].input_xsbt)] = slot;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  client.finish();
+  std::map<std::size_t, std::string> by_slot;
+  while (auto res = client.recv()) {
+    by_slot[slot_of.at(res->id)] = res->output_code;
+  }
+  return by_slot;
+}
+
+TEST(ObsEquivalence, ServeShuffledArrivalIsBitwiseIdenticalOnVsOff) {
+  RecorderScope scope;
+  MR_SEEDED_RNG(rng, 0x0b51);
+  const auto& inputs = harness().inputs;
+
+  // One schedule, two legs. A small wave forces queueing + wave joins, so
+  // the instrumented queue_wait/wave_join paths actually run.
+  std::vector<std::size_t> order(inputs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<std::size_t> bursts;
+  for (std::size_t planned = 0; planned < order.size();) {
+    const std::size_t burst = 1 + rng.next_below(3);
+    bursts.push_back(burst);
+    planned += burst;
+  }
+  const std::size_t max_wave = 1 + rng.next_below(3);
+
+  const auto off = run_serve_trial(order, bursts, max_wave);
+
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.set_enabled(true);
+  const auto on = run_serve_trial(order, bursts, max_wave);
+  rec.set_enabled(false);
+
+  ASSERT_EQ(off.size(), inputs.size());
+  ASSERT_EQ(on.size(), inputs.size());
+  for (std::size_t slot = 0; slot < inputs.size(); ++slot) {
+    EXPECT_EQ(on.at(slot), off.at(slot)) << "slot " << slot;
+    EXPECT_EQ(on.at(slot), harness().expected[slot]) << "slot " << slot;
+  }
+
+  // The on leg must have actually observed the serve phase tree.
+  const obs::StatsSnapshot snap = rec.snapshot();
+  for (const char* path : {"serve/queue_wait", "serve/encode",
+                           "serve/decode_steps", "serve/result_write"}) {
+    const obs::PhaseStat* p = snap.find_phase(path);
+    ASSERT_NE(p, nullptr) << path;
+    EXPECT_GT(p->count, 0u) << path;
+  }
+  bool saw_occupancy = false;
+  for (const auto& g : snap.gauges) {
+    saw_occupancy |= g.name == "serve/wave_occupancy";
+  }
+  EXPECT_TRUE(saw_occupancy);
+}
+
+TEST(ObsEquivalence, ServerStatsCarryPhasesOnlyWhileEnabled) {
+  RecorderScope scope;
+  {
+    RunningServer server(/*max_wave=*/4);
+    serve::Client client(server.socket());
+    client.translate_batch(harness().inputs);
+    EXPECT_TRUE(server.stats().phases.empty());
+  }
+  obs::Recorder::global().set_enabled(true);
+  {
+    RunningServer server(/*max_wave=*/4);
+    serve::Client client(server.socket());
+    client.translate_batch(harness().inputs);
+    const serve::ServerStats stats = server.stats();
+    ASSERT_FALSE(stats.phases.empty());
+    for (const auto& p : stats.phases) {
+      EXPECT_EQ(p.path.rfind("serve/", 0), 0u) << p.path;
+    }
+  }
+}
+
+// ---- shard: 2-shard TCP eval, recorder on vs off ----------------------------
+
+/// N connected (driver, worker) SocketTransport pairs through a real
+/// listening socket (the test_shard_equivalence fleet).
+struct TcpFleet {
+  std::vector<std::unique_ptr<shard::Transport>> driver_ends;
+  std::vector<std::unique_ptr<shard::Transport>> worker_ends;
+
+  explicit TcpFleet(std::size_t n) {
+    std::uint16_t port = 0;
+    const int listen_fd = shard::tcp_listen("127.0.0.1", 0,
+                                            static_cast<int>(n) + 1, &port);
+    for (std::size_t i = 0; i < n; ++i) {
+      worker_ends.push_back(std::make_unique<shard::SocketTransport>(
+          shard::tcp_connect("127.0.0.1", port, 5000)));
+      driver_ends.push_back(std::make_unique<shard::SocketTransport>(
+          shard::tcp_accept(listen_fd)));
+    }
+    ::close(listen_fd);
+  }
+
+  std::vector<shard::Transport*> driver_ptrs() const {
+    std::vector<shard::Transport*> out;
+    for (const auto& t : driver_ends) out.push_back(t.get());
+    return out;
+  }
+};
+
+core::EvalSummary run_over_tcp(const std::vector<corpus::Example>& split,
+                               std::size_t shards,
+                               shard::ShardRunStats* run_stats) {
+  TcpFleet fleet(shards);
+  std::vector<std::thread> workers;
+  for (auto& end : fleet.worker_ends) {
+    workers.emplace_back([&split, &end] {
+      shard::run_worker(harness().model, split, *end);
+    });
+  }
+  shard::ShardOptions options;
+  options.shards = shards;
+  const core::EvalSummary merged =
+      shard::run_driver(harness().model, split, fleet.driver_ptrs(), options,
+                        /*predictions=*/nullptr, run_stats);
+  for (auto& w : workers) w.join();
+  return merged;
+}
+
+TEST(ObsEquivalence, TwoShardTcpEvalIsBitwiseIdenticalOnVsOff) {
+  RecorderScope scope;
+  ScopedEnv wave_env("MPIRICAL_DECODE_WAVE", "3");
+  ScopedEnv shards_env("MPIRICAL_EVAL_SHARDS", nullptr);
+  const auto split = harness().examples;
+  ASSERT_GE(split.size(), 7u);
+
+  const core::EvalSummary oracle =
+      core::evaluate_model(harness().model, split, 1, 1);
+  const core::EvalSummary off = run_over_tcp(split, 2, nullptr);
+  expect_identical(off, oracle, "recorder off");
+  RecorderScope::clear();  // drop the off leg's merged worker phases
+
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.set_enabled(true);
+  shard::ShardRunStats run_stats;
+  const core::EvalSummary on = run_over_tcp(split, 2, &run_stats);
+  rec.set_enabled(false);
+  expect_identical(on, oracle, "recorder on");
+
+  // The run record must carry the driver- and worker-side measurements.
+  EXPECT_GT(run_stats.grant_rtt.count, 0u);
+  EXPECT_GT(run_stats.grant_rtt.total_ns, 0u);
+  EXPECT_GT(run_stats.bytes_sent, 0u);
+  EXPECT_GT(run_stats.bytes_received, 0u);
+  bool saw_chunk_eval = false, saw_grant_wait = false;
+  for (const auto& p : run_stats.worker_phases) {
+    saw_chunk_eval |= p.path == "chunk_eval" && p.count > 0;
+    saw_grant_wait |= p.path == "grant_wait" && p.count > 0;
+  }
+  EXPECT_TRUE(saw_chunk_eval) << "no worker shipped a chunk_eval phase";
+  EXPECT_TRUE(saw_grant_wait) << "no worker shipped a grant_wait phase";
+
+  // ...and the same measurements land in the global recorder tree.
+  const obs::StatsSnapshot snap = rec.snapshot();
+  const obs::PhaseStat* rtt = snap.find_phase("shard/grant_rtt");
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_EQ(rtt->count, run_stats.grant_rtt.count);
+  const obs::PhaseStat* chunk = snap.find_phase("shard/worker/chunk_eval");
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_GT(chunk->count, 0u);
+  const obs::CounterStat* sent = snap.find_counter("shard/bytes_sent");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_EQ(sent->value, run_stats.bytes_sent);
+}
+
+// ---- core + int8 decode, recorder on vs off ---------------------------------
+
+TEST(ObsEquivalence, CoreEvaluateIsBitwiseIdenticalOnVsOff) {
+  RecorderScope scope;
+  ScopedEnv wave_env("MPIRICAL_DECODE_WAVE", "3");
+  ScopedEnv shards_env("MPIRICAL_EVAL_SHARDS", nullptr);
+  const auto split = harness().examples;
+
+  const core::EvalSummary off =
+      core::evaluate_model(harness().model, split, 1, 1);
+
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.set_enabled(true);
+  const core::EvalSummary on =
+      core::evaluate_model(harness().model, split, 1, 1);
+  rec.set_enabled(false);
+
+  expect_identical(on, off, "evaluate_model on vs off");
+  const obs::StatsSnapshot snap = rec.snapshot();
+  for (const char* path :
+       {"eval/decode", "eval/score", "nn/wave/encode", "nn/wave/decode"}) {
+    const obs::PhaseStat* p = snap.find_phase(path);
+    ASSERT_NE(p, nullptr) << path;
+    EXPECT_GT(p->count, 0u) << path;
+  }
+}
+
+TEST(ObsEquivalence, Int8DecodeIsBitwiseIdenticalOnVsOff) {
+  RecorderScope scope;
+  ScopedEnv int8_env("MPIRICAL_DECODE_INT8", "1");
+
+  const auto off = harness().model.translate_batch(harness().inputs);
+
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.set_enabled(true);
+  const auto on = harness().model.translate_batch(harness().inputs);
+  rec.set_enabled(false);
+
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i], off[i]) << "request " << i;
+  }
+  const obs::PhaseStat* p = rec.snapshot().find_phase("nn/wave/decode");
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(p->count, 0u);
+}
+
+// ---- end-of-run dump --------------------------------------------------------
+
+TEST(ObsEquivalence, DumpWritesTheObservedPhasesAsOneJsonLine) {
+  RecorderScope scope;
+  const std::string path = "/tmp/mpirical_obs_stats_" +
+                           std::to_string(::getpid()) + ".json";
+  std::remove(path.c_str());
+
+  obs::Recorder& rec = obs::Recorder::global();
+  rec.set_enabled(true);
+  rec.set_dump_path(path);
+  harness().model.translate_batch(
+      {harness().inputs.begin(), harness().inputs.begin() + 2});
+  rec.dump("obs_equivalence");
+  rec.set_enabled(false);
+
+  ASSERT_TRUE(io::file_exists(path));
+  const std::string data = io::read_file(path);
+  EXPECT_NE(data.find("\"stats\":\"obs_equivalence\""), std::string::npos);
+  EXPECT_NE(data.find("\"nn/wave/decode\""), std::string::npos) << data;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mpirical

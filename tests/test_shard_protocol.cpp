@@ -384,6 +384,36 @@ TEST(Records, StartupInfoRoundTripAndRejection) {
   EXPECT_THROW(decode_startup_info(payload + "zz"), Error);
 }
 
+TEST(Records, StatsReportRoundTripAndRejection) {
+  StatsReport report;
+  report.phases.push_back({"chunk_eval", 7, 123456789ULL, 45678ULL});
+  report.phases.push_back({"grant_wait", 8, 42ULL, 41ULL});
+  report.phases.push_back({"snapshot_load", 1, 0ULL, 0ULL});
+  const StatsReport back = decode_stats_report(encode_stats_report(report));
+  ASSERT_EQ(back.phases.size(), report.phases.size());
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    EXPECT_EQ(back.phases[i].path, report.phases[i].path);
+    EXPECT_EQ(back.phases[i].count, report.phases[i].count);
+    EXPECT_EQ(back.phases[i].total_ns, report.phases[i].total_ns);
+    EXPECT_EQ(back.phases[i].max_ns, report.phases[i].max_ns);
+  }
+  EXPECT_TRUE(decode_stats_report(encode_stats_report({})).phases.empty());
+
+  const std::string payload = encode_stats_report(report);
+  EXPECT_THROW(decode_stats_report(payload.substr(0, 9)), Error);
+  EXPECT_THROW(decode_stats_report(payload.substr(0, payload.size() - 1)),
+               Error);
+  EXPECT_THROW(decode_stats_report(payload + "zz"), Error);
+  // A forged entry count larger than the payload could hold must be
+  // rejected before any reserve.
+  std::string forged = payload;
+  forged[0] = '\xff';
+  forged[1] = '\xff';
+  forged[2] = '\xff';
+  forged[3] = '\xff';
+  EXPECT_THROW(decode_stats_report(forged), Error);
+}
+
 TEST(Records, SnapshotStreamBeginRoundTripAndRejection) {
   SnapshotStreamBegin begin;
   begin.total_bytes = 123456789ULL;
@@ -488,11 +518,12 @@ TEST(Framing, ServeFrameTypesAreValidOnTheWire) {
 }
 
 TEST(Framing, SnapshotStreamFrameTypesAreValidOnTheWire) {
-  // The in-band snapshot-stream types must survive the parser's type
-  // validation; one past kSnapshotEnd (the current highest) must not.
+  // The in-band snapshot-stream types (and the worker stats report) must
+  // survive the parser's type validation; one past kStatsReport (the
+  // current highest) must not.
   for (const FrameType type :
        {FrameType::kSnapshotBegin, FrameType::kSnapshotChunk,
-        FrameType::kSnapshotEnd}) {
+        FrameType::kSnapshotEnd, FrameType::kStatsReport}) {
     FrameParser parser;
     const std::string stream = encode_frame(type, "payload");
     parser.feed(stream.data(), stream.size());
@@ -502,8 +533,8 @@ TEST(Framing, SnapshotStreamFrameTypesAreValidOnTheWire) {
     EXPECT_EQ(frame->payload, "payload");
   }
   FrameParser parser;
-  std::string stream = encode_frame(FrameType::kSnapshotEnd, "p");
-  stream[4] = static_cast<char>(static_cast<int>(FrameType::kSnapshotEnd) +
+  std::string stream = encode_frame(FrameType::kStatsReport, "p");
+  stream[4] = static_cast<char>(static_cast<int>(FrameType::kStatsReport) +
                                 1);
   EXPECT_THROW(
       {
