@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "core/world_snapshot.hpp"
+#include "nn/packed_model.hpp"
 #include "shard/eval.hpp"
 #include "snapshot/snapshot.hpp"
 #include "support/check.hpp"
@@ -37,6 +38,11 @@ void setenv_default(const char* name, const char* value) {
 
 void append_json_line(const std::string& path, const std::string& line) {
   io::append_line(path, line);
+}
+
+std::string pack_cache_config_json() {
+  return std::string(",\"pack_cache\":") +
+         (nn::pack_cache_enabled() ? "true" : "false");
 }
 
 double percentile(const std::vector<double>& sorted, double p) {

@@ -41,6 +41,14 @@ void setenv_default(const char* name, const char* value);
 /// line (tests/test_bench_common.cpp hammers this from forked writers).
 void append_json_line(const std::string& path, const std::string& line);
 
+/// Leading-comma JSON fragment recording the packed-weight-cache
+/// configuration of this process (`,"pack_cache":true|false`, from
+/// MPIRICAL_PACK_CACHE), so every bench record carries the knob the run
+/// executed under -- the same discipline as the `transport` /
+/// `snapshot_streamed` fields. Benches pair it with nn::pack_cache_stats()
+/// deltas for the measured pack_ms / hit / miss counts.
+std::string pack_cache_config_json();
+
 /// Nearest-rank percentile over an ALREADY SORTED ascending sample:
 /// the smallest value >= p of the sample (rank = ceil(p*n), clamped to
 /// [1, n]), so p=0 is the minimum, p=1 the maximum, and p=0.5 of [1,2,3,4]

@@ -20,6 +20,7 @@
 
 #include "bench_common.hpp"
 #include "nn/infer.hpp"
+#include "nn/packed_model.hpp"
 #include "nn/transformer.hpp"
 #include "snapshot/snapshot.hpp"
 #include "support/rng.hpp"
@@ -165,22 +166,30 @@ int main() {
     }
 
     // The default path: padded batched encoder feeding the decode waves.
+    // Pack-cache deltas bracket the timed region: the greedy case pays the
+    // one-time lazy packs (pack_ms > 0, misses), beam4 should run entirely
+    // on cache hits with pack_ms == 0 -- the steady-state claim the
+    // trajectory pins.
     nn::DecodeBatchStats stats;
+    const nn::PackCacheStats pc_before = nn::pack_cache_stats();
     Timer batched_timer;
     const auto batched = nn::decode_batch(model, reqs, &stats);
     const double batched_s = batched_timer.seconds();
+    const nn::PackCacheStats pc_after = nn::pack_cache_stats();
 
     // The int8 weights-only configuration of the same batched path: weight
     // panels quantize at pack time, activations stay f32.
     nn::DecodeBatchStats stats_i8;
     double int8_s = 0.0;
     std::vector<nn::DecodeResult> int8_results;
+    const nn::PackCacheStats pc_i8_before = nn::pack_cache_stats();
     {
       EnvOverride i8("MPIRICAL_DECODE_INT8", "1");
       Timer int8_timer;
       int8_results = nn::decode_batch(model, reqs, &stats_i8);
       int8_s = int8_timer.seconds();
     }
+    const nn::PackCacheStats pc_i8_after = nn::pack_cache_stats();
 
     // Separate counters so the JSON trajectory can attribute a divergence
     // to the batched encoder vs the per-source decode configuration.
@@ -212,7 +221,9 @@ int main() {
         "\"seconds_int8\":%.3f,\"decode_ms_int8\":%.1f,"
         "\"speedup_int8_vs_f32\":%.3f,\"token_mismatches_int8\":%zu,"
         "\"wave_weight_bytes_f32\":%zu,\"wave_weight_bytes_i8\":%zu,"
-        "\"snapshot_bytes_f32\":%zu,\"snapshot_bytes_int8\":%zu,"
+        "\"snapshot_bytes_f32\":%zu,\"snapshot_bytes_int8\":%zu%s,"
+        "\"pack_ms\":%.2f,\"pack_hits\":%llu,\"pack_misses\":%llu,"
+        "\"pack_ms_int8\":%.2f,"
         "\"smoke\":%s}\n",
         c.mode, c.beam_width, examples, src_len, max_len, ref_s, per_source_s,
         batched_s, stats.encode_seconds * 1e3, stats.decode_seconds * 1e3,
@@ -223,6 +234,11 @@ int main() {
         int8_s > 0.0 ? batched_s / int8_s : 0.0, mismatches_int8,
         wave_weight_elems * sizeof(float), wave_weight_elems,
         snapshot_bytes_f32, snapshot_bytes_int8,
+        bench::pack_cache_config_json().c_str(),
+        (pc_after.pack_ns - pc_before.pack_ns) / 1e6,
+        static_cast<unsigned long long>(pc_after.hits - pc_before.hits),
+        static_cast<unsigned long long>(pc_after.misses - pc_before.misses),
+        (pc_i8_after.pack_ns - pc_i8_before.pack_ns) / 1e6,
         smoke ? "true" : "false");
     std::fflush(stdout);
     std::fprintf(stderr,

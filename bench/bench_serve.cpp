@@ -35,6 +35,7 @@
 
 #include "bench_common.hpp"
 #include "core/world_snapshot.hpp"
+#include "nn/packed_model.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
 #include "support/check.hpp"
@@ -230,9 +231,14 @@ int main() {
 
   // Local ground truth: what the served outputs must be token-identical to,
   // and the throughput the open-loop arrival rate is calibrated against.
+  // Pack-cache delta brackets it: the daemon packs in its own forked
+  // process, so the client-side oracle is where this process's one-time
+  // pack cost (and the hit/miss trajectory) is visible.
+  const nn::PackCacheStats pc_before = nn::pack_cache_stats();
   Timer local_timer;
   const std::vector<std::string> expected = setup.model.translate_batch(reqs);
   const double local_s = local_timer.seconds();
+  const nn::PackCacheStats pc_after = nn::pack_cache_stats();
   const double local_rps =
       local_s > 0.0 ? static_cast<double>(n_requests) / local_s : 1.0;
   const double interval_s = 1.0 / (local_rps * rate_fraction);
@@ -276,18 +282,24 @@ int main() {
     json_path = override_path;
   }
   for (int m = 0; m < 2; ++m) {
-    char line[512];
+    char line[768];
     std::snprintf(
         line, sizeof(line),
         "{\"bench\":\"serve\",\"mode\":\"%s\",\"requests\":%zu,"
         "\"arrival_req_per_s\":%.2f,\"p50_ms\":%.2f,\"p99_ms\":%.2f,"
         "\"sustained_req_per_s\":%.2f,\"wall_s\":%.3f,"
         "\"joined_running_wave\":%zu,\"token_mismatches\":%zu,"
-        "\"local_batch_req_per_s\":%.2f,\"smoke\":%s}",
+        "\"local_batch_req_per_s\":%.2f%s,\"pack_ms\":%.2f,"
+        "\"pack_hits\":%llu,\"pack_misses\":%llu,\"smoke\":%s}",
         modes[m].name, n_requests, local_rps * rate_fraction,
         results[m].p50_ms, results[m].p99_ms, results[m].req_per_s,
         results[m].wall_s, results[m].joined_running_wave,
-        results[m].mismatches, local_rps, smoke ? "true" : "false");
+        results[m].mismatches, local_rps,
+        bench::pack_cache_config_json().c_str(),
+        (pc_after.pack_ns - pc_before.pack_ns) / 1e6,
+        static_cast<unsigned long long>(pc_after.hits - pc_before.hits),
+        static_cast<unsigned long long>(pc_after.misses - pc_before.misses),
+        smoke ? "true" : "false");
     bench::append_json_line(json_path, line);
     std::printf("%s\n", line);
   }

@@ -18,6 +18,7 @@
 #include "core/tagger.hpp"
 #include "metrics/metrics.hpp"
 #include "mpidb/catalog.hpp"
+#include "nn/packed_model.hpp"
 #include "shard/eval.hpp"
 #include "support/timer.hpp"
 
@@ -54,9 +55,15 @@ int main(int argc, char** argv) {
 
   std::printf("[eval] greedy-decoding %zu test examples across %zu shard%s...\n",
               test.size(), shards, shards == 1 ? "" : "s");
+  // Pack-cache delta around the f32 eval: the one-time lazy packs land here
+  // (warm_cache fires before the timed decode phase); the int8 eval below
+  // packs its own panel set once more. Driver-process counters only --
+  // sharded runs pack in the workers.
+  const nn::PackCacheStats pc_before = nn::pack_cache_stats();
   Timer decode_timer;
   const core::EvalSummary s = core::evaluate_model(setup.model, test);
   const double decode_s = decode_timer.seconds();
+  const nn::PackCacheStats pc_after = nn::pack_cache_stats();
   const double examples_per_s =
       decode_s > 0.0 && !test.empty()
           ? static_cast<double>(test.size()) / decode_s
@@ -74,6 +81,7 @@ int main(int argc, char** argv) {
   Timer int8_timer;
   const core::EvalSummary s_i8 = core::evaluate_model(setup.model, test);
   const double decode_s_i8 = int8_timer.seconds();
+  const nn::PackCacheStats pc_i8 = nn::pack_cache_stats();
   if (saved_i8) {
     setenv("MPIRICAL_DECODE_INT8", saved_i8_value.c_str(), 1);
   } else {
@@ -118,6 +126,22 @@ int main(int argc, char** argv) {
           decode_s_i8, decode_s_i8 > 0.0 ? decode_s / decode_s_i8 : 0.0,
           s_i8.m_counts.f1(), s_i8.mcc_counts.f1(), s_i8.bleu, s_i8.acc,
           s_i8.acc - s.acc, snap_bytes_f32, snap_bytes_i8);
+      line += buf;
+    }
+    {
+      // Packed-weight-cache observability: the knob this run executed under
+      // plus the driver-side pack cost and hit/miss counts around each eval
+      // (pack_ms_int8 covers the int8 re-run's own panel set).
+      char buf[256];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s,\"pack_ms\":%.2f,\"pack_hits\":%llu,\"pack_misses\":%llu,"
+          "\"pack_ms_int8\":%.2f",
+          bench::pack_cache_config_json().c_str(),
+          (pc_after.pack_ns - pc_before.pack_ns) / 1e6,
+          static_cast<unsigned long long>(pc_after.hits - pc_before.hits),
+          static_cast<unsigned long long>(pc_after.misses - pc_before.misses),
+          (pc_i8.pack_ns - pc_after.pack_ns) / 1e6);
       line += buf;
     }
     // Snapshot-deployment observability: how the driver shipped the world

@@ -2,6 +2,7 @@
 
 #include "cparse/parser.hpp"
 #include "mpidb/catalog.hpp"
+#include "nn/packed_model.hpp"
 #include "obs/recorder.hpp"
 #include "shard/eval.hpp"
 #include "support/thread_pool.hpp"
@@ -100,6 +101,11 @@ EvalSummary evaluate_model(const MpiRical& model,
   for (std::size_t i = 0; i < split.size(); ++i) {
     inputs[i] = {split[i].input_code, split[i].input_xsbt};
   }
+  // Pack every weight panel once up front (no-op when MPIRICAL_PACK_CACHE=0
+  // or the cache is already warm): the pool threads' concurrent waves then
+  // share the warmed PackedModel instead of racing its lazy packs inside the
+  // timed decode phase.
+  nn::PackedModel::warm_cache(model.transformer());
   std::vector<std::string> decoded;
   {
     obs::ScopedPhase decode_phase("eval/decode");

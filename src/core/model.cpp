@@ -165,6 +165,11 @@ double MpiRical::run_epoch(std::vector<Encoded>& encoded, nn::Adam& opt,
     loss_sum += loss.item();
     ++batches;
   }
+  // The Adam steps above mutated (and possibly repointed, via copy-on-write
+  // materialization of snapshot-view tensors) every parameter: any packed
+  // panels cached before this epoch are stale now. Decode never runs
+  // mid-epoch, so this boundary is the one place invalidation is needed.
+  model_.invalidate_pack_cache();
   return batches == 0 ? 0.0 : loss_sum / static_cast<double>(batches);
 }
 

@@ -1,14 +1,27 @@
 #include "core/stream.hpp"
 
+#include "nn/packed_model.hpp"
 #include "support/check.hpp"
 #include "toklib/vocab.hpp"
 
 namespace mpirical::core {
 
+namespace {
+
+// Warm the shared packed-weight cache before the DecodeStream resolves its
+// panels: the serve engine constructs one TranslateStream per daemon, so
+// packing everything here keeps the first admitted wave's steps pack-free.
+const nn::Transformer& warmed(const nn::Transformer& model) {
+  nn::PackedModel::warm_cache(model);
+  return model;
+}
+
+}  // namespace
+
 TranslateStream::TranslateStream(const MpiRical& model, int beam_width)
     : model_(&model),
       beam_width_(beam_width < 1 ? 1 : beam_width),
-      stream_(model.transformer()) {}
+      stream_(warmed(model.transformer())) {}
 
 std::vector<TranslateStream::TicketId> TranslateStream::submit(
     const std::vector<MpiRical::TranslateRequest>& inputs,

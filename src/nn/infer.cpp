@@ -466,13 +466,25 @@ std::vector<std::shared_ptr<const SourceCrossKV>> precompute_cross_kv_batch(
     return out;
   }
 
+  // Cache-on: the interleaved [d, layers * 2d] projection matrix comes
+  // prepacked from the process-lifetime PackedModel instead of being rebuilt
+  // per wave; gemm_acc_packed_rowstable is bit-identical to
+  // gemm_acc_rowstable against the raw matrix at every shape, so the fused
+  // projection's bits match the per-wave build exactly. (The cross-K/V panel
+  // is always f32, but we acquire the current-mode instance so int8 decode
+  // shares one PackedModel for everything.)
+  std::shared_ptr<const PackedModel> packed_model;
+  const PackedLinear* fused = nullptr;
+  if (pack_cache_enabled()) {
+    packed_model = PackedModel::acquire(model, decode_int8_enabled());
+    fused = &packed_model->cross_kv_fused();
+  }
+
   // Arena reuse: encode_batch's intermediates are dead once the wave panel
   // is out, so the projection scratch recycles the same memory.
   ScratchArena& arena = ScratchArena::local();
   arena.reset();
   float* compact = arena.floats(sum_len * static_cast<std::size_t>(d));
-  float* w_fused = arena.floats(static_cast<std::size_t>(d) * ncols);
-  float* b_fused = arena.floats(static_cast<std::size_t>(ncols));
   float* proj = arena.floats(sum_len * static_cast<std::size_t>(ncols));
 
   std::size_t cursor = 0;
@@ -482,31 +494,43 @@ std::vector<std::shared_ptr<const SourceCrossKV>> precompute_cross_kv_batch(
                 sizeof(float) * static_cast<std::size_t>(view.len()) * d);
     cursor += static_cast<std::size_t>(view.len());
   }
-  for (std::size_t li = 0; li < dec_layers.size(); ++li) {
-    const auto& attn = dec_layers[li].cross_attn;
-    const float* wk = attn.wk.w.value().data();
-    const float* wv = attn.wv.w.value().data();
-    const int base = static_cast<int>(li) * 2 * d;
-    for (int i = 0; i < d; ++i) {
-      float* row = w_fused + static_cast<std::size_t>(i) * ncols + base;
-      std::memcpy(row, wk + static_cast<std::size_t>(i) * d,
+  if (fused != nullptr) {
+    for (std::size_t r = 0; r < sum_len; ++r) {
+      std::memcpy(proj + r * ncols, fused->bias,
+                  sizeof(float) * static_cast<std::size_t>(ncols));
+    }
+    tensor::kernels::gemm_acc_packed_rowstable(
+        tensor::kernels::Trans::N, static_cast<int>(sum_len), compact, d,
+        fused->f32, proj, ncols);
+  } else {
+    float* w_fused = arena.floats(static_cast<std::size_t>(d) * ncols);
+    float* b_fused = arena.floats(static_cast<std::size_t>(ncols));
+    for (std::size_t li = 0; li < dec_layers.size(); ++li) {
+      const auto& attn = dec_layers[li].cross_attn;
+      const float* wk = attn.wk.w.value().data();
+      const float* wv = attn.wv.w.value().data();
+      const int base = static_cast<int>(li) * 2 * d;
+      for (int i = 0; i < d; ++i) {
+        float* row = w_fused + static_cast<std::size_t>(i) * ncols + base;
+        std::memcpy(row, wk + static_cast<std::size_t>(i) * d,
+                    sizeof(float) * static_cast<std::size_t>(d));
+        std::memcpy(row + d, wv + static_cast<std::size_t>(i) * d,
+                    sizeof(float) * static_cast<std::size_t>(d));
+      }
+      std::memcpy(b_fused + base, attn.wk.b.value().data(),
                   sizeof(float) * static_cast<std::size_t>(d));
-      std::memcpy(row + d, wv + static_cast<std::size_t>(i) * d,
+      std::memcpy(b_fused + base + d, attn.wv.b.value().data(),
                   sizeof(float) * static_cast<std::size_t>(d));
     }
-    std::memcpy(b_fused + base, attn.wk.b.value().data(),
-                sizeof(float) * static_cast<std::size_t>(d));
-    std::memcpy(b_fused + base + d, attn.wv.b.value().data(),
-                sizeof(float) * static_cast<std::size_t>(d));
+    for (std::size_t r = 0; r < sum_len; ++r) {
+      std::memcpy(proj + r * ncols, b_fused,
+                  sizeof(float) * static_cast<std::size_t>(ncols));
+    }
+    tensor::kernels::gemm_acc_rowstable(
+        tensor::kernels::Trans::N, tensor::kernels::Trans::N,
+        static_cast<int>(sum_len), ncols, d, compact, d, w_fused, ncols, proj,
+        ncols);
   }
-  for (std::size_t r = 0; r < sum_len; ++r) {
-    std::memcpy(proj + r * ncols, b_fused,
-                sizeof(float) * static_cast<std::size_t>(ncols));
-  }
-  tensor::kernels::gemm_acc_rowstable(
-      tensor::kernels::Trans::N, tensor::kernels::Trans::N,
-      static_cast<int>(sum_len), ncols, d, compact, d, w_fused, ncols, proj,
-      ncols);
 
   // Split the fused panel back out per source and layer: V rows copy out
   // contiguously, K transposes into the [d, src_len] layout
@@ -581,51 +605,27 @@ struct BatchHyp {
   }
 };
 
-// One wave-stepped weight panel, packed once for the stream's lifetime: the
-// step loop multiplies the same matrices up to max_len times, and for
-// beam-sized row counts the per-call packing inside gemm_acc costs more
-// traffic than the products. Both run() paths are ROWSTABLE -- f32 through
-// decode_step::linear_rows_rowstable, int8 by construction -- so an output
-// row's bits never depend on how many rows ride in the wave. That is the
-// keystone of the serve path's determinism: requests join and leave the
-// running wave without perturbing any other request's bits.
-struct PackedLin {
-  tensor::kernels::PackedPanelB f32;
-  tensor::kernels::PackedPanelBI8 i8;
-  const float* bias = nullptr;
-  bool quant = false;
-
-  void run(const float* x, int rows, float* out) const {
-    if (quant) {
-      decode_step::linear_rows(x, i8, bias, rows, out);
-    } else {
-      decode_step::linear_rows_rowstable(x, f32, bias, rows, out);
-    }
-  }
-};
-
-// Quantized-weights mode (MPIRICAL_DECODE_INT8): the stepped panels pack as
-// int8 instead -- zero-copy from a quantized snapshot's q8 views when
-// present, else quantized here at pack time. The f32 packing stays the
-// oracle path.
-PackedLin pack_lin(const Linear& lin, bool int8_mode) {
-  PackedLin p;
-  p.bias = lin.b.value().data();
-  p.quant = int8_mode;
-  if (int8_mode) {
-    p.i8 = pack_linear_i8(lin);
-  } else {
-    p.f32 = tensor::kernels::pack_b_panels(
-        tensor::kernels::Trans::N, lin.w.dim(1), lin.w.dim(0),
-        lin.w.value().data(), lin.w.dim(1));
-  }
-  return p;
-}
-
-struct PackedDecoderLayer {
-  PackedLin self_q, self_k, self_v, self_o;
-  PackedLin cross_q, cross_o;
-  PackedLin up, down;
+// The stream's view of one decoder layer's cached panels: raw pointers into
+// the shared PackedModel's slots (stable for the instance's lifetime; the
+// Impl's shared_ptr keeps it alive). The step loop multiplies the same
+// matrices up to max_len times, and for beam-sized row counts the per-call
+// packing inside gemm_acc would cost more traffic than the products -- so
+// panels come packed from the process-lifetime cache (or a private
+// per-stream instance when MPIRICAL_PACK_CACHE=0). Both PackedLinear::run
+// paths are ROWSTABLE -- f32 through decode_step::linear_rows_rowstable,
+// int8 by construction -- so an output row's bits never depend on how many
+// rows ride in the wave. That is the keystone of the serve path's
+// determinism: requests join and leave the running wave without perturbing
+// any other request's bits.
+struct PackedLayerPtrs {
+  const PackedLinear* self_q;
+  const PackedLinear* self_k;
+  const PackedLinear* self_v;
+  const PackedLinear* self_o;
+  const PackedLinear* cross_q;
+  const PackedLinear* cross_o;
+  const PackedLinear* up;
+  const PackedLinear* down;
 };
 
 }  // namespace detail
@@ -639,8 +639,13 @@ struct DecodeStream::Impl {
   std::size_t layers = 0;
   float embed_scale = 1.0f;
 
-  std::vector<detail::PackedDecoderLayer> packed;
-  detail::PackedLin out_proj;
+  // The shared (or, cache-off, private) packed-weight cache instance and the
+  // per-layer panel pointers resolved from it once at construction. Lazy
+  // panel packing means a warm cache makes this resolution free; a cold one
+  // packs each panel exactly once under its call_once.
+  std::shared_ptr<const PackedModel> pm;
+  std::vector<detail::PackedLayerPtrs> packed;
+  const PackedLinear* out_proj = nullptr;
 
   // One admitted request. `t` is the lane's OWN step counter: a lane
   // admitted mid-stream runs behind older lanes, each row seeing its own
@@ -672,7 +677,12 @@ struct DecodeStream::Impl {
   std::vector<int> kv_lens;                // row -> its lane's t + 1
   std::vector<int> row_t;                  // row -> its lane's t
 
-  explicit Impl(const Transformer& m) : model(&m) {
+  explicit Impl(const Transformer& m)
+      : Impl(m, PackedModel::acquire(m, decode_int8_enabled())) {}
+
+  Impl(const Transformer& m, std::shared_ptr<const PackedModel> packed_model)
+      : model(&m), pm(std::move(packed_model)) {
+    MR_CHECK(pm != nullptr, "DecodeStream: null packed model");
     const auto& cfg = m.config();
     d = cfg.d_model;
     heads = cfg.heads;
@@ -681,20 +691,14 @@ struct DecodeStream::Impl {
     ffn_dim = layers == 0 ? 0 : m.decoder_layers()[0].ffn.up.w.dim(1);
     embed_scale = std::sqrt(static_cast<float>(d));
 
-    const bool int8_mode = decode_int8_enabled();
     packed.resize(layers);
     for (std::size_t li = 0; li < layers; ++li) {
-      const auto& layer = m.decoder_layers()[li];
-      packed[li].self_q = detail::pack_lin(layer.self_attn.wq, int8_mode);
-      packed[li].self_k = detail::pack_lin(layer.self_attn.wk, int8_mode);
-      packed[li].self_v = detail::pack_lin(layer.self_attn.wv, int8_mode);
-      packed[li].self_o = detail::pack_lin(layer.self_attn.wo, int8_mode);
-      packed[li].cross_q = detail::pack_lin(layer.cross_attn.wq, int8_mode);
-      packed[li].cross_o = detail::pack_lin(layer.cross_attn.wo, int8_mode);
-      packed[li].up = detail::pack_lin(layer.ffn.up, int8_mode);
-      packed[li].down = detail::pack_lin(layer.ffn.down, int8_mode);
+      const PackedModel::DecoderPanels p = pm->decoder_layer(li);
+      packed[li] = detail::PackedLayerPtrs{&p.self_q, &p.self_k, &p.self_v,
+                                           &p.self_o, &p.cross_q, &p.cross_o,
+                                           &p.up,     &p.down};
     }
-    out_proj = detail::pack_lin(m.output_projection(), int8_mode);
+    out_proj = &pm->output_projection();
   }
 
   bool lane_exhausted(const Lane& lane) const {
@@ -735,6 +739,10 @@ struct DecodeStream::Impl {
 
 DecodeStream::DecodeStream(const Transformer& model)
     : impl_(std::make_unique<Impl>(model)) {}
+
+DecodeStream::DecodeStream(const Transformer& model,
+                           std::shared_ptr<const PackedModel> packed)
+    : impl_(std::make_unique<Impl>(model, std::move(packed))) {}
 
 DecodeStream::~DecodeStream() = default;
 
@@ -856,9 +864,9 @@ std::vector<DecodeStream::Finished> DecodeStream::step() {
     // length is its LANE's t, not anyone else's).
     decode_step::layer_norm_rows(im.x.data(), layer.ln1, rows, d,
                                  im.normed.data());
-    im.packed[li].self_q.run(im.normed.data(), rows, im.q.data());
-    im.packed[li].self_k.run(im.normed.data(), rows, im.krows.data());
-    im.packed[li].self_v.run(im.normed.data(), rows, im.vrows.data());
+    im.packed[li].self_q->run(im.normed.data(), rows, im.q.data());
+    im.packed[li].self_k->run(im.normed.data(), rows, im.krows.data());
+    im.packed[li].self_v->run(im.normed.data(), rows, im.vrows.data());
     for (int m = 0; m < rows; ++m) {
       detail::LaneCache& cache = *im.row_hyp[static_cast<std::size_t>(m)]->cache;
       const std::size_t cache_off =
@@ -877,14 +885,14 @@ std::vector<DecodeStream::Finished> DecodeStream::step() {
     decode_step::attention_ragged(im.q.data(), rows, d, heads, im.ks.data(),
                                   im.vs.data(), im.kv_lens.data(),
                                   im.attn.data());
-    im.packed[li].self_o.run(im.attn.data(), rows, im.proj.data());
+    im.packed[li].self_o->run(im.attn.data(), rows, im.proj.data());
     for (std::size_t i = 0; i < rd; ++i) im.x[i] += im.proj[i];
 
     // Cross attention: each lane's contiguous row block attends over its
     // shared encoder K/V panel via per-head GEMMs.
     decode_step::layer_norm_rows(im.x.data(), layer.ln2, rows, d,
                                  im.normed.data());
-    im.packed[li].cross_q.run(im.normed.data(), rows, im.q.data());
+    im.packed[li].cross_q->run(im.normed.data(), rows, im.q.data());
     for (const Impl::RowSpan& span : im.spans) {
       const Impl::Lane& lane = im.lanes[span.lane];
       const auto& cross = lane.cross->layers[li];
@@ -893,22 +901,22 @@ std::vector<DecodeStream::Finished> DecodeStream::step() {
           span.m1 - span.m0, d, heads, cross.kt.data(), cross.v.data(),
           lane.src_len, im.attn.data() + static_cast<std::size_t>(span.m0) * d);
     }
-    im.packed[li].cross_o.run(im.attn.data(), rows, im.proj.data());
+    im.packed[li].cross_o->run(im.attn.data(), rows, im.proj.data());
     for (std::size_t i = 0; i < rd; ++i) im.x[i] += im.proj[i];
 
     // Feed-forward.
     decode_step::layer_norm_rows(im.x.data(), layer.ln3, rows, d,
                                  im.normed.data());
-    im.packed[li].up.run(im.normed.data(), rows, im.hidden.data());
+    im.packed[li].up->run(im.normed.data(), rows, im.hidden.data());
     decode_step::gelu_rows(im.hidden.data(),
                            static_cast<std::size_t>(rows) * ffn_dim);
-    im.packed[li].down.run(im.hidden.data(), rows, im.proj.data());
+    im.packed[li].down->run(im.hidden.data(), rows, im.proj.data());
     for (std::size_t i = 0; i < rd; ++i) im.x[i] += im.proj[i];
   }
 
   decode_step::layer_norm_rows(im.x.data(), model.decoder_final_ln(), rows, d,
                                im.normed.data());
-  im.out_proj.run(im.normed.data(), rows, im.logits.data());
+  im.out_proj->run(im.normed.data(), rows, im.logits.data());
 
   // Per-lane beam bookkeeping, mirroring the reference path's candidate
   // order, scoring, and tie-breaking exactly.
@@ -994,6 +1002,12 @@ std::vector<DecodeStream::Finished> DecodeStream::step() {
 std::vector<DecodeResult> decode_batch(const Transformer& model,
                                        const std::vector<DecodeRequest>& requests,
                                        DecodeBatchStats* stats) {
+  return decode_batch(model, requests, nullptr, stats);
+}
+
+std::vector<DecodeResult> decode_batch(
+    const Transformer& model, const std::vector<DecodeRequest>& requests,
+    std::shared_ptr<const PackedModel> packed, DecodeBatchStats* stats) {
   std::vector<DecodeResult> results(requests.size());
   if (requests.empty()) return results;
   if (use_reference_decode()) {
@@ -1005,11 +1019,12 @@ std::vector<DecodeResult> decode_batch(const Transformer& model,
     return results;
   }
 
-  // The batched engine IS a one-shot stream: construct (packs the stepped
+  // The batched engine IS a one-shot stream: construct (resolves the cached
   // weight panels -- outside both stat timers), submit everything as one
   // group, step to idle. The serve daemon steps the same engine
   // continuously, admitting mid-stream.
-  DecodeStream stream(model);
+  DecodeStream stream =
+      packed ? DecodeStream(model, std::move(packed)) : DecodeStream(model);
   Timer encode_timer;
   const std::vector<DecodeStream::TicketId> ids = stream.submit(requests);
   const double encode_seconds = encode_timer.seconds();

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/packed_model.hpp"
 #include "nn/transformer.hpp"
 
 namespace mpirical::nn {
@@ -143,8 +144,10 @@ struct DecodeBatchStats {
 
 // ---- continuous decode stream -----------------------------------------------
 
-/// The batched decode engine as a long-lived object: weights are packed once
-/// at construction, then requests JOIN the running wave at any step boundary
+/// The batched decode engine as a long-lived object: weight panels come from
+/// the process-lifetime packed cache (nn::PackedModel -- shared across every
+/// stream; with MPIRICAL_PACK_CACHE=0 a private set is packed per stream),
+/// then requests JOIN the running wave at any step boundary
 /// (submit) and LEAVE as they finish (step's return) -- no per-wave barrier.
 /// This is what the serve daemon steps continuously; decode_batch is a thin
 /// wrapper around it (construct, submit once, step to idle).
@@ -170,10 +173,17 @@ class DecodeStream {
     DecodeResult result;
   };
 
-  /// Packs every wave-stepped weight panel (f32, or int8 when
-  /// MPIRICAL_DECODE_INT8 is set -- read once here, not per wave). The model
-  /// must outlive the stream.
+  /// Acquires the shared packed-weight cache for the current mode (f32, or
+  /// int8 when MPIRICAL_DECODE_INT8 is set -- read once here, not per wave);
+  /// panels pack lazily on first touch, so steady-state construction packs
+  /// nothing. With MPIRICAL_PACK_CACHE=0 the stream packs a private set
+  /// instead (the legacy per-stream behavior). The model must outlive the
+  /// stream.
   explicit DecodeStream(const Transformer& model);
+  /// Same, but stepping through a caller-provided packed cache instance
+  /// (must belong to `model`; its int8 mode decides the kernel path).
+  DecodeStream(const Transformer& model,
+               std::shared_ptr<const PackedModel> packed);
   ~DecodeStream();
   DecodeStream(const DecodeStream&) = delete;
   DecodeStream& operator=(const DecodeStream&) = delete;
@@ -208,6 +218,12 @@ class DecodeStream {
 std::vector<DecodeResult> decode_batch(const Transformer& model,
                                        const std::vector<DecodeRequest>& requests,
                                        DecodeBatchStats* stats = nullptr);
+
+/// decode_batch stepping through a caller-provided packed cache instance
+/// (e.g. one PackedModel::acquire'd once and reused across many waves).
+std::vector<DecodeResult> decode_batch(
+    const Transformer& model, const std::vector<DecodeRequest>& requests,
+    std::shared_ptr<const PackedModel> packed, DecodeBatchStats* stats);
 
 /// The PR 1 per-hypothesis decode path (IncrementalDecoder + one GEMV per
 /// projection per hypothesis), kept as the oracle for the differential

@@ -1,0 +1,286 @@
+#include "nn/packed_model.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/recorder.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace mpirical::nn {
+
+namespace {
+
+// One process-wide mutex guards anchor-slot install/reset. Creation is rare
+// (once per model per mode, plus invalidations); every later acquire is a
+// lock + shared_ptr copy, far off the wave hot path.
+std::mutex& cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_panels_packed{0};
+std::atomic<std::uint64_t> g_pack_ns{0};
+
+void note_pack(double seconds) {
+  const auto ns = static_cast<std::uint64_t>(seconds * 1e9);
+  g_panels_packed.fetch_add(1, std::memory_order_relaxed);
+  g_pack_ns.fetch_add(ns, std::memory_order_relaxed);
+  obs::Recorder& rec = obs::Recorder::global();
+  if (rec.enabled()) rec.record_phase("nn/pack/panel", ns);
+}
+
+void note_acquire(bool hit) {
+  (hit ? g_hits : g_misses).fetch_add(1, std::memory_order_relaxed);
+  obs::Recorder& rec = obs::Recorder::global();
+  if (rec.enabled()) rec.counter_add(hit ? "nn/pack/hit" : "nn/pack/miss", 1);
+}
+
+// Interleaves an attention block's three projection weights row-wise
+// ([d, 3d] = [Wq|Wk|Wv]) and concatenates the biases -- the exact fused
+// operand encode_step::qkv_panel builds per call.
+void build_fused_qkv(const AttentionBlock& attn, int d, std::vector<float>& w3,
+                     std::vector<float>& b3) {
+  const int n3 = 3 * d;
+  w3.resize(static_cast<std::size_t>(d) * n3);
+  b3.resize(static_cast<std::size_t>(n3));
+  const float* wq = attn.wq.w.value().data();
+  const float* wk = attn.wk.w.value().data();
+  const float* wv = attn.wv.w.value().data();
+  for (int i = 0; i < d; ++i) {
+    float* row = w3.data() + static_cast<std::size_t>(i) * n3;
+    std::memcpy(row, wq + static_cast<std::size_t>(i) * d,
+                sizeof(float) * static_cast<std::size_t>(d));
+    std::memcpy(row + d, wk + static_cast<std::size_t>(i) * d,
+                sizeof(float) * static_cast<std::size_t>(d));
+    std::memcpy(row + 2 * d, wv + static_cast<std::size_t>(i) * d,
+                sizeof(float) * static_cast<std::size_t>(d));
+  }
+  std::memcpy(b3.data(), attn.wq.b.value().data(),
+              sizeof(float) * static_cast<std::size_t>(d));
+  std::memcpy(b3.data() + d, attn.wk.b.value().data(),
+              sizeof(float) * static_cast<std::size_t>(d));
+  std::memcpy(b3.data() + 2 * d, attn.wv.b.value().data(),
+              sizeof(float) * static_cast<std::size_t>(d));
+}
+
+}  // namespace
+
+bool pack_cache_enabled() {
+  const char* e = std::getenv("MPIRICAL_PACK_CACHE");
+  if (e == nullptr || e[0] == '\0') return true;
+  return e[0] != '0';
+}
+
+PackCacheStats pack_cache_stats() {
+  PackCacheStats s;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.panels_packed = g_panels_packed.load(std::memory_order_relaxed);
+  s.pack_ns = g_pack_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PackedLinear::run(const float* x, int rows, float* out) const {
+  if (quant) {
+    decode_step::linear_rows(x, i8, bias, rows, out);
+  } else {
+    decode_step::linear_rows_rowstable(x, f32, bias, rows, out);
+  }
+}
+
+void PackedLinear::run_residual(const float* in, int rows, float* x) const {
+  const int n = out_dim();
+  if (quant) {
+    tensor::kernels::gemm_acc_packed_i8(tensor::kernels::Trans::N, rows, in,
+                                        i8.k, i8, x, n);
+  } else {
+    tensor::kernels::gemm_acc_packed_rowstable(tensor::kernels::Trans::N, rows,
+                                               in, f32.k, f32, x, n);
+  }
+  for (int r = 0; r < rows; ++r) {
+    float* xrow = x + static_cast<std::size_t>(r) * n;
+    for (int j = 0; j < n; ++j) xrow[j] += bias[j];
+  }
+}
+
+struct PackedModel::Lazy {
+  std::once_flag once;
+  PackedLinear lin;
+};
+
+PackedModel::PackedModel(const Transformer& model, bool int8_mode)
+    : model_(&model),
+      quant_(int8_mode),
+      dec_layers_(model.decoder_layers().size()),
+      enc_layers_(model.encoder_layers().size()),
+      dec_slots_(std::make_unique<Lazy[]>(dec_layers_ * 8)),
+      enc_slots_(std::make_unique<Lazy[]>(enc_layers_ * 4)),
+      tail_slots_(std::make_unique<Lazy[]>(2)) {}
+
+PackedModel::~PackedModel() = default;
+
+const PackedLinear& PackedModel::ensure(Lazy& slot, const Linear& lin) const {
+  std::call_once(slot.once, [&] {
+    Timer timer;
+    PackedLinear& p = slot.lin;
+    p.bias = lin.b.value().data();
+    p.quant = quant_;
+    if (quant_) {
+      p.i8 = pack_linear_i8(lin);
+    } else {
+      p.f32 = tensor::kernels::pack_b_panels(
+          tensor::kernels::Trans::N, lin.w.dim(1), lin.w.dim(0),
+          lin.w.value().data(), lin.w.dim(1));
+    }
+    note_pack(timer.seconds());
+  });
+  return slot.lin;
+}
+
+const PackedLinear& PackedModel::ensure_qkv(Lazy& slot,
+                                            const AttentionBlock& attn) const {
+  std::call_once(slot.once, [&] {
+    Timer timer;
+    PackedLinear& p = slot.lin;
+    const int d = attn.wq.w.dim(0);
+    const int n3 = 3 * d;
+    build_fused_qkv(attn, d, p.fused_w, p.fused_b);
+    p.bias = p.fused_b.data();
+    p.quant = quant_;
+    if (quant_) {
+      // Quantize the fused dequantized-f32 matrix, NOT the stored q8 bytes:
+      // this is the exact computation the per-call qkv_panel_i8 runs, so
+      // cache-on stays bit-identical to cache-off even when 127*scale/127
+      // would not round-trip a stored scale exactly. (Per-column scales of
+      // the fused matrix equal the separate projections' scales -- columns
+      // are independent.)
+      p.i8 = tensor::kernels::pack_b_panels_i8(tensor::kernels::Trans::N, n3,
+                                               d, p.fused_w.data(), n3);
+    } else {
+      p.f32 = tensor::kernels::pack_b_panels(tensor::kernels::Trans::N, n3, d,
+                                             p.fused_w.data(), n3);
+    }
+    note_pack(timer.seconds());
+  });
+  return slot.lin;
+}
+
+const PackedLinear& PackedModel::ensure_cross_kv(Lazy& slot) const {
+  std::call_once(slot.once, [&] {
+    Timer timer;
+    PackedLinear& p = slot.lin;
+    const int d = model_->config().d_model;
+    const auto& dec_layers = model_->decoder_layers();
+    const int ncols = static_cast<int>(dec_layers.size()) * 2 * d;
+    p.quant = false;  // the cross-K/V projection stays f32 in int8 mode
+    if (ncols == 0) return;
+    p.fused_w.resize(static_cast<std::size_t>(d) * ncols);
+    p.fused_b.resize(static_cast<std::size_t>(ncols));
+    for (std::size_t li = 0; li < dec_layers.size(); ++li) {
+      const auto& attn = dec_layers[li].cross_attn;
+      const float* wk = attn.wk.w.value().data();
+      const float* wv = attn.wv.w.value().data();
+      const int base = static_cast<int>(li) * 2 * d;
+      for (int i = 0; i < d; ++i) {
+        float* row = p.fused_w.data() + static_cast<std::size_t>(i) * ncols +
+                     base;
+        std::memcpy(row, wk + static_cast<std::size_t>(i) * d,
+                    sizeof(float) * static_cast<std::size_t>(d));
+        std::memcpy(row + d, wv + static_cast<std::size_t>(i) * d,
+                    sizeof(float) * static_cast<std::size_t>(d));
+      }
+      std::memcpy(p.fused_b.data() + base, attn.wk.b.value().data(),
+                  sizeof(float) * static_cast<std::size_t>(d));
+      std::memcpy(p.fused_b.data() + base + d, attn.wv.b.value().data(),
+                  sizeof(float) * static_cast<std::size_t>(d));
+    }
+    p.bias = p.fused_b.data();
+    p.f32 = tensor::kernels::pack_b_panels(tensor::kernels::Trans::N, ncols, d,
+                                           p.fused_w.data(), ncols);
+    note_pack(timer.seconds());
+  });
+  return slot.lin;
+}
+
+PackedModel::DecoderPanels PackedModel::decoder_layer(std::size_t li) const {
+  MR_CHECK(li < dec_layers_, "decoder layer index out of range");
+  const DecoderLayer& layer = model_->decoder_layers()[li];
+  Lazy* s = dec_slots_.get() + li * 8;
+  return DecoderPanels{ensure(s[0], layer.self_attn.wq),
+                       ensure(s[1], layer.self_attn.wk),
+                       ensure(s[2], layer.self_attn.wv),
+                       ensure(s[3], layer.self_attn.wo),
+                       ensure(s[4], layer.cross_attn.wq),
+                       ensure(s[5], layer.cross_attn.wo),
+                       ensure(s[6], layer.ffn.up),
+                       ensure(s[7], layer.ffn.down)};
+}
+
+const PackedLinear& PackedModel::output_projection() const {
+  return ensure(tail_slots_[0], model_->output_projection());
+}
+
+PackedModel::EncoderPanels PackedModel::encoder_layer(std::size_t li) const {
+  MR_CHECK(li < enc_layers_, "encoder layer index out of range");
+  const EncoderLayer& layer = model_->encoder_layers()[li];
+  Lazy* s = enc_slots_.get() + li * 4;
+  return EncoderPanels{ensure_qkv(s[0], layer.attn),
+                       ensure(s[1], layer.attn.wo),
+                       ensure(s[2], layer.ffn.up),
+                       ensure(s[3], layer.ffn.down)};
+}
+
+const PackedLinear& PackedModel::cross_kv_fused() const {
+  return ensure_cross_kv(tail_slots_[1]);
+}
+
+int PackedModel::cross_kv_cols() const {
+  return static_cast<int>(dec_layers_) * 2 * model_->config().d_model;
+}
+
+void PackedModel::warm() const {
+  for (std::size_t li = 0; li < dec_layers_; ++li) decoder_layer(li);
+  output_projection();
+  for (std::size_t li = 0; li < enc_layers_; ++li) encoder_layer(li);
+  if (cross_kv_cols() > 0) cross_kv_fused();
+}
+
+std::shared_ptr<const PackedModel> PackedModel::acquire(
+    const Transformer& model, bool int8_mode) {
+  if (!pack_cache_enabled()) {
+    // Uncached fallback: a fresh instance per acquire, so every stream packs
+    // its own panels -- the legacy per-wave behavior the differential suite
+    // uses as the oracle.
+    note_acquire(/*hit=*/false);
+    return std::shared_ptr<const PackedModel>(
+        new PackedModel(model, int8_mode));
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  auto& anchor = model.pack_cache_;
+  if (!anchor.slots) anchor.slots = std::make_shared<detail::PackCacheSlots>();
+  std::shared_ptr<const PackedModel>& slot =
+      int8_mode ? anchor.slots->i8 : anchor.slots->f32;
+  if (!slot) {
+    note_acquire(/*hit=*/false);
+    slot.reset(new PackedModel(model, int8_mode));
+  } else {
+    note_acquire(/*hit=*/true);
+  }
+  return slot;
+}
+
+void PackedModel::warm_cache(const Transformer& model) {
+  if (!pack_cache_enabled()) return;
+  acquire(model, decode_int8_enabled())->warm();
+}
+
+void Transformer::invalidate_pack_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  pack_cache_.slots.reset();
+}
+
+}  // namespace mpirical::nn

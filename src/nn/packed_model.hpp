@@ -1,0 +1,202 @@
+// Process-lifetime packed-weight cache shared across encode/decode/serve/
+// shard (the Marian-style pack-once-serve-forever discipline).
+//
+// Before this cache every consumer re-did O(model-size) weight-packing work
+// on the hot path: the encoder panel functions re-packed (and, in int8 mode,
+// re-quantized) each weight once per CALL, nn::decode_batch's
+// construct-submit-drain shape rebuilt every decoder panel once per WAVE,
+// and precompute_cross_kv_batch rebuilt the fused cross-projection matrix
+// per wave. Packing is deterministic and the packed GEMMs are pinned
+// bit-identical to their unpacked oracles, so hoisting every pack to process
+// lifetime is pure hot-path savings with zero numeric effect.
+//
+// One PackedModel holds every encoder and decoder weight panel of one
+// (Transformer, int8-mode) pair:
+//   * decoder: self q/k/v/o + cross q/o + ffn up/down per layer, plus the
+//     vocab output projection -- exactly the panels DecodeStream packed at
+//     construction;
+//   * encoder: the fused [d, 3d] [Wq|Wk|Wv] qkv panel, attention wo, and
+//     ffn up/down per layer -- the panels encode_batch re-packed per call;
+//   * the fused [d, layers*2d] cross-attention K/V projection (always f32,
+//     matching precompute_cross_kv_batch's per-wave build).
+// Panels pack LAZILY, each under its own std::call_once, so concurrent
+// streams (translate_batch runs one DecodeStream per wave across the pool)
+// can race first use of a shared instance safely and a one-shot greedy
+// decode never packs the beams' unused panels twice.
+//
+// Caching is anchored IN the Transformer (a per-model slot pair, one per
+// int8 mode) rather than in a process-global map keyed by address: a global
+// map would serve stale panels after heap address reuse when test loops
+// create and destroy same-shaped models. Destroying the model naturally
+// drops its cache; copying a model detaches (the copy packs its own);
+// Transformer::invalidate_pack_cache() drops the slots after training
+// mutates weights. Weights are otherwise frozen at inference time, which is
+// the contract that makes process-lifetime reuse sound.
+//
+// MPIRICAL_PACK_CACHE=0 disables sharing: acquire() then returns a fresh
+// uncached instance per call and the panel consumers fall back to their
+// legacy per-call/per-wave packing -- the fallback oracle the differential
+// suite (tests/test_pack_cache_equivalence.cpp) pins cache-on runs
+// bit-identical to.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/transformer.hpp"
+#include "tensor/kernels.hpp"
+
+namespace mpirical::nn {
+
+/// True unless MPIRICAL_PACK_CACHE is set to a value starting with '0'.
+/// Read per call so tests and benches can flip it mid-process.
+bool pack_cache_enabled();
+
+/// Process-global pack-cache accounting, independent of the obs recorder so
+/// benches can report pack_ms and hit/miss deltas without enabling stats.
+/// hits/misses count acquire() calls against an anchored slot (uncached
+/// MPIRICAL_PACK_CACHE=0 acquires count as misses: each builds a fresh
+/// instance that will re-pack); panels_packed/pack_ns count the actual lazy
+/// panel packs.
+struct PackCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t panels_packed = 0;
+  std::uint64_t pack_ns = 0;
+
+  double pack_ms() const { return static_cast<double>(pack_ns) / 1e6; }
+};
+PackCacheStats pack_cache_stats();
+
+/// One packed weight panel plus its bias: the f32 flavor holds a
+/// pack_b_panels panel driven through gemm_acc_packed_rowstable, the int8
+/// flavor a pack_linear_i8 panel (zero-copy from a quantized snapshot's q8
+/// view when present). Fused panels (encoder qkv, the cross-K/V projection)
+/// own their interleaved matrix and bias here, because PackedPanelB retains
+/// a raw pointer for the kernel's small-problem fallback -- the fused
+/// operand must outlive the pack.
+struct PackedLinear {
+  tensor::kernels::PackedPanelB f32;
+  tensor::kernels::PackedPanelBI8 i8;
+  const float* bias = nullptr;
+  bool quant = false;
+  std::vector<float> fused_w;  // backing storage for fused operands
+  std::vector<float> fused_b;
+
+  /// out[rows, n] = x @ W + b, ROWSTABLE in both flavors: f32 through
+  /// gemm_acc_packed_rowstable (bit-identical to gemm_acc_rowstable against
+  /// the raw matrix at every shape), int8 through gemm_acc_packed_i8
+  /// (rowstable by construction). Bias is preloaded per output row.
+  void run(const float* x, int rows, float* out) const;
+
+  /// The rowstable product ACCUMULATED into x (the encoder's residual-fused
+  /// shape): x[rows, n] += in @ W, then one trailing bias pass.
+  void run_residual(const float* in, int rows, float* x) const;
+
+  int out_dim() const { return quant ? i8.n : f32.n; }
+};
+
+/// Every packed panel of one (model, int8-mode) pair. Acquire through the
+/// static entry points; instances are immutable to consumers and internally
+/// synchronized (per-panel std::call_once), so one shared instance serves
+/// any number of concurrent streams.
+class PackedModel {
+ public:
+  /// The shared cached instance for this model and mode, creating (empty --
+  /// panels pack lazily) on first acquire. Counts a cache hit or miss.
+  /// With the cache disabled (MPIRICAL_PACK_CACHE=0) returns a FRESH
+  /// uncached instance instead -- per-stream packing, exactly the legacy
+  /// behavior. The model must outlive every acquired instance.
+  static std::shared_ptr<const PackedModel> acquire(const Transformer& model,
+                                                    bool int8_mode);
+
+  /// Eagerly packs every panel of the cached instance for the CURRENT int8
+  /// mode (decode_int8_enabled()) so steady-state waves touch zero pack
+  /// work -- the serve daemon and shard workers call this right after
+  /// snapshot mmap, evaluate_model before its decode loop. No-op when the
+  /// cache is disabled.
+  static void warm_cache(const Transformer& model);
+
+  ~PackedModel();
+  PackedModel(const PackedModel&) = delete;
+  PackedModel& operator=(const PackedModel&) = delete;
+
+  bool int8_mode() const { return quant_; }
+
+  // ---- decoder panels (DecodeStream's step projections) ---------------------
+
+  struct DecoderPanels {
+    const PackedLinear& self_q;
+    const PackedLinear& self_k;
+    const PackedLinear& self_v;
+    const PackedLinear& self_o;
+    const PackedLinear& cross_q;
+    const PackedLinear& cross_o;
+    const PackedLinear& up;
+    const PackedLinear& down;
+  };
+  /// Packs (on first use) and returns decoder layer `li`'s step panels.
+  DecoderPanels decoder_layer(std::size_t li) const;
+  const PackedLinear& output_projection() const;
+
+  // ---- encoder panels (encode_batch's per-layer projections) ----------------
+
+  struct EncoderPanels {
+    const PackedLinear& qkv;  // fused [d, 3d] [Wq|Wk|Wv]
+    const PackedLinear& wo;
+    const PackedLinear& up;
+    const PackedLinear& down;
+  };
+  /// Packs (on first use) and returns encoder layer `li`'s panels.
+  EncoderPanels encoder_layer(std::size_t li) const;
+
+  // ---- fused cross-attention K/V projection ---------------------------------
+
+  /// The decoder layers' interleaved [d, layers * 2d] cross wk/wv projection
+  /// (always f32, even in int8 mode -- matching the per-wave build it
+  /// replaces). Returns a panel with out_dim() == cross_kv_cols().
+  const PackedLinear& cross_kv_fused() const;
+  int cross_kv_cols() const;
+
+  /// Eagerly packs every panel (all layers, both stacks, out_proj, fused
+  /// cross-K/V).
+  void warm() const;
+
+ private:
+  friend class Transformer;
+
+  PackedModel(const Transformer& model, bool int8_mode);
+
+  struct Lazy;  // once_flag + PackedLinear slot
+
+  const PackedLinear& ensure(Lazy& slot, const Linear& lin) const;
+  const PackedLinear& ensure_qkv(Lazy& slot, const AttentionBlock& attn) const;
+  const PackedLinear& ensure_cross_kv(Lazy& slot) const;
+
+  const Transformer* model_ = nullptr;
+  bool quant_ = false;
+  std::size_t dec_layers_ = 0;
+  std::size_t enc_layers_ = 0;
+  // Slot arrays, not vectors: once_flag is immovable, and the arrays never
+  // resize after construction.
+  std::unique_ptr<Lazy[]> dec_slots_;  // 8 per decoder layer
+  std::unique_ptr<Lazy[]> enc_slots_;  // 4 per encoder layer
+  std::unique_ptr<Lazy[]> tail_slots_; // [0] out_proj, [1] fused cross-K/V
+};
+
+namespace detail {
+
+/// The per-model cache payload behind a Transformer's PackCacheAnchor: one
+/// shared instance per int8 mode. Guarded by packed_model.cpp's global
+/// acquire mutex (the anchor itself stays movable -- a mutex member would
+/// pin the Transformer).
+struct PackCacheSlots {
+  std::shared_ptr<const PackedModel> f32;
+  std::shared_ptr<const PackedModel> i8;
+};
+
+}  // namespace detail
+
+}  // namespace mpirical::nn

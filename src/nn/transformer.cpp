@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "nn/packed_model.hpp"
 #include "support/arena.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
@@ -914,6 +915,28 @@ void qkv_panel_i8(const float* x, const AttentionBlock& attn, int rows, int d,
                                       packed, qkv, n3);
 }
 
+// Cached-panel overloads: thin dispatches into the process-lifetime
+// PackedLinear, which routes to the rowstable packed kernel of its mode.
+// Bit-identity with the per-call variants above holds because packing never
+// changes an output element's k-accumulation order (gemm_acc_packed_rowstable
+// is pinned bit-identical to gemm_acc_rowstable at every shape, and the int8
+// panels are packed by the exact same pack_linear_i8 / fused-quantize calls).
+void linear_panel(const float* x, const PackedLinear& lin, int rows,
+                  float* out) {
+  lin.run(x, rows, out);
+}
+
+void linear_panel_residual(const float* in, const PackedLinear& lin, int rows,
+                           float* x) {
+  lin.run_residual(in, rows, x);
+}
+
+void qkv_panel(const float* x, const PackedLinear& fused, int rows, int d,
+               float* qkv) {
+  MR_CHECK(fused.out_dim() == 3 * d, "qkv_panel: fused panel shape mismatch");
+  fused.run(x, rows, qkv);
+}
+
 void self_attention_padded(const float* q, const float* k, const float* v,
                            int ld, int batch, int max_len, const int* lens,
                            int d, int heads, float* out) {
@@ -1056,9 +1079,33 @@ std::shared_ptr<const EncodedBatch> encode_batch(
   // Quantized-weights mode (MPIRICAL_DECODE_INT8): every panel projection
   // routes through the int8 kernel; attention, softmax, GELU, and layer
   // norms stay f32, so padding-invariance carries over unchanged.
+  //
+  // With the packed-weight cache on (the default) the panels come from the
+  // shared process-lifetime PackedModel -- no per-wave packing at all; with
+  // MPIRICAL_PACK_CACHE=0 every projection re-packs per call (the legacy
+  // fallback oracle). Both paths are bit-identical per mode.
   const bool int8_mode = decode_int8_enabled();
+  std::shared_ptr<const PackedModel> packed;
+  if (pack_cache_enabled()) packed = PackedModel::acquire(model, int8_mode);
+  std::size_t li = 0;
   for (const EncoderLayer& layer : model.encoder_layers()) {
     decode_step::layer_norm_rows(x, layer.ln1, rows, d, normed);
+    if (packed) {
+      const PackedModel::EncoderPanels panels = packed->encoder_layer(li);
+      encode_step::qkv_panel(normed, panels.qkv, rows, d, qkv);
+      encode_step::self_attention_padded(qkv, qkv + d, qkv + 2 * d, 3 * d,
+                                         batch, max_len, lens.data(), d, heads,
+                                         attn);
+      encode_step::linear_panel_residual(attn, panels.wo, rows, x);
+
+      decode_step::layer_norm_rows(x, layer.ln2, rows, d, normed);
+      encode_step::linear_panel(normed, panels.up, rows, hidden);
+      encode_step::gelu_panel(hidden,
+                              static_cast<std::size_t>(rows) * ffn_dim);
+      encode_step::linear_panel_residual(hidden, panels.down, rows, x);
+      ++li;
+      continue;
+    }
     if (int8_mode) {
       encode_step::qkv_panel_i8(normed, layer.attn, rows, d, qkv);
     } else {
@@ -1084,6 +1131,7 @@ std::shared_ptr<const EncodedBatch> encode_batch(
     } else {
       encode_step::linear_panel_residual(hidden, layer.ffn.down, rows, x);
     }
+    ++li;
   }
 
   auto out = std::make_shared<EncodedBatch>();

@@ -92,6 +92,36 @@ struct EncoderLayer {
   FfnBlock ffn;
 };
 
+class PackedModel;
+struct PackedLinear;
+
+namespace detail {
+
+struct PackCacheSlots;
+
+/// Per-model anchor for the process-lifetime packed-weight cache
+/// (nn/packed_model.hpp). Holds the model's shared PackedModel slot pair
+/// (one per int8 mode); PackedModel::acquire installs into it under a
+/// process-global mutex in packed_model.cpp, which keeps this anchor -- and
+/// therefore the Transformer -- movable (a mutex member would pin it).
+/// Copying a model DETACHES the cache (the copy's weights are new storage,
+/// so it packs its own panels); moving transfers it along with the weights.
+class PackCacheAnchor {
+ public:
+  PackCacheAnchor() = default;
+  PackCacheAnchor(const PackCacheAnchor&) noexcept {}
+  PackCacheAnchor& operator=(const PackCacheAnchor&) noexcept {
+    slots.reset();
+    return *this;
+  }
+  PackCacheAnchor(PackCacheAnchor&&) noexcept = default;
+  PackCacheAnchor& operator=(PackCacheAnchor&&) noexcept = default;
+
+  std::shared_ptr<PackCacheSlots> slots;
+};
+
+}  // namespace detail
+
 struct DecoderLayer {
   DecoderLayer() = default;
   DecoderLayer(const TransformerConfig& cfg, Rng& rng)
@@ -179,7 +209,16 @@ class Transformer {
   const LayerNormParams& decoder_final_ln() const { return dec_ln_; }
   const Linear& output_projection() const { return out_proj_; }
 
+  /// Drops this model's cached PackedModel instances (both int8 modes).
+  /// Must be called after anything mutates parameter values -- run_epoch
+  /// calls it once per epoch, after the last Adam step. In-flight streams
+  /// holding the old shared_ptr keep their (pre-mutation) panels alive;
+  /// the next acquire packs fresh ones.
+  void invalidate_pack_cache();
+
  private:
+  friend class PackedModel;
+
   tensor::Tensor embed(const std::vector<int>& ids, int batch, int len,
                        bool training, Rng& rng) const;
 
@@ -198,6 +237,8 @@ class Transformer {
   LayerNormParams enc_ln_;
   LayerNormParams dec_ln_;
   Linear out_proj_;  // [d, vocab]
+  // Packed-weight cache anchor (nn/packed_model.hpp); not a parameter.
+  mutable detail::PackCacheAnchor pack_cache_;
 };
 
 // ---- batched decode-step primitives -----------------------------------------
@@ -218,9 +259,12 @@ void layer_norm_rows(const float* x, const LayerNormParams& ln, int rows,
 void linear_rows(const float* x, const Linear& lin, int rows, float* out);
 
 /// Same product against a PREPACKED weight panel
-/// (tensor::kernels::pack_b_panels, once per wave) -- bit-identical to the
-/// Linear overload at every shape, but the weight packing that gemm_acc
-/// would redo inside every decode step is paid once per decode_batch call.
+/// (tensor::kernels::pack_b_panels) -- bit-identical to the Linear overload
+/// at every shape, but the weight packing that gemm_acc would redo inside
+/// every decode step is hoisted out entirely: with the packed-weight cache
+/// on (nn/packed_model.hpp, the default) panels pack once per process
+/// lifetime and are shared by every stream; with MPIRICAL_PACK_CACHE=0 each
+/// DecodeStream packs its own at construction.
 void linear_rows(const float* x, const tensor::kernels::PackedPanelB& w,
                  const float* bias, int rows, float* out);
 
@@ -238,8 +282,9 @@ void linear_rows_rowstable(const float* x,
                            const tensor::kernels::PackedPanelB& w,
                            const float* bias, int rows, float* out);
 
-/// Int8-weights sibling: the same once-per-wave packed product against an
-/// int8 panel (pack_linear_i8). Rowstable like the kernel beneath it -- a
+/// Int8-weights sibling: the same packed product against an int8 panel
+/// (pack_linear_i8, cached for the process lifetime via nn::PackedModel
+/// like the f32 panels above). Rowstable like the kernel beneath it -- a
 /// row's bits never depend on the wave's other rows -- but NOT bit-identical
 /// to the f32 overload (quantization error); the f32 path stays the oracle.
 void linear_rows(const float* x, const tensor::kernels::PackedPanelBI8& w,
@@ -366,17 +411,37 @@ void qkv_panel(const float* x, const AttentionBlock& attn, int rows, int d,
                float* qkv);
 
 /// Int8-weights variants of the panel projections, used by encode_batch when
-/// decode_int8_enabled(). Each packs its weight once per call (encode_batch
-/// runs once per wave, so this is once-per-wave exactly like the decode
-/// engine's panels) via pack_linear_i8 -- zero-copy from a quantized
-/// snapshot's q8 view when present. Activations, biases, attention, GELU,
-/// and layer norms stay f32, so the padding-invariance argument carries over
-/// unchanged: the int8 GEMM is rowstable and everything else is row-local.
+/// decode_int8_enabled() and the packed-weight cache is off. Each packs its
+/// weight once per CALL via pack_linear_i8 -- zero-copy from a quantized
+/// snapshot's q8 view when present. (The old claim that per-call packing
+/// "is once-per-wave exactly like the decode engine's panels" was wrong on
+/// both sides: encode_batch calls each panel function once per LAYER per
+/// wave, and the decode engine packed once per STREAM, not per call. With
+/// the cache on -- the default -- both stacks now pack once per process
+/// lifetime through nn::PackedModel and these per-call variants are the
+/// MPIRICAL_PACK_CACHE=0 fallback oracle.) Activations, biases, attention,
+/// GELU, and layer norms stay f32, so the padding-invariance argument
+/// carries over unchanged: the int8 GEMM is rowstable and everything else
+/// is row-local.
 void linear_panel_i8(const float* x, const Linear& lin, int rows, float* out);
 void linear_panel_residual_i8(const float* in, const Linear& lin, int rows,
                               float* x);
 void qkv_panel_i8(const float* x, const AttentionBlock& attn, int rows, int d,
                   float* qkv);
+
+/// Cached-panel overloads: the same projections against a PackedLinear from
+/// the process-lifetime cache (nn/packed_model.hpp). One overload set serves
+/// both weight encodings -- the PackedLinear carries its mode and routes to
+/// the rowstable f32 or int8 kernel, each bit-identical to the per-call
+/// variant of the same mode above (packing never changes an output
+/// element's k-accumulation order). encode_batch uses these whenever
+/// pack_cache_enabled().
+void linear_panel(const float* x, const PackedLinear& lin, int rows,
+                  float* out);
+void linear_panel_residual(const float* in, const PackedLinear& lin, int rows,
+                           float* x);
+void qkv_panel(const float* x, const PackedLinear& fused, int rows, int d,
+               float* qkv);
 
 /// Padding-masked bidirectional multi-head self-attention over a padded
 /// panel: query row (b, t < lens[b]) attends over key rows (b, j < lens[b])

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include "core/world_snapshot.hpp"
+#include "nn/packed_model.hpp"
 #include "obs/recorder.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
@@ -17,6 +18,10 @@ ServerStats run_daemon(const DaemonOptions& options) {
   support::ignore_sigpipe();
   MR_CHECK(!options.snapshot_path.empty(), "daemon needs a snapshot path");
   core::World world = core::load_world_snapshot(options.snapshot_path);
+  // Pack every weight panel right after the snapshot mmap, before the socket
+  // goes live: steady-state serve waves then touch zero pack work, and the
+  // first request doesn't pay the one-time cost either.
+  nn::PackedModel::warm_cache(world.model.transformer());
   ServerOptions server_options;
   server_options.socket_path = options.socket_path;
   server_options.tcp_addr = options.tcp_addr;

